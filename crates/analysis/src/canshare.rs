@@ -1,0 +1,416 @@
+//! `can_share` — Theorem 2.3 (Jones–Lipton–Snyder).
+//!
+//! `can_share(α, x, y, G)` holds iff `x` can acquire an explicit `α` right
+//! to `y` through some sequence of de jure rules. The structural
+//! characterization: either the edge already exists, or
+//!
+//! 1. some vertex `s` holds `α` to `y`,
+//! 2. a subject `s'` terminally spans to `s` and a subject `x'` initially
+//!    spans to `x`, and
+//! 3. `x'` and `s'` live in islands joined by a chain of bridges.
+
+use tg_graph::{ProtectionGraph, Right, VertexId};
+use tg_paths::{lang, PathSearch, PathWitness, SearchConfig};
+
+use crate::islands::Islands;
+use crate::spans::{initial_spanners, terminal_spanners, Spanner};
+
+/// The structural evidence that `can_share` is true, sufficient to drive
+/// witness synthesis.
+#[derive(Clone, Debug)]
+pub struct ShareEvidence {
+    /// The right being shared.
+    pub right: Right,
+    /// The acquiring vertex `x`.
+    pub x: VertexId,
+    /// The target vertex `y`.
+    pub y: VertexId,
+    /// `Some(())`-free marker: the edge `x → y : α` already exists and the
+    /// remaining fields are degenerate (owner = x, empty chain).
+    pub direct: bool,
+    /// The vertex `s` holding `α` to `y`.
+    pub owner: VertexId,
+    /// The subject `s'` and its terminal span to `owner`.
+    pub terminal: Spanner,
+    /// The subject `x'` and its initial span to `x`.
+    pub initial: Spanner,
+    /// The subject chain `w0 = x' … wm = s'` realizing condition (iii):
+    /// consecutive subjects are joined by bridge-word paths (island-mates
+    /// are joined by single-edge bridges, so the theorem's island chain is
+    /// recovered by [`ShareEvidence::island_chain`]).
+    pub chain: Vec<VertexId>,
+    /// One bridge witness per chain hop: `bridges[i]` runs from
+    /// `chain[i]` to `chain[i + 1]`.
+    pub bridges: Vec<PathWitness>,
+    /// The theorem's island chain `I1 … Ij` (consecutive distinct islands
+    /// visited by `chain`), with `x' ∈ I1` and `s' ∈ Ij`.
+    pub island_chain: Vec<usize>,
+}
+
+/// Decides `can_share(right, x, y, G)`.
+///
+/// # Panics
+///
+/// Panics if `x` or `y` does not belong to `graph`.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{ProtectionGraph, Right, Rights};
+/// use tg_analysis::can_share;
+///
+/// let mut g = ProtectionGraph::new();
+/// let s = g.add_subject("s");
+/// let q = g.add_object("q");
+/// let o = g.add_object("o");
+/// g.add_edge(s, q, Rights::T).unwrap();
+/// g.add_edge(q, o, Rights::RW).unwrap();
+/// assert!(can_share(&g, Right::Write, s, o));
+/// assert!(!can_share(&g, Right::Take, s, o));
+/// ```
+pub fn can_share(graph: &ProtectionGraph, right: Right, x: VertexId, y: VertexId) -> bool {
+    can_share_detail(graph, right, x, y).is_some()
+}
+
+/// Like [`can_share`] but returns the structural evidence.
+pub fn can_share_detail(
+    graph: &ProtectionGraph,
+    right: Right,
+    x: VertexId,
+    y: VertexId,
+) -> Option<ShareEvidence> {
+    if x == y {
+        // Protection graphs are loop-free; x can never hold rights to
+        // itself.
+        return None;
+    }
+    if graph.rights(x, y).explicit().contains(right) {
+        return Some(ShareEvidence {
+            right,
+            x,
+            y,
+            direct: true,
+            owner: x,
+            terminal: Spanner {
+                subject: x,
+                path: vec![x],
+                word: Vec::new(),
+            },
+            initial: Spanner {
+                subject: x,
+                path: vec![x],
+                word: Vec::new(),
+            },
+            chain: vec![x],
+            bridges: Vec::new(),
+            island_chain: Vec::new(),
+        });
+    }
+
+    // Condition (ii)(a): subjects initially spanning to x.
+    let initials = initial_spanners(graph, x);
+    if initials.is_empty() {
+        return None;
+    }
+
+    // Condition (i): owners of an α edge to y.
+    let owners: Vec<VertexId> = graph
+        .in_edges(y)
+        .filter(|(_, er)| er.explicit().contains(right))
+        .map(|(s, _)| s)
+        .collect();
+    if owners.is_empty() {
+        return None;
+    }
+
+    // Condition (ii)(b): subjects terminally spanning to some owner.
+    let mut terminals: Vec<(VertexId, Spanner)> = Vec::new();
+    for &owner in &owners {
+        for spanner in terminal_spanners(graph, owner) {
+            terminals.push((owner, spanner));
+        }
+    }
+    if terminals.is_empty() {
+        return None;
+    }
+
+    // Condition (iii): the subject chain joined by bridges. A single
+    // chained product-BFS (automaton resets at subjects) decides it in
+    // linear time: movement inside an island is a sequence of one-letter
+    // bridges, movement between islands a proper bridge, so island-chain
+    // reachability and subject-chain reachability coincide.
+    let chain = bridge_chain(graph, &initials, &terminals)?;
+    let islands = Islands::compute(graph);
+    let mut island_chain: Vec<usize> = Vec::new();
+    for &u in &chain.subjects {
+        let island = islands.island_of(u).expect("chain subjects are subjects");
+        if island_chain.last() != Some(&island) {
+            island_chain.push(island);
+        }
+    }
+    Some(ShareEvidence {
+        right,
+        x,
+        y,
+        direct: false,
+        owner: chain.owner,
+        terminal: chain.terminal,
+        initial: chain.initial,
+        chain: chain.subjects,
+        bridges: chain.bridges,
+        island_chain,
+    })
+}
+
+struct Chain {
+    owner: VertexId,
+    terminal: Spanner,
+    initial: Spanner,
+    subjects: Vec<VertexId>,
+    bridges: Vec<PathWitness>,
+}
+
+/// One chained product-BFS from the initial spanners toward any terminal
+/// spanner: the bridge automaton restarts at every subject, so the walk is
+/// a sequence of bridge-word hops between subjects — exactly the theorem's
+/// island chain (island-internal movement is a run of one-letter bridges).
+/// Linear in `|G| × |DFA states|`.
+fn bridge_chain(
+    graph: &ProtectionGraph,
+    initials: &[Spanner],
+    terminals: &[(VertexId, Spanner)],
+) -> Option<Chain> {
+    let initial_for = |u: VertexId| -> Spanner {
+        initials
+            .iter()
+            .find(|sp| sp.subject == u)
+            .expect("chain starts at an initial spanner")
+            .clone()
+    };
+    let goal_for = |u: VertexId| -> Option<(VertexId, Spanner)> {
+        terminals
+            .iter()
+            .find(|(_, sp)| sp.subject == u)
+            .map(|(owner, sp)| (*owner, sp.clone()))
+    };
+
+    // Chain of length one: some subject both initially spans to x and
+    // terminally spans to an owner.
+    for spanner in initials {
+        if let Some((owner, terminal)) = goal_for(spanner.subject) {
+            return Some(Chain {
+                owner,
+                terminal,
+                initial: spanner.clone(),
+                subjects: vec![spanner.subject],
+                bridges: Vec::new(),
+            });
+        }
+    }
+
+    let dfa = lang::bridge();
+    let search = PathSearch::new(graph, &dfa, SearchConfig::explicit_only());
+    let starts: Vec<VertexId> = initials.iter().map(|sp| sp.subject).collect();
+    let witness = search.find_chained(
+        &starts,
+        |v| graph.is_subject(v),
+        |v| graph.is_subject(v) && goal_for(v).is_some(),
+    )?;
+
+    let mut subjects = vec![witness.vertices[0]];
+    let mut bridges = Vec::new();
+    for (verts, word) in witness.segments() {
+        let to = *verts.last().expect("segments are nonempty");
+        bridges.push(PathWitness {
+            vertices: verts,
+            word,
+            resets: Vec::new(),
+        });
+        subjects.push(to);
+    }
+    let first = subjects[0];
+    let last = *subjects.last().expect("nonempty chain");
+    let (owner, terminal) = goal_for(last).expect("search goal");
+    Some(Chain {
+        owner,
+        terminal,
+        initial: initial_for(first),
+        subjects,
+        bridges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::Rights;
+
+    #[test]
+    fn direct_edge_shares_trivially() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let y = g.add_object("y");
+        g.add_edge(x, y, Rights::R).unwrap();
+        let ev = can_share_detail(&g, Right::Read, x, y).unwrap();
+        assert!(ev.direct);
+        assert!(!can_share(&g, Right::Write, x, y));
+    }
+
+    #[test]
+    fn no_rights_to_self() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        assert!(!can_share(&g, Right::Read, x, x));
+    }
+
+    #[test]
+    fn take_chain_shares() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let a = g.add_object("a");
+        let b = g.add_object("b");
+        let o = g.add_object("o");
+        g.add_edge(s, a, Rights::T).unwrap();
+        g.add_edge(a, b, Rights::T).unwrap();
+        g.add_edge(b, o, Rights::R).unwrap();
+        let ev = can_share_detail(&g, Right::Read, s, o).unwrap();
+        assert!(!ev.direct);
+        assert_eq!(ev.owner, b);
+        assert_eq!(ev.terminal.subject, s);
+        assert_eq!(ev.initial.subject, s);
+        assert_eq!(ev.island_chain.len(), 1);
+        assert!(ev.bridges.is_empty());
+    }
+
+    #[test]
+    fn grant_shares_to_object_target() {
+        // p --g--> x (object), p --r--> o: x can be granted r to o,
+        // with p as the initial spanner.
+        let mut g = ProtectionGraph::new();
+        let p = g.add_subject("p");
+        let x = g.add_object("x");
+        let o = g.add_object("o");
+        g.add_edge(p, x, Rights::G).unwrap();
+        g.add_edge(p, o, Rights::R).unwrap();
+        let ev = can_share_detail(&g, Right::Read, x, o).unwrap();
+        assert_eq!(ev.initial.subject, p);
+        assert_eq!(ev.terminal.subject, p);
+        assert!(can_share(&g, Right::Read, x, o));
+    }
+
+    #[test]
+    fn island_mates_share_everything() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        let o = g.add_object("o");
+        g.add_edge(b, a, Rights::T).unwrap(); // any tg edge, any direction
+        g.add_edge(a, o, Rights::RW).unwrap();
+        assert!(can_share(&g, Right::Read, b, o));
+        assert!(can_share(&g, Right::Write, b, o));
+        // And backwards: a gets nothing new, it already holds rw.
+        assert!(can_share(&g, Right::Read, a, o));
+    }
+
+    #[test]
+    fn bridge_carries_sharing_across_islands() {
+        // Island {a}, bridge a -t-> v <-t- b, island {b}; b holds r to o.
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let v = g.add_object("v");
+        let b = g.add_subject("b");
+        let o = g.add_object("o");
+        g.add_edge(a, v, Rights::T).unwrap();
+        g.add_edge(b, v, Rights::T).unwrap();
+        g.add_edge(b, o, Rights::R).unwrap();
+        // a -t-> v <-t- b is the word t> <t: NOT a bridge (no g pivot).
+        assert!(!can_share(&g, Right::Read, a, o));
+        // Make it a real bridge: a -t-> v, v -g-> w, b -t-> w gives
+        // t> g> <t from a to b.
+        let w = g.add_object("w");
+        g.add_edge(v, w, Rights::G).unwrap();
+        g.add_edge(b, w, Rights::T).unwrap();
+        let ev = can_share_detail(&g, Right::Read, a, o).unwrap();
+        assert_eq!(ev.island_chain.len(), 2);
+        assert_eq!(ev.bridges.len(), 1);
+        assert_eq!(ev.bridges[0].vertices.first(), Some(&a));
+        assert_eq!(ev.bridges[0].vertices.last(), Some(&b));
+    }
+
+    #[test]
+    fn pure_take_bridge_works_in_both_directions() {
+        // a -t-> m -t-> b : word t> t> is a bridge from a to b; the
+        // reverse word <t <t is a bridge from b to a.
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let m = g.add_object("m");
+        let b = g.add_subject("b");
+        let o = g.add_object("o");
+        let p = g.add_object("p");
+        g.add_edge(a, m, Rights::T).unwrap();
+        g.add_edge(m, b, Rights::T).unwrap();
+        g.add_edge(b, o, Rights::R).unwrap();
+        g.add_edge(a, p, Rights::R).unwrap();
+        assert!(can_share(&g, Right::Read, a, o));
+        assert!(can_share(&g, Right::Read, b, p));
+    }
+
+    #[test]
+    fn no_owner_means_no_sharing() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let o = g.add_object("o");
+        g.add_edge(s, o, Rights::T).unwrap();
+        assert!(!can_share(&g, Right::Read, s, o));
+    }
+
+    #[test]
+    fn no_initial_spanner_means_no_sharing() {
+        // o is an isolated object target; nothing spans to it.
+        let mut g = ProtectionGraph::new();
+        let o = g.add_object("o");
+        let s = g.add_subject("s");
+        let y = g.add_object("y");
+        g.add_edge(s, y, Rights::R).unwrap();
+        assert!(!can_share(&g, Right::Read, o, y));
+    }
+
+    #[test]
+    fn three_island_chain() {
+        // {a} -bridge- {b} -bridge- {c}, c holds w to o. The two bridges
+        // have different shapes (<t <t, then t> g> <t) so their
+        // concatenation is not itself a bridge word and the chain cannot
+        // collapse.
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        let c = g.add_subject("c");
+        let o = g.add_object("o");
+        let m1 = g.add_object("m1");
+        let v = g.add_object("v");
+        let w = g.add_object("w");
+        g.add_edge(b, m1, Rights::T).unwrap();
+        g.add_edge(m1, a, Rights::T).unwrap(); // <t <t bridge a -> b
+        g.add_edge(b, v, Rights::T).unwrap();
+        g.add_edge(v, w, Rights::G).unwrap();
+        g.add_edge(c, w, Rights::T).unwrap(); // t> g> <t bridge b -> c
+        g.add_edge(c, o, Rights::W).unwrap();
+        let ev = can_share_detail(&g, Right::Write, a, o).unwrap();
+        assert_eq!(ev.island_chain.len(), 3);
+        assert_eq!(ev.bridges.len(), 2);
+        assert_eq!(ev.terminal.subject, c);
+        assert_eq!(ev.initial.subject, a);
+    }
+
+    #[test]
+    fn shares_take_and_grant_rights_too() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let q = g.add_object("q");
+        let o = g.add_object("o");
+        g.add_edge(s, q, Rights::T).unwrap();
+        g.add_edge(q, o, Rights::TG).unwrap();
+        assert!(can_share(&g, Right::Take, s, o));
+        assert!(can_share(&g, Right::Grant, s, o));
+    }
+}

@@ -1,0 +1,374 @@
+//! De facto information flow: admissible rw-paths and `can_know_f`
+//! (Theorem 3.1).
+//!
+//! An admissible rw-path from `x` to `y` is exactly a path in the *flow
+//! graph* built here: `acquires[a]` lists the vertices `b` from which `a`
+//! can learn in one admissible step — `a` reads `b` (edge `a → b : r`, `a`
+//! a subject) or `b` writes `a` (edge `b → a : w`, `b` a subject). Both
+//! explicit and implicit labels count (the de facto rules compose over
+//! implicit edges).
+//!
+//! The only flows not captured by composition are the *terminal* edge
+//! cases of the `can_know_f` definition: an implicit `r` edge whose source
+//! is an object, and a direct `w` edge into `x` — these satisfy the
+//! predicate but cannot be extended by any rule.
+
+use std::collections::VecDeque;
+
+use tg_graph::algo::{condensation, Condensation};
+use tg_graph::{ProtectionGraph, Right, VertexId};
+
+/// How one admissible step moves information.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlowStep {
+    /// The earlier vertex reads the later one (`vi → vi+1 : r`, `vi`
+    /// subject) — letter `r>`.
+    Read,
+    /// The later vertex writes the earlier one (`vi+1 → vi : w`, `vi+1`
+    /// subject) — letter `<w`.
+    Write,
+}
+
+/// The one-step de facto flow structure of a protection graph.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{ProtectionGraph, Rights};
+/// use tg_analysis::FlowGraph;
+///
+/// // x reads m, z writes m: x can know z (the post rule's situation).
+/// let mut g = ProtectionGraph::new();
+/// let x = g.add_subject("x");
+/// let m = g.add_object("m");
+/// let z = g.add_subject("z");
+/// g.add_edge(x, m, Rights::R).unwrap();
+/// g.add_edge(z, m, Rights::W).unwrap();
+///
+/// let flow = FlowGraph::compute(&g);
+/// assert!(flow.can_know_f(x, z));
+/// assert!(!flow.can_know_f(z, x));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FlowGraph {
+    /// `acquires[a]` lists `(b, step)`: `a` learns from `b` in one step.
+    acquires: Vec<Vec<(VertexId, FlowStep)>>,
+}
+
+impl FlowGraph {
+    /// Builds the flow graph in one pass over the edges.
+    pub fn compute(graph: &ProtectionGraph) -> FlowGraph {
+        let n = graph.vertex_count();
+        let mut acquires: Vec<Vec<(VertexId, FlowStep)>> = vec![Vec::new(); n];
+        for edge in graph.edges() {
+            let rights = edge.rights.combined();
+            // a = edge.src reads b = edge.dst.
+            if rights.contains(Right::Read) && graph.is_subject(edge.src) {
+                acquires[edge.src.index()].push((edge.dst, FlowStep::Read));
+            }
+            // b = edge.src writes a = edge.dst.
+            if rights.contains(Right::Write) && graph.is_subject(edge.src) {
+                acquires[edge.dst.index()].push((edge.src, FlowStep::Write));
+            }
+        }
+        FlowGraph { acquires }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.acquires.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.acquires.is_empty()
+    }
+
+    /// The one-step sources `x` can learn from.
+    pub fn sources(&self, x: VertexId) -> &[(VertexId, FlowStep)] {
+        &self.acquires[x.index()]
+    }
+
+    /// All vertices whose information can reach `x` (reflexive).
+    pub fn knowable_from(&self, x: VertexId) -> Vec<VertexId> {
+        let mut seen = vec![false; self.len()];
+        seen[x.index()] = true;
+        let mut queue = VecDeque::from([x]);
+        let mut out = vec![x];
+        while let Some(v) = queue.pop_front() {
+            for &(b, _) in &self.acquires[v.index()] {
+                if !seen[b.index()] {
+                    seen[b.index()] = true;
+                    out.push(b);
+                    queue.push_back(b);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether information can flow from `y` to `x` via composable
+    /// admissible steps (reflexive). This is the path condition of
+    /// Theorem 3.1; [`can_know_f`] adds the non-composable terminal cases.
+    pub fn can_know_f(&self, x: VertexId, y: VertexId) -> bool {
+        if x == y {
+            return true;
+        }
+        self.path(x, y).is_some()
+    }
+
+    /// The admissible rw-path from `x` to `y` (as `(vertices, steps)`), if
+    /// any. `steps[i]` joins `vertices[i]` and `vertices[i+1]`.
+    pub fn path(&self, x: VertexId, y: VertexId) -> Option<(Vec<VertexId>, Vec<FlowStep>)> {
+        if x == y {
+            return Some((vec![x], Vec::new()));
+        }
+        let mut parent: Vec<Option<(VertexId, FlowStep)>> = vec![None; self.len()];
+        let mut seen = vec![false; self.len()];
+        seen[x.index()] = true;
+        let mut queue = VecDeque::from([x]);
+        while let Some(v) = queue.pop_front() {
+            for &(b, step) in &self.acquires[v.index()] {
+                if seen[b.index()] {
+                    continue;
+                }
+                seen[b.index()] = true;
+                parent[b.index()] = Some((v, step));
+                if b == y {
+                    let mut vertices = vec![y];
+                    let mut steps = Vec::new();
+                    let mut cursor = y;
+                    while let Some((p, s)) = parent[cursor.index()] {
+                        vertices.push(p);
+                        steps.push(s);
+                        cursor = p;
+                    }
+                    vertices.reverse();
+                    steps.reverse();
+                    return Some((vertices, steps));
+                }
+                queue.push_back(b);
+            }
+        }
+        None
+    }
+
+    /// The strongly connected components of mutual flow — the raw material
+    /// of rw-levels (§4). Vertices in one component pairwise satisfy
+    /// `can_know_f` in both directions.
+    pub fn mutual_components(&self) -> Condensation {
+        let adj: Vec<Vec<usize>> = self
+            .acquires
+            .iter()
+            .map(|list| list.iter().map(|(b, _)| b.index()).collect())
+            .collect();
+        condensation(&adj)
+    }
+}
+
+/// The full `can_know_f` predicate (Theorem 3.1 plus the definition's
+/// terminal cases): information can flow from `y` to `x` using de facto
+/// rules only.
+///
+/// # Panics
+///
+/// Panics if either id does not belong to `graph`.
+pub fn can_know_f(graph: &ProtectionGraph, x: VertexId, y: VertexId) -> bool {
+    if x == y {
+        return true;
+    }
+    if direct_terminal_case(graph, x, y) {
+        return true;
+    }
+    FlowGraph::compute(graph).can_know_f(x, y)
+}
+
+/// The admissible rw-path witnessing `can_know_f(x, y)`, if composable;
+/// `None` may still mean the predicate holds via a terminal edge case (use
+/// [`can_know_f`] for the decision).
+pub fn can_know_f_path(
+    graph: &ProtectionGraph,
+    x: VertexId,
+    y: VertexId,
+) -> Option<(Vec<VertexId>, Vec<FlowStep>)> {
+    FlowGraph::compute(graph).path(x, y)
+}
+
+/// The literal edge condition of the `can_know_f` definition: an `x → y`
+/// edge labelled `r`, or a `y → x` edge labelled `w`, where an *explicit*
+/// edge must additionally have a subject source. This is the postcondition
+/// every knowledge witness establishes on replay.
+pub fn know_edge_exists(graph: &ProtectionGraph, x: VertexId, y: VertexId) -> bool {
+    if x == y {
+        return true;
+    }
+    let fwd = graph.rights(x, y);
+    if fwd.implicit().contains(Right::Read)
+        || (fwd.explicit().contains(Right::Read) && graph.is_subject(x))
+    {
+        return true;
+    }
+    let back = graph.rights(y, x);
+    back.implicit().contains(Right::Write)
+        || (back.explicit().contains(Right::Write) && graph.is_subject(y))
+}
+
+/// The definition's direct cases that the flow graph cannot express:
+/// an implicit `x → y : r` whose source is an object, or a `y → x : w`
+/// edge whose (object) source makes it implicit-only. Explicit variants
+/// with subject sources are already flow-graph edges.
+fn direct_terminal_case(graph: &ProtectionGraph, x: VertexId, y: VertexId) -> bool {
+    let fwd = graph.rights(x, y);
+    if fwd.implicit().contains(Right::Read) {
+        return true;
+    }
+    let back = graph.rights(y, x);
+    if back.implicit().contains(Right::Write) {
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::Rights;
+
+    #[test]
+    fn read_edge_flows_backwards() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let o = g.add_object("o");
+        g.add_edge(a, o, Rights::R).unwrap();
+        assert!(can_know_f(&g, a, o));
+        assert!(!can_know_f(&g, o, a));
+    }
+
+    #[test]
+    fn write_edge_flows_forwards() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let o = g.add_object("o");
+        g.add_edge(a, o, Rights::W).unwrap();
+        // a writes o: o "effectively reads" a (the duality) — information
+        // flows from a to o, so can_know_f(o, a) holds.
+        assert!(can_know_f(&g, o, a));
+        assert!(!can_know_f(&g, a, o));
+    }
+
+    #[test]
+    fn object_readers_do_not_flow() {
+        let mut g = ProtectionGraph::new();
+        let o = g.add_object("o");
+        let p = g.add_object("p");
+        g.add_edge(o, p, Rights::R).unwrap();
+        assert!(!can_know_f(&g, o, p));
+    }
+
+    #[test]
+    fn post_situation_composes() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let m = g.add_object("m");
+        let z = g.add_subject("z");
+        g.add_edge(x, m, Rights::R).unwrap();
+        g.add_edge(z, m, Rights::W).unwrap();
+        assert!(can_know_f(&g, x, z));
+        let (vertices, steps) = can_know_f_path(&g, x, z).unwrap();
+        assert_eq!(vertices, vec![x, m, z]);
+        assert_eq!(steps, vec![FlowStep::Read, FlowStep::Write]);
+    }
+
+    #[test]
+    fn two_consecutive_objects_break_the_path() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let o1 = g.add_object("o1");
+        let o2 = g.add_object("o2");
+        g.add_edge(x, o1, Rights::R).unwrap();
+        g.add_edge(o1, o2, Rights::R).unwrap(); // object reader: dead
+        assert!(!can_know_f(&g, x, o2));
+    }
+
+    #[test]
+    fn implicit_read_edge_is_terminal_but_true() {
+        let mut g = ProtectionGraph::new();
+        let o = g.add_object("o");
+        let y = g.add_subject("y");
+        g.add_implicit_edge(o, y, Rights::R).unwrap();
+        assert!(can_know_f(&g, o, y));
+        // But it cannot be extended: a subject that reads o learns nothing
+        // about y through the implicit object-sourced edge.
+        let mut g2 = g.clone();
+        let s = g2.add_subject("s");
+        g2.add_edge(s, o, Rights::R).unwrap();
+        assert!(!can_know_f(&g2, s, y));
+    }
+
+    #[test]
+    fn implicit_edges_with_subject_source_compose() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let t = g.add_subject("t");
+        let o = g.add_object("o");
+        g.add_implicit_edge(t, o, Rights::R).unwrap();
+        g.add_edge(s, t, Rights::R).unwrap();
+        assert!(can_know_f(&g, s, o));
+    }
+
+    #[test]
+    fn reflexive_by_convention() {
+        let mut g = ProtectionGraph::new();
+        let o = g.add_object("o");
+        assert!(can_know_f(&g, o, o));
+    }
+
+    #[test]
+    fn knowable_from_collects_transitive_sources() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        let c = g.add_subject("c");
+        let d = g.add_subject("d");
+        g.add_edge(a, b, Rights::R).unwrap();
+        g.add_edge(b, c, Rights::R).unwrap();
+        g.add_edge(d, c, Rights::R).unwrap(); // d reads c: c's info is d's
+        let flow = FlowGraph::compute(&g);
+        assert_eq!(flow.knowable_from(a), vec![a, b, c]);
+        assert_eq!(flow.knowable_from(d), vec![c, d]);
+    }
+
+    #[test]
+    fn mutual_components_pair_bidirectional_flow() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        let c = g.add_subject("c");
+        g.add_edge(a, b, Rights::R).unwrap();
+        g.add_edge(b, a, Rights::R).unwrap();
+        g.add_edge(c, a, Rights::R).unwrap();
+        let comps = FlowGraph::compute(&g).mutual_components();
+        assert_eq!(comps.component_of[a.index()], comps.component_of[b.index()]);
+        assert_ne!(comps.component_of[a.index()], comps.component_of[c.index()]);
+    }
+
+    #[test]
+    fn long_mixed_chain() {
+        // x -r-> o <w- s -r-> p <w- y : information flows y -> x.
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let o = g.add_object("o");
+        let s = g.add_subject("s");
+        let p = g.add_object("p");
+        let y = g.add_subject("y");
+        g.add_edge(x, o, Rights::R).unwrap();
+        g.add_edge(s, o, Rights::W).unwrap();
+        g.add_edge(s, p, Rights::R).unwrap();
+        g.add_edge(y, p, Rights::W).unwrap();
+        assert!(can_know_f(&g, x, y));
+        assert!(!can_know_f(&g, y, x));
+        let (vertices, _) = can_know_f_path(&g, x, y).unwrap();
+        assert_eq!(vertices, vec![x, o, s, p, y]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Islands: maximal tg-connected subject-only subgraphs (paper §2).
+//!
+//! "Any right that one vertex in an island has can be obtained by any other
+//! vertex in that island" — islands are the unit of free authority sharing,
+//! computed here with a union–find over the subject–subject `t`/`g` edges.
+
+use std::collections::VecDeque;
+
+use tg_graph::algo::UnionFind;
+use tg_graph::{ProtectionGraph, Rights, VertexId};
+
+/// The island decomposition of a protection graph.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{ProtectionGraph, Rights};
+/// use tg_analysis::Islands;
+///
+/// let mut g = ProtectionGraph::new();
+/// let p = g.add_subject("p");
+/// let u = g.add_subject("u");
+/// let o = g.add_object("o");
+/// let q = g.add_subject("q");
+/// g.add_edge(p, u, Rights::T).unwrap(); // subject-subject tg edge
+/// g.add_edge(u, o, Rights::T).unwrap(); // object: not part of any island
+/// g.add_edge(o, q, Rights::T).unwrap();
+///
+/// let islands = Islands::compute(&g);
+/// assert!(islands.same_island(p, u));
+/// assert!(!islands.same_island(u, q)); // the object breaks the island
+/// assert_eq!(islands.island_of(o), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Islands {
+    /// `membership[v]` is the island index of vertex `v`, if it is a
+    /// subject.
+    membership: Vec<Option<usize>>,
+    /// Members of each island, sorted.
+    islands: Vec<Vec<VertexId>>,
+}
+
+impl Islands {
+    /// Computes the islands of `graph`. Runs in near-linear time
+    /// (union–find over the subject–subject `t`/`g` edges).
+    pub fn compute(graph: &ProtectionGraph) -> Islands {
+        let n = graph.vertex_count();
+        let mut uf = UnionFind::new(n);
+        for edge in graph.edges() {
+            if edge.rights.explicit.intersects(Rights::TG)
+                && graph.is_subject(edge.src)
+                && graph.is_subject(edge.dst)
+            {
+                uf.union(edge.src.index(), edge.dst.index());
+            }
+        }
+        let mut membership: Vec<Option<usize>> = vec![None; n];
+        let mut islands: Vec<Vec<VertexId>> = Vec::new();
+        for group in uf.sets() {
+            let subjects: Vec<VertexId> = group
+                .into_iter()
+                .map(VertexId::from_index)
+                .filter(|&v| graph.is_subject(v))
+                .collect();
+            // Union-find groups containing only an object are not islands.
+            if subjects.is_empty() {
+                continue;
+            }
+            let idx = islands.len();
+            for &v in &subjects {
+                membership[v.index()] = Some(idx);
+            }
+            islands.push(subjects);
+        }
+        Islands {
+            membership,
+            islands,
+        }
+    }
+
+    /// Number of islands.
+    pub fn len(&self) -> usize {
+        self.islands.len()
+    }
+
+    /// Whether the graph has no subjects at all.
+    pub fn is_empty(&self) -> bool {
+        self.islands.is_empty()
+    }
+
+    /// The island index of `v`, or `None` for objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the graph the islands were computed
+    /// from.
+    pub fn island_of(&self, v: VertexId) -> Option<usize> {
+        self.membership[v.index()]
+    }
+
+    /// The members of island `idx`, sorted by id.
+    pub fn members(&self, idx: usize) -> &[VertexId] {
+        &self.islands[idx]
+    }
+
+    /// Iterates over all islands.
+    pub fn iter(&self) -> impl Iterator<Item = &[VertexId]> {
+        self.islands.iter().map(Vec::as_slice)
+    }
+
+    /// Whether two vertices are subjects of the same island.
+    pub fn same_island(&self, a: VertexId, b: VertexId) -> bool {
+        match (self.island_of(a), self.island_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+}
+
+/// A tg-path between two subjects of one island: every vertex on it is a
+/// subject and every edge carries `t` or `g` (either direction). Returns
+/// the vertex sequence `a … b`, or `None` if the two are not island-mates.
+/// Used by witness synthesis to move rights stepwise through an island.
+pub fn island_path(
+    graph: &ProtectionGraph,
+    a: VertexId,
+    b: VertexId,
+) -> Option<Vec<VertexId>> {
+    if !graph.is_subject(a) || !graph.is_subject(b) {
+        return None;
+    }
+    if a == b {
+        return Some(vec![a]);
+    }
+    let n = graph.vertex_count();
+    let mut parent: Vec<Option<VertexId>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[a.index()] = true;
+    let mut queue = VecDeque::from([a]);
+    while let Some(v) = queue.pop_front() {
+        let neighbors = graph
+            .out_edges(v)
+            .filter(|(_, er)| er.explicit.intersects(Rights::TG))
+            .map(|(u, _)| u)
+            .chain(
+                graph
+                    .in_edges(v)
+                    .filter(|(_, er)| er.explicit.intersects(Rights::TG))
+                    .map(|(u, _)| u),
+            );
+        for u in neighbors {
+            if !graph.is_subject(u) || seen[u.index()] {
+                continue;
+            }
+            seen[u.index()] = true;
+            parent[u.index()] = Some(v);
+            if u == b {
+                let mut path = vec![b];
+                let mut cursor = b;
+                while let Some(p) = parent[cursor.index()] {
+                    path.push(p);
+                    cursor = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(u);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_2_2_islands() {
+        // Figure 2.2 of the paper: islands {p,u}, {w}, {y,s'}.
+        let mut g = ProtectionGraph::new();
+        let p = g.add_subject("p");
+        let u = g.add_subject("u");
+        let v = g.add_object("v");
+        let w = g.add_subject("w");
+        let x = g.add_object("x");
+        let y = g.add_subject("y");
+        let s_prime = g.add_subject("s'");
+        let s = g.add_object("s");
+        let q = g.add_object("q");
+        // p --g--> u (island {p,u}); u -t-> v <-t- w (bridge);
+        // w -t-> x -t-> y (bridge); y --g--> s' (island {y,s'});
+        // s' -t-> s; p -g-> q is the initial span example.
+        g.add_edge(p, u, Rights::G).unwrap();
+        g.add_edge(u, v, Rights::T).unwrap();
+        g.add_edge(w, v, Rights::T).unwrap();
+        g.add_edge(w, x, Rights::T).unwrap();
+        g.add_edge(x, y, Rights::T).unwrap();
+        g.add_edge(y, s_prime, Rights::G).unwrap();
+        g.add_edge(s_prime, s, Rights::T).unwrap();
+        g.add_edge(p, q, Rights::G).unwrap();
+
+        let islands = Islands::compute(&g);
+        assert_eq!(islands.len(), 3);
+        assert!(islands.same_island(p, u));
+        assert!(islands.same_island(y, s_prime));
+        assert!(!islands.same_island(u, w));
+        assert!(!islands.same_island(w, y));
+        assert_eq!(islands.island_of(v), None);
+        assert_eq!(islands.island_of(s), None);
+        let w_island = islands.island_of(w).unwrap();
+        assert_eq!(islands.members(w_island), &[w]);
+    }
+
+    #[test]
+    fn objects_never_join_islands() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let o = g.add_object("o");
+        g.add_edge(s, o, Rights::TG).unwrap();
+        let islands = Islands::compute(&g);
+        assert_eq!(islands.len(), 1);
+        assert_eq!(islands.island_of(o), None);
+        assert_eq!(islands.members(0), &[s]);
+    }
+
+    #[test]
+    fn non_tg_edges_do_not_connect() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        g.add_edge(a, b, Rights::RW).unwrap();
+        let islands = Islands::compute(&g);
+        assert!(!islands.same_island(a, b));
+        assert_eq!(islands.len(), 2);
+    }
+
+    #[test]
+    fn implicit_tg_edges_do_not_connect() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        g.add_implicit_edge(a, b, Rights::T).unwrap();
+        assert!(!Islands::compute(&g).same_island(a, b));
+    }
+
+    #[test]
+    fn edge_direction_is_irrelevant() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        let c = g.add_subject("c");
+        g.add_edge(b, a, Rights::T).unwrap();
+        g.add_edge(b, c, Rights::G).unwrap();
+        let islands = Islands::compute(&g);
+        assert!(islands.same_island(a, c));
+        assert_eq!(islands.len(), 1);
+    }
+
+    #[test]
+    fn island_path_walks_subjects_only() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        let c = g.add_subject("c");
+        let o = g.add_object("o");
+        g.add_edge(a, b, Rights::T).unwrap();
+        g.add_edge(c, b, Rights::G).unwrap();
+        g.add_edge(a, o, Rights::T).unwrap();
+        g.add_edge(o, c, Rights::T).unwrap();
+        let path = island_path(&g, a, c).unwrap();
+        assert_eq!(path, vec![a, b, c]);
+        assert_eq!(island_path(&g, a, a), Some(vec![a]));
+        assert_eq!(island_path(&g, a, o), None);
+    }
+
+    #[test]
+    fn island_path_fails_across_islands() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        g.add_edge(a, b, Rights::R).unwrap();
+        assert_eq!(island_path(&g, a, b), None);
+    }
+
+    #[test]
+    fn empty_graph_has_no_islands() {
+        let g = ProtectionGraph::new();
+        let islands = Islands::compute(&g);
+        assert!(islands.is_empty());
+        assert_eq!(islands.iter().count(), 0);
+    }
+}

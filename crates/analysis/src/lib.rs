@@ -1,0 +1,62 @@
+//! Decision procedures for the Take-Grant Protection Model.
+//!
+//! This crate implements the three predicates the paper builds on, each
+//! with its exact structural characterization, plus *constructive witness
+//! synthesis* — given a true predicate, it produces a concrete
+//! [`Derivation`](tg_rules::Derivation) of rule applications proving it:
+//!
+//! * [`can_share`] — Theorem 2.3 (Jones–Lipton–Snyder): can `x` acquire an
+//!   explicit `α` right to `y`? Decided via islands, bridges and spans.
+//! * [`can_know_f`] — Theorem 3.1 (Bishop–Snyder): can information flow
+//!   from `y` to `x` using de facto rules only? Decided via admissible
+//!   rw-paths (the [`FlowGraph`]).
+//! * [`can_know`] — Theorem 3.2: the same with de jure and de facto rules
+//!   combined. Decided via subject chains linked by bridges and
+//!   connections.
+//!
+//! The [`reference`](mod@reference) module contains deliberately naive brute-force engines
+//! (rule-closure searches) against which the structural procedures are
+//! property-tested.
+//!
+//! # Examples
+//!
+//! ```
+//! use tg_graph::{ProtectionGraph, Right, Rights};
+//! use tg_analysis::{can_share, synthesis};
+//!
+//! // s --t--> q --r--> o : s can take (r to o).
+//! let mut g = ProtectionGraph::new();
+//! let s = g.add_subject("s");
+//! let q = g.add_object("q");
+//! let o = g.add_object("o");
+//! g.add_edge(s, q, Rights::T).unwrap();
+//! g.add_edge(q, o, Rights::R).unwrap();
+//!
+//! assert!(can_share(&g, Right::Read, s, o));
+//! // And the witness replays to an actual r edge:
+//! let d = synthesis::share_witness(&g, Right::Read, s, o).unwrap();
+//! let done = d.replayed(&g).unwrap();
+//! assert!(done.has_explicit(s, o, Right::Read));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod canknow;
+mod canshare;
+mod flow;
+mod islands;
+pub mod reference;
+mod spans;
+pub mod synthesis;
+mod theft;
+
+pub use canknow::{can_know, can_know_detail, KnowEvidence, Link, LinkKind};
+pub use canshare::{can_share, can_share_detail, ShareEvidence};
+pub use flow::{can_know_f, can_know_f_path, know_edge_exists, FlowGraph, FlowStep};
+pub use islands::{island_path, Islands};
+pub use theft::{access_set, can_steal, min_conspirators, ConspiracyGraph};
+pub use spans::{
+    initial_spanners, rw_initial_spanners, rw_terminal_spanners, terminal_spanners, SpanKind,
+    Spanner,
+};

@@ -1,0 +1,508 @@
+//! Brute-force reference engines.
+//!
+//! These deliberately naive procedures compute the predicates by exhaustive
+//! rule application — de facto closure to a fixpoint, and bounded
+//! state-space search over de jure rule applications. They are exponential
+//! and intended **only** for property-testing the linear-time structural
+//! procedures on small graphs.
+//!
+//! The engines apply rules through `tg-rules` (the same checked rule
+//! implementations the witnesses replay through), but share no code with
+//! the structural decision procedures under test — those never apply a
+//! rule at all.
+
+use std::collections::{HashSet, VecDeque};
+
+use tg_graph::{ProtectionGraph, Right, Rights, VertexId, VertexKind};
+use tg_rules::{apply, DeFactoRule, DeJureRule, Rule};
+
+/// A subset of the four de facto rules — the paper notes its rule set "are
+/// merely one possible set" (§6); the ablation tests drop rules one at a
+/// time and watch which flows disappear.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DeFactoSet {
+    /// Enable the post rule.
+    pub post: bool,
+    /// Enable the pass rule.
+    pub pass: bool,
+    /// Enable the spy rule.
+    pub spy: bool,
+    /// Enable the find rule.
+    pub find: bool,
+}
+
+impl DeFactoSet {
+    /// All four rules (the Bishop–Snyder set).
+    pub const ALL: DeFactoSet = DeFactoSet {
+        post: true,
+        pass: true,
+        spy: true,
+        find: true,
+    };
+
+    /// The set with one rule removed.
+    pub fn without(self, rule: &str) -> DeFactoSet {
+        let mut s = self;
+        match rule {
+            "post" => s.post = false,
+            "pass" => s.pass = false,
+            "spy" => s.spy = false,
+            "find" => s.find = false,
+            other => panic!("unknown de facto rule {other:?}"),
+        }
+        s
+    }
+}
+
+/// Applies the four de facto rules to a fixpoint, returning the graph with
+/// every derivable implicit edge added. O(V³) per pass.
+pub fn de_facto_closure(graph: &ProtectionGraph) -> ProtectionGraph {
+    de_facto_closure_with(graph, DeFactoSet::ALL)
+}
+
+/// [`de_facto_closure`] restricted to an enabled rule subset.
+pub fn de_facto_closure_with(graph: &ProtectionGraph, set: DeFactoSet) -> ProtectionGraph {
+    let mut g = graph.clone();
+    loop {
+        let mut changed = false;
+        let ids: Vec<VertexId> = g.vertex_ids().collect();
+        for &x in &ids {
+            for &y in &ids {
+                for &z in &ids {
+                    if x == y || y == z || x == z {
+                        continue;
+                    }
+                    let mut rules: Vec<DeFactoRule> = Vec::with_capacity(4);
+                    if set.post {
+                        rules.push(DeFactoRule::Post { x, y, z });
+                    }
+                    if set.pass {
+                        rules.push(DeFactoRule::Pass { x, y, z });
+                    }
+                    if set.spy {
+                        rules.push(DeFactoRule::Spy { x, y, z });
+                    }
+                    if set.find {
+                        rules.push(DeFactoRule::Find { x, y, z });
+                    }
+                    for rule in rules {
+                        let had = g.rights(x, z).implicit().contains(Right::Read);
+                        if !had && apply(&mut g, &Rule::DeFacto(rule)).is_ok() {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            return g;
+        }
+    }
+}
+
+/// The `can_know_f` definition checked literally on the de facto closure:
+/// an `x → y` edge labelled `r` (subject source if explicit), or a `y → x`
+/// edge labelled `w` (subject source if explicit).
+pub fn can_know_f_bruteforce(graph: &ProtectionGraph, x: VertexId, y: VertexId) -> bool {
+    if x == y {
+        return true;
+    }
+    let closed = de_facto_closure(graph);
+    definitional_know_edge(&closed, x, y)
+}
+
+fn definitional_know_edge(g: &ProtectionGraph, x: VertexId, y: VertexId) -> bool {
+    let fwd = g.rights(x, y);
+    if fwd.implicit().contains(Right::Read) {
+        return true;
+    }
+    if fwd.explicit().contains(Right::Read) && g.is_subject(x) {
+        return true;
+    }
+    let back = g.rights(y, x);
+    if back.implicit().contains(Right::Write) {
+        return true;
+    }
+    if back.explicit().contains(Right::Write) && g.is_subject(y) {
+        return true;
+    }
+    false
+}
+
+/// Options bounding the de jure state-space search.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchBounds {
+    /// Maximum number of `create` applications along any path.
+    pub max_creates: usize,
+    /// Hard cap on distinct states explored.
+    pub max_states: usize,
+}
+
+impl Default for SearchBounds {
+    fn default() -> SearchBounds {
+        SearchBounds {
+            max_creates: 2,
+            max_states: 300_000,
+        }
+    }
+}
+
+/// Canonical key of a state: vertex kinds plus the sorted explicit edges.
+fn state_key(g: &ProtectionGraph) -> Vec<u8> {
+    let mut key = Vec::with_capacity(g.vertex_count() + g.edge_count() * 5);
+    for (_, v) in g.vertices() {
+        key.push(if v.kind.is_subject() { 1 } else { 0 });
+    }
+    key.push(0xFF);
+    for e in g.edges() {
+        if e.rights.explicit.is_empty() {
+            continue;
+        }
+        key.extend_from_slice(&(e.src.index() as u16).to_le_bytes());
+        key.extend_from_slice(&(e.dst.index() as u16).to_le_bytes());
+        key.extend_from_slice(&e.rights.explicit.bits().to_le_bytes());
+    }
+    key
+}
+
+/// The de jure rule applications available in `g`, restricted to singleton
+/// right moves over `useful` rights plus (budget permitting) buffer-object
+/// creation with the full useful set. Singleton moves lose no reachability
+/// (multi-right transfers decompose), and richer creates only help
+/// (preconditions are monotone in the edge labels), so creating with the
+/// full useful set is complete.
+fn moves(g: &ProtectionGraph, useful: Rights, creates_left: usize) -> Vec<Rule> {
+    let mut out = Vec::new();
+    let ids: Vec<VertexId> = g.vertex_ids().collect();
+    for &x in &ids {
+        if !g.is_subject(x) {
+            continue;
+        }
+        for (y, er_xy) in g.out_edges(x) {
+            if er_xy.explicit().contains(Right::Take) {
+                for (z, er_yz) in g.out_edges(y) {
+                    if z == x {
+                        continue;
+                    }
+                    for right in er_yz.explicit() & useful {
+                        out.push(Rule::DeJure(DeJureRule::Take {
+                            actor: x,
+                            via: y,
+                            target: z,
+                            rights: Rights::singleton(right),
+                        }));
+                    }
+                }
+            }
+            if er_xy.explicit().contains(Right::Grant) {
+                for (z, er_xz) in g.out_edges(x) {
+                    if z == y {
+                        continue;
+                    }
+                    for right in er_xz.explicit() & useful {
+                        out.push(Rule::DeJure(DeJureRule::Grant {
+                            actor: x,
+                            via: y,
+                            target: z,
+                            rights: Rights::singleton(right),
+                        }));
+                    }
+                }
+            }
+        }
+        if creates_left > 0 {
+            out.push(Rule::DeJure(DeJureRule::Create {
+                actor: x,
+                kind: VertexKind::Object,
+                rights: useful,
+                name: "buf".to_string(),
+            }));
+        }
+    }
+    out
+}
+
+/// Exhaustive bounded search for `can_share(right, x, y)`: BFS over graphs
+/// reachable by de jure rules. Returns `false` when `bounds.max_states`
+/// is exhausted without finding the goal — the engine under-approximates,
+/// which keeps the property tests' "brute ⟹ decision" direction sound.
+pub fn can_share_bruteforce(
+    graph: &ProtectionGraph,
+    right: Right,
+    x: VertexId,
+    y: VertexId,
+    bounds: SearchBounds,
+) -> bool {
+    de_jure_search(
+        graph,
+        bounds,
+        |g| g.rights(x, y).explicit().contains(right),
+        right,
+        |_| true,
+    )
+}
+
+/// Exhaustive bounded search for `can_steal(right, x, y)`: the de jure
+/// search with the theft restriction — no vertex holding `right` to `y`
+/// in the *original* graph may grant `(right to y)`. Under-approximates
+/// at the state cap like [`can_share_bruteforce`].
+pub fn can_steal_bruteforce(
+    graph: &ProtectionGraph,
+    right: Right,
+    x: VertexId,
+    y: VertexId,
+    bounds: SearchBounds,
+) -> bool {
+    if graph.rights(x, y).explicit().contains(right) {
+        // Already owning is not stealing.
+        return false;
+    }
+    let owners: Vec<VertexId> = graph
+        .in_edges(y)
+        .filter(|(_, er)| er.explicit().contains(right))
+        .map(|(s, _)| s)
+        .collect();
+    de_jure_search(
+        graph,
+        bounds,
+        |g| g.rights(x, y).explicit().contains(right),
+        right,
+        |rule| match rule {
+            Rule::DeJure(DeJureRule::Grant {
+                actor,
+                target,
+                rights,
+                ..
+            }) => !(*target == y && rights.contains(right) && owners.contains(actor)),
+            _ => true,
+        },
+    )
+}
+
+/// Exhaustive minimum-conspirator count for `can_share(right, x, y)`:
+/// retries the bounded search with every subject subset of increasing
+/// size, restricting rule actors to the subset. Exponential in the number
+/// of subjects — test graphs only.
+pub fn min_conspirators_bruteforce(
+    graph: &ProtectionGraph,
+    right: Right,
+    x: VertexId,
+    y: VertexId,
+    bounds: SearchBounds,
+) -> Option<usize> {
+    let subjects: Vec<VertexId> = graph.subjects().collect();
+    assert!(subjects.len() <= 10, "exponential search; keep graphs small");
+    let goal = |g: &ProtectionGraph| g.rights(x, y).explicit().contains(right);
+    for k in 0..=subjects.len() {
+        // All subsets of size k.
+        let masks = (0u32..(1 << subjects.len())).filter(|m| m.count_ones() as usize == k);
+        for mask in masks {
+            let subset: Vec<VertexId> = subjects
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &s)| s)
+                .collect();
+            let found = de_jure_search(graph, bounds, goal, right, |rule| {
+                let Rule::DeJure(dj) = rule else { return false };
+                let actor = match dj {
+                    DeJureRule::Take { actor, .. }
+                    | DeJureRule::Grant { actor, .. }
+                    | DeJureRule::Create { actor, .. }
+                    | DeJureRule::Remove { actor, .. } => *actor,
+                };
+                // Created subjects extend the conspiracy; forbid acting
+                // through them so the count stays over original subjects.
+                subset.contains(&actor)
+            });
+            if found {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Exhaustive bounded search for `can_know(x, y)`: BFS over de jure
+/// reachable graphs, checking de facto flow in each. Under-approximates
+/// when `bounds.max_states` is exhausted (see [`can_share_bruteforce`]).
+///
+/// Layered validation: the per-state flow check uses the fast
+/// [`can_know_f`](crate::can_know_f) decision, which is itself validated
+/// *exactly* against [`de_facto_closure`] by a separate property test —
+/// running the O(V³) closure at every search state is prohibitively slow.
+pub fn can_know_bruteforce(
+    graph: &ProtectionGraph,
+    x: VertexId,
+    y: VertexId,
+    bounds: SearchBounds,
+) -> bool {
+    if x == y {
+        return true;
+    }
+    de_jure_search(
+        graph,
+        bounds,
+        |g| crate::flow::can_know_f(g, x, y),
+        Right::Read,
+        |_| true,
+    )
+}
+
+fn de_jure_search(
+    graph: &ProtectionGraph,
+    bounds: SearchBounds,
+    goal: impl Fn(&ProtectionGraph) -> bool,
+    extra_right: Right,
+    allowed: impl Fn(&Rule) -> bool,
+) -> bool {
+    // Rights worth moving: everything already labelling an edge, plus t, g
+    // and the goal right. De facto rules never enable de jure rules, so
+    // implicit labels are irrelevant here.
+    let mut useful = Rights::TG | Rights::singleton(extra_right);
+    for e in graph.edges() {
+        useful |= e.rights.explicit;
+    }
+    // Also r/w matter for can_know goals.
+    useful |= Rights::RW;
+
+    let mut start = graph.clone();
+    start.clear_implicit();
+    if goal(&start) {
+        return true;
+    }
+    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    seen.insert(state_key(&start));
+    let mut queue: VecDeque<(ProtectionGraph, usize)> = VecDeque::new();
+    queue.push_back((start, bounds.max_creates));
+
+    while let Some((g, creates_left)) = queue.pop_front() {
+        for rule in moves(&g, useful, creates_left) {
+            if !allowed(&rule) {
+                continue;
+            }
+            let mut next = g.clone();
+            if apply(&mut next, &rule).is_err() {
+                continue;
+            }
+            let key = state_key(&next);
+            if !seen.insert(key) {
+                continue;
+            }
+            if goal(&next) {
+                return true;
+            }
+            if seen.len() > bounds.max_states {
+                // Budget exhausted: give up (under-approximate).
+                return false;
+            }
+            let next_creates = if matches!(rule, Rule::DeJure(DeJureRule::Create { .. })) {
+                creates_left - 1
+            } else {
+                creates_left
+            };
+            queue.push_back((next, next_creates));
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_finds_post_pass_spy_find() {
+        // x -r-> o <-w- z : post gives x => z.
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let o = g.add_object("o");
+        let z = g.add_subject("z");
+        g.add_edge(x, o, Rights::R).unwrap();
+        g.add_edge(z, o, Rights::W).unwrap();
+        let closed = de_facto_closure(&g);
+        assert!(closed.rights(x, z).implicit().contains(Right::Read));
+        assert!(!closed.rights(z, x).implicit().contains(Right::Read));
+    }
+
+    #[test]
+    fn closure_reaches_fixpoint_on_chains() {
+        // s1 -r-> s2 -r-> s3 -r-> o : spy twice.
+        let mut g = ProtectionGraph::new();
+        let s1 = g.add_subject("s1");
+        let s2 = g.add_subject("s2");
+        let s3 = g.add_subject("s3");
+        let o = g.add_object("o");
+        g.add_edge(s1, s2, Rights::R).unwrap();
+        g.add_edge(s2, s3, Rights::R).unwrap();
+        g.add_edge(s3, o, Rights::R).unwrap();
+        let closed = de_facto_closure(&g);
+        assert!(closed.rights(s1, o).implicit().contains(Right::Read));
+        assert!(can_know_f_bruteforce(&g, s1, o));
+        assert!(!can_know_f_bruteforce(&g, o, s1));
+    }
+
+    #[test]
+    fn bruteforce_take_needs_one_step() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let q = g.add_object("q");
+        let o = g.add_object("o");
+        g.add_edge(s, q, Rights::T).unwrap();
+        g.add_edge(q, o, Rights::R).unwrap();
+        assert!(can_share_bruteforce(
+            &g,
+            Right::Read,
+            s,
+            o,
+            SearchBounds::default()
+        ));
+        assert!(!can_share_bruteforce(
+            &g,
+            Right::Write,
+            s,
+            o,
+            SearchBounds::default()
+        ));
+    }
+
+    #[test]
+    fn bruteforce_lemma_2_1_needs_creates() {
+        // x -t-> y (subjects), x -r-> z: y can obtain r to z only through
+        // the Lemma 2.1 construction, which creates a buffer.
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let y = g.add_subject("y");
+        let z = g.add_object("z");
+        g.add_edge(x, y, Rights::T).unwrap();
+        g.add_edge(x, z, Rights::R).unwrap();
+        let no_creates = SearchBounds {
+            max_creates: 0,
+            ..SearchBounds::default()
+        };
+        assert!(!can_share_bruteforce(&g, Right::Read, y, z, no_creates));
+        assert!(can_share_bruteforce(
+            &g,
+            Right::Read,
+            y,
+            z,
+            SearchBounds {
+                max_creates: 1,
+                ..SearchBounds::default()
+            }
+        ));
+    }
+
+    #[test]
+    fn bruteforce_can_know_uses_de_jure_then_de_facto() {
+        // Figure 6.1 shape: x -t-> s -r-> y.
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let s = g.add_object("s");
+        let y = g.add_object("y");
+        g.add_edge(x, s, Rights::T).unwrap();
+        g.add_edge(s, y, Rights::R).unwrap();
+        assert!(!can_know_f_bruteforce(&g, x, y));
+        assert!(can_know_bruteforce(&g, x, y, SearchBounds::default()));
+    }
+}

@@ -1,0 +1,241 @@
+//! Spans: the tg-paths along which subjects transmit or acquire authority.
+//!
+//! * `x'` **initially spans** to `x`: word ∈ `t>* g>` ∪ {ν} — `x'` can
+//!   *transmit* authority to `x` (grant at the end of a take-chain).
+//! * `s'` **terminally spans** to `s`: word ∈ `t>*` — `s'` can *acquire*
+//!   authority from `s` (take along the chain).
+//! * The rw-variants end in `w>` / `r>` and transmit/acquire *information*.
+//!
+//! All four are computed by a single reverse product-BFS from the target
+//! vertex using the reversed language, so finding every spanner costs one
+//! linear pass.
+
+use tg_graph::{ProtectionGraph, Right, VertexId};
+use tg_paths::{reverse_word, Dfa, Expr, Letter, PathSearch, SearchConfig};
+
+/// Which span relation to compute.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpanKind {
+    /// `t>* g>` ∪ {ν} — transmit authority.
+    Initial,
+    /// `t>*` — acquire authority.
+    Terminal,
+    /// `t>* w>` — transmit information.
+    RwInitial,
+    /// `t>* r>` — acquire information.
+    RwTerminal,
+}
+
+impl SpanKind {
+    /// The *reversed* language: a path from the target `x` back to a
+    /// spanner `u` carries the reverse of the span word.
+    fn reversed_dfa(self) -> Dfa {
+        let t_rev = Expr::letter(Letter::rev(Right::Take));
+        match self {
+            // reverse of t>* g>  =  <g <t* ; ν stays ν.
+            SpanKind::Initial => Expr::opt(Expr::concat([
+                Expr::letter(Letter::rev(Right::Grant)),
+                Expr::star(t_rev),
+            ]))
+            .compile(),
+            // reverse of t>*  =  <t*.
+            SpanKind::Terminal => Expr::star(t_rev).compile(),
+            // reverse of t>* w>  =  <w <t*.
+            SpanKind::RwInitial => Expr::concat([
+                Expr::letter(Letter::rev(Right::Write)),
+                Expr::star(t_rev),
+            ])
+            .compile(),
+            // reverse of t>* r>  =  <r <t*.
+            SpanKind::RwTerminal => Expr::concat([
+                Expr::letter(Letter::rev(Right::Read)),
+                Expr::star(t_rev),
+            ])
+            .compile(),
+        }
+    }
+}
+
+/// A subject that spans to the queried vertex, together with the witnessing
+/// path (read from the spanner to the target, word in the span language).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanner {
+    /// The spanning subject.
+    pub subject: VertexId,
+    /// The path `subject … target` (a single vertex when the span word is ν).
+    pub path: Vec<VertexId>,
+    /// The span word (empty for ν).
+    pub word: tg_paths::Word,
+}
+
+fn spanners(graph: &ProtectionGraph, target: VertexId, kind: SpanKind) -> Vec<Spanner> {
+    let dfa = kind.reversed_dfa();
+    // Spans are de jure notions: explicit edges only.
+    let search = PathSearch::new(graph, &dfa, SearchConfig::explicit_only());
+    let mut out = Vec::new();
+    for subject in search.accepting_reachable(&[target]) {
+        if !graph.is_subject(subject) {
+            continue;
+        }
+        // Recover one witnessing path per spanner.
+        let witness = search
+            .find(&[target], |v| v == subject)
+            .expect("reachable vertex has a path");
+        let mut path = witness.vertices;
+        path.reverse();
+        let word = reverse_word(&witness.word);
+        out.push(Spanner {
+            subject,
+            path,
+            word,
+        });
+    }
+    out
+}
+
+/// All subjects `x'` that initially span to `x` (including `x` itself when
+/// `x` is a subject, via the null word ν).
+pub fn initial_spanners(graph: &ProtectionGraph, x: VertexId) -> Vec<Spanner> {
+    spanners(graph, x, SpanKind::Initial)
+}
+
+/// All subjects `s'` that terminally span to `s` (including `s` itself when
+/// `s` is a subject).
+pub fn terminal_spanners(graph: &ProtectionGraph, s: VertexId) -> Vec<Spanner> {
+    spanners(graph, s, SpanKind::Terminal)
+}
+
+/// All subjects that rw-initially span to `x` (word `t>* w>`; never
+/// includes `x` itself).
+pub fn rw_initial_spanners(graph: &ProtectionGraph, x: VertexId) -> Vec<Spanner> {
+    spanners(graph, x, SpanKind::RwInitial)
+}
+
+/// All subjects that rw-terminally span to `y` (word `t>* r>`).
+pub fn rw_terminal_spanners(graph: &ProtectionGraph, y: VertexId) -> Vec<Spanner> {
+    spanners(graph, y, SpanKind::RwTerminal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::Rights;
+    use tg_paths::format_word;
+
+    fn ids(spanners: &[Spanner]) -> Vec<VertexId> {
+        let mut v: Vec<VertexId> = spanners.iter().map(|s| s.subject).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn figure_2_2_spans() {
+        // p --g--> q : "initial span: p with associated word g>" (the
+        // paper's ν example is p to itself).
+        let mut g = ProtectionGraph::new();
+        let p = g.add_subject("p");
+        let q = g.add_object("q");
+        g.add_edge(p, q, Rights::G).unwrap();
+        let spanners = initial_spanners(&g, q);
+        assert_eq!(ids(&spanners), vec![p]);
+        assert_eq!(format_word(&spanners[0].word), "g>");
+        assert_eq!(spanners[0].path, vec![p, q]);
+
+        // s' --t--> s : "terminal span: s' to s with associated word t>".
+        let mut g = ProtectionGraph::new();
+        let s_prime = g.add_subject("s'");
+        let s = g.add_object("s");
+        g.add_edge(s_prime, s, Rights::T).unwrap();
+        let spanners = terminal_spanners(&g, s);
+        assert_eq!(ids(&spanners), vec![s_prime]);
+        assert_eq!(format_word(&spanners[0].word), "t>");
+    }
+
+    #[test]
+    fn a_subject_spans_to_itself() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let o = g.add_object("o");
+        g.add_edge(s, o, Rights::R).unwrap();
+        let init = initial_spanners(&g, s);
+        assert!(init.iter().any(|sp| sp.subject == s && sp.word.is_empty()));
+        let term = terminal_spanners(&g, s);
+        assert!(term.iter().any(|sp| sp.subject == s && sp.word.is_empty()));
+        // Objects span to nothing and nothing-but-subjects span to them.
+        assert!(ids(&initial_spanners(&g, o)).is_empty());
+    }
+
+    #[test]
+    fn take_chains_extend_spans() {
+        // u -t-> a -t-> b -g-> x : u initially spans to x (word t> t> g>).
+        let mut g = ProtectionGraph::new();
+        let u = g.add_subject("u");
+        let a = g.add_object("a");
+        let b = g.add_object("b");
+        let x = g.add_object("x");
+        g.add_edge(u, a, Rights::T).unwrap();
+        g.add_edge(a, b, Rights::T).unwrap();
+        g.add_edge(b, x, Rights::G).unwrap();
+        let spanners = initial_spanners(&g, x);
+        assert_eq!(ids(&spanners), vec![u]);
+        assert_eq!(format_word(&spanners[0].word), "t> t> g>");
+        // But u does NOT terminally span to x (no pure take word).
+        assert!(ids(&terminal_spanners(&g, x)).is_empty());
+    }
+
+    #[test]
+    fn objects_are_never_spanners() {
+        let mut g = ProtectionGraph::new();
+        let o = g.add_object("o");
+        let x = g.add_object("x");
+        g.add_edge(o, x, Rights::G).unwrap();
+        assert!(initial_spanners(&g, x).is_empty());
+    }
+
+    #[test]
+    fn rw_spans_end_in_the_right_letter() {
+        // u -t-> m -w-> x and v -t-> m2 -r-> y.
+        let mut g = ProtectionGraph::new();
+        let u = g.add_subject("u");
+        let m = g.add_object("m");
+        let x = g.add_object("x");
+        g.add_edge(u, m, Rights::T).unwrap();
+        g.add_edge(m, x, Rights::W).unwrap();
+        let spanners = rw_initial_spanners(&g, x);
+        assert_eq!(ids(&spanners), vec![u]);
+        assert_eq!(format_word(&spanners[0].word), "t> w>");
+        assert!(rw_terminal_spanners(&g, x).is_empty());
+
+        let mut g = ProtectionGraph::new();
+        let v = g.add_subject("v");
+        let m2 = g.add_object("m2");
+        let y = g.add_object("y");
+        g.add_edge(v, m2, Rights::T).unwrap();
+        g.add_edge(m2, y, Rights::R).unwrap();
+        let spanners = rw_terminal_spanners(&g, y);
+        assert_eq!(ids(&spanners), vec![v]);
+        assert_eq!(format_word(&spanners[0].word), "t> r>");
+        // rw-spans never include the target itself.
+        assert!(rw_terminal_spanners(&g, v).is_empty());
+    }
+
+    #[test]
+    fn spans_ignore_implicit_edges() {
+        let mut g = ProtectionGraph::new();
+        let u = g.add_subject("u");
+        let x = g.add_object("x");
+        g.add_implicit_edge(u, x, Rights::G).unwrap();
+        assert!(initial_spanners(&g, x).is_empty());
+    }
+
+    #[test]
+    fn multiple_spanners_are_all_found() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        let x = g.add_object("x");
+        g.add_edge(a, x, Rights::G).unwrap();
+        g.add_edge(b, a, Rights::T).unwrap(); // b -t-> a -g-> x
+        assert_eq!(ids(&initial_spanners(&g, x)), vec![a, b]);
+    }
+}

@@ -1,0 +1,510 @@
+//! Theft and conspiracy analysis.
+//!
+//! The paper's motivation is adversarial: "there has always been an
+//! underlying assumption that at least some of the vertices were honest"
+//! (§1). Two classic companion analyses from the Take-Grant literature
+//! (Snyder, *Theft and Conspiracy in the Take-Grant Protection Model*)
+//! make that concrete and are implemented here:
+//!
+//! * [`can_steal`] — can `x` acquire the right *without* any original
+//!   owner granting it away? The structural characterization: the edge is
+//!   absent, some owner `s` exists, some subject `x'` is (or initially
+//!   spans to) `x`, and `x'` can acquire **take** rights over `s` —
+//!   victims are passive under `take`, so the right can be pulled from
+//!   them without their cooperation.
+//! * [`min_conspirators`] — how many distinct acting subjects does a
+//!   successful `can_share` need? Computed on the *conspiracy graph*:
+//!   subjects are adjacent when their access sets overlap (one can hand
+//!   rights to the other through a commonly reachable vertex), and the
+//!   answer is the shortest such chain connecting the acquiring side to
+//!   an owning side.
+//!
+//! Both are validated against brute-force searches in the property tests
+//! (`tests/theft.rs`): the theft search simply forbids the owners' grant
+//! moves; the conspirator search retries the bounded de jure search with
+//! every actor subset of increasing size.
+
+use std::collections::VecDeque;
+
+use tg_graph::{ProtectionGraph, Right, VertexId};
+
+use crate::canshare::can_share;
+use crate::spans::initial_spanners;
+
+/// Decides `can_steal(right, x, y, G)`: `x` can come to hold an explicit
+/// `right` to `y` through a derivation in which **no original owner** (a
+/// vertex with an explicit `right` edge to `y` in `G`) ever grants
+/// `(right to y)`. Owners may participate otherwise; thieves that acquire
+/// the right mid-derivation may pass it on freely.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{ProtectionGraph, Right, Rights};
+/// use tg_analysis::{can_share, can_steal};
+///
+/// // x -t-> s -r-> y : x can pull the right out of passive s.
+/// let mut g = ProtectionGraph::new();
+/// let x = g.add_subject("x");
+/// let s = g.add_object("s");
+/// let y = g.add_object("y");
+/// g.add_edge(x, s, Rights::T).unwrap();
+/// g.add_edge(s, y, Rights::R).unwrap();
+/// assert!(can_steal(&g, Right::Read, x, y));
+///
+/// // s -g-> x, s -r-> y : x can only RECEIVE the right from owner s;
+/// // that is sharing, not theft.
+/// let mut g = ProtectionGraph::new();
+/// let x = g.add_subject("x");
+/// let s = g.add_subject("s");
+/// let y = g.add_object("y");
+/// g.add_edge(s, x, Rights::G).unwrap();
+/// g.add_edge(s, y, Rights::R).unwrap();
+/// assert!(can_share(&g, Right::Read, x, y));
+/// assert!(!can_steal(&g, Right::Read, x, y));
+/// ```
+pub fn can_steal(graph: &ProtectionGraph, right: Right, x: VertexId, y: VertexId) -> bool {
+    can_steal_detail(graph, right, x, y).is_some()
+}
+
+/// Evidence for a positive [`can_steal`]: the passive owner the right is
+/// pulled from and the subject that pulls it (and, if distinct from `x`,
+/// delivers it along its initial span).
+#[derive(Clone, Debug)]
+pub struct StealEvidence {
+    /// The right being stolen.
+    pub right: Right,
+    /// The thief's customer `x`.
+    pub x: VertexId,
+    /// The target `y`.
+    pub y: VertexId,
+    /// The owner whose right is taken without consent.
+    pub owner: VertexId,
+    /// The acting subject `x'` and its initial span to `x`.
+    pub thief: crate::spans::Spanner,
+}
+
+/// Like [`can_steal`] but returns the evidence.
+pub fn can_steal_detail(
+    graph: &ProtectionGraph,
+    right: Right,
+    x: VertexId,
+    y: VertexId,
+) -> Option<StealEvidence> {
+    if x == y {
+        return None;
+    }
+    // Condition (i): x must not already hold the right (owning is not
+    // stealing).
+    if graph.rights(x, y).explicit().contains(right) {
+        return None;
+    }
+    // Condition (ii): some subject x' is x or initially spans to x. A
+    // spanner other than x must not itself be an original owner — its
+    // final delivery grant would be an owner grant.
+    let initials = initial_spanners(graph, x);
+    // Condition (iii): some owner s whose right can be *taken*: the thief
+    // x' acquires t over s. Victims are passive under take, so no owner
+    // cooperation is needed.
+    for (s, _) in graph
+        .in_edges(y)
+        .filter(|(_, er)| er.explicit().contains(right))
+    {
+        for spanner in &initials {
+            let x_prime = spanner.subject;
+            if x_prime == s {
+                // x' already owns the right; another owner may serve.
+                continue;
+            }
+            if x_prime != x && graph.rights(x_prime, y).explicit().contains(right) {
+                // Delivering through an original owner is not theft.
+                continue;
+            }
+            if can_share(graph, Right::Take, x_prime, s) {
+                return Some(StealEvidence {
+                    right,
+                    x,
+                    y,
+                    owner: s,
+                    thief: spanner.clone(),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// The deposit set of subject `u`: every vertex `u` initially spans to,
+/// including `u` itself (the null word ν) — the places `u` can *put*
+/// rights by granting at the end of a take-chain.
+pub fn deposit_set(graph: &ProtectionGraph, u: VertexId) -> Vec<VertexId> {
+    span_targets(graph, u, true)
+}
+
+/// The collect set of subject `u`: every vertex `u` terminally spans to,
+/// including `u` itself — the places `u` can *take* rights from.
+pub fn collect_set(graph: &ProtectionGraph, u: VertexId) -> Vec<VertexId> {
+    span_targets(graph, u, false)
+}
+
+/// The access set of subject `u` (Snyder): deposit ∪ collect.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{ProtectionGraph, Rights};
+/// use tg_analysis::access_set;
+///
+/// let mut g = ProtectionGraph::new();
+/// let u = g.add_subject("u");
+/// let a = g.add_object("a");
+/// let b = g.add_object("b");
+/// g.add_edge(u, a, Rights::T).unwrap(); // collect: u can take from a
+/// g.add_edge(a, b, Rights::G).unwrap(); // deposit: u can grant into b
+/// let set = access_set(&g, u);
+/// assert!(set.contains(&a) && set.contains(&b) && set.contains(&u));
+/// ```
+pub fn access_set(graph: &ProtectionGraph, u: VertexId) -> Vec<VertexId> {
+    let mut set = deposit_set(graph, u);
+    set.extend(collect_set(graph, u));
+    set.sort_unstable();
+    set.dedup();
+    set
+}
+
+fn span_targets(graph: &ProtectionGraph, u: VertexId, initial: bool) -> Vec<VertexId> {
+    use tg_paths::{lang, PathSearch, SearchConfig};
+    debug_assert!(graph.is_subject(u));
+    let dfa = if initial {
+        lang::initial_span()
+    } else {
+        lang::terminal_span()
+    };
+    let search = PathSearch::new(graph, &dfa, SearchConfig::explicit_only());
+    let mut out = search.accepting_reachable(&[u]);
+    if !out.contains(&u) {
+        out.push(u);
+        out.sort_unstable();
+    }
+    out
+}
+
+/// The conspiracy graph (after Snyder): subjects, with an undirected edge
+/// wherever a *handoff* is possible — one can deposit where the other can
+/// collect (`IS(u) ∩ TS(u') ≠ ∅` or `TS(u) ∩ IS(u') ≠ ∅`, the span sets
+/// taken ν-inclusively so direct `t`/`g` edges between subjects qualify,
+/// covering the Lemma 2.1/2.2 reversals).
+#[derive(Clone, Debug)]
+pub struct ConspiracyGraph {
+    subjects: Vec<VertexId>,
+    /// Adjacency by index into `subjects`.
+    adj: Vec<Vec<usize>>,
+    /// `deposit[i]` is the deposit (initial-span) set of `subjects[i]`.
+    deposit: Vec<Vec<VertexId>>,
+    /// `collect[i]` is the collect (terminal-span) set of `subjects[i]`.
+    collect: Vec<Vec<VertexId>>,
+}
+
+impl ConspiracyGraph {
+    /// Builds the conspiracy graph of `graph`.
+    pub fn compute(graph: &ProtectionGraph) -> ConspiracyGraph {
+        let subjects: Vec<VertexId> = graph.subjects().collect();
+        let deposit: Vec<Vec<VertexId>> = subjects
+            .iter()
+            .map(|&u| deposit_set(graph, u))
+            .collect();
+        let collect: Vec<Vec<VertexId>> = subjects
+            .iter()
+            .map(|&u| collect_set(graph, u))
+            .collect();
+        let n = subjects.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in i + 1..n {
+                if intersects(&deposit[i], &collect[j]) || intersects(&collect[i], &deposit[j]) {
+                    adj[i].push(j);
+                    adj[j].push(i);
+                }
+            }
+        }
+        ConspiracyGraph {
+            subjects,
+            adj,
+            deposit,
+            collect,
+        }
+    }
+
+    /// The subjects, in the order used by indices.
+    pub fn subjects(&self) -> &[VertexId] {
+        &self.subjects
+    }
+
+    /// The deposit set of subject index `i`.
+    pub fn deposit(&self, i: usize) -> &[VertexId] {
+        &self.deposit[i]
+    }
+
+    /// The collect set of subject index `i`.
+    pub fn collect(&self, i: usize) -> &[VertexId] {
+        &self.collect[i]
+    }
+
+    /// Shortest chain (in *vertices*) from a subject that can deposit onto
+    /// `x` to a subject that can collect from one of `sources`. Returns
+    /// the chain of subjects, or `None` if no such chain exists.
+    pub fn shortest_chain(&self, x: VertexId, sources: &[VertexId]) -> Option<Vec<VertexId>> {
+        let n = self.subjects.len();
+        let starts: Vec<usize> = (0..n)
+            .filter(|&i| self.deposit[i].binary_search(&x).is_ok())
+            .collect();
+        let goal =
+            |i: usize| sources.iter().any(|v| self.collect[i].binary_search(v).is_ok());
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        for &s in &starts {
+            if goal(s) {
+                return Some(vec![self.subjects[s]]);
+            }
+            seen[s] = true;
+            queue.push_back(s);
+        }
+        while let Some(i) = queue.pop_front() {
+            for &j in &self.adj[i] {
+                if seen[j] {
+                    continue;
+                }
+                seen[j] = true;
+                parent[j] = Some(i);
+                if goal(j) {
+                    let mut chain = vec![self.subjects[j]];
+                    let mut cursor = j;
+                    while let Some(p) = parent[cursor] {
+                        chain.push(self.subjects[p]);
+                        cursor = p;
+                    }
+                    chain.reverse();
+                    return Some(chain);
+                }
+                queue.push_back(j);
+            }
+        }
+        None
+    }
+}
+
+fn intersects(a: &[VertexId], b: &[VertexId]) -> bool {
+    // Both sorted.
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// An estimate — exact on span/handoff topologies, and always an upper
+/// bound on achievability in the tested families — of the number of
+/// distinct acting subjects a successful `can_share(right, x, y)`
+/// derivation needs, with the witnessing subject chain: the shortest
+/// conspiracy-graph chain from a subject that can deposit onto `x` to one
+/// that can collect from an owner. Returns `None` when `can_share` itself
+/// is false (or when the chain machinery cannot connect the two sides).
+///
+/// Validated in `tests/theft.rs` against the exhaustive minimum over
+/// actor subsets: the chain never under-counts and stays within one of
+/// the exhaustive answer on the sampled graphs.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{ProtectionGraph, Right, Rights};
+/// use tg_analysis::min_conspirators;
+///
+/// // u owns the right and can deposit into m; v withdraws from m and
+/// // delivers to x: two conspirators.
+/// let mut g = ProtectionGraph::new();
+/// let u = g.add_subject("u");
+/// let v = g.add_subject("v");
+/// let m = g.add_object("m");
+/// let x = g.add_object("x");
+/// let y = g.add_object("y");
+/// g.add_edge(u, y, Rights::R).unwrap();
+/// g.add_edge(u, m, Rights::G).unwrap();
+/// g.add_edge(v, m, Rights::T).unwrap();
+/// g.add_edge(v, x, Rights::G).unwrap();
+///
+/// let chain = min_conspirators(&g, Right::Read, x, y).unwrap();
+/// assert_eq!(chain.len(), 2);
+/// ```
+pub fn min_conspirators(
+    graph: &ProtectionGraph,
+    right: Right,
+    x: VertexId,
+    y: VertexId,
+) -> Option<Vec<VertexId>> {
+    if !can_share(graph, right, x, y) {
+        return None;
+    }
+    if graph.rights(x, y).explicit().contains(right) {
+        return Some(Vec::new());
+    }
+    let conspiracy = ConspiracyGraph::compute(graph);
+    let owners: Vec<VertexId> = graph
+        .in_edges(y)
+        .filter(|(_, er)| er.explicit().contains(right))
+        .map(|(s, _)| s)
+        .collect();
+    conspiracy.shortest_chain(x, &owners)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::Rights;
+
+    #[test]
+    fn taking_from_a_passive_owner_is_theft() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let s = g.add_object("s");
+        let y = g.add_object("y");
+        g.add_edge(x, s, Rights::T).unwrap();
+        g.add_edge(s, y, Rights::R).unwrap();
+        assert!(can_steal(&g, Right::Read, x, y));
+        assert!(!can_steal(&g, Right::Write, x, y));
+    }
+
+    #[test]
+    fn receiving_a_grant_is_not_theft() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let s = g.add_subject("s");
+        let y = g.add_object("y");
+        g.add_edge(s, x, Rights::G).unwrap();
+        g.add_edge(s, y, Rights::R).unwrap();
+        assert!(can_share(&g, Right::Read, x, y));
+        assert!(!can_steal(&g, Right::Read, x, y));
+    }
+
+    #[test]
+    fn owning_already_is_not_theft() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let y = g.add_object("y");
+        g.add_edge(x, y, Rights::R).unwrap();
+        assert!(!can_steal(&g, Right::Read, x, y));
+    }
+
+    #[test]
+    fn theft_works_against_subject_victims_too() {
+        // x -t-> s (subject), s -r-> y : s is passive under take.
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let s = g.add_subject("s");
+        let y = g.add_object("y");
+        g.add_edge(x, s, Rights::T).unwrap();
+        g.add_edge(s, y, Rights::R).unwrap();
+        assert!(can_steal(&g, Right::Read, x, y));
+    }
+
+    #[test]
+    fn theft_can_be_delivered_through_an_initial_span() {
+        // p -g-> x (object); p -t-> s; s -r-> y: p steals from s, then
+        // grants to x — p was never an owner in G0.
+        let mut g = ProtectionGraph::new();
+        let p = g.add_subject("p");
+        let x = g.add_object("x");
+        let s = g.add_object("s");
+        let y = g.add_object("y");
+        g.add_edge(p, x, Rights::G).unwrap();
+        g.add_edge(p, s, Rights::T).unwrap();
+        g.add_edge(s, y, Rights::R).unwrap();
+        assert!(can_steal(&g, Right::Read, x, y));
+    }
+
+    #[test]
+    fn no_take_route_means_no_theft() {
+        // Only the owner can give the right away: g edges everywhere.
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let s = g.add_subject("s");
+        let y = g.add_object("y");
+        g.add_edge(x, s, Rights::G).unwrap(); // x can grant TO s, useless
+        g.add_edge(s, y, Rights::R).unwrap();
+        assert!(!can_steal(&g, Right::Read, x, y));
+    }
+
+    #[test]
+    fn access_sets_cover_spans() {
+        let mut g = ProtectionGraph::new();
+        let u = g.add_subject("u");
+        let a = g.add_object("a");
+        let b = g.add_object("b");
+        let c = g.add_object("c");
+        g.add_edge(u, a, Rights::T).unwrap();
+        g.add_edge(a, b, Rights::T).unwrap();
+        g.add_edge(a, c, Rights::G).unwrap(); // u initially spans to c
+        let set = access_set(&g, u);
+        assert!(set.contains(&u));
+        assert!(set.contains(&a));
+        assert!(set.contains(&b));
+        assert!(set.contains(&c));
+    }
+
+    #[test]
+    fn single_actor_share_needs_one_conspirator() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let s = g.add_object("s");
+        let y = g.add_object("y");
+        g.add_edge(x, s, Rights::T).unwrap();
+        g.add_edge(s, y, Rights::R).unwrap();
+        let chain = min_conspirators(&g, Right::Read, x, y).unwrap();
+        assert_eq!(chain, vec![x]);
+    }
+
+    #[test]
+    fn direct_edge_needs_zero_conspirators() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let y = g.add_object("y");
+        g.add_edge(x, y, Rights::R).unwrap();
+        assert_eq!(min_conspirators(&g, Right::Read, x, y), Some(Vec::new()));
+    }
+
+    #[test]
+    fn handoff_through_shared_vertex_needs_two() {
+        // u holds the right and initially spans to m; v terminally spans
+        // to m and initially spans to x: two actors.
+        let mut g = ProtectionGraph::new();
+        let u = g.add_subject("u");
+        let v = g.add_subject("v");
+        let m = g.add_object("m");
+        let x = g.add_object("x");
+        let y = g.add_object("y");
+        g.add_edge(u, y, Rights::R).unwrap(); // u owns the right
+        g.add_edge(u, m, Rights::G).unwrap(); // u can deposit into m
+        g.add_edge(v, m, Rights::T).unwrap(); // v can withdraw from m
+        g.add_edge(v, x, Rights::G).unwrap(); // v delivers to x
+        assert!(can_share(&g, Right::Read, x, y));
+        let chain = min_conspirators(&g, Right::Read, x, y).unwrap();
+        assert_eq!(chain.len(), 2);
+        assert!(chain.contains(&u));
+        assert!(chain.contains(&v));
+    }
+
+    #[test]
+    fn disconnected_sides_yield_none_even_if_unshareable() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let s = g.add_subject("s");
+        let y = g.add_object("y");
+        g.add_edge(s, y, Rights::R).unwrap();
+        assert_eq!(min_conspirators(&g, Right::Read, x, y), None);
+    }
+}

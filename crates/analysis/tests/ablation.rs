@@ -1,0 +1,158 @@
+//! De facto rule-set ablation (§6: "these rules are merely one possible
+//! set of de facto rules").
+//!
+//! Each of the four rules is *necessary*: for each there is a minimal
+//! graph whose information flow only that rule can exhibit — which is why
+//! the set has exactly four members, one per subject-placement pattern of
+//! an admissible step pair:
+//!
+//! | rule | pattern (subjects starred) |
+//! |---|---|
+//! | post | `x* →r y ←w z*` — both ends active, passive middle |
+//! | pass | `y* →w x, y* →r z` — only the middle active |
+//! | spy  | `x* →r y* →r z` — reader chain |
+//! | find | `y* →w x, z* →w y` — writer chain |
+//!
+//! And the full set is *sufficient*: on random graphs, every subset
+//! closure is contained in the full closure, and the full closure equals
+//! the flow-graph characterization of Theorem 3.1 (tested in
+//! `properties.rs`).
+
+use proptest::prelude::*;
+use tg_analysis::reference::{de_facto_closure, de_facto_closure_with, DeFactoSet};
+use tg_graph::{ProtectionGraph, Right, Rights, VertexId};
+
+/// The post-only situation: x reads the shared object z writes.
+fn post_graph() -> (ProtectionGraph, VertexId, VertexId) {
+    let mut g = ProtectionGraph::new();
+    let x = g.add_subject("x");
+    let y = g.add_object("y");
+    let z = g.add_subject("z");
+    g.add_edge(x, y, Rights::R).unwrap();
+    g.add_edge(z, y, Rights::W).unwrap();
+    (g, x, z)
+}
+
+/// The pass-only situation: a subject pumps information between objects.
+fn pass_graph() -> (ProtectionGraph, VertexId, VertexId) {
+    let mut g = ProtectionGraph::new();
+    let x = g.add_object("x");
+    let y = g.add_subject("y");
+    let z = g.add_object("z");
+    g.add_edge(y, x, Rights::W).unwrap();
+    g.add_edge(y, z, Rights::R).unwrap();
+    (g, x, z)
+}
+
+/// The spy-only situation: a chain of subject readers.
+fn spy_graph() -> (ProtectionGraph, VertexId, VertexId) {
+    let mut g = ProtectionGraph::new();
+    let x = g.add_subject("x");
+    let y = g.add_subject("y");
+    let z = g.add_object("z");
+    g.add_edge(x, y, Rights::R).unwrap();
+    g.add_edge(y, z, Rights::R).unwrap();
+    (g, x, z)
+}
+
+/// The find-only situation: a chain of subject writers into an object.
+fn find_graph() -> (ProtectionGraph, VertexId, VertexId) {
+    let mut g = ProtectionGraph::new();
+    let x = g.add_object("x");
+    let y = g.add_subject("y");
+    let z = g.add_subject("z");
+    g.add_edge(y, x, Rights::W).unwrap();
+    g.add_edge(z, y, Rights::W).unwrap();
+    (g, x, z)
+}
+
+type Situation = fn() -> (ProtectionGraph, VertexId, VertexId);
+
+#[test]
+fn each_rule_is_necessary() {
+    let cases: [(&str, Situation); 4] = [
+        ("post", post_graph),
+        ("pass", pass_graph),
+        ("spy", spy_graph),
+        ("find", find_graph),
+    ];
+    for (rule, build) in cases {
+        let (g, x, z) = build();
+        let full = de_facto_closure(&g);
+        assert!(
+            full.rights(x, z).implicit().contains(Right::Read),
+            "the full rule set must exhibit the {rule} flow"
+        );
+        let without = de_facto_closure_with(&g, DeFactoSet::ALL.without(rule));
+        assert!(
+            !without.rights(x, z).implicit().contains(Right::Read),
+            "dropping {rule} must lose its flow — the rule is not redundant"
+        );
+        // Dropping any OTHER rule keeps this flow.
+        for (other, _) in cases {
+            if other == rule {
+                continue;
+            }
+            let kept = de_facto_closure_with(&g, DeFactoSet::ALL.without(other));
+            assert!(
+                kept.rights(x, z).implicit().contains(Right::Read),
+                "dropping {other} must not affect the {rule} flow"
+            );
+        }
+    }
+}
+
+fn build_graph(kinds: &[bool], edges: &[(usize, usize, u8)]) -> ProtectionGraph {
+    let mut g = ProtectionGraph::new();
+    for (i, &is_subject) in kinds.iter().enumerate() {
+        if is_subject {
+            g.add_subject(format!("s{i}"));
+        } else {
+            g.add_object(format!("o{i}"));
+        }
+    }
+    let n = kinds.len();
+    for &(a, b, bits) in edges {
+        let src = VertexId::from_index(a % n);
+        let dst = VertexId::from_index(b % n);
+        if src == dst {
+            continue;
+        }
+        let rights = Rights::from_bits(u16::from(bits) & 0b0011);
+        if rights.is_empty() {
+            continue;
+        }
+        g.add_edge(src, dst, rights).unwrap();
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Subset closures are monotone: enabling more rules never loses an
+    /// implicit edge, and every subset closure is contained in the full
+    /// closure.
+    #[test]
+    fn subset_closures_are_monotone(
+        kinds in prop::collection::vec(prop::bool::weighted(0.6), 2..6),
+        edges in prop::collection::vec((0usize..6, 0usize..6, 0u8..4), 0..10),
+    ) {
+        let g = build_graph(&kinds, &edges);
+        let full = de_facto_closure(&g);
+        for rule in ["post", "pass", "spy", "find"] {
+            let sub = de_facto_closure_with(&g, DeFactoSet::ALL.without(rule));
+            for a in g.vertex_ids() {
+                for b in g.vertex_ids() {
+                    if a == b { continue; }
+                    let sub_flow = sub.rights(a, b).implicit().contains(Right::Read);
+                    let full_flow = full.rights(a, b).implicit().contains(Right::Read);
+                    prop_assert!(
+                        !sub_flow || full_flow,
+                        "subset (without {rule}) exhibited a flow the full set lacks at {a} {b}"
+                    );
+                }
+            }
+        }
+    }
+}

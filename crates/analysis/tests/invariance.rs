@@ -1,0 +1,119 @@
+//! Relabeling invariance: the decision procedures depend only on graph
+//! structure, never on vertex numbering. Every predicate must survive an
+//! arbitrary permutation of vertex creation order.
+
+use proptest::prelude::*;
+use tg_analysis::{can_know, can_know_f, can_share, can_steal, Islands};
+use tg_graph::{ProtectionGraph, Right, Rights, VertexId};
+
+fn build_graph(kinds: &[bool], edges: &[(usize, usize, u8)]) -> ProtectionGraph {
+    let mut g = ProtectionGraph::new();
+    for (i, &is_subject) in kinds.iter().enumerate() {
+        if is_subject {
+            g.add_subject(format!("v{i}"));
+        } else {
+            g.add_object(format!("v{i}"));
+        }
+    }
+    let n = kinds.len();
+    for &(a, b, bits) in edges {
+        let src = VertexId::from_index(a % n);
+        let dst = VertexId::from_index(b % n);
+        if src == dst {
+            continue;
+        }
+        let rights = Rights::from_bits(u16::from(bits) & 0b1111);
+        if rights.is_empty() {
+            continue;
+        }
+        g.add_edge(src, dst, rights).unwrap();
+    }
+    g
+}
+
+/// Rebuilds `g` with vertices created in `perm` order; `perm[i]` is the
+/// new position of old vertex `i`. Names are preserved so identity can be
+/// traced.
+fn permuted(g: &ProtectionGraph, perm: &[usize]) -> ProtectionGraph {
+    let n = g.vertex_count();
+    // old index -> new id, built by creating in inverse-permutation order.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| perm[i]);
+    let mut out = ProtectionGraph::new();
+    let mut new_id = vec![VertexId::from_index(0); n];
+    for &old in &order {
+        let v = g.vertex(VertexId::from_index(old));
+        new_id[old] = out.add_vertex(v.kind, v.name.clone());
+    }
+    for e in g.edges() {
+        if !e.rights.explicit.is_empty() {
+            out.add_edge(new_id[e.src.index()], new_id[e.dst.index()], e.rights.explicit)
+                .unwrap();
+        }
+        if !e.rights.implicit.is_empty() {
+            out.add_implicit_edge(new_id[e.src.index()], new_id[e.dst.index()], e.rights.implicit)
+                .unwrap();
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn predicates_are_permutation_invariant(
+        kinds in prop::collection::vec(prop::bool::weighted(0.6), 2..6),
+        edges in prop::collection::vec((0usize..6, 0usize..6, 0u8..16), 0..10),
+        shuffle in prop::collection::vec(0usize..100, 2..6),
+    ) {
+        let g = build_graph(&kinds, &edges);
+        let n = g.vertex_count();
+        // Derive a permutation from the shuffle keys.
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.sort_by_key(|&i| (shuffle.get(i).copied().unwrap_or(0), i));
+        let mut position = vec![0usize; n];
+        for (new_pos, &old) in perm.iter().enumerate() {
+            position[old] = new_pos;
+        }
+        let h = permuted(&g, &position);
+        let map = |v: VertexId| VertexId::from_index(position[v.index()]);
+
+        for x in g.vertex_ids() {
+            for y in g.vertex_ids() {
+                if x == y { continue; }
+                let (hx, hy) = (map(x), map(y));
+                prop_assert_eq!(
+                    can_know_f(&g, x, y),
+                    can_know_f(&h, hx, hy),
+                    "can_know_f changed under relabeling at {} {}", x, y
+                );
+                prop_assert_eq!(
+                    can_know(&g, x, y),
+                    can_know(&h, hx, hy),
+                    "can_know changed under relabeling at {} {}", x, y
+                );
+                for right in [Right::Read, Right::Take] {
+                    prop_assert_eq!(
+                        can_share(&g, right, x, y),
+                        can_share(&h, right, hx, hy),
+                        "can_share changed under relabeling at {} {} for {}", x, y, right
+                    );
+                }
+                prop_assert_eq!(
+                    can_steal(&g, Right::Read, x, y),
+                    can_steal(&h, Right::Read, hx, hy),
+                    "can_steal changed under relabeling at {} {}", x, y
+                );
+            }
+        }
+        // Island structure is isomorphic: same island iff same island.
+        let gi = Islands::compute(&g);
+        let hi = Islands::compute(&h);
+        for x in g.vertex_ids() {
+            for y in g.vertex_ids() {
+                prop_assert_eq!(gi.same_island(x, y), hi.same_island(map(x), map(y)));
+            }
+        }
+    }
+}

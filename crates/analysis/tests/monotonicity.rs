@@ -1,0 +1,116 @@
+//! Monotonicity laws: the Take-Grant rules have no negative
+//! preconditions, so granting *more* initial authority can never make a
+//! predicate false. (The theft predicate is deliberately excluded — it is
+//! *not* monotone: handing `x` the right outright turns theft into
+//! ownership.)
+
+use proptest::prelude::*;
+use tg_analysis::{can_know, can_know_f, can_share};
+use tg_graph::{ProtectionGraph, Right, Rights, VertexId};
+
+fn build_graph(kinds: &[bool], edges: &[(usize, usize, u8)]) -> ProtectionGraph {
+    let mut g = ProtectionGraph::new();
+    for (i, &is_subject) in kinds.iter().enumerate() {
+        if is_subject {
+            g.add_subject(format!("s{i}"));
+        } else {
+            g.add_object(format!("o{i}"));
+        }
+    }
+    let n = kinds.len();
+    for &(a, b, bits) in edges {
+        let src = VertexId::from_index(a % n);
+        let dst = VertexId::from_index(b % n);
+        if src == dst {
+            continue;
+        }
+        let rights = Rights::from_bits(u16::from(bits) & 0b1111);
+        if rights.is_empty() {
+            continue;
+        }
+        g.add_edge(src, dst, rights).unwrap();
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Adding one random explicit edge preserves every true predicate.
+    #[test]
+    fn predicates_are_monotone_in_authority(
+        kinds in prop::collection::vec(prop::bool::weighted(0.6), 2..6),
+        edges in prop::collection::vec((0usize..6, 0usize..6, 0u8..16), 0..9),
+        extra in (0usize..6, 0usize..6, 1u8..16),
+    ) {
+        let g = build_graph(&kinds, &edges);
+        let n = kinds.len();
+        let src = VertexId::from_index(extra.0 % n);
+        let dst = VertexId::from_index(extra.1 % n);
+        let mut bigger = g.clone();
+        if src != dst {
+            let rights = Rights::from_bits(u16::from(extra.2) & 0b1111);
+            if !rights.is_empty() {
+                bigger.add_edge(src, dst, rights).unwrap();
+            }
+        }
+        for x in g.vertex_ids() {
+            for y in g.vertex_ids() {
+                if x == y { continue; }
+                for right in [Right::Read, Right::Write, Right::Take, Right::Grant] {
+                    if can_share(&g, right, x, y) {
+                        prop_assert!(
+                            can_share(&bigger, right, x, y),
+                            "can_share({right}, {x}, {y}) lost by adding an edge\n{}",
+                            tg_graph::render_graph(&bigger)
+                        );
+                    }
+                }
+                if can_know_f(&g, x, y) {
+                    prop_assert!(can_know_f(&bigger, x, y), "can_know_f lost at {x} {y}");
+                }
+                if can_know(&g, x, y) {
+                    prop_assert!(can_know(&bigger, x, y), "can_know lost at {x} {y}");
+                }
+            }
+        }
+    }
+
+    /// De jure rule application itself preserves the predicates: a graph's
+    /// own reachable futures never shrink them. (One random permitted rule
+    /// per case.)
+    #[test]
+    fn rule_application_preserves_predicates(
+        kinds in prop::collection::vec(prop::bool::weighted(0.7), 2..5),
+        edges in prop::collection::vec((0usize..5, 0usize..5, 0u8..16), 1..8),
+        pick in (0usize..5, 0usize..5, 0usize..5, 0usize..4),
+    ) {
+        let g = build_graph(&kinds, &edges);
+        let n = kinds.len();
+        let actor = VertexId::from_index(pick.0 % n);
+        let via = VertexId::from_index(pick.1 % n);
+        let target = VertexId::from_index(pick.2 % n);
+        let right = [Right::Read, Right::Write, Right::Take, Right::Grant][pick.3];
+        let rule = tg_rules::Rule::DeJure(tg_rules::DeJureRule::Take {
+            actor,
+            via,
+            target,
+            rights: Rights::singleton(right),
+        });
+        let mut next = g.clone();
+        if tg_rules::apply(&mut next, &rule).is_err() {
+            return Ok(()); // Rule not applicable; nothing to check.
+        }
+        for x in g.vertex_ids() {
+            for y in g.vertex_ids() {
+                if x == y { continue; }
+                if can_share(&g, Right::Read, x, y) {
+                    prop_assert!(can_share(&next, Right::Read, x, y));
+                }
+                if can_know(&g, x, y) {
+                    prop_assert!(can_know(&next, x, y));
+                }
+            }
+        }
+    }
+}

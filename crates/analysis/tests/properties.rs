@@ -1,0 +1,219 @@
+//! Property-based validation of the structural decision procedures
+//! against the brute-force rule-closure engines, and of the witness
+//! synthesizers by replay.
+//!
+//! The sandwich argument: for each predicate P with decision procedure D,
+//! brute-force engine B (bounded, hence under-approximate) and witness
+//! synthesizer W,
+//!
+//! * `B ⟹ D` — D misses nothing B can realize by exhaustive search;
+//! * `D ⟹ W replays` — every positive answer is *proved* by a concrete
+//!   legal derivation, so D over-approximates nothing.
+//!
+//! Together these pin D to the predicate's truth on the sampled graphs.
+
+use proptest::prelude::*;
+use tg_analysis::reference::{
+    can_know_bruteforce, can_know_f_bruteforce, can_share_bruteforce, SearchBounds,
+};
+use tg_analysis::synthesis::{know_f_witness, know_witness, share_witness};
+use tg_analysis::{can_know, can_know_f, can_share, know_edge_exists, Islands};
+use tg_graph::{ProtectionGraph, Right, Rights, VertexId};
+
+/// Builds a small random protection graph from raw proptest data.
+fn build_graph(kinds: &[bool], edges: &[(usize, usize, u8)]) -> ProtectionGraph {
+    let mut g = ProtectionGraph::new();
+    for (i, &is_subject) in kinds.iter().enumerate() {
+        if is_subject {
+            g.add_subject(format!("s{i}"));
+        } else {
+            g.add_object(format!("o{i}"));
+        }
+    }
+    let n = kinds.len();
+    for &(a, b, bits) in edges {
+        let src = VertexId::from_index(a % n);
+        let dst = VertexId::from_index(b % n);
+        if src == dst {
+            continue;
+        }
+        // Low four bits: r, w, t, g.
+        let rights = Rights::from_bits(u16::from(bits) & 0b1111);
+        if rights.is_empty() {
+            continue;
+        }
+        g.add_edge(src, dst, rights).unwrap();
+    }
+    g
+}
+
+fn graph_strategy(
+    max_vertices: usize,
+    max_edges: usize,
+) -> impl Strategy<Value = ProtectionGraph> {
+    (
+        prop::collection::vec(prop::bool::weighted(0.65), 2..=max_vertices),
+        prop::collection::vec(
+            (0usize..max_vertices, 0usize..max_vertices, 0u8..16),
+            0..=max_edges,
+        ),
+    )
+        .prop_map(|(kinds, edges)| build_graph(&kinds, &edges))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// can_share: bounded brute force implies the decision procedure, and
+    /// every positive decision is proved by a replaying witness.
+    #[test]
+    fn can_share_matches_truth(g in graph_strategy(4, 5)) {
+        let ids: Vec<VertexId> = g.vertex_ids().collect();
+        let bounds = SearchBounds { max_creates: 1, max_states: 30_000 };
+        for &x in &ids {
+            for &y in &ids {
+                if x == y { continue; }
+                for right in [Right::Read, Right::Write, Right::Take, Right::Grant] {
+                    let decided = can_share(&g, right, x, y);
+                    let brute = can_share_bruteforce(&g, right, x, y, bounds);
+                    prop_assert!(
+                        !brute || decided,
+                        "brute force found a share the decision missed: {right} {x} {y}\n{}",
+                        tg_graph::render_graph(&g)
+                    );
+                    if decided {
+                        let witness = share_witness(&g, right, x, y);
+                        prop_assert!(
+                            witness.is_ok(),
+                            "witness synthesis failed for {right} {x} {y}: {:?}\n{}",
+                            witness.err(),
+                            tg_graph::render_graph(&g)
+                        );
+                        let replayed = witness.unwrap().replayed(&g);
+                        prop_assert!(replayed.is_ok(), "witness replay failed: {:?}", replayed.err());
+                        prop_assert!(
+                            replayed.unwrap().has_explicit(x, y, right),
+                            "witness did not establish {right} on {x} -> {y}\n{}",
+                            tg_graph::render_graph(&g)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// can_know_f is exactly the de facto closure (no bounds involved).
+    #[test]
+    fn can_know_f_matches_closure(g in graph_strategy(5, 8)) {
+        let ids: Vec<VertexId> = g.vertex_ids().collect();
+        for &x in &ids {
+            for &y in &ids {
+                let decided = can_know_f(&g, x, y);
+                let brute = can_know_f_bruteforce(&g, x, y);
+                prop_assert_eq!(
+                    decided, brute,
+                    "can_know_f mismatch at {} {}\n{}", x, y, tg_graph::render_graph(&g)
+                );
+                if decided && x != y {
+                    let witness = know_f_witness(&g, x, y);
+                    prop_assert!(witness.is_ok(), "know_f witness failed: {:?}", witness.err());
+                    let replayed = witness.unwrap().replayed(&g).expect("replay");
+                    prop_assert!(know_edge_exists(&replayed, x, y));
+                }
+            }
+        }
+    }
+
+    /// can_know: brute force (de jure BFS + de facto closure) implies the
+    /// decision; every positive decision replays.
+    #[test]
+    fn can_know_matches_truth(g in graph_strategy(3, 4)) {
+        let ids: Vec<VertexId> = g.vertex_ids().collect();
+        let bounds = SearchBounds { max_creates: 1, max_states: 4_000 };
+        for &x in &ids {
+            for &y in &ids {
+                if x == y { continue; }
+                let decided = can_know(&g, x, y);
+                let brute = can_know_bruteforce(&g, x, y, bounds);
+                prop_assert!(
+                    !brute || decided,
+                    "brute force knowledge the decision missed: {} {}\n{}",
+                    x, y, tg_graph::render_graph(&g)
+                );
+                if decided {
+                    let witness = know_witness(&g, x, y);
+                    prop_assert!(
+                        witness.is_ok(),
+                        "know witness failed for {} {}: {:?}\n{}",
+                        x, y, witness.err(), tg_graph::render_graph(&g)
+                    );
+                    let replayed = witness.unwrap().replayed(&g);
+                    prop_assert!(replayed.is_ok(), "replay failed: {:?}", replayed.err());
+                    prop_assert!(
+                        know_edge_exists(&replayed.unwrap(), x, y),
+                        "witness did not establish knowledge {} {}\n{}",
+                        x, y, tg_graph::render_graph(&g)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Lemma 3.3: island mates mutually satisfy can_know (and transitively
+    /// can obtain any right the other holds).
+    #[test]
+    fn island_mates_know_each_other(g in graph_strategy(5, 8)) {
+        let islands = Islands::compute(&g);
+        for island in islands.iter() {
+            for &a in island {
+                for &b in island {
+                    prop_assert!(can_know(&g, a, b), "island mates must know each other");
+                }
+            }
+        }
+    }
+
+    /// Island mates can share every right either of them holds.
+    #[test]
+    fn island_mates_share_rights(g in graph_strategy(4, 6)) {
+        let islands = Islands::compute(&g);
+        let ids: Vec<VertexId> = g.vertex_ids().collect();
+        for island in islands.iter() {
+            for &a in island {
+                for &b in island {
+                    if a == b { continue; }
+                    for &z in &ids {
+                        if z == b || z == a { continue; }
+                        for right in g.rights(a, z).explicit() {
+                            prop_assert!(
+                                can_share(&g, right, b, z),
+                                "island mate {b} cannot share {right} to {z} held by {a}\n{}",
+                                tg_graph::render_graph(&g)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// can_know subsumes can_know_f, and can_share of r implies can_know.
+    #[test]
+    fn predicate_hierarchy(g in graph_strategy(5, 8)) {
+        let ids: Vec<VertexId> = g.vertex_ids().collect();
+        for &x in &ids {
+            for &y in &ids {
+                if can_know_f(&g, x, y) {
+                    prop_assert!(can_know(&g, x, y), "can_know_f must imply can_know");
+                }
+                if x != y && g.is_subject(x) && can_share(&g, Right::Read, x, y) {
+                    prop_assert!(
+                        can_know(&g, x, y),
+                        "a subject that can acquire r can know\n{}",
+                        tg_graph::render_graph(&g)
+                    );
+                }
+            }
+        }
+    }
+}

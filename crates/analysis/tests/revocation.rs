@@ -1,0 +1,119 @@
+//! Revocation futility: the `remove` rule deletes recorded authority, but
+//! whenever `can_share` still holds afterwards the right grows back — in
+//! the Take-Grant model revocation is only meaningful if it disconnects
+//! the sharing structure. (A classic observation about the model; the
+//! paper's §6 declassification discussion is its information-flow twin.)
+
+use proptest::prelude::*;
+use tg_analysis::synthesis::share_witness;
+use tg_analysis::{can_know_f, can_share};
+use tg_graph::{ProtectionGraph, Right, Rights, VertexId};
+use tg_rules::{apply, DeJureRule, Rule};
+
+#[test]
+fn removing_a_reacquirable_right_is_futile() {
+    // s -t-> q -r-> o and s -r-> o: s "revokes" its own read… and takes
+    // it right back.
+    let mut g = ProtectionGraph::new();
+    let s = g.add_subject("s");
+    let q = g.add_object("q");
+    let o = g.add_object("o");
+    g.add_edge(s, q, Rights::T).unwrap();
+    g.add_edge(q, o, Rights::R).unwrap();
+    g.add_edge(s, o, Rights::R).unwrap();
+
+    apply(
+        &mut g,
+        &Rule::DeJure(DeJureRule::Remove {
+            actor: s,
+            target: o,
+            rights: Rights::R,
+        }),
+    )
+    .unwrap();
+    assert!(!g.has_explicit(s, o, Right::Read), "the edge is gone");
+    assert!(can_share(&g, Right::Read, s, o), "…but not for long");
+    let d = share_witness(&g, Right::Read, s, o).unwrap();
+    assert!(d.replayed(&g).unwrap().has_explicit(s, o, Right::Read));
+}
+
+#[test]
+fn removal_cannot_erase_information_already_flowed() {
+    // x read o once (implicit knowledge recorded); removing the explicit
+    // edge does not remove the implicit one — "the graph records
+    // authorities and not information", and information cannot be
+    // un-flowed.
+    let mut g = ProtectionGraph::new();
+    let x = g.add_subject("x");
+    let o = g.add_object("o");
+    g.add_edge(x, o, Rights::R).unwrap();
+    g.add_implicit_edge(x, o, Rights::R).unwrap(); // the flow happened
+    apply(
+        &mut g,
+        &Rule::DeJure(DeJureRule::Remove {
+            actor: x,
+            target: o,
+            rights: Rights::R,
+        }),
+    )
+    .unwrap();
+    assert!(g.rights(x, o).explicit().is_empty());
+    assert!(can_know_f(&g, x, o), "knowledge survives revocation");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Removing any single explicit right never enables anything new:
+    /// every post-removal share was already possible (remove is
+    /// anti-monotone, the flip side of monotonicity).
+    #[test]
+    fn removal_never_enables_sharing(
+        kinds in prop::collection::vec(prop::bool::weighted(0.7), 2..5),
+        edges in prop::collection::vec((0usize..5, 0usize..5, 0u8..16), 1..8),
+        pick in (0usize..5, 0usize..5, 0usize..4),
+    ) {
+        let mut g = ProtectionGraph::new();
+        for (i, &is_subject) in kinds.iter().enumerate() {
+            if is_subject {
+                g.add_subject(format!("s{i}"));
+            } else {
+                g.add_object(format!("o{i}"));
+            }
+        }
+        let n = kinds.len();
+        for &(a, b, bits) in &edges {
+            let src = VertexId::from_index(a % n);
+            let dst = VertexId::from_index(b % n);
+            if src == dst { continue; }
+            let rights = Rights::from_bits(u16::from(bits) & 0b1111);
+            if rights.is_empty() { continue; }
+            g.add_edge(src, dst, rights).unwrap();
+        }
+        let actor = VertexId::from_index(pick.0 % n);
+        let target = VertexId::from_index(pick.1 % n);
+        let right = [Right::Read, Right::Write, Right::Take, Right::Grant][pick.2];
+        let mut smaller = g.clone();
+        let removal = Rule::DeJure(DeJureRule::Remove {
+            actor,
+            target,
+            rights: Rights::singleton(right),
+        });
+        if apply(&mut smaller, &removal).is_err() {
+            return Ok(());
+        }
+        for x in g.vertex_ids() {
+            for y in g.vertex_ids() {
+                if x == y { continue; }
+                for r in [Right::Read, Right::Write] {
+                    if can_share(&smaller, r, x, y) {
+                        prop_assert!(
+                            can_share(&g, r, x, y),
+                            "removal enabled can_share({r}, {x}, {y})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the theft and conspiracy analyses.
+//!
+//! Same sandwich as `properties.rs`: the bounded brute-force theft search
+//! implies the structural decision; every positive decision synthesizes a
+//! replaying witness that additionally contains **no forbidden owner
+//! grant**. The conspiracy chain is compared against the exhaustive
+//! minimum over actor subsets.
+
+use proptest::prelude::*;
+use tg_analysis::reference::{
+    can_steal_bruteforce, min_conspirators_bruteforce, SearchBounds,
+};
+use tg_analysis::synthesis::steal_witness;
+use tg_analysis::{can_share, can_steal, min_conspirators};
+use tg_graph::{ProtectionGraph, Right, Rights, VertexId};
+use tg_rules::{DeJureRule, Rule};
+
+fn build_graph(kinds: &[bool], edges: &[(usize, usize, u8)]) -> ProtectionGraph {
+    let mut g = ProtectionGraph::new();
+    for (i, &is_subject) in kinds.iter().enumerate() {
+        if is_subject {
+            g.add_subject(format!("s{i}"));
+        } else {
+            g.add_object(format!("o{i}"));
+        }
+    }
+    let n = kinds.len();
+    for &(a, b, bits) in edges {
+        let src = VertexId::from_index(a % n);
+        let dst = VertexId::from_index(b % n);
+        if src == dst {
+            continue;
+        }
+        let rights = Rights::from_bits(u16::from(bits) & 0b1111);
+        if rights.is_empty() {
+            continue;
+        }
+        g.add_edge(src, dst, rights).unwrap();
+    }
+    g
+}
+
+fn graph_strategy(max_v: usize, max_e: usize) -> impl Strategy<Value = ProtectionGraph> {
+    (
+        prop::collection::vec(prop::bool::weighted(0.65), 2..=max_v),
+        prop::collection::vec((0usize..max_v, 0usize..max_v, 0u8..16), 0..=max_e),
+    )
+        .prop_map(|(kinds, edges)| build_graph(&kinds, &edges))
+}
+
+/// Scans a derivation for grants of `(right to y)` by an original owner.
+fn has_owner_grant(
+    original: &ProtectionGraph,
+    derivation: &tg_rules::Derivation,
+    right: Right,
+    y: VertexId,
+) -> bool {
+    let owners: Vec<VertexId> = original
+        .in_edges(y)
+        .filter(|(_, er)| er.explicit().contains(right))
+        .map(|(s, _)| s)
+        .collect();
+    derivation.steps.iter().any(|rule| {
+        matches!(rule, Rule::DeJure(DeJureRule::Grant { actor, target, rights, .. })
+            if *target == y && rights.contains(right) && owners.contains(actor))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theft: brute force implies the decision; every positive decision is
+    /// proved by a replaying derivation free of owner grants.
+    #[test]
+    fn can_steal_matches_truth(g in graph_strategy(4, 5)) {
+        let ids: Vec<VertexId> = g.vertex_ids().collect();
+        let bounds = SearchBounds { max_creates: 1, max_states: 20_000 };
+        for &x in &ids {
+            for &y in &ids {
+                if x == y { continue; }
+                for right in [Right::Read, Right::Write] {
+                    let decided = can_steal(&g, right, x, y);
+                    let brute = can_steal_bruteforce(&g, right, x, y, bounds);
+                    prop_assert!(
+                        !brute || decided,
+                        "brute force stole {right} {x} {y} but the decision says no\n{}",
+                        tg_graph::render_graph(&g)
+                    );
+                    if decided {
+                        let witness = steal_witness(&g, right, x, y);
+                        prop_assert!(
+                            witness.is_ok(),
+                            "steal witness failed for {right} {x} {y}: {:?}\n{}",
+                            witness.err(), tg_graph::render_graph(&g)
+                        );
+                        let witness = witness.unwrap();
+                        prop_assert!(
+                            !has_owner_grant(&g, &witness, right, y),
+                            "witness contains an owner grant\n{}",
+                            tg_graph::render_graph(&g)
+                        );
+                        let after = witness.replayed(&g);
+                        prop_assert!(after.is_ok(), "replay failed: {:?}", after.err());
+                        prop_assert!(after.unwrap().has_explicit(x, y, right));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Theft implies sharing, never the converse.
+    #[test]
+    fn theft_is_strictly_stronger_than_sharing(g in graph_strategy(5, 8)) {
+        let ids: Vec<VertexId> = g.vertex_ids().collect();
+        for &x in &ids {
+            for &y in &ids {
+                if x == y { continue; }
+                for right in [Right::Read, Right::Write, Right::Take, Right::Grant] {
+                    if can_steal(&g, right, x, y) {
+                        prop_assert!(
+                            can_share(&g, right, x, y),
+                            "theft without sharing at {right} {x} {y}\n{}",
+                            tg_graph::render_graph(&g)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The conspiracy chain never under-counts (every derivation needs at
+    /// least that many actors) and its length is achievable.
+    #[test]
+    fn min_conspirators_matches_truth(g in graph_strategy(4, 5)) {
+        let ids: Vec<VertexId> = g.vertex_ids().collect();
+        let bounds = SearchBounds { max_creates: 1, max_states: 8_000 };
+        for &x in &ids {
+            for &y in &ids {
+                if x == y { continue; }
+                let right = Right::Read;
+                let Some(chain) = min_conspirators(&g, right, x, y) else {
+                    continue;
+                };
+                let Some(brute) = min_conspirators_bruteforce(&g, right, x, y, bounds) else {
+                    // The bounded search gave up; the structural answer
+                    // remains a valid upper bound by construction.
+                    continue;
+                };
+                prop_assert!(
+                    brute <= chain.len(),
+                    "conspiracy chain under-counts: structural {} < exhaustive {} at {x} {y}\n{}",
+                    chain.len(), brute, tg_graph::render_graph(&g)
+                );
+                prop_assert!(
+                    chain.len() <= brute + 1,
+                    "conspiracy chain overshoots the exhaustive minimum by >1 \
+                     ({} vs {}) at {x} {y}\n{}",
+                    chain.len(), brute, tg_graph::render_graph(&g)
+                );
+            }
+        }
+    }
+}

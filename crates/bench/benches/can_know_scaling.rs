@@ -1,0 +1,52 @@
+//! Theorems 3.1 and 3.2: time `can_know_f` over growing flow chains and
+//! `can_know` over growing bridge chains. Both procedures are single
+//! product-BFS passes, so linear shapes are expected.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tg_analysis::{can_know, can_know_f};
+use tg_sim::workload::{bridge_chain, flow_chain};
+
+fn bench_can_know(c: &mut Criterion) {
+    let mut group = c.benchmark_group("can_know_f/flow_chain");
+    for &n in &tg_bench::SIZES {
+        let (g, x, far) = flow_chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                assert!(can_know_f(std::hint::black_box(&g), x, far));
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("can_know_f/negative");
+    for &n in &tg_bench::SIZES {
+        let (g, x, far) = flow_chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                assert!(!can_know_f(std::hint::black_box(&g), far, x));
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("can_know/bridge_chain");
+    for &hops in &[8usize, 16, 32, 64, 128] {
+        let (g, first, secret) = bridge_chain(hops);
+        group.bench_with_input(BenchmarkId::from_parameter(hops), &hops, |b, _| {
+            b.iter(|| {
+                assert!(can_know(std::hint::black_box(&g), first, secret));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_can_know
+}
+criterion_main!(benches);

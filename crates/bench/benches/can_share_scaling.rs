@@ -1,0 +1,54 @@
+//! Theorem 2.3's decision procedure: time `can_share` across linearly
+//! growing take-chains and bridge-chains. The expected shape is linear in
+//! the graph size (the underlying Jones–Lipton–Snyder claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tg_analysis::can_share;
+use tg_graph::Right;
+use tg_sim::workload::{bridge_chain, take_chain};
+
+fn bench_can_share(c: &mut Criterion) {
+    let mut group = c.benchmark_group("can_share/take_chain");
+    for &n in &tg_bench::SIZES {
+        let (g, s, o) = take_chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                assert!(can_share(std::hint::black_box(&g), Right::Read, s, o));
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("can_share/bridge_chain");
+    for &hops in &[8usize, 16, 32, 64, 128] {
+        let (g, first, secret) = bridge_chain(hops);
+        group.bench_with_input(BenchmarkId::from_parameter(hops), &hops, |b, _| {
+            b.iter(|| {
+                assert!(can_share(std::hint::black_box(&g), Right::Read, first, secret));
+            });
+        });
+    }
+    group.finish();
+
+    // The negative case costs the same pass.
+    let mut group = c.benchmark_group("can_share/negative");
+    for &n in &tg_bench::SIZES {
+        let (g, s, o) = take_chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                assert!(!can_share(std::hint::black_box(&g), Right::Grant, s, o));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_can_share
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Level-structure computation: islands (union–find, near-linear),
+//! rw-levels (one SCC pass, linear) and rwtg-levels (per-subject link
+//! search, O(S·E) — documented as the one super-linear analysis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tg_analysis::Islands;
+use tg_hierarchy::{rw_levels, rwtg_levels};
+use tg_sim::gen::GraphGen;
+
+fn bench_levels(c: &mut Criterion) {
+    let graphs: Vec<_> = tg_bench::SIZES
+        .iter()
+        .map(|&n| {
+            (
+                n,
+                GraphGen {
+                    vertices: n,
+                    seed: 11,
+                    ..GraphGen::default()
+                }
+                .build(),
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("levels/islands");
+    for (n, g) in &graphs {
+        group.bench_with_input(BenchmarkId::from_parameter(n), n, |b, _| {
+            b.iter(|| Islands::compute(std::hint::black_box(g)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("levels/rw_levels");
+    for (n, g) in &graphs {
+        group.bench_with_input(BenchmarkId::from_parameter(n), n, |b, _| {
+            b.iter(|| rw_levels(std::hint::black_box(g)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("levels/rwtg_levels");
+    for (n, g) in &graphs {
+        group.bench_with_input(BenchmarkId::from_parameter(n), n, |b, _| {
+            b.iter(|| rwtg_levels(std::hint::black_box(g)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_levels
+}
+criterion_main!(benches);

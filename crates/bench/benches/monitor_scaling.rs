@@ -1,0 +1,72 @@
+//! Corollaries 5.6 and 5.7: the whole-graph audit must scale linearly in
+//! the number of edges, and the per-rule restriction check must stay flat
+//! as the graph grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tg_graph::Rights;
+use tg_hierarchy::monitor::audit_graph;
+use tg_hierarchy::{CombinedRestriction, Monitor};
+use tg_rules::{DeJureRule, Rule};
+use tg_sim::workload::hierarchy;
+
+fn bench_monitor(c: &mut Criterion) {
+    // Corollary 5.6: audit is linear in |E|.
+    let mut group = c.benchmark_group("audit/linear_in_edges");
+    for &levels in &[8usize, 16, 32, 64, 128] {
+        let built = hierarchy(levels, 8);
+        let edges = built.graph.edge_count();
+        group.bench_with_input(BenchmarkId::from_parameter(edges), &edges, |b, _| {
+            b.iter(|| {
+                let violations = audit_graph(
+                    std::hint::black_box(&built.graph),
+                    &built.assignment,
+                    &CombinedRestriction,
+                );
+                assert!(violations.is_empty());
+            });
+        });
+    }
+    group.finish();
+
+    // Corollary 5.7: the per-rule check is O(1) — time a denied take on
+    // ever-larger graphs and watch the curve stay flat.
+    let mut group = c.benchmark_group("rule_check/constant_time");
+    for &levels in &[8usize, 16, 32, 64, 128] {
+        let mut built = hierarchy(levels, 8);
+        // An attack surface at the top: lowest subject tries to read up.
+        let lo = built.subjects[0][0];
+        let hi_doc = built.graph.find_by_name(&format!("doc{}", levels - 1)).unwrap();
+        let registry = built.graph.add_object("registry");
+        built.assignment.assign(registry, levels - 1).unwrap();
+        built.graph.add_edge(registry, hi_doc, Rights::R).unwrap();
+        built.graph.add_edge(lo, registry, Rights::T).unwrap();
+        let monitor = Monitor::new(
+            built.graph.clone(),
+            built.assignment.clone(),
+            Box::new(CombinedRestriction),
+        );
+        let rule = Rule::DeJure(DeJureRule::Take {
+            actor: lo,
+            via: registry,
+            target: hi_doc,
+            rights: Rights::R,
+        });
+        let vertices = monitor.graph().vertex_count();
+        group.bench_with_input(BenchmarkId::from_parameter(vertices), &vertices, |b, _| {
+            b.iter(|| {
+                assert!(monitor.check(std::hint::black_box(&rule)).is_err());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_monitor
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Monitor throughput under the four restriction policies on the same
+//! acquisition workload — the ablation for §5's design choice. All four
+//! should cost about the same per rule (each check is O(1)); the point of
+//! the companion `experiments` table is what they *permit*, not what they
+//! cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tg_graph::Rights;
+use tg_hierarchy::{
+    ApplicationRestriction, CombinedRestriction, DirectionRestriction, Monitor, Restriction,
+    Unrestricted,
+};
+use tg_rules::Rule;
+use tg_sim::gen::random_trace;
+use tg_sim::workload::hierarchy;
+
+fn workload() -> (tg_hierarchy::structure::BuiltHierarchy, Vec<Rule>) {
+    let built = hierarchy(6, 6);
+    let trace = random_trace(&built.graph, 500, 23);
+    (built, trace)
+}
+
+fn bench_restrictions(c: &mut Criterion) {
+    let (built, trace) = workload();
+    type PolicyFactory = fn() -> Box<dyn Restriction>;
+    let policies: Vec<(&str, PolicyFactory)> = vec![
+        ("unrestricted", || Box::new(Unrestricted)),
+        ("direction", || Box::new(DirectionRestriction)),
+        ("application", || {
+            Box::new(ApplicationRestriction {
+                immovable: Rights::RW,
+            })
+        }),
+        ("combined", || Box::new(CombinedRestriction)),
+    ];
+    let mut group = c.benchmark_group("monitor/trace_500_rules");
+    for (name, make) in policies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                let mut monitor = Monitor::new(
+                    built.graph.clone(),
+                    built.assignment.clone(),
+                    make(),
+                );
+                for rule in &trace {
+                    let _ = monitor.try_apply(rule);
+                }
+                monitor.stats()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_restrictions
+}
+criterion_main!(benches);

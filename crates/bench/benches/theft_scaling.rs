@@ -1,0 +1,60 @@
+//! Theft and conspiracy analysis costs: `can_steal` piggybacks on the
+//! linear `can_share` machinery; the conspiracy graph is quadratic in the
+//! subject count (pairwise access-set intersection) and documented as
+//! such.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tg_analysis::{can_steal, min_conspirators, ConspiracyGraph};
+use tg_graph::Right;
+use tg_sim::gen::GraphGen;
+use tg_sim::workload::{bridge_chain, take_chain};
+
+fn bench_theft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theft/can_steal_take_chain");
+    for &n in &tg_bench::SIZES {
+        let (g, s, o) = take_chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                assert!(can_steal(std::hint::black_box(&g), Right::Read, s, o));
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("theft/min_conspirators_bridge_chain");
+    for &hops in &[4usize, 8, 16, 32] {
+        let (g, first, secret) = bridge_chain(hops);
+        group.bench_with_input(BenchmarkId::from_parameter(hops), &hops, |b, _| {
+            b.iter(|| {
+                let chain = min_conspirators(std::hint::black_box(&g), Right::Read, first, secret)
+                    .expect("share holds");
+                assert_eq!(chain.len(), hops + 1);
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("theft/conspiracy_graph_random");
+    for &n in &[32usize, 64, 128, 256] {
+        let g = GraphGen {
+            vertices: n,
+            seed: 3,
+            ..GraphGen::default()
+        }
+        .build();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| ConspiracyGraph::compute(std::hint::black_box(&g)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_theft
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Constructive witness synthesis: producing and replaying the rule
+//! sequence behind a positive `can_share`/`can_know` answer. Synthesis
+//! stays near-linear in the witness length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tg_analysis::synthesis::{know_witness, share_witness};
+use tg_graph::Right;
+use tg_sim::workload::{bridge_chain, take_chain};
+
+fn bench_witnesses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("witness/share_take_chain");
+    for &n in &[16usize, 32, 64, 128, 256] {
+        let (g, s, o) = take_chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let d = share_witness(std::hint::black_box(&g), Right::Read, s, o)
+                    .expect("predicate holds");
+                d.replayed(&g).expect("witness replays")
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("witness/share_bridge_chain");
+    for &hops in &[2usize, 4, 8, 16] {
+        let (g, first, secret) = bridge_chain(hops);
+        group.bench_with_input(BenchmarkId::from_parameter(hops), &hops, |b, _| {
+            b.iter(|| {
+                let d = share_witness(std::hint::black_box(&g), Right::Read, first, secret)
+                    .expect("predicate holds");
+                d.replayed(&g).expect("witness replays")
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("witness/know_bridge_chain");
+    for &hops in &[2usize, 4, 8, 16] {
+        let (g, first, secret) = bridge_chain(hops);
+        group.bench_with_input(BenchmarkId::from_parameter(hops), &hops, |b, _| {
+            b.iter(|| {
+                let d = know_witness(std::hint::black_box(&g), first, secret)
+                    .expect("predicate holds");
+                d.replayed(&g).expect("witness replays")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_witnesses
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figure 2.1 at scale: the cost of the Wu-model conspiracy (constant —
+//! four rule applications regardless of hierarchy size) versus the cost of
+//! *detecting* the vulnerability with `can_know` (linear in the tree).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tg_analysis::can_know;
+use tg_graph::Rights;
+use tg_hierarchy::wu::{conspiracy, wu_hierarchy};
+
+fn bench_wu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wu/conspiracy_execution");
+    for &depth in &tg_bench::DEPTHS {
+        let wu = wu_hierarchy(depth, 2);
+        let root = wu.levels[0][0];
+        let conspirator = wu.levels[1][0];
+        let victim = wu.levels[1][1];
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let d = conspiracy(
+                    std::hint::black_box(&wu.graph),
+                    root,
+                    conspirator,
+                    victim,
+                    Rights::T,
+                )
+                .expect("preconditions hold");
+                assert_eq!(d.len(), 4);
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("wu/leak_detection");
+    for &depth in &tg_bench::DEPTHS {
+        let wu = wu_hierarchy(depth, 2);
+        let mut g = wu.graph.clone();
+        let root = wu.levels[0][0];
+        let leaf = *wu.levels[depth - 1].last().expect("nonempty");
+        let secret = g.add_object("secret");
+        g.add_edge(root, secret, Rights::R).expect("edge");
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                assert!(can_know(std::hint::black_box(&g), leaf, secret));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_wu
+}
+criterion_main!(benches);

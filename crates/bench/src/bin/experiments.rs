@@ -1,0 +1,399 @@
+//! Regenerates every table of EXPERIMENTS.md: figure facts, complexity
+//! shapes and the restriction ablation.
+//!
+//! Run with: `cargo run --release -p tg-bench --bin experiments`
+
+use tg_analysis::{can_know, can_know_f, can_share, Islands};
+use tg_bench::{growth, time_ns, DEPTHS, SIZES};
+use tg_graph::{Right, Rights};
+use tg_hierarchy::monitor::audit_graph;
+use tg_hierarchy::wu::{conspiracy, wu_hierarchy, wu_invariant_violated};
+use tg_hierarchy::{
+    secure_policy, ApplicationRestriction, CombinedRestriction, DirectionRestriction, Monitor,
+    Restriction, Unrestricted,
+};
+use tg_rules::{DeJureRule, Rule};
+use tg_sim::workload::{bridge_chain, flow_chain, hierarchy, take_chain};
+use tg_sim::{gen, scenarios};
+
+fn heading(title: &str) {
+    println!("\n== {title} ==");
+}
+
+fn shape_row(label: &str, sizes: &[usize], series: &[f64]) {
+    let pretty: Vec<String> = series.iter().map(|ns| format!("{:>10.0}", ns)).collect();
+    println!("{label:<26}{}", pretty.join(""));
+    let ratios: Vec<String> = growth(series)
+        .iter()
+        .map(|r| format!("{:>10.2}", r))
+        .collect();
+    println!("{:<26}{:>10}{}", "  growth per step", "-", ratios.join(""));
+    let _ = sizes;
+}
+
+fn main() {
+    println!("Hierarchical Take-Grant Protection Systems — experiment tables");
+    println!("(shapes matter, not absolute numbers; see EXPERIMENTS.md)");
+
+    // ---------------------------------------------------------------
+    heading("E1 / Figure 2.1 — the Wu-model conspiracy");
+    println!(
+        "{:<8}{:>10}{:>16}{:>18}{:>22}",
+        "depth", "subjects", "attack steps", "wu breached", "bishop counterpart"
+    );
+    for &depth in &DEPTHS {
+        let wu = wu_hierarchy(depth, 2);
+        let root = wu.levels[0][0];
+        let conspirator = wu.levels[1][0];
+        let victim = wu.levels[1][1];
+        let derivation =
+            conspiracy(&wu.graph, root, conspirator, victim, Rights::T).expect("preconditions");
+        let after = derivation.replayed(&wu.graph).expect("replays");
+        let breached = wu_invariant_violated(&after, &wu.assignment);
+        // The same classification as a §4 structure resists every attack.
+        let names: Vec<String> = (0..depth).map(|i| format!("L{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let built = tg_hierarchy::structure::linear_hierarchy(&name_refs, 2);
+        let mut g = built.graph.clone();
+        let secret = g.add_object("secret");
+        g.add_edge(*built.subjects.last().unwrap().first().unwrap(), secret, Rights::R)
+            .unwrap();
+        let bishop_leaks = can_know(&g, built.subjects[0][0], secret);
+        println!(
+            "{:<8}{:>10}{:>16}{:>18}{:>22}",
+            depth,
+            wu.graph.vertex_count(),
+            derivation.len(),
+            if breached { "yes (leak)" } else { "no" },
+            if bishop_leaks { "LEAKS (bug)" } else { "immune" }
+        );
+    }
+
+    // ---------------------------------------------------------------
+    heading("E2 / Figure 2.2 — islands, bridges, spans");
+    let fig = scenarios::fig_2_2();
+    let islands = Islands::compute(&fig.graph);
+    println!("islands found: {} (paper: 3)", islands.len());
+    for (i, island) in islands.iter().enumerate() {
+        let names: Vec<&str> = island
+            .iter()
+            .map(|&v| fig.graph.vertex(v).name.as_str())
+            .collect();
+        println!("  I{}: {{{}}}", i + 1, names.join(", "));
+    }
+    let initial = tg_analysis::initial_spanners(&fig.graph, fig.q);
+    let terminal = tg_analysis::terminal_spanners(&fig.graph, fig.s);
+    println!(
+        "initial span to q: {} (paper: p, word g>)",
+        initial
+            .iter()
+            .map(|s| format!("{} [{}]", fig.graph.vertex(s.subject).name, tg_paths::format_word(&s.word)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "terminal span to s: {} (paper: s', word t>)",
+        terminal
+            .iter()
+            .map(|s| format!("{} [{}]", fig.graph.vertex(s.subject).name, tg_paths::format_word(&s.word)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // ---------------------------------------------------------------
+    heading("E3 / Figure 3.1 — associated words");
+    let fig = scenarios::fig_3_1();
+    let words = tg_paths::associated_words(&fig.graph, &fig.path, Rights::RW, false);
+    println!(
+        "path a-b-c carries {} words: {}",
+        words.len(),
+        words
+            .iter()
+            .map(|w| tg_paths::format_word(w))
+            .collect::<Vec<_>>()
+            .join("  |  ")
+    );
+
+    // ---------------------------------------------------------------
+    heading("E4 / Figure 4.1 — linear classification (Theorem 4.3)");
+    let built = scenarios::fig_4_1();
+    println!(
+        "secure_policy: {} | secure_structural: {}",
+        secure_policy(&built.graph, &built.assignment).is_ok(),
+        tg_hierarchy::secure_structural(&built.graph, &built.assignment).is_ok()
+    );
+    println!("level-pair flow matrix (row knows column):");
+    print!("{:<6}", "");
+    for j in 0..4 {
+        print!("{:>6}", format!("L{}", j + 1));
+    }
+    println!();
+    for i in 0..4 {
+        print!("{:<6}", format!("L{}", i + 1));
+        for j in 0..4 {
+            let flows = can_know_f(&built.graph, built.subjects[i][0], built.subjects[j][0]);
+            print!("{:>6}", if flows { "yes" } else { "-" });
+        }
+        println!();
+    }
+
+    // ---------------------------------------------------------------
+    heading("E5 / Figure 4.2 — military classification lattice");
+    let built = scenarios::fig_4_2();
+    println!(
+        "levels: {} | secure: {} | incomparable pairs: {}",
+        built.subjects.len(),
+        secure_policy(&built.graph, &built.assignment).is_ok(),
+        {
+            let a = &built.assignment;
+            let mut count = 0;
+            for i in 0..a.len() {
+                for j in i + 1..a.len() {
+                    if a.incomparable(i, j) {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        }
+    );
+
+    // ---------------------------------------------------------------
+    heading("E6 / Figure 5.1 — the combined restriction in action");
+    let fig = scenarios::fig_5_1();
+    let mut monitor = Monitor::new(
+        fig.graph.clone(),
+        fig.assignment.clone(),
+        Box::new(CombinedRestriction),
+    );
+    for (label, rights) in [("w", Rights::W), ("e", Rights::E)] {
+        let rule = Rule::DeJure(DeJureRule::Take {
+            actor: fig.x,
+            via: fig.s,
+            target: fig.y,
+            rights,
+        });
+        let outcome = match monitor.try_apply(&rule) {
+            Ok(_) => "permitted".to_string(),
+            Err(e) => format!("denied ({e})"),
+        };
+        println!("x takes ({label} to y): {outcome}");
+    }
+
+    // ---------------------------------------------------------------
+    heading("E7 / Figure 6.1 — de jure rules alone breach security");
+    let fig = scenarios::fig_6_1();
+    println!(
+        "can_know_f(x, y) = {} | can_share(r, x, y) = {} | can_know(x, y) = {}",
+        can_know_f(&fig.graph, fig.x, fig.y),
+        can_share(&fig.graph, Right::Read, fig.x, fig.y),
+        can_know(&fig.graph, fig.x, fig.y)
+    );
+
+    // ---------------------------------------------------------------
+    heading("T2.3 — can_share decision time (ns), expect ~2.0 growth per doubling");
+    println!("{:<26}{}", "size", SIZES.map(|s| format!("{s:>10}")).join(""));
+    let series: Vec<f64> = SIZES
+        .iter()
+        .map(|&n| {
+            let (g, s, o) = take_chain(n);
+            time_ns(50, || {
+                assert!(can_share(&g, Right::Read, s, o));
+            })
+        })
+        .collect();
+    shape_row("take_chain", &SIZES, &series);
+    let hops = [16usize, 32, 64, 128, 256];
+    println!("{:<26}{}", "hops", hops.map(|s| format!("{s:>10}")).join(""));
+    let series: Vec<f64> = hops
+        .iter()
+        .map(|&h| {
+            let (g, first, secret) = bridge_chain(h);
+            time_ns(20, || {
+                assert!(can_share(&g, Right::Read, first, secret));
+            })
+        })
+        .collect();
+    shape_row("bridge_chain", &hops, &series);
+
+    // ---------------------------------------------------------------
+    heading("T3.1 — can_know_f decision time (ns), expect ~2.0 growth");
+    println!("{:<26}{}", "size", SIZES.map(|s| format!("{s:>10}")).join(""));
+    let series: Vec<f64> = SIZES
+        .iter()
+        .map(|&n| {
+            let (g, x, far) = flow_chain(n);
+            time_ns(50, || {
+                assert!(can_know_f(&g, x, far));
+            })
+        })
+        .collect();
+    shape_row("flow_chain", &SIZES, &series);
+
+    // ---------------------------------------------------------------
+    heading("T3.2 — can_know decision time (ns), expect ~2.0 growth");
+    println!("{:<26}{}", "hops", hops.map(|s| format!("{s:>10}")).join(""));
+    let series: Vec<f64> = hops
+        .iter()
+        .map(|&h| {
+            let (g, first, secret) = bridge_chain(h);
+            time_ns(20, || {
+                assert!(can_know(&g, first, secret));
+            })
+        })
+        .collect();
+    shape_row("bridge_chain", &hops, &series);
+
+    // ---------------------------------------------------------------
+    heading("C5.6 — audit time vs edge count (ns), expect ~2.0 growth");
+    let levels_sweep = [8usize, 16, 32, 64, 128];
+    let built: Vec<_> = levels_sweep.iter().map(|&l| hierarchy(l, 8)).collect();
+    let edge_counts: Vec<usize> = built.iter().map(|b| b.graph.edge_count()).collect();
+    println!(
+        "{:<26}{}",
+        "edges",
+        edge_counts
+            .iter()
+            .map(|e| format!("{e:>10}"))
+            .collect::<Vec<_>>()
+            .join("")
+    );
+    let series: Vec<f64> = built
+        .iter()
+        .map(|b| {
+            time_ns(50, || {
+                assert!(audit_graph(&b.graph, &b.assignment, &CombinedRestriction).is_empty());
+            })
+        })
+        .collect();
+    shape_row("audit", &edge_counts, &series);
+
+    // ---------------------------------------------------------------
+    heading("C5.7 — per-rule check time vs graph size (ns), expect ~1.0 growth (flat)");
+    let series: Vec<f64> = levels_sweep
+        .iter()
+        .map(|&l| {
+            let mut b = hierarchy(l, 8);
+            let lo = b.subjects[0][0];
+            let hi_doc = b.graph.find_by_name(&format!("doc{}", l - 1)).unwrap();
+            let registry = b.graph.add_object("registry");
+            b.assignment.assign(registry, l - 1).unwrap();
+            b.graph.add_edge(registry, hi_doc, Rights::R).unwrap();
+            b.graph.add_edge(lo, registry, Rights::T).unwrap();
+            let monitor = Monitor::new(b.graph.clone(), b.assignment.clone(), Box::new(CombinedRestriction));
+            let rule = Rule::DeJure(DeJureRule::Take {
+                actor: lo,
+                via: registry,
+                target: hi_doc,
+                rights: Rights::R,
+            });
+            time_ns(2000, || {
+                assert!(monitor.check(&rule).is_err());
+            })
+        })
+        .collect();
+    let vertex_counts: Vec<usize> = levels_sweep.iter().map(|&l| l * 8 + l + 2).collect();
+    println!(
+        "{:<26}{}",
+        "vertices",
+        vertex_counts
+            .iter()
+            .map(|v| format!("{v:>10}"))
+            .collect::<Vec<_>>()
+            .join("")
+    );
+    shape_row("rule_check", &vertex_counts, &series);
+
+    // ---------------------------------------------------------------
+    heading("A1 — restriction ablation (targeted acquisitions + fuzzing)");
+    let mut built = gen::HierarchyGen {
+        levels: 4,
+        per_level: 5,
+        noise_edges: 0,
+        seed: 42,
+    }
+    .build();
+    let subjects: Vec<_> = built.graph.subjects().collect();
+    let mut docs = Vec::new();
+    let mut registries = Vec::new();
+    for level in 0..4 {
+        let registry = built.graph.add_object(format!("registry{level}"));
+        built.assignment.assign(registry, level).unwrap();
+        let doc = built.attach_object(level, &format!("reg-doc{level}"));
+        built.graph.add_edge(registry, doc, Rights::RW).unwrap();
+        for &s in &subjects {
+            built.graph.add_edge(s, registry, Rights::T).unwrap();
+        }
+        docs.push(doc);
+        registries.push(registry);
+    }
+    let mut trace: Vec<Rule> = Vec::new();
+    for &s in &subjects {
+        for level in 0..4 {
+            for rights in [Rights::R, Rights::W, Rights::E] {
+                trace.push(Rule::DeJure(DeJureRule::Take {
+                    actor: s,
+                    via: registries[level],
+                    target: docs[level],
+                    rights,
+                }));
+            }
+        }
+    }
+    trace.extend(gen::random_trace(&built.graph, 4000, 1));
+    println!(
+        "{:<16}{:>10}{:>10}{:>12}{:>12}",
+        "restriction", "permitted", "denied", "malformed", "violations"
+    );
+    let policies: Vec<(&str, Box<dyn Restriction>)> = vec![
+        ("unrestricted", Box::new(Unrestricted)),
+        ("direction", Box::new(DirectionRestriction)),
+        (
+            "application",
+            Box::new(ApplicationRestriction {
+                immovable: Rights::RW,
+            }),
+        ),
+        ("combined", Box::new(CombinedRestriction)),
+    ];
+    for (label, restriction) in policies {
+        let mut monitor = Monitor::new(built.graph.clone(), built.assignment.clone(), restriction);
+        for rule in &trace {
+            let _ = monitor.try_apply(rule);
+        }
+        let violations = audit_graph(monitor.graph(), monitor.levels(), &CombinedRestriction);
+        let stats = monitor.stats();
+        println!(
+            "{:<16}{:>10}{:>10}{:>12}{:>12}",
+            label,
+            stats.permitted,
+            stats.denied,
+            stats.malformed,
+            violations.len()
+        );
+    }
+    // ---------------------------------------------------------------
+    heading("A2 — theft and conspiracy assessment (bridge chains)");
+    println!(
+        "{:<8}{:>12}{:>14}{:>18}",
+        "hops", "can_share", "can_steal", "min conspirators"
+    );
+    for &hops in &[1usize, 2, 4, 8] {
+        let (g, first, secret) = bridge_chain(hops);
+        let share = tg_analysis::can_share(&g, Right::Read, first, secret);
+        let steal = tg_analysis::can_steal(&g, Right::Read, first, secret);
+        let conspirators = tg_analysis::min_conspirators(&g, Right::Read, first, secret)
+            .map(|c| c.len().to_string())
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<8}{:>12}{:>14}{:>18}",
+            hops, share, steal, conspirators
+        );
+    }
+    println!(
+        "(every hop adds one required conspirator: the island chain is the\n\
+         conspiracy chain — Snyder's theorem made executable)"
+    );
+
+    println!("\ndone.");
+}

@@ -1,0 +1,56 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The Criterion benches under `benches/` and the `experiments` binary
+//! both sweep the `tg-sim` workload families; this crate holds the sweep
+//! definitions so the printed tables and the timed benches stay in sync.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// The graph sizes swept by the scaling experiments.
+pub const SIZES: [usize; 5] = [64, 128, 256, 512, 1024];
+
+/// The hierarchy depths swept by the Wu-conspiracy experiment.
+pub const DEPTHS: [usize; 4] = [2, 4, 6, 8];
+
+/// Times `f` over `iters` runs and returns nanoseconds per run.
+pub fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+    // One warm-up run.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+/// Formats a slowdown factor between consecutive sweep points — the
+/// "shape" column of EXPERIMENTS.md (≈2.0 per doubling is linear, ≈1.0 is
+/// constant).
+pub fn growth(series: &[f64]) -> Vec<f64> {
+    series
+        .windows(2)
+        .map(|w| if w[0] > 0.0 { w[1] / w[0] } else { f64::NAN })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_ratios() {
+        let g = growth(&[1.0, 2.0, 8.0]);
+        assert_eq!(g, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn time_ns_is_positive() {
+        let mut x = 0u64;
+        let ns = time_ns(10, || x = x.wrapping_add(1));
+        assert!(ns >= 0.0);
+        assert!(x >= 10);
+    }
+}

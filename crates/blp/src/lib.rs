@@ -1,0 +1,276 @@
+//! A small Bell–LaPadula state machine, used to validate the paper's §6
+//! correspondence claim:
+//!
+//! > "Note that when these results are applied to the Take-Grant model of
+//! > a document system, the total view of security given in [Bell–LaPadula]
+//! > is obtained. As the write authority in the Take-Grant model is not a
+//! > viewing right, the write authority of the Take-Grant model is the
+//! > same as the append authority of Bell and LaPadula. Then, restriction
+//! > (a) is equivalent to the refined simple security property, and
+//! > restriction (b) is the no write down property."
+//!
+//! The machine tracks current accesses and enforces:
+//!
+//! * **simple security** (no read up): a subject may hold `Read` access to
+//!   an object only if the subject's level dominates the object's;
+//! * **the *-property** (no write down), in append form: a subject may
+//!   hold `Append` access only if the object's level dominates the
+//!   subject's.
+//!
+//! The correspondence test (`tests/blp_correspondence.rs` at the workspace
+//! root) shows decision-level agreement: the combined Take-Grant
+//! restriction permits acquiring an explicit `r`/`w` edge exactly when
+//! this machine grants the matching `Read`/`Append` access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+
+use tg_graph::VertexId;
+use tg_hierarchy::LevelAssignment;
+
+/// A current-access mode. Take-Grant `w` maps to [`AccessMode::Append`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum AccessMode {
+    /// Viewing access (BLP *observe*).
+    Read,
+    /// Blind-write access (BLP *append*; no observation).
+    Append,
+}
+
+/// Why an access request was refused.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BlpError {
+    /// Simple security violated: reading up.
+    SimpleSecurity {
+        /// Requesting subject.
+        subject: VertexId,
+        /// Target object.
+        object: VertexId,
+    },
+    /// The *-property violated: appending down.
+    StarProperty {
+        /// Requesting subject.
+        subject: VertexId,
+        /// Target object.
+        object: VertexId,
+    },
+    /// One of the entities carries no level.
+    Unassigned(VertexId),
+}
+
+impl core::fmt::Display for BlpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BlpError::SimpleSecurity { subject, object } => {
+                write!(f, "simple security: {subject} may not read {object}")
+            }
+            BlpError::StarProperty { subject, object } => {
+                write!(f, "*-property: {subject} may not append to {object}")
+            }
+            BlpError::Unassigned(v) => write!(f, "{v} has no level"),
+        }
+    }
+}
+
+impl std::error::Error for BlpError {}
+
+/// A Bell–LaPadula protection state: a level lattice plus the current
+/// access set *b*.
+///
+/// # Examples
+///
+/// ```
+/// use tg_blp::{AccessMode, BlpState};
+/// use tg_graph::VertexId;
+/// use tg_hierarchy::LevelAssignment;
+///
+/// let mut levels = LevelAssignment::linear(&["unclassified", "secret"]);
+/// let s = VertexId::from_index(0);
+/// let o = VertexId::from_index(1);
+/// levels.assign(s, 0).unwrap();
+/// levels.assign(o, 1).unwrap();
+///
+/// let mut blp = BlpState::new(levels);
+/// // Reading up is refused; appending up is granted.
+/// assert!(blp.request(s, o, AccessMode::Read).is_err());
+/// assert!(blp.request(s, o, AccessMode::Append).is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct BlpState {
+    levels: LevelAssignment,
+    current: BTreeSet<(VertexId, VertexId, AccessMode)>,
+}
+
+impl BlpState {
+    /// Creates an empty-access state over the given lattice and
+    /// assignments.
+    pub fn new(levels: LevelAssignment) -> BlpState {
+        BlpState {
+            levels,
+            current: BTreeSet::new(),
+        }
+    }
+
+    /// The level lattice.
+    pub fn levels(&self) -> &LevelAssignment {
+        &self.levels
+    }
+
+    /// Whether `(subject, object, mode)` is in the current access set.
+    pub fn has_access(&self, subject: VertexId, object: VertexId, mode: AccessMode) -> bool {
+        self.current.contains(&(subject, object, mode))
+    }
+
+    /// Number of current accesses.
+    pub fn access_count(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Pure decision: would `request` succeed in this state?
+    pub fn permitted(
+        &self,
+        subject: VertexId,
+        object: VertexId,
+        mode: AccessMode,
+    ) -> Result<(), BlpError> {
+        let Some(ls) = self.levels.level_of(subject) else {
+            return Err(BlpError::Unassigned(subject));
+        };
+        let Some(lo) = self.levels.level_of(object) else {
+            return Err(BlpError::Unassigned(object));
+        };
+        match mode {
+            AccessMode::Read => {
+                if self.levels.dominates(ls, lo) {
+                    Ok(())
+                } else {
+                    Err(BlpError::SimpleSecurity { subject, object })
+                }
+            }
+            AccessMode::Append => {
+                if self.levels.dominates(lo, ls) {
+                    Ok(())
+                } else {
+                    Err(BlpError::StarProperty { subject, object })
+                }
+            }
+        }
+    }
+
+    /// The *get-access* transition: adds the access if both properties
+    /// hold.
+    pub fn request(
+        &mut self,
+        subject: VertexId,
+        object: VertexId,
+        mode: AccessMode,
+    ) -> Result<(), BlpError> {
+        self.permitted(subject, object, mode)?;
+        self.current.insert((subject, object, mode));
+        Ok(())
+    }
+
+    /// The *release-access* transition. Returns whether the access was
+    /// present.
+    pub fn release(&mut self, subject: VertexId, object: VertexId, mode: AccessMode) -> bool {
+        self.current.remove(&(subject, object, mode))
+    }
+
+    /// The basic security theorem's invariant: every *current* access
+    /// satisfies both properties. Holds by construction; exposed so tests
+    /// can assert it after arbitrary transition sequences.
+    pub fn state_secure(&self) -> bool {
+        self.current
+            .iter()
+            .all(|&(s, o, m)| self.permitted(s, o, m).is_ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (BlpState, VertexId, VertexId, VertexId) {
+        let mut levels = LevelAssignment::linear(&["lo", "hi"]);
+        let lo_subj = VertexId::from_index(0);
+        let hi_subj = VertexId::from_index(1);
+        let hi_obj = VertexId::from_index(2);
+        levels.assign(lo_subj, 0).unwrap();
+        levels.assign(hi_subj, 1).unwrap();
+        levels.assign(hi_obj, 1).unwrap();
+        (BlpState::new(levels), lo_subj, hi_subj, hi_obj)
+    }
+
+    #[test]
+    fn simple_security_blocks_read_up() {
+        let (mut blp, lo_subj, _, hi_obj) = setup();
+        assert_eq!(
+            blp.request(lo_subj, hi_obj, AccessMode::Read),
+            Err(BlpError::SimpleSecurity {
+                subject: lo_subj,
+                object: hi_obj
+            })
+        );
+        assert!(!blp.has_access(lo_subj, hi_obj, AccessMode::Read));
+    }
+
+    #[test]
+    fn star_property_blocks_append_down() {
+        let (mut blp, lo_subj, hi_subj, _) = setup();
+        assert_eq!(
+            blp.request(hi_subj, lo_subj, AccessMode::Append),
+            Err(BlpError::StarProperty {
+                subject: hi_subj,
+                object: lo_subj
+            })
+        );
+    }
+
+    #[test]
+    fn read_down_and_append_up_are_granted() {
+        let (mut blp, lo_subj, hi_subj, hi_obj) = setup();
+        blp.request(hi_subj, lo_subj, AccessMode::Read).unwrap();
+        blp.request(lo_subj, hi_obj, AccessMode::Append).unwrap();
+        blp.request(hi_subj, hi_obj, AccessMode::Read).unwrap();
+        blp.request(hi_subj, hi_obj, AccessMode::Append).unwrap();
+        assert_eq!(blp.access_count(), 4);
+        assert!(blp.state_secure());
+    }
+
+    #[test]
+    fn release_removes_access() {
+        let (mut blp, _, hi_subj, hi_obj) = setup();
+        blp.request(hi_subj, hi_obj, AccessMode::Read).unwrap();
+        assert!(blp.release(hi_subj, hi_obj, AccessMode::Read));
+        assert!(!blp.release(hi_subj, hi_obj, AccessMode::Read));
+        assert_eq!(blp.access_count(), 0);
+    }
+
+    #[test]
+    fn unassigned_entities_fail_closed() {
+        let (mut blp, lo_subj, _, _) = setup();
+        let stranger = VertexId::from_index(9);
+        assert_eq!(
+            blp.request(lo_subj, stranger, AccessMode::Read),
+            Err(BlpError::Unassigned(stranger))
+        );
+    }
+
+    #[test]
+    fn state_stays_secure_after_any_granted_sequence() {
+        let (mut blp, lo_subj, hi_subj, hi_obj) = setup();
+        let entities = [lo_subj, hi_subj, hi_obj];
+        for &s in &entities {
+            for &o in &entities {
+                if s == o {
+                    continue;
+                }
+                let _ = blp.request(s, o, AccessMode::Read);
+                let _ = blp.request(s, o, AccessMode::Append);
+            }
+        }
+        assert!(blp.state_secure());
+    }
+}

@@ -1,0 +1,384 @@
+//! `tgq` — a command-line analyzer for Take-Grant protection graphs.
+//!
+//! ```text
+//! tgq show <file>                      summary: vertices, edges, islands, levels
+//! tgq dot <file>                       Graphviz DOT on stdout
+//! tgq islands <file>                   island decomposition
+//! tgq levels <file>                    derived rw- and rwtg-levels
+//! tgq secure <file>                    derived security check (§5)
+//! tgq can-share <file> <right> <x> <y> [--witness]
+//! tgq can-know <file> <x> <y> [--witness]
+//! tgq can-know-f <file> <x> <y>
+//! tgq figure <2.1|2.2|3.1|4.1|4.2|5.1|6.1>
+//! ```
+//!
+//! Graph files use the `tg-graph` text format (`subject`/`object`/`edge`
+//! lines); vertices are referred to by name.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+use tg_analysis::{can_know, can_know_f, can_share, can_steal, min_conspirators, synthesis, Islands};
+use tg_graph::{parse_graph, render_graph, DotOptions, ProtectionGraph, Right, VertexId};
+use tg_hierarchy::monitor::audit_graph;
+use tg_hierarchy::policy::parse_policy;
+use tg_hierarchy::{rw_levels, rwtg_levels, secure_derived, secure_policy, CombinedRestriction};
+
+fn usage() -> String {
+    "usage: tgq <show|dot|islands|levels|secure|secure-policy|audit|explain|can-share|\
+     can-know|can-know-f|can-steal|conspirators|figure> ...\nrun with a command name for details"
+        .to_string()
+}
+
+fn load(path: &str) -> Result<ProtectionGraph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_graph(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn vertex(graph: &ProtectionGraph, name: &str) -> Result<VertexId, String> {
+    graph
+        .find_by_name(name)
+        .ok_or_else(|| format!("no vertex named {name:?}"))
+}
+
+fn name(graph: &ProtectionGraph, v: VertexId) -> String {
+    graph.vertex(v).name.clone()
+}
+
+/// Executes one `tgq` invocation, writing human-readable output to `out`.
+/// Returns `Err` with a message for usage errors, unparsable inputs and
+/// negative `secure`-family verdicts (the binary maps these to a nonzero
+/// exit status).
+pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
+    let mut iter = args.iter().map(String::as_str);
+    let command = iter.next().ok_or_else(usage)?;
+    let rest: Vec<&str> = iter.collect();
+    match command {
+        "show" => {
+            let [path] = rest.as_slice() else {
+                return Err("usage: tgq show <file>".to_string());
+            };
+            let g = load(path)?;
+            let _ = writeln!(out, 
+                "{} vertices ({} subjects, {} objects), {} edges ({} explicit)",
+                g.vertex_count(),
+                g.subjects().count(),
+                g.objects().count(),
+                g.edge_count(),
+                g.explicit_edge_count()
+            );
+            let stats = tg_graph::stats::stats(&g);
+            let _ = writeln!(out, "rights histogram: {}", stats.rights_histogram());
+            let _ = writeln!(
+                out,
+                "max out-degree {}, max in-degree {}",
+                stats.max_out_degree, stats.max_in_degree
+            );
+            let islands = Islands::compute(&g);
+            let _ = writeln!(out, "{} islands", islands.len());
+            let rw = rw_levels(&g);
+            let rwtg = rwtg_levels(&g);
+            let _ = writeln!(out, "{} rw-levels, {} rwtg-levels", rw.len(), rwtg.len());
+            Ok(())
+        }
+        "dot" => {
+            let [path] = rest.as_slice() else {
+                return Err("usage: tgq dot <file>".to_string());
+            };
+            let g = load(path)?;
+            let _ = write!(out, "{}", DotOptions::default().render(&g));
+            Ok(())
+        }
+        "islands" => {
+            let [path] = rest.as_slice() else {
+                return Err("usage: tgq islands <file>".to_string());
+            };
+            let g = load(path)?;
+            let islands = Islands::compute(&g);
+            for (i, island) in islands.iter().enumerate() {
+                let names: Vec<String> = island.iter().map(|&v| name(&g, v)).collect();
+                let _ = writeln!(out, "island {i}: {{{}}}", names.join(", "));
+            }
+            Ok(())
+        }
+        "levels" => {
+            let [path] = rest.as_slice() else {
+                return Err("usage: tgq levels <file>".to_string());
+            };
+            let g = load(path)?;
+            for (title, levels) in [("rw", rw_levels(&g)), ("rwtg", rwtg_levels(&g))] {
+                let _ = writeln!(out, "{title}-levels:");
+                for i in 0..levels.len() {
+                    let names: Vec<String> =
+                        levels.members(i).iter().map(|&v| name(&g, v)).collect();
+                    let above: Vec<String> = (0..levels.len())
+                        .filter(|&j| levels.higher(i, j))
+                        .map(|j| format!("{j}"))
+                        .collect();
+                    if above.is_empty() {
+                        let _ = writeln!(out, "  level {i}: {{{}}}", names.join(", "));
+                    } else {
+                        let _ = writeln!(out, 
+                            "  level {i}: {{{}}} (higher than {})",
+                            names.join(", "),
+                            above.join(", ")
+                        );
+                    }
+                }
+            }
+            Ok(())
+        }
+        "secure" => {
+            let [path] = rest.as_slice() else {
+                return Err("usage: tgq secure <file>".to_string());
+            };
+            let g = load(path)?;
+            match secure_derived(&g) {
+                Ok(()) => {
+                    let _ = writeln!(out, "secure: the de jure rules cannot invert the de facto hierarchy");
+                    Ok(())
+                }
+                Err(breach) => Err(format!(
+                    "INSECURE: {} can come to know {} ({})",
+                    name(&g, breach.x),
+                    name(&g, breach.y),
+                    breach.reason
+                )),
+            }
+        }
+        "can-share" => {
+            let (witness, rest): (bool, Vec<&str>) = split_flag(&rest, "--witness");
+            let [path, right, x, y] = rest.as_slice() else {
+                return Err("usage: tgq can-share <file> <right> <x> <y> [--witness]".to_string());
+            };
+            let g = load(path)?;
+            let right = Right::parse(right).ok_or_else(|| format!("unknown right {right:?}"))?;
+            let vx = vertex(&g, x)?;
+            let vy = vertex(&g, y)?;
+            if can_share(&g, right, vx, vy) {
+                let _ = writeln!(out, "true: {x} can acquire {right} to {y}");
+                if witness {
+                    let d = synthesis::share_witness(&g, right, vx, vy)
+                        .map_err(|e| format!("witness synthesis failed: {e}"))?;
+                    let _ = write!(out, "{d}");
+                }
+                Ok(())
+            } else {
+                let _ = writeln!(out, "false: {x} can never acquire {right} to {y}");
+                Ok(())
+            }
+        }
+        "can-know" | "can-know-f" => {
+            let (witness, rest): (bool, Vec<&str>) = split_flag(&rest, "--witness");
+            let [path, x, y] = rest.as_slice() else {
+                return Err(format!("usage: tgq {command} <file> <x> <y> [--witness]"));
+            };
+            let g = load(path)?;
+            let vx = vertex(&g, x)?;
+            let vy = vertex(&g, y)?;
+            let result = if command == "can-know" {
+                can_know(&g, vx, vy)
+            } else {
+                can_know_f(&g, vx, vy)
+            };
+            if result {
+                let _ = writeln!(out, "true: {x} can come to know {y}'s information");
+                if witness && command == "can-know" {
+                    let d = synthesis::know_witness(&g, vx, vy)
+                        .map_err(|e| format!("witness synthesis failed: {e}"))?;
+                    let _ = write!(out, "{d}");
+                }
+            } else {
+                let _ = writeln!(out, "false: information cannot flow from {y} to {x}");
+            }
+            Ok(())
+        }
+        "secure-policy" | "audit" => {
+            let [graph_path, policy_path] = rest.as_slice() else {
+                return Err(format!("usage: tgq {command} <graph-file> <policy-file>"));
+            };
+            let g = load(graph_path)?;
+            let policy_text = std::fs::read_to_string(policy_path)
+                .map_err(|e| format!("cannot read {policy_path}: {e}"))?;
+            let levels = parse_policy(&policy_text, &g).map_err(|e| format!("{policy_path}: {e}"))?;
+            if command == "audit" {
+                let violations = audit_graph(&g, &levels, &CombinedRestriction);
+                if violations.is_empty() {
+                    let _ = writeln!(out, "audit clean: no r/w edge crosses levels");
+                    Ok(())
+                } else {
+                    for v in &violations {
+                        let _ = writeln!(
+                            out,
+                            "violation: {} -> {} : {}",
+                            name(&g, v.src),
+                            name(&g, v.dst),
+                            v.rights
+                        );
+                    }
+                    Err(format!("{} violating edge(s)", violations.len()))
+                }
+            } else {
+                match secure_policy(&g, &levels) {
+                    Ok(()) => {
+                        let _ = writeln!(out, "secure: every knowable pair respects dominance");
+                        Ok(())
+                    }
+                    Err(breach) => Err(format!(
+                        "INSECURE: {} can come to know {}",
+                        name(&g, breach.x),
+                        name(&g, breach.y)
+                    )),
+                }
+            }
+        }
+        "can-steal" => {
+            let (witness, rest): (bool, Vec<&str>) = split_flag(&rest, "--witness");
+            let [path, right, x, y] = rest.as_slice() else {
+                return Err("usage: tgq can-steal <file> <right> <x> <y> [--witness]".to_string());
+            };
+            let g = load(path)?;
+            let right = Right::parse(right).ok_or_else(|| format!("unknown right {right:?}"))?;
+            let vx = vertex(&g, x)?;
+            let vy = vertex(&g, y)?;
+            if can_steal(&g, right, vx, vy) {
+                let _ = writeln!(out, "true: {x} can steal {right} to {y} (no owner grants it)");
+                if witness {
+                    let d = synthesis::steal_witness(&g, right, vx, vy)
+                        .map_err(|e| format!("witness synthesis failed: {e}"))?;
+                    let _ = write!(out, "{d}");
+                }
+            } else {
+                let _ = writeln!(out, "false: {x} cannot steal {right} to {y}");
+            }
+            Ok(())
+        }
+        "conspirators" => {
+            let [path, right, x, y] = rest.as_slice() else {
+                return Err("usage: tgq conspirators <file> <right> <x> <y>".to_string());
+            };
+            let g = load(path)?;
+            let right = Right::parse(right).ok_or_else(|| format!("unknown right {right:?}"))?;
+            let vx = vertex(&g, x)?;
+            let vy = vertex(&g, y)?;
+            match min_conspirators(&g, right, vx, vy) {
+                None => {
+                    let _ = writeln!(out, "can_share is false: no conspiracy suffices");
+                }
+                Some(chain) if chain.is_empty() => {
+                    let _ = writeln!(out, "0 conspirators: {x} already holds {right} to {y}");
+                }
+                Some(chain) => {
+                    let names: Vec<String> = chain.iter().map(|&v| name(&g, v)).collect();
+                    let _ = writeln!(
+                        out,
+                        "{} conspirator(s): {}",
+                        chain.len(),
+                        names.join(" -> ")
+                    );
+                }
+            }
+            Ok(())
+        }
+        "explain" => {
+            let [graph_path, policy_path, verb, actor, via, target, right] = rest.as_slice()
+            else {
+                return Err(
+                    "usage: tgq explain <graph> <policy> take|grant <actor> <via> <target> <right>"
+                        .to_string(),
+                );
+            };
+            let g = load(graph_path)?;
+            let policy_text = std::fs::read_to_string(policy_path)
+                .map_err(|e| format!("cannot read {policy_path}: {e}"))?;
+            let levels =
+                parse_policy(&policy_text, &g).map_err(|e| format!("{policy_path}: {e}"))?;
+            let rights = tg_graph::Rights::singleton(
+                Right::parse(right).ok_or_else(|| format!("unknown right {right:?}"))?,
+            );
+            let (actor, via, target) = (vertex(&g, actor)?, vertex(&g, via)?, vertex(&g, target)?);
+            let rule = match *verb {
+                "take" => tg_rules::Rule::DeJure(tg_rules::DeJureRule::Take {
+                    actor,
+                    via,
+                    target,
+                    rights,
+                }),
+                "grant" => tg_rules::Rule::DeJure(tg_rules::DeJureRule::Grant {
+                    actor,
+                    via,
+                    target,
+                    rights,
+                }),
+                other => return Err(format!("unknown rule verb {other:?} (take|grant)")),
+            };
+            let monitor = tg_hierarchy::Monitor::new(
+                g.clone(),
+                levels,
+                Box::new(CombinedRestriction),
+            );
+            match monitor.explain(&rule).map_err(|e| e.to_string())? {
+                None => {
+                    let _ = writeln!(out, "permitted: the combined restriction allows this rule");
+                }
+                Some(explanation) => {
+                    let _ = writeln!(out, "denied: {}", explanation.reason);
+                    if explanation.enabled_breaches.is_empty() {
+                        let _ = writeln!(
+                            out,
+                            "permitting it creates no immediate de facto breach (the \
+                             restriction is conservative about edges)"
+                        );
+                    } else {
+                        let _ = writeln!(out, "permitting it would create:");
+                        for b in &explanation.enabled_breaches {
+                            let _ = writeln!(
+                                out,
+                                "  {} would come to know {}",
+                                name(&g, b.x),
+                                name(&g, b.y)
+                            );
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+        "figure" => {
+            let [id] = rest.as_slice() else {
+                return Err("usage: tgq figure <2.1|2.2|3.1|4.1|4.2|5.1|6.1>".to_string());
+            };
+            let graph = match *id {
+                "2.1" => tg_sim::scenarios::fig_2_1().wu.graph,
+                "2.2" => tg_sim::scenarios::fig_2_2().graph,
+                "3.1" => tg_sim::scenarios::fig_3_1().graph,
+                "4.1" => tg_sim::scenarios::fig_4_1().graph,
+                "4.2" => tg_sim::scenarios::fig_4_2().graph,
+                "5.1" => tg_sim::scenarios::fig_5_1().graph,
+                "6.1" => tg_sim::scenarios::fig_6_1().graph,
+                other => return Err(format!("unknown figure {other:?}")),
+            };
+            let _ = write!(out, "{}", render_graph(&graph));
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn split_flag<'a>(args: &[&'a str], flag: &str) -> (bool, Vec<&'a str>) {
+    let mut found = false;
+    let rest = args
+        .iter()
+        .filter(|&&a| {
+            if a == flag {
+                found = true;
+                false
+            } else {
+                true
+            }
+        })
+        .copied()
+        .collect();
+    (found, rest)
+}

@@ -1,0 +1,18 @@
+//! Thin binary wrapper over the `tg-cli` library (see `lib.rs` for the
+//! command reference).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    let result = tg_cli::run(&args, &mut out);
+    print!("{out}");
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tgq: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! End-to-end tests of every `tgq` command through the library entry
+//! point, including failure modes.
+
+use std::io::Write as _;
+
+fn run(args: &[&str]) -> Result<String, String> {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = String::new();
+    tg_cli::run(&args, &mut out).map(|()| out)
+}
+
+/// Writes `contents` to a fresh temp file and returns its path.
+fn temp_file(name: &str, contents: &str) -> String {
+    let path = std::env::temp_dir().join(format!("tgq-test-{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("temp file");
+    f.write_all(contents.as_bytes()).expect("write");
+    path.to_string_lossy().into_owned()
+}
+
+const FIG61: &str = "subject x\nobject s\nobject y\nedge x -> s : t\nedge s -> y : r\n";
+
+#[test]
+fn show_summarizes_the_graph() {
+    let path = temp_file("show.tg", FIG61);
+    let out = run(&["show", &path]).unwrap();
+    assert!(out.contains("3 vertices (1 subjects, 2 objects)"));
+    assert!(out.contains("islands"));
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let path = temp_file("dot.tg", FIG61);
+    let out = run(&["dot", &path]).unwrap();
+    assert!(out.starts_with("digraph"));
+    assert!(out.contains("label=\"t\""));
+}
+
+#[test]
+fn islands_and_levels_render() {
+    let path = temp_file("islands.tg", "subject a\nsubject b\nedge a -> b : tg\n");
+    let out = run(&["islands", &path]).unwrap();
+    assert!(out.contains("island 0: {a, b}"));
+    let out = run(&["levels", &path]).unwrap();
+    assert!(out.contains("rw-levels:"));
+    assert!(out.contains("rwtg-levels:"));
+}
+
+#[test]
+fn can_share_with_witness() {
+    let path = temp_file("share.tg", FIG61);
+    let out = run(&["can-share", &path, "r", "x", "y", "--witness"]).unwrap();
+    assert!(out.contains("true"));
+    assert!(out.contains("takes"));
+    let out = run(&["can-share", &path, "w", "x", "y"]).unwrap();
+    assert!(out.contains("false"));
+}
+
+#[test]
+fn can_know_family() {
+    let path = temp_file("know.tg", FIG61);
+    assert!(run(&["can-know", &path, "x", "y"]).unwrap().contains("true"));
+    assert!(run(&["can-know-f", &path, "x", "y"])
+        .unwrap()
+        .contains("false"));
+    let out = run(&["can-know", &path, "x", "y", "--witness"]).unwrap();
+    assert!(out.contains("true"));
+}
+
+#[test]
+fn can_steal_and_conspirators() {
+    let path = temp_file("steal.tg", FIG61);
+    let out = run(&["can-steal", &path, "r", "x", "y", "--witness"]).unwrap();
+    assert!(out.contains("true"));
+    let out = run(&["conspirators", &path, "r", "x", "y"]).unwrap();
+    assert!(out.contains("1 conspirator(s): x"));
+}
+
+#[test]
+fn secure_policy_and_audit() {
+    let graph = temp_file(
+        "pol.tg",
+        "subject hi\nsubject lo\nedge hi -> lo : r\n",
+    );
+    let policy = temp_file(
+        "pol.pol",
+        "level low\nlevel high\ndominates high low\nassign hi high\nassign lo low\n",
+    );
+    let out = run(&["secure-policy", &graph, &policy]).unwrap();
+    assert!(out.contains("secure"));
+    assert!(run(&["audit", &graph, &policy]).unwrap().contains("clean"));
+
+    // Plant a read-up and watch both commands fail.
+    let bad_graph = temp_file(
+        "bad.tg",
+        "subject hi\nsubject lo\nedge lo -> hi : r\n",
+    );
+    let err = run(&["secure-policy", &bad_graph, &policy]).unwrap_err();
+    assert!(err.contains("INSECURE"));
+    let err = run(&["audit", &bad_graph, &policy]).unwrap_err();
+    assert!(err.contains("violating"));
+}
+
+#[test]
+fn figure_command_emits_parsable_graphs() {
+    for id in ["2.1", "2.2", "3.1", "4.1", "4.2", "5.1", "6.1"] {
+        let out = run(&["figure", id]).unwrap();
+        assert!(
+            tg_graph::parse_graph(&out).is_ok(),
+            "figure {id} must round-trip"
+        );
+    }
+}
+
+#[test]
+fn secure_derived_reports_breaches() {
+    let path = temp_file("sec.tg", FIG61);
+    // Fig 6.1 with derived levels: x below s/y de facto? x reads nothing,
+    // so the derived order has no strict relation and the check passes or
+    // fails depending on structure; assert it at least runs.
+    let _ = run(&["secure", &path]);
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    assert!(run(&[]).is_err());
+    assert!(run(&["bogus"]).is_err());
+    assert!(run(&["show"]).is_err());
+    assert!(run(&["show", "/nonexistent/file.tg"]).is_err());
+    let bad = temp_file("bad-syntax.tg", "vertex a\n");
+    assert!(run(&["show", &bad]).is_err());
+    let path = temp_file("err.tg", FIG61);
+    assert!(run(&["can-share", &path, "zz", "x", "y"]).is_err());
+    assert!(run(&["can-share", &path, "r", "nobody", "y"]).is_err());
+    assert!(run(&["figure", "9.9"]).is_err());
+}

@@ -1,0 +1,250 @@
+//! Declassification analysis (§6).
+//!
+//! "In the model described in this paper, the security classification of
+//! information cannot be changed without compromising security":
+//!
+//! * **Raising** a classification fails because any prior reader may have
+//!   made a private copy at the old level — after the raise they still
+//!   hold yesterday's information without today's clearance.
+//! * **Lowering** fails unless no subject above the new level can write
+//!   the object — otherwise a high subject can launder high information
+//!   into the now-low object.
+//!
+//! [`raise_classification`] and [`lower_classification`] perform the
+//! corresponding checks and report exactly which subjects make the change
+//! unsafe; [`private_copy_attack`] produces the §6 attack as a concrete
+//! derivation.
+
+use tg_graph::{ProtectionGraph, Right, Rights, VertexId, VertexKind};
+use tg_rules::{DeFactoRule, DeJureRule, Derivation, RuleError, Session};
+
+use crate::levels::LevelAssignment;
+
+/// Why a reclassification is unsafe.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DeclassError {
+    /// The object (or level) was unknown or unassigned.
+    Unassigned(VertexId),
+    /// Raising: these subjects can already read the object but will not
+    /// dominate its new level — each may hold a private copy.
+    PriorReaders(Vec<VertexId>),
+    /// Lowering: these subjects can write the object from above its new
+    /// level — each is a write-down channel.
+    HighWriters(Vec<VertexId>),
+}
+
+impl core::fmt::Display for DeclassError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DeclassError::Unassigned(v) => write!(f, "{v} has no level"),
+            DeclassError::PriorReaders(vs) => {
+                write!(f, "{} prior reader(s) may hold private copies", vs.len())
+            }
+            DeclassError::HighWriters(vs) => {
+                write!(f, "{} higher-level writer(s) can launder information", vs.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeclassError {}
+
+/// Attempts to raise `object` to `new_level`. Succeeds (updating the
+/// assignment) only when no current reader of the object would lose
+/// dominance over it — otherwise every such reader could retain a private
+/// copy at the old level, and the raise is refused.
+pub fn raise_classification(
+    graph: &ProtectionGraph,
+    levels: &mut LevelAssignment,
+    object: VertexId,
+    new_level: usize,
+) -> Result<(), DeclassError> {
+    if levels.level_of(object).is_none() {
+        return Err(DeclassError::Unassigned(object));
+    }
+    let offenders: Vec<VertexId> = graph
+        .in_edges(object)
+        .filter(|(s, er)| {
+            graph.is_subject(*s) && er.explicit().contains(Right::Read)
+        })
+        .map(|(s, _)| s)
+        .filter(|s| match levels.level_of(*s) {
+            Some(ls) => !levels.dominates(ls, new_level),
+            None => true,
+        })
+        .collect();
+    if !offenders.is_empty() {
+        return Err(DeclassError::PriorReaders(offenders));
+    }
+    levels
+        .assign(object, new_level)
+        .map_err(|_| DeclassError::Unassigned(object))
+}
+
+/// Attempts to lower `object` to `new_level`. Succeeds only when no
+/// subject strictly above `new_level` holds `w` on the object — "unless
+/// the protection system were to ensure that no user at a level higher
+/// than the new level of the file were to have write rights on the file,
+/// the system is no longer secure" (§6).
+pub fn lower_classification(
+    graph: &ProtectionGraph,
+    levels: &mut LevelAssignment,
+    object: VertexId,
+    new_level: usize,
+) -> Result<(), DeclassError> {
+    if levels.level_of(object).is_none() {
+        return Err(DeclassError::Unassigned(object));
+    }
+    let offenders: Vec<VertexId> = graph
+        .in_edges(object)
+        .filter(|(s, er)| {
+            graph.is_subject(*s) && er.explicit().contains(Right::Write)
+        })
+        .map(|(s, _)| s)
+        .filter(|s| match levels.level_of(*s) {
+            Some(ls) => !levels.dominates(new_level, ls),
+            None => true,
+        })
+        .collect();
+    if !offenders.is_empty() {
+        return Err(DeclassError::HighWriters(offenders));
+    }
+    levels
+        .assign(object, new_level)
+        .map_err(|_| DeclassError::Unassigned(object))
+}
+
+/// The §6 private-copy attack: `reader` (holding `r` over `object`)
+/// creates a private copy vertex, reads the object and is thereby in a
+/// position to retain the information across any later reclassification.
+/// Returns the derivation; the final graph contains the copy with an
+/// implicit read edge recording the flow.
+///
+/// # Errors
+///
+/// Fails if `reader` is not a subject or lacks the read right.
+pub fn private_copy_attack(
+    graph: &ProtectionGraph,
+    reader: VertexId,
+    object: VertexId,
+) -> Result<(Derivation, VertexId), RuleError> {
+    if !graph.contains_vertex(reader) {
+        return Err(RuleError::Graph(tg_graph::GraphError::UnknownVertex(reader)));
+    }
+    if !graph.is_subject(reader) {
+        return Err(RuleError::NotSubject(reader, "reader"));
+    }
+    if !graph.has_explicit(reader, object, Right::Read) {
+        return Err(RuleError::MissingExplicit {
+            src: reader,
+            dst: object,
+            right: Right::Read,
+        });
+    }
+    let mut session = Session::new(graph.clone());
+    // The reader creates a private copy it can read and write.
+    let effect = session.apply(DeJureRule::Create {
+        actor: reader,
+        kind: VertexKind::Object,
+        rights: Rights::RW,
+        name: "private-copy".to_string(),
+    })?;
+    let copy = match effect {
+        tg_rules::Effect::Created { id, .. } => id,
+        _ => unreachable!("create yields Created"),
+    };
+    // pass(copy, reader, object): the reader reads the object and writes
+    // what it read into the copy — information now lives in the copy.
+    session.apply(DeFactoRule::Pass {
+        x: copy,
+        y: reader,
+        z: object,
+    })?;
+    Ok((session.into_parts().1, copy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::linear_hierarchy;
+    use tg_analysis::can_know_f;
+
+    #[test]
+    fn raising_with_prior_readers_is_refused() {
+        let mut built = linear_hierarchy(&["lo", "hi"], 1);
+        let doc = built.attach_object(0, "doc");
+        let lo = built.subjects[0][0];
+        // lo already reads doc (attach gives rw to the level subject).
+        let err =
+            raise_classification(&built.graph, &mut built.assignment, doc, 1).unwrap_err();
+        assert_eq!(err, DeclassError::PriorReaders(vec![lo]));
+        // The assignment is unchanged.
+        assert_eq!(built.assignment.level_of(doc), Some(0));
+    }
+
+    #[test]
+    fn raising_an_unread_object_succeeds() {
+        let mut built = linear_hierarchy(&["lo", "hi"], 1);
+        let lo = built.subjects[0][0];
+        let doc = built.graph.add_object("write-only");
+        built.assignment.assign(doc, 0).unwrap();
+        built.graph.add_edge(lo, doc, Rights::W).unwrap();
+        raise_classification(&built.graph, &mut built.assignment, doc, 1).unwrap();
+        assert_eq!(built.assignment.level_of(doc), Some(1));
+    }
+
+    #[test]
+    fn lowering_with_high_writers_is_refused() {
+        let mut built = linear_hierarchy(&["lo", "hi"], 1);
+        let doc = built.attach_object(1, "doc");
+        let hi = built.subjects[1][0];
+        let err =
+            lower_classification(&built.graph, &mut built.assignment, doc, 0).unwrap_err();
+        assert_eq!(err, DeclassError::HighWriters(vec![hi]));
+    }
+
+    #[test]
+    fn lowering_a_read_only_object_succeeds() {
+        let mut built = linear_hierarchy(&["lo", "hi"], 1);
+        let hi = built.subjects[1][0];
+        let doc = built.graph.add_object("read-only");
+        built.assignment.assign(doc, 1).unwrap();
+        built.graph.add_edge(hi, doc, Rights::R).unwrap();
+        lower_classification(&built.graph, &mut built.assignment, doc, 0).unwrap();
+        assert_eq!(built.assignment.level_of(doc), Some(0));
+    }
+
+    #[test]
+    fn unassigned_objects_cannot_be_reclassified() {
+        let mut built = linear_hierarchy(&["lo", "hi"], 1);
+        let doc = built.graph.add_object("stray");
+        assert!(matches!(
+            raise_classification(&built.graph, &mut built.assignment, doc, 1),
+            Err(DeclassError::Unassigned(_))
+        ));
+    }
+
+    #[test]
+    fn private_copy_attack_retains_information() {
+        let mut built = linear_hierarchy(&["lo", "hi"], 1);
+        let doc = built.attach_object(1, "doc");
+        let hi = built.subjects[1][0];
+        let (derivation, _) = private_copy_attack(&built.graph, hi, doc).unwrap();
+        let after = derivation.replayed(&built.graph).unwrap();
+        // Find the copy in the replayed graph.
+        let copy = after.find_by_name("private-copy").unwrap();
+        // The copy now "knows" the document even if doc is later raised:
+        assert!(can_know_f(&after, copy, doc));
+        // ...and the attack is invisible to explicit-authority audits.
+        assert!(after.rights(copy, doc).explicit().is_empty());
+    }
+
+    #[test]
+    fn private_copy_attack_needs_the_read_right() {
+        let built = linear_hierarchy(&["lo", "hi"], 1);
+        let lo = built.subjects[0][0];
+        let mut g = built.graph.clone();
+        let doc = g.add_object("doc");
+        assert!(private_copy_attack(&g, lo, doc).is_err());
+    }
+}

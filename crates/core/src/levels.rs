@@ -1,0 +1,525 @@
+//! Security levels: assigned and derived.
+//!
+//! The paper's rw-levels (§4) and rwtg-levels (§5) are *derived* notions —
+//! maximal sets of vertices with pairwise mutual information flow. A
+//! deployed system instead starts from an *assigned* classification (who is
+//! cleared to what) and asks whether the graph respects it. Both views live
+//! here:
+//!
+//! * [`LevelAssignment`] — a named partial order of levels plus a vertex →
+//!   level map (the policy view);
+//! * [`DerivedLevels`] — the SCC decomposition of mutual `can_know_f` /
+//!   `can_know` with its induced `higher` order (the paper's view).
+
+use std::collections::VecDeque;
+
+use tg_analysis::FlowGraph;
+use tg_graph::algo::condensation;
+use tg_graph::{ProtectionGraph, VertexId};
+use tg_paths::{lang, PathSearch, SearchConfig};
+
+/// Errors in level-structure construction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LevelError {
+    /// The covers relation contains a cycle, so `higher` would not be a
+    /// partial order (Proposition 4.4 requires irreflexivity).
+    CyclicOrder,
+    /// A cover referenced a level index out of range.
+    UnknownLevel(usize),
+    /// A vertex was assigned a level index out of range.
+    UnknownLevelForVertex(VertexId, usize),
+}
+
+impl core::fmt::Display for LevelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LevelError::CyclicOrder => write!(f, "the level order contains a cycle"),
+            LevelError::UnknownLevel(i) => write!(f, "unknown level index {i}"),
+            LevelError::UnknownLevelForVertex(v, i) => {
+                write!(f, "vertex {v} assigned unknown level {i}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LevelError {}
+
+/// An assigned classification: a strict partial order of named levels and
+/// a (partial) map from vertices to levels.
+///
+/// `reach[a][b]` means level `a` dominates level `b` (reflexively): a
+/// subject at `a` is cleared for everything at `b`.
+///
+/// # Examples
+///
+/// ```
+/// use tg_hierarchy::LevelAssignment;
+///
+/// // Military-style: secret dominates confidential; two incomparable
+/// // compartments above confidential.
+/// let mut levels = LevelAssignment::new(
+///     &["confidential", "crypto", "nuclear"],
+///     &[(1, 0), (2, 0)],
+/// ).unwrap();
+/// assert!(levels.dominates(1, 0));
+/// assert!(!levels.dominates(1, 2));
+/// assert!(levels.incomparable(1, 2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LevelAssignment {
+    names: Vec<String>,
+    /// `reach[a][b]`: level `a` dominates level `b` (reflexive-transitive
+    /// closure of the covers).
+    reach: Vec<Vec<bool>>,
+    /// Vertex index → level index.
+    level_of: Vec<Option<usize>>,
+}
+
+impl LevelAssignment {
+    /// Builds the level order from `names` and `covers`, where each cover
+    /// `(h, l)` states that level `h` directly dominates level `l`.
+    ///
+    /// # Errors
+    ///
+    /// [`LevelError::CyclicOrder`] if the covers contain a cycle;
+    /// [`LevelError::UnknownLevel`] on out-of-range indices.
+    pub fn new(names: &[&str], covers: &[(usize, usize)]) -> Result<LevelAssignment, LevelError> {
+        let k = names.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for &(h, l) in covers {
+            if h >= k {
+                return Err(LevelError::UnknownLevel(h));
+            }
+            if l >= k {
+                return Err(LevelError::UnknownLevel(l));
+            }
+            adj[h].push(l);
+        }
+        // Reflexive-transitive closure by BFS per level.
+        let mut reach = vec![vec![false; k]; k];
+        #[expect(clippy::needless_range_loop, reason = "start indexes both the queue seed and the matrix row")]
+        for start in 0..k {
+            let mut queue = VecDeque::from([start]);
+            while let Some(v) = queue.pop_front() {
+                if reach[start][v] {
+                    continue;
+                }
+                reach[start][v] = true;
+                queue.extend(adj[v].iter().copied());
+            }
+        }
+        // Antisymmetry: mutual domination of distinct levels is a cycle.
+        #[expect(clippy::needless_range_loop, reason = "a and b index the matrix symmetrically")]
+        for a in 0..k {
+            for b in 0..k {
+                if a != b && reach[a][b] && reach[b][a] {
+                    return Err(LevelError::CyclicOrder);
+                }
+            }
+        }
+        Ok(LevelAssignment {
+            names: names.iter().map(|s| s.to_string()).collect(),
+            reach,
+            level_of: Vec::new(),
+        })
+    }
+
+    /// A single-chain (linear) order: `names[i + 1]` dominates `names[i]`.
+    pub fn linear(names: &[&str]) -> LevelAssignment {
+        let covers: Vec<(usize, usize)> = (1..names.len()).map(|i| (i, i - 1)).collect();
+        LevelAssignment::new(names, &covers).expect("a chain has no cycles")
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether there are no levels.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The name of level `idx`.
+    pub fn name(&self, idx: usize) -> &str {
+        &self.names[idx]
+    }
+
+    /// Assigns `vertex` to `level`.
+    ///
+    /// # Errors
+    ///
+    /// [`LevelError::UnknownLevelForVertex`] on an out-of-range level.
+    pub fn assign(&mut self, vertex: VertexId, level: usize) -> Result<(), LevelError> {
+        if level >= self.names.len() {
+            return Err(LevelError::UnknownLevelForVertex(vertex, level));
+        }
+        if self.level_of.len() <= vertex.index() {
+            self.level_of.resize(vertex.index() + 1, None);
+        }
+        self.level_of[vertex.index()] = Some(level);
+        Ok(())
+    }
+
+    /// The level of `vertex`, if assigned.
+    pub fn level_of(&self, vertex: VertexId) -> Option<usize> {
+        self.level_of.get(vertex.index()).copied().flatten()
+    }
+
+    /// Whether level `a` dominates level `b` (reflexive).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        self.reach[a][b]
+    }
+
+    /// Whether level `a` is strictly higher than level `b`.
+    pub fn higher(&self, a: usize, b: usize) -> bool {
+        a != b && self.reach[a][b]
+    }
+
+    /// Whether the two levels are incomparable.
+    pub fn incomparable(&self, a: usize, b: usize) -> bool {
+        !self.reach[a][b] && !self.reach[b][a]
+    }
+
+    /// Whether vertex `x` is assigned a strictly lower level than `y`
+    /// (unassigned vertices compare with nothing).
+    pub fn vertex_lower(&self, x: VertexId, y: VertexId) -> bool {
+        match (self.level_of(x), self.level_of(y)) {
+            (Some(a), Some(b)) => self.higher(b, a),
+            _ => false,
+        }
+    }
+
+    /// Whether vertex `x` may read vertex `y`: `level(x)` dominates
+    /// `level(y)`. Unassigned vertices may read nothing and be read by
+    /// nothing (fail closed).
+    pub fn may_read(&self, x: VertexId, y: VertexId) -> bool {
+        match (self.level_of(x), self.level_of(y)) {
+            (Some(a), Some(b)) => self.dominates(a, b),
+            _ => false,
+        }
+    }
+
+    /// Whether vertex `x` may write vertex `y`: `level(y)` dominates
+    /// `level(x)` (write-as-append; information flows up).
+    pub fn may_write(&self, x: VertexId, y: VertexId) -> bool {
+        match (self.level_of(x), self.level_of(y)) {
+            (Some(a), Some(b)) => self.dominates(b, a),
+            _ => false,
+        }
+    }
+
+    /// Iterates over `(vertex, level)` pairs for all assigned vertices.
+    pub fn assignments(&self) -> impl Iterator<Item = (VertexId, usize)> + '_ {
+        self.level_of
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.map(|l| (VertexId::from_index(i), l)))
+    }
+}
+
+/// Levels derived from a graph: the SCCs of mutual knowledge, with the
+/// induced `higher` order (§4–§5).
+#[derive(Clone, Debug)]
+pub struct DerivedLevels {
+    /// Vertex index → derived level index (`None` for vertices outside the
+    /// relation's domain, e.g. objects for rwtg-levels).
+    level_of: Vec<Option<usize>>,
+    /// Members of each level.
+    members: Vec<Vec<VertexId>>,
+    /// `reach[a][b]`: members of `a` can know members of `b` (reflexive).
+    reach: Vec<Vec<bool>>,
+}
+
+impl DerivedLevels {
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether no levels exist.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The derived level of `vertex`.
+    pub fn level_of(&self, vertex: VertexId) -> Option<usize> {
+        self.level_of.get(vertex.index()).copied().flatten()
+    }
+
+    /// Members of level `idx`.
+    pub fn members(&self, idx: usize) -> &[VertexId] {
+        &self.members[idx]
+    }
+
+    /// Iterates over the levels.
+    pub fn iter(&self) -> impl Iterator<Item = &[VertexId]> {
+        self.members.iter().map(Vec::as_slice)
+    }
+
+    /// Whether level `a` is strictly higher than level `b` — `a` knows `b`
+    /// but not conversely (the paper's `higher`, Proposition 4.4).
+    pub fn higher(&self, a: usize, b: usize) -> bool {
+        a != b && self.reach[a][b] && !self.reach[b][a]
+    }
+
+    /// Whether the two levels are incomparable.
+    pub fn incomparable(&self, a: usize, b: usize) -> bool {
+        a != b && !self.reach[a][b] && !self.reach[b][a]
+    }
+
+    /// Whether members of `a` can know members of `b` (reflexive).
+    pub fn knows(&self, a: usize, b: usize) -> bool {
+        self.reach[a][b]
+    }
+
+    /// Whether vertices `x` and `y` are in the same derived level.
+    pub fn same_level(&self, x: VertexId, y: VertexId) -> bool {
+        match (self.level_of(x), self.level_of(y)) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+fn derive(adj: &[Vec<usize>], keep: impl Fn(usize) -> bool) -> DerivedLevels {
+    let cond = condensation(adj);
+    let reach_all = cond.reachability();
+    // Keep only components that contain at least one kept vertex; record
+    // kept members.
+    let mut keep_component = vec![false; cond.len()];
+    let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); cond.len()];
+    for (ci, comp) in cond.components.iter().enumerate() {
+        for &v in comp {
+            if keep(v) {
+                keep_component[ci] = true;
+                members[ci].push(VertexId::from_index(v));
+            }
+        }
+        members[ci].sort_unstable();
+    }
+    let kept: Vec<usize> = (0..cond.len()).filter(|&c| keep_component[c]).collect();
+    let renumber: Vec<Option<usize>> = {
+        let mut r = vec![None; cond.len()];
+        for (new, &old) in kept.iter().enumerate() {
+            r[old] = Some(new);
+        }
+        r
+    };
+    let mut level_of = vec![None; adj.len()];
+    for (v, slot) in level_of.iter_mut().enumerate() {
+        if keep(v) {
+            *slot = renumber[cond.component_of[v]];
+        }
+    }
+    let reach: Vec<Vec<bool>> = kept
+        .iter()
+        .map(|&a| kept.iter().map(|&b| reach_all[a][b]).collect())
+        .collect();
+    let members: Vec<Vec<VertexId>> = kept.into_iter().map(|c| members[c].clone()).collect();
+    DerivedLevels {
+        level_of,
+        members,
+        reach,
+    }
+}
+
+/// The rw-levels of a graph (§4): maximal sets of vertices with pairwise
+/// mutual `can_know_f`, ordered by de facto information flow.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{ProtectionGraph, Rights};
+/// use tg_hierarchy::rw_levels;
+///
+/// let mut g = ProtectionGraph::new();
+/// let hi = g.add_subject("hi");
+/// let lo = g.add_subject("lo");
+/// g.add_edge(hi, lo, Rights::R).unwrap();
+///
+/// let levels = rw_levels(&g);
+/// let h = levels.level_of(hi).unwrap();
+/// let l = levels.level_of(lo).unwrap();
+/// assert!(levels.higher(h, l));
+/// ```
+pub fn rw_levels(graph: &ProtectionGraph) -> DerivedLevels {
+    let flow = FlowGraph::compute(graph);
+    let adj: Vec<Vec<usize>> = graph
+        .vertex_ids()
+        .map(|v| flow.sources(v).iter().map(|(b, _)| b.index()).collect())
+        .collect();
+    derive(&adj, |_| true)
+}
+
+/// The rwtg-levels of a graph (§5): maximal sets of **subjects** with
+/// pairwise mutual `can_know`, ordered by combined de jure + de facto
+/// information flow.
+///
+/// Built from the subject *link graph*: `u → v` when a bridge-or-connection
+/// path runs from `u` to `v` (so `u` can know `v`), unioned with the de
+/// facto flow edges.
+pub fn rwtg_levels(graph: &ProtectionGraph) -> DerivedLevels {
+    let n = graph.vertex_count();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+    // De facto flow contributes for all vertices (implicit edges included).
+    let flow = FlowGraph::compute(graph);
+    for v in graph.vertex_ids() {
+        adj[v.index()] = flow.sources(v).iter().map(|(b, _)| b.index()).collect();
+    }
+
+    // Subject-to-subject B∪C links.
+    let dfa = lang::bridge_or_connection();
+    let search = PathSearch::new(graph, &dfa, SearchConfig::explicit_only());
+    for u in graph.subjects() {
+        for v in search.accepting_reachable(&[u]) {
+            if v != u && graph.is_subject(v) {
+                adj[u.index()].push(v.index());
+            }
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    derive(&adj, |v| {
+        graph.is_subject(VertexId::from_index(v))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::Rights;
+
+    #[test]
+    fn linear_assignment_order() {
+        let levels = LevelAssignment::linear(&["L1", "L2", "L3"]);
+        assert!(levels.higher(2, 1));
+        assert!(levels.higher(2, 0));
+        assert!(levels.higher(1, 0));
+        assert!(!levels.higher(0, 1));
+        assert!(levels.dominates(1, 1));
+        assert_eq!(levels.name(0), "L1");
+    }
+
+    #[test]
+    fn cyclic_covers_are_rejected() {
+        assert_eq!(
+            LevelAssignment::new(&["a", "b"], &[(0, 1), (1, 0)]).unwrap_err(),
+            LevelError::CyclicOrder
+        );
+    }
+
+    #[test]
+    fn unknown_levels_are_rejected() {
+        assert!(matches!(
+            LevelAssignment::new(&["a"], &[(0, 3)]),
+            Err(LevelError::UnknownLevel(3))
+        ));
+        let mut levels = LevelAssignment::linear(&["a"]);
+        assert!(levels.assign(VertexId::from_index(0), 7).is_err());
+    }
+
+    #[test]
+    fn vertex_comparisons_fail_closed_when_unassigned() {
+        let mut levels = LevelAssignment::linear(&["lo", "hi"]);
+        let a = VertexId::from_index(0);
+        let b = VertexId::from_index(1);
+        assert!(!levels.may_read(a, b));
+        levels.assign(a, 1).unwrap();
+        levels.assign(b, 0).unwrap();
+        assert!(levels.may_read(a, b));
+        assert!(!levels.may_read(b, a));
+        assert!(levels.may_write(b, a));
+        assert!(!levels.may_write(a, b));
+        assert!(levels.vertex_lower(b, a));
+    }
+
+    #[test]
+    fn incomparable_levels_exist_in_lattices() {
+        let levels =
+            LevelAssignment::new(&["base", "cat-a", "cat-b"], &[(1, 0), (2, 0)]).unwrap();
+        assert!(levels.incomparable(1, 2));
+        assert!(levels.higher(1, 0));
+        assert!(levels.higher(2, 0));
+    }
+
+    #[test]
+    fn rw_levels_group_mutual_flow() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        let c = g.add_subject("c");
+        g.add_edge(a, b, Rights::R).unwrap();
+        g.add_edge(b, a, Rights::R).unwrap();
+        g.add_edge(a, c, Rights::R).unwrap();
+        let levels = rw_levels(&g);
+        assert!(levels.same_level(a, b));
+        assert!(!levels.same_level(a, c));
+        let ab = levels.level_of(a).unwrap();
+        let cc = levels.level_of(c).unwrap();
+        assert!(levels.higher(ab, cc));
+        assert!(!levels.higher(cc, ab));
+    }
+
+    #[test]
+    fn rwtg_levels_cover_islands() {
+        // Lemma 5.1: an island lies in exactly one rwtg-level.
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        g.add_edge(a, b, Rights::T).unwrap(); // one island {a, b}
+        let levels = rwtg_levels(&g);
+        assert!(levels.same_level(a, b));
+    }
+
+    #[test]
+    fn rwtg_levels_exclude_objects() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let o = g.add_object("o");
+        g.add_edge(s, o, Rights::R).unwrap();
+        let levels = rwtg_levels(&g);
+        assert!(levels.level_of(s).is_some());
+        assert!(levels.level_of(o).is_none());
+        // rw-levels include objects.
+        assert!(rw_levels(&g).level_of(o).is_some());
+    }
+
+    #[test]
+    fn rwtg_order_reflects_connections() {
+        // hi -t-> q -r-> lo : hi can know lo via a read connection.
+        let mut g = ProtectionGraph::new();
+        let hi = g.add_subject("hi");
+        let q = g.add_object("q");
+        let lo = g.add_subject("lo");
+        g.add_edge(hi, q, Rights::T).unwrap();
+        g.add_edge(q, lo, Rights::R).unwrap();
+        let levels = rwtg_levels(&g);
+        let h = levels.level_of(hi).unwrap();
+        let l = levels.level_of(lo).unwrap();
+        assert!(levels.higher(h, l));
+        assert!(!levels.knows(l, h));
+    }
+
+    #[test]
+    fn bridged_subjects_share_an_rwtg_level() {
+        // A pure t> bridge forces mutual can_know (conspiracy): one level.
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        g.add_edge(a, b, Rights::T).unwrap();
+        let levels = rwtg_levels(&g);
+        assert!(levels.same_level(a, b));
+        assert_eq!(levels.len(), 1);
+    }
+
+    #[test]
+    fn derived_levels_empty_graph() {
+        let g = ProtectionGraph::new();
+        assert!(rw_levels(&g).is_empty());
+        assert!(rwtg_levels(&g).is_empty());
+    }
+}

@@ -1,0 +1,504 @@
+//! The reference monitor.
+//!
+//! A [`Monitor`] owns a protection graph, a level assignment and a
+//! [`Restriction`]; every rule application flows through
+//! [`Monitor::try_apply`], which previews the rule, consults the
+//! restriction (a constant number of level comparisons — Corollary 5.7)
+//! and commits only permitted rules. [`Monitor::audit`] re-checks the
+//! whole graph in one pass over its `r`/`w` edges (Corollary 5.6).
+//!
+//! Created vertices inherit their creator's level: the new vertex starts
+//! as the creator's private resource, and every subsequent right over it
+//! passes through the monitor like any other.
+
+use tg_graph::{ProtectionGraph, Rights, VertexId};
+use tg_rules::{Derivation, Effect, Rule, RuleError};
+
+use crate::levels::LevelAssignment;
+use crate::restrict::{Decision, DenyReason, Restriction};
+
+/// Why the monitor refused a rule.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MonitorError {
+    /// The rule's own preconditions failed.
+    Rule(RuleError),
+    /// The restriction denied the rule.
+    Denied(DenyReason),
+}
+
+impl core::fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MonitorError::Rule(e) => write!(f, "{e}"),
+            MonitorError::Denied(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+impl From<RuleError> for MonitorError {
+    fn from(e: RuleError) -> MonitorError {
+        MonitorError::Rule(e)
+    }
+}
+
+/// An `r`/`w` edge violating the restriction's invariant, found by audit.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// Edge source.
+    pub src: VertexId,
+    /// Edge destination.
+    pub dst: VertexId,
+    /// The offending explicit rights.
+    pub rights: Rights,
+}
+
+/// Counters kept by the monitor.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct MonitorStats {
+    /// Rules applied.
+    pub permitted: usize,
+    /// Rules denied by the restriction.
+    pub denied: usize,
+    /// Rules rejected by their own preconditions.
+    pub malformed: usize,
+}
+
+/// A protection system mediated by a restriction.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{ProtectionGraph, Rights};
+/// use tg_hierarchy::{CombinedRestriction, LevelAssignment, Monitor};
+/// use tg_rules::{DeJureRule, Rule};
+///
+/// let mut g = ProtectionGraph::new();
+/// let hi = g.add_subject("hi");
+/// let lo = g.add_subject("lo");
+/// let q = g.add_object("q");
+/// g.add_edge(lo, q, Rights::T).unwrap();
+/// g.add_edge(q, hi, Rights::R).unwrap();
+///
+/// let mut levels = LevelAssignment::linear(&["low", "high"]);
+/// levels.assign(hi, 1).unwrap();
+/// levels.assign(lo, 0).unwrap();
+/// levels.assign(q, 0).unwrap();
+///
+/// let mut monitor = Monitor::new(g, levels, Box::new(CombinedRestriction));
+/// // lo tries to take (r to hi) — read-up, denied.
+/// let rule = Rule::DeJure(DeJureRule::Take {
+///     actor: lo, via: q, target: hi, rights: Rights::R,
+/// });
+/// assert!(monitor.try_apply(&rule).is_err());
+/// assert_eq!(monitor.stats().denied, 1);
+/// ```
+pub struct Monitor {
+    graph: ProtectionGraph,
+    levels: LevelAssignment,
+    restriction: Box<dyn Restriction>,
+    log: Derivation,
+    stats: MonitorStats,
+}
+
+impl Monitor {
+    /// Creates a monitor over `graph` with the given classification and
+    /// restriction.
+    pub fn new(
+        graph: ProtectionGraph,
+        levels: LevelAssignment,
+        restriction: Box<dyn Restriction>,
+    ) -> Monitor {
+        Monitor {
+            graph,
+            levels,
+            restriction,
+            log: Derivation::new(),
+            stats: MonitorStats::default(),
+        }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &ProtectionGraph {
+        &self.graph
+    }
+
+    /// The classification.
+    pub fn levels(&self) -> &LevelAssignment {
+        &self.levels
+    }
+
+    /// The log of applied rules.
+    pub fn log(&self) -> &Derivation {
+        &self.log
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    /// Checks a rule without applying it.
+    pub fn check(&self, rule: &Rule) -> Result<Effect, MonitorError> {
+        let effect = match tg_rules::preview(&self.graph, rule) {
+            Ok(e) => e,
+            Err(e) => return Err(MonitorError::Rule(e)),
+        };
+        if let Rule::DeJure(dj) = rule {
+            match self.restriction.permits(&self.graph, &self.levels, dj, &effect) {
+                Decision::Permit => {}
+                Decision::Deny(reason) => return Err(MonitorError::Denied(reason)),
+            }
+        }
+        Ok(effect)
+    }
+
+    /// Applies a rule if its preconditions hold and the restriction
+    /// permits it. On success the rule is logged; created vertices inherit
+    /// the creator's level.
+    pub fn try_apply(&mut self, rule: &Rule) -> Result<Effect, MonitorError> {
+        match self.check(rule) {
+            Ok(_) => {}
+            Err(e) => {
+                match &e {
+                    MonitorError::Rule(_) => self.stats.malformed += 1,
+                    MonitorError::Denied(_) => self.stats.denied += 1,
+                }
+                return Err(e);
+            }
+        }
+        let effect = tg_rules::apply(&mut self.graph, rule)?;
+        if let Effect::Created { id, creator, .. } = &effect {
+            if let Some(level) = self.levels.level_of(*creator) {
+                self.levels
+                    .assign(*id, level)
+                    .expect("creator level exists");
+            }
+        }
+        self.log.push(rule.clone());
+        self.stats.permitted += 1;
+        Ok(effect)
+    }
+
+    /// Audits the whole graph against the restriction's edge invariant in
+    /// one pass over the explicit edges (Corollary 5.6: linear in the
+    /// number of edges — only `r`/`w` labels can violate).
+    pub fn audit(&self) -> Vec<Violation> {
+        audit_graph(&self.graph, &self.levels, self.restriction.as_ref())
+    }
+
+    /// Counterfactual analysis of a denied rule: which *actual* de facto
+    /// flows (`can_know_f`) against dominance would permitting it create?
+    /// Applies the rule to a scratch copy and diffs the de facto breach
+    /// sets — the security-operator's answer to "why was this denied?".
+    ///
+    /// Returns `Ok(None)` if the rule is actually permitted, the denial
+    /// reason plus the newly enabled `can_know` breaches otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the rule's own precondition failures.
+    pub fn explain(&self, rule: &Rule) -> Result<Option<Explanation>, RuleError> {
+        let reason = match self.check(rule) {
+            Ok(_) => return Ok(None),
+            Err(MonitorError::Rule(e)) => return Err(e),
+            Err(MonitorError::Denied(reason)) => reason,
+        };
+        let mut scratch = self.graph.clone();
+        tg_rules::apply(&mut scratch, rule)?;
+        let before = crate::secure::breaches_f(&self.graph, &self.levels);
+        let after = crate::secure::breaches_f(&scratch, &self.levels);
+        let enabled: Vec<crate::secure::Breach> = after
+            .into_iter()
+            .filter(|b| !before.iter().any(|p| p.x == b.x && p.y == b.y))
+            .collect();
+        Ok(Some(Explanation {
+            reason,
+            enabled_breaches: enabled,
+        }))
+    }
+
+    /// Consumes the monitor, returning the graph, levels and log.
+    pub fn into_parts(self) -> (ProtectionGraph, LevelAssignment, Derivation) {
+        (self.graph, self.levels, self.log)
+    }
+}
+
+/// Why a rule was denied, with the counterfactual consequences of
+/// permitting it (see [`Monitor::explain`]).
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// The restriction's denial reason.
+    pub reason: DenyReason,
+    /// `can_know` pairs that would newly violate dominance if the rule
+    /// were applied. May be empty: the restriction is conservative about
+    /// *edges*, while breaches are about *flows* — a denied edge into an
+    /// isolated corner enables nothing yet.
+    pub enabled_breaches: Vec<crate::secure::Breach>,
+}
+
+/// Stand-alone audit (Corollary 5.6): scans every explicit edge once and
+/// reports those violating the restriction's invariant.
+pub fn audit_graph(
+    graph: &ProtectionGraph,
+    levels: &LevelAssignment,
+    restriction: &dyn Restriction,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for edge in graph.edges() {
+        let rights = edge.rights.explicit;
+        if rights.is_empty() {
+            continue;
+        }
+        if restriction.edge_violates(levels, edge.src, edge.dst, rights) {
+            out.push(Violation {
+                src: edge.src,
+                dst: edge.dst,
+                rights,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restrict::{CombinedRestriction, Unrestricted};
+    use tg_graph::{Right, VertexKind};
+    use tg_rules::{DeFactoRule, DeJureRule};
+
+    fn setup() -> Monitor {
+        let mut g = ProtectionGraph::new();
+        let hi = g.add_subject("hi"); // v0
+        let lo = g.add_subject("lo"); // v1
+        let q = g.add_object("q"); // v2
+        g.add_edge(lo, q, Rights::T).unwrap();
+        g.add_edge(q, hi, Rights::RW | Rights::E).unwrap();
+        g.add_edge(hi, q, Rights::T).unwrap();
+        let mut levels = LevelAssignment::linear(&["low", "high"]);
+        levels.assign(hi, 1).unwrap();
+        levels.assign(lo, 0).unwrap();
+        levels.assign(q, 1).unwrap();
+        Monitor::new(g, levels, Box::new(CombinedRestriction))
+    }
+
+    fn v(i: usize) -> VertexId {
+        VertexId::from_index(i)
+    }
+
+    #[test]
+    fn denies_read_up_but_permits_execute() {
+        let mut m = setup();
+        let (hi, lo, q) = (v(0), v(1), v(2));
+        let _ = hi;
+        let read_up = Rule::DeJure(DeJureRule::Take {
+            actor: lo,
+            via: q,
+            target: v(0),
+            rights: Rights::R,
+        });
+        assert!(matches!(
+            m.try_apply(&read_up),
+            Err(MonitorError::Denied(DenyReason::ReadUp { .. }))
+        ));
+        // Figure 5.1: the execute right is not constrained.
+        let exec = Rule::DeJure(DeJureRule::Take {
+            actor: lo,
+            via: q,
+            target: v(0),
+            rights: Rights::E,
+        });
+        assert!(m.try_apply(&exec).is_ok());
+        assert!(m.graph().has_explicit(lo, v(0), Right::Execute));
+        assert_eq!(m.stats().permitted, 1);
+        assert_eq!(m.stats().denied, 1);
+    }
+
+    #[test]
+    fn denies_write_down() {
+        // hi -t-> m2 -w-> lofile(level 0): hi taking the w right would
+        // complete a write-down; the monitor denies it.
+        let mut g = ProtectionGraph::new();
+        let hi = g.add_subject("hi");
+        let mid = g.add_object("mid");
+        let lofile = g.add_object("lofile");
+        g.add_edge(hi, mid, Rights::T).unwrap();
+        g.add_edge(mid, lofile, Rights::W).unwrap();
+        let mut levels = LevelAssignment::linear(&["low", "high"]);
+        levels.assign(hi, 1).unwrap();
+        levels.assign(mid, 1).unwrap();
+        levels.assign(lofile, 0).unwrap();
+        let mut m = Monitor::new(g, levels, Box::new(CombinedRestriction));
+        let rule = Rule::DeJure(DeJureRule::Take {
+            actor: hi,
+            via: mid,
+            target: lofile,
+            rights: Rights::W,
+        });
+        assert!(matches!(
+            m.try_apply(&rule),
+            Err(MonitorError::Denied(DenyReason::WriteDown { .. }))
+        ));
+        // A malformed rule counts as malformed, not denied.
+        let fake = Rule::DeJure(DeJureRule::Grant {
+            actor: hi,
+            via: lofile,
+            target: lofile,
+            rights: Rights::W,
+        });
+        assert!(matches!(m.try_apply(&fake), Err(MonitorError::Rule(_))));
+        assert_eq!(m.stats().malformed, 1);
+        assert_eq!(m.stats().denied, 1);
+    }
+
+    #[test]
+    fn created_vertices_inherit_levels() {
+        let mut m = setup();
+        let lo = v(1);
+        let rule = Rule::DeJure(DeJureRule::Create {
+            actor: lo,
+            kind: VertexKind::Subject,
+            rights: Rights::TG,
+            name: "child".to_string(),
+        });
+        let Effect::Created { id, .. } = m.try_apply(&rule).unwrap() else {
+            panic!("expected Created");
+        };
+        assert_eq!(m.levels().level_of(id), Some(0));
+    }
+
+    #[test]
+    fn de_facto_rules_are_never_denied() {
+        // post(x, shared, z): a well-formed de facto rule is applied even
+        // though the resulting implicit edge crosses levels upward from
+        // the restriction's point of view — de facto rules only exhibit
+        // flow, they are not restricted (§6).
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let shared = g.add_object("shared");
+        let z = g.add_subject("z");
+        g.add_edge(x, shared, Rights::R).unwrap();
+        g.add_edge(z, shared, Rights::W).unwrap();
+        let mut levels = LevelAssignment::linear(&["low", "high"]);
+        levels.assign(x, 1).unwrap();
+        levels.assign(shared, 1).unwrap();
+        levels.assign(z, 0).unwrap();
+        let mut m = Monitor::new(g, levels, Box::new(CombinedRestriction));
+        let rule = Rule::DeFacto(DeFactoRule::Post { x, y: shared, z });
+        assert!(m.try_apply(&rule).is_ok());
+        assert!(m.graph().rights(x, z).implicit().contains(Right::Read));
+        // A malformed de facto rule errors as Rule, never as Denied.
+        let bad = Rule::DeFacto(DeFactoRule::Spy { x, y: shared, z });
+        assert!(matches!(m.try_apply(&bad), Err(MonitorError::Rule(_))));
+    }
+
+    #[test]
+    fn audit_finds_planted_violations() {
+        let mut m = setup();
+        let (hi, lo) = (v(0), v(1));
+        assert!(m.audit().is_empty());
+        // Plant a read-up edge behind the monitor's back.
+        m.graph.add_edge(lo, hi, Rights::R).unwrap();
+        let violations = m.audit();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].src, lo);
+        assert_eq!(violations[0].dst, hi);
+        assert_eq!(violations[0].rights, Rights::R);
+    }
+
+    #[test]
+    fn unrestricted_monitor_audits_nothing() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        g.add_edge(a, b, Rights::RW).unwrap();
+        let mut levels = LevelAssignment::linear(&["low", "high"]);
+        levels.assign(a, 0).unwrap();
+        levels.assign(b, 1).unwrap();
+        let m = Monitor::new(g, levels, Box::new(Unrestricted));
+        assert!(m.audit().is_empty());
+    }
+
+    #[test]
+    fn monitored_system_stays_secure_while_unmonitored_breaks() {
+        // Figure 5.1 end to end. The setup graph is statically insecure:
+        // lo -t-> q -r-> hi lets lo take read-up, so the unrestricted
+        // analysis flags it...
+        use crate::secure::secure_policy;
+        let m = setup();
+        assert!(secure_policy(m.graph(), m.levels()).is_err());
+        // ...and an unrestricted monitor indeed lets the breach happen:
+        let (g, levels, _) = m.into_parts();
+        let rule = Rule::DeJure(DeJureRule::Take {
+            actor: v(1),
+            via: v(2),
+            target: v(0),
+            rights: Rights::R,
+        });
+        let mut free = Monitor::new(g.clone(), levels.clone(), Box::new(Unrestricted));
+        free.try_apply(&rule).unwrap();
+        assert_eq!(
+            audit_graph(free.graph(), free.levels(), &CombinedRestriction).len(),
+            1
+        );
+        // ...while the combined restriction denies it and the audit stays
+        // clean no matter what lo tries.
+        let mut guarded = Monitor::new(g, levels, Box::new(CombinedRestriction));
+        assert!(guarded.try_apply(&rule).is_err());
+        assert!(guarded.audit().is_empty());
+    }
+
+    #[test]
+    fn explain_reports_enabled_breaches() {
+        let m = setup();
+        let (hi, lo, q) = (v(0), v(1), v(2));
+        let _ = hi;
+        let read_up = Rule::DeJure(DeJureRule::Take {
+            actor: lo,
+            via: q,
+            target: v(0),
+            rights: Rights::R,
+        });
+        let explanation = m.explain(&read_up).unwrap().expect("rule is denied");
+        assert!(matches!(explanation.reason, DenyReason::ReadUp { .. }));
+        // Permitting it would let lo know hi (and q, which lo could then
+        // read through hi's rw edge chain? — at minimum the hi breach).
+        assert!(explanation
+            .enabled_breaches
+            .iter()
+            .any(|b| b.x == lo && b.y == v(0)));
+        // A permitted rule explains to None.
+        let exec = Rule::DeJure(DeJureRule::Take {
+            actor: lo,
+            via: q,
+            target: v(0),
+            rights: Rights::E,
+        });
+        assert!(m.explain(&exec).unwrap().is_none());
+        // A malformed rule propagates its error.
+        let bad = Rule::DeJure(DeJureRule::Take {
+            actor: lo,
+            via: q,
+            target: lo,
+            rights: Rights::R,
+        });
+        assert!(m.explain(&bad).is_err());
+    }
+
+    #[test]
+    fn into_parts_returns_the_log() {
+        let mut m = setup();
+        let lo = v(1);
+        m.try_apply(&Rule::DeJure(DeJureRule::Create {
+            actor: lo,
+            kind: VertexKind::Object,
+            rights: Rights::R,
+            name: "n".to_string(),
+        }))
+        .unwrap();
+        let (_, _, log) = m.into_parts();
+        assert_eq!(log.len(), 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Object classification (§4).
+//!
+//! "An object vertex v is said to belong to the lowest rw-level a subject
+//! vertex of which has either read or write access to it." With a partial
+//! order there may be no unique lowest such level; [`object_level`]
+//! reports the set of minimal levels and callers decide whether ambiguity
+//! is acceptable (the paper's usage implies well-formed hierarchies have a
+//! unique answer).
+
+use tg_graph::{ProtectionGraph, Rights, VertexId};
+
+use crate::levels::DerivedLevels;
+
+/// The outcome of classifying an object against derived rw-levels.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ObjectLevel {
+    /// No subject holds `r` or `w` over the object; it is unreachable and
+    /// carries no classification.
+    Unclassified,
+    /// A unique lowest accessing level.
+    Level(usize),
+    /// Multiple minimal accessing levels (ambiguous classification) —
+    /// a modelling diagnostic.
+    Ambiguous(Vec<usize>),
+}
+
+/// Classifies `object` against `levels` (usually
+/// [`rw_levels`](crate::rw_levels) of the same graph): the lowest level
+/// whose subjects hold explicit `r` or `w` over it.
+///
+/// # Panics
+///
+/// Panics if `object` does not belong to `graph`.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{ProtectionGraph, Rights};
+/// use tg_hierarchy::objects::{object_level, ObjectLevel};
+/// use tg_hierarchy::rw_levels;
+///
+/// let mut g = ProtectionGraph::new();
+/// let hi = g.add_subject("hi");
+/// let lo = g.add_subject("lo");
+/// let doc = g.add_object("doc");
+/// g.add_edge(hi, lo, Rights::R).unwrap();
+/// g.add_edge(hi, doc, Rights::R).unwrap();
+/// g.add_edge(lo, doc, Rights::R).unwrap();
+///
+/// let levels = rw_levels(&g);
+/// // Both levels access doc; the lower one wins.
+/// assert_eq!(object_level(&g, &levels, doc), ObjectLevel::Level(levels.level_of(lo).unwrap()));
+/// ```
+pub fn object_level(
+    graph: &ProtectionGraph,
+    levels: &DerivedLevels,
+    object: VertexId,
+) -> ObjectLevel {
+    let mut accessors: Vec<usize> = graph
+        .in_edges(object)
+        .filter(|(s, er)| graph.is_subject(*s) && er.explicit().intersects(Rights::RW))
+        .filter_map(|(s, _)| levels.level_of(s))
+        .collect();
+    accessors.sort_unstable();
+    accessors.dedup();
+    if accessors.is_empty() {
+        return ObjectLevel::Unclassified;
+    }
+    // Minimal elements under the `higher` order.
+    let minimal: Vec<usize> = accessors
+        .iter()
+        .copied()
+        .filter(|&l| !accessors.iter().any(|&m| levels.higher(l, m)))
+        .collect();
+    match minimal.as_slice() {
+        [only] => ObjectLevel::Level(*only),
+        _ => ObjectLevel::Ambiguous(minimal),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::rw_levels;
+    use crate::structure::lattice_hierarchy;
+
+    #[test]
+    fn unreferenced_objects_are_unclassified() {
+        let mut g = ProtectionGraph::new();
+        g.add_subject("s");
+        let o = g.add_object("o");
+        let levels = rw_levels(&g);
+        assert_eq!(object_level(&g, &levels, o), ObjectLevel::Unclassified);
+    }
+
+    #[test]
+    fn lowest_accessor_wins() {
+        let mut g = ProtectionGraph::new();
+        let hi = g.add_subject("hi");
+        let lo = g.add_subject("lo");
+        let o = g.add_object("o");
+        g.add_edge(hi, lo, Rights::R).unwrap();
+        g.add_edge(hi, o, Rights::W).unwrap();
+        g.add_edge(lo, o, Rights::R).unwrap();
+        let levels = rw_levels(&g);
+        assert_eq!(
+            object_level(&g, &levels, o),
+            ObjectLevel::Level(levels.level_of(lo).unwrap())
+        );
+    }
+
+    #[test]
+    fn write_access_counts() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let o = g.add_object("o");
+        g.add_edge(s, o, Rights::W).unwrap();
+        let levels = rw_levels(&g);
+        assert_eq!(
+            object_level(&g, &levels, o),
+            ObjectLevel::Level(levels.level_of(s).unwrap())
+        );
+    }
+
+    #[test]
+    fn take_access_does_not_count() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let o = g.add_object("o");
+        g.add_edge(s, o, Rights::T).unwrap();
+        let levels = rw_levels(&g);
+        assert_eq!(object_level(&g, &levels, o), ObjectLevel::Unclassified);
+    }
+
+    #[test]
+    fn incomparable_accessors_are_ambiguous() {
+        let built = lattice_hierarchy(
+            &["bottom", "left", "right"],
+            &[(1, 0), (2, 0)],
+            1,
+        )
+        .unwrap();
+        let mut g = built.graph;
+        let left = built.subjects[1][0];
+        let right = built.subjects[2][0];
+        let o = g.add_object("shared");
+        g.add_edge(left, o, Rights::R).unwrap();
+        g.add_edge(right, o, Rights::R).unwrap();
+        let levels = rw_levels(&g);
+        match object_level(&g, &levels, o) {
+            ObjectLevel::Ambiguous(ls) => assert_eq!(ls.len(), 2),
+            other => panic!("expected ambiguity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn object_accessors_ignore_implicit_edges() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let o = g.add_object("o");
+        g.add_implicit_edge(s, o, Rights::R).unwrap();
+        let levels = rw_levels(&g);
+        assert_eq!(object_level(&g, &levels, o), ObjectLevel::Unclassified);
+    }
+}

@@ -1,0 +1,237 @@
+//! A text format for classifications, companion to the graph format.
+//!
+//! ```text
+//! # declarations first; order is free
+//! level public
+//! level internal
+//! level secret
+//! dominates secret internal      # direct cover: secret > internal
+//! dominates internal public
+//! assign alice secret            # vertex names from the graph file
+//! assign report internal
+//! ```
+//!
+//! The `tgq secure-policy` and `tgq audit` commands consume a graph file
+//! plus one of these.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use tg_graph::ProtectionGraph;
+
+use crate::levels::{LevelAssignment, LevelError};
+
+/// Error from [`parse_policy`], with the 1-based line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PolicyParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for PolicyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PolicyParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> PolicyParseError {
+    PolicyParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses the policy format against `graph` (for vertex-name resolution).
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::parse_graph;
+/// use tg_hierarchy::policy::parse_policy;
+///
+/// let g = parse_graph("subject alice\nobject report\n").unwrap();
+/// let levels = parse_policy(
+///     "level lo\nlevel hi\ndominates hi lo\nassign alice hi\nassign report lo\n",
+///     &g,
+/// ).unwrap();
+/// let alice = g.find_by_name("alice").unwrap();
+/// assert_eq!(levels.level_of(alice), Some(1));
+/// ```
+pub fn parse_policy(
+    input: &str,
+    graph: &ProtectionGraph,
+) -> Result<LevelAssignment, PolicyParseError> {
+    let mut names: Vec<String> = Vec::new();
+    let mut indices: HashMap<String, usize> = HashMap::new();
+    let mut covers: Vec<(usize, usize)> = Vec::new();
+    let mut assigns: Vec<(usize, tg_graph::VertexId, usize)> = Vec::new();
+
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().expect("nonempty line");
+        let args: Vec<&str> = parts.collect();
+        match keyword {
+            "level" => {
+                let [name] = args.as_slice() else {
+                    return Err(err(lineno, "usage: level <name>"));
+                };
+                if indices.contains_key(*name) {
+                    return Err(err(lineno, format!("duplicate level {name:?}")));
+                }
+                indices.insert(name.to_string(), names.len());
+                names.push(name.to_string());
+            }
+            "dominates" => {
+                let [hi, lo] = args.as_slice() else {
+                    return Err(err(lineno, "usage: dominates <higher> <lower>"));
+                };
+                let hi = *indices
+                    .get(*hi)
+                    .ok_or_else(|| err(lineno, format!("unknown level {hi:?}")))?;
+                let lo = *indices
+                    .get(*lo)
+                    .ok_or_else(|| err(lineno, format!("unknown level {lo:?}")))?;
+                covers.push((hi, lo));
+            }
+            "assign" => {
+                let [vertex, level] = args.as_slice() else {
+                    return Err(err(lineno, "usage: assign <vertex> <level>"));
+                };
+                let v = graph
+                    .find_by_name(vertex)
+                    .ok_or_else(|| err(lineno, format!("unknown vertex {vertex:?}")))?;
+                let l = *indices
+                    .get(*level)
+                    .ok_or_else(|| err(lineno, format!("unknown level {level:?}")))?;
+                assigns.push((lineno, v, l));
+            }
+            other => return Err(err(lineno, format!("unknown directive {other:?}"))),
+        }
+    }
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut levels = LevelAssignment::new(&name_refs, &covers).map_err(|e| match e {
+        LevelError::CyclicOrder => err(0, "the dominates relation contains a cycle"),
+        other => err(0, other.to_string()),
+    })?;
+    for (lineno, v, l) in assigns {
+        levels
+            .assign(v, l)
+            .map_err(|e| err(lineno, e.to_string()))?;
+    }
+    Ok(levels)
+}
+
+/// Renders an assignment back to the policy format. The cover relation is
+/// emitted as the full dominance pairs (transitively closed), which
+/// parses back to the same order.
+pub fn render_policy(levels: &LevelAssignment, graph: &ProtectionGraph) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for i in 0..levels.len() {
+        let _ = writeln!(out, "level {}", levels.name(i));
+    }
+    for hi in 0..levels.len() {
+        for lo in 0..levels.len() {
+            if levels.higher(hi, lo) {
+                let _ = writeln!(out, "dominates {} {}", levels.name(hi), levels.name(lo));
+            }
+        }
+    }
+    for (v, l) in levels.assignments() {
+        if graph.contains_vertex(v) {
+            let _ = writeln!(out, "assign {} {}", graph.vertex(v).name, levels.name(l));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::parse_graph;
+
+    fn graph() -> ProtectionGraph {
+        parse_graph("subject alice\nsubject bob\nobject report\n").unwrap()
+    }
+
+    #[test]
+    fn parses_a_lattice_policy() {
+        let g = graph();
+        let levels = parse_policy(
+            "level base\nlevel crypto\nlevel nuclear\n\
+             dominates crypto base\ndominates nuclear base\n\
+             assign alice crypto\nassign bob nuclear\nassign report base\n",
+            &g,
+        )
+        .unwrap();
+        assert_eq!(levels.len(), 3);
+        assert!(levels.incomparable(1, 2));
+        let alice = g.find_by_name("alice").unwrap();
+        let report = g.find_by_name("report").unwrap();
+        assert!(levels.may_read(alice, report));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let g = graph();
+        let levels = parse_policy("# policy\n\nlevel only # trailing\n", &g).unwrap();
+        assert_eq!(levels.len(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_names() {
+        let g = graph();
+        assert!(parse_policy("dominates a b\n", &g).is_err());
+        assert!(parse_policy("level a\nassign nobody a\n", &g).is_err());
+        assert!(parse_policy("level a\nassign alice b\n", &g).is_err());
+        assert!(parse_policy("banana\n", &g).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_cycles() {
+        let g = graph();
+        assert!(parse_policy("level a\nlevel a\n", &g).is_err());
+        let e = parse_policy(
+            "level a\nlevel b\ndominates a b\ndominates b a\n",
+            &g,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("cycle"));
+    }
+
+    #[test]
+    fn rejects_malformed_directives() {
+        let g = graph();
+        assert!(parse_policy("level\n", &g).is_err());
+        assert!(parse_policy("level a b\n", &g).is_err());
+        assert!(parse_policy("level a\ndominates a\n", &g).is_err());
+        assert!(parse_policy("level a\nassign alice\n", &g).is_err());
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let g = graph();
+        let text = "level lo\nlevel hi\ndominates hi lo\nassign alice hi\nassign report lo\n";
+        let levels = parse_policy(text, &g).unwrap();
+        let rendered = render_policy(&levels, &g);
+        let back = parse_policy(&rendered, &g).unwrap();
+        assert_eq!(back.len(), levels.len());
+        for i in 0..levels.len() {
+            for j in 0..levels.len() {
+                assert_eq!(back.dominates(i, j), levels.dominates(i, j));
+            }
+        }
+        for (v, l) in levels.assignments() {
+            assert_eq!(back.level_of(v), Some(l));
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! The de jure rule restrictions of §5.
+//!
+//! Three families, with the soundness/completeness results of Lemmas
+//! 5.3/5.4 and Theorem 5.5:
+//!
+//! * [`DirectionRestriction`] — take/grant edges may only be exercised
+//!   toward dominated vertices. **Sound but not complete** (Lemma 5.3):
+//!   inert rights can no longer move upward at all.
+//! * [`ApplicationRestriction`] — take/grant may not move designated
+//!   rights (e.g. `r`). **Sound but not complete** (Lemma 5.4).
+//! * [`CombinedRestriction`] — the paper's proposal: a de jure rule is
+//!   rejected exactly when the explicit edge it would add carries `r`
+//!   against dominance (read-up) or `w` with a dominating source
+//!   (write-down). **Sound and complete** (Theorem 5.5): every transfer of
+//!   rights other than `r`/`w` remains possible in any direction.
+//!
+//! A restriction inspects the rule and its previewed [`Effect`] against a
+//! [`LevelAssignment`]; with levels in hand each check is a constant
+//! number of comparisons (Corollary 5.7).
+
+use tg_graph::{ProtectionGraph, Right, Rights, VertexId};
+use tg_rules::{DeJureRule, Effect, Rule};
+
+use crate::levels::LevelAssignment;
+
+/// Why a restriction denied a rule.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DenyReason {
+    /// The new edge would carry `r` from a vertex that does not dominate
+    /// its target (restriction (a): the refined simple security property).
+    ReadUp {
+        /// Edge source.
+        src: VertexId,
+        /// Edge destination.
+        dst: VertexId,
+    },
+    /// The new edge would carry `w` from a vertex whose level strictly
+    /// dominates the target's (restriction (b): no write down).
+    WriteDown {
+        /// Edge source.
+        src: VertexId,
+        /// Edge destination.
+        dst: VertexId,
+    },
+    /// A direction restriction: the take/grant edge points the wrong way.
+    WrongDirection {
+        /// The rule's acting subject.
+        actor: VertexId,
+        /// The vertex at the other end of the exercised t/g edge.
+        via: VertexId,
+    },
+    /// An application restriction: the rule moves an immovable right.
+    ImmovableRights(Rights),
+    /// The rule involves a vertex with no assigned level (fail closed).
+    Unassigned(VertexId),
+}
+
+impl core::fmt::Display for DenyReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DenyReason::ReadUp { src, dst } => {
+                write!(f, "denied: {src} would acquire read over higher/incomparable {dst}")
+            }
+            DenyReason::WriteDown { src, dst } => {
+                write!(f, "denied: {src} would acquire write over lower {dst}")
+            }
+            DenyReason::WrongDirection { actor, via } => {
+                write!(f, "denied: {actor} may not exercise a t/g edge toward {via}")
+            }
+            DenyReason::ImmovableRights(r) => write!(f, "denied: rights {r} may not be moved"),
+            DenyReason::Unassigned(v) => write!(f, "denied: {v} has no security level"),
+        }
+    }
+}
+
+/// The outcome of a restriction check.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Decision {
+    /// The rule may proceed.
+    Permit,
+    /// The rule is rejected.
+    Deny(DenyReason),
+}
+
+impl Decision {
+    /// Whether the decision is [`Decision::Permit`].
+    pub fn is_permit(&self) -> bool {
+        matches!(self, Decision::Permit)
+    }
+}
+
+/// A pluggable de jure restriction, consulted by the
+/// [`Monitor`](crate::Monitor) before each rule application.
+///
+/// De facto rules are never restricted: "such a restriction is
+/// meaningless with respect to the de facto rules, because the
+/// information can still flow" (§6) — only the monitor's *de jure* path
+/// consults the restriction.
+pub trait Restriction {
+    /// A short display name.
+    fn name(&self) -> &'static str;
+
+    /// Checks one de jure rule with its previewed effect. Implementations
+    /// run in constant time given the level assignment (Corollary 5.7).
+    fn permits(
+        &self,
+        graph: &ProtectionGraph,
+        levels: &LevelAssignment,
+        rule: &DeJureRule,
+        effect: &Effect,
+    ) -> Decision;
+
+    /// Audit predicate: does this explicit edge violate the invariant the
+    /// restriction maintains? Used by the linear-time whole-graph audit
+    /// (Corollary 5.6). The default reports no violations (restrictions
+    /// that only constrain rule *application* have no edge invariant).
+    fn edge_violates(
+        &self,
+        _levels: &LevelAssignment,
+        _src: VertexId,
+        _dst: VertexId,
+        _rights: Rights,
+    ) -> bool {
+        false
+    }
+}
+
+/// No restriction: every well-formed rule is permitted.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Unrestricted;
+
+impl Restriction for Unrestricted {
+    fn name(&self) -> &'static str {
+        "unrestricted"
+    }
+
+    fn permits(
+        &self,
+        _graph: &ProtectionGraph,
+        _levels: &LevelAssignment,
+        _rule: &DeJureRule,
+        _effect: &Effect,
+    ) -> Decision {
+        Decision::Permit
+    }
+}
+
+/// Restriction of direction (Lemma 5.3): a subject may exercise a take or
+/// grant edge only toward a vertex its own level dominates.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct DirectionRestriction;
+
+impl Restriction for DirectionRestriction {
+    fn name(&self) -> &'static str {
+        "direction"
+    }
+
+    fn permits(
+        &self,
+        _graph: &ProtectionGraph,
+        levels: &LevelAssignment,
+        rule: &DeJureRule,
+        _effect: &Effect,
+    ) -> Decision {
+        let (actor, via) = match rule {
+            DeJureRule::Take { actor, via, .. } | DeJureRule::Grant { actor, via, .. } => {
+                (*actor, *via)
+            }
+            // Create and remove exercise no t/g edge.
+            DeJureRule::Create { .. } | DeJureRule::Remove { .. } => return Decision::Permit,
+        };
+        let (Some(la), Some(lv)) = (levels.level_of(actor), levels.level_of(via)) else {
+            let missing = if levels.level_of(actor).is_none() {
+                actor
+            } else {
+                via
+            };
+            return Decision::Deny(DenyReason::Unassigned(missing));
+        };
+        if levels.dominates(la, lv) {
+            Decision::Permit
+        } else {
+            Decision::Deny(DenyReason::WrongDirection { actor, via })
+        }
+    }
+}
+
+/// Restriction of application (Lemma 5.4): take and grant may not move
+/// the designated rights.
+#[derive(Clone, Copy, Debug)]
+pub struct ApplicationRestriction {
+    /// Rights the de jure rules may not transfer.
+    pub immovable: Rights,
+}
+
+impl ApplicationRestriction {
+    /// The paper's example: the take rule "restricted so that it cannot
+    /// act on read rights".
+    pub fn no_read_transfer() -> ApplicationRestriction {
+        ApplicationRestriction {
+            immovable: Rights::R,
+        }
+    }
+}
+
+impl Restriction for ApplicationRestriction {
+    fn name(&self) -> &'static str {
+        "application"
+    }
+
+    fn permits(
+        &self,
+        _graph: &ProtectionGraph,
+        _levels: &LevelAssignment,
+        rule: &DeJureRule,
+        _effect: &Effect,
+    ) -> Decision {
+        let moved = match rule {
+            DeJureRule::Take { rights, .. } | DeJureRule::Grant { rights, .. } => *rights,
+            DeJureRule::Create { .. } | DeJureRule::Remove { .. } => return Decision::Permit,
+        };
+        let blocked = moved & self.immovable;
+        if blocked.is_empty() {
+            Decision::Permit
+        } else {
+            Decision::Deny(DenyReason::ImmovableRights(blocked))
+        }
+    }
+}
+
+/// The paper's combined restriction (Theorem 5.5): reject a de jure rule
+/// exactly when the explicit edge it would add completes a forbidden
+/// connection — `r` against dominance (read-up) or `w` along strict
+/// dominance (write-down). All other rights move freely in any direction.
+///
+/// The check inspects only the previewed edge: a forbidden connection can
+/// be *used* only after its final `r`/`w` right is explicitly acquired,
+/// and that acquisition is itself a rule application adding an explicit
+/// `r`/`w` edge — so checking edge additions suffices, in constant time
+/// (Corollary 5.7).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct CombinedRestriction;
+
+impl CombinedRestriction {
+    fn check_edge(levels: &LevelAssignment, src: VertexId, dst: VertexId, rights: Rights) -> Decision {
+        if rights.intersects(Rights::RW) {
+            let (Some(ls), Some(ld)) = (levels.level_of(src), levels.level_of(dst)) else {
+                let missing = if levels.level_of(src).is_none() {
+                    src
+                } else {
+                    dst
+                };
+                return Decision::Deny(DenyReason::Unassigned(missing));
+            };
+            // Restriction (a): no read-up — the reader must dominate.
+            if rights.contains(Right::Read) && !levels.dominates(ls, ld) {
+                return Decision::Deny(DenyReason::ReadUp { src, dst });
+            }
+            // Restriction (b): no write-down — the written must dominate.
+            if rights.contains(Right::Write) && !levels.dominates(ld, ls) {
+                return Decision::Deny(DenyReason::WriteDown { src, dst });
+            }
+        }
+        Decision::Permit
+    }
+}
+
+impl Restriction for CombinedRestriction {
+    fn name(&self) -> &'static str {
+        "combined (no read-up / no write-down)"
+    }
+
+    fn permits(
+        &self,
+        _graph: &ProtectionGraph,
+        levels: &LevelAssignment,
+        _rule: &DeJureRule,
+        effect: &Effect,
+    ) -> Decision {
+        match effect {
+            Effect::ExplicitAdded { src, dst, rights } => {
+                CombinedRestriction::check_edge(levels, *src, *dst, *rights)
+            }
+            // A created vertex inherits its creator's level (the monitor
+            // assigns it), so the creator's edge to it is level-equal and
+            // always fine; removals never add flow.
+            Effect::Created { .. } | Effect::Removed { .. } => Decision::Permit,
+            Effect::ImplicitAdded { .. } => Decision::Permit,
+        }
+    }
+
+    fn edge_violates(
+        &self,
+        levels: &LevelAssignment,
+        src: VertexId,
+        dst: VertexId,
+        rights: Rights,
+    ) -> bool {
+        !CombinedRestriction::check_edge(levels, src, dst, rights).is_permit()
+    }
+}
+
+/// Convenience: check a whole rule (previewing internally). Returns the
+/// restriction decision or the rule's own precondition error.
+pub fn check_rule(
+    restriction: &dyn Restriction,
+    graph: &ProtectionGraph,
+    levels: &LevelAssignment,
+    rule: &Rule,
+) -> Result<Decision, tg_rules::RuleError> {
+    match rule {
+        Rule::DeJure(dj) => {
+            let effect = tg_rules::preview(graph, rule)?;
+            Ok(restriction.permits(graph, levels, dj, &effect))
+        }
+        // De facto rules are never restricted (§6).
+        Rule::DeFacto(_) => {
+            tg_rules::preview(graph, rule)?;
+            Ok(Decision::Permit)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::ProtectionGraph;
+
+    fn setup() -> (ProtectionGraph, LevelAssignment, VertexId, VertexId, VertexId) {
+        let mut g = ProtectionGraph::new();
+        let hi = g.add_subject("hi");
+        let lo = g.add_subject("lo");
+        let q = g.add_object("q");
+        let mut levels = LevelAssignment::linear(&["low", "high"]);
+        levels.assign(hi, 1).unwrap();
+        levels.assign(lo, 0).unwrap();
+        levels.assign(q, 0).unwrap();
+        (g, levels, hi, lo, q)
+    }
+
+    fn take(actor: VertexId, via: VertexId, target: VertexId, rights: Rights) -> DeJureRule {
+        DeJureRule::Take {
+            actor,
+            via,
+            target,
+            rights,
+        }
+    }
+
+    #[test]
+    fn combined_blocks_read_up() {
+        let (g, levels, hi, lo, _) = setup();
+        let effect = Effect::ExplicitAdded {
+            src: lo,
+            dst: hi,
+            rights: Rights::R,
+        };
+        let rule = take(lo, hi, hi, Rights::R);
+        let decision = CombinedRestriction.permits(&g, &levels, &rule, &effect);
+        assert_eq!(decision, Decision::Deny(DenyReason::ReadUp { src: lo, dst: hi }));
+    }
+
+    #[test]
+    fn combined_blocks_write_down() {
+        let (g, levels, hi, lo, _) = setup();
+        let effect = Effect::ExplicitAdded {
+            src: hi,
+            dst: lo,
+            rights: Rights::W,
+        };
+        let rule = take(hi, lo, lo, Rights::W);
+        let decision = CombinedRestriction.permits(&g, &levels, &rule, &effect);
+        assert_eq!(
+            decision,
+            Decision::Deny(DenyReason::WriteDown { src: hi, dst: lo })
+        );
+    }
+
+    #[test]
+    fn combined_permits_read_down_write_up_and_inert_rights() {
+        let (g, levels, hi, lo, q) = setup();
+        // Read down.
+        let e = Effect::ExplicitAdded { src: hi, dst: lo, rights: Rights::R };
+        assert!(CombinedRestriction
+            .permits(&g, &levels, &take(hi, q, lo, Rights::R), &e)
+            .is_permit());
+        // Write up.
+        let e = Effect::ExplicitAdded { src: lo, dst: hi, rights: Rights::W };
+        assert!(CombinedRestriction
+            .permits(&g, &levels, &take(lo, q, hi, Rights::W), &e)
+            .is_permit());
+        // Execute moves anywhere — "that is not constrained" (Fig 5.1).
+        let e = Effect::ExplicitAdded { src: lo, dst: hi, rights: Rights::E };
+        assert!(CombinedRestriction
+            .permits(&g, &levels, &take(lo, q, hi, Rights::E), &e)
+            .is_permit());
+        // Take/grant rights move anywhere too.
+        let e = Effect::ExplicitAdded { src: lo, dst: hi, rights: Rights::TG };
+        assert!(CombinedRestriction
+            .permits(&g, &levels, &take(lo, q, hi, Rights::TG), &e)
+            .is_permit());
+    }
+
+    #[test]
+    fn combined_fails_closed_on_unassigned_vertices() {
+        let (mut g, levels, hi, _, _) = setup();
+        let stranger = g.add_subject("stranger");
+        let e = Effect::ExplicitAdded {
+            src: stranger,
+            dst: hi,
+            rights: Rights::R,
+        };
+        let d = CombinedRestriction.permits(&g, &levels, &take(stranger, hi, hi, Rights::R), &e);
+        assert_eq!(d, Decision::Deny(DenyReason::Unassigned(stranger)));
+    }
+
+    #[test]
+    fn direction_restricts_the_exercised_edge() {
+        let (g, levels, hi, lo, q) = setup();
+        // hi takes from lo (downward): permitted.
+        let e = Effect::ExplicitAdded { src: hi, dst: q, rights: Rights::E };
+        assert!(DirectionRestriction
+            .permits(&g, &levels, &take(hi, lo, q, Rights::E), &e)
+            .is_permit());
+        // lo takes from hi (upward): denied.
+        let d = DirectionRestriction.permits(&g, &levels, &take(lo, hi, q, Rights::E), &e);
+        assert_eq!(
+            d,
+            Decision::Deny(DenyReason::WrongDirection { actor: lo, via: hi })
+        );
+    }
+
+    #[test]
+    fn application_blocks_designated_rights_only() {
+        let (g, levels, hi, lo, q) = setup();
+        let r = ApplicationRestriction::no_read_transfer();
+        let e = Effect::ExplicitAdded { src: hi, dst: q, rights: Rights::R };
+        let d = r.permits(&g, &levels, &take(hi, lo, q, Rights::R), &e);
+        assert_eq!(d, Decision::Deny(DenyReason::ImmovableRights(Rights::R)));
+        let e = Effect::ExplicitAdded { src: hi, dst: q, rights: Rights::W };
+        assert!(r.permits(&g, &levels, &take(hi, lo, q, Rights::W), &e).is_permit());
+    }
+
+    #[test]
+    fn creates_and_removes_are_always_structural() {
+        let (g, levels, hi, lo, _) = setup();
+        let create = DeJureRule::Create {
+            actor: lo,
+            kind: tg_graph::VertexKind::Object,
+            rights: Rights::RW,
+            name: "n".to_string(),
+        };
+        let e = Effect::Created {
+            id: VertexId::from_index(9),
+            creator: lo,
+            rights: Rights::RW,
+        };
+        assert!(CombinedRestriction.permits(&g, &levels, &create, &e).is_permit());
+        assert!(DirectionRestriction.permits(&g, &levels, &create, &e).is_permit());
+        let remove = DeJureRule::Remove {
+            actor: hi,
+            target: lo,
+            rights: Rights::R,
+        };
+        let e = Effect::Removed {
+            src: hi,
+            dst: lo,
+            removed: Rights::R,
+        };
+        assert!(CombinedRestriction.permits(&g, &levels, &remove, &e).is_permit());
+    }
+
+    #[test]
+    fn audit_predicate_matches_the_rule_check() {
+        let (_, levels, hi, lo, _) = setup();
+        assert!(CombinedRestriction.edge_violates(&levels, lo, hi, Rights::R));
+        assert!(CombinedRestriction.edge_violates(&levels, hi, lo, Rights::W));
+        assert!(!CombinedRestriction.edge_violates(&levels, hi, lo, Rights::R));
+        assert!(!CombinedRestriction.edge_violates(&levels, lo, hi, Rights::E));
+        assert!(!CombinedRestriction.edge_violates(&levels, lo, hi, Rights::TG));
+        // Same-level r/w is always fine.
+        assert!(!CombinedRestriction.edge_violates(&levels, hi, hi, Rights::RW));
+    }
+
+    #[test]
+    fn check_rule_integrates_preview() {
+        let (mut g, levels, hi, lo, q) = setup();
+        g.add_edge(lo, q, Rights::T).unwrap();
+        g.add_edge(q, hi, Rights::R).unwrap();
+        // lo tries to take (r to hi): structurally legal, denied by policy.
+        let rule = Rule::DeJure(take(lo, q, hi, Rights::R));
+        let decision = check_rule(&CombinedRestriction, &g, &levels, &rule).unwrap();
+        assert!(!decision.is_permit());
+        // Unrestricted permits it.
+        let decision = check_rule(&Unrestricted, &g, &levels, &rule).unwrap();
+        assert!(decision.is_permit());
+        // A rule failing its own preconditions errors instead.
+        let bad = Rule::DeJure(take(lo, q, hi, Rights::W));
+        assert!(check_rule(&CombinedRestriction, &g, &levels, &bad).is_err());
+    }
+}

@@ -1,0 +1,363 @@
+//! The security predicate (§5) and Theorem 5.2.
+//!
+//! A protection graph is *secure* when no vertex can come to know
+//! information classified above it, no matter what sequence of de jure and
+//! de facto rules corrupt subjects apply. We formalize "above" through a
+//! dominance order on levels (strictly containing the paper's "x lower
+//! than y" case and also forbidding flows into incomparable levels, which
+//! is what the military lattice of Figure 4.2 requires and what the
+//! Bell–LaPadula correspondence of §6 assumes):
+//!
+//! > secure(G, A) ⟺ ∀ assigned x, y: `can_know(x, y, G)` ⟹
+//! > `A.level(x)` dominates `A.level(y)`.
+//!
+//! Theorem 5.2 gives the structural equivalent: *no bridges or connections
+//! between rwtg-levels* — here, no bridge-or-connection link from `u` to
+//! `v` unless `u`'s level dominates `v`'s, and no span touching an
+//! assigned object against the order. [`secure_policy`] (definitional) and
+//! [`secure_structural`] (structural) are property-tested to coincide.
+
+use tg_analysis::{can_know, can_know_detail, rw_initial_spanners, rw_terminal_spanners};
+
+use tg_graph::{ProtectionGraph, VertexId};
+use tg_paths::{lang, PathSearch, SearchConfig};
+
+use crate::levels::{rw_levels, LevelAssignment};
+
+/// Evidence that a graph violates its classification.
+#[derive(Clone, Debug)]
+pub struct Breach {
+    /// The vertex gaining forbidden knowledge.
+    pub x: VertexId,
+    /// The vertex whose information leaks.
+    pub y: VertexId,
+    /// Human-readable description of the channel.
+    pub reason: String,
+}
+
+impl core::fmt::Display for Breach {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} can come to know {}: {}", self.x, self.y, self.reason)
+    }
+}
+
+/// The definitional security check: every knowable pair must respect
+/// dominance. Returns the first breach found.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{ProtectionGraph, Rights};
+/// use tg_hierarchy::{secure_policy, LevelAssignment};
+///
+/// let mut g = ProtectionGraph::new();
+/// let hi = g.add_subject("hi");
+/// let lo = g.add_subject("lo");
+/// g.add_edge(lo, hi, Rights::R).unwrap(); // lo reads UP: breach
+///
+/// let mut levels = LevelAssignment::linear(&["low", "high"]);
+/// levels.assign(hi, 1).unwrap();
+/// levels.assign(lo, 0).unwrap();
+/// assert!(secure_policy(&g, &levels).is_err());
+/// ```
+pub fn secure_policy(graph: &ProtectionGraph, levels: &LevelAssignment) -> Result<(), Breach> {
+    let assigned: Vec<(VertexId, usize)> = levels
+        .assignments()
+        .filter(|(v, _)| graph.contains_vertex(*v))
+        .collect();
+    for &(x, lx) in &assigned {
+        for &(y, ly) in &assigned {
+            if x == y || levels.dominates(lx, ly) {
+                continue;
+            }
+            if can_know(graph, x, y) {
+                return Err(Breach {
+                    x,
+                    y,
+                    reason: format!(
+                        "can_know holds but level {:?} does not dominate {:?}",
+                        levels.name(lx),
+                        levels.name(ly)
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// All breaches (not just the first), with their `can_know` evidence kind.
+pub fn breaches(graph: &ProtectionGraph, levels: &LevelAssignment) -> Vec<Breach> {
+    let assigned: Vec<(VertexId, usize)> = levels
+        .assignments()
+        .filter(|(v, _)| graph.contains_vertex(*v))
+        .collect();
+    let mut out = Vec::new();
+    for &(x, lx) in &assigned {
+        for &(y, ly) in &assigned {
+            if x == y || levels.dominates(lx, ly) {
+                continue;
+            }
+            if let Some(evidence) = can_know_detail(graph, x, y) {
+                out.push(Breach {
+                    x,
+                    y,
+                    reason: format!("{evidence:?}"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// All pairs violating dominance under *actual* de facto flow
+/// (`can_know_f`) — the flows corrupt subjects can realize with the
+/// authority already recorded, as opposed to [`breaches`]' potential
+/// flows. [`Monitor::explain`](crate::Monitor::explain) diffs this set.
+pub fn breaches_f(graph: &ProtectionGraph, levels: &LevelAssignment) -> Vec<Breach> {
+    let assigned: Vec<(VertexId, usize)> = levels
+        .assignments()
+        .filter(|(v, _)| graph.contains_vertex(*v))
+        .collect();
+    let mut out = Vec::new();
+    for &(x, lx) in &assigned {
+        for &(y, ly) in &assigned {
+            if x == y || levels.dominates(lx, ly) {
+                continue;
+            }
+            if tg_analysis::can_know_f(graph, x, y) {
+                out.push(Breach {
+                    x,
+                    y,
+                    reason: format!(
+                        "de facto flow into {:?} from {:?}",
+                        levels.name(lx),
+                        levels.name(ly)
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The structural security check (Theorem 5.2): no bridge-or-connection
+/// link between subjects against the dominance order, and no rw-span
+/// touching an assigned object against it.
+///
+/// Agrees with [`secure_policy`] — that agreement *is* Theorem 5.2 and is
+/// property-tested in `tests/theorems.rs` — under two provisos: every
+/// subject must be assigned a level (an unclassified intermediary could
+/// otherwise launder a flow the link checks cannot see), and the graph
+/// must carry no pre-existing implicit edges (the structural notions are
+/// defined over recorded authority only).
+pub fn secure_structural(graph: &ProtectionGraph, levels: &LevelAssignment) -> Result<(), Breach> {
+    let dfa = lang::bridge_or_connection();
+    let search = PathSearch::new(graph, &dfa, SearchConfig::explicit_only());
+
+    // Subject-to-subject links must flow down in dominance (the knower
+    // dominates the known).
+    for u in graph.subjects() {
+        let Some(lu) = levels.level_of(u) else {
+            continue;
+        };
+        for v in search.accepting_reachable(&[u]) {
+            if v == u || !graph.is_subject(v) {
+                continue;
+            }
+            let Some(lv) = levels.level_of(v) else {
+                continue;
+            };
+            if !levels.dominates(lu, lv) {
+                return Err(Breach {
+                    x: u,
+                    y: v,
+                    reason: format!(
+                        "bridge-or-connection from {:?} to {:?}",
+                        levels.name(lu),
+                        levels.name(lv)
+                    ),
+                });
+            }
+        }
+    }
+
+    // Every assigned vertex (subject or object): rw-initial spans write
+    // into it (information moves up: the written vertex must dominate the
+    // writer); rw-terminal spans read it (the reader must dominate it).
+    // Subject spans matter too — Figure 5.1's breach is a subject at a
+    // high level rw-initially spanning (t> w>) to a lower subject.
+    for o in graph.vertex_ids() {
+        let Some(lo) = levels.level_of(o) else {
+            continue;
+        };
+        for spanner in rw_initial_spanners(graph, o) {
+            let Some(ls) = levels.level_of(spanner.subject) else {
+                continue;
+            };
+            if !levels.dominates(lo, ls) {
+                return Err(Breach {
+                    x: o,
+                    y: spanner.subject,
+                    reason: format!(
+                        "subject at {:?} can write into vertex at {:?}",
+                        levels.name(ls),
+                        levels.name(lo)
+                    ),
+                });
+            }
+        }
+        for spanner in rw_terminal_spanners(graph, o) {
+            let Some(ls) = levels.level_of(spanner.subject) else {
+                continue;
+            };
+            if !levels.dominates(ls, lo) {
+                return Err(Breach {
+                    x: spanner.subject,
+                    y: o,
+                    reason: format!(
+                        "subject at {:?} can read vertex at {:?}",
+                        levels.name(ls),
+                        levels.name(lo)
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Security against the graph's own de facto structure: derive the
+/// rw-levels (§4) and verify the de jure rules cannot invert them — for
+/// subjects `x, y` with `x` strictly below `y` in de facto flow,
+/// `can_know(x, y)` must be false. This is the reading under which Figure
+/// 5.1's unrestricted graph is insecure.
+pub fn secure_derived(graph: &ProtectionGraph) -> Result<(), Breach> {
+    let levels = rw_levels(graph);
+    let subjects: Vec<VertexId> = graph.subjects().collect();
+    for &x in &subjects {
+        for &y in &subjects {
+            if x == y {
+                continue;
+            }
+            let (Some(lx), Some(ly)) = (levels.level_of(x), levels.level_of(y)) else {
+                continue;
+            };
+            if levels.higher(ly, lx) && can_know(graph, x, y) {
+                return Err(Breach {
+                    x,
+                    y,
+                    reason: "de jure rules invert the de facto hierarchy".to_string(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::{lattice_hierarchy, linear_hierarchy};
+    use tg_graph::Rights;
+
+    #[test]
+    fn clean_hierarchies_are_secure_all_three_ways() {
+        let built = linear_hierarchy(&["L1", "L2", "L3"], 2);
+        assert!(secure_policy(&built.graph, &built.assignment).is_ok());
+        assert!(secure_structural(&built.graph, &built.assignment).is_ok());
+        assert!(secure_derived(&built.graph).is_ok());
+        assert!(breaches(&built.graph, &built.assignment).is_empty());
+    }
+
+    #[test]
+    fn read_up_is_a_breach_in_all_views() {
+        let mut built = linear_hierarchy(&["lo", "hi"], 1);
+        let lo = built.subjects[0][0];
+        let hi = built.subjects[1][0];
+        built.graph.add_edge(lo, hi, Rights::R).unwrap();
+        assert!(secure_policy(&built.graph, &built.assignment).is_err());
+        assert!(secure_structural(&built.graph, &built.assignment).is_err());
+        let all = breaches(&built.graph, &built.assignment);
+        assert!(all.iter().any(|b| b.x == lo && b.y == hi));
+    }
+
+    #[test]
+    fn write_down_is_a_breach() {
+        let mut built = linear_hierarchy(&["lo", "hi"], 1);
+        let lo = built.subjects[0][0];
+        let hi = built.subjects[1][0];
+        built.graph.add_edge(hi, lo, Rights::W).unwrap();
+        assert!(secure_policy(&built.graph, &built.assignment).is_err());
+        assert!(secure_structural(&built.graph, &built.assignment).is_err());
+    }
+
+    #[test]
+    fn figure_5_1_execute_edge_is_harmless_but_take_write_is_not() {
+        // x -t-> q, q -we-> y, with x above y: x can take w to y and then
+        // write down. Unrestricted, the graph is insecure.
+        let mut built = linear_hierarchy(&["lo", "hi"], 1);
+        let y = built.subjects[0][0];
+        let x = built.subjects[1][0];
+        let q = built.graph.add_object("q");
+        built.assignment.assign(q, 1).unwrap();
+        built.graph.add_edge(x, q, Rights::T).unwrap();
+        built
+            .graph
+            .add_edge(q, y, Rights::W | Rights::E)
+            .unwrap();
+        let err = secure_policy(&built.graph, &built.assignment).unwrap_err();
+        // The breach is y learning x's information via the write-down.
+        assert_eq!(err.x, y);
+        assert!(secure_structural(&built.graph, &built.assignment).is_err());
+        assert!(secure_derived(&built.graph).is_err());
+    }
+
+    #[test]
+    fn flows_into_incomparable_levels_are_breaches() {
+        let mut built =
+            lattice_hierarchy(&["base", "left", "right"], &[(1, 0), (2, 0)], 1).unwrap();
+        let left = built.subjects[1][0];
+        let right = built.subjects[2][0];
+        built.graph.add_edge(left, right, Rights::R).unwrap();
+        assert!(secure_policy(&built.graph, &built.assignment).is_err());
+        assert!(secure_structural(&built.graph, &built.assignment).is_err());
+    }
+
+    #[test]
+    fn bridges_between_levels_are_breaches() {
+        let mut built = linear_hierarchy(&["lo", "hi"], 1);
+        let lo = built.subjects[0][0];
+        let hi = built.subjects[1][0];
+        built.graph.add_edge(lo, hi, Rights::T).unwrap();
+        assert!(secure_policy(&built.graph, &built.assignment).is_err());
+        assert!(secure_structural(&built.graph, &built.assignment).is_err());
+    }
+
+    #[test]
+    fn unassigned_vertices_are_ignored() {
+        let mut built = linear_hierarchy(&["lo", "hi"], 1);
+        let stranger = built.graph.add_subject("stranger");
+        let hi = built.subjects[1][0];
+        built.graph.add_edge(stranger, hi, Rights::R).unwrap();
+        // stranger has no level, so the policy says nothing about it.
+        assert!(secure_policy(&built.graph, &built.assignment).is_ok());
+        assert!(secure_structural(&built.graph, &built.assignment).is_ok());
+    }
+
+    #[test]
+    fn object_read_down_is_fine_read_up_is_not() {
+        let mut built = linear_hierarchy(&["lo", "hi"], 1);
+        let hi = built.subjects[1][0];
+        let lo_doc = built.attach_object(0, "lo-doc");
+        built.graph.add_edge(hi, lo_doc, Rights::R).unwrap();
+        assert!(secure_policy(&built.graph, &built.assignment).is_ok());
+        assert!(secure_structural(&built.graph, &built.assignment).is_ok());
+
+        let lo = built.subjects[0][0];
+        let hi_doc = built.attach_object(1, "hi-doc");
+        built.graph.add_edge(lo, hi_doc, Rights::R).unwrap();
+        assert!(secure_policy(&built.graph, &built.assignment).is_err());
+        assert!(secure_structural(&built.graph, &built.assignment).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! Builders realizing classification hierarchies as protection graphs.
+//!
+//! Theorem 4.3 calls an arrangement of rw-levels with a fixed order a
+//! *structure*. These builders construct protection graphs whose derived
+//! level structure matches a requested partial order — the executable form
+//! of Figures 4.1 (linear classification) and 4.2 (the military
+//! classification lattice).
+//!
+//! Realization: subjects inside one level mutually read each other (a
+//! bidirectional `r` ring), and for each covering pair `H > L` one subject
+//! of `H` reads one subject of `L`. Information therefore flows upward
+//! only; no `t`/`g` edges exist at all, so the de jure rules can add
+//! nothing (there is nothing to take with, and nothing to grant along).
+
+use tg_graph::{ProtectionGraph, Rights, VertexId};
+
+use crate::levels::{LevelAssignment, LevelError};
+
+/// A constructed hierarchy: the graph, the policy assignment, and the
+/// subjects of each level.
+#[derive(Clone, Debug)]
+pub struct BuiltHierarchy {
+    /// The protection graph.
+    pub graph: ProtectionGraph,
+    /// The intended classification.
+    pub assignment: LevelAssignment,
+    /// `subjects[level]` lists that level's subject vertices.
+    pub subjects: Vec<Vec<VertexId>>,
+}
+
+impl BuiltHierarchy {
+    /// Attaches an object to `level`: one subject of the level receives
+    /// `r` and `w` over it, making it belong to that rw-level per §4's
+    /// object-classification rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range or has no subjects.
+    pub fn attach_object(&mut self, level: usize, name: &str) -> VertexId {
+        let holder = self.subjects[level][0];
+        let object = self.graph.add_object(name);
+        self.graph
+            .add_edge(holder, object, Rights::RW)
+            .expect("fresh object edge");
+        self.assignment
+            .assign(object, level)
+            .expect("level exists");
+        object
+    }
+}
+
+/// Builds a hierarchy for an arbitrary partial order given by `covers`
+/// (pairs `(higher, lower)`), with `per_level` subjects in each level.
+///
+/// # Errors
+///
+/// Propagates [`LevelError`] for cyclic or out-of-range covers.
+///
+/// # Examples
+///
+/// ```
+/// use tg_hierarchy::structure::lattice_hierarchy;
+///
+/// // A diamond: top over two incomparable middles over bottom.
+/// let built = lattice_hierarchy(
+///     &["bottom", "left", "right", "top"],
+///     &[(1, 0), (2, 0), (3, 1), (3, 2)],
+///     2,
+/// ).unwrap();
+/// assert_eq!(built.subjects.len(), 4);
+/// ```
+pub fn lattice_hierarchy(
+    names: &[&str],
+    covers: &[(usize, usize)],
+    per_level: usize,
+) -> Result<BuiltHierarchy, LevelError> {
+    let mut assignment = LevelAssignment::new(names, covers)?;
+    let mut graph = ProtectionGraph::new();
+    let mut subjects: Vec<Vec<VertexId>> = Vec::with_capacity(names.len());
+    for (li, name) in names.iter().enumerate() {
+        let mut level_subjects = Vec::with_capacity(per_level);
+        for si in 0..per_level.max(1) {
+            let v = graph.add_subject(format!("{name}-s{si}"));
+            assignment.assign(v, li)?;
+            level_subjects.push(v);
+        }
+        // Mutual visibility inside the level: a bidirectional read ring.
+        for i in 0..level_subjects.len() {
+            let j = (i + 1) % level_subjects.len();
+            if i != j {
+                graph
+                    .add_edge(level_subjects[i], level_subjects[j], Rights::R)
+                    .expect("fresh subjects");
+                graph
+                    .add_edge(level_subjects[j], level_subjects[i], Rights::R)
+                    .expect("fresh subjects");
+            }
+        }
+        subjects.push(level_subjects);
+    }
+    for &(h, l) in covers {
+        // One representative of the higher level reads one of the lower.
+        graph
+            .add_edge(subjects[h][0], subjects[l][0], Rights::R)
+            .expect("fresh cover edge");
+    }
+    Ok(BuiltHierarchy {
+        graph,
+        assignment,
+        subjects,
+    })
+}
+
+/// Builds the linear classification of Figure 4.1: `names[0]` lowest.
+pub fn linear_hierarchy(names: &[&str], per_level: usize) -> BuiltHierarchy {
+    let covers: Vec<(usize, usize)> = (1..names.len()).map(|i| (i, i - 1)).collect();
+    lattice_hierarchy(names, &covers, per_level).expect("a chain has no cycles")
+}
+
+/// The military classification system of Figure 4.2: authority levels
+/// (unclassified=0, confidential=1, secret=2, top-secret=3) crossed with
+/// category sets. A level `(a1, c1)` dominates `(a2, c2)` iff `a1 ≥ a2`
+/// and `c1 ⊇ c2` — a lattice with incomparable levels.
+///
+/// `categories` names the compartments; every subset of them is crossed
+/// with every authority level, so keep the list short (the figure uses
+/// two, A and B).
+pub fn military_hierarchy(categories: &[&str], per_level: usize) -> BuiltHierarchy {
+    const AUTHORITY: [&str; 4] = ["unclassified", "confidential", "secret", "top-secret"];
+    let subset_count = 1usize << categories.len();
+    let mut names: Vec<String> = Vec::new();
+    for auth in AUTHORITY.iter() {
+        for mask in 0..subset_count {
+            let cats: Vec<&str> = categories
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, c)| *c)
+                .collect();
+            if cats.is_empty() {
+                names.push(format!("{auth}.{{}}"));
+            } else {
+                names.push(format!("{auth}.{{{}}}", cats.join(",")));
+            }
+        }
+    }
+    let idx = |a: usize, mask: usize| a * subset_count + mask;
+    let mut covers = Vec::new();
+    for a in 0..AUTHORITY.len() {
+        for mask in 0..subset_count {
+            // Cover by authority step.
+            if a + 1 < AUTHORITY.len() {
+                covers.push((idx(a + 1, mask), idx(a, mask)));
+            }
+            // Cover by adding one category.
+            for c in 0..categories.len() {
+                if mask & (1 << c) == 0 {
+                    covers.push((idx(a, mask | (1 << c)), idx(a, mask)));
+                }
+            }
+        }
+    }
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    lattice_hierarchy(&name_refs, &covers, per_level).expect("the military lattice is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::rw_levels;
+    use tg_analysis::{can_know, can_know_f};
+
+    #[test]
+    fn linear_hierarchy_flows_up_only() {
+        // Theorem 4.3 on the Figure 4.1 structure: for j < k, the higher
+        // vertex knows the lower, never conversely.
+        let built = linear_hierarchy(&["L1", "L2", "L3", "L4"], 2);
+        for k in 0..4 {
+            for j in 0..k {
+                for &hi in &built.subjects[k] {
+                    for &lo in &built.subjects[j] {
+                        assert!(can_know_f(&built.graph, hi, lo), "L{k} must know L{j}");
+                        assert!(!can_know_f(&built.graph, lo, hi), "L{j} must not know L{k}");
+                        // With de jure rules too (no tg edges exist).
+                        assert!(!can_know(&built.graph, lo, hi));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_level_subjects_are_mutually_knowing() {
+        let built = linear_hierarchy(&["L1", "L2"], 3);
+        for level in &built.subjects {
+            for &a in level {
+                for &b in level {
+                    assert!(can_know_f(&built.graph, a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn derived_levels_match_the_assignment() {
+        let built = linear_hierarchy(&["L1", "L2", "L3"], 2);
+        let derived = rw_levels(&built.graph);
+        for (li, level) in built.subjects.iter().enumerate() {
+            let d = derived.level_of(level[0]).unwrap();
+            for &s in level {
+                assert_eq!(derived.level_of(s), Some(d), "level {li} must be one SCC");
+            }
+        }
+        // And the derived order agrees: L3 > L1.
+        let top = derived.level_of(built.subjects[2][0]).unwrap();
+        let bottom = derived.level_of(built.subjects[0][0]).unwrap();
+        assert!(derived.higher(top, bottom));
+    }
+
+    #[test]
+    fn diamond_lattice_keeps_middles_incomparable() {
+        let built = lattice_hierarchy(
+            &["bottom", "left", "right", "top"],
+            &[(1, 0), (2, 0), (3, 1), (3, 2)],
+            1,
+        )
+        .unwrap();
+        let g = &built.graph;
+        let (bottom, left, right, top) = (
+            built.subjects[0][0],
+            built.subjects[1][0],
+            built.subjects[2][0],
+            built.subjects[3][0],
+        );
+        assert!(can_know_f(g, left, bottom));
+        assert!(can_know_f(g, right, bottom));
+        assert!(can_know_f(g, top, left));
+        assert!(can_know_f(g, top, bottom));
+        assert!(!can_know_f(g, left, right), "incomparable compartments");
+        assert!(!can_know_f(g, right, left));
+        assert!(!can_know_f(g, bottom, top));
+    }
+
+    #[test]
+    fn military_lattice_has_the_right_shape() {
+        let built = military_hierarchy(&["A", "B"], 1);
+        // 4 authority levels × 4 category subsets.
+        assert_eq!(built.subjects.len(), 16);
+        let a = &built.assignment;
+        // secret.{A} dominates confidential.{A} but not confidential.{B}.
+        let level = |name: &str| (0..a.len()).find(|&i| a.name(i) == name).unwrap();
+        let sec_a = level("secret.{A}");
+        let conf_a = level("confidential.{A}");
+        let conf_b = level("confidential.{B}");
+        let ts_ab = level("top-secret.{A,B}");
+        assert!(a.higher(sec_a, conf_a));
+        assert!(a.incomparable(sec_a, conf_b));
+        assert!(a.higher(ts_ab, sec_a));
+        assert!(a.higher(ts_ab, conf_b));
+        // The graph realizes it: secret.{A} knows confidential.{A} only.
+        let g = &built.graph;
+        assert!(can_know_f(g, built.subjects[sec_a][0], built.subjects[conf_a][0]));
+        assert!(!can_know_f(g, built.subjects[sec_a][0], built.subjects[conf_b][0]));
+        // "While two subjects may have the same security classification,
+        // the model makes no assumptions about their being able to
+        // communicate": distinct same-shape levels stay incomparable.
+        let sec_b = level("secret.{B}");
+        assert!(a.incomparable(sec_a, sec_b));
+    }
+
+    #[test]
+    fn attached_objects_belong_to_their_level() {
+        let mut built = linear_hierarchy(&["lo", "hi"], 1);
+        let doc = built.attach_object(1, "secret-doc");
+        assert_eq!(built.assignment.level_of(doc), Some(1));
+        // Theorem 4.5: the lower subject cannot know the higher object.
+        let lo = built.subjects[0][0];
+        assert!(!can_know_f(&built.graph, lo, doc));
+        let hi = built.subjects[1][0];
+        assert!(can_know_f(&built.graph, hi, doc));
+    }
+
+    #[test]
+    fn single_subject_levels_work() {
+        let built = linear_hierarchy(&["only"], 1);
+        assert_eq!(built.subjects[0].len(), 1);
+        assert_eq!(built.graph.vertex_count(), 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! The Wu-model baseline and the Figure 2.1 conspiracy.
+//!
+//! Wu's hierarchical protection model (reference \[7\] in the paper)
+//! encodes the hierarchy purely in the *direction* of take/grant edges: a superior
+//! holds `t` over its inferiors, so authority can be pulled upward but —
+//! assuming everyone follows the rules honestly — never pushed downward.
+//!
+//! Section 2 shows why that assumption is fatal: the Lemma 2.1/2.2
+//! reversals let any two *directly connected, cooperating* subjects move
+//! rights against the edge direction. "If a vertex conspires with a
+//! higher-level vertex to which it is directly connected, the vertex at
+//! the lower level can acquire take (or grant) rights over the vertex at
+//! the higher level" — Figure 2.1. The functions here build Wu-style
+//! hierarchies and execute that conspiracy as a concrete derivation.
+
+use tg_graph::{ProtectionGraph, Rights, VertexId};
+use tg_rules::{lemmas, Derivation, RuleError, Session};
+
+use crate::levels::LevelAssignment;
+
+/// A Wu-style hierarchy: a tree of subjects where each parent holds `t`
+/// over its children.
+#[derive(Clone, Debug)]
+pub struct WuHierarchy {
+    /// The protection graph.
+    pub graph: ProtectionGraph,
+    /// The intended classification (root highest).
+    pub assignment: LevelAssignment,
+    /// `levels[d]` lists the subjects at depth `d` (0 = root level).
+    pub levels: Vec<Vec<VertexId>>,
+}
+
+/// Builds a Wu hierarchy of the given `depth` (number of levels ≥ 1) and
+/// `branching` factor: level 0 is the single root; each subject at level
+/// `d` holds `t` over `branching` children at level `d + 1`.
+///
+/// # Panics
+///
+/// Panics if `depth == 0` or `branching == 0`.
+pub fn wu_hierarchy(depth: usize, branching: usize) -> WuHierarchy {
+    assert!(depth > 0 && branching > 0, "degenerate hierarchy");
+    let names: Vec<String> = (0..depth).map(|d| format!("L{}", depth - d)).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    // Level index in the assignment: 0 = lowest. Depth 0 (root) maps to
+    // the highest assignment level.
+    let covers: Vec<(usize, usize)> = (1..depth).map(|i| (i, i - 1)).collect();
+    let mut assignment = LevelAssignment::new(
+        &name_refs.iter().rev().copied().collect::<Vec<_>>(),
+        &covers,
+    )
+    .expect("chains are acyclic");
+
+    let mut graph = ProtectionGraph::new();
+    let mut levels: Vec<Vec<VertexId>> = Vec::with_capacity(depth);
+    let root = graph.add_subject("root");
+    assignment.assign(root, depth - 1).expect("level exists");
+    levels.push(vec![root]);
+    for d in 1..depth {
+        let mut level = Vec::new();
+        let parents = levels[d - 1].clone();
+        for (pi, &parent) in parents.iter().enumerate() {
+            for c in 0..branching {
+                let child = graph.add_subject(format!("s{d}-{pi}-{c}"));
+                assignment
+                    .assign(child, depth - 1 - d)
+                    .expect("level exists");
+                // The superior can take from the inferior.
+                graph
+                    .add_edge(parent, child, Rights::T)
+                    .expect("fresh edge");
+                level.push(child);
+            }
+        }
+        levels.push(level);
+    }
+    WuHierarchy {
+        graph,
+        assignment,
+        levels,
+    }
+}
+
+/// The Figure 2.1 conspiracy: `inferior` (directly below `superior`, i.e.
+/// `superior --t--> inferior`) cooperates with `superior` to obtain
+/// `rights` over `target`, a vertex only the superior holds them on.
+/// Returns the replayable derivation.
+///
+/// # Errors
+///
+/// Propagates the Lemma 2.1 construction's precondition failures (both
+/// conspirators must be subjects, the `t` edge and the superior's rights
+/// must exist).
+pub fn conspiracy(
+    graph: &ProtectionGraph,
+    superior: VertexId,
+    inferior: VertexId,
+    target: VertexId,
+    rights: Rights,
+) -> Result<Derivation, RuleError> {
+    let mut session = Session::new(graph.clone());
+    lemmas::reverse_take(&mut session, superior, inferior, target, rights)?;
+    Ok(session.into_parts().1)
+}
+
+/// The full Figure 2.1 demonstration: in a 3-level Wu hierarchy, the
+/// middle subject conspires with the root to obtain the root's `t` right
+/// over *another* middle subject — authority the hierarchy was supposed
+/// to reserve to the superior. Returns the graph before, the derivation,
+/// and the pair (conspirator, victim).
+pub fn figure_2_1() -> (WuHierarchy, Derivation, (VertexId, VertexId)) {
+    let wu = wu_hierarchy(3, 2);
+    let root = wu.levels[0][0];
+    let conspirator = wu.levels[1][0];
+    let victim = wu.levels[1][1];
+    let derivation = conspiracy(&wu.graph, root, conspirator, victim, Rights::T)
+        .expect("the conspiracy preconditions hold by construction");
+    (wu, derivation, (conspirator, victim))
+}
+
+/// Whether the Wu hierarchy's intent is already violated in `graph`: some
+/// subject holds `t` or `g` over a vertex whose level is not strictly
+/// below its own.
+pub fn wu_invariant_violated(graph: &ProtectionGraph, assignment: &LevelAssignment) -> bool {
+    graph.edges().any(|e| {
+        e.rights.explicit.intersects(Rights::TG)
+            && match (assignment.level_of(e.src), assignment.level_of(e.dst)) {
+                (Some(a), Some(b)) => !assignment.higher(a, b),
+                _ => false,
+            }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_analysis::can_know;
+    use tg_graph::Right;
+
+    #[test]
+    fn hierarchy_shape() {
+        let wu = wu_hierarchy(3, 2);
+        assert_eq!(wu.levels[0].len(), 1);
+        assert_eq!(wu.levels[1].len(), 2);
+        assert_eq!(wu.levels[2].len(), 4);
+        assert_eq!(wu.graph.vertex_count(), 7);
+        // Root is assigned the top level.
+        let root_level = wu.assignment.level_of(wu.levels[0][0]).unwrap();
+        let leaf_level = wu.assignment.level_of(wu.levels[2][0]).unwrap();
+        assert!(wu.assignment.higher(root_level, leaf_level));
+        assert!(!wu_invariant_violated(&wu.graph, &wu.assignment));
+    }
+
+    #[test]
+    fn figure_2_1_conspiracy_succeeds() {
+        let (wu, derivation, (conspirator, victim)) = figure_2_1();
+        // Before: the conspirator holds nothing over its sibling.
+        assert!(wu.graph.rights(conspirator, victim).explicit().is_empty());
+        let after = derivation.replayed(&wu.graph).unwrap();
+        // After: the inferior holds take over its sibling — the breach.
+        assert!(after.has_explicit(conspirator, victim, Right::Take));
+        assert!(wu_invariant_violated(&after, &wu.assignment));
+    }
+
+    #[test]
+    fn conspiracy_needs_the_direct_edge() {
+        let wu = wu_hierarchy(3, 2);
+        let root = wu.levels[0][0];
+        let leaf = wu.levels[2][0]; // not directly connected to root
+        assert!(conspiracy(&wu.graph, root, leaf, wu.levels[1][1], Rights::T).is_err());
+    }
+
+    #[test]
+    fn wu_model_leaks_under_can_know() {
+        // Even without executing the conspiracy, the analysis predicts it:
+        // the t edge is a bridge, so the inferior can know everything the
+        // superior can.
+        let wu = wu_hierarchy(2, 1);
+        let root = wu.levels[0][0];
+        let child = wu.levels[1][0];
+        // Attach a secret only the root can read.
+        let mut g = wu.graph.clone();
+        let secret = g.add_object("secret");
+        g.add_edge(root, secret, Rights::R).unwrap();
+        assert!(can_know(&g, child, secret), "Wu model leaks to inferiors");
+    }
+
+    #[test]
+    fn bishop_structure_resists_the_same_conspiracy() {
+        // The same classification realized as a §4 structure: no t/g
+        // edges at all, so the conspiracy machinery has nothing to grip.
+        let built = crate::structure::linear_hierarchy(&["lo", "hi"], 1);
+        let hi = built.subjects[1][0];
+        let lo = built.subjects[0][0];
+        let mut g = built.graph.clone();
+        let secret = g.add_object("secret");
+        g.add_edge(hi, secret, Rights::R).unwrap();
+        assert!(
+            !can_know(&g, lo, secret),
+            "Theorem 4.3: no conspiracy can move information down"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate hierarchy")]
+    fn zero_depth_panics() {
+        wu_hierarchy(0, 2);
+    }
+}

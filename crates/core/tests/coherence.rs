@@ -1,0 +1,67 @@
+//! Structure/derivation coherence: a hierarchy built from a declared
+//! partial order must *derive* back to exactly that order — the assigned
+//! classification and the graph's own rw-level structure coincide (the
+//! executable content of "Theorem 4.3 provides the Take-Grant Protection
+//! Model with the structure needed to model a hierarchical classification
+//! system").
+
+use proptest::prelude::*;
+use tg_hierarchy::structure::lattice_hierarchy;
+use tg_hierarchy::{rw_levels, rwtg_levels, secure_policy, secure_structural};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_lattices_derive_back_to_their_declaration(
+        level_count in 2usize..6,
+        per_level in 1usize..4,
+        cover_picks in prop::collection::vec((0usize..6, 0usize..6), 0..10),
+    ) {
+        // Covers only point from higher index to lower: acyclic by
+        // construction.
+        let covers: Vec<(usize, usize)> = cover_picks
+            .into_iter()
+            .map(|(a, b)| (a % level_count, b % level_count))
+            .filter(|&(a, b)| a > b)
+            .collect();
+        let names: Vec<String> = (0..level_count).map(|i| format!("L{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let built = lattice_hierarchy(&name_refs, &covers, per_level).expect("acyclic");
+
+        // Built hierarchies are secure under both checks.
+        prop_assert!(secure_policy(&built.graph, &built.assignment).is_ok());
+        prop_assert!(secure_structural(&built.graph, &built.assignment).is_ok());
+
+        // The derived rw-levels partition subjects exactly as assigned,
+        // and the derived order equals the declared dominance.
+        for derived in [rw_levels(&built.graph), rwtg_levels(&built.graph)] {
+            for (la, level_a) in built.subjects.iter().enumerate() {
+                for (lb, level_b) in built.subjects.iter().enumerate() {
+                    for &a in level_a {
+                        for &b in level_b {
+                            let da = derived.level_of(a).expect("subjects have levels");
+                            let db = derived.level_of(b).expect("subjects have levels");
+                            if la == lb {
+                                prop_assert_eq!(da, db, "same declared level must merge");
+                            } else {
+                                prop_assert_eq!(
+                                    built.assignment.higher(la, lb),
+                                    derived.higher(da, db),
+                                    "declared vs derived order diverge at L{} L{}",
+                                    la, lb
+                                );
+                                prop_assert_eq!(
+                                    built.assignment.incomparable(la, lb),
+                                    derived.incomparable(da, db),
+                                    "declared vs derived comparability diverge at L{} L{}",
+                                    la, lb
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

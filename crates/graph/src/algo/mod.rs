@@ -1,0 +1,11 @@
+//! Small reusable graph algorithms shared by the analysis crates.
+//!
+//! These are deliberately generic over plain `usize` node indices so they can
+//! run over derived graphs (flow graphs, link graphs, island graphs) as well
+//! as over protection graphs themselves.
+
+mod scc;
+mod unionfind;
+
+pub use scc::{condensation, tarjan_scc, Condensation};
+pub use unionfind::UnionFind;

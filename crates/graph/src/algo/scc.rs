@@ -1,0 +1,258 @@
+//! Strongly connected components (iterative Tarjan) and condensation DAGs.
+
+/// Computes the strongly connected components of a directed graph given as
+/// an adjacency list over dense indices.
+///
+/// Components are returned in **reverse topological order** (a component
+/// appears before any component it can reach... more precisely, Tarjan emits
+/// a component only after all components reachable from it), and each
+/// component lists its members in discovery order.
+///
+/// The implementation is iterative, so deep graphs cannot overflow the call
+/// stack.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::algo::tarjan_scc;
+///
+/// // 0 -> 1 -> 2 -> 0 (a cycle), 3 -> 0.
+/// let adj = vec![vec![1], vec![2], vec![0], vec![0]];
+/// let mut sccs = tarjan_scc(&adj);
+/// for scc in &mut sccs {
+///     scc.sort_unstable();
+/// }
+/// assert!(sccs.contains(&vec![0, 1, 2]));
+/// assert!(sccs.contains(&vec![3]));
+/// ```
+pub fn tarjan_scc(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0u32;
+    let mut components: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS frames: (vertex, next child position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while !frames.is_empty() {
+            let (v, child) = {
+                let frame = frames.last_mut().expect("nonempty");
+                let current = *frame;
+                frame.1 += 1;
+                current
+            };
+            if let Some(&w) = adj[v].get(child) {
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.reverse();
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// A condensation: the DAG of strongly connected components.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// `component_of[v]` is the index (into [`Condensation::components`]) of
+    /// the component containing vertex `v`.
+    pub component_of: Vec<usize>,
+    /// The members of each component.
+    pub components: Vec<Vec<usize>>,
+    /// Deduplicated adjacency between components (no self-loops).
+    pub adj: Vec<Vec<usize>>,
+}
+
+impl Condensation {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the underlying graph was empty.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Component-level reachability matrix: `reach[a]` contains `b` iff
+    /// component `a` can reach component `b` (reflexively). Runs a DFS per
+    /// component; intended for the modest component counts of protection
+    /// hierarchies.
+    pub fn reachability(&self) -> Vec<Vec<bool>> {
+        let k = self.len();
+        let mut reach = vec![vec![false; k]; k];
+        #[expect(clippy::needless_range_loop, reason = "start indexes both the frontier and the matrix row")]
+        for start in 0..k {
+            let mut todo = vec![start];
+            while let Some(c) = todo.pop() {
+                if reach[start][c] {
+                    continue;
+                }
+                reach[start][c] = true;
+                todo.extend(self.adj[c].iter().copied());
+            }
+        }
+        reach
+    }
+}
+
+/// Builds the condensation DAG of a directed graph.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::algo::condensation;
+///
+/// // Two mutually-reaching vertices plus a vertex that reads them.
+/// let adj = vec![vec![1], vec![0], vec![0]];
+/// let cond = condensation(&adj);
+/// assert_eq!(cond.len(), 2);
+/// let cycle = cond.component_of[0];
+/// assert_eq!(cond.component_of[1], cycle);
+/// assert_ne!(cond.component_of[2], cycle);
+/// ```
+pub fn condensation(adj: &[Vec<usize>]) -> Condensation {
+    let components = tarjan_scc(adj);
+    let mut component_of = vec![0usize; adj.len()];
+    for (ci, comp) in components.iter().enumerate() {
+        for &v in comp {
+            component_of[v] = ci;
+        }
+    }
+    let mut cadj: Vec<Vec<usize>> = vec![Vec::new(); components.len()];
+    for (v, succs) in adj.iter().enumerate() {
+        for &w in succs {
+            let (cv, cw) = (component_of[v], component_of[w]);
+            if cv != cw {
+                cadj[cv].push(cw);
+            }
+        }
+    }
+    for list in &mut cadj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    Condensation {
+        component_of,
+        components,
+        adj: cadj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn normalized(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+        let mut sccs = tarjan_scc(adj);
+        for scc in &mut sccs {
+            scc.sort_unstable();
+        }
+        sccs.sort();
+        sccs
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(tarjan_scc(&[]).is_empty());
+        assert!(condensation(&[]).is_empty());
+    }
+
+    #[test]
+    fn singletons_without_edges() {
+        let adj = vec![vec![], vec![], vec![]];
+        assert_eq!(normalized(&adj), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn one_big_cycle() {
+        let adj = vec![vec![1], vec![2], vec![3], vec![0]];
+        assert_eq!(normalized(&adj), vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn chain_is_all_singletons() {
+        let adj = vec![vec![1], vec![2], vec![]];
+        assert_eq!(normalized(&adj), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn two_cycles_with_bridge_edge() {
+        // {0,1} -> {2,3}
+        let adj = vec![vec![1], vec![0, 2], vec![3], vec![2]];
+        assert_eq!(normalized(&adj), vec![vec![0, 1], vec![2, 3]]);
+        let cond = condensation(&adj);
+        assert_eq!(cond.len(), 2);
+        let from = cond.component_of[0];
+        let to = cond.component_of[2];
+        assert_eq!(cond.adj[from], vec![to]);
+        assert!(cond.adj[to].is_empty());
+        let reach = cond.reachability();
+        assert!(reach[from][to]);
+        assert!(!reach[to][from]);
+        assert!(reach[from][from]);
+    }
+
+    #[test]
+    fn tarjan_emits_reverse_topological_order() {
+        // 0 -> 1 -> 2, all singleton components; 2's component must come first.
+        let adj = vec![vec![1], vec![2], vec![]];
+        let sccs = tarjan_scc(&adj);
+        assert_eq!(sccs, vec![vec![2], vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let n = 200_000;
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|i| if i + 1 < n { vec![i + 1] } else { vec![] })
+            .collect();
+        assert_eq!(tarjan_scc(&adj).len(), n);
+    }
+
+    #[test]
+    fn parallel_and_duplicate_edges_are_tolerated() {
+        let adj = vec![vec![1, 1, 1], vec![0, 0]];
+        assert_eq!(normalized(&adj), vec![vec![0, 1]]);
+    }
+}

@@ -1,0 +1,126 @@
+//! The [`graph!`] construction macro.
+
+/// Builds a [`ProtectionGraph`](crate::ProtectionGraph) from a readable
+/// edge-list description, binding each vertex name to a local variable.
+///
+/// ```text
+/// graph! {
+///     subjects: a, b;          // bound as `a`, `b`
+///     objects: f;              // bound as `f`
+///     a => b: t g;             // explicit edge with rights {t, g}
+///     b => f: r w;
+///     implicit a => f: r;      // implicit edge
+/// }
+/// ```
+///
+/// Expands to a tuple `(graph, ...)`? No — it expands to a block that
+/// defines the bindings and evaluates to the graph, so use it as:
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{graph, Right};
+///
+/// let (g, [a, b, f]) = graph! {
+///     subjects: a, b;
+///     objects: f;
+///     a => b: t;
+///     b => f: r w;
+///     implicit a => f: r;
+/// };
+/// assert!(g.has_explicit(a, b, Right::Take));
+/// assert!(g.rights(a, f).implicit().contains(Right::Read));
+/// assert_eq!(g.vertex(b).name, "b");
+/// ```
+///
+/// The second tuple element is an array of all vertex ids in declaration
+/// order (subjects first), so callers can destructure by position.
+#[macro_export]
+macro_rules! graph {
+    (
+        subjects: $($s:ident),* ;
+        objects: $($o:ident),* ;
+        $($rest:tt)*
+    ) => {{
+        let mut g = $crate::ProtectionGraph::new();
+        $(let $s = g.add_subject(stringify!($s));)*
+        $(let $o = g.add_object(stringify!($o));)*
+        $crate::graph!(@edges g, $($rest)*);
+        (g, [$($s,)* $($o),*])
+    }};
+    // No objects.
+    (
+        subjects: $($s:ident),* ;
+        $($rest:tt)*
+    ) => {{
+        let mut g = $crate::ProtectionGraph::new();
+        $(let $s = g.add_subject(stringify!($s));)*
+        $crate::graph!(@edges g, $($rest)*);
+        (g, [$($s),*])
+    }};
+    (@edges $g:ident, ) => {};
+    (@edges $g:ident, implicit $src:ident => $dst:ident : $($right:ident)+ ; $($rest:tt)*) => {
+        $g.add_implicit_edge(
+            $src,
+            $dst,
+            $crate::Rights::parse(concat!($(stringify!($right)),+)).expect("valid rights"),
+        )
+        .expect("valid implicit edge");
+        $crate::graph!(@edges $g, $($rest)*);
+    };
+    (@edges $g:ident, $src:ident => $dst:ident : $($right:ident)+ ; $($rest:tt)*) => {
+        $g.add_edge(
+            $src,
+            $dst,
+            $crate::Rights::parse(concat!($(stringify!($right)),+)).expect("valid rights"),
+        )
+        .expect("valid edge");
+        $crate::graph!(@edges $g, $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Right, Rights};
+
+    #[test]
+    fn builds_subjects_objects_and_edges() {
+        let (g, [x, y, o]) = graph! {
+            subjects: x, y;
+            objects: o;
+            x => y: t g;
+            y => o: r w e;
+        };
+        assert!(g.is_subject(x));
+        assert!(g.is_subject(y));
+        assert!(g.is_object(o));
+        assert_eq!(g.rights(x, y).explicit(), Rights::TG);
+        assert!(g.has_explicit(y, o, Right::Execute));
+        assert_eq!(g.vertex(o).name, "o");
+    }
+
+    #[test]
+    fn subjects_only_form() {
+        let (g, [a, b]) = graph! {
+            subjects: a, b;
+            a => b: r;
+        };
+        assert_eq!(g.vertex_count(), 2);
+        assert!(g.has_explicit(a, b, Right::Read));
+    }
+
+    #[test]
+    fn implicit_edges_and_empty_edge_list() {
+        let (g, [a, o]) = graph! {
+            subjects: a;
+            objects: o;
+            implicit a => o: r;
+        };
+        assert!(g.rights(a, o).implicit().contains(Right::Read));
+        let (g2, [s]) = graph! {
+            subjects: s;
+        };
+        assert_eq!(g2.vertex_count(), 1);
+        assert!(g2.is_subject(s));
+    }
+}

@@ -1,0 +1,144 @@
+//! Graphviz DOT export.
+//!
+//! Subjects render as filled circles (the paper's ●), objects as open
+//! circles (○), explicit edges as solid arrows and implicit edges as dashed
+//! arrows — matching the paper's drawing conventions.
+
+use std::fmt::Write as _;
+
+use crate::ProtectionGraph;
+
+/// Options controlling [`DotOptions::render`].
+#[derive(Clone, Debug)]
+pub struct DotOptions {
+    /// Graph name emitted in the `digraph` header.
+    pub name: String,
+    /// Whether implicit edges are drawn (dashed) or omitted.
+    pub show_implicit: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> DotOptions {
+        DotOptions {
+            name: "protection_graph".to_string(),
+            show_implicit: true,
+        }
+    }
+}
+
+impl DotOptions {
+    /// Renders `graph` to DOT source.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tg_graph::{DotOptions, ProtectionGraph, Rights};
+    ///
+    /// let mut g = ProtectionGraph::new();
+    /// let s = g.add_subject("s");
+    /// let o = g.add_object("o");
+    /// g.add_edge(s, o, Rights::R).unwrap();
+    /// let dot = DotOptions::default().render(&g);
+    /// assert!(dot.contains("digraph"));
+    /// assert!(dot.contains("label=\"r\""));
+    /// ```
+    pub fn render(&self, graph: &ProtectionGraph) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {} {{", sanitize(&self.name));
+        let _ = writeln!(out, "  rankdir=LR;");
+        for (id, vertex) in graph.vertices() {
+            let style = if vertex.kind.is_subject() {
+                "shape=circle, style=filled, fillcolor=black, fontcolor=white"
+            } else {
+                "shape=circle"
+            };
+            let _ = writeln!(
+                out,
+                "  {} [label=\"{}\", {}];",
+                id,
+                escape(&vertex.name),
+                style
+            );
+        }
+        for edge in graph.edges() {
+            if !edge.rights.explicit.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [label=\"{}\"];",
+                    edge.src, edge.dst, edge.rights.explicit
+                );
+            }
+            if self.show_implicit && !edge.rights.implicit.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [label=\"{}\", style=dashed];",
+                    edge.src, edge.dst, edge.rights.implicit
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "g".to_string()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rights;
+
+    #[test]
+    fn renders_vertices_and_both_edge_kinds() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("alice");
+        let o = g.add_object("doc");
+        g.add_edge(s, o, Rights::RW).unwrap();
+        g.add_implicit_edge(o, s, Rights::R).unwrap();
+        let dot = DotOptions::default().render(&g);
+        assert!(dot.contains("v0 [label=\"alice\""));
+        assert!(dot.contains("fillcolor=black"));
+        assert!(dot.contains("v0 -> v1 [label=\"rw\"]"));
+        assert!(dot.contains("v1 -> v0 [label=\"r\", style=dashed]"));
+    }
+
+    #[test]
+    fn implicit_edges_can_be_suppressed() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let o = g.add_object("o");
+        g.add_implicit_edge(s, o, Rights::R).unwrap();
+        let opts = DotOptions {
+            show_implicit: false,
+            ..DotOptions::default()
+        };
+        assert!(!opts.render(&g).contains("dashed"));
+    }
+
+    #[test]
+    fn labels_are_escaped_and_names_sanitized() {
+        let mut g = ProtectionGraph::new();
+        g.add_subject("a\"b");
+        let opts = DotOptions {
+            name: "my graph!".to_string(),
+            ..DotOptions::default()
+        };
+        let dot = opts.render(&g);
+        assert!(dot.contains("digraph my_graph_"));
+        assert!(dot.contains("a\\\"b"));
+    }
+}

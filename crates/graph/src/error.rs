@@ -1,0 +1,31 @@
+//! Errors reported by graph mutations and accessors.
+
+use core::fmt;
+
+use crate::VertexId;
+
+/// Error type for [`ProtectionGraph`](crate::ProtectionGraph) operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GraphError {
+    /// A vertex id did not refer to a vertex of this graph.
+    UnknownVertex(VertexId),
+    /// An edge would connect a vertex to itself. Every rewriting rule in the
+    /// model requires its vertices to be distinct, so protection graphs are
+    /// kept loop-free by construction.
+    SelfEdge(VertexId),
+    /// An edge was given the empty rights set. Edges carry nonempty labels;
+    /// removing the last right removes the edge itself (paper §2, *remove*).
+    EmptyRights,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownVertex(v) => write!(f, "unknown vertex {v}"),
+            GraphError::SelfEdge(v) => write!(f, "self-edge on {v} is not allowed"),
+            GraphError::EmptyRights => write!(f, "edge rights must be nonempty"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

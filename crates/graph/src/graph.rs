@@ -1,0 +1,557 @@
+//! The protection graph itself.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{GraphError, Right, Rights, Vertex, VertexId, VertexKind};
+
+/// The explicit and implicit rights carried by one ordered vertex pair.
+///
+/// A protection graph stores at most one edge *record* per ordered pair; the
+/// record keeps the explicit label (recorded authority, manipulated by de
+/// jure rules) separate from the implicit label (potential information flow,
+/// exhibited by de facto rules).
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EdgeRights {
+    /// Rights recorded as authority by the protection system.
+    pub explicit: Rights,
+    /// Rights exhibited only as potential information flow.
+    pub implicit: Rights,
+}
+
+impl EdgeRights {
+    /// The explicit label.
+    pub fn explicit(self) -> Rights {
+        self.explicit
+    }
+
+    /// The implicit label.
+    pub fn implicit(self) -> Rights {
+        self.implicit
+    }
+
+    /// Union of the explicit and implicit labels.
+    pub fn combined(self) -> Rights {
+        self.explicit | self.implicit
+    }
+
+    /// Whether both labels are empty (i.e. no edge exists).
+    pub fn is_empty(self) -> bool {
+        self.explicit.is_empty() && self.implicit.is_empty()
+    }
+}
+
+/// One edge of the graph together with its endpoints, as yielded by
+/// [`ProtectionGraph::edges`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EdgeRecord {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Labels of the edge.
+    pub rights: EdgeRights,
+}
+
+/// A finite directed protection graph (paper §1).
+///
+/// Vertices are subjects or objects; edges are labelled with nonempty
+/// subsets of the rights set *R* and are either explicit (authority) or
+/// implicit (information flow). Vertices are never removed; edges disappear
+/// when their last right is removed.
+///
+/// Mutating methods validate their arguments and return [`GraphError`];
+/// read-only accessors taking a [`VertexId`] panic on ids that do not belong
+/// to this graph, exactly like indexing a `Vec` (passing a foreign id is a
+/// programming error, not a recoverable condition). Use
+/// [`ProtectionGraph::contains_vertex`] when validity is in question.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{ProtectionGraph, Rights};
+///
+/// let mut g = ProtectionGraph::new();
+/// let s = g.add_subject("s");
+/// let o = g.add_object("o");
+/// g.add_edge(s, o, Rights::RW).unwrap();
+/// assert_eq!(g.vertex_count(), 2);
+/// assert_eq!(g.rights(s, o).explicit(), Rights::RW);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProtectionGraph {
+    vertices: Vec<Vertex>,
+    /// Outgoing adjacency: `out[v]` maps successor index to labels.
+    out: Vec<BTreeMap<u32, EdgeRights>>,
+    /// Reverse index: `inc[v]` is the set of predecessors with a live edge.
+    inc: Vec<BTreeSet<u32>>,
+}
+
+impl ProtectionGraph {
+    /// Creates an empty graph.
+    pub fn new() -> ProtectionGraph {
+        ProtectionGraph::default()
+    }
+
+    /// Creates an empty graph with space reserved for `vertices` vertices.
+    pub fn with_capacity(vertices: usize) -> ProtectionGraph {
+        ProtectionGraph {
+            vertices: Vec::with_capacity(vertices),
+            out: Vec::with_capacity(vertices),
+            inc: Vec::with_capacity(vertices),
+        }
+    }
+
+    fn check(&self, id: VertexId) -> Result<(), GraphError> {
+        if id.index() < self.vertices.len() {
+            Ok(())
+        } else {
+            Err(GraphError::UnknownVertex(id))
+        }
+    }
+
+    fn check_pair(&self, src: VertexId, dst: VertexId) -> Result<(), GraphError> {
+        self.check(src)?;
+        self.check(dst)?;
+        if src == dst {
+            return Err(GraphError::SelfEdge(src));
+        }
+        Ok(())
+    }
+
+    /// Adds a vertex of the given kind and returns its id.
+    pub fn add_vertex(&mut self, kind: VertexKind, name: impl Into<String>) -> VertexId {
+        let id = VertexId(self.vertices.len() as u32);
+        self.vertices.push(Vertex::new(kind, name));
+        self.out.push(BTreeMap::new());
+        self.inc.push(BTreeSet::new());
+        id
+    }
+
+    /// Adds a subject vertex.
+    pub fn add_subject(&mut self, name: impl Into<String>) -> VertexId {
+        self.add_vertex(VertexKind::Subject, name)
+    }
+
+    /// Adds an object vertex.
+    pub fn add_object(&mut self, name: impl Into<String>) -> VertexId {
+        self.add_vertex(VertexKind::Object, name)
+    }
+
+    /// Whether `id` refers to a vertex of this graph.
+    pub fn contains_vertex(&self, id: VertexId) -> bool {
+        id.index() < self.vertices.len()
+    }
+
+    /// The vertex record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn vertex(&self, id: VertexId) -> &Vertex {
+        &self.vertices[id.index()]
+    }
+
+    /// The kind of vertex `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn kind(&self, id: VertexId) -> VertexKind {
+        self.vertices[id.index()].kind
+    }
+
+    /// Whether `id` is a subject.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn is_subject(&self, id: VertexId) -> bool {
+        self.kind(id).is_subject()
+    }
+
+    /// Whether `id` is an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn is_object(&self, id: VertexId) -> bool {
+        self.kind(id).is_object()
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of ordered vertex pairs carrying at least one right
+    /// (explicit or implicit).
+    pub fn edge_count(&self) -> usize {
+        self.out.iter().map(BTreeMap::len).sum()
+    }
+
+    /// Number of ordered vertex pairs carrying at least one explicit right.
+    pub fn explicit_edge_count(&self) -> usize {
+        self.out
+            .iter()
+            .map(|m| m.values().filter(|e| !e.explicit.is_empty()).count())
+            .sum()
+    }
+
+    /// Iterates over all vertex ids in creation order.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertices.len() as u32).map(VertexId)
+    }
+
+    /// Iterates over `(id, vertex)` pairs in creation order.
+    pub fn vertices(&self) -> impl Iterator<Item = (VertexId, &Vertex)> + '_ {
+        self.vertices
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VertexId(i as u32), v))
+    }
+
+    /// Iterates over the ids of all subject vertices.
+    pub fn subjects(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices()
+            .filter(|(_, v)| v.kind.is_subject())
+            .map(|(id, _)| id)
+    }
+
+    /// Iterates over the ids of all object vertices.
+    pub fn objects(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices()
+            .filter(|(_, v)| v.kind.is_object())
+            .map(|(id, _)| id)
+    }
+
+    /// Finds the first vertex with the given name.
+    pub fn find_by_name(&self, name: &str) -> Option<VertexId> {
+        self.vertices().find(|(_, v)| v.name == name).map(|(id, _)| id)
+    }
+
+    /// The labels of the ordered pair `(src, dst)`; both labels are empty if
+    /// no edge exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id does not belong to this graph.
+    pub fn rights(&self, src: VertexId, dst: VertexId) -> EdgeRights {
+        assert!(self.contains_vertex(dst), "unknown vertex {dst}");
+        self.out[src.index()]
+            .get(&(dst.0))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Whether `(src, dst)` carries `right` explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id does not belong to this graph.
+    pub fn has_explicit(&self, src: VertexId, dst: VertexId, right: Right) -> bool {
+        self.rights(src, dst).explicit.contains(right)
+    }
+
+    /// Whether `(src, dst)` carries `right` explicitly or implicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id does not belong to this graph.
+    pub fn has_any(&self, src: VertexId, dst: VertexId, right: Right) -> bool {
+        self.rights(src, dst).combined().contains(right)
+    }
+
+    /// Adds the nonempty set `rights` to the explicit label of `(src, dst)`,
+    /// creating the edge if needed. Returns whether the label changed.
+    pub fn add_edge(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        rights: Rights,
+    ) -> Result<bool, GraphError> {
+        self.add_rights(src, dst, rights, false)
+    }
+
+    /// Adds the nonempty set `rights` to the implicit label of `(src, dst)`.
+    /// Returns whether the label changed.
+    pub fn add_implicit_edge(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        rights: Rights,
+    ) -> Result<bool, GraphError> {
+        self.add_rights(src, dst, rights, true)
+    }
+
+    fn add_rights(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        rights: Rights,
+        implicit: bool,
+    ) -> Result<bool, GraphError> {
+        self.check_pair(src, dst)?;
+        if rights.is_empty() {
+            return Err(GraphError::EmptyRights);
+        }
+        let cell = self.out[src.index()].entry(dst.0).or_default();
+        let before = *cell;
+        if implicit {
+            cell.implicit |= rights;
+        } else {
+            cell.explicit |= rights;
+        }
+        let changed = *cell != before;
+        if before.is_empty() {
+            self.inc[dst.index()].insert(src.0);
+        }
+        Ok(changed)
+    }
+
+    /// Removes `rights` from the explicit label of `(src, dst)`; if the
+    /// label becomes empty and no implicit rights remain, the edge itself is
+    /// deleted (paper §2, *remove*). Returns the rights actually removed.
+    pub fn remove_explicit_rights(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        rights: Rights,
+    ) -> Result<Rights, GraphError> {
+        self.check_pair(src, dst)?;
+        let Some(cell) = self.out[src.index()].get_mut(&dst.0) else {
+            return Ok(Rights::EMPTY);
+        };
+        let removed = cell.explicit & rights;
+        cell.explicit = cell.explicit - rights;
+        if cell.is_empty() {
+            self.out[src.index()].remove(&dst.0);
+            self.inc[dst.index()].remove(&src.0);
+        }
+        Ok(removed)
+    }
+
+    /// Deletes every implicit right in the graph. Implicit edges are derived
+    /// state; analyses frequently recompute them from scratch.
+    pub fn clear_implicit(&mut self) {
+        let inc = &mut self.inc;
+        for (v, map) in self.out.iter_mut().enumerate() {
+            map.retain(|dst, cell| {
+                cell.implicit = Rights::EMPTY;
+                let keep = !cell.explicit.is_empty();
+                if !keep {
+                    inc[*dst as usize].remove(&(v as u32));
+                }
+                keep
+            });
+        }
+    }
+
+    /// Iterates over every edge record (pairs with a nonempty label), in
+    /// `(src, dst)` order.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRecord> + '_ {
+        self.out.iter().enumerate().flat_map(|(src, map)| {
+            map.iter().map(move |(dst, rights)| EdgeRecord {
+                src: VertexId(src as u32),
+                dst: VertexId(*dst),
+                rights: *rights,
+            })
+        })
+    }
+
+    /// Iterates over the out-edges of `v` as `(successor, labels)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this graph.
+    pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeRights)> + '_ {
+        self.out[v.index()]
+            .iter()
+            .map(|(dst, rights)| (VertexId(*dst), *rights))
+    }
+
+    /// Iterates over the in-edges of `v` as `(predecessor, labels)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this graph.
+    pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeRights)> + '_ {
+        self.inc[v.index()].iter().map(move |src| {
+            let rights = self.out[*src as usize]
+                .get(&(v.0))
+                .copied()
+                .unwrap_or_default();
+            (VertexId(*src), rights)
+        })
+    }
+
+    /// Drops implicit rights everywhere, keeping only recorded authority.
+    /// Returns the number of implicit rights dropped.
+    pub fn strip_implicit(&mut self) -> usize {
+        let before: usize = self
+            .out
+            .iter()
+            .map(|m| m.values().map(|e| e.implicit.len()).sum::<usize>())
+            .sum();
+        self.clear_implicit();
+        before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (ProtectionGraph, VertexId, VertexId, VertexId) {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        let o = g.add_object("o");
+        (g, a, b, o)
+    }
+
+    #[test]
+    fn vertices_are_numbered_in_creation_order() {
+        let (g, a, b, o) = small();
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(o.index(), 2);
+        assert!(g.is_subject(a));
+        assert!(g.is_object(o));
+        assert_eq!(g.subjects().count(), 2);
+        assert_eq!(g.objects().count(), 1);
+    }
+
+    #[test]
+    fn add_edge_merges_rights_per_pair() {
+        let (mut g, a, b, _) = small();
+        assert!(g.add_edge(a, b, Rights::R).unwrap());
+        assert!(g.add_edge(a, b, Rights::W).unwrap());
+        assert!(!g.add_edge(a, b, Rights::R).unwrap());
+        assert_eq!(g.rights(a, b).explicit(), Rights::RW);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn explicit_and_implicit_labels_are_independent() {
+        let (mut g, a, b, _) = small();
+        g.add_edge(a, b, Rights::T).unwrap();
+        g.add_implicit_edge(a, b, Rights::R).unwrap();
+        let rights = g.rights(a, b);
+        assert_eq!(rights.explicit(), Rights::T);
+        assert_eq!(rights.implicit(), Rights::R);
+        assert_eq!(rights.combined(), Rights::T | Rights::R);
+    }
+
+    #[test]
+    fn self_edges_are_rejected() {
+        let (mut g, a, _, _) = small();
+        assert_eq!(g.add_edge(a, a, Rights::R), Err(GraphError::SelfEdge(a)));
+    }
+
+    #[test]
+    fn empty_rights_are_rejected() {
+        let (mut g, a, b, _) = small();
+        assert_eq!(
+            g.add_edge(a, b, Rights::EMPTY),
+            Err(GraphError::EmptyRights)
+        );
+    }
+
+    #[test]
+    fn unknown_vertices_are_rejected() {
+        let (mut g, a, _, _) = small();
+        let bogus = VertexId::from_index(99);
+        assert_eq!(
+            g.add_edge(a, bogus, Rights::R),
+            Err(GraphError::UnknownVertex(bogus))
+        );
+        assert!(!g.contains_vertex(bogus));
+    }
+
+    #[test]
+    fn remove_deletes_edge_when_label_empties() {
+        let (mut g, a, b, _) = small();
+        g.add_edge(a, b, Rights::RW).unwrap();
+        let removed = g.remove_explicit_rights(a, b, Rights::R).unwrap();
+        assert_eq!(removed, Rights::R);
+        assert_eq!(g.edge_count(), 1);
+        g.remove_explicit_rights(a, b, Rights::W).unwrap();
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.in_edges(b).count(), 0);
+    }
+
+    #[test]
+    fn remove_keeps_edge_alive_while_implicit_remains() {
+        let (mut g, a, b, _) = small();
+        g.add_edge(a, b, Rights::R).unwrap();
+        g.add_implicit_edge(a, b, Rights::R).unwrap();
+        g.remove_explicit_rights(a, b, Rights::R).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.rights(a, b).implicit(), Rights::R);
+    }
+
+    #[test]
+    fn remove_of_absent_edge_is_a_noop() {
+        let (mut g, a, b, _) = small();
+        assert_eq!(
+            g.remove_explicit_rights(a, b, Rights::R).unwrap(),
+            Rights::EMPTY
+        );
+    }
+
+    #[test]
+    fn clear_implicit_drops_derived_state_only() {
+        let (mut g, a, b, o) = small();
+        g.add_edge(a, o, Rights::R).unwrap();
+        g.add_implicit_edge(a, b, Rights::R).unwrap();
+        g.add_implicit_edge(b, o, Rights::R).unwrap();
+        g.clear_implicit();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.rights(a, o).explicit(), Rights::R);
+        assert_eq!(g.in_edges(b).count(), 0);
+    }
+
+    #[test]
+    fn in_edges_mirror_out_edges() {
+        let (mut g, a, b, o) = small();
+        g.add_edge(a, o, Rights::R).unwrap();
+        g.add_edge(b, o, Rights::W).unwrap();
+        let preds: Vec<VertexId> = g.in_edges(o).map(|(v, _)| v).collect();
+        assert_eq!(preds, vec![a, b]);
+        let (_, rights) = g.in_edges(o).next().unwrap();
+        assert_eq!(rights.explicit(), Rights::R);
+    }
+
+    #[test]
+    fn edges_iterates_in_deterministic_order() {
+        let (mut g, a, b, o) = small();
+        g.add_edge(b, o, Rights::W).unwrap();
+        g.add_edge(a, b, Rights::T).unwrap();
+        g.add_edge(a, o, Rights::R).unwrap();
+        let pairs: Vec<(usize, usize)> = g
+            .edges()
+            .map(|e| (e.src.index(), e.dst.index()))
+            .collect();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn find_by_name_returns_first_match() {
+        let (g, a, _, _) = small();
+        assert_eq!(g.find_by_name("a"), Some(a));
+        assert_eq!(g.find_by_name("zzz"), None);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn serde_round_trip() {
+        let (mut g, a, b, o) = small();
+        g.add_edge(a, b, Rights::TG).unwrap();
+        g.add_implicit_edge(b, o, Rights::R).unwrap();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: ProtectionGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,49 @@
+//! Protection-graph substrate for the Take-Grant Protection Model.
+//!
+//! A *protection graph* (Bishop, "Hierarchical Take-Grant Protection
+//! Systems", SOSP 1981, §1) is a finite directed graph with two kinds of
+//! vertices — active **subjects** and passive **objects** — whose edges are
+//! labelled with subsets of a finite set *R* of rights. Two kinds of edges
+//! coexist:
+//!
+//! * **explicit** edges record authority known to the protection system
+//!   (they are the only edges the de jure rules may manipulate), and
+//! * **implicit** edges record *potential information flow* exhibited by the
+//!   de facto rules; they never represent recorded authority.
+//!
+//! This crate provides the graph data structure itself plus small reusable
+//! graph algorithms (union–find, Tarjan SCC) and interchange formats (a
+//! human-readable text format and Graphviz DOT output). The rewriting rules
+//! live in `tg-rules`; the decision procedures live in `tg-analysis`.
+//!
+//! # Examples
+//!
+//! ```
+//! use tg_graph::{ProtectionGraph, Rights, Right};
+//!
+//! let mut g = ProtectionGraph::new();
+//! let user = g.add_subject("user");
+//! let file = g.add_object("file");
+//! g.add_edge(user, file, Rights::from([Right::Read, Right::Write])).unwrap();
+//! assert!(g.rights(user, file).explicit().contains(Right::Read));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+mod build;
+mod dot;
+mod error;
+mod graph;
+mod rights;
+pub mod stats;
+mod text;
+mod vertex;
+
+pub use dot::DotOptions;
+pub use error::GraphError;
+pub use graph::{EdgeRecord, EdgeRights, ProtectionGraph};
+pub use rights::{Right, Rights, RightsIter};
+pub use text::{parse_graph, render_graph, ParseError};
+pub use vertex::{Vertex, VertexId, VertexKind};

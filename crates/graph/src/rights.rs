@@ -1,0 +1,483 @@
+//! Rights and sets of rights.
+//!
+//! The Take-Grant model labels edges with subsets of a finite set *R* of
+//! rights. Four rights are given distinguished semantics by the rewriting
+//! rules — `r` (read), `w` (write), `t` (take) and `g` (grant) — and the
+//! paper's Figure 5.1 additionally uses `e` (execute) as an example of an
+//! "inert" right that the hierarchical restrictions leave untouched. This
+//! module also reserves eleven generic rights (`c5`–`c15`) so models can
+//! carry domain-specific authorities.
+
+use core::fmt;
+
+/// A single right out of the finite set *R*.
+///
+/// The first five variants are the rights used by the paper; [`Right::custom`]
+/// yields the reserved generic rights.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::Right;
+/// assert_eq!(Right::Read.to_string(), "r");
+/// assert_eq!(Right::custom(7).unwrap().to_string(), "c7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Right {
+    /// The `r` (read) right: a *viewing* authority over the target.
+    Read,
+    /// The `w` (write) right. The paper identifies Take-Grant `write` with
+    /// Bell–LaPadula `append`: it is not a viewing right.
+    Write,
+    /// The `t` (take) right: authority to copy the target's rights.
+    Take,
+    /// The `g` (grant) right: authority to give one's own rights to the target.
+    Grant,
+    /// The `e` (execute) right from Figure 5.1; inert under every rule.
+    Execute,
+    /// A generic, rule-inert right (index 5–15).
+    Custom(u8),
+}
+
+impl Right {
+    /// Number of distinct rights representable (bit width of [`Rights`]).
+    pub const COUNT: usize = 16;
+
+    /// Returns the generic right with the given index, which must lie in
+    /// `5..16`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tg_graph::Right;
+    /// assert!(Right::custom(5).is_some());
+    /// assert!(Right::custom(4).is_none()); // 0–4 are the named rights
+    /// assert!(Right::custom(16).is_none());
+    /// ```
+    pub fn custom(index: u8) -> Option<Right> {
+        if (5..16).contains(&index) {
+            Some(Right::Custom(index))
+        } else {
+            None
+        }
+    }
+
+    /// The bit index of this right inside a [`Rights`] set.
+    pub fn index(self) -> u8 {
+        match self {
+            Right::Read => 0,
+            Right::Write => 1,
+            Right::Take => 2,
+            Right::Grant => 3,
+            Right::Execute => 4,
+            Right::Custom(i) => i,
+        }
+    }
+
+    /// The inverse of [`Right::index`]. Returns `None` for out-of-range bits.
+    pub fn from_index(index: u8) -> Option<Right> {
+        match index {
+            0 => Some(Right::Read),
+            1 => Some(Right::Write),
+            2 => Some(Right::Take),
+            3 => Some(Right::Grant),
+            4 => Some(Right::Execute),
+            5..=15 => Some(Right::Custom(index)),
+            _ => None,
+        }
+    }
+
+    /// Parses the textual form produced by `Display` (`r`, `w`, `t`, `g`,
+    /// `e`, `c5`–`c15`).
+    pub fn parse(s: &str) -> Option<Right> {
+        match s {
+            "r" => Some(Right::Read),
+            "w" => Some(Right::Write),
+            "t" => Some(Right::Take),
+            "g" => Some(Right::Grant),
+            "e" => Some(Right::Execute),
+            _ => {
+                let rest = s.strip_prefix('c')?;
+                let idx: u8 = rest.parse().ok()?;
+                Right::custom(idx)
+            }
+        }
+    }
+
+    /// Every representable right, in bit order.
+    pub fn all() -> impl Iterator<Item = Right> {
+        (0..Right::COUNT as u8).filter_map(Right::from_index)
+    }
+}
+
+impl fmt::Display for Right {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Right::Read => write!(f, "r"),
+            Right::Write => write!(f, "w"),
+            Right::Take => write!(f, "t"),
+            Right::Grant => write!(f, "g"),
+            Right::Execute => write!(f, "e"),
+            Right::Custom(i) => write!(f, "c{i}"),
+        }
+    }
+}
+
+/// A set of [`Right`]s, stored as a 16-bit set.
+///
+/// `Rights` is a plain value type: copying it never aliases graph state.
+/// The usual set operations are provided both as methods and as bit
+/// operators.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{Right, Rights};
+///
+/// let rw = Rights::from([Right::Read, Right::Write]);
+/// let tg = Rights::from([Right::Take, Right::Grant]);
+/// assert!(rw.contains(Right::Read));
+/// assert!((rw | tg).contains(Right::Grant));
+/// assert!((rw & tg).is_empty());
+/// assert_eq!(rw.to_string(), "rw");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Rights(u16);
+
+impl Rights {
+    /// The empty set of rights.
+    pub const EMPTY: Rights = Rights(0);
+    /// The set `{r}`.
+    pub const R: Rights = Rights(1 << 0);
+    /// The set `{w}`.
+    pub const W: Rights = Rights(1 << 1);
+    /// The set `{t}`.
+    pub const T: Rights = Rights(1 << 2);
+    /// The set `{g}`.
+    pub const G: Rights = Rights(1 << 3);
+    /// The set `{e}`.
+    pub const E: Rights = Rights(1 << 4);
+    /// The set `{r,w}`.
+    pub const RW: Rights = Rights(0b11);
+    /// The set `{t,g}`.
+    pub const TG: Rights = Rights(0b1100);
+    /// Every representable right.
+    pub const ALL: Rights = Rights(u16::MAX);
+
+    /// Creates an empty set.
+    pub const fn new() -> Rights {
+        Rights(0)
+    }
+
+    /// Creates a set containing exactly one right.
+    pub fn singleton(right: Right) -> Rights {
+        Rights(1 << right.index())
+    }
+
+    /// Returns the raw bit representation. Stable across runs; used by the
+    /// serialization formats.
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Reconstructs a set from [`Rights::bits`].
+    pub const fn from_bits(bits: u16) -> Rights {
+        Rights(bits)
+    }
+
+    /// Whether the set is empty.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of rights in the set.
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether `right` is a member.
+    pub fn contains(self, right: Right) -> bool {
+        self.0 & (1 << right.index()) != 0
+    }
+
+    /// Whether every right in `other` is also in `self`.
+    pub const fn contains_all(self, other: Rights) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether the two sets share at least one right.
+    pub const fn intersects(self, other: Rights) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Adds a right, returning whether it was newly inserted.
+    pub fn insert(&mut self, right: Right) -> bool {
+        let bit = 1 << right.index();
+        let fresh = self.0 & bit == 0;
+        self.0 |= bit;
+        fresh
+    }
+
+    /// Removes a right, returning whether it was present.
+    pub fn remove(&mut self, right: Right) -> bool {
+        let bit = 1 << right.index();
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Set union.
+    pub const fn union(self, other: Rights) -> Rights {
+        Rights(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub const fn intersection(self, other: Rights) -> Rights {
+        Rights(self.0 & other.0)
+    }
+
+    /// Set difference (`self` minus `other`).
+    pub const fn difference(self, other: Rights) -> Rights {
+        Rights(self.0 & !other.0)
+    }
+
+    /// Iterates over the member rights in bit order.
+    pub fn iter(self) -> RightsIter {
+        RightsIter(self.0)
+    }
+
+    /// Parses the textual form produced by `Display`: a concatenation of
+    /// right names, e.g. `rwtg` or `r c5 w` (whitespace is permitted between
+    /// names and required after multi-character names).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tg_graph::{Right, Rights};
+    /// assert_eq!(Rights::parse("rw").unwrap(), Rights::RW);
+    /// assert!(Rights::parse("r c5").unwrap().contains(Right::Custom(5)));
+    /// assert!(Rights::parse("zz").is_err());
+    /// ```
+    pub fn parse(s: &str) -> Result<Rights, String> {
+        let mut set = Rights::EMPTY;
+        let mut chars = s.chars().peekable();
+        while let Some(ch) = chars.next() {
+            match ch {
+                ' ' | '\t' | ',' => continue,
+                'r' => drop(set.insert(Right::Read)),
+                'w' => drop(set.insert(Right::Write)),
+                't' => drop(set.insert(Right::Take)),
+                'g' => drop(set.insert(Right::Grant)),
+                'e' => drop(set.insert(Right::Execute)),
+                'c' => {
+                    let mut digits = String::new();
+                    while chars.peek().is_some_and(char::is_ascii_digit) {
+                        digits.push(chars.next().expect("peeked"));
+                    }
+                    let idx: u8 = digits
+                        .parse()
+                        .map_err(|_| format!("invalid custom right in {s:?}"))?;
+                    let right = Right::custom(idx)
+                        .ok_or_else(|| format!("custom right index {idx} out of range 5..16"))?;
+                    set.insert(right);
+                }
+                other => return Err(format!("unknown right {other:?} in {s:?}")),
+            }
+        }
+        Ok(set)
+    }
+}
+
+impl From<Right> for Rights {
+    fn from(right: Right) -> Rights {
+        Rights::singleton(right)
+    }
+}
+
+impl<const N: usize> From<[Right; N]> for Rights {
+    fn from(rights: [Right; N]) -> Rights {
+        rights.into_iter().collect()
+    }
+}
+
+impl FromIterator<Right> for Rights {
+    fn from_iter<T: IntoIterator<Item = Right>>(iter: T) -> Rights {
+        let mut set = Rights::EMPTY;
+        for right in iter {
+            set.insert(right);
+        }
+        set
+    }
+}
+
+impl IntoIterator for Rights {
+    type Item = Right;
+    type IntoIter = RightsIter;
+
+    fn into_iter(self) -> RightsIter {
+        self.iter()
+    }
+}
+
+impl core::ops::BitOr for Rights {
+    type Output = Rights;
+    fn bitor(self, rhs: Rights) -> Rights {
+        self.union(rhs)
+    }
+}
+
+impl core::ops::BitOrAssign for Rights {
+    fn bitor_assign(&mut self, rhs: Rights) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl core::ops::BitAnd for Rights {
+    type Output = Rights;
+    fn bitand(self, rhs: Rights) -> Rights {
+        self.intersection(rhs)
+    }
+}
+
+impl core::ops::Sub for Rights {
+    type Output = Rights;
+    fn sub(self, rhs: Rights) -> Rights {
+        self.difference(rhs)
+    }
+}
+
+impl fmt::Display for Rights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "∅");
+        }
+        let mut first = true;
+        for right in self.iter() {
+            if !first && matches!(right, Right::Custom(_)) {
+                write!(f, " ")?;
+            }
+            write!(f, "{right}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Rights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rights({self})")
+    }
+}
+
+/// Iterator over the rights in a [`Rights`] set, in bit order.
+#[derive(Clone, Debug)]
+pub struct RightsIter(u16);
+
+impl Iterator for RightsIter {
+    type Item = Right;
+
+    fn next(&mut self) -> Option<Right> {
+        if self.0 == 0 {
+            return None;
+        }
+        let bit = self.0.trailing_zeros() as u8;
+        self.0 &= self.0 - 1;
+        Right::from_index(bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RightsIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_rights_round_trip_through_index() {
+        for right in Right::all() {
+            assert_eq!(Right::from_index(right.index()), Some(right));
+        }
+    }
+
+    #[test]
+    fn named_rights_round_trip_through_text() {
+        for right in Right::all() {
+            let text = right.to_string();
+            assert_eq!(Right::parse(&text), Some(right), "{text}");
+        }
+    }
+
+    #[test]
+    fn custom_rejects_named_and_out_of_range_indices() {
+        for idx in 0..5 {
+            assert!(Right::custom(idx).is_none());
+        }
+        assert!(Right::custom(16).is_none());
+        assert!(Right::custom(255).is_none());
+    }
+
+    #[test]
+    fn set_operations_behave_like_sets() {
+        let rw = Rights::RW;
+        let wt = Rights::from([Right::Write, Right::Take]);
+        assert_eq!(rw.union(wt).len(), 3);
+        assert_eq!(rw.intersection(wt), Rights::W);
+        assert_eq!(rw.difference(wt), Rights::R);
+        assert!(rw.contains_all(Rights::R));
+        assert!(!wt.contains_all(rw));
+        assert!(rw.intersects(wt));
+        assert!(!Rights::T.intersects(Rights::G));
+    }
+
+    #[test]
+    fn insert_and_remove_report_change() {
+        let mut set = Rights::EMPTY;
+        assert!(set.insert(Right::Take));
+        assert!(!set.insert(Right::Take));
+        assert!(set.remove(Right::Take));
+        assert!(!set.remove(Right::Take));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn display_concatenates_single_letter_rights() {
+        let set = Rights::from([Right::Grant, Right::Read, Right::Take]);
+        assert_eq!(set.to_string(), "rtg");
+        assert_eq!(Rights::EMPTY.to_string(), "∅");
+    }
+
+    #[test]
+    fn display_round_trips_with_custom_rights() {
+        let set = Rights::from([Right::Read, Right::Custom(5), Right::Custom(12)]);
+        let text = set.to_string();
+        assert_eq!(Rights::parse(&text).unwrap(), set);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Rights::parse("x").is_err());
+        assert!(Rights::parse("c99").is_err());
+        assert!(Rights::parse("c4").is_err());
+    }
+
+    #[test]
+    fn iterator_yields_sorted_members() {
+        let set = Rights::from([Right::Grant, Right::Read]);
+        let members: Vec<Right> = set.iter().collect();
+        assert_eq!(members, vec![Right::Read, Right::Grant]);
+        assert_eq!(set.iter().len(), 2);
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let set = Rights::from([Right::Execute, Right::Custom(15)]);
+        assert_eq!(Rights::from_bits(set.bits()), set);
+    }
+}

@@ -1,0 +1,122 @@
+//! Summary statistics over a protection graph, used by `tgq show` and the
+//! workload reports.
+
+use crate::{ProtectionGraph, Right};
+
+/// Aggregate counts over a protection graph.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GraphStats {
+    /// Number of subjects.
+    pub subjects: usize,
+    /// Number of objects.
+    pub objects: usize,
+    /// Ordered pairs with at least one explicit right.
+    pub explicit_edges: usize,
+    /// Ordered pairs with at least one implicit right.
+    pub implicit_edges: usize,
+    /// `right_counts[right.index()]` = number of explicit edges carrying
+    /// that right.
+    pub right_counts: [usize; Right::COUNT],
+    /// Largest explicit out-degree over all vertices.
+    pub max_out_degree: usize,
+    /// Largest explicit in-degree over all vertices.
+    pub max_in_degree: usize,
+}
+
+impl GraphStats {
+    /// Computes the statistics in one pass over the edges.
+    pub fn compute(graph: &ProtectionGraph) -> GraphStats {
+        let mut stats = GraphStats {
+            subjects: graph.subjects().count(),
+            objects: graph.objects().count(),
+            explicit_edges: 0,
+            implicit_edges: 0,
+            right_counts: [0; Right::COUNT],
+            max_out_degree: 0,
+            max_in_degree: 0,
+        };
+        let n = graph.vertex_count();
+        let mut out_deg = vec![0usize; n];
+        let mut in_deg = vec![0usize; n];
+        for e in graph.edges() {
+            if !e.rights.explicit.is_empty() {
+                stats.explicit_edges += 1;
+                out_deg[e.src.index()] += 1;
+                in_deg[e.dst.index()] += 1;
+                for right in e.rights.explicit {
+                    stats.right_counts[right.index() as usize] += 1;
+                }
+            }
+            if !e.rights.implicit.is_empty() {
+                stats.implicit_edges += 1;
+            }
+        }
+        stats.max_out_degree = out_deg.into_iter().max().unwrap_or(0);
+        stats.max_in_degree = in_deg.into_iter().max().unwrap_or(0);
+        stats
+    }
+
+    /// The number of explicit edges carrying `right`.
+    pub fn count_of(&self, right: Right) -> usize {
+        self.right_counts[right.index() as usize]
+    }
+
+    /// A one-line rights histogram over the named rights, e.g.
+    /// `r:12 w:7 t:3 g:1 e:0`.
+    pub fn rights_histogram(&self) -> String {
+        let named = [
+            Right::Read,
+            Right::Write,
+            Right::Take,
+            Right::Grant,
+            Right::Execute,
+        ];
+        named
+            .iter()
+            .map(|&r| format!("{r}:{}", self.count_of(r)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Convenience wrapper for [`GraphStats::compute`].
+pub fn stats(graph: &ProtectionGraph) -> GraphStats {
+    GraphStats::compute(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rights;
+
+    #[test]
+    fn counts_everything_once() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        let o = g.add_object("o");
+        g.add_edge(a, b, Rights::TG).unwrap();
+        g.add_edge(a, o, Rights::RW).unwrap();
+        g.add_edge(b, o, Rights::R).unwrap();
+        g.add_implicit_edge(b, a, Rights::R).unwrap();
+        let s = stats(&g);
+        assert_eq!(s.subjects, 2);
+        assert_eq!(s.objects, 1);
+        assert_eq!(s.explicit_edges, 3);
+        assert_eq!(s.implicit_edges, 1);
+        assert_eq!(s.count_of(Right::Read), 2);
+        assert_eq!(s.count_of(Right::Take), 1);
+        assert_eq!(s.count_of(Right::Execute), 0);
+        assert_eq!(s.max_out_degree, 2); // a
+        assert_eq!(s.max_in_degree, 2); // o
+        assert_eq!(s.rights_histogram(), "r:2 w:1 t:1 g:1 e:0");
+    }
+
+    #[test]
+    fn empty_graph_is_all_zero() {
+        let s = stats(&ProtectionGraph::new());
+        assert_eq!(s.subjects + s.objects, 0);
+        assert_eq!(s.max_out_degree, 0);
+        assert_eq!(s.explicit_edges, 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! A small human-readable interchange format for protection graphs.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! # comments start with '#'
+//! subject alice
+//! subject bob
+//! object  report
+//! edge alice -> report : r w
+//! edge bob   -> report : w
+//! implicit alice -> bob : r
+//! ```
+//!
+//! Vertex names must be unique (edges refer to vertices by name) and must
+//! not contain whitespace, `:` or `#`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{ProtectionGraph, Rights, VertexKind};
+
+/// Error produced by [`parse_graph`], carrying the 1-based line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty() && !name.contains([':', '#']) && !name.chars().any(char::is_whitespace)
+}
+
+/// Parses the text format into a graph.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{parse_graph, Rights};
+///
+/// let g = parse_graph("subject s\nobject o\nedge s -> o : r w\n").unwrap();
+/// let s = g.find_by_name("s").unwrap();
+/// let o = g.find_by_name("o").unwrap();
+/// assert_eq!(g.rights(s, o).explicit(), Rights::RW);
+/// ```
+pub fn parse_graph(input: &str) -> Result<ProtectionGraph, ParseError> {
+    let mut graph = ProtectionGraph::new();
+    let mut names = HashMap::new();
+
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (keyword, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match keyword {
+            "subject" | "object" => {
+                if !valid_name(rest) {
+                    return Err(err(lineno, format!("invalid vertex name {rest:?}")));
+                }
+                if names.contains_key(rest) {
+                    return Err(err(lineno, format!("duplicate vertex name {rest:?}")));
+                }
+                let kind = if keyword == "subject" {
+                    VertexKind::Subject
+                } else {
+                    VertexKind::Object
+                };
+                let id = graph.add_vertex(kind, rest);
+                names.insert(rest.to_string(), id);
+            }
+            "edge" | "implicit" => {
+                let (endpoints, rights_text) = rest
+                    .split_once(':')
+                    .ok_or_else(|| err(lineno, "expected `src -> dst : rights`"))?;
+                let (src_name, dst_name) = endpoints
+                    .split_once("->")
+                    .ok_or_else(|| err(lineno, "expected `src -> dst`"))?;
+                let src = *names
+                    .get(src_name.trim())
+                    .ok_or_else(|| err(lineno, format!("unknown vertex {:?}", src_name.trim())))?;
+                let dst = *names
+                    .get(dst_name.trim())
+                    .ok_or_else(|| err(lineno, format!("unknown vertex {:?}", dst_name.trim())))?;
+                let rights = Rights::parse(rights_text.trim()).map_err(|m| err(lineno, m))?;
+                let outcome = if keyword == "edge" {
+                    graph.add_edge(src, dst, rights)
+                } else {
+                    graph.add_implicit_edge(src, dst, rights)
+                };
+                outcome.map_err(|e| err(lineno, e.to_string()))?;
+            }
+            other => {
+                return Err(err(lineno, format!("unknown directive {other:?}")));
+            }
+        }
+    }
+    Ok(graph)
+}
+
+/// Renders a graph back to the text format. `parse_graph(&render_graph(g))`
+/// reproduces `g` whenever every vertex name is unique and valid.
+pub fn render_graph(graph: &ProtectionGraph) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    for (_, vertex) in graph.vertices() {
+        let _ = writeln!(out, "{} {}", vertex.kind, vertex.name);
+    }
+    for edge in graph.edges() {
+        let src = &graph.vertex(edge.src).name;
+        let dst = &graph.vertex(edge.dst).name;
+        if !edge.rights.explicit.is_empty() {
+            let _ = writeln!(out, "edge {src} -> {dst} : {}", edge.rights.explicit);
+        }
+        if !edge.rights.implicit.is_empty() {
+            let _ = writeln!(out, "implicit {src} -> {dst} : {}", edge.rights.implicit);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let src = "subject a\nsubject b\nobject o\nedge a -> b : tg\nedge b -> o : r\nimplicit a -> o : r\n";
+        let g = parse_graph(src).unwrap();
+        let again = parse_graph(&render_graph(&g)).unwrap();
+        assert_eq!(g, again);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let g = parse_graph("# heading\n\nsubject a # trailing\n").unwrap();
+        assert_eq!(g.vertex_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let e = parse_graph("subject a\nobject a\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_vertices_in_edges_are_rejected() {
+        let e = parse_graph("subject a\nedge a -> b : r\n").unwrap_err();
+        assert!(e.message.contains("unknown vertex"));
+    }
+
+    #[test]
+    fn malformed_edges_are_rejected() {
+        assert!(parse_graph("subject a\nsubject b\nedge a b : r\n").is_err());
+        assert!(parse_graph("subject a\nsubject b\nedge a -> b r\n").is_err());
+        assert!(parse_graph("subject a\nsubject b\nedge a -> b : zz\n").is_err());
+    }
+
+    #[test]
+    fn self_edges_are_rejected_with_line_number() {
+        let e = parse_graph("subject a\nedge a -> a : r\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("self-edge"));
+    }
+
+    #[test]
+    fn unknown_directive_is_rejected() {
+        let e = parse_graph("vertex a\n").unwrap_err();
+        assert!(e.message.contains("unknown directive"));
+    }
+
+    #[test]
+    fn invalid_names_are_rejected() {
+        assert!(parse_graph("subject a:b\n").is_err());
+        assert!(parse_graph("subject\n").is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Vertices of a protection graph.
+
+use core::fmt;
+
+/// Identifier of a vertex inside one [`ProtectionGraph`].
+///
+/// Ids are dense indices assigned in creation order; vertices are never
+/// deleted (the Take-Grant rules have no vertex-removal rule), so an id
+/// obtained from a graph stays valid for that graph's lifetime.
+///
+/// [`ProtectionGraph`]: crate::ProtectionGraph
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VertexId(pub(crate) u32);
+
+impl VertexId {
+    /// The dense index of this vertex (0-based creation order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense index. The caller must ensure the index
+    /// refers to a vertex of the intended graph; the graph's accessors
+    /// return errors for out-of-range ids.
+    pub fn from_index(index: usize) -> VertexId {
+        VertexId(index as u32)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Whether a vertex is an active subject or a passive object.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum VertexKind {
+    /// An active vertex (a user or process); the only kind that may invoke
+    /// rewriting rules.
+    Subject,
+    /// A completely passive vertex (a file or document); it does nothing.
+    Object,
+}
+
+impl VertexKind {
+    /// Whether this is [`VertexKind::Subject`].
+    pub fn is_subject(self) -> bool {
+        matches!(self, VertexKind::Subject)
+    }
+
+    /// Whether this is [`VertexKind::Object`].
+    pub fn is_object(self) -> bool {
+        matches!(self, VertexKind::Object)
+    }
+}
+
+impl fmt::Display for VertexKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VertexKind::Subject => write!(f, "subject"),
+            VertexKind::Object => write!(f, "object"),
+        }
+    }
+}
+
+/// A vertex record: kind plus a human-readable name.
+///
+/// Names are free-form and need not be unique, although the text format
+/// ([`crate::parse_graph`]) requires uniqueness so edges can refer to
+/// vertices by name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Vertex {
+    /// Subject or object.
+    pub kind: VertexKind,
+    /// Display name.
+    pub name: String,
+}
+
+impl Vertex {
+    /// Creates a vertex record.
+    pub fn new(kind: VertexKind, name: impl Into<String>) -> Vertex {
+        Vertex {
+            kind,
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for Vertex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.kind, self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_round_trips_index() {
+        let id = VertexId::from_index(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(id.to_string(), "v17");
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(VertexKind::Subject.is_subject());
+        assert!(!VertexKind::Subject.is_object());
+        assert!(VertexKind::Object.is_object());
+        assert!(!VertexKind::Object.is_subject());
+    }
+
+    #[test]
+    fn vertex_display_includes_kind_and_name() {
+        let v = Vertex::new(VertexKind::Subject, "alice");
+        assert_eq!(v.to_string(), "subject alice");
+    }
+}

@@ -1,0 +1,383 @@
+//! A small regular-expression engine over the directed-letter alphabet.
+//!
+//! Expressions are compiled through a Thompson NFA and determinized with
+//! the subset construction. The state counts involved are tiny (the paper's
+//! largest language, bridges-or-connections, needs fewer than ten DFA
+//! states), so no minimization is performed.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::letter::Letter;
+
+/// A regular expression over [`Letter`]s.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::Right;
+/// use tg_paths::{Expr, Letter};
+///
+/// // t>* g>  — the nonempty initial-span words.
+/// let expr = Expr::concat([
+///     Expr::star(Expr::letter(Letter::fwd(Right::Take))),
+///     Expr::letter(Letter::fwd(Right::Grant)),
+/// ]);
+/// let dfa = expr.compile();
+/// assert!(dfa.accepts(&[Letter::fwd(Right::Take), Letter::fwd(Right::Grant)]));
+/// assert!(!dfa.accepts(&[Letter::fwd(Right::Grant), Letter::fwd(Right::Take)]));
+/// ```
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// The empty word ν.
+    Epsilon,
+    /// A single letter.
+    Letter(Letter),
+    /// Concatenation, in order.
+    Concat(Vec<Expr>),
+    /// Alternation.
+    Alt(Vec<Expr>),
+    /// Kleene star.
+    Star(Box<Expr>),
+}
+
+impl Expr {
+    /// A single-letter expression.
+    pub fn letter(letter: Letter) -> Expr {
+        Expr::Letter(letter)
+    }
+
+    /// Concatenation of the given expressions.
+    pub fn concat(parts: impl IntoIterator<Item = Expr>) -> Expr {
+        Expr::Concat(parts.into_iter().collect())
+    }
+
+    /// Alternation of the given expressions.
+    pub fn alt(parts: impl IntoIterator<Item = Expr>) -> Expr {
+        Expr::Alt(parts.into_iter().collect())
+    }
+
+    /// Kleene star.
+    pub fn star(inner: Expr) -> Expr {
+        Expr::Star(Box::new(inner))
+    }
+
+    /// `inner inner*`.
+    pub fn plus(inner: Expr) -> Expr {
+        Expr::concat([inner.clone(), Expr::star(inner)])
+    }
+
+    /// `inner | ν`.
+    pub fn opt(inner: Expr) -> Expr {
+        Expr::alt([inner, Expr::Epsilon])
+    }
+
+    /// Compiles the expression to a [`Dfa`].
+    pub fn compile(&self) -> Dfa {
+        let nfa = Nfa::from_expr(self);
+        Dfa::from_nfa(&nfa)
+    }
+}
+
+/// Thompson-construction NFA fragment machinery.
+struct Nfa {
+    /// `eps[s]` lists ε-successors of state `s`.
+    eps: Vec<Vec<usize>>,
+    /// `step[s]` lists `(letter, successor)` transitions.
+    step: Vec<Vec<(Letter, usize)>>,
+    start: usize,
+    accept: usize,
+}
+
+impl Nfa {
+    fn from_expr(expr: &Expr) -> Nfa {
+        let mut nfa = Nfa {
+            eps: Vec::new(),
+            step: Vec::new(),
+            start: 0,
+            accept: 0,
+        };
+        let (start, accept) = nfa.build(expr);
+        nfa.start = start;
+        nfa.accept = accept;
+        nfa
+    }
+
+    fn fresh(&mut self) -> usize {
+        self.eps.push(Vec::new());
+        self.step.push(Vec::new());
+        self.eps.len() - 1
+    }
+
+    /// Builds a fragment and returns its `(start, accept)` states.
+    fn build(&mut self, expr: &Expr) -> (usize, usize) {
+        match expr {
+            Expr::Epsilon => {
+                let s = self.fresh();
+                let a = self.fresh();
+                self.eps[s].push(a);
+                (s, a)
+            }
+            Expr::Letter(letter) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                self.step[s].push((*letter, a));
+                (s, a)
+            }
+            Expr::Concat(parts) => {
+                if parts.is_empty() {
+                    return self.build(&Expr::Epsilon);
+                }
+                let mut iter = parts.iter();
+                let (start, mut accept) = self.build(iter.next().expect("nonempty"));
+                for part in iter {
+                    let (s, a) = self.build(part);
+                    self.eps[accept].push(s);
+                    accept = a;
+                }
+                (start, accept)
+            }
+            Expr::Alt(parts) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                if parts.is_empty() {
+                    // Empty alternation matches nothing: no transitions.
+                    return (s, a);
+                }
+                for part in parts {
+                    let (ps, pa) = self.build(part);
+                    self.eps[s].push(ps);
+                    self.eps[pa].push(a);
+                }
+                (s, a)
+            }
+            Expr::Star(inner) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                let (is, ia) = self.build(inner);
+                self.eps[s].push(is);
+                self.eps[s].push(a);
+                self.eps[ia].push(is);
+                self.eps[ia].push(a);
+                (s, a)
+            }
+        }
+    }
+
+    fn eps_closure(&self, set: &mut BTreeSet<usize>) {
+        let mut stack: Vec<usize> = set.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for &t in &self.eps[s] {
+                if set.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic finite automaton over directed letters.
+///
+/// Transition tables are dense (`Letter::KEY_COUNT` entries per state) so a
+/// step is a single array access; the search layer relies on this.
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    /// `trans[s][letter.key()]` is the successor or `DEAD`.
+    trans: Vec<[u32; Letter::KEY_COUNT]>,
+    accept: Vec<bool>,
+    start: u32,
+}
+
+/// Sentinel for "no transition".
+const DEAD: u32 = u32::MAX;
+
+impl Dfa {
+    fn from_nfa(nfa: &Nfa) -> Dfa {
+        let mut start_set = BTreeSet::from([nfa.start]);
+        nfa.eps_closure(&mut start_set);
+
+        let mut ids: HashMap<BTreeSet<usize>, u32> = HashMap::new();
+        let mut order: Vec<BTreeSet<usize>> = Vec::new();
+        ids.insert(start_set.clone(), 0);
+        order.push(start_set);
+
+        let mut trans: Vec<[u32; Letter::KEY_COUNT]> = Vec::new();
+        let mut accept: Vec<bool> = Vec::new();
+        let mut next = 0usize;
+        while next < order.len() {
+            let current = order[next].clone();
+            let mut row = [DEAD; Letter::KEY_COUNT];
+            // Group successors by letter.
+            let mut by_letter: HashMap<usize, BTreeSet<usize>> = HashMap::new();
+            for &s in &current {
+                for &(letter, t) in &nfa.step[s] {
+                    by_letter.entry(letter.key()).or_default().insert(t);
+                }
+            }
+            for (key, mut set) in by_letter {
+                nfa.eps_closure(&mut set);
+                let id = *ids.entry(set.clone()).or_insert_with(|| {
+                    order.push(set);
+                    (order.len() - 1) as u32
+                });
+                row[key] = id;
+            }
+            trans.push(row);
+            accept.push(current.contains(&nfa.accept));
+            next += 1;
+        }
+        Dfa {
+            trans,
+            accept,
+            start: 0,
+        }
+    }
+
+    /// The start state.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Whether `state` is accepting.
+    pub fn is_accepting(&self, state: u32) -> bool {
+        self.accept[state as usize]
+    }
+
+    /// Whether the automaton accepts the empty word ν.
+    pub fn accepts_empty(&self) -> bool {
+        self.is_accepting(self.start)
+    }
+
+    /// The successor of `state` on `letter`, or `None` if the word dies.
+    pub fn step(&self, state: u32, letter: Letter) -> Option<u32> {
+        let next = self.trans[state as usize][letter.key()];
+        (next != DEAD).then_some(next)
+    }
+
+    /// Runs the automaton over a whole word.
+    pub fn accepts(&self, word: &[Letter]) -> bool {
+        let mut state = self.start;
+        for &letter in word {
+            match self.step(state, letter) {
+                Some(next) => state = next,
+                None => return false,
+            }
+        }
+        self.is_accepting(state)
+    }
+
+    /// The letters that have at least one transition anywhere in the
+    /// automaton — the effective alphabet. The search layer uses this to
+    /// skip rights that can never matter.
+    pub fn alphabet(&self) -> Vec<Letter> {
+        (0..Letter::KEY_COUNT)
+            .filter(|&key| self.trans.iter().any(|row| row[key] != DEAD))
+            .filter_map(Letter::from_key)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::Right;
+
+    fn t_fwd() -> Letter {
+        Letter::fwd(Right::Take)
+    }
+    fn t_rev() -> Letter {
+        Letter::rev(Right::Take)
+    }
+    fn g_fwd() -> Letter {
+        Letter::fwd(Right::Grant)
+    }
+
+    #[test]
+    fn epsilon_accepts_only_empty() {
+        let dfa = Expr::Epsilon.compile();
+        assert!(dfa.accepts(&[]));
+        assert!(!dfa.accepts(&[t_fwd()]));
+    }
+
+    #[test]
+    fn single_letter() {
+        let dfa = Expr::letter(t_fwd()).compile();
+        assert!(dfa.accepts(&[t_fwd()]));
+        assert!(!dfa.accepts(&[]));
+        assert!(!dfa.accepts(&[t_rev()]));
+        assert!(!dfa.accepts(&[t_fwd(), t_fwd()]));
+    }
+
+    #[test]
+    fn star_accepts_any_repetition() {
+        let dfa = Expr::star(Expr::letter(t_fwd())).compile();
+        assert!(dfa.accepts(&[]));
+        assert!(dfa.accepts(&[t_fwd(); 5]));
+        assert!(!dfa.accepts(&[t_fwd(), g_fwd()]));
+    }
+
+    #[test]
+    fn concat_and_alt() {
+        // t>* g> | <t
+        let expr = Expr::alt([
+            Expr::concat([Expr::star(Expr::letter(t_fwd())), Expr::letter(g_fwd())]),
+            Expr::letter(t_rev()),
+        ]);
+        let dfa = expr.compile();
+        assert!(dfa.accepts(&[g_fwd()]));
+        assert!(dfa.accepts(&[t_fwd(), t_fwd(), g_fwd()]));
+        assert!(dfa.accepts(&[t_rev()]));
+        assert!(!dfa.accepts(&[]));
+        assert!(!dfa.accepts(&[t_rev(), t_rev()]));
+        assert!(!dfa.accepts(&[t_fwd()]));
+    }
+
+    #[test]
+    fn plus_requires_at_least_one() {
+        let dfa = Expr::plus(Expr::letter(t_fwd())).compile();
+        assert!(!dfa.accepts(&[]));
+        assert!(dfa.accepts(&[t_fwd()]));
+        assert!(dfa.accepts(&[t_fwd(), t_fwd()]));
+    }
+
+    #[test]
+    fn opt_allows_empty() {
+        let dfa = Expr::opt(Expr::letter(g_fwd())).compile();
+        assert!(dfa.accepts(&[]));
+        assert!(dfa.accepts(&[g_fwd()]));
+        assert!(!dfa.accepts(&[g_fwd(), g_fwd()]));
+    }
+
+    #[test]
+    fn empty_alt_matches_nothing() {
+        let dfa = Expr::alt([]).compile();
+        assert!(!dfa.accepts(&[]));
+        assert!(!dfa.accepts(&[t_fwd()]));
+    }
+
+    #[test]
+    fn alphabet_reports_used_letters() {
+        let expr = Expr::concat([Expr::letter(t_fwd()), Expr::letter(g_fwd())]);
+        let alphabet = expr.compile().alphabet();
+        assert!(alphabet.contains(&t_fwd()));
+        assert!(alphabet.contains(&g_fwd()));
+        assert!(!alphabet.contains(&t_rev()));
+    }
+
+    #[test]
+    fn dfa_is_deterministic_on_mixed_language() {
+        // (t> | t> g>) — prefix-ambiguous for an NFA; DFA must handle it.
+        let expr = Expr::alt([
+            Expr::letter(t_fwd()),
+            Expr::concat([Expr::letter(t_fwd()), Expr::letter(g_fwd())]),
+        ]);
+        let dfa = expr.compile();
+        assert!(dfa.accepts(&[t_fwd()]));
+        assert!(dfa.accepts(&[t_fwd(), g_fwd()]));
+        assert!(!dfa.accepts(&[g_fwd()]));
+    }
+}

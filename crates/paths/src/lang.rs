@@ -1,0 +1,300 @@
+//! The regular languages used by the paper.
+//!
+//! Conventions (see DESIGN.md §2 for the reconstruction): `t>` is an edge
+//! labelled `t` pointing along the path, `<t` one pointing against it, and
+//! likewise for `g`, `r`, `w`.
+//!
+//! | Notion | Words | Paper |
+//! |---|---|---|
+//! | initial span | `t>* g>` ∪ {ν} | §2 |
+//! | terminal span | `t>*` (ν allowed) | §2 |
+//! | bridge | `t>*`, `<t*`, `t>* g> <t*`, `t>* <g <t*` (nonempty) | §2 |
+//! | rw-initial span | `t>* w>` | §3 |
+//! | rw-terminal span | `t>* r>` | §3 |
+//! | connection | `t>* r>`, `<w <t*`, `t>* r> <w <t*` | §3 |
+//! | admissible rw-word | `(r> ∪ <w)+` | §3 (Thm 3.1) |
+//!
+//! Note a *bridge* must actually move along at least one edge (a length-0
+//! "bridge" would make the two endpoints the same vertex), so the compiled
+//! bridge language excludes ν even though `t>*` contains it; the same
+//! convention applies nowhere else because spans explicitly allow ν.
+
+use tg_graph::Right;
+
+use crate::dfa::{Dfa, Expr};
+use crate::letter::Letter;
+
+fn t_fwd() -> Expr {
+    Expr::letter(Letter::fwd(Right::Take))
+}
+fn t_rev() -> Expr {
+    Expr::letter(Letter::rev(Right::Take))
+}
+fn g_fwd() -> Expr {
+    Expr::letter(Letter::fwd(Right::Grant))
+}
+fn g_rev() -> Expr {
+    Expr::letter(Letter::rev(Right::Grant))
+}
+fn r_fwd() -> Expr {
+    Expr::letter(Letter::fwd(Right::Read))
+}
+fn w_fwd() -> Expr {
+    Expr::letter(Letter::fwd(Right::Write))
+}
+fn w_rev() -> Expr {
+    Expr::letter(Letter::rev(Right::Write))
+}
+
+/// Initial-span words `t>* g>` ∪ {ν}: a tg-path along which the first
+/// vertex can *transmit* authority (paper §2).
+pub fn initial_span() -> Dfa {
+    Expr::opt(Expr::concat([Expr::star(t_fwd()), g_fwd()])).compile()
+}
+
+/// Terminal-span words `t>*` (including ν): a tg-path along which the
+/// first vertex can *acquire* authority (paper §2).
+pub fn terminal_span() -> Dfa {
+    Expr::star(t_fwd()).compile()
+}
+
+/// The nonempty initial-span words `t>* g>` (without ν), for searches whose
+/// start and goal vertices must differ.
+pub fn initial_span_proper() -> Dfa {
+    Expr::concat([Expr::star(t_fwd()), g_fwd()]).compile()
+}
+
+/// Bridge words `t>*` | `<t*` | `t>* g> <t*` | `t>* <g <t*`, all nonempty
+/// (paper §2). Both endpoints of a bridge must be subjects; that condition
+/// lives in the search, not the language.
+pub fn bridge() -> Dfa {
+    Expr::alt([
+        Expr::plus(t_fwd()),
+        Expr::plus(t_rev()),
+        Expr::concat([Expr::star(t_fwd()), g_fwd(), Expr::star(t_rev())]),
+        Expr::concat([Expr::star(t_fwd()), g_rev(), Expr::star(t_rev())]),
+    ])
+    .compile()
+}
+
+/// rw-initial-span words `t>* w>` (paper §3): the first vertex can write to
+/// the last after taking along the path.
+pub fn rw_initial_span() -> Dfa {
+    Expr::concat([Expr::star(t_fwd()), w_fwd()]).compile()
+}
+
+/// rw-terminal-span words `t>* r>` (paper §3): the first vertex can read
+/// the last after taking along the path.
+pub fn rw_terminal_span() -> Dfa {
+    Expr::concat([Expr::star(t_fwd()), r_fwd()]).compile()
+}
+
+/// Connection words C = `t>* r>` | `<w <t*` | `t>* r> <w <t*` (paper §3).
+///
+/// A connection from `u` to `v` lets information flow **v → u** without any
+/// bridge: `u` takes-then-reads, or `v` takes-then-writes, or both meet at a
+/// middle vertex.
+pub fn connection() -> Dfa {
+    Expr::alt([
+        Expr::concat([Expr::star(t_fwd()), r_fwd()]),
+        Expr::concat([w_rev(), Expr::star(t_rev())]),
+        Expr::concat([Expr::star(t_fwd()), r_fwd(), w_rev(), Expr::star(t_rev())]),
+    ])
+    .compile()
+}
+
+/// The union B ∪ C used by Theorem 3.2's condition (c).
+pub fn bridge_or_connection() -> Dfa {
+    Expr::alt([
+        // Bridges.
+        Expr::plus(t_fwd()),
+        Expr::plus(t_rev()),
+        Expr::concat([Expr::star(t_fwd()), g_fwd(), Expr::star(t_rev())]),
+        Expr::concat([Expr::star(t_fwd()), g_rev(), Expr::star(t_rev())]),
+        // Connections.
+        Expr::concat([Expr::star(t_fwd()), r_fwd()]),
+        Expr::concat([w_rev(), Expr::star(t_rev())]),
+        Expr::concat([Expr::star(t_fwd()), r_fwd(), w_rev(), Expr::star(t_rev())]),
+    ])
+    .compile()
+}
+
+/// Admissible rw-words `(r> ∪ <w)+` (Theorem 3.1). The per-step subject
+/// conditions — `r>` needs a subject reader, `<w` a subject writer — are
+/// enforced by the search constraint, not the language.
+pub fn admissible_rw() -> Dfa {
+    Expr::plus(Expr::alt([r_fwd(), w_rev()])).compile()
+}
+
+/// tg-path words: any nonempty mix of `t`/`g` letters in either direction.
+/// Used by island computation and the generic tg-connectivity predicate.
+pub fn tg_any() -> Dfa {
+    Expr::plus(Expr::alt([t_fwd(), t_rev(), g_fwd(), g_rev()])).compile()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::letter::Letter;
+    use tg_graph::Right;
+
+    fn tf() -> Letter {
+        Letter::fwd(Right::Take)
+    }
+    fn tr() -> Letter {
+        Letter::rev(Right::Take)
+    }
+    fn gf() -> Letter {
+        Letter::fwd(Right::Grant)
+    }
+    fn gr() -> Letter {
+        Letter::rev(Right::Grant)
+    }
+    fn rf() -> Letter {
+        Letter::fwd(Right::Read)
+    }
+    fn wf() -> Letter {
+        Letter::fwd(Right::Write)
+    }
+    fn wr() -> Letter {
+        Letter::rev(Right::Write)
+    }
+
+    #[test]
+    fn initial_span_words() {
+        let dfa = initial_span();
+        assert!(dfa.accepts(&[])); // ν
+        assert!(dfa.accepts(&[gf()]));
+        assert!(dfa.accepts(&[tf(), tf(), gf()]));
+        assert!(!dfa.accepts(&[tf()])); // bare t>* is terminal, not initial
+        assert!(!dfa.accepts(&[gf(), gf()]));
+        assert!(!dfa.accepts(&[gr()]));
+    }
+
+    #[test]
+    fn terminal_span_words() {
+        let dfa = terminal_span();
+        assert!(dfa.accepts(&[]));
+        assert!(dfa.accepts(&[tf(), tf(), tf()]));
+        assert!(!dfa.accepts(&[tr()]));
+        assert!(!dfa.accepts(&[tf(), gf()]));
+    }
+
+    #[test]
+    fn bridge_words_match_the_four_forms() {
+        let dfa = bridge();
+        assert!(dfa.accepts(&[tf()]));
+        assert!(dfa.accepts(&[tf(), tf()]));
+        assert!(dfa.accepts(&[tr(), tr()]));
+        assert!(dfa.accepts(&[gf()]));
+        assert!(dfa.accepts(&[tf(), gf(), tr()]));
+        assert!(dfa.accepts(&[tf(), gr(), tr()]));
+        // Not bridges:
+        assert!(!dfa.accepts(&[])); // must move
+        assert!(!dfa.accepts(&[tf(), tr()])); // t> <t without a g pivot
+        assert!(!dfa.accepts(&[gf(), gf()]));
+        assert!(!dfa.accepts(&[tr(), tf()]));
+        assert!(!dfa.accepts(&[rf()]));
+    }
+
+    #[test]
+    fn connection_words() {
+        let dfa = connection();
+        assert!(dfa.accepts(&[rf()]));
+        assert!(dfa.accepts(&[tf(), tf(), rf()]));
+        assert!(dfa.accepts(&[wr()]));
+        assert!(dfa.accepts(&[wr(), tr()]));
+        assert!(dfa.accepts(&[tf(), rf(), wr(), tr()]));
+        // Not connections:
+        assert!(!dfa.accepts(&[]));
+        assert!(!dfa.accepts(&[wf()]));
+        assert!(!dfa.accepts(&[rf(), rf()]));
+        assert!(!dfa.accepts(&[tr(), rf()]));
+        assert!(!dfa.accepts(&[rf(), wr(), rf()]));
+    }
+
+    #[test]
+    fn connections_are_not_closed_under_reversal_but_bridges_are() {
+        use crate::letter::reverse_word;
+        let b = bridge();
+        let samples = [
+            vec![tf(), tf()],
+            vec![tr()],
+            vec![tf(), gf(), tr()],
+            vec![tf(), gr(), tr(), tr()],
+        ];
+        for word in &samples {
+            assert!(b.accepts(word));
+            assert!(b.accepts(&reverse_word(word)), "bridge reversal {word:?}");
+        }
+        let c = connection();
+        let read_conn = vec![tf(), rf()];
+        assert!(c.accepts(&read_conn));
+        assert!(!c.accepts(&reverse_word(&read_conn)));
+    }
+
+    #[test]
+    fn admissible_rw_words() {
+        let dfa = admissible_rw();
+        assert!(dfa.accepts(&[rf()]));
+        assert!(dfa.accepts(&[wr()]));
+        assert!(dfa.accepts(&[rf(), wr(), rf(), rf()]));
+        assert!(!dfa.accepts(&[]));
+        assert!(!dfa.accepts(&[wf()]));
+        assert!(!dfa.accepts(&[rf(), tf()]));
+    }
+
+    #[test]
+    fn rw_span_words() {
+        assert!(rw_initial_span().accepts(&[tf(), wf()]));
+        assert!(rw_initial_span().accepts(&[wf()]));
+        assert!(!rw_initial_span().accepts(&[rf()]));
+        assert!(!rw_initial_span().accepts(&[]));
+        assert!(rw_terminal_span().accepts(&[tf(), rf()]));
+        assert!(rw_terminal_span().accepts(&[rf()]));
+        assert!(!rw_terminal_span().accepts(&[wf()]));
+        assert!(!rw_terminal_span().accepts(&[]));
+    }
+
+    #[test]
+    fn bridge_or_connection_is_the_union() {
+        let bc = bridge_or_connection();
+        let b = bridge();
+        let c = connection();
+        let letters = [tf(), tr(), gf(), gr(), rf(), wf(), wr()];
+        // Exhaustively compare on all words of length <= 3.
+        let mut words: Vec<Vec<Letter>> = vec![vec![]];
+        for _ in 0..3 {
+            let mut next = words.clone();
+            for w in &words {
+                for &l in &letters {
+                    let mut w2 = w.clone();
+                    w2.push(l);
+                    next.push(w2);
+                }
+            }
+            words = next;
+        }
+        for word in &words {
+            assert_eq!(
+                bc.accepts(word),
+                b.accepts(word) || c.accepts(word),
+                "{word:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tg_any_accepts_every_tg_mix() {
+        let dfa = tg_any();
+        assert!(dfa.accepts(&[tf(), gr(), tr(), gf()]));
+        assert!(!dfa.accepts(&[]));
+        assert!(!dfa.accepts(&[rf()]));
+    }
+
+    #[test]
+    fn initial_span_proper_excludes_empty() {
+        assert!(!initial_span_proper().accepts(&[]));
+        assert!(initial_span_proper().accepts(&[tf(), gf()]));
+    }
+}

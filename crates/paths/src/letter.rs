@@ -1,0 +1,169 @@
+//! The directed-letter alphabet.
+
+use core::fmt;
+
+use tg_graph::Right;
+
+/// Orientation of an edge relative to the direction a path is read.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Dir {
+    /// The edge points from `vi` to `vi+1` (written `x>`).
+    Forward,
+    /// The edge points from `vi+1` to `vi` (written `<x`).
+    Reverse,
+}
+
+impl Dir {
+    /// The opposite orientation.
+    pub fn flipped(self) -> Dir {
+        match self {
+            Dir::Forward => Dir::Reverse,
+            Dir::Reverse => Dir::Forward,
+        }
+    }
+}
+
+/// One directed letter, e.g. `t>` or `<w`.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::Right;
+/// use tg_paths::{Dir, Letter};
+///
+/// assert_eq!(Letter::fwd(Right::Take).to_string(), "t>");
+/// assert_eq!(Letter::rev(Right::Write).to_string(), "<w");
+/// assert_eq!(Letter::fwd(Right::Grant).reversed(), Letter::rev(Right::Grant));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Letter {
+    /// The right labelling the edge.
+    pub right: Right,
+    /// The edge's orientation relative to the path.
+    pub dir: Dir,
+}
+
+impl Letter {
+    /// A forward letter `x>`.
+    pub fn fwd(right: Right) -> Letter {
+        Letter {
+            right,
+            dir: Dir::Forward,
+        }
+    }
+
+    /// A reverse letter `<x`.
+    pub fn rev(right: Right) -> Letter {
+        Letter {
+            right,
+            dir: Dir::Reverse,
+        }
+    }
+
+    /// The same right with flipped orientation — the letter this edge
+    /// contributes when the path is read in the opposite direction.
+    pub fn reversed(self) -> Letter {
+        Letter {
+            right: self.right,
+            dir: self.dir.flipped(),
+        }
+    }
+
+    /// A dense key in `0..32` used by the DFA transition tables:
+    /// `right.index() * 2 + dir`.
+    pub fn key(self) -> usize {
+        self.right.index() as usize * 2
+            + match self.dir {
+                Dir::Forward => 0,
+                Dir::Reverse => 1,
+            }
+    }
+
+    /// Inverse of [`Letter::key`].
+    pub fn from_key(key: usize) -> Option<Letter> {
+        let right = Right::from_index((key / 2) as u8)?;
+        let dir = if key.is_multiple_of(2) {
+            Dir::Forward
+        } else {
+            Dir::Reverse
+        };
+        Some(Letter { right, dir })
+    }
+
+    /// Number of distinct letter keys.
+    pub const KEY_COUNT: usize = Right::COUNT * 2;
+}
+
+impl fmt::Display for Letter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.dir {
+            Dir::Forward => write!(f, "{}>", self.right),
+            Dir::Reverse => write!(f, "<{}", self.right),
+        }
+    }
+}
+
+/// A word: the sequence of letters associated with a path.
+pub type Word = Vec<Letter>;
+
+/// Formats a word as space-separated letters; the empty word renders as the
+/// paper's `ν`.
+pub fn format_word(word: &[Letter]) -> String {
+    if word.is_empty() {
+        return "ν".to_string();
+    }
+    word.iter()
+        .map(Letter::to_string)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Reverses a word: reading the path backwards flips both the letter order
+/// and every orientation.
+pub fn reverse_word(word: &[Letter]) -> Word {
+    word.iter().rev().map(|l| l.reversed()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_round_trip() {
+        for key in 0..Letter::KEY_COUNT {
+            let letter = Letter::from_key(key).unwrap();
+            assert_eq!(letter.key(), key);
+        }
+        assert!(Letter::from_key(Letter::KEY_COUNT).is_none());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Letter::fwd(Right::Read).to_string(), "r>");
+        assert_eq!(Letter::rev(Right::Grant).to_string(), "<g");
+        assert_eq!(format_word(&[]), "ν");
+        assert_eq!(
+            format_word(&[Letter::fwd(Right::Take), Letter::rev(Right::Take)]),
+            "t> <t"
+        );
+    }
+
+    #[test]
+    fn reversing_twice_is_identity() {
+        let word = vec![
+            Letter::fwd(Right::Take),
+            Letter::rev(Right::Grant),
+            Letter::fwd(Right::Write),
+        ];
+        assert_eq!(reverse_word(&reverse_word(&word)), word);
+    }
+
+    #[test]
+    fn reverse_word_flips_order_and_direction() {
+        let word = vec![Letter::fwd(Right::Take), Letter::fwd(Right::Grant)];
+        assert_eq!(
+            reverse_word(&word),
+            vec![Letter::rev(Right::Grant), Letter::rev(Right::Take)]
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Words, regular languages and path search over protection graphs.
+//!
+//! The Take-Grant literature associates with every path `v0 … vk` one or
+//! more *words* over an alphabet of directed letters: `t>` denotes an edge
+//! from `vi` to `vi+1` labelled `t`, `<t` the same label on an edge pointing
+//! the other way, and so on for `g`, `r` and `w` (paper §2–§3). Spans,
+//! bridges, connections and admissible rw-paths are all defined as paths
+//! whose associated word lies in a specific regular language.
+//!
+//! This crate supplies:
+//!
+//! * [`Letter`], [`Dir`] and [`Word`] — the alphabet;
+//! * [`Expr`], [`Dfa`] — a small regular-expression engine (Thompson NFA +
+//!   subset construction) over that alphabet;
+//! * [`lang`] — the specific languages used by the paper;
+//! * [`PathSearch`] — a product-automaton BFS that decides, in time linear
+//!   in `|G| × |DFA|`, whether a path with an accepted word links two
+//!   vertices, with optional per-step vertex constraints and optional DFA
+//!   resets at designated vertices (used by `can_know`'s subject chains).
+//!
+//! # Walks versus paths
+//!
+//! The paper defines its path notions over sequences of *distinct*
+//! vertices; the BFS here explores walks. For every predicate in the paper
+//! this makes no difference: a simple path is a walk, and the rule
+//! constructions that give the predicates their meaning work along walks
+//! just as well, so walk-existence and simple-path-existence coincide with
+//! the predicate's truth. See DESIGN.md §2.
+//!
+//! # Examples
+//!
+//! ```
+//! use tg_graph::{ProtectionGraph, Rights};
+//! use tg_paths::{lang, PathSearch, SearchConfig};
+//!
+//! // s --t--> a --t--> b: s terminally spans to b (word t> t>).
+//! let mut g = ProtectionGraph::new();
+//! let s = g.add_subject("s");
+//! let a = g.add_object("a");
+//! let b = g.add_object("b");
+//! g.add_edge(s, a, Rights::T).unwrap();
+//! g.add_edge(a, b, Rights::T).unwrap();
+//!
+//! let dfa = lang::terminal_span();
+//! let hit = PathSearch::new(&g, &dfa, SearchConfig::explicit_only())
+//!     .find(&[s], |v| v == b)
+//!     .unwrap();
+//! assert_eq!(hit.vertices, vec![s, a, b]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dfa;
+pub mod lang;
+mod letter;
+mod search;
+mod words;
+
+pub use dfa::{Dfa, Expr};
+pub use letter::{format_word, reverse_word, Dir, Letter, Word};
+pub use search::{PathSearch, PathWitness, SearchConfig, StepConstraint};
+pub use words::{associated_words, word_of_step};

@@ -1,0 +1,499 @@
+//! Product-automaton breadth-first search.
+//!
+//! The search explores states `(vertex, dfa-state)`, stepping along graph
+//! edges whose rights produce live DFA transitions. Complexity is
+//! `O((V + E·|R|) · |Q|)` — linear in the size of the graph for the paper's
+//! constant-size languages, which is what makes the linear-time claims of
+//! the underlying literature (Jones–Lipton–Snyder) achievable.
+
+use std::collections::VecDeque;
+
+use tg_graph::{ProtectionGraph, VertexId};
+
+use crate::dfa::Dfa;
+use crate::letter::{Letter, Word};
+
+/// Which edge kinds a search may traverse.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SearchConfig {
+    /// Traverse explicit (authority) edges.
+    pub explicit: bool,
+    /// Traverse implicit (information-flow) edges.
+    pub implicit: bool,
+}
+
+impl SearchConfig {
+    /// Explicit edges only — the de jure notions (spans, bridges, islands)
+    /// are defined over recorded authority.
+    pub fn explicit_only() -> SearchConfig {
+        SearchConfig {
+            explicit: true,
+            implicit: false,
+        }
+    }
+
+    /// Both edge kinds — the de facto notions (rw-paths) may ride implicit
+    /// edges.
+    pub fn all_edges() -> SearchConfig {
+        SearchConfig {
+            explicit: true,
+            implicit: true,
+        }
+    }
+}
+
+/// A successful search result.
+///
+/// `vertices` lists the walk `v0 … vk`; `word` its letters (`word.len() ==
+/// vertices.len() - 1` counting reset boundaries as zero-letter joins);
+/// `resets` holds the indices into `vertices` at which a chained search
+/// restarted the automaton (empty for plain searches).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PathWitness {
+    /// The vertices of the walk, in order.
+    pub vertices: Vec<VertexId>,
+    /// The letters of the walk. Reset boundaries contribute no letter.
+    pub word: Word,
+    /// Indices into `vertices` where the DFA was reset (chained search).
+    pub resets: Vec<usize>,
+}
+
+impl PathWitness {
+    /// The final vertex of the walk.
+    pub fn last(&self) -> VertexId {
+        *self.vertices.last().expect("witness is nonempty")
+    }
+
+    /// Splits the walk at its reset boundaries, yielding one `(vertices,
+    /// word)` segment per automaton run. A plain search yields one segment.
+    pub fn segments(&self) -> Vec<(Vec<VertexId>, Word)> {
+        let mut bounds = vec![0usize];
+        bounds.extend(self.resets.iter().copied());
+        bounds.push(self.vertices.len() - 1);
+        let mut out = Vec::new();
+        let mut word_pos = 0usize;
+        for pair in bounds.windows(2) {
+            let (from, to) = (pair[0], pair[1]);
+            let verts = self.vertices[from..=to].to_vec();
+            let letters = to - from;
+            let word = self.word[word_pos..word_pos + letters].to_vec();
+            word_pos += letters;
+            out.push((verts, word));
+        }
+        out
+    }
+}
+
+/// Per-step constraint: `(graph, from, letter, to)` must return `true` for
+/// the step to be taken. `from`/`to` are in *path order* (the letter's
+/// direction already encodes which endpoint the edge leaves).
+pub type StepConstraint<'a> = dyn Fn(&ProtectionGraph, VertexId, Letter, VertexId) -> bool + 'a;
+
+/// A configured product-automaton search over one graph and one language.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{ProtectionGraph, Rights};
+/// use tg_paths::{lang, PathSearch, SearchConfig};
+///
+/// let mut g = ProtectionGraph::new();
+/// let a = g.add_subject("a");
+/// let b = g.add_subject("b");
+/// g.add_edge(a, b, Rights::G).unwrap();
+///
+/// // a initially spans to b via the word g>.
+/// let dfa = lang::initial_span();
+/// let search = PathSearch::new(&g, &dfa, SearchConfig::explicit_only());
+/// assert!(search.find(&[a], |v| v == b).is_some());
+/// assert!(search.find(&[b], |v| v == a).is_none());
+/// ```
+pub struct PathSearch<'a> {
+    graph: &'a ProtectionGraph,
+    dfa: &'a Dfa,
+    config: SearchConfig,
+    constraint: Option<Box<StepConstraint<'a>>>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Parent {
+    Unvisited,
+    Start,
+    Step { from: u32, letter: Letter },
+    Reset { from: u32 },
+}
+
+impl<'a> PathSearch<'a> {
+    /// Creates a search over `graph` for paths whose word `dfa` accepts.
+    pub fn new(graph: &'a ProtectionGraph, dfa: &'a Dfa, config: SearchConfig) -> PathSearch<'a> {
+        PathSearch {
+            graph,
+            dfa,
+            config,
+            constraint: None,
+        }
+    }
+
+    /// Adds a per-step constraint (e.g. the admissible-rw-path subject
+    /// conditions). Steps failing the constraint are not taken.
+    pub fn with_constraint(
+        mut self,
+        constraint: impl Fn(&ProtectionGraph, VertexId, Letter, VertexId) -> bool + 'a,
+    ) -> PathSearch<'a> {
+        self.constraint = Some(Box::new(constraint));
+        self
+    }
+
+    fn state(&self, v: VertexId, q: u32) -> usize {
+        v.index() * self.dfa.state_count() + q as usize
+    }
+
+    fn unpack(&self, state: u32) -> (VertexId, u32) {
+        let q = self.dfa.state_count();
+        (
+            VertexId::from_index(state as usize / q),
+            (state as usize % q) as u32,
+        )
+    }
+
+    fn allows(&self, from: VertexId, letter: Letter, to: VertexId) -> bool {
+        match &self.constraint {
+            Some(f) => f(self.graph, from, letter, to),
+            None => true,
+        }
+    }
+
+    /// Core BFS. `reset_at` (if given) re-arms the automaton at accepting
+    /// visits to qualifying vertices; `is_goal` is tested at accepting
+    /// states only.
+    fn bfs(
+        &self,
+        starts: &[VertexId],
+        reset_at: Option<&dyn Fn(VertexId) -> bool>,
+        mut on_accepting: impl FnMut(VertexId, u32) -> bool,
+    ) -> (Vec<Parent>, Option<u32>) {
+        let states = self.graph.vertex_count() * self.dfa.state_count();
+        let mut parent = vec![Parent::Unvisited; states];
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        let q0 = self.dfa.start();
+
+        for &s in starts {
+            let idx = self.state(s, q0);
+            if parent[idx] == Parent::Unvisited {
+                parent[idx] = Parent::Start;
+                queue.push_back(idx as u32);
+            }
+        }
+
+        while let Some(state) = queue.pop_front() {
+            let (v, q) = self.unpack(state);
+            if self.dfa.is_accepting(q) {
+                if on_accepting(v, state) {
+                    return (parent, Some(state));
+                }
+                if let Some(reset) = reset_at {
+                    if reset(v) {
+                        let idx = self.state(v, q0);
+                        if parent[idx] == Parent::Unvisited {
+                            parent[idx] = Parent::Reset { from: state };
+                            queue.push_back(idx as u32);
+                        }
+                    }
+                }
+            }
+            // Forward letters along out-edges.
+            for (u, er) in self.graph.out_edges(v) {
+                let mut rights = tg_graph::Rights::EMPTY;
+                if self.config.explicit {
+                    rights |= er.explicit;
+                }
+                if self.config.implicit {
+                    rights |= er.implicit;
+                }
+                for right in rights {
+                    let letter = Letter::fwd(right);
+                    let Some(nq) = self.dfa.step(q, letter) else {
+                        continue;
+                    };
+                    if !self.allows(v, letter, u) {
+                        continue;
+                    }
+                    let idx = self.state(u, nq);
+                    if parent[idx] == Parent::Unvisited {
+                        parent[idx] = Parent::Step {
+                            from: state,
+                            letter,
+                        };
+                        queue.push_back(idx as u32);
+                    }
+                }
+            }
+            // Reverse letters along in-edges.
+            for (u, er) in self.graph.in_edges(v) {
+                let mut rights = tg_graph::Rights::EMPTY;
+                if self.config.explicit {
+                    rights |= er.explicit;
+                }
+                if self.config.implicit {
+                    rights |= er.implicit;
+                }
+                for right in rights {
+                    let letter = Letter::rev(right);
+                    let Some(nq) = self.dfa.step(q, letter) else {
+                        continue;
+                    };
+                    if !self.allows(v, letter, u) {
+                        continue;
+                    }
+                    let idx = self.state(u, nq);
+                    if parent[idx] == Parent::Unvisited {
+                        parent[idx] = Parent::Step {
+                            from: state,
+                            letter,
+                        };
+                        queue.push_back(idx as u32);
+                    }
+                }
+            }
+        }
+        (parent, None)
+    }
+
+    fn reconstruct(&self, parent: &[Parent], goal: u32) -> PathWitness {
+        let mut vertices = Vec::new();
+        let mut word = Vec::new();
+        let mut resets = Vec::new();
+        let mut cursor = goal;
+        loop {
+            let (v, _) = self.unpack(cursor);
+            match parent[cursor as usize] {
+                Parent::Unvisited => unreachable!("reached state has a parent"),
+                Parent::Start => {
+                    vertices.push(v);
+                    break;
+                }
+                Parent::Step { from, letter } => {
+                    vertices.push(v);
+                    word.push(letter);
+                    cursor = from;
+                }
+                Parent::Reset { from } => {
+                    // The reset vertex itself is pushed later (by the step
+                    // or start that reaches it); record how many vertices
+                    // follow it so its final index can be computed.
+                    resets.push(vertices.len());
+                    cursor = from;
+                }
+            }
+        }
+        vertices.reverse();
+        word.reverse();
+        let total = vertices.len();
+        let mut reset_indices: Vec<usize> = resets
+            .into_iter()
+            .map(|pushed_after| total - 1 - pushed_after)
+            .collect();
+        reset_indices.sort_unstable();
+        PathWitness {
+            vertices,
+            word,
+            resets: reset_indices,
+        }
+    }
+
+    /// Finds a walk from any of `starts` to a vertex satisfying `is_goal`
+    /// whose word the language accepts. Returns the shortest such walk (in
+    /// steps), or `None`.
+    pub fn find(
+        &self,
+        starts: &[VertexId],
+        is_goal: impl Fn(VertexId) -> bool,
+    ) -> Option<PathWitness> {
+        let (parent, hit) = self.bfs(starts, None, |v, _| is_goal(v));
+        hit.map(|state| self.reconstruct(&parent, state))
+    }
+
+    /// Like [`PathSearch::find`], but the automaton may restart (accepting
+    /// state required) at any vertex satisfying `reset_at` — the chained
+    /// search used by `can_know`'s subject sequences.
+    pub fn find_chained(
+        &self,
+        starts: &[VertexId],
+        reset_at: impl Fn(VertexId) -> bool,
+        is_goal: impl Fn(VertexId) -> bool,
+    ) -> Option<PathWitness> {
+        let (parent, hit) = self.bfs(starts, Some(&reset_at), |v, _| is_goal(v));
+        hit.map(|state| self.reconstruct(&parent, state))
+    }
+
+    /// All vertices reachable from `starts` in an accepting state, sorted.
+    pub fn accepting_reachable(&self, starts: &[VertexId]) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        let (_, _) = self.bfs(starts, None, |v, _| {
+            out.push(v);
+            false
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// All vertices reachable in an accepting state of a chained search.
+    pub fn accepting_reachable_chained(
+        &self,
+        starts: &[VertexId],
+        reset_at: impl Fn(VertexId) -> bool,
+    ) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        let (_, _) = self.bfs(starts, Some(&reset_at), |v, _| {
+            out.push(v);
+            false
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang;
+    use tg_graph::Rights;
+
+    #[test]
+    fn finds_terminal_span_along_take_chain() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let a = g.add_object("a");
+        let b = g.add_object("b");
+        g.add_edge(s, a, Rights::T).unwrap();
+        g.add_edge(a, b, Rights::T).unwrap();
+        let dfa = lang::terminal_span();
+        let search = PathSearch::new(&g, &dfa, SearchConfig::explicit_only());
+        let w = search.find(&[s], |v| v == b).unwrap();
+        assert_eq!(w.vertices, vec![s, a, b]);
+        assert_eq!(w.word.len(), 2);
+        assert!(w.resets.is_empty());
+    }
+
+    #[test]
+    fn empty_word_matches_start_vertex() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let dfa = lang::terminal_span();
+        let search = PathSearch::new(&g, &dfa, SearchConfig::explicit_only());
+        let w = search.find(&[s], |v| v == s).unwrap();
+        assert_eq!(w.vertices, vec![s]);
+        assert!(w.word.is_empty());
+    }
+
+    #[test]
+    fn respects_edge_kind_config() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let o = g.add_object("o");
+        g.add_implicit_edge(s, o, Rights::T).unwrap();
+        let dfa = lang::terminal_span();
+        let explicit = PathSearch::new(&g, &dfa, SearchConfig::explicit_only());
+        assert!(explicit.find(&[s], |v| v == o).is_none());
+        let all = PathSearch::new(&g, &dfa, SearchConfig::all_edges());
+        assert!(all.find(&[s], |v| v == o).is_some());
+    }
+
+    #[test]
+    fn constraint_blocks_steps() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let o = g.add_object("o");
+        let t = g.add_object("t");
+        g.add_edge(s, o, Rights::T).unwrap();
+        g.add_edge(o, t, Rights::T).unwrap();
+        let dfa = lang::terminal_span();
+        let search = PathSearch::new(&g, &dfa, SearchConfig::explicit_only())
+            .with_constraint(|g, from, _, _| g.is_subject(from));
+        // The second hop leaves object `o`, so it is blocked.
+        assert!(search.find(&[s], |v| v == t).is_none());
+        assert!(search.find(&[s], |v| v == o).is_some());
+    }
+
+    #[test]
+    fn reverse_letters_walk_against_edges() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let v = g.add_subject("v");
+        g.add_edge(v, s, Rights::T).unwrap();
+        // Bridge word <t from s to v.
+        let dfa = lang::bridge();
+        let search = PathSearch::new(&g, &dfa, SearchConfig::explicit_only());
+        let w = search.find(&[s], |x| x == v).unwrap();
+        assert_eq!(w.vertices, vec![s, v]);
+        assert_eq!(w.word[0].to_string(), "<t");
+    }
+
+    #[test]
+    fn chained_search_resets_at_subjects() {
+        // s --r--> a   and   b --r--> a ... no; build two connections joined
+        // at subject m: s -t-> m is not a connection. Use: s -r-> m (conn),
+        // m -r-> y (conn). A plain connection search cannot do r> r>, the
+        // chained one can by resetting at subject m.
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let m = g.add_subject("m");
+        let y = g.add_subject("y");
+        g.add_edge(s, m, Rights::R).unwrap();
+        g.add_edge(m, y, Rights::R).unwrap();
+        let dfa = lang::connection();
+        let search = PathSearch::new(&g, &dfa, SearchConfig::explicit_only());
+        assert!(search.find(&[s], |v| v == y).is_none());
+        let w = search
+            .find_chained(&[s], |v| g.is_subject(v), |v| v == y)
+            .unwrap();
+        assert_eq!(w.vertices, vec![s, m, y]);
+        assert_eq!(w.resets, vec![1]);
+        assert_eq!(w.segments().len(), 2);
+    }
+
+    #[test]
+    fn accepting_reachable_collects_all_targets() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let a = g.add_object("a");
+        let b = g.add_object("b");
+        let c = g.add_object("c");
+        g.add_edge(s, a, Rights::T).unwrap();
+        g.add_edge(a, b, Rights::T).unwrap();
+        g.add_edge(b, c, Rights::R).unwrap(); // r breaks the t-chain
+        let dfa = lang::terminal_span();
+        let search = PathSearch::new(&g, &dfa, SearchConfig::explicit_only());
+        assert_eq!(search.accepting_reachable(&[s]), vec![s, a, b]);
+    }
+
+    #[test]
+    fn shortest_walk_is_returned() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let a = g.add_object("a");
+        let b = g.add_object("b");
+        g.add_edge(s, b, Rights::T).unwrap();
+        g.add_edge(s, a, Rights::T).unwrap();
+        g.add_edge(a, b, Rights::T).unwrap();
+        let dfa = lang::terminal_span();
+        let search = PathSearch::new(&g, &dfa, SearchConfig::explicit_only());
+        let w = search.find(&[s], |v| v == b).unwrap();
+        assert_eq!(w.vertices.len(), 2);
+    }
+
+    #[test]
+    fn multiple_starts_are_seeded() {
+        let mut g = ProtectionGraph::new();
+        let s1 = g.add_subject("s1");
+        let s2 = g.add_subject("s2");
+        let o = g.add_object("o");
+        g.add_edge(s2, o, Rights::T).unwrap();
+        let dfa = lang::terminal_span();
+        let search = PathSearch::new(&g, &dfa, SearchConfig::explicit_only());
+        let w = search.find(&[s1, s2], |v| v == o).unwrap();
+        assert_eq!(w.vertices, vec![s2, o]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Enumerating the words associated with a concrete path.
+//!
+//! "With each tg-path, associate one or more words … in the obvious way"
+//! (paper §2): every consecutive vertex pair may be joined by edges in both
+//! directions carrying several rights, so one path generally has many
+//! associated words. Figure 3.1's example graph has associated words `r> <w`
+//! and `<w <w` for its two paths; the tests of `tg-sim::scenarios`
+//! reconstruct that figure with this module.
+
+use tg_graph::{ProtectionGraph, Rights, VertexId};
+
+use crate::letter::{Letter, Word};
+
+/// The letters available for one step from `from` to `to`, restricted to
+/// rights in `alphabet` and honouring `include_implicit`.
+pub fn word_of_step(
+    graph: &ProtectionGraph,
+    from: VertexId,
+    to: VertexId,
+    alphabet: Rights,
+    include_implicit: bool,
+) -> Vec<Letter> {
+    let mut letters = Vec::new();
+    let fwd = graph.rights(from, to);
+    let rev = graph.rights(to, from);
+    let pick = |er: tg_graph::EdgeRights| {
+        if include_implicit {
+            er.combined() & alphabet
+        } else {
+            er.explicit() & alphabet
+        }
+    };
+    for right in pick(fwd) {
+        letters.push(Letter::fwd(right));
+    }
+    for right in pick(rev) {
+        letters.push(Letter::rev(right));
+    }
+    letters
+}
+
+/// Every word associated with the vertex sequence `path`, using only rights
+/// in `alphabet`. Returns an empty list if some consecutive pair has no
+/// qualifying edge. The number of words is the product of per-step letter
+/// counts; callers should keep paths short (this is a figure-reconstruction
+/// helper, not a decision procedure).
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{ProtectionGraph, Rights};
+/// use tg_paths::associated_words;
+///
+/// let mut g = ProtectionGraph::new();
+/// let x = g.add_subject("x");
+/// let y = g.add_subject("y");
+/// g.add_edge(x, y, Rights::R).unwrap();
+/// g.add_edge(y, x, Rights::W).unwrap();
+///
+/// let words = associated_words(&g, &[x, y], Rights::RW, false);
+/// let rendered: Vec<String> = words
+///     .iter()
+///     .map(|w| tg_paths::format_word(w))
+///     .collect();
+/// assert!(rendered.contains(&"r>".to_string()));
+/// assert!(rendered.contains(&"<w".to_string()));
+/// ```
+pub fn associated_words(
+    graph: &ProtectionGraph,
+    path: &[VertexId],
+    alphabet: Rights,
+    include_implicit: bool,
+) -> Vec<Word> {
+    if path.is_empty() {
+        return Vec::new();
+    }
+    if path.len() == 1 {
+        // A length-0 path has the null word ν.
+        return vec![Vec::new()];
+    }
+    let mut words: Vec<Word> = vec![Vec::new()];
+    for pair in path.windows(2) {
+        let letters = word_of_step(graph, pair[0], pair[1], alphabet, include_implicit);
+        if letters.is_empty() {
+            return Vec::new();
+        }
+        let mut next = Vec::with_capacity(words.len() * letters.len());
+        for word in &words {
+            for &letter in &letters {
+                let mut extended = word.clone();
+                extended.push(letter);
+                next.push(extended);
+            }
+        }
+        words = next;
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::letter::format_word;
+    use tg_graph::Rights;
+
+    #[test]
+    fn single_vertex_path_has_null_word() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let words = associated_words(&g, &[x], Rights::ALL, true);
+        assert_eq!(words, vec![Vec::new()]);
+        assert_eq!(format_word(&words[0]), "ν");
+    }
+
+    #[test]
+    fn empty_path_has_no_words() {
+        let g = ProtectionGraph::new();
+        assert!(associated_words(&g, &[], Rights::ALL, true).is_empty());
+    }
+
+    #[test]
+    fn missing_edge_kills_all_words() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let y = g.add_subject("y");
+        let z = g.add_subject("z");
+        g.add_edge(x, y, Rights::R).unwrap();
+        assert!(associated_words(&g, &[x, y, z], Rights::ALL, true).is_empty());
+    }
+
+    #[test]
+    fn words_multiply_across_steps() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let y = g.add_subject("y");
+        let z = g.add_subject("z");
+        g.add_edge(x, y, Rights::RW).unwrap(); // two forward letters
+        g.add_edge(z, y, Rights::W).unwrap(); // one reverse letter
+        let words = associated_words(&g, &[x, y, z], Rights::RW, false);
+        assert_eq!(words.len(), 2);
+        let rendered: Vec<String> = words.iter().map(|w| format_word(w)).collect();
+        assert!(rendered.contains(&"r> <w".to_string()));
+        assert!(rendered.contains(&"w> <w".to_string()));
+    }
+
+    #[test]
+    fn alphabet_filters_rights() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let y = g.add_subject("y");
+        g.add_edge(x, y, Rights::RW | Rights::T).unwrap();
+        let words = associated_words(&g, &[x, y], Rights::T, false);
+        assert_eq!(words.len(), 1);
+        assert_eq!(format_word(&words[0]), "t>");
+    }
+
+    #[test]
+    fn implicit_edges_respect_flag() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let y = g.add_subject("y");
+        g.add_implicit_edge(x, y, Rights::R).unwrap();
+        assert!(associated_words(&g, &[x, y], Rights::R, false).is_empty());
+        assert_eq!(associated_words(&g, &[x, y], Rights::R, true).len(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the regular-language engine: the compiled DFA must
+//! agree with a direct (and obviously correct) recursive interpreter of
+//! the expression, over random expressions and random words.
+
+use proptest::prelude::*;
+use tg_graph::Right;
+use tg_paths::{Dfa, Dir, Expr, Letter};
+
+/// The reference semantics: the set of suffix positions reachable after
+/// matching `expr` against `word[pos..]` prefixes.
+fn match_positions(expr: &Expr, word: &[Letter], pos: usize) -> Vec<usize> {
+    let mut out = match expr {
+        Expr::Epsilon => vec![pos],
+        Expr::Letter(l) => {
+            if word.get(pos) == Some(l) {
+                vec![pos + 1]
+            } else {
+                Vec::new()
+            }
+        }
+        Expr::Concat(parts) => {
+            let mut positions = vec![pos];
+            for part in parts {
+                let mut next = Vec::new();
+                for &p in &positions {
+                    next.extend(match_positions(part, word, p));
+                }
+                next.sort_unstable();
+                next.dedup();
+                positions = next;
+                if positions.is_empty() {
+                    break;
+                }
+            }
+            positions
+        }
+        Expr::Alt(parts) => {
+            let mut positions = Vec::new();
+            for part in parts {
+                positions.extend(match_positions(part, word, pos));
+            }
+            positions
+        }
+        Expr::Star(inner) => {
+            // Fixpoint of one-or-more applications, plus zero.
+            let mut positions = vec![pos];
+            let mut frontier = vec![pos];
+            while !frontier.is_empty() {
+                let mut next = Vec::new();
+                for &p in &frontier {
+                    for q in match_positions(inner, word, p) {
+                        // Guard against ε-cycles: only advance.
+                        if q > p && !positions.contains(&q) {
+                            positions.push(q);
+                            next.push(q);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            positions
+        }
+    };
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn reference_accepts(expr: &Expr, word: &[Letter]) -> bool {
+    match_positions(expr, word, 0).contains(&word.len())
+}
+
+/// Whether the expression can match ε without consuming — needed because
+/// the reference star guard skips ε-steps (they never change acceptance).
+fn letters() -> Vec<Letter> {
+    let rights = [Right::Read, Right::Write, Right::Take, Right::Grant];
+    let mut out = Vec::new();
+    for r in rights {
+        out.push(Letter {
+            right: r,
+            dir: Dir::Forward,
+        });
+        out.push(Letter {
+            right: r,
+            dir: Dir::Reverse,
+        });
+    }
+    out
+}
+
+fn letter_strategy() -> impl Strategy<Value = Letter> {
+    (0usize..8).prop_map(|i| letters()[i])
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::Epsilon),
+        letter_strategy().prop_map(Expr::Letter),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Expr::Concat),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Expr::Alt),
+            inner.prop_map(Expr::star),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The subset-constructed DFA agrees with the recursive interpreter.
+    #[test]
+    fn dfa_matches_reference(
+        expr in expr_strategy(),
+        word in prop::collection::vec(letter_strategy(), 0..7),
+    ) {
+        let dfa: Dfa = expr.compile();
+        prop_assert_eq!(
+            dfa.accepts(&word),
+            reference_accepts(&expr, &word),
+            "disagreement on {:?} over {:?}", expr, word
+        );
+    }
+
+    /// `accepts_empty` is `accepts(&[])`.
+    #[test]
+    fn accepts_empty_is_consistent(expr in expr_strategy()) {
+        let dfa = expr.compile();
+        prop_assert_eq!(dfa.accepts_empty(), dfa.accepts(&[]));
+    }
+
+    /// Letters outside the effective alphabet kill every word.
+    #[test]
+    fn alphabet_is_sound(
+        expr in expr_strategy(),
+        word in prop::collection::vec(letter_strategy(), 1..6),
+    ) {
+        let dfa = expr.compile();
+        let alphabet = dfa.alphabet();
+        if word.iter().any(|l| !alphabet.contains(l)) {
+            prop_assert!(!dfa.accepts(&word));
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Replayable rule sequences.
+//!
+//! A [`Derivation`] is the concrete object behind every `G ⊢* G'` statement
+//! in the paper: an ordered list of rule applications. Because vertex ids
+//! are assigned densely in creation order, a derivation recorded against a
+//! graph replays deterministically on any equal graph — `create` steps
+//! yield the same ids. The witness synthesizers in `tg-analysis` return
+//! derivations, and the property tests replay them to prove the decision
+//! procedures sound.
+
+use core::fmt;
+
+use tg_graph::ProtectionGraph;
+
+use crate::rule::{apply, Effect, Rule};
+use crate::RuleError;
+
+/// An ordered sequence of rules.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Derivation {
+    /// The rules, in application order.
+    pub steps: Vec<Rule>,
+}
+
+/// A replay failure: which step failed and why.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReplayError {
+    /// Index of the failing step.
+    pub step: usize,
+    /// The rule that failed.
+    pub rule: Rule,
+    /// The precondition error.
+    pub error: RuleError,
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "step {} ({}) failed: {}", self.step, self.rule, self.error)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl Derivation {
+    /// The empty derivation (`G ⊢* G` in zero steps).
+    pub fn new() -> Derivation {
+        Derivation::default()
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the derivation has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Appends a rule.
+    pub fn push(&mut self, rule: impl Into<Rule>) {
+        self.steps.push(rule.into());
+    }
+
+    /// Appends every step of `other`.
+    pub fn extend(&mut self, other: Derivation) {
+        self.steps.extend(other.steps);
+    }
+
+    /// Applies every step to `graph` in order, returning the effects.
+    /// On failure the graph is left in the state reached by the preceding
+    /// steps (callers that need atomicity should use [`Derivation::replayed`]).
+    pub fn replay(&self, graph: &mut ProtectionGraph) -> Result<Vec<Effect>, ReplayError> {
+        let mut effects = Vec::with_capacity(self.steps.len());
+        for (step, rule) in self.steps.iter().enumerate() {
+            match apply(graph, rule) {
+                Ok(effect) => effects.push(effect),
+                Err(error) => {
+                    return Err(ReplayError {
+                        step,
+                        rule: rule.clone(),
+                        error,
+                    })
+                }
+            }
+        }
+        Ok(effects)
+    }
+
+    /// Replays onto a clone of `graph`, returning the resulting graph and
+    /// leaving the original untouched.
+    pub fn replayed(&self, graph: &ProtectionGraph) -> Result<ProtectionGraph, ReplayError> {
+        let mut clone = graph.clone();
+        self.replay(&mut clone)?;
+        Ok(clone)
+    }
+
+    /// Number of de jure steps.
+    pub fn de_jure_count(&self) -> usize {
+        self.steps.iter().filter(|r| r.is_de_jure()).count()
+    }
+
+    /// Number of de facto steps.
+    pub fn de_facto_count(&self) -> usize {
+        self.len() - self.de_jure_count()
+    }
+}
+
+impl fmt::Display for Derivation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "(empty derivation)");
+        }
+        for (i, rule) in self.steps.iter().enumerate() {
+            writeln!(f, "{:>3}. {rule}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Rule> for Derivation {
+    fn from_iter<T: IntoIterator<Item = Rule>>(iter: T) -> Derivation {
+        Derivation {
+            steps: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A graph being rewritten together with the log of rules applied so far.
+///
+/// Witness synthesis works against a `Session`: rules are applied eagerly
+/// (so later steps can depend on earlier effects, including fresh vertex
+/// ids) and the log is extracted at the end as a [`Derivation`].
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{ProtectionGraph, Rights, VertexKind};
+/// use tg_rules::{DeJureRule, Session};
+///
+/// let mut g = ProtectionGraph::new();
+/// let s = g.add_subject("s");
+///
+/// let mut session = Session::new(g.clone());
+/// session.apply(DeJureRule::Create {
+///     actor: s,
+///     kind: VertexKind::Object,
+///     rights: Rights::RW,
+///     name: "buffer".to_string(),
+/// }).unwrap();
+///
+/// let (result, derivation) = session.into_parts();
+/// // The log replays onto the original graph and reproduces the result.
+/// assert_eq!(derivation.replayed(&g).unwrap(), result);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Session {
+    graph: ProtectionGraph,
+    log: Derivation,
+}
+
+impl Session {
+    /// Starts a session from `graph`.
+    pub fn new(graph: ProtectionGraph) -> Session {
+        Session {
+            graph,
+            log: Derivation::new(),
+        }
+    }
+
+    /// The current graph state.
+    pub fn graph(&self) -> &ProtectionGraph {
+        &self.graph
+    }
+
+    /// The rules applied so far.
+    pub fn log(&self) -> &Derivation {
+        &self.log
+    }
+
+    /// Applies a rule, recording it on success.
+    pub fn apply(&mut self, rule: impl Into<Rule>) -> Result<Effect, RuleError> {
+        let rule = rule.into();
+        let effect = apply(&mut self.graph, &rule)?;
+        self.log.push(rule);
+        Ok(effect)
+    }
+
+    /// Applies every step of `derivation` through the session (each step
+    /// is checked and logged). On failure the session retains the steps
+    /// that succeeded.
+    pub fn run(&mut self, derivation: &Derivation) -> Result<(), ReplayError> {
+        for (step, rule) in derivation.steps.iter().enumerate() {
+            if let Err(error) = self.apply(rule.clone()) {
+                return Err(ReplayError {
+                    step,
+                    rule: rule.clone(),
+                    error,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes the session, yielding the final graph and the log.
+    pub fn into_parts(self) -> (ProtectionGraph, Derivation) {
+        (self.graph, self.log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::DeJureRule;
+    use tg_graph::{Rights, VertexKind};
+
+    #[test]
+    fn empty_derivation_replays_to_identity() {
+        let mut g = ProtectionGraph::new();
+        g.add_subject("s");
+        let snapshot = g.clone();
+        let d = Derivation::new();
+        assert!(d.replay(&mut g).unwrap().is_empty());
+        assert_eq!(g, snapshot);
+    }
+
+    #[test]
+    fn replay_reports_failing_step() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let o = g.add_object("o");
+        let mut d = Derivation::new();
+        d.push(DeJureRule::Create {
+            actor: s,
+            kind: VertexKind::Object,
+            rights: Rights::R,
+            name: "n".to_string(),
+        });
+        // Step 2 lacks the `t` right on s -> o, so it must fail.
+        d.push(DeJureRule::Take {
+            actor: s,
+            via: o,
+            target: tg_graph::VertexId::from_index(2),
+            rights: Rights::R,
+        });
+        let err = d.replayed(&g).unwrap_err();
+        assert_eq!(err.step, 1);
+        assert!(err.to_string().contains("step 1"));
+    }
+
+    #[test]
+    fn creates_replay_with_stable_ids() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let mut session = Session::new(g.clone());
+        let Effect::Created { id, .. } = session
+            .apply(DeJureRule::Create {
+                actor: s,
+                kind: VertexKind::Object,
+                rights: Rights::TG,
+                name: "v".to_string(),
+            })
+            .unwrap()
+        else {
+            panic!("expected Created");
+        };
+        // Use the created vertex in a later step.
+        session
+            .apply(DeJureRule::Remove {
+                actor: s,
+                target: id,
+                rights: Rights::G,
+            })
+            .unwrap();
+        let (result, log) = session.into_parts();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.de_jure_count(), 2);
+        assert_eq!(log.de_facto_count(), 0);
+        let replayed = log.replayed(&g).unwrap();
+        assert_eq!(replayed, result);
+        assert_eq!(replayed.rights(s, id).explicit(), Rights::T);
+    }
+
+    #[test]
+    fn display_lists_steps() {
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let mut d = Derivation::new();
+        d.push(DeJureRule::Create {
+            actor: s,
+            kind: VertexKind::Subject,
+            rights: Rights::G,
+            name: "n".to_string(),
+        });
+        let text = d.to_string();
+        assert!(text.contains("1."));
+        assert!(text.contains("creates"));
+        assert_eq!(Derivation::new().to_string(), "(empty derivation)");
+    }
+}

@@ -1,0 +1,85 @@
+//! Rule precondition failures.
+
+use core::fmt;
+
+use tg_graph::{GraphError, Right, VertexId};
+
+/// Why a rule application was rejected. Rules never partially apply: either
+/// every precondition holds and the graph changes, or an error is returned
+/// and the graph is untouched.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RuleError {
+    /// The rule's vertices must be pairwise distinct.
+    VerticesNotDistinct,
+    /// A vertex that the rule requires to be a subject is an object.
+    /// The string names the rule's formal parameter (`x`, `y`, `z`).
+    NotSubject(VertexId, &'static str),
+    /// A required explicit edge right is missing.
+    MissingExplicit {
+        /// Edge source.
+        src: VertexId,
+        /// Edge destination.
+        dst: VertexId,
+        /// The absent right.
+        right: Right,
+    },
+    /// A required `r`/`w` edge (explicit or implicit) is missing.
+    MissingAny {
+        /// Edge source.
+        src: VertexId,
+        /// Edge destination.
+        dst: VertexId,
+        /// The absent right.
+        right: Right,
+    },
+    /// The rights δ being moved are not a subset of the edge label β.
+    NotSubset {
+        /// Edge source.
+        src: VertexId,
+        /// Edge destination.
+        dst: VertexId,
+    },
+    /// `remove` requires an existing explicit edge.
+    NoEdgeToRemove {
+        /// Edge source.
+        src: VertexId,
+        /// Edge destination.
+        dst: VertexId,
+    },
+    /// The underlying graph rejected the mutation.
+    Graph(GraphError),
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::VerticesNotDistinct => {
+                write!(f, "rule vertices must be pairwise distinct")
+            }
+            RuleError::NotSubject(v, role) => {
+                write!(f, "vertex {v} (parameter {role}) must be a subject")
+            }
+            RuleError::MissingExplicit { src, dst, right } => {
+                write!(f, "no explicit {right} right on edge {src} -> {dst}")
+            }
+            RuleError::MissingAny { src, dst, right } => {
+                write!(f, "no {right} right (explicit or implicit) on edge {src} -> {dst}")
+            }
+            RuleError::NotSubset { src, dst } => {
+                write!(f, "rights to move are not a subset of the {src} -> {dst} label")
+            }
+            RuleError::NoEdgeToRemove { src, dst } => {
+                write!(f, "no explicit edge {src} -> {dst} to remove rights from")
+            }
+            RuleError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+impl From<GraphError> for RuleError {
+    fn from(e: GraphError) -> RuleError {
+        RuleError::Graph(e)
+    }
+}

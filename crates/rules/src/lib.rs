@@ -1,0 +1,49 @@
+//! The Take-Grant rewriting rules.
+//!
+//! Two rule families act on a protection graph (paper §2–§3):
+//!
+//! * **De jure rules** transfer *authority* and manipulate explicit edges
+//!   only: [`DeJureRule::Take`], [`DeJureRule::Grant`],
+//!   [`DeJureRule::Create`], [`DeJureRule::Remove`].
+//! * **De facto rules** exhibit *information flow* and add implicit edges
+//!   labelled `r`: [`DeFactoRule::Post`], [`DeFactoRule::Pass`],
+//!   [`DeFactoRule::Spy`], [`DeFactoRule::Find`]. They may consume either
+//!   explicit or implicit `r`/`w` edges.
+//!
+//! Every rule application is checked against the paper's exact
+//! preconditions and yields an [`Effect`] describing the change; sequences
+//! of rules are recorded as replayable [`Derivation`]s. The edge-reversal
+//! constructions behind the paper's Lemmas 2.1 and 2.2 are provided in
+//! [`lemmas`].
+//!
+//! # Examples
+//!
+//! ```
+//! use tg_graph::{ProtectionGraph, Rights};
+//! use tg_rules::{apply, DeJureRule, Rule};
+//!
+//! // s --t--> a --r--> o : s takes (r to o) from a.
+//! let mut g = ProtectionGraph::new();
+//! let s = g.add_subject("s");
+//! let a = g.add_object("a");
+//! let o = g.add_object("o");
+//! g.add_edge(s, a, Rights::T).unwrap();
+//! g.add_edge(a, o, Rights::R).unwrap();
+//!
+//! apply(&mut g, &Rule::DeJure(DeJureRule::Take {
+//!     actor: s, via: a, target: o, rights: Rights::R,
+//! })).unwrap();
+//! assert!(g.rights(s, o).explicit().contains_all(Rights::R));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod derivation;
+mod error;
+pub mod lemmas;
+mod rule;
+
+pub use derivation::{Derivation, ReplayError, Session};
+pub use error::RuleError;
+pub use rule::{apply, preview, DeFactoRule, DeJureRule, Effect, Rule};

@@ -1,0 +1,883 @@
+//! Rule definitions, precondition checking and application.
+
+use core::fmt;
+
+use tg_graph::{ProtectionGraph, Right, Rights, VertexId, VertexKind};
+
+use crate::error::RuleError;
+
+/// A de jure rule (paper §2): transfers *authority* by manipulating
+/// explicit edges. Only subjects may invoke rules.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DeJureRule {
+    /// *x takes (δ to z) from y*: requires subject `x`, explicit `t` on
+    /// `x → y` and `δ ⊆ β` on `y → z`; adds explicit `x → z : δ`.
+    Take {
+        /// The acting subject `x`.
+        actor: VertexId,
+        /// The vertex `y` taken from.
+        via: VertexId,
+        /// The vertex `z` the rights refer to.
+        target: VertexId,
+        /// The rights δ to copy.
+        rights: Rights,
+    },
+    /// *x grants (δ to z) to y*: requires subject `x`, explicit `g` on
+    /// `x → y` and `δ ⊆ β` on `x → z`; adds explicit `y → z : δ`.
+    Grant {
+        /// The acting subject `x`.
+        actor: VertexId,
+        /// The vertex `y` receiving the rights.
+        via: VertexId,
+        /// The vertex `z` the rights refer to.
+        target: VertexId,
+        /// The rights δ to give.
+        rights: Rights,
+    },
+    /// *x creates (δ to) new {subject|object} y*: adds a fresh vertex `y`
+    /// and, if δ is nonempty, an explicit edge `x → y : δ`.
+    Create {
+        /// The acting subject `x`.
+        actor: VertexId,
+        /// Whether the new vertex is a subject or an object.
+        kind: VertexKind,
+        /// The rights δ the creator receives over the new vertex.
+        rights: Rights,
+        /// Display name for the new vertex.
+        name: String,
+    },
+    /// *x removes (α to) y*: deletes the rights `α ∩ β` from the explicit
+    /// edge `x → y : β`; the edge disappears if its label empties.
+    Remove {
+        /// The acting subject `x`.
+        actor: VertexId,
+        /// The vertex `y` whose incoming rights are removed.
+        target: VertexId,
+        /// The rights α to delete.
+        rights: Rights,
+    },
+}
+
+/// A de facto rule (paper §3, after Bishop–Snyder 1979): exhibits potential
+/// *information flow* by adding an implicit edge labelled `r`. The `r`/`w`
+/// edges a de facto rule consumes may themselves be explicit or implicit.
+///
+/// All four rules use the paper's `x, y, z` naming; an implicit edge
+/// `x ⇢ z : r` (the conclusion of each rule) means information can flow
+/// from `z` to `x`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DeFactoRule {
+    /// `x →r y ← w← z`, with `x` and `z` subjects: `z` writes into the
+    /// shared vertex `y` and `x` reads it. Adds `x ⇢ z : r`.
+    Post {
+        /// The reading subject `x`.
+        x: VertexId,
+        /// The shared vertex `y` (may be an object).
+        y: VertexId,
+        /// The writing subject `z`.
+        z: VertexId,
+    },
+    /// `y →w x` and `y →r z`, with `y` a subject: `y` reads `z` and writes
+    /// what it read into `x`. Adds `x ⇢ z : r`.
+    Pass {
+        /// The receiving vertex `x` (may be an object).
+        x: VertexId,
+        /// The forwarding subject `y`.
+        y: VertexId,
+        /// The vertex `z` being read.
+        z: VertexId,
+    },
+    /// `x →r y` and `y →r z`, with `x` and `y` subjects: `x` reads over
+    /// `y`'s shoulder. Adds `x ⇢ z : r`.
+    Spy {
+        /// The spying subject `x`.
+        x: VertexId,
+        /// The intermediate subject `y`.
+        y: VertexId,
+        /// The vertex `z` being read.
+        z: VertexId,
+    },
+    /// `y →w x` and `z →w y`, with `y` and `z` subjects: `z` forwards its
+    /// information through `y` into `x`. Adds `x ⇢ z : r`.
+    Find {
+        /// The receiving vertex `x` (may be an object).
+        x: VertexId,
+        /// The intermediate subject `y`.
+        y: VertexId,
+        /// The originating subject `z`.
+        z: VertexId,
+    },
+}
+
+/// Any rewriting rule.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Rule {
+    /// A de jure (authority) rule.
+    DeJure(DeJureRule),
+    /// A de facto (information) rule.
+    DeFacto(DeFactoRule),
+}
+
+impl From<DeJureRule> for Rule {
+    fn from(r: DeJureRule) -> Rule {
+        Rule::DeJure(r)
+    }
+}
+
+impl From<DeFactoRule> for Rule {
+    fn from(r: DeFactoRule) -> Rule {
+        Rule::DeFacto(r)
+    }
+}
+
+impl Rule {
+    /// The subject invoking the rule. For de facto rules this is the
+    /// vertex gaining the implicit edge if it is a subject, else the
+    /// cooperating subject named first by the rule.
+    pub fn actor(&self) -> VertexId {
+        match self {
+            Rule::DeJure(r) => match r {
+                DeJureRule::Take { actor, .. }
+                | DeJureRule::Grant { actor, .. }
+                | DeJureRule::Create { actor, .. }
+                | DeJureRule::Remove { actor, .. } => *actor,
+            },
+            Rule::DeFacto(r) => match r {
+                DeFactoRule::Post { x, .. } | DeFactoRule::Spy { x, .. } => *x,
+                DeFactoRule::Pass { y, .. } => *y,
+                DeFactoRule::Find { y, .. } => *y,
+            },
+        }
+    }
+
+    /// Whether this is a de jure rule.
+    pub fn is_de_jure(&self) -> bool {
+        matches!(self, Rule::DeJure(_))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rule::DeJure(DeJureRule::Take {
+                actor,
+                via,
+                target,
+                rights,
+            }) => write!(f, "{actor} takes ({rights} to {target}) from {via}"),
+            Rule::DeJure(DeJureRule::Grant {
+                actor,
+                via,
+                target,
+                rights,
+            }) => write!(f, "{actor} grants ({rights} to {target}) to {via}"),
+            Rule::DeJure(DeJureRule::Create {
+                actor,
+                kind,
+                rights,
+                name,
+            }) => write!(f, "{actor} creates ({rights} to) new {kind} \"{name}\""),
+            Rule::DeJure(DeJureRule::Remove {
+                actor,
+                target,
+                rights,
+            }) => write!(f, "{actor} removes ({rights} to) {target}"),
+            Rule::DeFacto(DeFactoRule::Post { x, y, z }) => {
+                write!(f, "post: {z} writes {y}, {x} reads {y}")
+            }
+            Rule::DeFacto(DeFactoRule::Pass { x, y, z }) => {
+                write!(f, "pass: {y} reads {z} and writes {x}")
+            }
+            Rule::DeFacto(DeFactoRule::Spy { x, y, z }) => {
+                write!(f, "spy: {x} reads {y}, {y} reads {z}")
+            }
+            Rule::DeFacto(DeFactoRule::Find { x, y, z }) => {
+                write!(f, "find: {z} writes {y}, {y} writes {x}")
+            }
+        }
+    }
+}
+
+/// The change a successfully applied rule makes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Effect {
+    /// An explicit edge gained `rights` (de jure take/grant).
+    ExplicitAdded {
+        /// Edge source.
+        src: VertexId,
+        /// Edge destination.
+        dst: VertexId,
+        /// Rights added (may duplicate existing rights).
+        rights: Rights,
+    },
+    /// An implicit edge gained `rights` (de facto rules; always `{r}`).
+    ImplicitAdded {
+        /// Edge source.
+        src: VertexId,
+        /// Edge destination.
+        dst: VertexId,
+        /// Rights added.
+        rights: Rights,
+    },
+    /// A vertex was created, with `rights` on the creator's edge to it.
+    /// `id` is the id the new vertex receives (or would receive, for
+    /// [`preview`]).
+    Created {
+        /// The new vertex's id.
+        id: VertexId,
+        /// The creating subject.
+        creator: VertexId,
+        /// The creator's rights over the new vertex.
+        rights: Rights,
+    },
+    /// Explicit rights were removed from an edge.
+    Removed {
+        /// Edge source.
+        src: VertexId,
+        /// Edge destination.
+        dst: VertexId,
+        /// The rights actually deleted (`α ∩ β`).
+        removed: Rights,
+    },
+}
+
+fn distinct3(a: VertexId, b: VertexId, c: VertexId) -> Result<(), RuleError> {
+    if a == b || b == c || a == c {
+        Err(RuleError::VerticesNotDistinct)
+    } else {
+        Ok(())
+    }
+}
+
+fn require_subject(
+    g: &ProtectionGraph,
+    v: VertexId,
+    role: &'static str,
+) -> Result<(), RuleError> {
+    if !g.contains_vertex(v) {
+        return Err(RuleError::Graph(tg_graph::GraphError::UnknownVertex(v)));
+    }
+    if g.is_subject(v) {
+        Ok(())
+    } else {
+        Err(RuleError::NotSubject(v, role))
+    }
+}
+
+fn require_vertex(g: &ProtectionGraph, v: VertexId) -> Result<(), RuleError> {
+    if g.contains_vertex(v) {
+        Ok(())
+    } else {
+        Err(RuleError::Graph(tg_graph::GraphError::UnknownVertex(v)))
+    }
+}
+
+fn require_explicit(
+    g: &ProtectionGraph,
+    src: VertexId,
+    dst: VertexId,
+    right: Right,
+) -> Result<(), RuleError> {
+    if g.rights(src, dst).explicit().contains(right) {
+        Ok(())
+    } else {
+        Err(RuleError::MissingExplicit { src, dst, right })
+    }
+}
+
+fn require_any(
+    g: &ProtectionGraph,
+    src: VertexId,
+    dst: VertexId,
+    right: Right,
+) -> Result<(), RuleError> {
+    if g.rights(src, dst).combined().contains(right) {
+        Ok(())
+    } else {
+        Err(RuleError::MissingAny { src, dst, right })
+    }
+}
+
+/// Checks every precondition of `rule` against `graph` and returns the
+/// [`Effect`] it *would* have, without mutating anything. The reference
+/// monitor's constant-time restriction check (Corollary 5.7) is built on
+/// this.
+pub fn preview(graph: &ProtectionGraph, rule: &Rule) -> Result<Effect, RuleError> {
+    match rule {
+        Rule::DeJure(DeJureRule::Take {
+            actor,
+            via,
+            target,
+            rights,
+        }) => {
+            distinct3(*actor, *via, *target)?;
+            require_subject(graph, *actor, "x")?;
+            require_vertex(graph, *via)?;
+            require_vertex(graph, *target)?;
+            require_explicit(graph, *actor, *via, Right::Take)?;
+            let beta = graph.rights(*via, *target).explicit();
+            if !beta.contains_all(*rights) {
+                return Err(RuleError::NotSubset {
+                    src: *via,
+                    dst: *target,
+                });
+            }
+            if rights.is_empty() {
+                return Err(RuleError::Graph(tg_graph::GraphError::EmptyRights));
+            }
+            Ok(Effect::ExplicitAdded {
+                src: *actor,
+                dst: *target,
+                rights: *rights,
+            })
+        }
+        Rule::DeJure(DeJureRule::Grant {
+            actor,
+            via,
+            target,
+            rights,
+        }) => {
+            distinct3(*actor, *via, *target)?;
+            require_subject(graph, *actor, "x")?;
+            require_vertex(graph, *via)?;
+            require_vertex(graph, *target)?;
+            require_explicit(graph, *actor, *via, Right::Grant)?;
+            let beta = graph.rights(*actor, *target).explicit();
+            if !beta.contains_all(*rights) {
+                return Err(RuleError::NotSubset {
+                    src: *actor,
+                    dst: *target,
+                });
+            }
+            if rights.is_empty() {
+                return Err(RuleError::Graph(tg_graph::GraphError::EmptyRights));
+            }
+            Ok(Effect::ExplicitAdded {
+                src: *via,
+                dst: *target,
+                rights: *rights,
+            })
+        }
+        Rule::DeJure(DeJureRule::Create { actor, rights, .. }) => {
+            require_subject(graph, *actor, "x")?;
+            Ok(Effect::Created {
+                id: VertexId::from_index(graph.vertex_count()),
+                creator: *actor,
+                rights: *rights,
+            })
+        }
+        Rule::DeJure(DeJureRule::Remove {
+            actor,
+            target,
+            rights,
+        }) => {
+            if actor == target {
+                return Err(RuleError::VerticesNotDistinct);
+            }
+            require_subject(graph, *actor, "x")?;
+            require_vertex(graph, *target)?;
+            let beta = graph.rights(*actor, *target).explicit();
+            if beta.is_empty() {
+                return Err(RuleError::NoEdgeToRemove {
+                    src: *actor,
+                    dst: *target,
+                });
+            }
+            Ok(Effect::Removed {
+                src: *actor,
+                dst: *target,
+                removed: beta.intersection(*rights),
+            })
+        }
+        Rule::DeFacto(rule) => {
+            let (x, y, z) = match rule {
+                DeFactoRule::Post { x, y, z }
+                | DeFactoRule::Pass { x, y, z }
+                | DeFactoRule::Spy { x, y, z }
+                | DeFactoRule::Find { x, y, z } => (*x, *y, *z),
+            };
+            distinct3(x, y, z)?;
+            require_vertex(graph, x)?;
+            require_vertex(graph, y)?;
+            require_vertex(graph, z)?;
+            match rule {
+                DeFactoRule::Post { .. } => {
+                    require_subject(graph, x, "x")?;
+                    require_subject(graph, z, "z")?;
+                    require_any(graph, x, y, Right::Read)?;
+                    require_any(graph, z, y, Right::Write)?;
+                }
+                DeFactoRule::Pass { .. } => {
+                    require_subject(graph, y, "y")?;
+                    require_any(graph, y, x, Right::Write)?;
+                    require_any(graph, y, z, Right::Read)?;
+                }
+                DeFactoRule::Spy { .. } => {
+                    require_subject(graph, x, "x")?;
+                    require_subject(graph, y, "y")?;
+                    require_any(graph, x, y, Right::Read)?;
+                    require_any(graph, y, z, Right::Read)?;
+                }
+                DeFactoRule::Find { .. } => {
+                    require_subject(graph, y, "y")?;
+                    require_subject(graph, z, "z")?;
+                    require_any(graph, y, x, Right::Write)?;
+                    require_any(graph, z, y, Right::Write)?;
+                }
+            }
+            Ok(Effect::ImplicitAdded {
+                src: x,
+                dst: z,
+                rights: Rights::R,
+            })
+        }
+    }
+}
+
+/// Applies `rule` to `graph`, returning the resulting [`Effect`]. The graph
+/// is unchanged on error.
+pub fn apply(graph: &mut ProtectionGraph, rule: &Rule) -> Result<Effect, RuleError> {
+    let effect = preview(graph, rule)?;
+    match &effect {
+        Effect::ExplicitAdded { src, dst, rights } => {
+            graph.add_edge(*src, *dst, *rights)?;
+        }
+        Effect::ImplicitAdded { src, dst, rights } => {
+            graph.add_implicit_edge(*src, *dst, *rights)?;
+        }
+        Effect::Created { creator, rights, .. } => {
+            let Rule::DeJure(DeJureRule::Create { kind, name, .. }) = rule else {
+                unreachable!("Created effect comes from Create rules only");
+            };
+            let id = graph.add_vertex(*kind, name.clone());
+            if !rights.is_empty() {
+                graph.add_edge(*creator, id, *rights)?;
+            }
+        }
+        Effect::Removed { src, dst, removed } => {
+            if !removed.is_empty() {
+                graph.remove_explicit_rights(*src, *dst, *removed)?;
+            }
+        }
+    }
+    Ok(effect)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ProtectionGraph, VertexId, VertexId, VertexId) {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let y = g.add_subject("y");
+        let z = g.add_object("z");
+        (g, x, y, z)
+    }
+
+    #[test]
+    fn take_copies_rights() {
+        let (mut g, x, y, z) = setup();
+        g.add_edge(x, y, Rights::T).unwrap();
+        g.add_edge(y, z, Rights::RW).unwrap();
+        let effect = apply(
+            &mut g,
+            &Rule::DeJure(DeJureRule::Take {
+                actor: x,
+                via: y,
+                target: z,
+                rights: Rights::R,
+            }),
+        )
+        .unwrap();
+        assert_eq!(
+            effect,
+            Effect::ExplicitAdded {
+                src: x,
+                dst: z,
+                rights: Rights::R
+            }
+        );
+        assert!(g.has_explicit(x, z, Right::Read));
+        // The source edge is untouched (take copies).
+        assert_eq!(g.rights(y, z).explicit(), Rights::RW);
+    }
+
+    #[test]
+    fn take_requires_subject_actor() {
+        let (mut g, x, y, z) = setup();
+        g.add_edge(z, y, Rights::T).unwrap();
+        g.add_edge(y, x, Rights::R).unwrap();
+        let err = apply(
+            &mut g,
+            &Rule::DeJure(DeJureRule::Take {
+                actor: z,
+                via: y,
+                target: x,
+                rights: Rights::R,
+            }),
+        )
+        .unwrap_err();
+        assert_eq!(err, RuleError::NotSubject(z, "x"));
+    }
+
+    #[test]
+    fn take_requires_take_right_and_subset() {
+        let (mut g, x, y, z) = setup();
+        g.add_edge(x, y, Rights::G).unwrap();
+        g.add_edge(y, z, Rights::R).unwrap();
+        let take = |rights| {
+            Rule::DeJure(DeJureRule::Take {
+                actor: x,
+                via: y,
+                target: z,
+                rights,
+            })
+        };
+        assert_eq!(
+            preview(&g, &take(Rights::R)).unwrap_err(),
+            RuleError::MissingExplicit {
+                src: x,
+                dst: y,
+                right: Right::Take
+            }
+        );
+        g.add_edge(x, y, Rights::T).unwrap();
+        assert_eq!(
+            preview(&g, &take(Rights::W)).unwrap_err(),
+            RuleError::NotSubset { src: y, dst: z }
+        );
+        assert!(preview(&g, &take(Rights::R)).is_ok());
+    }
+
+    #[test]
+    fn take_ignores_implicit_edges() {
+        let (mut g, x, y, z) = setup();
+        g.add_edge(x, y, Rights::T).unwrap();
+        g.add_implicit_edge(y, z, Rights::R).unwrap();
+        let err = preview(
+            &g,
+            &Rule::DeJure(DeJureRule::Take {
+                actor: x,
+                via: y,
+                target: z,
+                rights: Rights::R,
+            }),
+        )
+        .unwrap_err();
+        assert_eq!(err, RuleError::NotSubset { src: y, dst: z });
+    }
+
+    #[test]
+    fn grant_gives_own_rights() {
+        let (mut g, x, y, z) = setup();
+        g.add_edge(x, y, Rights::G).unwrap();
+        g.add_edge(x, z, Rights::RW).unwrap();
+        apply(
+            &mut g,
+            &Rule::DeJure(DeJureRule::Grant {
+                actor: x,
+                via: y,
+                target: z,
+                rights: Rights::W,
+            }),
+        )
+        .unwrap();
+        assert!(g.has_explicit(y, z, Right::Write));
+        assert!(!g.has_explicit(y, z, Right::Read));
+    }
+
+    #[test]
+    fn grant_requires_grant_right() {
+        let (mut g, x, y, z) = setup();
+        g.add_edge(x, y, Rights::T).unwrap();
+        g.add_edge(x, z, Rights::R).unwrap();
+        let err = preview(
+            &g,
+            &Rule::DeJure(DeJureRule::Grant {
+                actor: x,
+                via: y,
+                target: z,
+                rights: Rights::R,
+            }),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuleError::MissingExplicit { .. }));
+    }
+
+    #[test]
+    fn create_adds_vertex_and_edge() {
+        let (mut g, x, _, _) = setup();
+        let effect = apply(
+            &mut g,
+            &Rule::DeJure(DeJureRule::Create {
+                actor: x,
+                kind: VertexKind::Object,
+                rights: Rights::TG,
+                name: "buf".to_string(),
+            }),
+        )
+        .unwrap();
+        let Effect::Created { id, .. } = effect else {
+            panic!("expected Created");
+        };
+        assert!(g.is_object(id));
+        assert_eq!(g.rights(x, id).explicit(), Rights::TG);
+        assert_eq!(g.vertex(id).name, "buf");
+    }
+
+    #[test]
+    fn create_with_empty_rights_adds_isolated_vertex() {
+        let (mut g, x, _, _) = setup();
+        let effect = apply(
+            &mut g,
+            &Rule::DeJure(DeJureRule::Create {
+                actor: x,
+                kind: VertexKind::Subject,
+                rights: Rights::EMPTY,
+                name: "lonely".to_string(),
+            }),
+        )
+        .unwrap();
+        let Effect::Created { id, .. } = effect else {
+            panic!("expected Created");
+        };
+        assert_eq!(g.out_edges(x).count(), 0);
+        assert!(g.is_subject(id));
+    }
+
+    #[test]
+    fn create_requires_subject() {
+        let (mut g, _, _, z) = setup();
+        let err = apply(
+            &mut g,
+            &Rule::DeJure(DeJureRule::Create {
+                actor: z,
+                kind: VertexKind::Object,
+                rights: Rights::R,
+                name: "n".to_string(),
+            }),
+        )
+        .unwrap_err();
+        assert_eq!(err, RuleError::NotSubject(z, "x"));
+    }
+
+    #[test]
+    fn remove_deletes_intersection_only() {
+        let (mut g, x, y, _) = setup();
+        g.add_edge(x, y, Rights::RW).unwrap();
+        let effect = apply(
+            &mut g,
+            &Rule::DeJure(DeJureRule::Remove {
+                actor: x,
+                target: y,
+                rights: Rights::R | Rights::T,
+            }),
+        )
+        .unwrap();
+        assert_eq!(
+            effect,
+            Effect::Removed {
+                src: x,
+                dst: y,
+                removed: Rights::R
+            }
+        );
+        assert_eq!(g.rights(x, y).explicit(), Rights::W);
+    }
+
+    #[test]
+    fn remove_requires_existing_edge() {
+        let (mut g, x, y, _) = setup();
+        let err = apply(
+            &mut g,
+            &Rule::DeJure(DeJureRule::Remove {
+                actor: x,
+                target: y,
+                rights: Rights::R,
+            }),
+        )
+        .unwrap_err();
+        assert_eq!(err, RuleError::NoEdgeToRemove { src: x, dst: y });
+    }
+
+    #[test]
+    fn post_needs_two_subjects_and_shared_vertex() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let y = g.add_object("y");
+        let z = g.add_subject("z");
+        g.add_edge(x, y, Rights::R).unwrap();
+        g.add_edge(z, y, Rights::W).unwrap();
+        let effect = apply(&mut g, &Rule::DeFacto(DeFactoRule::Post { x, y, z })).unwrap();
+        assert_eq!(
+            effect,
+            Effect::ImplicitAdded {
+                src: x,
+                dst: z,
+                rights: Rights::R
+            }
+        );
+        assert!(g.rights(x, z).implicit().contains(Right::Read));
+        assert!(g.rights(x, z).explicit().is_empty());
+    }
+
+    #[test]
+    fn post_rejects_object_endpoints() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_object("x");
+        let y = g.add_object("y");
+        let z = g.add_subject("z");
+        g.add_edge(x, y, Rights::R).unwrap();
+        g.add_edge(z, y, Rights::W).unwrap();
+        let err = preview(&g, &Rule::DeFacto(DeFactoRule::Post { x, y, z })).unwrap_err();
+        assert_eq!(err, RuleError::NotSubject(x, "x"));
+    }
+
+    #[test]
+    fn pass_needs_subject_middle_only() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_object("x");
+        let y = g.add_subject("y");
+        let z = g.add_object("z");
+        g.add_edge(y, x, Rights::W).unwrap();
+        g.add_edge(y, z, Rights::R).unwrap();
+        apply(&mut g, &Rule::DeFacto(DeFactoRule::Pass { x, y, z })).unwrap();
+        assert!(g.rights(x, z).implicit().contains(Right::Read));
+    }
+
+    #[test]
+    fn spy_chains_reads() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let y = g.add_subject("y");
+        let z = g.add_object("z");
+        g.add_edge(x, y, Rights::R).unwrap();
+        g.add_edge(y, z, Rights::R).unwrap();
+        apply(&mut g, &Rule::DeFacto(DeFactoRule::Spy { x, y, z })).unwrap();
+        assert!(g.rights(x, z).implicit().contains(Right::Read));
+    }
+
+    #[test]
+    fn spy_requires_middle_subject() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let y = g.add_object("y");
+        let z = g.add_object("z");
+        g.add_edge(x, y, Rights::R).unwrap();
+        g.add_edge(y, z, Rights::R).unwrap();
+        let err = preview(&g, &Rule::DeFacto(DeFactoRule::Spy { x, y, z })).unwrap_err();
+        assert_eq!(err, RuleError::NotSubject(y, "y"));
+    }
+
+    #[test]
+    fn find_chains_writes() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_object("x");
+        let y = g.add_subject("y");
+        let z = g.add_subject("z");
+        g.add_edge(y, x, Rights::W).unwrap();
+        g.add_edge(z, y, Rights::W).unwrap();
+        apply(&mut g, &Rule::DeFacto(DeFactoRule::Find { x, y, z })).unwrap();
+        assert!(g.rights(x, z).implicit().contains(Right::Read));
+    }
+
+    #[test]
+    fn de_facto_rules_compose_over_implicit_edges() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let y = g.add_subject("y");
+        let z = g.add_object("z");
+        g.add_implicit_edge(x, y, Rights::R).unwrap();
+        g.add_edge(y, z, Rights::R).unwrap();
+        assert!(preview(&g, &Rule::DeFacto(DeFactoRule::Spy { x, y, z })).is_ok());
+    }
+
+    #[test]
+    fn de_facto_requires_missing_edge_error() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let y = g.add_subject("y");
+        let z = g.add_subject("z");
+        g.add_edge(x, y, Rights::R).unwrap();
+        let err = preview(&g, &Rule::DeFacto(DeFactoRule::Spy { x, y, z })).unwrap_err();
+        assert_eq!(
+            err,
+            RuleError::MissingAny {
+                src: y,
+                dst: z,
+                right: Right::Read
+            }
+        );
+    }
+
+    #[test]
+    fn distinctness_is_enforced_everywhere() {
+        let (mut g, x, y, _) = setup();
+        g.add_edge(x, y, Rights::TG).unwrap();
+        let err = apply(
+            &mut g,
+            &Rule::DeJure(DeJureRule::Take {
+                actor: x,
+                via: y,
+                target: x,
+                rights: Rights::R,
+            }),
+        )
+        .unwrap_err();
+        assert_eq!(err, RuleError::VerticesNotDistinct);
+        let err = preview(&g, &Rule::DeFacto(DeFactoRule::Post { x, y: x, z: y })).unwrap_err();
+        assert_eq!(err, RuleError::VerticesNotDistinct);
+    }
+
+    #[test]
+    fn unknown_vertices_are_graph_errors() {
+        let (g, x, y, _) = setup();
+        let bogus = VertexId::from_index(42);
+        let err = preview(
+            &g,
+            &Rule::DeJure(DeJureRule::Take {
+                actor: x,
+                via: y,
+                target: bogus,
+                rights: Rights::R,
+            }),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuleError::Graph(_)));
+    }
+
+    #[test]
+    fn preview_does_not_mutate() {
+        let (mut g, x, y, z) = setup();
+        g.add_edge(x, y, Rights::T).unwrap();
+        g.add_edge(y, z, Rights::R).unwrap();
+        let snapshot = g.clone();
+        preview(
+            &g,
+            &Rule::DeJure(DeJureRule::Take {
+                actor: x,
+                via: y,
+                target: z,
+                rights: Rights::R,
+            }),
+        )
+        .unwrap();
+        assert_eq!(g, snapshot);
+    }
+
+    #[test]
+    fn rule_display_is_readable() {
+        let (_, x, y, z) = setup();
+        let rule = Rule::DeJure(DeJureRule::Take {
+            actor: x,
+            via: y,
+            target: z,
+            rights: Rights::R,
+        });
+        assert_eq!(rule.to_string(), "v0 takes (r to v2) from v1");
+    }
+}

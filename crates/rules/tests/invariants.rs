@@ -1,0 +1,185 @@
+//! Rule-engine invariants under random rule streams: whatever sequence of
+//! (attempted) rules runs, the graph stays structurally well-formed and
+//! the two edge families evolve only the ways the model allows.
+
+use proptest::prelude::*;
+use tg_graph::{ProtectionGraph, Rights, VertexId, VertexKind};
+use tg_rules::{apply, DeFactoRule, DeJureRule, Rule};
+
+fn base_graph(kinds: &[bool], edges: &[(usize, usize, u8)]) -> ProtectionGraph {
+    let mut g = ProtectionGraph::new();
+    for (i, &is_subject) in kinds.iter().enumerate() {
+        if is_subject {
+            g.add_subject(format!("s{i}"));
+        } else {
+            g.add_object(format!("o{i}"));
+        }
+    }
+    let n = kinds.len();
+    for &(a, b, bits) in edges {
+        let src = VertexId::from_index(a % n);
+        let dst = VertexId::from_index(b % n);
+        if src == dst {
+            continue;
+        }
+        let rights = Rights::from_bits(u16::from(bits) & 0b11111);
+        if rights.is_empty() {
+            continue;
+        }
+        g.add_edge(src, dst, rights).unwrap();
+    }
+    g
+}
+
+fn decode_rule(g: &ProtectionGraph, raw: (u8, usize, usize, usize, u8)) -> Rule {
+    let n = g.vertex_count();
+    let v = |i: usize| VertexId::from_index(i % n);
+    let (kind, a, b, c, bits) = raw;
+    let rights = {
+        let r = Rights::from_bits(u16::from(bits) & 0b11111);
+        if r.is_empty() {
+            Rights::R
+        } else {
+            r
+        }
+    };
+    match kind % 8 {
+        0 => Rule::DeJure(DeJureRule::Take {
+            actor: v(a),
+            via: v(b),
+            target: v(c),
+            rights,
+        }),
+        1 => Rule::DeJure(DeJureRule::Grant {
+            actor: v(a),
+            via: v(b),
+            target: v(c),
+            rights,
+        }),
+        2 => Rule::DeJure(DeJureRule::Create {
+            actor: v(a),
+            kind: if bits % 2 == 0 {
+                VertexKind::Object
+            } else {
+                VertexKind::Subject
+            },
+            rights,
+            name: "fresh".to_string(),
+        }),
+        3 => Rule::DeJure(DeJureRule::Remove {
+            actor: v(a),
+            target: v(b),
+            rights,
+        }),
+        4 => Rule::DeFacto(DeFactoRule::Post {
+            x: v(a),
+            y: v(b),
+            z: v(c),
+        }),
+        5 => Rule::DeFacto(DeFactoRule::Pass {
+            x: v(a),
+            y: v(b),
+            z: v(c),
+        }),
+        6 => Rule::DeFacto(DeFactoRule::Spy {
+            x: v(a),
+            y: v(b),
+            z: v(c),
+        }),
+        _ => Rule::DeFacto(DeFactoRule::Find {
+            x: v(a),
+            y: v(b),
+            z: v(c),
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_rule_streams_preserve_structural_invariants(
+        kinds in prop::collection::vec(prop::bool::weighted(0.6), 2..6),
+        edges in prop::collection::vec((0usize..6, 0usize..6, 0u8..32), 0..10),
+        stream in prop::collection::vec(
+            (0u8..8, 0usize..8, 0usize..8, 0usize..8, 0u8..32),
+            0..40
+        ),
+    ) {
+        let mut g = base_graph(&kinds, &edges);
+        let initial_vertices = g.vertex_count();
+        let mut implicit_pairs: Vec<(VertexId, VertexId)> = g
+            .edges()
+            .filter(|e| !e.rights.implicit.is_empty())
+            .map(|e| (e.src, e.dst))
+            .collect();
+
+        for raw in stream {
+            let rule = decode_rule(&g, raw);
+            let before = g.clone();
+            match apply(&mut g, &rule) {
+                Ok(_) => {}
+                Err(_) => {
+                    // Failed rules must not mutate.
+                    prop_assert_eq!(&g, &before, "a rejected rule changed the graph");
+                    continue;
+                }
+            }
+            // Vertices never disappear.
+            prop_assert!(g.vertex_count() >= before.vertex_count());
+            // No self-edges ever.
+            for e in g.edges() {
+                prop_assert_ne!(e.src, e.dst);
+            }
+            // Implicit rights only grow (no rule removes them).
+            for &(s, d) in &implicit_pairs {
+                prop_assert!(
+                    !g.rights(s, d).implicit().is_empty(),
+                    "an implicit edge vanished"
+                );
+            }
+            implicit_pairs = g
+                .edges()
+                .filter(|e| !e.rights.implicit.is_empty())
+                .map(|e| (e.src, e.dst))
+                .collect();
+            // De facto rules never touch explicit edges.
+            if !rule.is_de_jure() {
+                let explicit_now: Vec<_> = g
+                    .edges()
+                    .filter(|e| !e.rights.explicit.is_empty())
+                    .map(|e| (e.src, e.dst, e.rights.explicit))
+                    .collect();
+                let explicit_before: Vec<_> = before
+                    .edges()
+                    .filter(|e| !e.rights.explicit.is_empty())
+                    .map(|e| (e.src, e.dst, e.rights.explicit))
+                    .collect();
+                prop_assert_eq!(explicit_now, explicit_before);
+            }
+        }
+        prop_assert!(g.vertex_count() >= initial_vertices);
+    }
+
+    /// Replaying a session log on the base graph reproduces the session's
+    /// final graph, whatever the (valid) rule mix was.
+    #[test]
+    fn session_logs_replay_exactly(
+        kinds in prop::collection::vec(prop::bool::weighted(0.7), 2..5),
+        edges in prop::collection::vec((0usize..5, 0usize..5, 0u8..32), 0..8),
+        stream in prop::collection::vec(
+            (0u8..8, 0usize..6, 0usize..6, 0usize..6, 0u8..32),
+            0..25
+        ),
+    ) {
+        let base = base_graph(&kinds, &edges);
+        let mut session = tg_rules::Session::new(base.clone());
+        for raw in stream {
+            let rule = decode_rule(session.graph(), raw);
+            let _ = session.apply(rule);
+        }
+        let (final_graph, log) = session.into_parts();
+        let replayed = log.replayed(&base).expect("logged rules replay");
+        prop_assert_eq!(replayed, final_graph);
+    }
+}

@@ -1,0 +1,254 @@
+//! Seeded random generators.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use tg_graph::{ProtectionGraph, Right, Rights, VertexId, VertexKind};
+use tg_hierarchy::structure::{linear_hierarchy, BuiltHierarchy};
+use tg_rules::{DeFactoRule, DeJureRule, Rule};
+
+/// Configuration for random protection graphs.
+#[derive(Clone, Debug)]
+pub struct GraphGen {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Probability a vertex is a subject.
+    pub subject_ratio: f64,
+    /// Expected number of outgoing edges per vertex.
+    pub out_degree: f64,
+    /// Per-right inclusion probability on a generated edge, as
+    /// `(right, probability)`.
+    pub rights_weights: Vec<(Right, f64)>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GraphGen {
+    fn default() -> GraphGen {
+        GraphGen {
+            vertices: 32,
+            subject_ratio: 0.6,
+            out_degree: 2.0,
+            rights_weights: vec![
+                (Right::Read, 0.45),
+                (Right::Write, 0.35),
+                (Right::Take, 0.35),
+                (Right::Grant, 0.25),
+                (Right::Execute, 0.1),
+            ],
+            seed: 0xB15B0B,
+        }
+    }
+}
+
+impl GraphGen {
+    /// Generates the graph. Deterministic in the configuration.
+    pub fn build(&self) -> ProtectionGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut g = ProtectionGraph::with_capacity(self.vertices);
+        for i in 0..self.vertices {
+            if rng.gen_bool(self.subject_ratio.clamp(0.0, 1.0)) {
+                g.add_subject(format!("s{i}"));
+            } else {
+                g.add_object(format!("o{i}"));
+            }
+        }
+        if self.vertices < 2 {
+            return g;
+        }
+        let edges = (self.vertices as f64 * self.out_degree).round() as usize;
+        for _ in 0..edges {
+            let src = VertexId::from_index(rng.gen_range(0..self.vertices));
+            let dst = VertexId::from_index(rng.gen_range(0..self.vertices));
+            if src == dst {
+                continue;
+            }
+            let mut rights = Rights::EMPTY;
+            for &(right, p) in &self.rights_weights {
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    rights.insert(right);
+                }
+            }
+            if rights.is_empty() {
+                rights = Rights::R;
+            }
+            g.add_edge(src, dst, rights).expect("validated endpoints");
+        }
+        g
+    }
+}
+
+/// A random classified hierarchy: a clean linear structure plus optional
+/// noise edges (which may or may not break security — callers check).
+#[derive(Clone, Debug)]
+pub struct HierarchyGen {
+    /// Number of levels.
+    pub levels: usize,
+    /// Subjects per level.
+    pub per_level: usize,
+    /// Number of random extra `r`/`w` edges injected between random
+    /// vertices.
+    pub noise_edges: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HierarchyGen {
+    fn default() -> HierarchyGen {
+        HierarchyGen {
+            levels: 4,
+            per_level: 4,
+            noise_edges: 0,
+            seed: 7,
+        }
+    }
+}
+
+impl HierarchyGen {
+    /// Generates the hierarchy.
+    pub fn build(&self) -> BuiltHierarchy {
+        let names: Vec<String> = (0..self.levels.max(1)).map(|i| format!("L{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut built = linear_hierarchy(&name_refs, self.per_level.max(1));
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let n = built.graph.vertex_count();
+        for _ in 0..self.noise_edges {
+            let src = VertexId::from_index(rng.gen_range(0..n));
+            let dst = VertexId::from_index(rng.gen_range(0..n));
+            if src == dst {
+                continue;
+            }
+            let right = if rng.gen_bool(0.5) { Rights::R } else { Rights::W };
+            built.graph.add_edge(src, dst, right).expect("validated");
+        }
+        built
+    }
+}
+
+/// Generates a random rule against `graph` — may or may not satisfy the
+/// rule's preconditions; callers feed it to a monitor and observe.
+pub fn random_rule(graph: &ProtectionGraph, rng: &mut impl Rng) -> Rule {
+    let n = graph.vertex_count().max(1);
+    let pick = |rng: &mut dyn RngCore| VertexId::from_index(rng.gen_range(0..n));
+    let rights = Rights::singleton(
+        Right::from_index(rng.gen_range(0..5)).expect("named rights"),
+    );
+    match rng.gen_range(0..6) {
+        0 => Rule::DeJure(DeJureRule::Take {
+            actor: pick(rng),
+            via: pick(rng),
+            target: pick(rng),
+            rights,
+        }),
+        1 => Rule::DeJure(DeJureRule::Grant {
+            actor: pick(rng),
+            via: pick(rng),
+            target: pick(rng),
+            rights,
+        }),
+        2 => Rule::DeJure(DeJureRule::Create {
+            actor: pick(rng),
+            kind: if rng.gen_bool(0.5) {
+                VertexKind::Subject
+            } else {
+                VertexKind::Object
+            },
+            rights,
+            name: "created".to_string(),
+        }),
+        3 => Rule::DeJure(DeJureRule::Remove {
+            actor: pick(rng),
+            target: pick(rng),
+            rights,
+        }),
+        4 => Rule::DeFacto(DeFactoRule::Post {
+            x: pick(rng),
+            y: pick(rng),
+            z: pick(rng),
+        }),
+        _ => Rule::DeFacto(DeFactoRule::Spy {
+            x: pick(rng),
+            y: pick(rng),
+            z: pick(rng),
+        }),
+    }
+}
+
+/// A deterministic stream of random rules.
+pub fn random_trace(graph: &ProtectionGraph, len: usize, seed: u64) -> Vec<Rule> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..len).map(|_| random_rule(graph, &mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_gen_is_deterministic() {
+        let gen = GraphGen::default();
+        assert_eq!(gen.build(), gen.build());
+        let other = GraphGen {
+            seed: 1,
+            ..GraphGen::default()
+        };
+        assert_ne!(gen.build(), other.build());
+    }
+
+    #[test]
+    fn graph_gen_respects_vertex_count() {
+        let g = GraphGen {
+            vertices: 10,
+            ..GraphGen::default()
+        }
+        .build();
+        assert_eq!(g.vertex_count(), 10);
+    }
+
+    #[test]
+    fn degenerate_sizes_do_not_panic() {
+        let g = GraphGen {
+            vertices: 0,
+            ..GraphGen::default()
+        }
+        .build();
+        assert_eq!(g.vertex_count(), 0);
+        let g = GraphGen {
+            vertices: 1,
+            ..GraphGen::default()
+        }
+        .build();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn clean_hierarchies_are_secure() {
+        use tg_hierarchy::secure_policy;
+        let built = HierarchyGen::default().build();
+        assert!(secure_policy(&built.graph, &built.assignment).is_ok());
+    }
+
+    #[test]
+    fn noisy_hierarchies_parse_and_sometimes_breach() {
+        use tg_hierarchy::secure_policy;
+        let mut breached = 0;
+        for seed in 0..8 {
+            let built = HierarchyGen {
+                noise_edges: 6,
+                seed,
+                ..HierarchyGen::default()
+            }
+            .build();
+            if secure_policy(&built.graph, &built.assignment).is_err() {
+                breached += 1;
+            }
+        }
+        assert!(breached > 0, "six random rw edges should breach sometimes");
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let g = GraphGen::default().build();
+        assert_eq!(random_trace(&g, 20, 3), random_trace(&g, 20, 3));
+        assert_eq!(random_trace(&g, 20, 3).len(), 20);
+    }
+}

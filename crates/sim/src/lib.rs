@@ -1,0 +1,18 @@
+//! Workload generators, adversaries and the figure scenario library.
+//!
+//! * [`gen`] — seeded random protection graphs, classified hierarchies
+//!   with noise, and random rule traces (the fuzzing side of the test
+//!   suite and the input side of the benchmarks).
+//! * [`workload`] — deterministic parametric graph families (take-chains,
+//!   island chains, bridge chains, hierarchies) whose analysis cost scales
+//!   predictably; the benches sweep their size parameters to reproduce
+//!   the paper's complexity claims.
+//! * [`scenarios`] — every figure of the paper reconstructed as an
+//!   executable scenario with its expected facts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod scenarios;
+pub mod workload;

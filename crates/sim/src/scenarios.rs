@@ -1,0 +1,341 @@
+//! Every figure of the paper as an executable scenario.
+//!
+//! Each constructor rebuilds the figure's protection graph and returns the
+//! handles its caption talks about; the module tests assert exactly the
+//! facts the paper states. The benches and the `tgq` CLI reuse these.
+
+use tg_graph::{ProtectionGraph, Rights, VertexId};
+use tg_hierarchy::levels::LevelAssignment;
+use tg_hierarchy::structure::{linear_hierarchy, military_hierarchy, BuiltHierarchy};
+use tg_hierarchy::wu;
+use tg_rules::Derivation;
+
+/// Figure 2.1 — Wu's hierarchical model before and after the Lemma 2.1
+/// conspiracy: a middle-level subject acquires take rights over its
+/// sibling by conspiring with their common superior.
+pub struct Fig21 {
+    /// The Wu hierarchy (3 levels, branching 2).
+    pub wu: wu::WuHierarchy,
+    /// The conspiracy derivation.
+    pub derivation: Derivation,
+    /// The conspiring inferior.
+    pub conspirator: VertexId,
+    /// The sibling whose authority is usurped.
+    pub victim: VertexId,
+}
+
+/// Builds Figure 2.1.
+pub fn fig_2_1() -> Fig21 {
+    let (wu, derivation, (conspirator, victim)) = wu::figure_2_1();
+    Fig21 {
+        wu,
+        derivation,
+        conspirator,
+        victim,
+    }
+}
+
+/// Figure 2.2 — the take-grant vocabulary illustration: islands
+/// `{p, u}`, `{w}`, `{y, s'}`; bridges `u ↝ w` and `w ↝ y`; initial span
+/// from `p` (word `g>`); terminal span from `s'` to `s` (word `t>`).
+pub struct Fig22 {
+    /// The graph.
+    pub graph: ProtectionGraph,
+    /// Named handles: p, u, v, w, x, y, s', s, q.
+    pub p: VertexId,
+    /// See [`Fig22::p`].
+    pub u: VertexId,
+    /// Bridge midpoint between u and w.
+    pub v: VertexId,
+    /// The middle island's only subject.
+    pub w: VertexId,
+    /// Bridge midpoint between w and y.
+    pub x: VertexId,
+    /// Subject of the right island.
+    pub y: VertexId,
+    /// The terminal spanner s'.
+    pub s_prime: VertexId,
+    /// The span target s.
+    pub s: VertexId,
+    /// The initial-span target q.
+    pub q: VertexId,
+}
+
+/// Builds Figure 2.2.
+pub fn fig_2_2() -> Fig22 {
+    let mut graph = ProtectionGraph::new();
+    let p = graph.add_subject("p");
+    let u = graph.add_subject("u");
+    let v = graph.add_object("v");
+    let w = graph.add_subject("w");
+    let x = graph.add_object("x");
+    let y = graph.add_subject("y");
+    let s_prime = graph.add_subject("s'");
+    let s = graph.add_object("s");
+    let q = graph.add_object("q");
+    graph.add_edge(p, u, Rights::G).expect("edge"); // island {p, u}
+    graph.add_edge(u, v, Rights::T).expect("edge"); // bridge u -t-> v
+    graph.add_edge(v, w, Rights::T).expect("edge"); //        v -t-> w
+    graph.add_edge(w, x, Rights::T).expect("edge"); // bridge w -t-> x
+    graph.add_edge(x, y, Rights::T).expect("edge"); //        x -t-> y
+    graph.add_edge(y, s_prime, Rights::G).expect("edge"); // island {y, s'}
+    graph.add_edge(s_prime, s, Rights::T).expect("edge"); // terminal span
+    graph.add_edge(p, q, Rights::G).expect("edge"); // initial span
+    Fig22 {
+        graph,
+        p,
+        u,
+        v,
+        w,
+        x,
+        y,
+        s_prime,
+        s,
+        q,
+    }
+}
+
+/// Figure 3.1 — a small graph whose single vertex path carries *two*
+/// associated words (`r> <w` and `w> <w`), illustrating that paths and
+/// words are many-to-many.
+pub struct Fig31 {
+    /// The graph.
+    pub graph: ProtectionGraph,
+    /// Path endpoints and midpoint.
+    pub path: [VertexId; 3],
+}
+
+/// Builds Figure 3.1.
+pub fn fig_3_1() -> Fig31 {
+    let mut graph = ProtectionGraph::new();
+    let a = graph.add_subject("a");
+    let b = graph.add_object("b");
+    let c = graph.add_subject("c");
+    // a -rw-> b gives letters r> and w> on the first step; c -w-> b gives
+    // <w on the second.
+    graph.add_edge(a, b, Rights::RW).expect("edge");
+    graph.add_edge(c, b, Rights::W).expect("edge");
+    Fig31 {
+        graph,
+        path: [a, b, c],
+    }
+}
+
+/// Figure 4.1 — the linear four-level classification, modelled as a
+/// structure (Theorem 4.3).
+pub fn fig_4_1() -> BuiltHierarchy {
+    linear_hierarchy(&["L1", "L2", "L3", "L4"], 2)
+}
+
+/// Figure 4.2 — the military classification system: authority levels
+/// {unclassified, confidential, secret, top-secret} × categories {A, B}.
+pub fn fig_4_2() -> BuiltHierarchy {
+    military_hierarchy(&["A", "B"], 1)
+}
+
+/// Figure 5.1 — the execute-right example: `x` (high) holds `t` over a
+/// vertex holding `{w, e}` to `y` (low). Unrestricted, `x` can take the
+/// write edge and leak downward; under the combined restriction only the
+/// inert `e` can be taken.
+pub struct Fig51 {
+    /// The graph.
+    pub graph: ProtectionGraph,
+    /// The classification (x high, y low).
+    pub assignment: LevelAssignment,
+    /// The high subject.
+    pub x: VertexId,
+    /// The intermediate vertex holding `{w, e}` to y.
+    pub s: VertexId,
+    /// The low subject.
+    pub y: VertexId,
+}
+
+/// Builds Figure 5.1.
+pub fn fig_5_1() -> Fig51 {
+    let mut graph = ProtectionGraph::new();
+    let x = graph.add_subject("x");
+    let s = graph.add_object("s");
+    let y = graph.add_subject("y");
+    graph.add_edge(x, s, Rights::T).expect("edge");
+    graph
+        .add_edge(s, y, Rights::W | Rights::E)
+        .expect("edge");
+    let mut assignment = LevelAssignment::linear(&["low", "high"]);
+    assignment.assign(x, 1).expect("level");
+    assignment.assign(s, 1).expect("level");
+    assignment.assign(y, 0).expect("level");
+    Fig51 {
+        graph,
+        assignment,
+        x,
+        s,
+        y,
+    }
+}
+
+/// Figure 6.1 — a graph whose security is breached by de jure rules
+/// *alone*: `x -t-> s -r-> y` has no de facto flow, yet `x` can take the
+/// read right. This is why restricting only the de facto rules cannot
+/// work (§6).
+pub struct Fig61 {
+    /// The graph.
+    pub graph: ProtectionGraph,
+    /// The classification (x low, y high).
+    pub assignment: LevelAssignment,
+    /// The low subject.
+    pub x: VertexId,
+    /// The intermediate vertex.
+    pub s: VertexId,
+    /// The high object.
+    pub y: VertexId,
+}
+
+/// Builds Figure 6.1.
+pub fn fig_6_1() -> Fig61 {
+    let mut graph = ProtectionGraph::new();
+    let x = graph.add_subject("x");
+    let s = graph.add_object("s");
+    let y = graph.add_object("y");
+    graph.add_edge(x, s, Rights::T).expect("edge");
+    graph.add_edge(s, y, Rights::R).expect("edge");
+    let mut assignment = LevelAssignment::linear(&["low", "high"]);
+    assignment.assign(x, 0).expect("level");
+    assignment.assign(s, 1).expect("level");
+    assignment.assign(y, 1).expect("level");
+    Fig61 {
+        graph,
+        assignment,
+        x,
+        s,
+        y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_analysis::{can_know, can_know_f, can_share, Islands};
+    use tg_graph::Right;
+    use tg_hierarchy::{secure_policy, secure_structural, CombinedRestriction, Monitor};
+    use tg_paths::{associated_words, format_word};
+    use tg_rules::{DeJureRule, Rule};
+
+    #[test]
+    fn fig_2_1_conspiracy_breaches_wu() {
+        let fig = fig_2_1();
+        let after = fig.derivation.replayed(&fig.wu.graph).unwrap();
+        assert!(after.has_explicit(fig.conspirator, fig.victim, Right::Take));
+        assert!(wu::wu_invariant_violated(&after, &fig.wu.assignment));
+    }
+
+    #[test]
+    fn fig_2_2_matches_the_caption() {
+        let fig = fig_2_2();
+        let islands = Islands::compute(&fig.graph);
+        assert_eq!(islands.len(), 3);
+        assert!(islands.same_island(fig.p, fig.u));
+        assert!(islands.same_island(fig.y, fig.s_prime));
+        assert!(!islands.same_island(fig.u, fig.w));
+        // Bridges: u,v,w and w,x,y.
+        let dfa = tg_paths::lang::bridge();
+        let search = tg_paths::PathSearch::new(
+            &fig.graph,
+            &dfa,
+            tg_paths::SearchConfig::explicit_only(),
+        );
+        let hit = search.find(&[fig.u], |v| v == fig.w).unwrap();
+        assert_eq!(hit.vertices, vec![fig.u, fig.v, fig.w]);
+        let hit = search.find(&[fig.w], |v| v == fig.y).unwrap();
+        assert_eq!(hit.vertices, vec![fig.w, fig.x, fig.y]);
+        // Spans.
+        let initial = tg_analysis::initial_spanners(&fig.graph, fig.q);
+        assert!(initial.iter().any(|sp| sp.subject == fig.p
+            && format_word(&sp.word) == "g>"));
+        let terminal = tg_analysis::terminal_spanners(&fig.graph, fig.s);
+        assert!(terminal.iter().any(|sp| sp.subject == fig.s_prime
+            && format_word(&sp.word) == "t>"));
+        // And the punchline: everything composes, so s' sharing r to s
+        // means p's grantee q can receive it.
+        let mut g = fig.graph.clone();
+        g.add_edge(fig.s_prime, fig.s, Rights::R).unwrap();
+        assert!(can_share(&g, Right::Read, fig.q, fig.s));
+    }
+
+    #[test]
+    fn fig_3_1_has_two_associated_words() {
+        let fig = fig_3_1();
+        let words = associated_words(&fig.graph, &fig.path, Rights::RW, false);
+        let mut rendered: Vec<String> = words.iter().map(|w| format_word(w)).collect();
+        rendered.sort();
+        assert_eq!(rendered, vec!["r> <w".to_string(), "w> <w".to_string()]);
+    }
+
+    #[test]
+    fn fig_4_1_realizes_theorem_4_3() {
+        let built = fig_4_1();
+        assert!(secure_policy(&built.graph, &built.assignment).is_ok());
+        let top = built.subjects[3][0];
+        let bottom = built.subjects[0][0];
+        assert!(can_know_f(&built.graph, top, bottom));
+        assert!(!can_know(&built.graph, bottom, top));
+    }
+
+    #[test]
+    fn fig_4_2_realizes_the_military_lattice() {
+        let built = fig_4_2();
+        assert!(secure_policy(&built.graph, &built.assignment).is_ok());
+        assert!(secure_structural(&built.graph, &built.assignment).is_ok());
+        assert_eq!(built.subjects.len(), 16);
+    }
+
+    #[test]
+    fn fig_5_1_restriction_blocks_w_but_not_e() {
+        let fig = fig_5_1();
+        // Unrestricted: the graph is insecure (x can write down to y).
+        assert!(secure_policy(&fig.graph, &fig.assignment).is_err());
+        // Monitored: taking w is denied, taking e succeeds.
+        let mut monitor = Monitor::new(
+            fig.graph.clone(),
+            fig.assignment.clone(),
+            Box::new(CombinedRestriction),
+        );
+        let take_w = Rule::DeJure(DeJureRule::Take {
+            actor: fig.x,
+            via: fig.s,
+            target: fig.y,
+            rights: Rights::W,
+        });
+        assert!(monitor.try_apply(&take_w).is_err());
+        let take_e = Rule::DeJure(DeJureRule::Take {
+            actor: fig.x,
+            via: fig.s,
+            target: fig.y,
+            rights: Rights::E,
+        });
+        assert!(monitor.try_apply(&take_e).is_ok());
+        assert!(monitor.graph().has_explicit(fig.x, fig.y, Right::Execute));
+        // The audit flags exactly the figure's pre-existing s -w-> y edge
+        // (an object-held write-down the restricted rules could never have
+        // created) and nothing the monitor admitted.
+        let violations = monitor.audit();
+        assert_eq!(violations.len(), 1);
+        assert_eq!((violations[0].src, violations[0].dst), (fig.s, fig.y));
+    }
+
+    #[test]
+    fn fig_6_1_breaches_with_de_jure_only() {
+        let fig = fig_6_1();
+        assert!(!can_know_f(&fig.graph, fig.x, fig.y));
+        assert!(can_know(&fig.graph, fig.x, fig.y));
+        assert!(secure_policy(&fig.graph, &fig.assignment).is_err());
+        // The de jure witness uses no de facto rules at all to obtain the
+        // read edge.
+        let d = tg_analysis::synthesis::share_witness(&fig.graph, Right::Read, fig.x, fig.y)
+            .unwrap();
+        assert_eq!(d.de_facto_count(), 0);
+        assert!(d
+            .replayed(&fig.graph)
+            .unwrap()
+            .has_explicit(fig.x, fig.y, Right::Read));
+    }
+}

@@ -1,0 +1,137 @@
+//! Deterministic parametric graph families for scaling benchmarks.
+//!
+//! Each family grows linearly in its parameter and keeps the *shape* of
+//! the answer fixed, so timing a decision procedure across the sweep
+//! exposes its complexity class (the linear-time claims behind Theorem
+//! 2.3's decision procedure and Corollaries 5.6/5.7).
+
+use tg_graph::{ProtectionGraph, Rights, VertexId};
+
+/// A take-chain: `s -t-> v1 -t-> … -t-> vn -r-> o`. `can_share(r, s, o)`
+/// is true via a terminal span of length `n + 1`.
+pub fn take_chain(n: usize) -> (ProtectionGraph, VertexId, VertexId) {
+    let mut g = ProtectionGraph::with_capacity(n + 2);
+    let s = g.add_subject("s");
+    let mut prev = s;
+    for i in 0..n {
+        let v = g.add_object(format!("v{i}"));
+        g.add_edge(prev, v, Rights::T).expect("chain edge");
+        prev = v;
+    }
+    let o = g.add_object("o");
+    g.add_edge(prev, o, Rights::R).expect("final edge");
+    (g, s, o)
+}
+
+/// An alternating island/bridge chain of `hops + 1` single-subject
+/// islands: consecutive subjects are joined by three-edge bridges whose
+/// pivot alternates (`t> g> <t`, then `t> <g <t`) — neither shape
+/// concatenates with the next into a single bridge word, so the island
+/// chain cannot collapse. The last subject holds `r` over a secret.
+/// `can_share(r, first, secret)` is true and needs the whole chain.
+pub fn bridge_chain(hops: usize) -> (ProtectionGraph, VertexId, VertexId) {
+    let mut g = ProtectionGraph::new();
+    let mut subjects = vec![g.add_subject("u0")];
+    for i in 0..hops {
+        let next = g.add_subject(format!("u{}", i + 1));
+        let prev = subjects[i];
+        let v = g.add_object(format!("v{i}"));
+        let w = g.add_object(format!("w{i}"));
+        g.add_edge(prev, v, Rights::T).expect("edge");
+        if i % 2 == 0 {
+            // t> g> <t: prev -t-> v, v -g-> w, next -t-> w.
+            g.add_edge(v, w, Rights::G).expect("edge");
+        } else {
+            // t> <g <t: prev -t-> v, w -g-> v, next -t-> w.
+            g.add_edge(w, v, Rights::G).expect("edge");
+        }
+        g.add_edge(next, w, Rights::T).expect("edge");
+        subjects.push(next);
+    }
+    let secret = g.add_object("secret");
+    g.add_edge(*subjects.last().expect("nonempty"), secret, Rights::R)
+        .expect("edge");
+    (g, subjects[0], secret)
+}
+
+/// A flow chain for `can_know_f`: alternating `r`/`w` steps through
+/// objects, `2n + 1` vertices. Information flows from the far end to `x`.
+pub fn flow_chain(n: usize) -> (ProtectionGraph, VertexId, VertexId) {
+    let mut g = ProtectionGraph::new();
+    let x = g.add_subject("x");
+    let mut reader = x;
+    let mut last = x;
+    for i in 0..n {
+        let o = g.add_object(format!("o{i}"));
+        let s = g.add_subject(format!("s{i}"));
+        g.add_edge(reader, o, Rights::R).expect("edge");
+        g.add_edge(s, o, Rights::W).expect("edge");
+        reader = s;
+        last = s;
+    }
+    (g, x, last)
+}
+
+/// A linear hierarchy with `levels` levels of `per_level` subjects and one
+/// document per level; used by the audit and monitor benches. Returns the
+/// built hierarchy from `tg-hierarchy` directly.
+pub fn hierarchy(levels: usize, per_level: usize) -> tg_hierarchy::structure::BuiltHierarchy {
+    let names: Vec<String> = (0..levels.max(1)).map(|i| format!("L{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut built = tg_hierarchy::structure::linear_hierarchy(&name_refs, per_level.max(1));
+    for level in 0..levels.max(1) {
+        built.attach_object(level, &format!("doc{level}"));
+    }
+    built
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_analysis::{can_know_f, can_share};
+    use tg_graph::Right;
+
+    #[test]
+    fn take_chains_share_at_every_size() {
+        for n in [0, 1, 5, 30] {
+            let (g, s, o) = take_chain(n);
+            assert_eq!(g.vertex_count(), n + 2);
+            assert!(can_share(&g, Right::Read, s, o), "n = {n}");
+            assert!(!can_share(&g, Right::Write, s, o));
+        }
+    }
+
+    #[test]
+    fn bridge_chains_share_across_every_hop_count() {
+        for hops in [0, 1, 2, 5, 8] {
+            let (g, first, secret) = bridge_chain(hops);
+            assert!(can_share(&g, Right::Read, first, secret), "hops = {hops}");
+        }
+    }
+
+    #[test]
+    fn bridge_chains_need_the_whole_chain() {
+        // Removing the middle island's outgoing bridge breaks sharing.
+        let (g, first, secret) = bridge_chain(3);
+        let evidence =
+            tg_analysis::can_share_detail(&g, Right::Read, first, secret).unwrap();
+        assert_eq!(evidence.island_chain.len(), 4);
+        assert_eq!(evidence.bridges.len(), 3);
+    }
+
+    #[test]
+    fn flow_chains_flow_one_way() {
+        for n in [1, 4, 16] {
+            let (g, x, far) = flow_chain(n);
+            assert!(can_know_f(&g, x, far), "n = {n}");
+            assert!(!can_know_f(&g, far, x));
+        }
+    }
+
+    #[test]
+    fn hierarchy_workload_is_secure() {
+        let built = hierarchy(5, 3);
+        assert!(tg_hierarchy::secure_policy(&built.graph, &built.assignment).is_ok());
+        assert_eq!(built.graph.objects().count(), 5);
+    }
+}

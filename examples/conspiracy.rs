@@ -1,0 +1,51 @@
+//! Figure 2.1: why earlier hierarchical Take-Grant models fall to a
+//! two-subject conspiracy, and why the paper's structures do not.
+//!
+//! Run with: `cargo run --example conspiracy`
+
+use take_grant::analysis::can_know;
+use take_grant::graph::{Right, Rights};
+use take_grant::hierarchy::structure::linear_hierarchy;
+use take_grant::hierarchy::wu;
+
+fn main() {
+    println!("== Wu's model: hierarchy by edge direction ==");
+    let (hierarchy, derivation, (conspirator, victim)) = wu::figure_2_1();
+    println!(
+        "a 3-level tree, each superior holds t over its inferiors ({} subjects)",
+        hierarchy.graph.vertex_count()
+    );
+    println!(
+        "the conspirator ({}) holds nothing over its sibling ({}) — yet:",
+        hierarchy.graph.vertex(conspirator).name,
+        hierarchy.graph.vertex(victim).name
+    );
+    println!("\n{derivation}");
+    let after = derivation.replayed(&hierarchy.graph).unwrap();
+    assert!(after.has_explicit(conspirator, victim, Right::Take));
+    println!(
+        "after the conspiracy, {} holds t over {} — Lemma 2.1 moved \
+         authority *against* the hierarchy's edges.",
+        after.vertex(conspirator).name,
+        after.vertex(victim).name
+    );
+    assert!(wu::wu_invariant_violated(&after, &hierarchy.assignment));
+
+    println!("\n== the paper's structures: hierarchy by information flow ==");
+    let built = linear_hierarchy(&["L1", "L2", "L3"], 2);
+    let mut g = built.graph.clone();
+    let top = built.subjects[2][0];
+    let bottom = built.subjects[0][0];
+    let secret = g.add_object("secret");
+    g.add_edge(top, secret, Rights::R).unwrap();
+    println!(
+        "every subject may be corrupt; still can_know(bottom, secret) = {}",
+        can_know(&g, bottom, secret)
+    );
+    assert!(!can_know(&g, bottom, secret));
+    println!(
+        "Theorem 4.3: with no t/g edges between levels there is nothing \
+         for a conspiracy to grip — no number of corrupt subjects moves \
+         information down."
+    );
+}

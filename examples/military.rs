@@ -1,0 +1,75 @@
+//! The military classification system of Figure 4.2: authority levels ×
+//! category compartments, with incomparable levels, classified documents,
+//! and the declassification pitfalls of §6.
+//!
+//! Run with: `cargo run --example military`
+
+use take_grant::analysis::can_know_f;
+use take_grant::hierarchy::declass::{lower_classification, raise_classification};
+use take_grant::hierarchy::structure::military_hierarchy;
+use take_grant::hierarchy::{secure_policy, secure_structural};
+
+fn main() {
+    // Authority {unclassified, confidential, secret, top-secret} crossed
+    // with categories {A, B}: sixteen levels, many incomparable.
+    let mut built = military_hierarchy(&["A", "B"], 2);
+    let assignment = &built.assignment;
+    let level = |name: &str| {
+        (0..assignment.len())
+            .find(|&i| assignment.name(i) == name)
+            .expect("level exists")
+    };
+
+    let secret_a = level("secret.{A}");
+    let secret_b = level("secret.{B}");
+    let conf_a = level("confidential.{A}");
+    let ts_ab = level("top-secret.{A,B}");
+
+    println!("== the lattice ==");
+    println!(
+        "secret.{{A}} > confidential.{{A}}  : {}",
+        assignment.higher(secret_a, conf_a)
+    );
+    println!(
+        "secret.{{A}} ? secret.{{B}}        : incomparable = {}",
+        assignment.incomparable(secret_a, secret_b)
+    );
+    println!(
+        "top-secret.{{A,B}} > secret.{{A}}  : {}",
+        assignment.higher(ts_ab, secret_a)
+    );
+
+    println!("\n== information flow follows clearance ==");
+    let crypto_officer = built.subjects[secret_a][0];
+    let nuclear_officer = built.subjects[secret_b][0];
+    let clerk = built.subjects[conf_a][0];
+    println!(
+        "secret.{{A}} officer can learn confidential.{{A}}: {}",
+        can_know_f(&built.graph, crypto_officer, clerk)
+    );
+    println!(
+        "secret.{{A}} officer can learn secret.{{B}}:      {}",
+        can_know_f(&built.graph, crypto_officer, nuclear_officer)
+    );
+
+    // Classify a war plan at top-secret.{A,B}.
+    let war_plan = built.attach_object(ts_ab, "war-plan");
+    println!("\n== the war plan ==");
+    println!(
+        "clerk can ever learn it: {}",
+        can_know_f(&built.graph, clerk, war_plan)
+    );
+    assert!(secure_policy(&built.graph, &built.assignment).is_ok());
+    assert!(secure_structural(&built.graph, &built.assignment).is_ok());
+    println!("installation is secure (definitional and structural checks agree)");
+
+    println!("\n== declassification pitfalls (§6) ==");
+    // Raising a document someone already reads: refused.
+    match raise_classification(&built.graph, &mut built.assignment, war_plan, ts_ab) {
+        Ok(()) => println!("re-raising to the same level trivially succeeds"),
+        Err(e) => println!("raise refused: {e}"),
+    }
+    let err = lower_classification(&built.graph, &mut built.assignment, war_plan, conf_a)
+        .expect_err("the top-secret owner holds w — lowering must fail");
+    println!("lowering the war plan refused: {err}");
+}

@@ -1,0 +1,48 @@
+//! Hierarchical Take-Grant Protection Systems — a full reproduction of
+//! Matt Bishop's SOSP 1981 paper as a Rust library.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`graph`] — the protection-graph substrate (vertices, rights, explicit
+//!   and implicit edges).
+//! * [`paths`] — words over directed edge letters and the regular-language
+//!   path machinery (spans, bridges, connections).
+//! * [`rules`] — the de jure rules (take, grant, create, remove) and the de
+//!   facto rules (post, pass, spy, find), with replayable derivations.
+//! * [`analysis`] — the decision procedures: islands, `can_share`
+//!   (Theorem 2.3), `can_know_f` (Theorem 3.1) and `can_know` (Theorem 3.2),
+//!   plus constructive witness synthesis.
+//! * [`hierarchy`] — the paper's contribution: rw-levels, rwtg-levels, the
+//!   `higher` partial order, security (Theorem 5.2), the de jure rule
+//!   restrictions and the reference monitor (Theorem 5.5, Corollaries
+//!   5.6/5.7), the Wu-model baseline, and declassification analysis.
+//! * [`blp`] — a Bell–LaPadula comparator used to validate the paper's §6
+//!   correspondence claim.
+//! * [`sim`] — workload generators and the scenario library reconstructing
+//!   every figure in the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use take_grant::graph::{ProtectionGraph, Rights};
+//! use take_grant::analysis::can_know_f;
+//!
+//! // A two-level hierarchy: `hi` reads `lo`; information flows up only.
+//! let mut g = ProtectionGraph::new();
+//! let hi = g.add_subject("hi");
+//! let lo = g.add_subject("lo");
+//! g.add_edge(hi, lo, Rights::R).unwrap();
+//!
+//! assert!(can_know_f(&g, hi, lo));  // hi can learn lo's information…
+//! assert!(!can_know_f(&g, lo, hi)); // …but never the reverse.
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use tg_analysis as analysis;
+pub use tg_blp as blp;
+pub use tg_graph as graph;
+pub use tg_hierarchy as hierarchy;
+pub use tg_paths as paths;
+pub use tg_rules as rules;
+pub use tg_sim as sim;

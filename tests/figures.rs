@@ -1,0 +1,83 @@
+//! Facade-level regeneration of every figure in the paper, asserting each
+//! caption's headline fact. EXPERIMENTS.md indexes these.
+
+use take_grant::analysis::{can_know, can_know_f, can_share, Islands};
+use take_grant::graph::{Right, Rights};
+use take_grant::hierarchy::{secure_policy, CombinedRestriction, Monitor};
+use take_grant::rules::{DeJureRule, Rule};
+use take_grant::sim::scenarios;
+
+#[test]
+fn figure_2_1_wu_conspiracy() {
+    let fig = scenarios::fig_2_1();
+    let after = fig.derivation.replayed(&fig.wu.graph).unwrap();
+    assert!(after.has_explicit(fig.conspirator, fig.victim, Right::Take));
+}
+
+#[test]
+fn figure_2_2_vocabulary() {
+    let fig = scenarios::fig_2_2();
+    let islands = Islands::compute(&fig.graph);
+    assert_eq!(islands.len(), 3);
+    assert!(islands.same_island(fig.p, fig.u));
+    assert!(islands.same_island(fig.y, fig.s_prime));
+}
+
+#[test]
+fn figure_3_1_associated_words() {
+    let fig = scenarios::fig_3_1();
+    let words =
+        take_grant::paths::associated_words(&fig.graph, &fig.path, Rights::RW, false);
+    assert_eq!(words.len(), 2);
+}
+
+#[test]
+fn figure_4_1_linear_classification() {
+    let built = scenarios::fig_4_1();
+    assert!(secure_policy(&built.graph, &built.assignment).is_ok());
+    assert!(can_know_f(
+        &built.graph,
+        built.subjects[3][0],
+        built.subjects[0][0]
+    ));
+    assert!(!can_know_f(
+        &built.graph,
+        built.subjects[0][0],
+        built.subjects[3][0]
+    ));
+}
+
+#[test]
+fn figure_4_2_military_classification() {
+    let built = scenarios::fig_4_2();
+    assert_eq!(built.subjects.len(), 16);
+    assert!(secure_policy(&built.graph, &built.assignment).is_ok());
+}
+
+#[test]
+fn figure_5_1_execute_but_not_write() {
+    let fig = scenarios::fig_5_1();
+    let mut monitor = Monitor::new(
+        fig.graph.clone(),
+        fig.assignment.clone(),
+        Box::new(CombinedRestriction),
+    );
+    let take = |rights| {
+        Rule::DeJure(DeJureRule::Take {
+            actor: fig.x,
+            via: fig.s,
+            target: fig.y,
+            rights,
+        })
+    };
+    assert!(monitor.try_apply(&take(Rights::W)).is_err());
+    assert!(monitor.try_apply(&take(Rights::E)).is_ok());
+}
+
+#[test]
+fn figure_6_1_de_jure_only_breach() {
+    let fig = scenarios::fig_6_1();
+    assert!(!can_know_f(&fig.graph, fig.x, fig.y));
+    assert!(can_share(&fig.graph, Right::Read, fig.x, fig.y));
+    assert!(can_know(&fig.graph, fig.x, fig.y));
+}
