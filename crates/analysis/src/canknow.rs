@@ -303,7 +303,10 @@ mod tests {
         g.add_edge(q, u, Rights::R).unwrap(); // read connection x -> u
         g.add_edge(u, m, Rights::T).unwrap();
         g.add_edge(m, y, Rights::R).unwrap(); // terminal span u -> y
-        let Some(KnowEvidence::Chain { links, terminal, .. }) = can_know_detail(&g, x, y) else {
+        let Some(KnowEvidence::Chain {
+            links, terminal, ..
+        }) = can_know_detail(&g, x, y)
+        else {
             panic!("expected chain evidence");
         };
         assert_eq!(links.len(), 1);
@@ -373,12 +376,16 @@ mod tests {
         g.add_edge(x, u, Rights::T).unwrap();
         g.add_edge(u, y, Rights::R).unwrap();
         let detail = can_know_detail(&g, x, y).unwrap();
-        let KnowEvidence::Chain { links, .. } = detail else {
+        let KnowEvidence::Chain {
+            links, subjects, ..
+        } = detail
+        else {
             panic!("expected chain");
         };
         // Either one bridge link x->u (then terminal span) or a single
-        // read-connection via the taken right; both are valid evidence.
-        assert!(!links.is_empty() || true);
+        // read-connection via the taken right; both are valid evidence,
+        // and either way the links join consecutive chain subjects.
+        assert_eq!(links.len(), subjects.len() - 1);
         assert!(can_know(&g, x, y));
     }
 

@@ -121,11 +121,7 @@ impl Islands {
 /// subject and every edge carries `t` or `g` (either direction). Returns
 /// the vertex sequence `a … b`, or `None` if the two are not island-mates.
 /// Used by witness synthesis to move rights stepwise through an island.
-pub fn island_path(
-    graph: &ProtectionGraph,
-    a: VertexId,
-    b: VertexId,
-) -> Option<Vec<VertexId>> {
+pub fn island_path(graph: &ProtectionGraph, a: VertexId, b: VertexId) -> Option<Vec<VertexId>> {
     if !graph.is_subject(a) || !graph.is_subject(b) {
         return None;
     }

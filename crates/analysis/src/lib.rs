@@ -55,8 +55,8 @@ pub use canknow::{can_know, can_know_detail, KnowEvidence, Link, LinkKind};
 pub use canshare::{can_share, can_share_detail, ShareEvidence};
 pub use flow::{can_know_f, can_know_f_path, know_edge_exists, FlowGraph, FlowStep};
 pub use islands::{island_path, Islands};
-pub use theft::{access_set, can_steal, min_conspirators, ConspiracyGraph};
 pub use spans::{
     initial_spanners, rw_initial_spanners, rw_terminal_spanners, terminal_spanners, SpanKind,
     Spanner,
 };
+pub use theft::{access_set, can_steal, min_conspirators, ConspiracyGraph};

@@ -291,7 +291,10 @@ pub fn min_conspirators_bruteforce(
     bounds: SearchBounds,
 ) -> Option<usize> {
     let subjects: Vec<VertexId> = graph.subjects().collect();
-    assert!(subjects.len() <= 10, "exponential search; keep graphs small");
+    assert!(
+        subjects.len() <= 10,
+        "exponential search; keep graphs small"
+    );
     let goal = |g: &ProtectionGraph| g.rights(x, y).explicit().contains(right);
     for k in 0..=subjects.len() {
         // All subsets of size k.

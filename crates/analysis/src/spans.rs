@@ -41,17 +41,13 @@ impl SpanKind {
             // reverse of t>*  =  <t*.
             SpanKind::Terminal => Expr::star(t_rev).compile(),
             // reverse of t>* w>  =  <w <t*.
-            SpanKind::RwInitial => Expr::concat([
-                Expr::letter(Letter::rev(Right::Write)),
-                Expr::star(t_rev),
-            ])
-            .compile(),
+            SpanKind::RwInitial => {
+                Expr::concat([Expr::letter(Letter::rev(Right::Write)), Expr::star(t_rev)]).compile()
+            }
             // reverse of t>* r>  =  <r <t*.
-            SpanKind::RwTerminal => Expr::concat([
-                Expr::letter(Letter::rev(Right::Read)),
-                Expr::star(t_rev),
-            ])
-            .compile(),
+            SpanKind::RwTerminal => {
+                Expr::concat([Expr::letter(Letter::rev(Right::Read)), Expr::star(t_rev)]).compile()
+            }
         }
     }
 }

@@ -84,7 +84,11 @@ fn splice(walk: &[VertexId]) -> Vec<VertexId> {
 /// where `chain[0] == actor` and consecutive vertices are joined by
 /// explicit forward `t` edges. Handles walks that revisit `actor` or other
 /// vertices by splicing.
-fn take_along(session: &mut Session, actor: VertexId, chain: &[VertexId]) -> Result<(), SynthesisError> {
+fn take_along(
+    session: &mut Session,
+    actor: VertexId,
+    chain: &[VertexId],
+) -> Result<(), SynthesisError> {
     let mut chain = splice(chain);
     // If the walk revisits the actor, everything before the revisit is moot.
     if let Some(pos) = chain.iter().rposition(|&v| v == actor) {
@@ -173,7 +177,9 @@ fn bridge_shape(word: &[Letter]) -> Option<BridgeShape> {
             }
         }
         Some(idx) => {
-            let ok_prefix = word[..idx].iter().all(|l| l.right == Right::Take && l.dir == Dir::Forward);
+            let ok_prefix = word[..idx]
+                .iter()
+                .all(|l| l.right == Right::Take && l.dir == Dir::Forward);
             let ok_suffix = word[idx + 1..]
                 .iter()
                 .all(|l| l.right == Right::Take && l.dir == Dir::Reverse);
@@ -209,9 +215,8 @@ fn bridge_move(
     {
         return Ok(());
     }
-    let shape = bridge_shape(&bridge.word).ok_or_else(|| {
-        SynthesisError::Degenerate("bridge witness word is not in B".to_string())
-    })?;
+    let shape = bridge_shape(&bridge.word)
+        .ok_or_else(|| SynthesisError::Degenerate("bridge witness word is not in B".to_string()))?;
     match shape {
         BridgeShape::Forward => {
             // receiver -t*-> holder: take straight through.
@@ -470,13 +475,7 @@ fn realize_share(session: &mut Session, ev: &ShareEvidence) -> Result<(), Synthe
     // Establish x' --g--> x along the initial span.
     let span = &initial.path;
     if span.len() > 2 {
-        take_through(
-            session,
-            x_prime,
-            &span[..span.len() - 1],
-            x,
-            Right::Grant,
-        )?;
+        take_through(session, x_prime, &span[..span.len() - 1], x, Right::Grant)?;
     }
     debug_assert!(session.graph().has_explicit(x_prime, x, Right::Grant));
 
@@ -568,10 +567,18 @@ fn materialize(
                 let (vi, vi1) = (vertices[i], vertices[i + 1]);
                 match steps[i] {
                     FlowStep::Read => {
-                        session.apply(DeFactoRule::Spy { x: v0, y: vi, z: vi1 })?;
+                        session.apply(DeFactoRule::Spy {
+                            x: v0,
+                            y: vi,
+                            z: vi1,
+                        })?;
                     }
                     FlowStep::Write => {
-                        session.apply(DeFactoRule::Post { x: v0, y: vi, z: vi1 })?;
+                        session.apply(DeFactoRule::Post {
+                            x: v0,
+                            y: vi,
+                            z: vi1,
+                        })?;
                     }
                 }
             }
@@ -584,7 +591,11 @@ fn materialize(
             let last = *vertices.last().expect("nonempty");
             match sub {
                 Access::Read => {
-                    session.apply(DeFactoRule::Pass { x: v0, y: v1, z: last })?;
+                    session.apply(DeFactoRule::Pass {
+                        x: v0,
+                        y: v1,
+                        z: last,
+                    })?;
                 }
                 Access::Write => {
                     // The suffix was the single edge v2 --w--> v1.
@@ -687,7 +698,13 @@ pub fn steal_witness(
         // x' itself, or handed over by x' for the proxy.
         let span = &ev.thief.path;
         if x_prime != x && span.len() > 2 {
-            take_through(&mut session, x_prime, &span[..span.len() - 1], x, Right::Grant)?;
+            take_through(
+                &mut session,
+                x_prime,
+                &span[..span.len() - 1],
+                x,
+                Right::Grant,
+            )?;
         }
         if puller != x_prime {
             // The proxy exists only when x' == y, and x != y always, so
@@ -753,7 +770,11 @@ fn realize_link(session: &mut Session, link: &Link) -> Result<FlowStep, Synthesi
             let mut chain: Vec<VertexId> = link.path[r_pos + 1..].to_vec();
             chain.reverse();
             take_through(session, to, &chain, m, Right::Write)?;
-            session.apply(DeFactoRule::Post { x: from, y: m, z: to })?;
+            session.apply(DeFactoRule::Post {
+                x: from,
+                y: m,
+                z: to,
+            })?;
             Ok(FlowStep::Read)
         }
         LinkKind::Bridge => {

@@ -209,14 +209,8 @@ impl ConspiracyGraph {
     /// Builds the conspiracy graph of `graph`.
     pub fn compute(graph: &ProtectionGraph) -> ConspiracyGraph {
         let subjects: Vec<VertexId> = graph.subjects().collect();
-        let deposit: Vec<Vec<VertexId>> = subjects
-            .iter()
-            .map(|&u| deposit_set(graph, u))
-            .collect();
-        let collect: Vec<Vec<VertexId>> = subjects
-            .iter()
-            .map(|&u| collect_set(graph, u))
-            .collect();
+        let deposit: Vec<Vec<VertexId>> = subjects.iter().map(|&u| deposit_set(graph, u)).collect();
+        let collect: Vec<Vec<VertexId>> = subjects.iter().map(|&u| collect_set(graph, u)).collect();
         let n = subjects.len();
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
         for i in 0..n {
@@ -258,8 +252,11 @@ impl ConspiracyGraph {
         let starts: Vec<usize> = (0..n)
             .filter(|&i| self.deposit[i].binary_search(&x).is_ok())
             .collect();
-        let goal =
-            |i: usize| sources.iter().any(|v| self.collect[i].binary_search(v).is_ok());
+        let goal = |i: usize| {
+            sources
+                .iter()
+                .any(|v| self.collect[i].binary_search(v).is_ok())
+        };
         let mut parent: Vec<Option<usize>> = vec![None; n];
         let mut seen = vec![false; n];
         let mut queue = VecDeque::new();

@@ -47,12 +47,20 @@ fn permuted(g: &ProtectionGraph, perm: &[usize]) -> ProtectionGraph {
     }
     for e in g.edges() {
         if !e.rights.explicit.is_empty() {
-            out.add_edge(new_id[e.src.index()], new_id[e.dst.index()], e.rights.explicit)
-                .unwrap();
+            out.add_edge(
+                new_id[e.src.index()],
+                new_id[e.dst.index()],
+                e.rights.explicit,
+            )
+            .unwrap();
         }
         if !e.rights.implicit.is_empty() {
-            out.add_implicit_edge(new_id[e.src.index()], new_id[e.dst.index()], e.rights.implicit)
-                .unwrap();
+            out.add_implicit_edge(
+                new_id[e.src.index()],
+                new_id[e.dst.index()],
+                e.rights.implicit,
+            )
+            .unwrap();
         }
     }
     out

@@ -47,10 +47,7 @@ fn build_graph(kinds: &[bool], edges: &[(usize, usize, u8)]) -> ProtectionGraph 
     g
 }
 
-fn graph_strategy(
-    max_vertices: usize,
-    max_edges: usize,
-) -> impl Strategy<Value = ProtectionGraph> {
+fn graph_strategy(max_vertices: usize, max_edges: usize) -> impl Strategy<Value = ProtectionGraph> {
     (
         prop::collection::vec(prop::bool::weighted(0.65), 2..=max_vertices),
         prop::collection::vec(

@@ -7,9 +7,7 @@
 //! minimum over actor subsets.
 
 use proptest::prelude::*;
-use tg_analysis::reference::{
-    can_steal_bruteforce, min_conspirators_bruteforce, SearchBounds,
-};
+use tg_analysis::reference::{can_steal_bruteforce, min_conspirators_bruteforce, SearchBounds};
 use tg_analysis::synthesis::steal_witness;
 use tg_analysis::{can_share, can_steal, min_conspirators};
 use tg_graph::{ProtectionGraph, Right, Rights, VertexId};

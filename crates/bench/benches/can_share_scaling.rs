@@ -24,7 +24,12 @@ fn bench_can_share(c: &mut Criterion) {
         let (g, first, secret) = bridge_chain(hops);
         group.bench_with_input(BenchmarkId::from_parameter(hops), &hops, |b, _| {
             b.iter(|| {
-                assert!(can_share(std::hint::black_box(&g), Right::Read, first, secret));
+                assert!(can_share(
+                    std::hint::black_box(&g),
+                    Right::Read,
+                    first,
+                    secret
+                ));
             });
         });
     }

@@ -1,0 +1,89 @@
+//! Journaling overhead: the write-ahead journal adds one encoded record
+//! per attempted rule, so `try_apply` with journaling should stay within
+//! a small constant factor of the bare monitor, and recovery should be
+//! linear in the number of records.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tg_hierarchy::journal::recover;
+use tg_hierarchy::{CombinedRestriction, Monitor};
+use tg_rules::Rule;
+use tg_sim::faults::adversarial_trace;
+use tg_sim::workload::hierarchy;
+
+fn trace_of(len: usize) -> (tg_hierarchy::structure::BuiltHierarchy, Vec<Rule>) {
+    let built = hierarchy(4, 8);
+    let trace = adversarial_trace(&built.graph, &built.assignment, len, 0xC0FFEE);
+    (built, trace)
+}
+
+fn drive(monitor: &mut Monitor, trace: &[Rule]) {
+    for rule in trace {
+        let _ = monitor.try_apply(rule);
+    }
+}
+
+fn bench_journal(c: &mut Criterion) {
+    // Per-rule overhead: the same trace with and without the journal.
+    let mut group = c.benchmark_group("monitor_trace");
+    for &len in &[128usize, 512, 2048] {
+        let (built, trace) = trace_of(len);
+        group.bench_with_input(BenchmarkId::new("bare", len), &len, |b, _| {
+            b.iter(|| {
+                let mut monitor = Monitor::new(
+                    built.graph.clone(),
+                    built.assignment.clone(),
+                    Box::new(CombinedRestriction),
+                );
+                drive(&mut monitor, &trace);
+                monitor.stats().permitted
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("journaled", len), &len, |b, _| {
+            b.iter(|| {
+                let mut monitor = Monitor::new(
+                    built.graph.clone(),
+                    built.assignment.clone(),
+                    Box::new(CombinedRestriction),
+                );
+                monitor.enable_journal();
+                drive(&mut monitor, &trace);
+                monitor.stats().permitted
+            });
+        });
+    }
+    group.finish();
+
+    // Recovery: replaying a journal of n records onto the seed.
+    let mut group = c.benchmark_group("recover");
+    for &len in &[128usize, 512, 2048] {
+        let (built, trace) = trace_of(len);
+        let mut live = Monitor::new(
+            built.graph.clone(),
+            built.assignment.clone(),
+            Box::new(CombinedRestriction),
+        );
+        live.enable_journal();
+        drive(&mut live, &trace);
+        let bytes = live
+            .journal()
+            .expect("journaling enabled")
+            .as_bytes()
+            .to_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| {
+                let (monitor, _) = recover(
+                    built.graph.clone(),
+                    built.assignment.clone(),
+                    Box::new(CombinedRestriction),
+                    std::hint::black_box(&bytes),
+                )
+                .expect("undamaged journal recovers");
+                monitor.stats().permitted
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_journal);
+criterion_main!(benches);

@@ -35,7 +35,10 @@ fn bench_monitor(c: &mut Criterion) {
         let mut built = hierarchy(levels, 8);
         // An attack surface at the top: lowest subject tries to read up.
         let lo = built.subjects[0][0];
-        let hi_doc = built.graph.find_by_name(&format!("doc{}", levels - 1)).unwrap();
+        let hi_doc = built
+            .graph
+            .find_by_name(&format!("doc{}", levels - 1))
+            .unwrap();
         let registry = built.graph.add_object("registry");
         built.assignment.assign(registry, levels - 1).unwrap();
         built.graph.add_edge(registry, hi_doc, Rights::R).unwrap();

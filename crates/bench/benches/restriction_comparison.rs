@@ -37,11 +37,8 @@ fn bench_restrictions(c: &mut Criterion) {
     for (name, make) in policies {
         group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
             b.iter(|| {
-                let mut monitor = Monitor::new(
-                    built.graph.clone(),
-                    built.assignment.clone(),
-                    make(),
-                );
+                let mut monitor =
+                    Monitor::new(built.graph.clone(), built.assignment.clone(), make());
                 for rule in &trace {
                     let _ = monitor.try_apply(rule);
                 }

@@ -39,8 +39,8 @@ fn bench_witnesses(c: &mut Criterion) {
         let (g, first, secret) = bridge_chain(hops);
         group.bench_with_input(BenchmarkId::from_parameter(hops), &hops, |b, _| {
             b.iter(|| {
-                let d = know_witness(std::hint::black_box(&g), first, secret)
-                    .expect("predicate holds");
+                let d =
+                    know_witness(std::hint::black_box(&g), first, secret).expect("predicate holds");
                 d.replayed(&g).expect("witness replays")
             });
         });

@@ -56,8 +56,12 @@ fn main() {
         let built = tg_hierarchy::structure::linear_hierarchy(&name_refs, 2);
         let mut g = built.graph.clone();
         let secret = g.add_object("secret");
-        g.add_edge(*built.subjects.last().unwrap().first().unwrap(), secret, Rights::R)
-            .unwrap();
+        g.add_edge(
+            *built.subjects.last().unwrap().first().unwrap(),
+            secret,
+            Rights::R,
+        )
+        .unwrap();
         let bishop_leaks = can_know(&g, built.subjects[0][0], secret);
         println!(
             "{:<8}{:>10}{:>16}{:>18}{:>22}",
@@ -65,7 +69,11 @@ fn main() {
             wu.graph.vertex_count(),
             derivation.len(),
             if breached { "yes (leak)" } else { "no" },
-            if bishop_leaks { "LEAKS (bug)" } else { "immune" }
+            if bishop_leaks {
+                "LEAKS (bug)"
+            } else {
+                "immune"
+            }
         );
     }
 
@@ -87,7 +95,11 @@ fn main() {
         "initial span to q: {} (paper: p, word g>)",
         initial
             .iter()
-            .map(|s| format!("{} [{}]", fig.graph.vertex(s.subject).name, tg_paths::format_word(&s.word)))
+            .map(|s| format!(
+                "{} [{}]",
+                fig.graph.vertex(s.subject).name,
+                tg_paths::format_word(&s.word)
+            ))
             .collect::<Vec<_>>()
             .join(", ")
     );
@@ -95,7 +107,11 @@ fn main() {
         "terminal span to s: {} (paper: s', word t>)",
         terminal
             .iter()
-            .map(|s| format!("{} [{}]", fig.graph.vertex(s.subject).name, tg_paths::format_word(&s.word)))
+            .map(|s| format!(
+                "{} [{}]",
+                fig.graph.vertex(s.subject).name,
+                tg_paths::format_word(&s.word)
+            ))
             .collect::<Vec<_>>()
             .join(", ")
     );
@@ -192,7 +208,11 @@ fn main() {
 
     // ---------------------------------------------------------------
     heading("T2.3 — can_share decision time (ns), expect ~2.0 growth per doubling");
-    println!("{:<26}{}", "size", SIZES.map(|s| format!("{s:>10}")).join(""));
+    println!(
+        "{:<26}{}",
+        "size",
+        SIZES.map(|s| format!("{s:>10}")).join("")
+    );
     let series: Vec<f64> = SIZES
         .iter()
         .map(|&n| {
@@ -204,7 +224,11 @@ fn main() {
         .collect();
     shape_row("take_chain", &SIZES, &series);
     let hops = [16usize, 32, 64, 128, 256];
-    println!("{:<26}{}", "hops", hops.map(|s| format!("{s:>10}")).join(""));
+    println!(
+        "{:<26}{}",
+        "hops",
+        hops.map(|s| format!("{s:>10}")).join("")
+    );
     let series: Vec<f64> = hops
         .iter()
         .map(|&h| {
@@ -218,7 +242,11 @@ fn main() {
 
     // ---------------------------------------------------------------
     heading("T3.1 — can_know_f decision time (ns), expect ~2.0 growth");
-    println!("{:<26}{}", "size", SIZES.map(|s| format!("{s:>10}")).join(""));
+    println!(
+        "{:<26}{}",
+        "size",
+        SIZES.map(|s| format!("{s:>10}")).join("")
+    );
     let series: Vec<f64> = SIZES
         .iter()
         .map(|&n| {
@@ -232,7 +260,11 @@ fn main() {
 
     // ---------------------------------------------------------------
     heading("T3.2 — can_know decision time (ns), expect ~2.0 growth");
-    println!("{:<26}{}", "hops", hops.map(|s| format!("{s:>10}")).join(""));
+    println!(
+        "{:<26}{}",
+        "hops",
+        hops.map(|s| format!("{s:>10}")).join("")
+    );
     let series: Vec<f64> = hops
         .iter()
         .map(|&h| {
@@ -280,7 +312,11 @@ fn main() {
             b.assignment.assign(registry, l - 1).unwrap();
             b.graph.add_edge(registry, hi_doc, Rights::R).unwrap();
             b.graph.add_edge(lo, registry, Rights::T).unwrap();
-            let monitor = Monitor::new(b.graph.clone(), b.assignment.clone(), Box::new(CombinedRestriction));
+            let monitor = Monitor::new(
+                b.graph.clone(),
+                b.assignment.clone(),
+                Box::new(CombinedRestriction),
+            );
             let rule = Rule::DeJure(DeJureRule::Take {
                 actor: lo,
                 via: registry,
@@ -385,10 +421,7 @@ fn main() {
         let conspirators = tg_analysis::min_conspirators(&g, Right::Read, first, secret)
             .map(|c| c.len().to_string())
             .unwrap_or_else(|| "-".to_string());
-        println!(
-            "{:<8}{:>12}{:>14}{:>18}",
-            hops, share, steal, conspirators
-        );
+        println!("{:<8}{:>12}{:>14}{:>18}", hops, share, steal, conspirators);
     }
     println!(
         "(every hop adds one required conspirator: the island chain is the\n\

@@ -10,16 +10,22 @@
 //! tgq can-know <file> <x> <y> [--witness]
 //! tgq can-know-f <file> <x> <y>
 //! tgq figure <2.1|2.2|3.1|4.1|4.2|5.1|6.1>
+//! tgq monitor <graph> <policy> <trace> [--journal <file>] [--batch]
+//! tgq replay <graph> <policy> <journal>
 //! ```
 //!
 //! Graph files use the `tg-graph` text format (`subject`/`object`/`edge`
-//! lines); vertices are referred to by name.
+//! lines); vertices are referred to by name. Rule traces use the
+//! `tg-rules` codec (one rule per line); journals are the `TGJ1`
+//! write-ahead format produced by `tgq monitor --journal`.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
 
-use tg_analysis::{can_know, can_know_f, can_share, can_steal, min_conspirators, synthesis, Islands};
+use tg_analysis::{
+    can_know, can_know_f, can_share, can_steal, min_conspirators, synthesis, Islands,
+};
 use tg_graph::{parse_graph, render_graph, DotOptions, ProtectionGraph, Right, VertexId};
 use tg_hierarchy::monitor::audit_graph;
 use tg_hierarchy::policy::parse_policy;
@@ -27,7 +33,8 @@ use tg_hierarchy::{rw_levels, rwtg_levels, secure_derived, secure_policy, Combin
 
 fn usage() -> String {
     "usage: tgq <show|dot|islands|levels|secure|secure-policy|audit|explain|can-share|\
-     can-know|can-know-f|can-steal|conspirators|figure> ...\nrun with a command name for details"
+     can-know|can-know-f|can-steal|conspirators|figure|monitor|replay> ...\n\
+     run with a command name for details"
         .to_string()
 }
 
@@ -60,7 +67,8 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
                 return Err("usage: tgq show <file>".to_string());
             };
             let g = load(path)?;
-            let _ = writeln!(out, 
+            let _ = writeln!(
+                out,
                 "{} vertices ({} subjects, {} objects), {} edges ({} explicit)",
                 g.vertex_count(),
                 g.subjects().count(),
@@ -119,7 +127,8 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
                     if above.is_empty() {
                         let _ = writeln!(out, "  level {i}: {{{}}}", names.join(", "));
                     } else {
-                        let _ = writeln!(out, 
+                        let _ = writeln!(
+                            out,
                             "  level {i}: {{{}}} (higher than {})",
                             names.join(", "),
                             above.join(", ")
@@ -136,7 +145,10 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
             let g = load(path)?;
             match secure_derived(&g) {
                 Ok(()) => {
-                    let _ = writeln!(out, "secure: the de jure rules cannot invert the de facto hierarchy");
+                    let _ = writeln!(
+                        out,
+                        "secure: the de jure rules cannot invert the de facto hierarchy"
+                    );
                     Ok(())
                 }
                 Err(breach) => Err(format!(
@@ -201,7 +213,8 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
             let g = load(graph_path)?;
             let policy_text = std::fs::read_to_string(policy_path)
                 .map_err(|e| format!("cannot read {policy_path}: {e}"))?;
-            let levels = parse_policy(&policy_text, &g).map_err(|e| format!("{policy_path}: {e}"))?;
+            let levels =
+                parse_policy(&policy_text, &g).map_err(|e| format!("{policy_path}: {e}"))?;
             if command == "audit" {
                 let violations = audit_graph(&g, &levels, &CombinedRestriction);
                 if violations.is_empty() {
@@ -243,7 +256,10 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
             let vx = vertex(&g, x)?;
             let vy = vertex(&g, y)?;
             if can_steal(&g, right, vx, vy) {
-                let _ = writeln!(out, "true: {x} can steal {right} to {y} (no owner grants it)");
+                let _ = writeln!(
+                    out,
+                    "true: {x} can steal {right} to {y} (no owner grants it)"
+                );
                 if witness {
                     let d = synthesis::steal_witness(&g, right, vx, vy)
                         .map_err(|e| format!("witness synthesis failed: {e}"))?;
@@ -282,8 +298,7 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
             Ok(())
         }
         "explain" => {
-            let [graph_path, policy_path, verb, actor, via, target, right] = rest.as_slice()
-            else {
+            let [graph_path, policy_path, verb, actor, via, target, right] = rest.as_slice() else {
                 return Err(
                     "usage: tgq explain <graph> <policy> take|grant <actor> <via> <target> <right>"
                         .to_string(),
@@ -313,11 +328,8 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
                 }),
                 other => return Err(format!("unknown rule verb {other:?} (take|grant)")),
             };
-            let monitor = tg_hierarchy::Monitor::new(
-                g.clone(),
-                levels,
-                Box::new(CombinedRestriction),
-            );
+            let monitor =
+                tg_hierarchy::Monitor::new(g.clone(), levels, Box::new(CombinedRestriction));
             match monitor.explain(&rule).map_err(|e| e.to_string())? {
                 None => {
                     let _ = writeln!(out, "permitted: the combined restriction allows this rule");
@@ -345,6 +357,123 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
             }
             Ok(())
         }
+        "monitor" => {
+            let (batch, rest) = split_flag(&rest, "--batch");
+            let (journal_out, rest) = split_opt(&rest, "--journal")?;
+            let [graph_path, policy_path, trace_path] = rest.as_slice() else {
+                return Err(
+                    "usage: tgq monitor <graph> <policy> <trace> [--journal <file>] [--batch]"
+                        .to_string(),
+                );
+            };
+            let g = load(graph_path)?;
+            let policy_text = std::fs::read_to_string(policy_path)
+                .map_err(|e| format!("cannot read {policy_path}: {e}"))?;
+            let levels =
+                parse_policy(&policy_text, &g).map_err(|e| format!("{policy_path}: {e}"))?;
+            let trace_text = std::fs::read_to_string(trace_path)
+                .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+            let trace = tg_rules::codec::decode_derivation(&trace_text)
+                .map_err(|e| format!("{trace_path}: {e}"))?;
+            let mut monitor = tg_hierarchy::Monitor::new(g, levels, Box::new(CombinedRestriction));
+            monitor.enable_journal();
+            if batch {
+                match monitor.try_apply_all(&trace.steps) {
+                    Ok(effects) => {
+                        let _ = writeln!(out, "batch committed: {} rules applied", effects.len());
+                    }
+                    Err(e) => {
+                        let _ = writeln!(
+                            out,
+                            "batch rolled back at rule {} ({}): {}",
+                            e.index, e.rule, e.error
+                        );
+                    }
+                }
+            } else {
+                for rule in &trace.steps {
+                    match monitor.try_apply(rule) {
+                        Ok(_) => {}
+                        Err(e) => {
+                            let _ = writeln!(out, "refused {rule}: {e}");
+                        }
+                    }
+                }
+            }
+            let stats = monitor.stats();
+            let _ = writeln!(
+                out,
+                "{} permitted, {} denied, {} malformed, {} refused",
+                stats.permitted, stats.denied, stats.malformed, stats.refused
+            );
+            let violations = monitor.audit_cycle();
+            if violations.is_empty() {
+                let _ = writeln!(out, "audit clean: no r/w edge crosses levels");
+            } else {
+                let g = monitor.graph();
+                for v in &violations {
+                    let _ = writeln!(
+                        out,
+                        "violation: {} -> {} : {}",
+                        name(g, v.src),
+                        name(g, v.dst),
+                        v.rights
+                    );
+                }
+                let _ = writeln!(out, "monitor degraded: de jure rules now fail closed");
+            }
+            if let Some(path) = journal_out {
+                let journal = monitor.journal().expect("journaling is enabled");
+                std::fs::write(path, journal.as_bytes())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                let _ = writeln!(
+                    out,
+                    "journal written to {path} ({} records)",
+                    journal.records()
+                );
+            }
+            Ok(())
+        }
+        "replay" => {
+            let [graph_path, policy_path, journal_path] = rest.as_slice() else {
+                return Err("usage: tgq replay <graph> <policy> <journal>".to_string());
+            };
+            let g = load(graph_path)?;
+            let policy_text = std::fs::read_to_string(policy_path)
+                .map_err(|e| format!("cannot read {policy_path}: {e}"))?;
+            let levels =
+                parse_policy(&policy_text, &g).map_err(|e| format!("{policy_path}: {e}"))?;
+            let bytes = std::fs::read(journal_path)
+                .map_err(|e| format!("cannot read {journal_path}: {e}"))?;
+            let (monitor, report) =
+                tg_hierarchy::journal::recover(g, levels, Box::new(CombinedRestriction), &bytes)
+                    .map_err(|e| format!("{journal_path}: {e}"))?;
+            let _ = writeln!(out, "recovered: {} records replayed", report.replayed);
+            if let Some(torn) = report.torn {
+                let _ = writeln!(
+                    out,
+                    "torn tail truncated: {} bytes dropped after {} intact records",
+                    torn.dropped_bytes, torn.valid_records
+                );
+            }
+            if report.discarded_open_batch {
+                let _ = writeln!(out, "uncommitted batch at end of journal discarded");
+            }
+            let stats = monitor.stats();
+            let _ = writeln!(
+                out,
+                "{} permitted, {} denied, {} malformed, {} refused",
+                stats.permitted, stats.denied, stats.malformed, stats.refused
+            );
+            let g = monitor.graph();
+            let _ = writeln!(
+                out,
+                "{} vertices, {} explicit edges",
+                g.vertex_count(),
+                g.explicit_edge_count()
+            );
+            Ok(())
+        }
         "figure" => {
             let [id] = rest.as_slice() else {
                 return Err("usage: tgq figure <2.1|2.2|3.1|4.1|4.2|5.1|6.1>".to_string());
@@ -364,6 +493,24 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
         }
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
+}
+
+/// Extracts `flag <value>` from `args`, erroring if the value is missing.
+fn split_opt<'a>(args: &[&'a str], flag: &str) -> Result<(Option<&'a str>, Vec<&'a str>), String> {
+    let mut value = None;
+    let mut rest = Vec::new();
+    let mut iter = args.iter();
+    while let Some(&arg) = iter.next() {
+        if arg == flag {
+            match iter.next() {
+                Some(&v) => value = Some(v),
+                None => return Err(format!("{flag} requires a file argument")),
+            }
+        } else {
+            rest.push(arg);
+        }
+    }
+    Ok((value, rest))
 }
 
 fn split_flag<'a>(args: &[&'a str], flag: &str) -> (bool, Vec<&'a str>) {

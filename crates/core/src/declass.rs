@@ -41,7 +41,11 @@ impl core::fmt::Display for DeclassError {
                 write!(f, "{} prior reader(s) may hold private copies", vs.len())
             }
             DeclassError::HighWriters(vs) => {
-                write!(f, "{} higher-level writer(s) can launder information", vs.len())
+                write!(
+                    f,
+                    "{} higher-level writer(s) can launder information",
+                    vs.len()
+                )
             }
         }
     }
@@ -64,9 +68,7 @@ pub fn raise_classification(
     }
     let offenders: Vec<VertexId> = graph
         .in_edges(object)
-        .filter(|(s, er)| {
-            graph.is_subject(*s) && er.explicit().contains(Right::Read)
-        })
+        .filter(|(s, er)| graph.is_subject(*s) && er.explicit().contains(Right::Read))
         .map(|(s, _)| s)
         .filter(|s| match levels.level_of(*s) {
             Some(ls) => !levels.dominates(ls, new_level),
@@ -97,9 +99,7 @@ pub fn lower_classification(
     }
     let offenders: Vec<VertexId> = graph
         .in_edges(object)
-        .filter(|(s, er)| {
-            graph.is_subject(*s) && er.explicit().contains(Right::Write)
-        })
+        .filter(|(s, er)| graph.is_subject(*s) && er.explicit().contains(Right::Write))
         .map(|(s, _)| s)
         .filter(|s| match levels.level_of(*s) {
             Some(ls) => !levels.dominates(new_level, ls),
@@ -129,7 +129,9 @@ pub fn private_copy_attack(
     object: VertexId,
 ) -> Result<(Derivation, VertexId), RuleError> {
     if !graph.contains_vertex(reader) {
-        return Err(RuleError::Graph(tg_graph::GraphError::UnknownVertex(reader)));
+        return Err(RuleError::Graph(tg_graph::GraphError::UnknownVertex(
+            reader,
+        )));
     }
     if !graph.is_subject(reader) {
         return Err(RuleError::NotSubject(reader, "reader"));
@@ -175,8 +177,7 @@ mod tests {
         let doc = built.attach_object(0, "doc");
         let lo = built.subjects[0][0];
         // lo already reads doc (attach gives rw to the level subject).
-        let err =
-            raise_classification(&built.graph, &mut built.assignment, doc, 1).unwrap_err();
+        let err = raise_classification(&built.graph, &mut built.assignment, doc, 1).unwrap_err();
         assert_eq!(err, DeclassError::PriorReaders(vec![lo]));
         // The assignment is unchanged.
         assert_eq!(built.assignment.level_of(doc), Some(0));
@@ -198,8 +199,7 @@ mod tests {
         let mut built = linear_hierarchy(&["lo", "hi"], 1);
         let doc = built.attach_object(1, "doc");
         let hi = built.subjects[1][0];
-        let err =
-            lower_classification(&built.graph, &mut built.assignment, doc, 0).unwrap_err();
+        let err = lower_classification(&built.graph, &mut built.assignment, doc, 0).unwrap_err();
         assert_eq!(err, DeclassError::HighWriters(vec![hi]));
     }
 

@@ -65,7 +65,7 @@ impl std::error::Error for LevelError {}
 /// assert!(!levels.dominates(1, 2));
 /// assert!(levels.incomparable(1, 2));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct LevelAssignment {
     names: Vec<String>,
     /// `reach[a][b]`: level `a` dominates level `b` (reflexive-transitive
@@ -97,7 +97,10 @@ impl LevelAssignment {
         }
         // Reflexive-transitive closure by BFS per level.
         let mut reach = vec![vec![false; k]; k];
-        #[expect(clippy::needless_range_loop, reason = "start indexes both the queue seed and the matrix row")]
+        #[expect(
+            clippy::needless_range_loop,
+            reason = "start indexes both the queue seed and the matrix row"
+        )]
         for start in 0..k {
             let mut queue = VecDeque::from([start]);
             while let Some(v) = queue.pop_front() {
@@ -109,7 +112,10 @@ impl LevelAssignment {
             }
         }
         // Antisymmetry: mutual domination of distinct levels is a cycle.
-        #[expect(clippy::needless_range_loop, reason = "a and b index the matrix symmetrically")]
+        #[expect(
+            clippy::needless_range_loop,
+            reason = "a and b index the matrix symmetrically"
+        )]
         for a in 0..k {
             for b in 0..k {
                 if a != b && reach[a][b] && reach[b][a] {
@@ -159,6 +165,20 @@ impl LevelAssignment {
         }
         self.level_of[vertex.index()] = Some(level);
         Ok(())
+    }
+
+    /// Clears the assignment of `vertex`, returning the level it had.
+    /// The monitor's transactional rollback uses this to undo the level a
+    /// rolled-back `create` gave its vertex.
+    pub fn unassign(&mut self, vertex: VertexId) -> Option<usize> {
+        let slot = self.level_of.get_mut(vertex.index())?;
+        let old = slot.take();
+        // Keep the dense tail trimmed so an assign/unassign pair restores
+        // the exact prior value (assignment equality is structural).
+        while self.level_of.last() == Some(&None) {
+            self.level_of.pop();
+        }
+        old
     }
 
     /// The level of `vertex`, if assigned.
@@ -383,9 +403,7 @@ pub fn rwtg_levels(graph: &ProtectionGraph) -> DerivedLevels {
         list.sort_unstable();
         list.dedup();
     }
-    derive(&adj, |v| {
-        graph.is_subject(VertexId::from_index(v))
-    })
+    derive(&adj, |v| graph.is_subject(VertexId::from_index(v)))
 }
 
 #[cfg(test)]
@@ -439,8 +457,7 @@ mod tests {
 
     #[test]
     fn incomparable_levels_exist_in_lattices() {
-        let levels =
-            LevelAssignment::new(&["base", "cat-a", "cat-b"], &[(1, 0), (2, 0)]).unwrap();
+        let levels = LevelAssignment::new(&["base", "cat-a", "cat-b"], &[(1, 0), (2, 0)]).unwrap();
         assert!(levels.incomparable(1, 2));
         assert!(levels.higher(1, 0));
         assert!(levels.higher(2, 0));

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod declass;
+pub mod journal;
 pub mod levels;
 pub mod monitor;
 pub mod objects;
@@ -49,8 +50,11 @@ pub mod secure;
 pub mod structure;
 pub mod wu;
 
+pub use journal::{
+    recover, Journal, JournalError, JournalEvent, Outcome, ParsedJournal, Recovery, TornTail,
+};
 pub use levels::{rw_levels, rwtg_levels, DerivedLevels, LevelAssignment, LevelError};
-pub use monitor::{Explanation, Monitor, MonitorError, Violation};
+pub use monitor::{BatchError, Explanation, Monitor, MonitorError, MonitorStats, Violation};
 pub use restrict::{
     ApplicationRestriction, CombinedRestriction, Decision, DenyReason, DirectionRestriction,
     Restriction, Unrestricted,

@@ -10,10 +10,29 @@
 //! Created vertices inherit their creator's level: the new vertex starts
 //! as the creator's private resource, and every subsequent right over it
 //! passes through the monitor like any other.
+//!
+//! Three durability-and-recovery mechanisms harden the monitor against a
+//! crashing or hostile host:
+//!
+//! * **Write-ahead journaling** ([`Monitor::enable_journal`], the
+//!   [`journal`](crate::journal) module): every attempted rule is recorded
+//!   (permitted, denied, malformed or refused) *before* any mutation, and
+//!   [`journal::recover`](crate::journal::recover) rebuilds an identical
+//!   monitor from the seed graph plus the journal.
+//! * **Transactional batches** ([`Monitor::try_apply_all`]): a rule trace
+//!   is applied atomically; if any rule is refused, the already-applied
+//!   prefix is rolled back via exact inverse effects
+//!   ([`Effect::invert`]), so a partially-applied conspiracy never
+//!   persists.
+//! * **Fail-closed degradation** ([`Monitor::audit_cycle`],
+//!   [`Monitor::quarantine`]): when an audit finds out-of-band graph
+//!   tampering, the monitor refuses every de jure rule until the violating
+//!   edges are quarantined and a clean audit restores service.
 
 use tg_graph::{ProtectionGraph, Rights, VertexId};
 use tg_rules::{Derivation, Effect, Rule, RuleError};
 
+use crate::journal::{Journal, JournalEvent, Outcome};
 use crate::levels::LevelAssignment;
 use crate::restrict::{Decision, DenyReason, Restriction};
 
@@ -24,6 +43,10 @@ pub enum MonitorError {
     Rule(RuleError),
     /// The restriction denied the rule.
     Denied(DenyReason),
+    /// The monitor is in fail-closed degraded mode (an audit found
+    /// violations that have not been quarantined yet); all de jure rules
+    /// are refused.
+    Degraded,
 }
 
 impl core::fmt::Display for MonitorError {
@@ -31,6 +54,10 @@ impl core::fmt::Display for MonitorError {
         match self {
             MonitorError::Rule(e) => write!(f, "{e}"),
             MonitorError::Denied(d) => write!(f, "{d}"),
+            MonitorError::Degraded => write!(
+                f,
+                "monitor is degraded: unquarantined audit violations present"
+            ),
         }
     }
 }
@@ -42,6 +69,30 @@ impl From<RuleError> for MonitorError {
         MonitorError::Rule(e)
     }
 }
+
+/// Why a transactional batch was rolled back (see
+/// [`Monitor::try_apply_all`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BatchError {
+    /// Index of the first refused rule within the batch.
+    pub index: usize,
+    /// The refused rule itself.
+    pub rule: Rule,
+    /// Why it was refused.
+    pub error: MonitorError,
+}
+
+impl core::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "batch rolled back at rule {} ({}): {}",
+            self.index, self.rule, self.error
+        )
+    }
+}
+
+impl std::error::Error for BatchError {}
 
 /// An `r`/`w` edge violating the restriction's invariant, found by audit.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -57,12 +108,19 @@ pub struct Violation {
 /// Counters kept by the monitor.
 #[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
 pub struct MonitorStats {
-    /// Rules applied.
+    /// Rules applied (and still persisted — rolled-back batch prefixes are
+    /// not counted).
     pub permitted: usize,
     /// Rules denied by the restriction.
     pub denied: usize,
     /// Rules rejected by their own preconditions.
     pub malformed: usize,
+    /// De jure rules refused while the monitor was degraded.
+    pub refused: usize,
+    /// Violating explicit edges stripped by [`Monitor::quarantine`].
+    pub quarantined: usize,
+    /// Times the monitor returned from degraded mode to clean service.
+    pub recoveries: usize,
 }
 
 /// A protection system mediated by a restriction.
@@ -100,6 +158,19 @@ pub struct Monitor {
     restriction: Box<dyn Restriction>,
     log: Derivation,
     stats: MonitorStats,
+    journal: Option<Journal>,
+    degraded: bool,
+}
+
+impl core::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("graph", &self.graph)
+            .field("levels", &self.levels)
+            .field("stats", &self.stats)
+            .field("degraded", &self.degraded)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Monitor {
@@ -116,7 +187,60 @@ impl Monitor {
             restriction,
             log: Derivation::new(),
             stats: MonitorStats::default(),
+            journal: None,
+            degraded: false,
         }
+    }
+
+    /// Attaches a fresh write-ahead journal. From now on every attempted
+    /// rule application is recorded — with its outcome — *before* the
+    /// graph is mutated, so a crash at any point leaves a journal from
+    /// which [`journal::recover`](crate::journal::recover) rebuilds the
+    /// monitor exactly.
+    pub fn enable_journal(&mut self) {
+        self.journal = Some(Journal::new());
+    }
+
+    /// The attached write-ahead journal, if journaling is enabled.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Whether the monitor is in fail-closed degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    fn record(&mut self, event: &JournalEvent) {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.append(event);
+        }
+    }
+
+    /// Counts a refusal and returns its journal outcome tag.
+    fn count_refusal(&mut self, error: &MonitorError) -> Outcome {
+        match error {
+            MonitorError::Rule(_) => {
+                self.stats.malformed += 1;
+                Outcome::Malformed
+            }
+            MonitorError::Denied(_) => {
+                self.stats.denied += 1;
+                Outcome::Denied
+            }
+            MonitorError::Degraded => {
+                self.stats.refused += 1;
+                Outcome::Refused
+            }
+        }
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut MonitorStats {
+        &mut self.stats
+    }
+
+    pub(crate) fn journal_mut(&mut self) -> Option<&mut Journal> {
+        self.journal.as_mut()
     }
 
     /// The current graph.
@@ -140,13 +264,23 @@ impl Monitor {
     }
 
     /// Checks a rule without applying it.
+    ///
+    /// While the monitor is degraded every de jure rule fails closed with
+    /// [`MonitorError::Degraded`]; de facto rules (which only *exhibit*
+    /// existing flow, §6) are still checked normally.
     pub fn check(&self, rule: &Rule) -> Result<Effect, MonitorError> {
+        if self.degraded && matches!(rule, Rule::DeJure(_)) {
+            return Err(MonitorError::Degraded);
+        }
         let effect = match tg_rules::preview(&self.graph, rule) {
             Ok(e) => e,
             Err(e) => return Err(MonitorError::Rule(e)),
         };
         if let Rule::DeJure(dj) = rule {
-            match self.restriction.permits(&self.graph, &self.levels, dj, &effect) {
+            match self
+                .restriction
+                .permits(&self.graph, &self.levels, dj, &effect)
+            {
                 Decision::Permit => {}
                 Decision::Deny(reason) => return Err(MonitorError::Denied(reason)),
             }
@@ -158,16 +292,20 @@ impl Monitor {
     /// permits it. On success the rule is logged; created vertices inherit
     /// the creator's level.
     pub fn try_apply(&mut self, rule: &Rule) -> Result<Effect, MonitorError> {
-        match self.check(rule) {
-            Ok(_) => {}
-            Err(e) => {
-                match &e {
-                    MonitorError::Rule(_) => self.stats.malformed += 1,
-                    MonitorError::Denied(_) => self.stats.denied += 1,
-                }
-                return Err(e);
-            }
+        if let Err(e) = self.check(rule) {
+            let outcome = self.count_refusal(&e);
+            self.record(&JournalEvent::Attempt {
+                outcome,
+                rule: rule.clone(),
+            });
+            return Err(e);
         }
+        // Write-ahead: the decision reaches the journal before the graph
+        // mutates, so a crash between the two replays to the same state.
+        self.record(&JournalEvent::Attempt {
+            outcome: Outcome::Permitted,
+            rule: rule.clone(),
+        });
         let effect = tg_rules::apply(&mut self.graph, rule)?;
         if let Effect::Created { id, creator, .. } = &effect {
             if let Some(level) = self.levels.level_of(*creator) {
@@ -181,11 +319,105 @@ impl Monitor {
         Ok(effect)
     }
 
+    /// Applies a whole rule trace transactionally: either every rule is
+    /// applied (and logged, and counted permitted), or — at the first
+    /// refusal — the already-applied prefix is rolled back via exact
+    /// inverse effects ([`Effect::invert`]) and only the refused rule is
+    /// counted. The journal records the batch as `B`/`A…`/`C` on commit or
+    /// `B`/`A…`/`X` on abort; a crash mid-batch leaves no commit marker,
+    /// so recovery discards the partial batch — matching the rollback.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BatchError`] naming the first refused rule; the monitor
+    /// is left exactly as it was before the call.
+    pub fn try_apply_all(&mut self, rules: &[Rule]) -> Result<Vec<Effect>, BatchError> {
+        self.record(&JournalEvent::BatchBegin);
+        let mut applied: Vec<Effect> = Vec::with_capacity(rules.len());
+        for (index, rule) in rules.iter().enumerate() {
+            if let Err(error) = self.check(rule) {
+                // Roll back in reverse order: Created effects are only
+                // invertible while theirs is still the newest vertex.
+                for effect in applied.iter().rev() {
+                    effect
+                        .invert(&mut self.graph)
+                        .expect("inverse of an applied effect");
+                    if let Effect::Created { id, .. } = effect {
+                        self.levels.unassign(*id);
+                    }
+                }
+                let outcome = self.count_refusal(&error);
+                self.record(&JournalEvent::BatchAbort {
+                    index,
+                    outcome,
+                    rule: rule.clone(),
+                });
+                return Err(BatchError {
+                    index,
+                    rule: rule.clone(),
+                    error,
+                });
+            }
+            self.record(&JournalEvent::BatchApply { rule: rule.clone() });
+            let effect = tg_rules::apply(&mut self.graph, rule).expect("checked rule applies");
+            if let Effect::Created { id, creator, .. } = &effect {
+                if let Some(level) = self.levels.level_of(*creator) {
+                    self.levels
+                        .assign(*id, level)
+                        .expect("creator level exists");
+                }
+            }
+            applied.push(effect);
+        }
+        self.record(&JournalEvent::BatchCommit);
+        for rule in rules {
+            self.log.push(rule.clone());
+        }
+        self.stats.permitted += rules.len();
+        Ok(applied)
+    }
+
     /// Audits the whole graph against the restriction's edge invariant in
     /// one pass over the explicit edges (Corollary 5.6: linear in the
     /// number of edges — only `r`/`w` labels can violate).
     pub fn audit(&self) -> Vec<Violation> {
         audit_graph(&self.graph, &self.levels, self.restriction.as_ref())
+    }
+
+    /// Audits the graph and, if any violation is found (out-of-band
+    /// tampering — the monitor itself never commits one), enters
+    /// fail-closed degraded mode: every subsequent de jure rule is refused
+    /// until [`Monitor::quarantine`] repairs the graph.
+    pub fn audit_cycle(&mut self) -> Vec<Violation> {
+        let violations = self.audit();
+        if !violations.is_empty() {
+            self.degraded = true;
+        }
+        violations
+    }
+
+    /// Strips every violating explicit edge found by audit, then
+    /// re-audits. If the graph comes back clean and the monitor was
+    /// degraded, normal service resumes (counted in
+    /// [`MonitorStats::recoveries`]). Returns the violations that were
+    /// quarantined.
+    ///
+    /// Quarantines are repairs of *out-of-band* tampering, so they are not
+    /// journaled: the journal records rule traffic, and replaying it onto
+    /// the untampered seed never re-creates the stripped edges.
+    pub fn quarantine(&mut self) -> Vec<Violation> {
+        let violations = self.audit();
+        for violation in &violations {
+            self.graph
+                .remove_explicit_rights(violation.src, violation.dst, violation.rights)
+                .expect("audited edge exists");
+            self.stats.quarantined += 1;
+        }
+        if self.degraded && self.audit().is_empty() {
+            self.degraded = false;
+            self.stats.recoveries += 1;
+        }
+        violations
     }
 
     /// Counterfactual analysis of a denied rule: which *actual* de facto
@@ -204,6 +436,9 @@ impl Monitor {
             Ok(_) => return Ok(None),
             Err(MonitorError::Rule(e)) => return Err(e),
             Err(MonitorError::Denied(reason)) => reason,
+            // Degraded mode refuses without consulting the restriction;
+            // there is no counterfactual to explain.
+            Err(MonitorError::Degraded) => return Ok(None),
         };
         let mut scratch = self.graph.clone();
         tg_rules::apply(&mut scratch, rule)?;
@@ -485,6 +720,126 @@ mod tests {
             rights: Rights::R,
         });
         assert!(m.explain(&bad).is_err());
+    }
+
+    #[test]
+    fn batch_commits_atomically() {
+        let mut m = setup();
+        let lo = v(1);
+        let rules = vec![
+            Rule::DeJure(DeJureRule::Take {
+                actor: lo,
+                via: v(2),
+                target: v(0),
+                rights: Rights::E,
+            }),
+            Rule::DeJure(DeJureRule::Create {
+                actor: lo,
+                kind: VertexKind::Object,
+                rights: Rights::RW,
+                name: "scratch".to_string(),
+            }),
+        ];
+        let effects = m.try_apply_all(&rules).unwrap();
+        assert_eq!(effects.len(), 2);
+        assert_eq!(m.stats().permitted, 2);
+        assert_eq!(m.log().len(), 2);
+        assert!(m.graph().has_explicit(lo, v(0), Right::Execute));
+    }
+
+    #[test]
+    fn failed_batch_rolls_back_completely() {
+        let mut m = setup();
+        let lo = v(1);
+        let before_graph = m.graph().clone();
+        let before_levels = m.levels().clone();
+        let rules = vec![
+            // Applies: execute is unconstrained.
+            Rule::DeJure(DeJureRule::Take {
+                actor: lo,
+                via: v(2),
+                target: v(0),
+                rights: Rights::E,
+            }),
+            // Applies: creates a vertex that must be retracted again.
+            Rule::DeJure(DeJureRule::Create {
+                actor: lo,
+                kind: VertexKind::Subject,
+                rights: Rights::TG,
+                name: "child".to_string(),
+            }),
+            // Denied: read-up. The whole batch must roll back.
+            Rule::DeJure(DeJureRule::Take {
+                actor: lo,
+                via: v(2),
+                target: v(0),
+                rights: Rights::R,
+            }),
+        ];
+        let err = m.try_apply_all(&rules).unwrap_err();
+        assert_eq!(err.index, 2);
+        assert!(matches!(err.error, MonitorError::Denied(_)));
+        assert_eq!(m.graph(), &before_graph);
+        assert_eq!(m.levels(), &before_levels);
+        // Only the failing rule is counted; the rolled-back prefix is not.
+        assert_eq!(m.stats().permitted, 0);
+        assert_eq!(m.stats().denied, 1);
+        assert_eq!(m.log().len(), 0);
+    }
+
+    #[test]
+    fn degraded_mode_fails_closed_until_quarantine() {
+        let mut m = setup();
+        let (hi, lo) = (v(0), v(1));
+        // Out-of-band tampering: a read-up edge the monitor never saw.
+        m.graph.add_edge(lo, hi, Rights::R).unwrap();
+        assert_eq!(m.audit_cycle().len(), 1);
+        assert!(m.is_degraded());
+        // De jure rules — even harmless ones — are refused...
+        let exec = Rule::DeJure(DeJureRule::Take {
+            actor: lo,
+            via: v(2),
+            target: hi,
+            rights: Rights::E,
+        });
+        assert_eq!(m.try_apply(&exec), Err(MonitorError::Degraded));
+        assert_eq!(m.stats().refused, 1);
+        // ...and batches refuse at their first de jure rule.
+        let err = m.try_apply_all(std::slice::from_ref(&exec)).unwrap_err();
+        assert_eq!(err.error, MonitorError::Degraded);
+        // Quarantine strips the violating edge and restores service.
+        let quarantined = m.quarantine();
+        assert_eq!(quarantined.len(), 1);
+        assert!(!m.is_degraded());
+        assert_eq!(m.stats().quarantined, 1);
+        assert_eq!(m.stats().recoveries, 1);
+        assert!(!m.graph().has_explicit(lo, hi, Right::Read));
+        assert!(m.try_apply(&exec).is_ok());
+    }
+
+    #[test]
+    fn de_facto_rules_survive_degradation() {
+        // Degradation refuses de jure rules only: de facto rules exhibit
+        // flow that already exists, so refusing them hides information
+        // from the auditor without protecting anything.
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let shared = g.add_object("shared");
+        let z = g.add_subject("z");
+        g.add_edge(x, shared, Rights::R).unwrap();
+        g.add_edge(z, shared, Rights::W).unwrap();
+        let mut levels = LevelAssignment::linear(&["low", "high"]);
+        levels.assign(x, 0).unwrap();
+        levels.assign(shared, 0).unwrap();
+        levels.assign(z, 1).unwrap();
+        let mut m = Monitor::new(g, levels, Box::new(CombinedRestriction));
+        // Tamper to degrade: z (high) writes down to shared? Use a fresh
+        // read-up edge instead.
+        m.graph.add_edge(x, z, Rights::R).unwrap();
+        m.audit_cycle();
+        assert!(m.is_degraded());
+        let post = Rule::DeFacto(DeFactoRule::Post { x, y: shared, z });
+        assert!(m.try_apply(&post).is_ok());
     }
 
     #[test]

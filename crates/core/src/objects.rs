@@ -134,12 +134,7 @@ mod tests {
 
     #[test]
     fn incomparable_accessors_are_ambiguous() {
-        let built = lattice_hierarchy(
-            &["bottom", "left", "right"],
-            &[(1, 0), (2, 0)],
-            1,
-        )
-        .unwrap();
+        let built = lattice_hierarchy(&["bottom", "left", "right"], &[(1, 0), (2, 0)], 1).unwrap();
         let mut g = built.graph;
         let left = built.subjects[1][0];
         let right = built.subjects[2][0];

@@ -77,7 +77,9 @@ pub fn parse_policy(
             continue;
         }
         let mut parts = line.split_whitespace();
-        let keyword = parts.next().expect("nonempty line");
+        let Some(keyword) = parts.next() else {
+            continue;
+        };
         let args: Vec<&str> = parts.collect();
         match keyword {
             "level" => {
@@ -200,11 +202,7 @@ mod tests {
     fn rejects_duplicates_and_cycles() {
         let g = graph();
         assert!(parse_policy("level a\nlevel a\n", &g).is_err());
-        let e = parse_policy(
-            "level a\nlevel b\ndominates a b\ndominates b a\n",
-            &g,
-        )
-        .unwrap_err();
+        let e = parse_policy("level a\nlevel b\ndominates a b\ndominates b a\n", &g).unwrap_err();
         assert!(e.message.contains("cycle"));
     }
 

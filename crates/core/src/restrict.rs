@@ -59,13 +59,19 @@ impl core::fmt::Display for DenyReason {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             DenyReason::ReadUp { src, dst } => {
-                write!(f, "denied: {src} would acquire read over higher/incomparable {dst}")
+                write!(
+                    f,
+                    "denied: {src} would acquire read over higher/incomparable {dst}"
+                )
             }
             DenyReason::WriteDown { src, dst } => {
                 write!(f, "denied: {src} would acquire write over lower {dst}")
             }
             DenyReason::WrongDirection { actor, via } => {
-                write!(f, "denied: {actor} may not exercise a t/g edge toward {via}")
+                write!(
+                    f,
+                    "denied: {actor} may not exercise a t/g edge toward {via}"
+                )
             }
             DenyReason::ImmovableRights(r) => write!(f, "denied: rights {r} may not be moved"),
             DenyReason::Unassigned(v) => write!(f, "denied: {v} has no security level"),
@@ -242,7 +248,12 @@ impl Restriction for ApplicationRestriction {
 pub struct CombinedRestriction;
 
 impl CombinedRestriction {
-    fn check_edge(levels: &LevelAssignment, src: VertexId, dst: VertexId, rights: Rights) -> Decision {
+    fn check_edge(
+        levels: &LevelAssignment,
+        src: VertexId,
+        dst: VertexId,
+        rights: Rights,
+    ) -> Decision {
         if rights.intersects(Rights::RW) {
             let (Some(ls), Some(ld)) = (levels.level_of(src), levels.level_of(dst)) else {
                 let missing = if levels.level_of(src).is_none() {
@@ -326,7 +337,13 @@ mod tests {
     use super::*;
     use tg_graph::ProtectionGraph;
 
-    fn setup() -> (ProtectionGraph, LevelAssignment, VertexId, VertexId, VertexId) {
+    fn setup() -> (
+        ProtectionGraph,
+        LevelAssignment,
+        VertexId,
+        VertexId,
+        VertexId,
+    ) {
         let mut g = ProtectionGraph::new();
         let hi = g.add_subject("hi");
         let lo = g.add_subject("lo");
@@ -357,7 +374,10 @@ mod tests {
         };
         let rule = take(lo, hi, hi, Rights::R);
         let decision = CombinedRestriction.permits(&g, &levels, &rule, &effect);
-        assert_eq!(decision, Decision::Deny(DenyReason::ReadUp { src: lo, dst: hi }));
+        assert_eq!(
+            decision,
+            Decision::Deny(DenyReason::ReadUp { src: lo, dst: hi })
+        );
     }
 
     #[test]
@@ -380,22 +400,38 @@ mod tests {
     fn combined_permits_read_down_write_up_and_inert_rights() {
         let (g, levels, hi, lo, q) = setup();
         // Read down.
-        let e = Effect::ExplicitAdded { src: hi, dst: lo, rights: Rights::R };
+        let e = Effect::ExplicitAdded {
+            src: hi,
+            dst: lo,
+            rights: Rights::R,
+        };
         assert!(CombinedRestriction
             .permits(&g, &levels, &take(hi, q, lo, Rights::R), &e)
             .is_permit());
         // Write up.
-        let e = Effect::ExplicitAdded { src: lo, dst: hi, rights: Rights::W };
+        let e = Effect::ExplicitAdded {
+            src: lo,
+            dst: hi,
+            rights: Rights::W,
+        };
         assert!(CombinedRestriction
             .permits(&g, &levels, &take(lo, q, hi, Rights::W), &e)
             .is_permit());
         // Execute moves anywhere — "that is not constrained" (Fig 5.1).
-        let e = Effect::ExplicitAdded { src: lo, dst: hi, rights: Rights::E };
+        let e = Effect::ExplicitAdded {
+            src: lo,
+            dst: hi,
+            rights: Rights::E,
+        };
         assert!(CombinedRestriction
             .permits(&g, &levels, &take(lo, q, hi, Rights::E), &e)
             .is_permit());
         // Take/grant rights move anywhere too.
-        let e = Effect::ExplicitAdded { src: lo, dst: hi, rights: Rights::TG };
+        let e = Effect::ExplicitAdded {
+            src: lo,
+            dst: hi,
+            rights: Rights::TG,
+        };
         assert!(CombinedRestriction
             .permits(&g, &levels, &take(lo, q, hi, Rights::TG), &e)
             .is_permit());
@@ -418,7 +454,11 @@ mod tests {
     fn direction_restricts_the_exercised_edge() {
         let (g, levels, hi, lo, q) = setup();
         // hi takes from lo (downward): permitted.
-        let e = Effect::ExplicitAdded { src: hi, dst: q, rights: Rights::E };
+        let e = Effect::ExplicitAdded {
+            src: hi,
+            dst: q,
+            rights: Rights::E,
+        };
         assert!(DirectionRestriction
             .permits(&g, &levels, &take(hi, lo, q, Rights::E), &e)
             .is_permit());
@@ -434,11 +474,21 @@ mod tests {
     fn application_blocks_designated_rights_only() {
         let (g, levels, hi, lo, q) = setup();
         let r = ApplicationRestriction::no_read_transfer();
-        let e = Effect::ExplicitAdded { src: hi, dst: q, rights: Rights::R };
+        let e = Effect::ExplicitAdded {
+            src: hi,
+            dst: q,
+            rights: Rights::R,
+        };
         let d = r.permits(&g, &levels, &take(hi, lo, q, Rights::R), &e);
         assert_eq!(d, Decision::Deny(DenyReason::ImmovableRights(Rights::R)));
-        let e = Effect::ExplicitAdded { src: hi, dst: q, rights: Rights::W };
-        assert!(r.permits(&g, &levels, &take(hi, lo, q, Rights::W), &e).is_permit());
+        let e = Effect::ExplicitAdded {
+            src: hi,
+            dst: q,
+            rights: Rights::W,
+        };
+        assert!(r
+            .permits(&g, &levels, &take(hi, lo, q, Rights::W), &e)
+            .is_permit());
     }
 
     #[test]
@@ -455,8 +505,12 @@ mod tests {
             creator: lo,
             rights: Rights::RW,
         };
-        assert!(CombinedRestriction.permits(&g, &levels, &create, &e).is_permit());
-        assert!(DirectionRestriction.permits(&g, &levels, &create, &e).is_permit());
+        assert!(CombinedRestriction
+            .permits(&g, &levels, &create, &e)
+            .is_permit());
+        assert!(DirectionRestriction
+            .permits(&g, &levels, &create, &e)
+            .is_permit());
         let remove = DeJureRule::Remove {
             actor: hi,
             target: lo,
@@ -467,7 +521,9 @@ mod tests {
             dst: lo,
             removed: Rights::R,
         };
-        assert!(CombinedRestriction.permits(&g, &levels, &remove, &e).is_permit());
+        assert!(CombinedRestriction
+            .permits(&g, &levels, &remove, &e)
+            .is_permit());
     }
 
     #[test]

@@ -302,10 +302,7 @@ mod tests {
         let q = built.graph.add_object("q");
         built.assignment.assign(q, 1).unwrap();
         built.graph.add_edge(x, q, Rights::T).unwrap();
-        built
-            .graph
-            .add_edge(q, y, Rights::W | Rights::E)
-            .unwrap();
+        built.graph.add_edge(q, y, Rights::W | Rights::E).unwrap();
         let err = secure_policy(&built.graph, &built.assignment).unwrap_err();
         // The breach is y learning x's information via the write-down.
         assert_eq!(err.x, y);

@@ -42,9 +42,7 @@ impl BuiltHierarchy {
         self.graph
             .add_edge(holder, object, Rights::RW)
             .expect("fresh object edge");
-        self.assignment
-            .assign(object, level)
-            .expect("level exists");
+        self.assignment.assign(object, level).expect("level exists");
         object
     }
 }
@@ -259,8 +257,16 @@ mod tests {
         assert!(a.higher(ts_ab, conf_b));
         // The graph realizes it: secret.{A} knows confidential.{A} only.
         let g = &built.graph;
-        assert!(can_know_f(g, built.subjects[sec_a][0], built.subjects[conf_a][0]));
-        assert!(!can_know_f(g, built.subjects[sec_a][0], built.subjects[conf_b][0]));
+        assert!(can_know_f(
+            g,
+            built.subjects[sec_a][0],
+            built.subjects[conf_a][0]
+        ));
+        assert!(!can_know_f(
+            g,
+            built.subjects[sec_a][0],
+            built.subjects[conf_b][0]
+        ));
         // "While two subjects may have the same security classification,
         // the model makes no assumptions about their being able to
         // communicate": distinct same-shape levels stay incomparable.

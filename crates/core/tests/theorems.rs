@@ -277,7 +277,9 @@ fn combined_restriction_replays_secure_derivations() {
     ];
     let mut monitor = Monitor::new(g, levels, Box::new(CombinedRestriction));
     for rule in &steps {
-        monitor.try_apply(rule).expect("inert transfers are permitted");
+        monitor
+            .try_apply(rule)
+            .expect("inert transfers are permitted");
     }
     assert_eq!(monitor.stats().permitted, 2);
     assert!(secure_policy(monitor.graph(), monitor.levels()).is_ok());

@@ -1,0 +1,309 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so
+//! the benchmark API subset the bench suite uses is reimplemented here:
+//! [`Criterion`] with `sample_size`/`measurement_time`/`warm_up_time`
+//! builders, [`BenchmarkGroup`] with `bench_with_input`/`bench_function`,
+//! [`BenchmarkId`], [`Bencher::iter`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical analysis it reports the mean and
+//! minimum wall-clock time per iteration over `sample_size` samples, each
+//! sample running for roughly `measurement_time / sample_size`.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Untimed warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self, &mut f);
+        println!("{name:<40} {report}");
+        self
+    }
+}
+
+/// A named group of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let report = run_bench(self.criterion, &mut |b| f(b, input));
+        println!("{:<40} {report}", format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Runs one unparameterized benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self.criterion, &mut f);
+        println!("{:<40} {report}", format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Ends the group (retained for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iters_per_sample: u64,
+    /// Measured total duration and iteration count, filled by `iter`.
+    sample: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times to fill one sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let iters = self.iters_per_sample.max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std_black_box(routine());
+        }
+        self.sample = Some((start.elapsed(), iters));
+    }
+}
+
+struct Report {
+    mean: Duration,
+    min: Duration,
+    samples: usize,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {:>12?}   min {:>12?}   ({} samples)",
+            self.mean, self.min, self.samples
+        )
+    }
+}
+
+fn run_bench<F>(config: &Criterion, f: &mut F) -> Report
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: also used to estimate the per-iteration cost so each timed
+    // sample gets an iteration count filling its share of measurement_time.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut per_iter = Duration::from_micros(1);
+    while warm_start.elapsed() < config.warm_up_time {
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            sample: None,
+        };
+        f(&mut b);
+        if let Some((elapsed, iters)) = b.sample {
+            warm_iters += iters;
+            if warm_iters > 0 {
+                per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+                let _ = elapsed;
+            }
+        } else {
+            break; // closure never called iter(); nothing to measure
+        }
+    }
+
+    let sample_budget = config.measurement_time / config.sample_size.max(1) as u32;
+    let iters_per_sample = if per_iter.is_zero() {
+        1_000
+    } else {
+        (sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let mut total_iters: u64 = 0;
+    let mut samples = 0usize;
+    for _ in 0..config.sample_size {
+        let mut b = Bencher {
+            iters_per_sample,
+            sample: None,
+        };
+        f(&mut b);
+        let Some((elapsed, iters)) = b.sample else {
+            break;
+        };
+        total += elapsed;
+        total_iters += iters;
+        min = min.min(elapsed / iters.max(1) as u32);
+        samples += 1;
+    }
+    if samples == 0 || total_iters == 0 {
+        return Report {
+            mean: Duration::ZERO,
+            min: Duration::ZERO,
+            samples: 0,
+        };
+    }
+    Report {
+        mean: total / total_iters as u32,
+        min,
+        samples,
+    }
+}
+
+/// Declares a benchmark group entry point. Supports both the simple form
+/// `criterion_group!(benches, f, g)` and the block form with
+/// `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut called = 0u64;
+        quick().bench_function("counts", |b| {
+            b.iter(|| {
+                called += 1;
+                called
+            })
+        });
+        assert!(called > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_format() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &n| b.iter(|| n * 2));
+        group.bench_with_input(BenchmarkId::new("f", 7), &7, |b, &n| b.iter(|| n + 1));
+        group.finish();
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

@@ -121,7 +121,10 @@ impl Condensation {
     pub fn reachability(&self) -> Vec<Vec<bool>> {
         let k = self.len();
         let mut reach = vec![vec![false; k]; k];
-        #[expect(clippy::needless_range_loop, reason = "start indexes both the frontier and the matrix row")]
+        #[expect(
+            clippy::needless_range_loop,
+            reason = "start indexes both the frontier and the matrix row"
+        )]
         for start in 0..k {
             let mut todo = vec![start];
             while let Some(c) = todo.pop() {

@@ -16,6 +16,11 @@ pub enum GraphError {
     /// An edge was given the empty rights set. Edges carry nonempty labels;
     /// removing the last right removes the edge itself (paper §2, *remove*).
     EmptyRights,
+    /// [`pop_vertex`](crate::ProtectionGraph::pop_vertex) was asked to
+    /// remove a vertex that is not the most recently added one. Vertex ids
+    /// are dense creation-order indices, so only the newest vertex can be
+    /// retracted without invalidating other ids.
+    NotLastVertex(VertexId),
 }
 
 impl fmt::Display for GraphError {
@@ -24,6 +29,9 @@ impl fmt::Display for GraphError {
             GraphError::UnknownVertex(v) => write!(f, "unknown vertex {v}"),
             GraphError::SelfEdge(v) => write!(f, "self-edge on {v} is not allowed"),
             GraphError::EmptyRights => write!(f, "edge rights must be nonempty"),
+            GraphError::NotLastVertex(v) => {
+                write!(f, "{v} is not the most recently added vertex")
+            }
         }
     }
 }

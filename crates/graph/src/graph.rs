@@ -11,7 +11,6 @@ use crate::{GraphError, Right, Rights, Vertex, VertexId, VertexKind};
 /// jure rules) separate from the implicit label (potential information flow,
 /// exhibited by de facto rules).
 #[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EdgeRights {
     /// Rights recorded as authority by the protection system.
     pub explicit: Rights,
@@ -79,7 +78,6 @@ pub struct EdgeRecord {
 /// assert_eq!(g.rights(s, o).explicit(), Rights::RW);
 /// ```
 #[derive(Clone, PartialEq, Eq, Default, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProtectionGraph {
     vertices: Vec<Vertex>,
     /// Outgoing adjacency: `out[v]` maps successor index to labels.
@@ -228,7 +226,9 @@ impl ProtectionGraph {
 
     /// Finds the first vertex with the given name.
     pub fn find_by_name(&self, name: &str) -> Option<VertexId> {
-        self.vertices().find(|(_, v)| v.name == name).map(|(id, _)| id)
+        self.vertices()
+            .find(|(_, v)| v.name == name)
+            .map(|(id, _)| id)
     }
 
     /// The labels of the ordered pair `(src, dst)`; both labels are empty if
@@ -330,6 +330,56 @@ impl ProtectionGraph {
             self.inc[dst.index()].remove(&src.0);
         }
         Ok(removed)
+    }
+
+    /// Removes `rights` from the implicit label of `(src, dst)`; if the
+    /// label becomes empty and no explicit rights remain, the edge itself
+    /// is deleted. Returns the rights actually removed. The transactional
+    /// rollback in the reference monitor uses this to undo de facto
+    /// effects.
+    pub fn remove_implicit_rights(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        rights: Rights,
+    ) -> Result<Rights, GraphError> {
+        self.check_pair(src, dst)?;
+        let Some(cell) = self.out[src.index()].get_mut(&dst.0) else {
+            return Ok(Rights::EMPTY);
+        };
+        let removed = cell.implicit & rights;
+        cell.implicit = cell.implicit - rights;
+        if cell.is_empty() {
+            self.out[src.index()].remove(&dst.0);
+            self.inc[dst.index()].remove(&src.0);
+        }
+        Ok(removed)
+    }
+
+    /// Retracts the most recently added vertex, deleting it together with
+    /// every incident edge. Only the newest vertex can be removed — ids
+    /// are dense creation-order indices, so removing any other vertex
+    /// would renumber the rest (the model's graphs otherwise never shrink;
+    /// this exists solely so a rolled-back `create` leaves no trace).
+    pub fn pop_vertex(&mut self, id: VertexId) -> Result<(), GraphError> {
+        self.check(id)?;
+        if id.index() + 1 != self.vertices.len() {
+            return Err(GraphError::NotLastVertex(id));
+        }
+        let idx = id.index();
+        // Drop edges pointing at the vertex from its predecessors...
+        for src in std::mem::take(&mut self.inc[idx]) {
+            self.out[src as usize].remove(&id.0);
+        }
+        // ...and its own out-edges from the predecessor sets of their
+        // targets.
+        for &dst in self.out[idx].keys() {
+            self.inc[dst as usize].remove(&id.0);
+        }
+        self.out.pop();
+        self.inc.pop();
+        self.vertices.pop();
+        Ok(())
     }
 
     /// Deletes every implicit right in the graph. Implicit edges are derived
@@ -530,10 +580,8 @@ mod tests {
         g.add_edge(b, o, Rights::W).unwrap();
         g.add_edge(a, b, Rights::T).unwrap();
         g.add_edge(a, o, Rights::R).unwrap();
-        let pairs: Vec<(usize, usize)> = g
-            .edges()
-            .map(|e| (e.src.index(), e.dst.index()))
-            .collect();
+        let pairs: Vec<(usize, usize)> =
+            g.edges().map(|e| (e.src.index(), e.dst.index())).collect();
         assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 2)]);
     }
 
@@ -542,16 +590,5 @@ mod tests {
         let (g, a, _, _) = small();
         assert_eq!(g.find_by_name("a"), Some(a));
         assert_eq!(g.find_by_name("zzz"), None);
-    }
-
-    #[cfg(feature = "serde")]
-    #[test]
-    fn serde_round_trip() {
-        let (mut g, a, b, o) = small();
-        g.add_edge(a, b, Rights::TG).unwrap();
-        g.add_implicit_edge(b, o, Rights::R).unwrap();
-        let json = serde_json::to_string(&g).unwrap();
-        let back: ProtectionGraph = serde_json::from_str(&json).unwrap();
-        assert_eq!(g, back);
     }
 }

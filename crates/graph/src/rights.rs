@@ -23,7 +23,6 @@ use core::fmt;
 /// assert_eq!(Right::custom(7).unwrap().to_string(), "c7");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Right {
     /// The `r` (read) right: a *viewing* authority over the target.
     Read,
@@ -143,7 +142,6 @@ impl fmt::Display for Right {
 /// assert_eq!(rw.to_string(), "rw");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rights(u16);
 
 impl Rights {
@@ -273,8 +271,9 @@ impl Rights {
                 'e' => drop(set.insert(Right::Execute)),
                 'c' => {
                     let mut digits = String::new();
-                    while chars.peek().is_some_and(char::is_ascii_digit) {
-                        digits.push(chars.next().expect("peeked"));
+                    while let Some(&digit) = chars.peek().filter(|c| c.is_ascii_digit()) {
+                        digits.push(digit);
+                        chars.next();
                     }
                     let idx: u8 = digits
                         .parse()

@@ -10,7 +10,6 @@ use core::fmt;
 ///
 /// [`ProtectionGraph`]: crate::ProtectionGraph
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VertexId(pub(crate) u32);
 
 impl VertexId {
@@ -35,7 +34,6 @@ impl fmt::Display for VertexId {
 
 /// Whether a vertex is an active subject or a passive object.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum VertexKind {
     /// An active vertex (a user or process); the only kind that may invoke
     /// rewriting rules.
@@ -71,7 +69,6 @@ impl fmt::Display for VertexKind {
 /// ([`crate::parse_graph`]) requires uniqueness so edges can refer to
 /// vertices by name.
 #[derive(Clone, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Vertex {
     /// Subject or object.
     pub kind: VertexKind,

@@ -17,7 +17,6 @@ use crate::RuleError;
 
 /// An ordered sequence of rules.
 #[derive(Clone, PartialEq, Eq, Default, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Derivation {
     /// The rules, in application order.
     pub steps: Vec<Rule>,
@@ -36,7 +35,11 @@ pub struct ReplayError {
 
 impl fmt::Display for ReplayError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "step {} ({}) failed: {}", self.step, self.rule, self.error)
+        write!(
+            f,
+            "step {} ({}) failed: {}",
+            self.step, self.rule, self.error
+        )
     }
 }
 

@@ -48,6 +48,10 @@ pub enum RuleError {
     },
     /// The underlying graph rejected the mutation.
     Graph(GraphError),
+    /// An [`Effect`](crate::Effect) was materialized against a rule of a
+    /// different shape — an internal pairing violation, surfaced as a
+    /// typed error instead of a panic so callers fail closed.
+    EffectMismatch,
 }
 
 impl fmt::Display for RuleError {
@@ -63,15 +67,24 @@ impl fmt::Display for RuleError {
                 write!(f, "no explicit {right} right on edge {src} -> {dst}")
             }
             RuleError::MissingAny { src, dst, right } => {
-                write!(f, "no {right} right (explicit or implicit) on edge {src} -> {dst}")
+                write!(
+                    f,
+                    "no {right} right (explicit or implicit) on edge {src} -> {dst}"
+                )
             }
             RuleError::NotSubset { src, dst } => {
-                write!(f, "rights to move are not a subset of the {src} -> {dst} label")
+                write!(
+                    f,
+                    "rights to move are not a subset of the {src} -> {dst} label"
+                )
             }
             RuleError::NoEdgeToRemove { src, dst } => {
                 write!(f, "no explicit edge {src} -> {dst} to remove rights from")
             }
             RuleError::Graph(e) => write!(f, "graph error: {e}"),
+            RuleError::EffectMismatch => {
+                write!(f, "effect does not match the rule that produced it")
+            }
         }
     }
 }

@@ -84,7 +84,10 @@ pub fn reverse_take(
         });
     }
     if !g.rights(x, target).explicit().contains_all(rights) {
-        return Err(RuleError::NotSubset { src: x, dst: target });
+        return Err(RuleError::NotSubset {
+            src: x,
+            dst: target,
+        });
     }
 
     // 1. y creates v with {t, g}.
@@ -160,7 +163,10 @@ pub fn reverse_grant(
         });
     }
     if !g.rights(y, target).explicit().contains_all(rights) {
-        return Err(RuleError::NotSubset { src: y, dst: target });
+        return Err(RuleError::NotSubset {
+            src: y,
+            dst: target,
+        });
     }
 
     // 1. x creates v with {t, g}.

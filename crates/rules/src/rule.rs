@@ -9,7 +9,6 @@ use crate::error::RuleError;
 /// A de jure rule (paper §2): transfers *authority* by manipulating
 /// explicit edges. Only subjects may invoke rules.
 #[derive(Clone, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DeJureRule {
     /// *x takes (δ to z) from y*: requires subject `x`, explicit `t` on
     /// `x → y` and `δ ⊆ β` on `y → z`; adds explicit `x → z : δ`.
@@ -67,7 +66,6 @@ pub enum DeJureRule {
 /// `x ⇢ z : r` (the conclusion of each rule) means information can flow
 /// from `z` to `x`.
 #[derive(Clone, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DeFactoRule {
     /// `x →r y ← w← z`, with `x` and `z` subjects: `z` writes into the
     /// shared vertex `y` and `x` reads it. Adds `x ⇢ z : r`.
@@ -113,7 +111,6 @@ pub enum DeFactoRule {
 
 /// Any rewriting rule.
 #[derive(Clone, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Rule {
     /// A de jure (authority) rule.
     DeJure(DeJureRule),
@@ -202,6 +199,13 @@ impl fmt::Display for Rule {
 }
 
 /// The change a successfully applied rule makes.
+///
+/// Effects record the *delta*: the rights that were genuinely new on the
+/// edge, not the (possibly overlapping) set the rule requested. A take of
+/// `{r, w}` over an edge that already carried `r` yields
+/// `ExplicitAdded { rights: {w} }` — and an empty delta when nothing was
+/// new. This makes [`Effect::invert`] an exact inverse, which the
+/// monitor's transactional rollback depends on.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Effect {
     /// An explicit edge gained `rights` (de jure take/grant).
@@ -210,16 +214,18 @@ pub enum Effect {
         src: VertexId,
         /// Edge destination.
         dst: VertexId,
-        /// Rights added (may duplicate existing rights).
+        /// The rights newly added: the requested set minus whatever the
+        /// edge already carried. May be empty.
         rights: Rights,
     },
-    /// An implicit edge gained `rights` (de facto rules; always `{r}`).
+    /// An implicit edge gained `rights` (de facto rules; `{r}` or empty if
+    /// the implicit edge already existed).
     ImplicitAdded {
         /// Edge source.
         src: VertexId,
         /// Edge destination.
         dst: VertexId,
-        /// Rights added.
+        /// The rights newly added. May be empty.
         rights: Rights,
     },
     /// A vertex was created, with `rights` on the creator's edge to it.
@@ -244,6 +250,44 @@ pub enum Effect {
     },
 }
 
+impl Effect {
+    /// Undoes this effect on `graph`, restoring the state from before the
+    /// rule ran. Effects record exact deltas, so inversion is lossless:
+    /// added rights are removed, removed rights are re-added, and a
+    /// created vertex is retracted via
+    /// [`ProtectionGraph::pop_vertex`].
+    ///
+    /// A sequence of effects must be inverted in **reverse** application
+    /// order — in particular a `Created` effect can only be inverted while
+    /// its vertex is still the newest one, which reverse order guarantees.
+    /// The monitor's transactional batch application
+    /// (`Monitor::try_apply_all` in `tg-hierarchy`) rolls back exactly
+    /// this way.
+    pub fn invert(&self, graph: &mut ProtectionGraph) -> Result<(), RuleError> {
+        match self {
+            Effect::ExplicitAdded { src, dst, rights } => {
+                if !rights.is_empty() {
+                    graph.remove_explicit_rights(*src, *dst, *rights)?;
+                }
+            }
+            Effect::ImplicitAdded { src, dst, rights } => {
+                if !rights.is_empty() {
+                    graph.remove_implicit_rights(*src, *dst, *rights)?;
+                }
+            }
+            Effect::Created { id, .. } => {
+                graph.pop_vertex(*id)?;
+            }
+            Effect::Removed { src, dst, removed } => {
+                if !removed.is_empty() {
+                    graph.add_edge(*src, *dst, *removed)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 fn distinct3(a: VertexId, b: VertexId, c: VertexId) -> Result<(), RuleError> {
     if a == b || b == c || a == c {
         Err(RuleError::VerticesNotDistinct)
@@ -252,11 +296,7 @@ fn distinct3(a: VertexId, b: VertexId, c: VertexId) -> Result<(), RuleError> {
     }
 }
 
-fn require_subject(
-    g: &ProtectionGraph,
-    v: VertexId,
-    role: &'static str,
-) -> Result<(), RuleError> {
+fn require_subject(g: &ProtectionGraph, v: VertexId, role: &'static str) -> Result<(), RuleError> {
     if !g.contains_vertex(v) {
         return Err(RuleError::Graph(tg_graph::GraphError::UnknownVertex(v)));
     }
@@ -328,10 +368,11 @@ pub fn preview(graph: &ProtectionGraph, rule: &Rule) -> Result<Effect, RuleError
             if rights.is_empty() {
                 return Err(RuleError::Graph(tg_graph::GraphError::EmptyRights));
             }
+            let already = graph.rights(*actor, *target).explicit();
             Ok(Effect::ExplicitAdded {
                 src: *actor,
                 dst: *target,
-                rights: *rights,
+                rights: rights.difference(already),
             })
         }
         Rule::DeJure(DeJureRule::Grant {
@@ -355,10 +396,11 @@ pub fn preview(graph: &ProtectionGraph, rule: &Rule) -> Result<Effect, RuleError
             if rights.is_empty() {
                 return Err(RuleError::Graph(tg_graph::GraphError::EmptyRights));
             }
+            let already = graph.rights(*via, *target).explicit();
             Ok(Effect::ExplicitAdded {
                 src: *via,
                 dst: *target,
-                rights: *rights,
+                rights: rights.difference(already),
             })
         }
         Rule::DeJure(DeJureRule::Create { actor, rights, .. }) => {
@@ -428,10 +470,11 @@ pub fn preview(graph: &ProtectionGraph, rule: &Rule) -> Result<Effect, RuleError
                     require_any(graph, z, y, Right::Write)?;
                 }
             }
+            let already = graph.rights(x, z).implicit();
             Ok(Effect::ImplicitAdded {
                 src: x,
                 dst: z,
-                rights: Rights::R,
+                rights: Rights::R.difference(already),
             })
         }
     }
@@ -443,14 +486,22 @@ pub fn apply(graph: &mut ProtectionGraph, rule: &Rule) -> Result<Effect, RuleErr
     let effect = preview(graph, rule)?;
     match &effect {
         Effect::ExplicitAdded { src, dst, rights } => {
-            graph.add_edge(*src, *dst, *rights)?;
+            if !rights.is_empty() {
+                graph.add_edge(*src, *dst, *rights)?;
+            }
         }
         Effect::ImplicitAdded { src, dst, rights } => {
-            graph.add_implicit_edge(*src, *dst, *rights)?;
+            if !rights.is_empty() {
+                graph.add_implicit_edge(*src, *dst, *rights)?;
+            }
         }
-        Effect::Created { creator, rights, .. } => {
+        Effect::Created {
+            creator, rights, ..
+        } => {
+            // preview() only returns Created for Create rules; if that
+            // pairing is ever violated, refuse rather than panic.
             let Rule::DeJure(DeJureRule::Create { kind, name, .. }) = rule else {
-                unreachable!("Created effect comes from Create rules only");
+                return Err(RuleError::EffectMismatch);
             };
             let id = graph.add_vertex(*kind, name.clone());
             if !rights.is_empty() {
@@ -866,6 +917,100 @@ mod tests {
             }),
         )
         .unwrap();
+        assert_eq!(g, snapshot);
+    }
+
+    #[test]
+    fn effects_record_deltas_not_requests() {
+        let (mut g, x, y, z) = setup();
+        g.add_edge(x, y, Rights::T).unwrap();
+        g.add_edge(y, z, Rights::RW).unwrap();
+        g.add_edge(x, z, Rights::R).unwrap(); // x already holds r on z
+        let effect = apply(
+            &mut g,
+            &Rule::DeJure(DeJureRule::Take {
+                actor: x,
+                via: y,
+                target: z,
+                rights: Rights::RW,
+            }),
+        )
+        .unwrap();
+        // Only w was new.
+        assert_eq!(
+            effect,
+            Effect::ExplicitAdded {
+                src: x,
+                dst: z,
+                rights: Rights::W
+            }
+        );
+    }
+
+    #[test]
+    fn invert_restores_the_prior_graph() {
+        let (mut g, x, y, z) = setup();
+        g.add_edge(x, y, Rights::TG).unwrap();
+        g.add_edge(y, z, Rights::RW).unwrap();
+        g.add_edge(x, z, Rights::R).unwrap();
+        let rules: Vec<Rule> = vec![
+            DeJureRule::Take {
+                actor: x,
+                via: y,
+                target: z,
+                rights: Rights::RW, // r duplicates, w is new
+            }
+            .into(),
+            DeJureRule::Create {
+                actor: x,
+                kind: tg_graph::VertexKind::Object,
+                rights: Rights::RW,
+                name: "scratch".to_string(),
+            }
+            .into(),
+            DeFactoRule::Spy { x, y: x, z }.into(), // malformed; skipped below
+            DeJureRule::Remove {
+                actor: x,
+                target: z,
+                rights: Rights::R,
+            }
+            .into(),
+        ];
+        let snapshot = g.clone();
+        let mut effects = Vec::new();
+        for rule in &rules {
+            if let Ok(effect) = apply(&mut g, rule) {
+                effects.push(effect);
+            }
+        }
+        assert_eq!(effects.len(), 3);
+        assert_ne!(g, snapshot);
+        for effect in effects.iter().rev() {
+            effect.invert(&mut g).unwrap();
+        }
+        assert_eq!(g, snapshot);
+    }
+
+    #[test]
+    fn invert_of_duplicate_de_facto_is_a_noop() {
+        let (mut g, x, y, z) = setup();
+        g.add_edge(x, y, Rights::R).unwrap();
+        g.add_edge(y, z, Rights::R).unwrap();
+        let spy = Rule::DeFacto(DeFactoRule::Spy { x, y, z });
+        apply(&mut g, &spy).unwrap();
+        let snapshot = g.clone();
+        // Second application adds nothing; inverting it must not delete
+        // the implicit edge the first application created.
+        let effect = apply(&mut g, &spy).unwrap();
+        assert_eq!(
+            effect,
+            Effect::ImplicitAdded {
+                src: x,
+                dst: z,
+                rights: Rights::EMPTY
+            }
+        );
+        effect.invert(&mut g).unwrap();
         assert_eq!(g, snapshot);
     }
 

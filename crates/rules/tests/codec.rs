@@ -1,9 +1,8 @@
-//! Serialization round trips for rules and derivations — the on-disk form
-//! a monitoring deployment would log and replay.
-
-#![cfg(feature = "serde")]
+//! Codec round trips for rules and derivations — the on-disk form the
+//! monitor's write-ahead journal logs and replays.
 
 use tg_graph::{ProtectionGraph, Rights, VertexId, VertexKind};
+use tg_rules::codec::{decode_derivation, decode_rule, encode_derivation, encode_rule};
 use tg_rules::{DeFactoRule, DeJureRule, Derivation, Rule};
 
 fn sample_rules() -> Vec<Rule> {
@@ -56,17 +55,17 @@ fn sample_rules() -> Vec<Rule> {
 }
 
 #[test]
-fn every_rule_round_trips_through_json() {
+fn every_rule_round_trips_through_the_codec() {
     for rule in sample_rules() {
-        let json = serde_json::to_string(&rule).unwrap();
-        let back: Rule = serde_json::from_str(&json).unwrap();
-        assert_eq!(rule, back, "{json}");
+        let line = encode_rule(&rule);
+        let back = decode_rule(&line).unwrap();
+        assert_eq!(rule, back, "{line}");
     }
 }
 
 #[test]
 fn derivations_round_trip_and_still_replay() {
-    // A real derivation from a session, serialized, deserialized, replayed.
+    // A real derivation from a session, encoded, decoded, replayed.
     let mut g = ProtectionGraph::new();
     let s = g.add_subject("s");
     let q = g.add_object("q");
@@ -88,8 +87,8 @@ fn derivations_round_trip_and_still_replay() {
         name: "copy".to_string(),
     });
 
-    let json = serde_json::to_string_pretty(&d).unwrap();
-    let back: Derivation = serde_json::from_str(&json).unwrap();
+    let text = encode_derivation(&d);
+    let back = decode_derivation(&text).unwrap();
     assert_eq!(d, back);
     let from_original = d.replayed(&g).unwrap();
     let from_wire = back.replayed(&g).unwrap();
@@ -98,7 +97,21 @@ fn derivations_round_trip_and_still_replay() {
 }
 
 #[test]
-fn malformed_json_is_rejected() {
-    assert!(serde_json::from_str::<Rule>("{\"DeJure\":{\"Take\":{}}}").is_err());
-    assert!(serde_json::from_str::<Derivation>("{\"steps\": 3}").is_err());
+fn malformed_lines_are_rejected() {
+    assert!(decode_rule("take").is_err());
+    assert!(decode_rule("take 0 1 2 x1 extra").is_err());
+    assert!(decode_rule("borrow 0 1 2").is_err());
+    assert!(decode_rule("post 0 one 2").is_err());
+    assert!(decode_derivation("take 0 1 2 x1\ngarbage line\n").is_err());
+}
+
+#[test]
+fn custom_rights_beyond_the_named_five_round_trip() {
+    let rule = Rule::DeJure(DeJureRule::Take {
+        actor: VertexId::from_index(0),
+        via: VertexId::from_index(1),
+        target: VertexId::from_index(2),
+        rights: Rights::from_bits(0b1010_0000_0010_0001),
+    });
+    assert_eq!(decode_rule(&encode_rule(&rule)).unwrap(), rule);
 }

@@ -1,7 +1,6 @@
 //! Seeded random generators.
 
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
+use crate::prng::Prng;
 use tg_graph::{ProtectionGraph, Right, Rights, VertexId, VertexKind};
 use tg_hierarchy::structure::{linear_hierarchy, BuiltHierarchy};
 use tg_rules::{DeFactoRule, DeJureRule, Rule};
@@ -43,7 +42,7 @@ impl Default for GraphGen {
 impl GraphGen {
     /// Generates the graph. Deterministic in the configuration.
     pub fn build(&self) -> ProtectionGraph {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut rng = Prng::seed_from_u64(self.seed);
         let mut g = ProtectionGraph::with_capacity(self.vertices);
         for i in 0..self.vertices {
             if rng.gen_bool(self.subject_ratio.clamp(0.0, 1.0)) {
@@ -109,7 +108,7 @@ impl HierarchyGen {
         let names: Vec<String> = (0..self.levels.max(1)).map(|i| format!("L{i}")).collect();
         let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
         let mut built = linear_hierarchy(&name_refs, self.per_level.max(1));
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut rng = Prng::seed_from_u64(self.seed);
         let n = built.graph.vertex_count();
         for _ in 0..self.noise_edges {
             let src = VertexId::from_index(rng.gen_range(0..n));
@@ -117,7 +116,11 @@ impl HierarchyGen {
             if src == dst {
                 continue;
             }
-            let right = if rng.gen_bool(0.5) { Rights::R } else { Rights::W };
+            let right = if rng.gen_bool(0.5) {
+                Rights::R
+            } else {
+                Rights::W
+            };
             built.graph.add_edge(src, dst, right).expect("validated");
         }
         built
@@ -126,12 +129,11 @@ impl HierarchyGen {
 
 /// Generates a random rule against `graph` — may or may not satisfy the
 /// rule's preconditions; callers feed it to a monitor and observe.
-pub fn random_rule(graph: &ProtectionGraph, rng: &mut impl Rng) -> Rule {
+pub fn random_rule(graph: &ProtectionGraph, rng: &mut Prng) -> Rule {
     let n = graph.vertex_count().max(1);
-    let pick = |rng: &mut dyn RngCore| VertexId::from_index(rng.gen_range(0..n));
-    let rights = Rights::singleton(
-        Right::from_index(rng.gen_range(0..5)).expect("named rights"),
-    );
+    let pick = |rng: &mut Prng| VertexId::from_index(rng.gen_range(0..n));
+    let rights =
+        Rights::singleton(Right::from_index(rng.gen_range(0..5) as u8).expect("named rights"));
     match rng.gen_range(0..6) {
         0 => Rule::DeJure(DeJureRule::Take {
             actor: pick(rng),
@@ -175,7 +177,7 @@ pub fn random_rule(graph: &ProtectionGraph, rng: &mut impl Rng) -> Rule {
 
 /// A deterministic stream of random rules.
 pub fn random_trace(graph: &ProtectionGraph, len: usize, seed: u64) -> Vec<Rule> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     (0..len).map(|_| random_rule(graph, &mut rng)).collect()
 }
 

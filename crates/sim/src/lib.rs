@@ -9,10 +9,17 @@
 //!   the paper's complexity claims.
 //! * [`scenarios`] — every figure of the paper reconstructed as an
 //!   executable scenario with its expected facts.
+//! * [`prng`] — the deterministic in-tree random-number generator behind
+//!   [`gen`] and [`faults`] (no external `rand` dependency).
+//! * [`faults`] — fault injection: adversarial traces, journal byte
+//!   corruption, and out-of-band graph/level tampering for testing the
+//!   monitor's crash-safety and fail-closed guarantees.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod gen;
+pub mod prng;
 pub mod scenarios;
 pub mod workload;

@@ -157,9 +157,7 @@ pub fn fig_5_1() -> Fig51 {
     let s = graph.add_object("s");
     let y = graph.add_subject("y");
     graph.add_edge(x, s, Rights::T).expect("edge");
-    graph
-        .add_edge(s, y, Rights::W | Rights::E)
-        .expect("edge");
+    graph.add_edge(s, y, Rights::W | Rights::E).expect("edge");
     let mut assignment = LevelAssignment::linear(&["low", "high"]);
     assignment.assign(x, 1).expect("level");
     assignment.assign(s, 1).expect("level");
@@ -238,22 +236,21 @@ mod tests {
         assert!(!islands.same_island(fig.u, fig.w));
         // Bridges: u,v,w and w,x,y.
         let dfa = tg_paths::lang::bridge();
-        let search = tg_paths::PathSearch::new(
-            &fig.graph,
-            &dfa,
-            tg_paths::SearchConfig::explicit_only(),
-        );
+        let search =
+            tg_paths::PathSearch::new(&fig.graph, &dfa, tg_paths::SearchConfig::explicit_only());
         let hit = search.find(&[fig.u], |v| v == fig.w).unwrap();
         assert_eq!(hit.vertices, vec![fig.u, fig.v, fig.w]);
         let hit = search.find(&[fig.w], |v| v == fig.y).unwrap();
         assert_eq!(hit.vertices, vec![fig.w, fig.x, fig.y]);
         // Spans.
         let initial = tg_analysis::initial_spanners(&fig.graph, fig.q);
-        assert!(initial.iter().any(|sp| sp.subject == fig.p
-            && format_word(&sp.word) == "g>"));
+        assert!(initial
+            .iter()
+            .any(|sp| sp.subject == fig.p && format_word(&sp.word) == "g>"));
         let terminal = tg_analysis::terminal_spanners(&fig.graph, fig.s);
-        assert!(terminal.iter().any(|sp| sp.subject == fig.s_prime
-            && format_word(&sp.word) == "t>"));
+        assert!(terminal
+            .iter()
+            .any(|sp| sp.subject == fig.s_prime && format_word(&sp.word) == "t>"));
         // And the punchline: everything composes, so s' sharing r to s
         // means p's grantee q can receive it.
         let mut g = fig.graph.clone();
@@ -330,8 +327,8 @@ mod tests {
         assert!(secure_policy(&fig.graph, &fig.assignment).is_err());
         // The de jure witness uses no de facto rules at all to obtain the
         // read edge.
-        let d = tg_analysis::synthesis::share_witness(&fig.graph, Right::Read, fig.x, fig.y)
-            .unwrap();
+        let d =
+            tg_analysis::synthesis::share_witness(&fig.graph, Right::Read, fig.x, fig.y).unwrap();
         assert_eq!(d.de_facto_count(), 0);
         assert!(d
             .replayed(&fig.graph)

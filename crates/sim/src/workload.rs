@@ -113,8 +113,7 @@ mod tests {
     fn bridge_chains_need_the_whole_chain() {
         // Removing the middle island's outgoing bridge breaks sharing.
         let (g, first, secret) = bridge_chain(3);
-        let evidence =
-            tg_analysis::can_share_detail(&g, Right::Read, first, secret).unwrap();
+        let evidence = tg_analysis::can_share_detail(&g, Right::Read, first, secret).unwrap();
         assert_eq!(evidence.island_chain.len(), 4);
         assert_eq!(evidence.bridges.len(), 3);
     }

@@ -46,8 +46,10 @@ fn main() {
     let mut total = 0;
     for &clerk in &clerks {
         for &doc in &docs {
-            for (right, mode) in [(Right::Read, AccessMode::Read), (Right::Write, AccessMode::Append)]
-            {
+            for (right, mode) in [
+                (Right::Read, AccessMode::Read),
+                (Right::Write, AccessMode::Append),
+            ] {
                 let rule = Rule::DeJure(DeJureRule::Take {
                     actor: clerk,
                     via: directory,

@@ -32,11 +32,7 @@ fn main() {
         let chain = match &conspiracy {
             None => "-".to_string(),
             Some(c) if c.is_empty() => "already holds it".to_string(),
-            Some(c) => c
-                .iter()
-                .map(|&v| names(v))
-                .collect::<Vec<_>>()
-                .join(" -> "),
+            Some(c) => c.iter().map(|&v| names(v)).collect::<Vec<_>>().join(" -> "),
         };
         println!(
             "{:<10} can_steal = {:<5} conspirators = {}",

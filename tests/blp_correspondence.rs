@@ -14,11 +14,8 @@ fn lattice(order_kind: usize) -> LevelAssignment {
     match order_kind {
         0 => LevelAssignment::linear(&["l0", "l1", "l2"]),
         1 => LevelAssignment::new(&["l0", "l1", "l2"], &[(1, 0), (2, 0)]).unwrap(),
-        _ => LevelAssignment::new(
-            &["l0", "l1", "l2", "l3"],
-            &[(1, 0), (2, 0), (3, 1), (3, 2)],
-        )
-        .unwrap(),
+        _ => LevelAssignment::new(&["l0", "l1", "l2", "l3"], &[(1, 0), (2, 0), (3, 1), (3, 2)])
+            .unwrap(),
     }
 }
 
@@ -91,7 +88,10 @@ fn monitored_trace_bisimulates_blp() {
     let mut blp = BlpState::new(levels);
     for &s in &subjects {
         for (l, &o) in objects.iter().enumerate() {
-            for (right, mode) in [(Right::Read, AccessMode::Read), (Right::Write, AccessMode::Append)] {
+            for (right, mode) in [
+                (Right::Read, AccessMode::Read),
+                (Right::Write, AccessMode::Append),
+            ] {
                 let rule = Rule::DeJure(DeJureRule::Take {
                     actor: s,
                     via: registries[l],

@@ -26,8 +26,7 @@ fn figure_2_2_vocabulary() {
 #[test]
 fn figure_3_1_associated_words() {
     let fig = scenarios::fig_3_1();
-    let words =
-        take_grant::paths::associated_words(&fig.graph, &fig.path, Rights::RW, false);
+    let words = take_grant::paths::associated_words(&fig.graph, &fig.path, Rights::RW, false);
     assert_eq!(words.len(), 2);
 }
 

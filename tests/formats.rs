@@ -1,5 +1,5 @@
-//! Interchange-format round trips through the public facade: text format,
-//! DOT, and (for the graph structure) serde JSON.
+//! Interchange-format round trips through the public facade: the text
+//! format, DOT, and the rule codec behind the monitor journal.
 
 use proptest::prelude::*;
 use take_grant::graph::{parse_graph, render_graph, DotOptions, ProtectionGraph, Rights, VertexId};
@@ -51,10 +51,9 @@ fn dot_output_mentions_every_vertex_and_edge() {
 }
 
 #[test]
-fn serde_round_trips_preserve_analysis_results() {
+fn text_round_trips_preserve_analysis_results() {
     let graph = take_grant::sim::scenarios::fig_6_1().graph;
-    let json = serde_json::to_string(&graph).unwrap();
-    let back: ProtectionGraph = serde_json::from_str(&json).unwrap();
+    let back = parse_graph(&render_graph(&graph)).unwrap();
     assert_eq!(graph, back);
     let x = back.find_by_name("x").unwrap();
     let y = back.find_by_name("y").unwrap();
