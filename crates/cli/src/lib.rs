@@ -12,7 +12,12 @@
 //! tgq figure <2.1|2.2|3.1|4.1|4.2|5.1|6.1>
 //! tgq monitor <graph> <policy> <trace> [--journal <file>] [--batch]
 //! tgq replay <graph> <policy> <journal>
+//! tgq lint <graph> [<policy>] [--format text|json|sarif] [--fix] [--deny <code>]
 //! ```
+//!
+//! Exit codes: `0` success (for `lint`: no diagnostics above info), `1`
+//! analysis failure or negative verdict (for `lint`: warnings), `2` usage
+//! error (for `lint`: error-severity diagnostics).
 //!
 //! Graph files use the `tg-graph` text format (`subject`/`object`/`edge`
 //! lines); vertices are referred to by name. Rule traces use the
@@ -26,16 +31,93 @@ use std::fmt::Write as _;
 use tg_analysis::{
     can_know, can_know_f, can_share, can_steal, min_conspirators, synthesis, Islands,
 };
-use tg_graph::{parse_graph, render_graph, DotOptions, ProtectionGraph, Right, VertexId};
+use tg_graph::{
+    parse_graph, parse_graph_with_spans, render_graph, DotOptions, ProtectionGraph, Right, VertexId,
+};
 use tg_hierarchy::monitor::audit_graph;
 use tg_hierarchy::policy::parse_policy;
 use tg_hierarchy::{rw_levels, rwtg_levels, secure_derived, secure_policy, CombinedRestriction};
+use tg_lint::{apply_deny, apply_fixes, render, LintContext, Registry, Severity};
+
+/// How a `tgq` invocation failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CliError {
+    /// The command line itself is wrong (unknown subcommand, bad arity,
+    /// malformed flag). The binary exits `2`.
+    Usage(String),
+    /// The inputs or the analysis failed (unreadable file, parse error,
+    /// negative verdict). The binary exits `1`.
+    Fail(String),
+}
+
+impl CliError {
+    /// The message, regardless of kind.
+    pub fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Fail(m) => m,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> CliError {
+        CliError::Fail(m)
+    }
+}
+
+impl core::fmt::Display for CliError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+/// Per-command usage strings (also printed on bad arity).
+const USAGES: &[(&str, &str)] = &[
+    ("show", "tgq show <file>"),
+    ("dot", "tgq dot <file>"),
+    ("islands", "tgq islands <file>"),
+    ("levels", "tgq levels <file>"),
+    ("secure", "tgq secure <file>"),
+    ("secure-policy", "tgq secure-policy <graph-file> <policy-file>"),
+    ("audit", "tgq audit <graph-file> <policy-file>"),
+    (
+        "explain",
+        "tgq explain <graph> <policy> take|grant <actor> <via> <target> <right>",
+    ),
+    ("can-share", "tgq can-share <file> <right> <x> <y> [--witness]"),
+    ("can-know", "tgq can-know <file> <x> <y> [--witness]"),
+    ("can-know-f", "tgq can-know-f <file> <x> <y>"),
+    ("can-steal", "tgq can-steal <file> <right> <x> <y> [--witness]"),
+    ("conspirators", "tgq conspirators <file> <right> <x> <y>"),
+    ("figure", "tgq figure <2.1|2.2|3.1|4.1|4.2|5.1|6.1>"),
+    (
+        "monitor",
+        "tgq monitor <graph> <policy> <trace> [--journal <file>] [--batch]",
+    ),
+    ("replay", "tgq replay <graph> <policy> <journal>"),
+    (
+        "lint",
+        "tgq lint <graph> [<policy>] [--format text|json|sarif] [--fix] [--deny <code|warn|info|all>]",
+    ),
+];
+
+/// The usage error for one command.
+fn usage_of(command: &str) -> CliError {
+    let line = USAGES
+        .iter()
+        .find(|(c, _)| *c == command)
+        .map(|(_, u)| *u)
+        .expect("every dispatched command has a usage line");
+    CliError::Usage(format!("usage: {line}"))
+}
 
 fn usage() -> String {
-    "usage: tgq <show|dot|islands|levels|secure|secure-policy|audit|explain|can-share|\
-     can-know|can-know-f|can-steal|conspirators|figure|monitor|replay> ...\n\
-     run with a command name for details"
-        .to_string()
+    let mut out = String::from("usage: tgq <command> ...\n");
+    for (_, line) in USAGES {
+        let _ = writeln!(out, "  {line}");
+    }
+    out.push_str("run with a command name for details");
+    out
 }
 
 fn load(path: &str) -> Result<ProtectionGraph, String> {
@@ -55,16 +137,29 @@ fn name(graph: &ProtectionGraph, v: VertexId) -> String {
 
 /// Executes one `tgq` invocation, writing human-readable output to `out`.
 /// Returns `Err` with a message for usage errors, unparsable inputs and
-/// negative `secure`-family verdicts (the binary maps these to a nonzero
-/// exit status).
+/// negative `secure`-family verdicts, and `Err` with a short summary when
+/// a command (such as `lint`) asks for a nonzero exit despite producing
+/// output. Compatibility wrapper over [`run_full`].
 pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
+    match run_full(args, out) {
+        Ok(0) => Ok(()),
+        Ok(code) => Err(format!("exit code {code}")),
+        Err(e) => Err(e.message().to_string()),
+    }
+}
+
+/// Executes one `tgq` invocation, writing human-readable output to `out`.
+/// `Ok(code)` is the process exit status a successful dispatch asks for
+/// (nonzero for `lint` findings); [`CliError`] distinguishes usage errors
+/// (exit `2`) from input/analysis failures (exit `1`).
+pub fn run_full(args: &[String], out: &mut String) -> Result<u8, CliError> {
     let mut iter = args.iter().map(String::as_str);
-    let command = iter.next().ok_or_else(usage)?;
+    let command = iter.next().ok_or_else(|| CliError::Usage(usage()))?;
     let rest: Vec<&str> = iter.collect();
     match command {
         "show" => {
             let [path] = rest.as_slice() else {
-                return Err("usage: tgq show <file>".to_string());
+                return Err(usage_of("show"));
             };
             let g = load(path)?;
             let _ = writeln!(
@@ -88,19 +183,19 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
             let rw = rw_levels(&g);
             let rwtg = rwtg_levels(&g);
             let _ = writeln!(out, "{} rw-levels, {} rwtg-levels", rw.len(), rwtg.len());
-            Ok(())
+            Ok(0)
         }
         "dot" => {
             let [path] = rest.as_slice() else {
-                return Err("usage: tgq dot <file>".to_string());
+                return Err(usage_of("dot"));
             };
             let g = load(path)?;
             let _ = write!(out, "{}", DotOptions::default().render(&g));
-            Ok(())
+            Ok(0)
         }
         "islands" => {
             let [path] = rest.as_slice() else {
-                return Err("usage: tgq islands <file>".to_string());
+                return Err(usage_of("islands"));
             };
             let g = load(path)?;
             let islands = Islands::compute(&g);
@@ -108,11 +203,11 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
                 let names: Vec<String> = island.iter().map(|&v| name(&g, v)).collect();
                 let _ = writeln!(out, "island {i}: {{{}}}", names.join(", "));
             }
-            Ok(())
+            Ok(0)
         }
         "levels" => {
             let [path] = rest.as_slice() else {
-                return Err("usage: tgq levels <file>".to_string());
+                return Err(usage_of("levels"));
             };
             let g = load(path)?;
             for (title, levels) in [("rw", rw_levels(&g)), ("rwtg", rwtg_levels(&g))] {
@@ -136,11 +231,11 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
                     }
                 }
             }
-            Ok(())
+            Ok(0)
         }
         "secure" => {
             let [path] = rest.as_slice() else {
-                return Err("usage: tgq secure <file>".to_string());
+                return Err(usage_of("secure"));
             };
             let g = load(path)?;
             match secure_derived(&g) {
@@ -149,20 +244,21 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
                         out,
                         "secure: the de jure rules cannot invert the de facto hierarchy"
                     );
-                    Ok(())
+                    Ok(0)
                 }
                 Err(breach) => Err(format!(
                     "INSECURE: {} can come to know {} ({})",
                     name(&g, breach.x),
                     name(&g, breach.y),
                     breach.reason
-                )),
+                )
+                .into()),
             }
         }
         "can-share" => {
             let (witness, rest): (bool, Vec<&str>) = split_flag(&rest, "--witness");
             let [path, right, x, y] = rest.as_slice() else {
-                return Err("usage: tgq can-share <file> <right> <x> <y> [--witness]".to_string());
+                return Err(usage_of("can-share"));
             };
             let g = load(path)?;
             let right = Right::parse(right).ok_or_else(|| format!("unknown right {right:?}"))?;
@@ -175,16 +271,16 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
                         .map_err(|e| format!("witness synthesis failed: {e}"))?;
                     let _ = write!(out, "{d}");
                 }
-                Ok(())
+                Ok(0)
             } else {
                 let _ = writeln!(out, "false: {x} can never acquire {right} to {y}");
-                Ok(())
+                Ok(0)
             }
         }
         "can-know" | "can-know-f" => {
             let (witness, rest): (bool, Vec<&str>) = split_flag(&rest, "--witness");
             let [path, x, y] = rest.as_slice() else {
-                return Err(format!("usage: tgq {command} <file> <x> <y> [--witness]"));
+                return Err(usage_of(command));
             };
             let g = load(path)?;
             let vx = vertex(&g, x)?;
@@ -204,11 +300,11 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
             } else {
                 let _ = writeln!(out, "false: information cannot flow from {y} to {x}");
             }
-            Ok(())
+            Ok(0)
         }
         "secure-policy" | "audit" => {
             let [graph_path, policy_path] = rest.as_slice() else {
-                return Err(format!("usage: tgq {command} <graph-file> <policy-file>"));
+                return Err(usage_of(command));
             };
             let g = load(graph_path)?;
             let policy_text = std::fs::read_to_string(policy_path)
@@ -219,7 +315,7 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
                 let violations = audit_graph(&g, &levels, &CombinedRestriction);
                 if violations.is_empty() {
                     let _ = writeln!(out, "audit clean: no r/w edge crosses levels");
-                    Ok(())
+                    Ok(0)
                 } else {
                     for v in &violations {
                         let _ = writeln!(
@@ -230,26 +326,27 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
                             v.rights
                         );
                     }
-                    Err(format!("{} violating edge(s)", violations.len()))
+                    Err(format!("{} violating edge(s)", violations.len()).into())
                 }
             } else {
                 match secure_policy(&g, &levels) {
                     Ok(()) => {
                         let _ = writeln!(out, "secure: every knowable pair respects dominance");
-                        Ok(())
+                        Ok(0)
                     }
                     Err(breach) => Err(format!(
                         "INSECURE: {} can come to know {}",
                         name(&g, breach.x),
                         name(&g, breach.y)
-                    )),
+                    )
+                    .into()),
                 }
             }
         }
         "can-steal" => {
             let (witness, rest): (bool, Vec<&str>) = split_flag(&rest, "--witness");
             let [path, right, x, y] = rest.as_slice() else {
-                return Err("usage: tgq can-steal <file> <right> <x> <y> [--witness]".to_string());
+                return Err(usage_of("can-steal"));
             };
             let g = load(path)?;
             let right = Right::parse(right).ok_or_else(|| format!("unknown right {right:?}"))?;
@@ -268,11 +365,11 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
             } else {
                 let _ = writeln!(out, "false: {x} cannot steal {right} to {y}");
             }
-            Ok(())
+            Ok(0)
         }
         "conspirators" => {
             let [path, right, x, y] = rest.as_slice() else {
-                return Err("usage: tgq conspirators <file> <right> <x> <y>".to_string());
+                return Err(usage_of("conspirators"));
             };
             let g = load(path)?;
             let right = Right::parse(right).ok_or_else(|| format!("unknown right {right:?}"))?;
@@ -295,14 +392,11 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
                     );
                 }
             }
-            Ok(())
+            Ok(0)
         }
         "explain" => {
             let [graph_path, policy_path, verb, actor, via, target, right] = rest.as_slice() else {
-                return Err(
-                    "usage: tgq explain <graph> <policy> take|grant <actor> <via> <target> <right>"
-                        .to_string(),
-                );
+                return Err(usage_of("explain"));
             };
             let g = load(graph_path)?;
             let policy_text = std::fs::read_to_string(policy_path)
@@ -326,7 +420,7 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
                     target,
                     rights,
                 }),
-                other => return Err(format!("unknown rule verb {other:?} (take|grant)")),
+                other => return Err(format!("unknown rule verb {other:?} (take|grant)").into()),
             };
             let monitor =
                 tg_hierarchy::Monitor::new(g.clone(), levels, Box::new(CombinedRestriction));
@@ -355,16 +449,13 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
                     }
                 }
             }
-            Ok(())
+            Ok(0)
         }
         "monitor" => {
             let (batch, rest) = split_flag(&rest, "--batch");
             let (journal_out, rest) = split_opt(&rest, "--journal")?;
             let [graph_path, policy_path, trace_path] = rest.as_slice() else {
-                return Err(
-                    "usage: tgq monitor <graph> <policy> <trace> [--journal <file>] [--batch]"
-                        .to_string(),
-                );
+                return Err(usage_of("monitor"));
             };
             let g = load(graph_path)?;
             let policy_text = std::fs::read_to_string(policy_path)
@@ -432,11 +523,11 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
                     journal.records()
                 );
             }
-            Ok(())
+            Ok(0)
         }
         "replay" => {
             let [graph_path, policy_path, journal_path] = rest.as_slice() else {
-                return Err("usage: tgq replay <graph> <policy> <journal>".to_string());
+                return Err(usage_of("replay"));
             };
             let g = load(graph_path)?;
             let policy_text = std::fs::read_to_string(policy_path)
@@ -472,11 +563,11 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
                 g.vertex_count(),
                 g.explicit_edge_count()
             );
-            Ok(())
+            Ok(0)
         }
         "figure" => {
             let [id] = rest.as_slice() else {
-                return Err("usage: tgq figure <2.1|2.2|3.1|4.1|4.2|5.1|6.1>".to_string());
+                return Err(usage_of("figure"));
             };
             let graph = match *id {
                 "2.1" => tg_sim::scenarios::fig_2_1().wu.graph,
@@ -486,17 +577,100 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
                 "4.2" => tg_sim::scenarios::fig_4_2().graph,
                 "5.1" => tg_sim::scenarios::fig_5_1().graph,
                 "6.1" => tg_sim::scenarios::fig_6_1().graph,
-                other => return Err(format!("unknown figure {other:?}")),
+                other => return Err(format!("unknown figure {other:?}").into()),
             };
             let _ = write!(out, "{}", render_graph(&graph));
-            Ok(())
+            Ok(0)
         }
-        other => Err(format!("unknown command {other:?}\n{}", usage())),
+        "lint" => {
+            let (fix, rest) = split_flag(&rest, "--fix");
+            let (format, rest) = split_opt(&rest, "--format")?;
+            let (deny, rest) = split_multi(&rest, "--deny")?;
+            let format = format.unwrap_or("text");
+            if !matches!(format, "text" | "json" | "sarif") {
+                return Err(CliError::Usage(format!(
+                    "unknown --format {format:?} (text|json|sarif)"
+                )));
+            }
+            let (graph_path, policy_path) = match rest.as_slice() {
+                [g] => (*g, None),
+                [g, p] => (*g, Some(*p)),
+                _ => return Err(usage_of("lint")),
+            };
+            let text = std::fs::read_to_string(graph_path)
+                .map_err(|e| format!("cannot read {graph_path}: {e}"))?;
+            let (mut graph, srcmap) =
+                parse_graph_with_spans(&text).map_err(|e| format!("{graph_path}: {e}"))?;
+            let levels = match policy_path {
+                Some(p) => {
+                    let policy_text =
+                        std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+                    Some(parse_policy(&policy_text, &graph).map_err(|e| format!("{p}: {e}"))?)
+                }
+                None => None,
+            };
+            let registry = Registry::with_default_lints();
+            let mut diags = if fix {
+                let report = apply_fixes(&registry, &mut graph, levels.as_ref());
+                std::fs::write(graph_path, render_graph(&graph))
+                    .map_err(|e| format!("cannot write {graph_path}: {e}"))?;
+                let _ = writeln!(
+                    out,
+                    "applied {} fix(es) in {} round(s); rewrote {graph_path}",
+                    report.applied, report.rounds
+                );
+                // Spans refer to the pre-fix text; report what remains
+                // without locations.
+                report.remaining
+            } else {
+                registry.run(&LintContext::new(&graph, levels.as_ref(), Some(&srcmap)))
+            };
+            apply_deny(&mut diags, &deny);
+            diags.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+            let source = if fix { None } else { Some(text.as_str()) };
+            match format {
+                "json" => out.push_str(&render::render_json(&diags, graph_path)),
+                "sarif" => out.push_str(&render::render_sarif(&diags, graph_path)),
+                _ => render::render_text(&diags, graph_path, source, out),
+            }
+            let worst = diags.iter().map(|d| d.severity).max();
+            Ok(match worst {
+                Some(Severity::Error) => 2,
+                Some(Severity::Warn) => 1,
+                _ => 0,
+            })
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n{}",
+            usage()
+        ))),
     }
 }
 
+/// Extracts every `flag <value>` pair from `args`, splitting values on
+/// commas: `--deny TG006 --deny warn,info` yields three entries.
+fn split_multi<'a>(args: &[&'a str], flag: &str) -> Result<(Vec<String>, Vec<&'a str>), CliError> {
+    let mut values = Vec::new();
+    let mut rest = Vec::new();
+    let mut iter = args.iter();
+    while let Some(&arg) = iter.next() {
+        if arg == flag {
+            match iter.next() {
+                Some(&v) => values.extend(v.split(',').map(str::to_string)),
+                None => return Err(CliError::Usage(format!("{flag} requires a value"))),
+            }
+        } else {
+            rest.push(arg);
+        }
+    }
+    Ok((values, rest))
+}
+
 /// Extracts `flag <value>` from `args`, erroring if the value is missing.
-fn split_opt<'a>(args: &[&'a str], flag: &str) -> Result<(Option<&'a str>, Vec<&'a str>), String> {
+fn split_opt<'a>(
+    args: &[&'a str],
+    flag: &str,
+) -> Result<(Option<&'a str>, Vec<&'a str>), CliError> {
     let mut value = None;
     let mut rest = Vec::new();
     let mut iter = args.iter();
@@ -504,7 +678,7 @@ fn split_opt<'a>(args: &[&'a str], flag: &str) -> Result<(Option<&'a str>, Vec<&
         if arg == flag {
             match iter.next() {
                 Some(&v) => value = Some(v),
-                None => return Err(format!("{flag} requires a file argument")),
+                None => return Err(CliError::Usage(format!("{flag} requires a value"))),
             }
         } else {
             rest.push(arg);

@@ -1,18 +1,25 @@
 //! Thin binary wrapper over the `tg-cli` library (see `lib.rs` for the
 //! command reference).
+//!
+//! Exit status: `0` success, `1` input/analysis failure (or lint
+//! warnings), `2` usage error (or lint errors).
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = String::new();
-    let result = tg_cli::run(&args, &mut out);
+    let result = tg_cli::run_full(&args, &mut out);
     print!("{out}");
     match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Ok(code) => ExitCode::from(code),
+        Err(tg_cli::CliError::Usage(msg)) => {
             eprintln!("tgq: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
+        }
+        Err(tg_cli::CliError::Fail(msg)) => {
+            eprintln!("tgq: {msg}");
+            ExitCode::from(1)
         }
     }
 }

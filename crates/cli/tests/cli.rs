@@ -249,3 +249,100 @@ fn errors_are_reported_not_panicked() {
     assert!(run(&["can-share", &path, "r", "nobody", "y"]).is_err());
     assert!(run(&["figure", "9.9"]).is_err());
 }
+
+fn run_full(args: &[&str]) -> Result<(u8, String), tg_cli::CliError> {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = String::new();
+    tg_cli::run_full(&args, &mut out).map(|code| (code, out))
+}
+
+#[test]
+fn usage_errors_carry_the_per_command_usage_string() {
+    // Unknown subcommand: a usage error listing every command.
+    match run_full(&["frobnicate"]) {
+        Err(tg_cli::CliError::Usage(msg)) => {
+            assert!(msg.contains("unknown command \"frobnicate\""), "got: {msg}");
+            assert!(msg.contains("tgq lint <graph>"), "lists commands: {msg}");
+        }
+        other => panic!("expected usage error, got {other:?}"),
+    }
+    // Bad arity: exactly that command's usage line.
+    match run_full(&["can-share"]) {
+        Err(tg_cli::CliError::Usage(msg)) => {
+            assert_eq!(
+                msg,
+                "usage: tgq can-share <file> <right> <x> <y> [--witness]"
+            )
+        }
+        other => panic!("expected usage error, got {other:?}"),
+    }
+    match run_full(&["lint"]) {
+        Err(tg_cli::CliError::Usage(msg)) => assert!(msg.starts_with("usage: tgq lint")),
+        other => panic!("expected usage error, got {other:?}"),
+    }
+    // A dangling flag value is a usage error too.
+    match run_full(&["lint", "g.tg", "--deny"]) {
+        Err(tg_cli::CliError::Usage(msg)) => assert!(msg.contains("--deny requires a value")),
+        other => panic!("expected usage error, got {other:?}"),
+    }
+    // But a missing input file is an analysis failure, not a usage error.
+    match run_full(&["show", "/nonexistent/file.tg"]) {
+        Err(tg_cli::CliError::Fail(msg)) => assert!(msg.contains("cannot read")),
+        other => panic!("expected failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn parse_errors_report_line_and_column() {
+    // The rights list of line 2 starts at column 15: `q` is not a right.
+    let path = temp_file("span-err.tg", "subject a\nedge a -> a : q\n");
+    let err = run(&["show", &path]).unwrap_err();
+    assert!(err.contains("line 2"), "got: {err}");
+    assert!(err.contains("column 15"), "got: {err}");
+}
+
+#[test]
+fn lint_exit_codes_are_severity_keyed() {
+    // Figure 6.1's shape: no policy, one theft warning, no errors.
+    let graph = temp_file("lint-61.tg", FIG61);
+    let (code, out) = run_full(&["lint", &graph]).unwrap();
+    assert_eq!(code, 1, "warnings exit 1: {out}");
+    assert!(out.contains("warn[TG006]"), "got: {out}");
+    // Denying the warning promotes it to an error and exit 2.
+    let (code, out) = run_full(&["lint", &graph, "--deny", "TG006"]).unwrap();
+    assert_eq!(code, 2, "denied warnings exit 2: {out}");
+    assert!(out.contains("error[TG006]"), "got: {out}");
+    // An isolated vertex alone is informational: exit 0.
+    let clean = temp_file("lint-clean.tg", "subject a\nobject b\n");
+    let (code, out) = run_full(&["lint", &clean]).unwrap();
+    assert_eq!(code, 0, "info-only exits 0: {out}");
+    assert!(out.contains("info[TG008]"), "got: {out}");
+    // Unknown format is a usage error.
+    assert!(matches!(
+        run_full(&["lint", &clean, "--format", "yaml"]),
+        Err(tg_cli::CliError::Usage(_))
+    ));
+}
+
+#[test]
+fn lint_fix_rewrites_the_graph_to_a_clean_state() {
+    // Figure 5.1: x (high) -t-> s (high) -w,e-> y (low).
+    let graph = temp_file(
+        "lint-fix.tg",
+        "subject x\nobject s\nsubject y\nedge x -> s : t\nedge s -> y : w e\n",
+    );
+    let policy = temp_file(
+        "lint-fix.pol",
+        "level low\nlevel high\ndominates high low\nassign x high\nassign s high\nassign y low\n",
+    );
+    let (code, _) = run_full(&["lint", &graph, &policy]).unwrap();
+    assert_eq!(code, 2, "the unrestricted figure is insecure");
+    let (_, out) = run_full(&["lint", &graph, &policy, "--fix"]).unwrap();
+    assert!(out.contains("applied"), "got: {out}");
+    // The rewritten file now lints clean of errors…
+    let (code, out) = run_full(&["lint", &graph, &policy]).unwrap();
+    assert!(code < 2, "no errors remain: {out}");
+    // …and passes the derived security check.
+    let out = run(&["secure", &graph]).unwrap();
+    assert!(out.contains("secure"), "got: {out}");
+}

@@ -1,0 +1,239 @@
+//! Golden-file tests for `tgq lint`: text, JSON and SARIF output on the
+//! paper's Figures 4.1, 4.2 (secure) and 5.1 (insecure), pinned byte-for-
+//! byte. Regenerate with `UPDATE_GOLDEN=1 cargo test -p tg-cli`.
+
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    format!(
+        "{}/../../examples/graphs/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn lint(args: &[&str]) -> (u8, String) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = String::new();
+    match tg_cli::run_full(&args, &mut out) {
+        Ok(code) => (code, out),
+        Err(e) => panic!("lint did not dispatch: {e}"),
+    }
+}
+
+/// Strips the checkout-dependent directory prefix, leaving basenames.
+fn normalize(output: &str, path: &str) -> String {
+    let base = Path::new(path)
+        .file_name()
+        .expect("fixture has a name")
+        .to_string_lossy();
+    output.replace(path, &base)
+}
+
+fn check(golden_name: &str, actual: &str) {
+    let path = golden_path(golden_name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nregenerate with UPDATE_GOLDEN=1 cargo test -p tg-cli",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "golden mismatch for {golden_name}; bless with UPDATE_GOLDEN=1 cargo test -p tg-cli"
+    );
+}
+
+fn case(fig: &str, format: &str, ext: &str, expect_exit: u8) {
+    let graph = fixture(&format!("{fig}.tg"));
+    let policy = fixture(&format!("{fig}.pol"));
+    let (code, out) = lint(&["lint", &graph, &policy, "--format", format]);
+    assert_eq!(code, expect_exit, "{fig} {format} exit code");
+    if format != "text" {
+        validate_json(&out).unwrap_or_else(|e| panic!("{fig} {format} is not valid JSON: {e}"));
+    }
+    check(&format!("{fig}.{ext}"), &normalize(&out, &graph));
+}
+
+#[test]
+fn fig_4_1_is_clean_in_all_formats() {
+    case("fig_4_1", "text", "txt", 0);
+    case("fig_4_1", "json", "json", 0);
+    case("fig_4_1", "sarif", "sarif", 0);
+}
+
+#[test]
+fn fig_4_2_is_clean_in_all_formats() {
+    case("fig_4_2", "text", "txt", 0);
+    case("fig_4_2", "json", "json", 0);
+    case("fig_4_2", "sarif", "sarif", 0);
+}
+
+#[test]
+fn fig_5_1_reports_the_leak_in_all_formats() {
+    case("fig_5_1", "text", "txt", 2);
+    case("fig_5_1", "json", "json", 2);
+    case("fig_5_1", "sarif", "sarif", 2);
+    // The text golden pins the violating edge's span: the `w e` edge is
+    // declared on line 5 of the rendered figure.
+    let text = std::fs::read_to_string(golden_path("fig_5_1.txt")).expect("golden");
+    assert!(
+        text.contains("fig_5_1.tg:5:1"),
+        "span points at the edge line"
+    );
+    assert!(text.contains("error[TG002]"), "write-down is diagnosed");
+}
+
+// ------------------------------------------------------- JSON validator --
+//
+// A minimal RFC 8259 syntax checker (the workspace has no serde): enough
+// to guarantee the hand-rolled emitters stay well-formed.
+
+fn validate_json(s: &str) -> Result<(), String> {
+    let b: Vec<char> = s.chars().collect();
+    let mut i = 0usize;
+    skip_ws(&b, &mut i);
+    value(&b, &mut i)?;
+    skip_ws(&b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing data at char {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[char], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], ' ' | '\t' | '\n' | '\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[char], i: &mut usize) -> Result<(), String> {
+    match b.get(*i) {
+        Some('{') => object(b, i),
+        Some('[') => array(b, i),
+        Some('"') => string(b, i),
+        Some('t') => literal(b, i, "true"),
+        Some('f') => literal(b, i, "false"),
+        Some('n') => literal(b, i, "null"),
+        Some(c) if c.is_ascii_digit() || *c == '-' => number(b, i),
+        other => Err(format!("unexpected {other:?} at char {i}")),
+    }
+}
+
+fn literal(b: &[char], i: &mut usize, lit: &str) -> Result<(), String> {
+    for c in lit.chars() {
+        if b.get(*i) != Some(&c) {
+            return Err(format!("bad literal at char {i}"));
+        }
+        *i += 1;
+    }
+    Ok(())
+}
+
+fn number(b: &[char], i: &mut usize) -> Result<(), String> {
+    if b.get(*i) == Some(&'-') {
+        *i += 1;
+    }
+    let start = *i;
+    while *i < b.len() && (b[*i].is_ascii_digit() || matches!(b[*i], '.' | 'e' | 'E' | '+' | '-')) {
+        *i += 1;
+    }
+    if *i == start {
+        return Err(format!("empty number at char {i}"));
+    }
+    Ok(())
+}
+
+fn string(b: &[char], i: &mut usize) -> Result<(), String> {
+    *i += 1; // opening quote
+    while let Some(&c) = b.get(*i) {
+        match c {
+            '"' => {
+                *i += 1;
+                return Ok(());
+            }
+            '\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') => *i += 1,
+                    Some('u') => {
+                        for k in 1..=4 {
+                            if !b.get(*i + k).is_some_and(|c| c.is_ascii_hexdigit()) {
+                                return Err(format!("bad \\u escape at char {i}"));
+                            }
+                        }
+                        *i += 5;
+                    }
+                    other => return Err(format!("bad escape {other:?} at char {i}")),
+                }
+            }
+            c if (c as u32) < 0x20 => return Err(format!("raw control char at {i}")),
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn object(b: &[char], i: &mut usize) -> Result<(), String> {
+    *i += 1;
+    skip_ws(b, i);
+    if b.get(*i) == Some(&'}') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        if b.get(*i) != Some(&'"') {
+            return Err(format!("expected key at char {i}"));
+        }
+        string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&':') {
+            return Err(format!("expected ':' at char {i}"));
+        }
+        *i += 1;
+        skip_ws(b, i);
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(',') => *i += 1,
+            Some('}') => {
+                *i += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected ',' or '}}', got {other:?} at char {i}")),
+        }
+    }
+}
+
+fn array(b: &[char], i: &mut usize) -> Result<(), String> {
+    *i += 1;
+    skip_ws(b, i);
+    if b.get(*i) == Some(&']') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(',') => *i += 1,
+            Some(']') => {
+                *i += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected ',' or ']', got {other:?} at char {i}")),
+        }
+    }
+}

@@ -54,7 +54,10 @@ pub use journal::{
     recover, Journal, JournalError, JournalEvent, Outcome, ParsedJournal, Recovery, TornTail,
 };
 pub use levels::{rw_levels, rwtg_levels, DerivedLevels, LevelAssignment, LevelError};
-pub use monitor::{BatchError, Explanation, Monitor, MonitorError, MonitorStats, Violation};
+pub use monitor::{
+    audit_diagnostics, audit_graph, BatchError, Explanation, Monitor, MonitorError, MonitorStats,
+    Violation,
+};
 pub use restrict::{
     ApplicationRestriction, CombinedRestriction, Decision, DenyReason, DirectionRestriction,
     Restriction, Unrestricted,

@@ -29,7 +29,10 @@
 //!   tampering, the monitor refuses every de jure rule until the violating
 //!   edges are quarantined and a clean audit restores service.
 
-use tg_graph::{ProtectionGraph, Rights, VertexId};
+use std::collections::BTreeMap;
+
+use tg_graph::diag::{Diagnostic, Fix, FixIt, LabeledSpan, Severity};
+use tg_graph::{ProtectionGraph, Right, Rights, SourceMap, VertexId};
 use tg_rules::{Derivation, Effect, Rule, RuleError};
 
 use crate::journal::{Journal, JournalEvent, Outcome};
@@ -396,23 +399,27 @@ impl Monitor {
         violations
     }
 
-    /// Strips every violating explicit edge found by audit, then
+    /// Applies the strip fix-its of every audit diagnostic, then
     /// re-audits. If the graph comes back clean and the monitor was
     /// degraded, normal service resumes (counted in
     /// [`MonitorStats::recoveries`]). Returns the violations that were
-    /// quarantined.
+    /// quarantined (one per repaired edge).
     ///
     /// Quarantines are repairs of *out-of-band* tampering, so they are not
     /// journaled: the journal records rule traffic, and replaying it onto
     /// the untampered seed never re-creates the stripped edges.
     pub fn quarantine(&mut self) -> Vec<Violation> {
-        let violations = self.audit();
-        for violation in &violations {
-            self.graph
-                .remove_explicit_rights(violation.src, violation.dst, violation.rights)
-                .expect("audited edge exists");
-            self.stats.quarantined += 1;
+        let diagnostics =
+            audit_diagnostics(&self.graph, &self.levels, self.restriction.as_ref(), None);
+        for diag in &diagnostics {
+            if let Some(fix) = &diag.fix {
+                fix.edit
+                    .apply(&mut self.graph)
+                    .expect("audited edge exists");
+            }
         }
+        let violations = violations_of(&diagnostics);
+        self.stats.quarantined += violations.len();
         if self.degraded && self.audit().is_empty() {
             self.degraded = false;
             self.stats.recoveries += 1;
@@ -473,28 +480,137 @@ pub struct Explanation {
     pub enabled_breaches: Vec<crate::secure::Breach>,
 }
 
+/// Stand-alone audit as *lint diagnostics* (Corollary 5.6): one pass over
+/// the explicit edges, emitting a [`Diagnostic`] — with a stable code, a
+/// message naming the levels, optional source spans via `srcmap`, and a
+/// machine-applicable strip fix-it — for every right that violates the
+/// restriction's edge invariant.
+///
+/// Codes: `TG001` for a read that must not be (restriction (a), Theorem
+/// 5.5(a)), `TG002` for a write that must not be (restriction (b), Theorem
+/// 5.5(b)), `TG000` for violations a custom restriction reports on other
+/// rights. The `tg-lint` analyzer re-exports these as its first two passes;
+/// [`audit_graph`] and [`Monitor::quarantine`] are thin consumers of the
+/// same diagnostics.
+pub fn audit_diagnostics(
+    graph: &ProtectionGraph,
+    levels: &LevelAssignment,
+    restriction: &dyn Restriction,
+    srcmap: Option<&SourceMap>,
+) -> Vec<Diagnostic> {
+    let level_name = |v: VertexId| match levels.level_of(v) {
+        Some(l) => format!("level {}", levels.name(l)),
+        None => "no assigned level".to_string(),
+    };
+    let mut out = Vec::new();
+    for edge in graph.edges() {
+        let explicit = edge.rights.explicit;
+        if explicit.is_empty() {
+            continue;
+        }
+        let (src, dst) = (edge.src, edge.dst);
+        let src_name = &graph.vertex(src).name;
+        let dst_name = &graph.vertex(dst).name;
+        let edge_span = srcmap.and_then(|m| m.edge_span(src, dst));
+        let mut flagged = Rights::EMPTY;
+        for right in explicit.iter() {
+            if !restriction.edge_violates(levels, src, dst, Rights::singleton(right)) {
+                continue;
+            }
+            flagged.insert(right);
+            let (code, what) = match right {
+                Right::Read => ("TG001", "read-up"),
+                Right::Write => ("TG002", "write-down"),
+                _ => ("TG000", "restricted"),
+            };
+            let diag = Diagnostic::new(
+                code,
+                Severity::Error,
+                format!(
+                    "{what}: explicit `{right}` edge from `{src_name}` ({}) to `{dst_name}` ({})",
+                    level_name(src),
+                    level_name(dst),
+                ),
+                LabeledSpan::new(
+                    edge_span,
+                    format!("edge `{src_name} -> {dst_name}` carries `{right}`"),
+                ),
+            )
+            .with_secondary(LabeledSpan::new(
+                srcmap.and_then(|m| m.vertex_span(src)),
+                format!("`{src_name}` declared here ({})", level_name(src)),
+            ))
+            .with_secondary(LabeledSpan::new(
+                srcmap.and_then(|m| m.vertex_span(dst)),
+                format!("`{dst_name}` declared here ({})", level_name(dst)),
+            ))
+            .with_fix(Fix::new(
+                FixIt::StripExplicit {
+                    src,
+                    dst,
+                    rights: Rights::singleton(right),
+                },
+                format!("strip `{right}` from edge {src_name} -> {dst_name}"),
+            ));
+            out.push(diag);
+        }
+        // A restriction may reject the combined label without rejecting any
+        // single right (none of the shipped ones do); keep the audit
+        // complete by flagging the remainder as one whole-label finding.
+        if flagged.is_empty() && restriction.edge_violates(levels, src, dst, explicit) {
+            out.push(
+                Diagnostic::new(
+                    "TG000",
+                    Severity::Error,
+                    format!(
+                        "restricted: explicit edge `{src_name} -> {dst_name} : {explicit}` violates the {} invariant",
+                        restriction.name()
+                    ),
+                    LabeledSpan::new(edge_span, format!("edge `{src_name} -> {dst_name}`")),
+                )
+                .with_fix(Fix::new(
+                    FixIt::StripExplicit {
+                        src,
+                        dst,
+                        rights: explicit,
+                    },
+                    format!("strip `{explicit}` from edge {src_name} -> {dst_name}"),
+                )),
+            );
+        }
+    }
+    out
+}
+
+/// Folds audit diagnostics back into per-edge [`Violation`]s (the compact
+/// form the monitor's degraded-mode bookkeeping uses): one violation per
+/// edge, carrying the union of the rights its diagnostics would strip.
+fn violations_of(diagnostics: &[Diagnostic]) -> Vec<Violation> {
+    let mut per_edge: BTreeMap<(VertexId, VertexId), Rights> = BTreeMap::new();
+    for diag in diagnostics {
+        if let Some(Fix {
+            edit: FixIt::StripExplicit { src, dst, rights },
+            ..
+        }) = diag.fix
+        {
+            *per_edge.entry((src, dst)).or_default() |= rights;
+        }
+    }
+    per_edge
+        .into_iter()
+        .map(|((src, dst), rights)| Violation { src, dst, rights })
+        .collect()
+}
+
 /// Stand-alone audit (Corollary 5.6): scans every explicit edge once and
-/// reports those violating the restriction's invariant.
+/// reports those violating the restriction's invariant. A thin consumer of
+/// [`audit_diagnostics`].
 pub fn audit_graph(
     graph: &ProtectionGraph,
     levels: &LevelAssignment,
     restriction: &dyn Restriction,
 ) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for edge in graph.edges() {
-        let rights = edge.rights.explicit;
-        if rights.is_empty() {
-            continue;
-        }
-        if restriction.edge_violates(levels, edge.src, edge.dst, rights) {
-            out.push(Violation {
-                src: edge.src,
-                dst: edge.dst,
-                rights,
-            });
-        }
-    }
-    out
+    violations_of(&audit_diagnostics(graph, levels, restriction, None))
 }
 
 #[cfg(test)]

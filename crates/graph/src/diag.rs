@@ -1,0 +1,279 @@
+//! The diagnostic data model shared by the static analyzer and the
+//! reference monitor.
+//!
+//! A [`Diagnostic`] is one finding about a protection graph: a stable code
+//! (`TG001`…), a [`Severity`], a human-readable message, source [`Span`]s
+//! into the graph's text file (when the graph was parsed from text), an
+//! optional *witness* (the offending path or link, rendered), and an
+//! optional machine-applicable [`Fix`].
+//!
+//! The model lives in `tg-graph` — below both `tg-lint` (which produces
+//! most diagnostics) and `tg-hierarchy` (whose audit produces the
+//! edge-invariant diagnostics and whose quarantine *applies* fix-its) — so
+//! the monitor can be a thin consumer of lint output without a dependency
+//! cycle.
+
+use crate::span::Span;
+use crate::{GraphError, ProtectionGraph, Rights, VertexId};
+
+/// How serious a diagnostic is. Ordered: `Info < Warn < Error`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Severity {
+    /// Advisory: worth knowing, never a policy violation.
+    Info,
+    /// Suspicious: a latent exposure (e.g. a theft channel).
+    Warn,
+    /// A security violation: the graph breaches its hierarchy.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase display name (`"error"`, `"warn"`, `"info"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses a severity name (accepts `warn`/`warning`).
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warn" | "warning" => Some(Severity::Warn),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for Severity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A source span with a short label explaining what it points at.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LabeledSpan {
+    /// The region, if the graph element has a recorded source location.
+    pub span: Option<Span>,
+    /// What the region shows (e.g. ``"the read-up edge `lo -> hi`"``).
+    pub label: String,
+}
+
+impl LabeledSpan {
+    /// A labeled span (location optional).
+    pub fn new(span: Option<Span>, label: impl Into<String>) -> LabeledSpan {
+        LabeledSpan {
+            span,
+            label: label.into(),
+        }
+    }
+}
+
+/// A machine-applicable graph edit repairing one diagnostic.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FixIt {
+    /// Remove `rights` from the explicit label of `(src, dst)`.
+    StripExplicit {
+        /// Edge source.
+        src: VertexId,
+        /// Edge destination.
+        dst: VertexId,
+        /// Rights to remove.
+        rights: Rights,
+    },
+    /// Remove `rights` from the implicit label of `(src, dst)`.
+    StripImplicit {
+        /// Edge source.
+        src: VertexId,
+        /// Edge destination.
+        dst: VertexId,
+        /// Rights to remove.
+        rights: Rights,
+    },
+    /// Remove the `(src, dst)` edge entirely (both labels).
+    QuarantineEdge {
+        /// Edge source.
+        src: VertexId,
+        /// Edge destination.
+        dst: VertexId,
+    },
+}
+
+impl FixIt {
+    /// Applies the edit to `graph`. Returns whether anything was removed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] on stale vertex ids.
+    pub fn apply(&self, graph: &mut ProtectionGraph) -> Result<bool, GraphError> {
+        match *self {
+            FixIt::StripExplicit { src, dst, rights } => {
+                Ok(!graph.remove_explicit_rights(src, dst, rights)?.is_empty())
+            }
+            FixIt::StripImplicit { src, dst, rights } => {
+                Ok(!graph.remove_implicit_rights(src, dst, rights)?.is_empty())
+            }
+            FixIt::QuarantineEdge { src, dst } => {
+                let removed_e = graph.remove_explicit_rights(src, dst, Rights::ALL)?;
+                let removed_i = graph.remove_implicit_rights(src, dst, Rights::ALL)?;
+                Ok(!(removed_e.is_empty() && removed_i.is_empty()))
+            }
+        }
+    }
+
+    /// The edge the edit touches.
+    pub fn edge(&self) -> (VertexId, VertexId) {
+        match *self {
+            FixIt::StripExplicit { src, dst, .. }
+            | FixIt::StripImplicit { src, dst, .. }
+            | FixIt::QuarantineEdge { src, dst } => (src, dst),
+        }
+    }
+}
+
+/// A [`FixIt`] with its human-readable description (rendered once, at
+/// diagnosis time, while vertex names are at hand).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Fix {
+    /// The edit.
+    pub edit: FixIt,
+    /// Description, e.g. ``"strip `r` from edge lo -> hi"``.
+    pub label: String,
+}
+
+impl Fix {
+    /// A described edit.
+    pub fn new(edit: FixIt, label: impl Into<String>) -> Fix {
+        Fix {
+            edit,
+            label: label.into(),
+        }
+    }
+}
+
+/// One finding of the static analyzer (or the monitor's audit).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Stable lint code, e.g. `"TG001"`.
+    pub code: &'static str,
+    /// Severity after configuration (deny-lists may promote it).
+    pub severity: Severity,
+    /// One-line human-readable message.
+    pub message: String,
+    /// The main location the finding points at.
+    pub primary: LabeledSpan,
+    /// Additional locations (e.g. the other end of a breach).
+    pub secondary: Vec<LabeledSpan>,
+    /// Rendered witness (an rw-path, bridge, or derivation sketch).
+    pub witness: Option<String>,
+    /// Machine-applicable repair, if one exists.
+    pub fix: Option<Fix>,
+}
+
+impl Diagnostic {
+    /// A minimal diagnostic; extend via the builder-style methods.
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        message: impl Into<String>,
+        primary: LabeledSpan,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            primary,
+            secondary: Vec::new(),
+            witness: None,
+            fix: None,
+        }
+    }
+
+    /// Attaches a secondary span.
+    pub fn with_secondary(mut self, span: LabeledSpan) -> Diagnostic {
+        self.secondary.push(span);
+        self
+    }
+
+    /// Attaches a witness rendering.
+    pub fn with_witness(mut self, witness: impl Into<String>) -> Diagnostic {
+        self.witness = Some(witness.into());
+        self
+    }
+
+    /// Attaches a fix-it.
+    pub fn with_fix(mut self, fix: Fix) -> Diagnostic {
+        self.fix = Some(fix);
+        self
+    }
+
+    /// Sort key: errors first, then code, then location.
+    pub fn sort_key(&self) -> (core::cmp::Reverse<Severity>, &'static str, usize, usize) {
+        let (line, col) = self
+            .primary
+            .span
+            .map(|s| (s.line, s.col))
+            .unwrap_or((usize::MAX, usize::MAX));
+        (core::cmp::Reverse(self.severity), self.code, line, col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_parses() {
+        assert!(Severity::Error > Severity::Warn);
+        assert!(Severity::Warn > Severity::Info);
+        assert_eq!(Severity::parse("warning"), Some(Severity::Warn));
+        assert_eq!(Severity::parse("fatal"), None);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn fixits_edit_the_graph() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        g.add_edge(a, b, Rights::RW).unwrap();
+        g.add_implicit_edge(a, b, Rights::R).unwrap();
+
+        let strip = FixIt::StripExplicit {
+            src: a,
+            dst: b,
+            rights: Rights::R,
+        };
+        assert!(strip.apply(&mut g).unwrap());
+        assert!(!strip.apply(&mut g).unwrap(), "second apply is a no-op");
+        assert_eq!(g.rights(a, b).explicit(), Rights::W);
+
+        let quarantine = FixIt::QuarantineEdge { src: a, dst: b };
+        assert!(quarantine.apply(&mut g).unwrap());
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(quarantine.edge(), (a, b));
+    }
+
+    #[test]
+    fn diagnostics_sort_errors_first() {
+        let warn = Diagnostic::new(
+            "TG006",
+            Severity::Warn,
+            "w",
+            LabeledSpan::new(Some(Span::new(1, 1, 1)), "x"),
+        );
+        let error = Diagnostic::new(
+            "TG001",
+            Severity::Error,
+            "e",
+            LabeledSpan::new(Some(Span::new(9, 1, 1)), "y"),
+        );
+        let mut v = [warn, error];
+        v.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        assert_eq!(v[0].code, "TG001");
+    }
+}

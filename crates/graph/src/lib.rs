@@ -33,17 +33,21 @@
 
 pub mod algo;
 mod build;
+pub mod diag;
 mod dot;
 mod error;
 mod graph;
 mod rights;
+mod span;
 pub mod stats;
 mod text;
 mod vertex;
 
+pub use diag::{Diagnostic, Fix, FixIt, LabeledSpan, Severity};
 pub use dot::DotOptions;
 pub use error::GraphError;
 pub use graph::{EdgeRecord, EdgeRights, ProtectionGraph};
 pub use rights::{Right, Rights, RightsIter};
-pub use text::{parse_graph, render_graph, ParseError};
+pub use span::{EdgeSite, SourceMap, Span};
+pub use text::{parse_graph, parse_graph_with_spans, render_graph, ParseError};
 pub use vertex::{Vertex, VertexId, VertexKind};

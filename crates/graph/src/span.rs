@@ -1,0 +1,140 @@
+//! Source spans for the text interchange format.
+//!
+//! The parser in [`text`](crate::text) can record where every vertex and
+//! edge of a graph was declared. Downstream tooling (the `tg-lint` static
+//! analyzer, error reporting) uses these spans to point diagnostics at the
+//! offending token of the original file.
+
+use std::collections::HashMap;
+
+use crate::VertexId;
+
+/// A half-open region of one source line: 1-based `line`, 1-based starting
+/// `col` and a `len` in characters (not bytes).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Debug)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based starting column, counted in characters.
+    pub col: usize,
+    /// Length in characters (0 for a bare position).
+    pub len: usize,
+}
+
+impl Span {
+    /// A span covering `len` characters at `line:col`.
+    pub fn new(line: usize, col: usize, len: usize) -> Span {
+        Span { line, col, len }
+    }
+
+    /// Whether this span carries a real position (line 0 means "unknown").
+    pub fn is_known(self) -> bool {
+        self.line > 0
+    }
+}
+
+impl core::fmt::Display for Span {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The source locations of one `edge`/`implicit` directive.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EdgeSite {
+    /// The whole directive (keyword through last rights token).
+    pub directive: Span,
+    /// The rights list after the `:`.
+    pub rights: Span,
+}
+
+/// Maps graph elements back to their declaration sites in the source text.
+///
+/// Produced by [`parse_graph_with_spans`](crate::parse_graph_with_spans).
+/// When several directives merge rights onto the same ordered pair, the
+/// first directive's site is kept.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct SourceMap {
+    /// Name-token span of each vertex, indexed by vertex id.
+    vertex_spans: Vec<Span>,
+    /// `(src, dst, implicit)` → first declaring directive.
+    edges: HashMap<(u32, u32, bool), EdgeSite>,
+}
+
+impl SourceMap {
+    /// Records the declaration span of the vertex `id` (ids are dense and
+    /// recorded in creation order).
+    pub(crate) fn push_vertex(&mut self, span: Span) {
+        self.vertex_spans.push(span);
+    }
+
+    /// Records an edge directive site; the first site per key wins.
+    pub(crate) fn record_edge(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        implicit: bool,
+        site: EdgeSite,
+    ) {
+        self.edges
+            .entry((src.index() as u32, dst.index() as u32, implicit))
+            .or_insert(site);
+    }
+
+    /// The span of the name token declaring `vertex`, if recorded.
+    pub fn vertex_span(&self, vertex: VertexId) -> Option<Span> {
+        self.vertex_spans.get(vertex.index()).copied()
+    }
+
+    /// The directive site of the `(src, dst)` edge with the given
+    /// explicit/implicit polarity.
+    pub fn edge_site(&self, src: VertexId, dst: VertexId, implicit: bool) -> Option<EdgeSite> {
+        self.edges
+            .get(&(src.index() as u32, dst.index() as u32, implicit))
+            .copied()
+    }
+
+    /// The span of the directive declaring the `(src, dst)` edge,
+    /// preferring the explicit declaration over the implicit one.
+    pub fn edge_span(&self, src: VertexId, dst: VertexId) -> Option<Span> {
+        self.edge_site(src, dst, false)
+            .or_else(|| self.edge_site(src, dst, true))
+            .map(|site| site.directive)
+    }
+
+    /// Number of vertices with recorded spans.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_spans.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_display_as_line_col() {
+        assert_eq!(Span::new(3, 7, 2).to_string(), "3:7");
+        assert!(Span::new(3, 7, 2).is_known());
+        assert!(!Span::default().is_known());
+    }
+
+    #[test]
+    fn first_edge_site_wins() {
+        let mut map = SourceMap::default();
+        let a = VertexId::from_index(0);
+        let b = VertexId::from_index(1);
+        let first = EdgeSite {
+            directive: Span::new(1, 1, 10),
+            rights: Span::new(1, 8, 1),
+        };
+        let second = EdgeSite {
+            directive: Span::new(2, 1, 10),
+            rights: Span::new(2, 8, 1),
+        };
+        map.record_edge(a, b, false, first);
+        map.record_edge(a, b, false, second);
+        assert_eq!(map.edge_span(a, b), Some(first.directive));
+        assert_eq!(map.edge_site(a, b, true), None);
+    }
+}

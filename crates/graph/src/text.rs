@@ -14,38 +14,80 @@
 //!
 //! Vertex names must be unique (edges refer to vertices by name) and must
 //! not contain whitespace, `:` or `#`.
+//!
+//! [`parse_graph_with_spans`] additionally returns a [`SourceMap`] mapping
+//! every vertex and edge back to the token that declared it, which is what
+//! the `tg-lint` analyzer uses to point diagnostics at the offending line
+//! and column of the original file.
 
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::span::{EdgeSite, SourceMap, Span};
 use crate::{ProtectionGraph, Rights, VertexKind};
 
-/// Error produced by [`parse_graph`], carrying the 1-based line number.
+/// Error produced by [`parse_graph`], carrying the 1-based line number and
+/// the 1-based column (in characters) of the offending token.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ParseError {
     /// 1-based line number of the offending line.
     pub line: usize,
+    /// 1-based column (in characters) of the offending token.
+    pub col: usize,
+    /// Length of the offending token in characters.
+    pub len: usize,
     /// Human-readable description.
     pub message: String,
 }
 
+impl ParseError {
+    /// The error location as a [`Span`].
+    pub fn span(&self) -> Span {
+        Span::new(self.line, self.col, self.len)
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
 impl std::error::Error for ParseError {}
 
-fn err(line: usize, message: impl Into<String>) -> ParseError {
+fn err_at(span: Span, message: impl Into<String>) -> ParseError {
     ParseError {
-        line,
+        line: span.line,
+        col: span.col,
+        len: span.len,
         message: message.into(),
     }
 }
 
 fn valid_name(name: &str) -> bool {
     !name.is_empty() && !name.contains([':', '#']) && !name.chars().any(char::is_whitespace)
+}
+
+/// The span of `slice`, which must be a subslice of `raw` starting at byte
+/// offset `start` on 1-based line `line`.
+fn span_of(line: usize, raw: &str, start: usize, slice: &str) -> Span {
+    Span::new(
+        line,
+        raw[..start].chars().count() + 1,
+        slice.chars().count(),
+    )
+}
+
+/// Trims `raw[range]`, returning the trimmed slice and its starting byte
+/// offset within `raw`.
+fn trimmed(raw: &str, start: usize, end: usize) -> (&str, usize) {
+    let slice = &raw[start..end];
+    let lead = slice.len() - slice.trim_start().len();
+    (slice.trim(), start + lead)
 }
 
 /// Parses the text format into a graph.
@@ -61,60 +103,133 @@ fn valid_name(name: &str) -> bool {
 /// assert_eq!(g.rights(s, o).explicit(), Rights::RW);
 /// ```
 pub fn parse_graph(input: &str) -> Result<ProtectionGraph, ParseError> {
+    parse_graph_with_spans(input).map(|(graph, _)| graph)
+}
+
+/// Parses the text format, also returning the [`SourceMap`] locating every
+/// vertex and edge declaration.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::parse_graph_with_spans;
+///
+/// let (g, map) = parse_graph_with_spans("subject s\nobject o\nedge s -> o : r\n").unwrap();
+/// let s = g.find_by_name("s").unwrap();
+/// let o = g.find_by_name("o").unwrap();
+/// assert_eq!(map.vertex_span(s).unwrap().line, 1);
+/// assert_eq!(map.edge_span(s, o).unwrap().line, 3);
+/// ```
+pub fn parse_graph_with_spans(input: &str) -> Result<(ProtectionGraph, SourceMap), ParseError> {
     let mut graph = ProtectionGraph::new();
-    let mut names = HashMap::new();
+    let mut map = SourceMap::default();
+    let mut names: HashMap<String, crate::VertexId> = HashMap::new();
 
     for (idx, raw) in input.lines().enumerate() {
         let lineno = idx + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
+        // Strip the comment but keep byte offsets into `raw` valid.
+        let content_end = raw.find('#').unwrap_or(raw.len());
+        let (line, line_start) = trimmed(raw, 0, content_end);
         if line.is_empty() {
             continue;
         }
-        let (keyword, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
-        let rest = rest.trim();
+        let line_span = span_of(lineno, raw, line_start, line);
+        let (keyword, keyword_start) = {
+            let end = line
+                .find(char::is_whitespace)
+                .map(|o| line_start + o)
+                .unwrap_or(line_start + line.len());
+            (&raw[line_start..end], line_start)
+        };
+        let rest_start = keyword_start + keyword.len();
         match keyword {
             "subject" | "object" => {
-                if !valid_name(rest) {
-                    return Err(err(lineno, format!("invalid vertex name {rest:?}")));
+                let (name, name_start) = trimmed(raw, rest_start, content_end);
+                let name_span = span_of(lineno, raw, name_start, name);
+                if !valid_name(name) {
+                    return Err(err_at(
+                        if name.is_empty() {
+                            line_span
+                        } else {
+                            name_span
+                        },
+                        format!("invalid vertex name {name:?}"),
+                    ));
                 }
-                if names.contains_key(rest) {
-                    return Err(err(lineno, format!("duplicate vertex name {rest:?}")));
+                if names.contains_key(name) {
+                    return Err(err_at(name_span, format!("duplicate vertex name {name:?}")));
                 }
                 let kind = if keyword == "subject" {
                     VertexKind::Subject
                 } else {
                     VertexKind::Object
                 };
-                let id = graph.add_vertex(kind, rest);
-                names.insert(rest.to_string(), id);
+                let id = graph.add_vertex(kind, name);
+                map.push_vertex(name_span);
+                names.insert(name.to_string(), id);
             }
             "edge" | "implicit" => {
-                let (endpoints, rights_text) = rest
-                    .split_once(':')
-                    .ok_or_else(|| err(lineno, "expected `src -> dst : rights`"))?;
-                let (src_name, dst_name) = endpoints
-                    .split_once("->")
-                    .ok_or_else(|| err(lineno, "expected `src -> dst`"))?;
-                let src = *names
-                    .get(src_name.trim())
-                    .ok_or_else(|| err(lineno, format!("unknown vertex {:?}", src_name.trim())))?;
-                let dst = *names
-                    .get(dst_name.trim())
-                    .ok_or_else(|| err(lineno, format!("unknown vertex {:?}", dst_name.trim())))?;
-                let rights = Rights::parse(rights_text.trim()).map_err(|m| err(lineno, m))?;
-                let outcome = if keyword == "edge" {
-                    graph.add_edge(src, dst, rights)
-                } else {
-                    graph.add_implicit_edge(src, dst, rights)
+                let rest = &raw[rest_start..content_end];
+                let Some(colon_off) = rest.find(':') else {
+                    return Err(err_at(line_span, "expected `src -> dst : rights`"));
                 };
-                outcome.map_err(|e| err(lineno, e.to_string()))?;
+                let colon = rest_start + colon_off;
+                let (endpoints, endpoints_start) = trimmed(raw, rest_start, colon);
+                let Some(arrow_off) = endpoints.find("->") else {
+                    return Err(err_at(
+                        span_of(lineno, raw, endpoints_start, endpoints),
+                        "expected `src -> dst`",
+                    ));
+                };
+                let arrow = endpoints_start + arrow_off;
+                let (src_name, src_start) = trimmed(raw, endpoints_start, arrow);
+                let (dst_name, dst_start) =
+                    trimmed(raw, arrow + 2, endpoints_start + endpoints.len());
+                let src = *names.get(src_name).ok_or_else(|| {
+                    err_at(
+                        span_of(lineno, raw, src_start, src_name),
+                        format!("unknown vertex {src_name:?}"),
+                    )
+                })?;
+                let dst = *names.get(dst_name).ok_or_else(|| {
+                    err_at(
+                        span_of(lineno, raw, dst_start, dst_name),
+                        format!("unknown vertex {dst_name:?}"),
+                    )
+                })?;
+                let (rights_text, rights_start) = trimmed(raw, colon + 1, content_end);
+                let rights_span = if rights_text.is_empty() {
+                    line_span
+                } else {
+                    span_of(lineno, raw, rights_start, rights_text)
+                };
+                let rights = Rights::parse(rights_text).map_err(|m| err_at(rights_span, m))?;
+                let implicit = keyword == "implicit";
+                let outcome = if implicit {
+                    graph.add_implicit_edge(src, dst, rights)
+                } else {
+                    graph.add_edge(src, dst, rights)
+                };
+                outcome.map_err(|e| err_at(line_span, e.to_string()))?;
+                map.record_edge(
+                    src,
+                    dst,
+                    implicit,
+                    EdgeSite {
+                        directive: line_span,
+                        rights: rights_span,
+                    },
+                );
             }
             other => {
-                return Err(err(lineno, format!("unknown directive {other:?}")));
+                return Err(err_at(
+                    span_of(lineno, raw, keyword_start, keyword),
+                    format!("unknown directive {other:?}"),
+                ));
             }
         }
     }
-    Ok(graph)
+    Ok((graph, map))
 }
 
 /// Renders a graph back to the text format. `parse_graph(&render_graph(g))`
@@ -161,6 +276,7 @@ mod tests {
     fn duplicate_names_are_rejected() {
         let e = parse_graph("subject a\nobject a\n").unwrap_err();
         assert_eq!(e.line, 2);
+        assert_eq!(e.col, 8);
         assert!(e.message.contains("duplicate"));
     }
 
@@ -168,6 +284,8 @@ mod tests {
     fn unknown_vertices_in_edges_are_rejected() {
         let e = parse_graph("subject a\nedge a -> b : r\n").unwrap_err();
         assert!(e.message.contains("unknown vertex"));
+        // The span points at the offending token `b`, not the line start.
+        assert_eq!((e.line, e.col, e.len), (2, 11, 1));
     }
 
     #[test]
@@ -175,6 +293,27 @@ mod tests {
         assert!(parse_graph("subject a\nsubject b\nedge a b : r\n").is_err());
         assert!(parse_graph("subject a\nsubject b\nedge a -> b r\n").is_err());
         assert!(parse_graph("subject a\nsubject b\nedge a -> b : zz\n").is_err());
+    }
+
+    #[test]
+    fn bad_rights_point_at_the_rights_token() {
+        let e = parse_graph("subject a\nsubject b\nedge a -> b : zz\n").unwrap_err();
+        assert_eq!((e.line, e.col), (3, 15));
+        let e = parse_graph("subject a\nsubject b\nedge a -> b :\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn dense_edge_syntax_still_parses() {
+        // Tokens are located by offset, not whitespace splitting, so the
+        // historical dense form remains valid.
+        let (g, map) = parse_graph_with_spans("subject a\nsubject b\nedge a->b:r w\n").unwrap();
+        let a = g.find_by_name("a").unwrap();
+        let b = g.find_by_name("b").unwrap();
+        assert_eq!(g.rights(a, b).explicit(), Rights::RW);
+        let site = map.edge_site(a, b, false).unwrap();
+        assert_eq!(site.rights.line, 3);
+        assert_eq!(site.rights.col, 11);
     }
 
     #[test]
@@ -188,11 +327,36 @@ mod tests {
     fn unknown_directive_is_rejected() {
         let e = parse_graph("vertex a\n").unwrap_err();
         assert!(e.message.contains("unknown directive"));
+        assert_eq!((e.line, e.col, e.len), (1, 1, 6));
     }
 
     #[test]
     fn invalid_names_are_rejected() {
         assert!(parse_graph("subject a:b\n").is_err());
         assert!(parse_graph("subject\n").is_err());
+    }
+
+    #[test]
+    fn spans_locate_declarations() {
+        let src = "subject alice\nobject report\nedge alice -> report : r w\nimplicit alice -> report : r\n";
+        let (g, map) = parse_graph_with_spans(src).unwrap();
+        let alice = g.find_by_name("alice").unwrap();
+        let report = g.find_by_name("report").unwrap();
+        assert_eq!(map.vertex_span(alice), Some(Span::new(1, 9, 5)));
+        assert_eq!(map.vertex_span(report), Some(Span::new(2, 8, 6)));
+        let site = map.edge_site(alice, report, false).unwrap();
+        assert_eq!(site.directive, Span::new(3, 1, 26));
+        assert_eq!(site.rights, Span::new(3, 24, 3));
+        let implicit = map.edge_site(alice, report, true).unwrap();
+        assert_eq!(implicit.directive.line, 4);
+        // edge_span prefers the explicit declaration.
+        assert_eq!(map.edge_span(alice, report).unwrap().line, 3);
+    }
+
+    #[test]
+    fn comment_columns_do_not_shift_spans() {
+        let (g, map) = parse_graph_with_spans("subject a # the first\n").unwrap();
+        let a = g.find_by_name("a").unwrap();
+        assert_eq!(map.vertex_span(a), Some(Span::new(1, 9, 1)));
     }
 }

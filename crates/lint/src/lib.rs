@@ -1,0 +1,373 @@
+//! `tg-lint`: a multi-pass static analyzer for Take-Grant protection
+//! graphs.
+//!
+//! The analyzer runs a [`Registry`] of named lints over a parsed
+//! [`ProtectionGraph`] — plus, optionally, a policy
+//! ([`LevelAssignment`]) and a [`SourceMap`] from
+//! [`parse_graph_with_spans`](tg_graph::parse_graph_with_spans) — and
+//! produces structured [`Diagnostic`]s: each has a stable code (`TG001`…),
+//! a [`Severity`], a message, source spans into the graph's text file, an
+//! optional witness (the offending rw-path or bridge), and an optional
+//! machine-applicable [`Fix`].
+//!
+//! Every lint is grounded in a result of the paper (Bishop, "Hierarchical
+//! Take-Grant Protection Systems", SOSP 1981); the [`RULES`] table records
+//! the mapping. The fix engine ([`apply_fixes`]) applies all
+//! error-severity fix-its and re-lints to a fixpoint; because every fix
+//! removes at least one right from some label, the loop terminates, and
+//! because `TG005` mirrors [`tg_hierarchy::secure_derived`] exactly, a
+//! lint-clean graph is secure in the derived sense.
+//!
+//! # Examples
+//!
+//! ```
+//! use tg_graph::{parse_graph_with_spans, Severity};
+//! use tg_lint::{LintContext, Registry};
+//!
+//! let text = "subject a\nsubject b\nedge a -> b : r\nedge b -> a : r\n";
+//! let (graph, map) = parse_graph_with_spans(text).unwrap();
+//! let registry = Registry::with_default_lints();
+//! let diags = registry.run(&LintContext::new(&graph, None, Some(&map)));
+//! // Mutual reads merge `a` and `b` into one rw-level: nothing to invert.
+//! assert!(diags.iter().all(|d| d.severity < Severity::Error));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod passes;
+pub mod render;
+
+use std::collections::HashSet;
+
+use tg_analysis::FlowGraph;
+use tg_graph::{ProtectionGraph, SourceMap, Span, VertexId};
+use tg_hierarchy::{rw_levels, DerivedLevels, LevelAssignment};
+
+pub use tg_graph::diag::{Diagnostic, Fix, FixIt, LabeledSpan, Severity};
+
+/// One entry of the static rule table: a lint code, its kebab-case name,
+/// a one-line summary, and the paper result it is grounded in.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleInfo {
+    /// Stable code, e.g. `"TG001"`.
+    pub code: &'static str,
+    /// Kebab-case rule name, e.g. `"read-up"`.
+    pub name: &'static str,
+    /// One-line description (used for SARIF `rules`).
+    pub summary: &'static str,
+    /// The paper result the lint checks, e.g. `"Theorem 5.5(a)"`.
+    pub paper: &'static str,
+}
+
+/// The rule table: every code the analyzer can emit, with its grounding.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        code: "TG000",
+        name: "restricted-edge",
+        summary: "an explicit edge violates a custom restriction's invariant",
+        paper: "Corollary 5.6",
+    },
+    RuleInfo {
+        code: "TG001",
+        name: "read-up",
+        summary: "an explicit `r` edge reads a vertex its source does not dominate",
+        paper: "Theorem 5.5(a)",
+    },
+    RuleInfo {
+        code: "TG002",
+        name: "write-down",
+        summary: "an explicit `w` edge writes a vertex that does not dominate its source",
+        paper: "Theorem 5.5(b)",
+    },
+    RuleInfo {
+        code: "TG003",
+        name: "cross-level-link",
+        summary: "a bridge or connection joins subjects against the dominance order",
+        paper: "Theorem 5.2",
+    },
+    RuleInfo {
+        code: "TG004",
+        name: "order-collapse",
+        summary: "de facto flow merges distinct assigned levels into one rw-level, so dominance is not a strict partial order",
+        paper: "Proposition 4.4",
+    },
+    RuleInfo {
+        code: "TG005",
+        name: "hierarchy-inversion",
+        summary: "the de jure rules let a lower vertex of the derived hierarchy come to know a higher one",
+        paper: "Theorem 5.2 / secure_derived",
+    },
+    RuleInfo {
+        code: "TG006",
+        name: "theft-exposure",
+        summary: "a read right can be stolen without any owner granting it",
+        paper: "can_steal (Snyder, §2)",
+    },
+    RuleInfo {
+        code: "TG007",
+        name: "unassigned-vertex",
+        summary: "the policy assigns this vertex no level, so the hierarchy checks cannot see it",
+        paper: "Section 5 provisos",
+    },
+    RuleInfo {
+        code: "TG008",
+        name: "isolated-vertex",
+        summary: "the vertex participates in no edge, explicit or implicit",
+        paper: "Section 1 (protection graph)",
+    },
+];
+
+/// Looks up a rule by code.
+pub fn rule(code: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.code == code)
+}
+
+/// Everything a lint pass may consult: the graph, the optional policy,
+/// the optional source map, and analyses shared across passes (computed
+/// once per run).
+pub struct LintContext<'a> {
+    /// The graph under analysis.
+    pub graph: &'a ProtectionGraph,
+    /// The policy (level assignment), when linting against one.
+    pub levels: Option<&'a LevelAssignment>,
+    /// Source locations, when the graph was parsed from text.
+    pub srcmap: Option<&'a SourceMap>,
+    /// The derived rw-levels of the graph (§4).
+    pub rw: DerivedLevels,
+    /// The one-step de facto flow structure.
+    pub flow: FlowGraph,
+}
+
+impl<'a> LintContext<'a> {
+    /// Builds a context, computing the shared analyses.
+    pub fn new(
+        graph: &'a ProtectionGraph,
+        levels: Option<&'a LevelAssignment>,
+        srcmap: Option<&'a SourceMap>,
+    ) -> LintContext<'a> {
+        LintContext {
+            graph,
+            levels,
+            srcmap,
+            rw: rw_levels(graph),
+            flow: FlowGraph::compute(graph),
+        }
+    }
+
+    /// The vertex's display name.
+    pub fn name(&self, v: VertexId) -> &str {
+        &self.graph.vertex(v).name
+    }
+
+    /// The declaration span of a vertex, if recorded.
+    pub fn vertex_span(&self, v: VertexId) -> Option<Span> {
+        self.srcmap.and_then(|m| m.vertex_span(v))
+    }
+
+    /// The declaring directive span of an edge, if recorded.
+    pub fn edge_span(&self, src: VertexId, dst: VertexId) -> Option<Span> {
+        self.srcmap.and_then(|m| m.edge_span(src, dst))
+    }
+}
+
+/// One lint pass.
+pub trait Lint {
+    /// The rule this pass emits (its entry in [`RULES`]); passes that emit
+    /// several codes return the lowest.
+    fn rule(&self) -> &'static RuleInfo;
+
+    /// Whether the pass is meaningless without a policy (it is skipped
+    /// when the context has no [`LevelAssignment`]).
+    fn needs_policy(&self) -> bool {
+        false
+    }
+
+    /// Runs the pass.
+    fn run(&self, cx: &LintContext<'_>) -> Vec<Diagnostic>;
+}
+
+/// An ordered collection of lint passes.
+pub struct Registry {
+    lints: Vec<Box<dyn Lint>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn empty() -> Registry {
+        Registry { lints: Vec::new() }
+    }
+
+    /// The default registry: all eight paper-grounded passes.
+    pub fn with_default_lints() -> Registry {
+        let mut reg = Registry::empty();
+        reg.register(Box::new(passes::EdgeInvariants));
+        reg.register(Box::new(passes::CrossLevelLinks));
+        reg.register(Box::new(passes::OrderCollapse));
+        reg.register(Box::new(passes::HierarchyInversion));
+        reg.register(Box::new(passes::TheftExposure));
+        reg.register(Box::new(passes::UnassignedVertices));
+        reg.register(Box::new(passes::IsolatedVertices));
+        reg
+    }
+
+    /// Adds a pass.
+    pub fn register(&mut self, lint: Box<dyn Lint>) {
+        self.lints.push(lint);
+    }
+
+    /// The registered passes.
+    pub fn lints(&self) -> impl Iterator<Item = &dyn Lint> {
+        self.lints.iter().map(|l| l.as_ref())
+    }
+
+    /// Runs every applicable pass and returns the diagnostics sorted by
+    /// severity (errors first), code, then source location.
+    pub fn run(&self, cx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for lint in &self.lints {
+            if lint.needs_policy() && cx.levels.is_none() {
+                continue;
+            }
+            out.extend(lint.run(cx));
+        }
+        out.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        out
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::with_default_lints()
+    }
+}
+
+/// Promotes diagnostics matched by a deny list to [`Severity::Error`].
+///
+/// Each entry is a code (`"TG006"`), a severity name (`"warn"` promotes
+/// every warning, `"info"` every advisory), or `"all"`.
+pub fn apply_deny(diags: &mut [Diagnostic], deny: &[String]) {
+    for diag in diags {
+        let hit = deny.iter().any(|d| {
+            d == "all"
+                || d.eq_ignore_ascii_case(diag.code)
+                || Severity::parse(d) == Some(diag.severity)
+        });
+        if hit && diag.severity < Severity::Error {
+            diag.severity = Severity::Error;
+        }
+    }
+}
+
+/// What [`apply_fixes`] did.
+#[derive(Clone, Debug)]
+pub struct FixReport {
+    /// Fix-its that removed something from the graph.
+    pub applied: usize,
+    /// Lint/fix rounds run (1 means the graph was already clean or one
+    /// round sufficed).
+    pub rounds: usize,
+    /// Diagnostics still present after the fixpoint (never error-severity
+    /// with an applicable fix).
+    pub remaining: Vec<Diagnostic>,
+}
+
+/// Applies every error-severity fix-it and re-lints until a fixpoint:
+/// no error diagnostics remain, or no fix makes progress.
+///
+/// Termination: each applied fix strictly removes rights from some edge
+/// label and no lint fix adds rights, so the total right count strictly
+/// decreases every productive round.
+pub fn apply_fixes(
+    registry: &Registry,
+    graph: &mut ProtectionGraph,
+    levels: Option<&LevelAssignment>,
+) -> FixReport {
+    let mut applied = 0;
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let diags = registry.run(&LintContext::new(graph, levels, None));
+        let mut seen = HashSet::new();
+        let fixes: Vec<FixIt> = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .filter_map(|d| d.fix.as_ref().map(|f| f.edit))
+            .filter(|f| seen.insert(*f))
+            .collect();
+        if fixes.is_empty() {
+            return FixReport {
+                applied,
+                rounds,
+                remaining: diags,
+            };
+        }
+        let mut progressed = false;
+        for fix in fixes {
+            let removed = fix.apply(graph).expect("lint fixes target live vertices");
+            progressed |= removed;
+            applied += usize::from(removed);
+        }
+        if !progressed {
+            return FixReport {
+                applied,
+                rounds,
+                remaining: diags,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::Rights;
+
+    #[test]
+    fn rule_table_is_sorted_and_unique() {
+        for pair in RULES.windows(2) {
+            assert!(pair[0].code < pair[1].code);
+        }
+        assert_eq!(rule("TG001").unwrap().name, "read-up");
+        assert!(rule("TG999").is_none());
+    }
+
+    #[test]
+    fn deny_list_promotes_by_code_and_severity() {
+        let mk = |code, sev| Diagnostic::new(code, sev, "m", LabeledSpan::new(None, "p"));
+        let mut diags = vec![
+            mk("TG006", Severity::Warn),
+            mk("TG008", Severity::Info),
+            mk("TG007", Severity::Warn),
+        ];
+        apply_deny(&mut diags, &["TG006".to_string()]);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[2].severity, Severity::Warn);
+        apply_deny(&mut diags, &["warn".to_string()]);
+        assert_eq!(diags[2].severity, Severity::Error);
+        assert_eq!(diags[1].severity, Severity::Info);
+        apply_deny(&mut diags, &["all".to_string()]);
+        assert_eq!(diags[1].severity, Severity::Error);
+    }
+
+    #[test]
+    fn fix_engine_reaches_a_fixpoint_on_an_inverted_pair() {
+        // hi's information leaks down to lo through a shared buffer.
+        let mut g = ProtectionGraph::new();
+        let hi = g.add_subject("hi");
+        let lo = g.add_subject("lo");
+        let buf = g.add_object("buf");
+        g.add_edge(hi, buf, Rights::W).unwrap();
+        g.add_edge(lo, buf, Rights::R).unwrap();
+        // And lo can also take from hi: a de jure inversion channel.
+        g.add_edge(lo, hi, Rights::T).unwrap();
+
+        let registry = Registry::with_default_lints();
+        let report = apply_fixes(&registry, &mut g, None);
+        assert!(report
+            .remaining
+            .iter()
+            .all(|d| d.severity < Severity::Error));
+        assert!(tg_hierarchy::secure_derived(&g).is_ok());
+    }
+}

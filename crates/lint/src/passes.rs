@@ -1,0 +1,519 @@
+//! The built-in lint passes.
+//!
+//! Each pass checks one result of the paper; the mapping is recorded in
+//! the [`RULES`](crate::RULES) table and in `DESIGN.md`.
+
+use tg_analysis::{can_know_detail, can_steal, FlowStep, KnowEvidence, Link};
+use tg_graph::{ProtectionGraph, Right, VertexId};
+use tg_hierarchy::{audit_diagnostics, CombinedRestriction};
+use tg_paths::{format_word, lang, PathSearch, SearchConfig};
+
+use crate::{rule, Diagnostic, Fix, FixIt, LabeledSpan, Lint, LintContext, RuleInfo, Severity};
+
+/// Quarantines the de jure edge joining two consecutive path vertices,
+/// whichever orientation the graph actually records.
+fn quarantine_path_edge(graph: &ProtectionGraph, a: VertexId, b: VertexId) -> FixIt {
+    if !graph.rights(a, b).combined().is_empty() {
+        FixIt::QuarantineEdge { src: a, dst: b }
+    } else {
+        FixIt::QuarantineEdge { src: b, dst: a }
+    }
+}
+
+/// Strips the right a de facto flow step rides on, from the explicit
+/// label when it is recorded there, from the implicit label otherwise.
+fn strip_flow_step(
+    graph: &ProtectionGraph,
+    earlier: VertexId,
+    later: VertexId,
+    step: FlowStep,
+) -> FixIt {
+    let (src, dst, right) = match step {
+        // earlier reads later: the edge is earlier → later : r.
+        FlowStep::Read => (earlier, later, Right::Read),
+        // later writes earlier: the edge is later → earlier : w.
+        FlowStep::Write => (later, earlier, Right::Write),
+    };
+    let rights = tg_graph::Rights::singleton(right);
+    if graph.rights(src, dst).explicit().contains(right) {
+        FixIt::StripExplicit { src, dst, rights }
+    } else {
+        FixIt::StripImplicit { src, dst, rights }
+    }
+}
+
+fn render_flow_path(cx: &LintContext<'_>, vertices: &[VertexId], steps: &[FlowStep]) -> String {
+    let mut out = String::from("rw-path ");
+    for (i, v) in vertices.iter().enumerate() {
+        if i > 0 {
+            out.push_str(match steps[i - 1] {
+                FlowStep::Read => " -r>- ",
+                FlowStep::Write => " -<w- ",
+            });
+        }
+        out.push_str(cx.name(*v));
+    }
+    out
+}
+
+fn render_link(cx: &LintContext<'_>, link: &Link) -> String {
+    let names: Vec<&str> = link.path.iter().map(|v| cx.name(*v)).collect();
+    format!(
+        "{:?} {} ({})",
+        link.kind,
+        names.join(" - "),
+        format_word(&link.word)
+    )
+}
+
+/// TG000/TG001/TG002 — the edge invariants of Theorem 5.5: no explicit
+/// read-up, no explicit write-down. Delegates to the reference monitor's
+/// audit, which produces the same diagnostics the monitor's quarantine
+/// consumes.
+pub struct EdgeInvariants;
+
+impl Lint for EdgeInvariants {
+    fn rule(&self) -> &'static RuleInfo {
+        rule("TG000").unwrap()
+    }
+
+    fn needs_policy(&self) -> bool {
+        true
+    }
+
+    fn run(&self, cx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let levels = cx.levels.expect("policy-gated pass");
+        audit_diagnostics(cx.graph, levels, &CombinedRestriction, cx.srcmap)
+    }
+}
+
+/// TG003 — Theorem 5.2: a bridge or connection between subjects must run
+/// *down* the dominance order (the knower dominates the known); one that
+/// crosses it lets authority and information traverse levels.
+pub struct CrossLevelLinks;
+
+impl Lint for CrossLevelLinks {
+    fn rule(&self) -> &'static RuleInfo {
+        rule("TG003").unwrap()
+    }
+
+    fn needs_policy(&self) -> bool {
+        true
+    }
+
+    fn run(&self, cx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let levels = cx.levels.expect("policy-gated pass");
+        let dfa = lang::bridge_or_connection();
+        let search = PathSearch::new(cx.graph, &dfa, SearchConfig::explicit_only());
+        let mut out = Vec::new();
+        for u in cx.graph.subjects() {
+            let Some(lu) = levels.level_of(u) else {
+                continue;
+            };
+            for v in search.accepting_reachable(&[u]) {
+                if v == u || !cx.graph.is_subject(v) {
+                    continue;
+                }
+                let Some(lv) = levels.level_of(v) else {
+                    continue;
+                };
+                if levels.dominates(lu, lv) {
+                    continue;
+                }
+                let witness = search
+                    .find(&[u], |t| t == v)
+                    .expect("reachable vertex has a path");
+                let first_fix =
+                    quarantine_path_edge(cx.graph, witness.vertices[0], witness.vertices[1]);
+                let (fa, fb) = first_fix.edge();
+                let names: Vec<&str> = witness.vertices.iter().map(|w| cx.name(*w)).collect();
+                out.push(
+                    Diagnostic::new(
+                        "TG003",
+                        Severity::Error,
+                        format!(
+                            "cross-level link: bridge-or-connection from `{}` (level {}) to `{}` (level {}) runs against dominance",
+                            cx.name(u),
+                            levels.name(lu),
+                            cx.name(v),
+                            levels.name(lv),
+                        ),
+                        LabeledSpan::new(
+                            cx.edge_span(fa, fb),
+                            format!("link starts at edge `{} -> {}`", cx.name(fa), cx.name(fb)),
+                        ),
+                    )
+                    .with_secondary(LabeledSpan::new(
+                        cx.vertex_span(v),
+                        format!("`{}` is reachable from `{}`", cx.name(v), cx.name(u)),
+                    ))
+                    .with_witness(format!("{} ({})", names.join(" - "), format_word(&witness.word)))
+                    .with_fix(Fix::new(
+                        first_fix,
+                        format!("quarantine edge {} -> {}", cx.name(fa), cx.name(fb)),
+                    )),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// TG004 — Proposition 4.4 requires the derived dominance relation to be
+/// a strict partial order. When de facto flow merges two vertices with
+/// *distinct assigned levels* into one rw-level, the policy's order
+/// collapses: each level "dominates" the other.
+pub struct OrderCollapse;
+
+impl Lint for OrderCollapse {
+    fn rule(&self) -> &'static RuleInfo {
+        rule("TG004").unwrap()
+    }
+
+    fn needs_policy(&self) -> bool {
+        true
+    }
+
+    fn run(&self, cx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let levels = cx.levels.expect("policy-gated pass");
+        let mut out = Vec::new();
+        for idx in 0..cx.rw.len() {
+            let assigned: Vec<(VertexId, usize)> = cx
+                .rw
+                .members(idx)
+                .iter()
+                .filter_map(|&v| levels.level_of(v).map(|l| (v, l)))
+                .collect();
+            let Some(&(a, la)) = assigned.first() else {
+                continue;
+            };
+            let Some(&(b, lb)) = assigned.iter().find(|&&(_, l)| l != la) else {
+                continue;
+            };
+            let (path, steps) = cx
+                .flow
+                .path(a, b)
+                .expect("one rw-level implies mutual flow");
+            let fix = strip_flow_step(cx.graph, path[0], path[1], steps[0]);
+            let (fa, fb) = fix.edge();
+            out.push(
+                Diagnostic::new(
+                    "TG004",
+                    Severity::Error,
+                    format!(
+                        "order collapse: `{}` (level {}) and `{}` (level {}) share one rw-level, so dominance is not a strict partial order",
+                        cx.name(a),
+                        levels.name(la),
+                        cx.name(b),
+                        levels.name(lb),
+                    ),
+                    LabeledSpan::new(
+                        cx.edge_span(fa, fb),
+                        format!("mutual flow rides on edge `{} -> {}`", cx.name(fa), cx.name(fb)),
+                    ),
+                )
+                .with_secondary(LabeledSpan::new(
+                    cx.vertex_span(a),
+                    format!("`{}` assigned level {}", cx.name(a), levels.name(la)),
+                ))
+                .with_secondary(LabeledSpan::new(
+                    cx.vertex_span(b),
+                    format!("`{}` assigned level {}", cx.name(b), levels.name(lb)),
+                ))
+                .with_witness(render_flow_path(cx, &path, &steps))
+                .with_fix(Fix::new(
+                    fix,
+                    format!(
+                        "strip the flow step between {} and {}",
+                        cx.name(path[0]),
+                        cx.name(path[1])
+                    ),
+                )),
+            );
+        }
+        out
+    }
+}
+
+/// TG005 — the derived-hierarchy security check behind
+/// [`tg_hierarchy::secure_derived`]: for subjects `x`, `y` with `y`
+/// strictly above `x` in the graph's own rw-hierarchy, `can_know(x, y)`
+/// must be false. This pass enumerates *every* inverting pair (the
+/// checker stops at the first), with the paper's witness structure.
+pub struct HierarchyInversion;
+
+impl Lint for HierarchyInversion {
+    fn rule(&self) -> &'static RuleInfo {
+        rule("TG005").unwrap()
+    }
+
+    fn run(&self, cx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let subjects: Vec<VertexId> = cx.graph.subjects().collect();
+        let mut out = Vec::new();
+        for &x in &subjects {
+            for &y in &subjects {
+                if x == y {
+                    continue;
+                }
+                let (Some(lx), Some(ly)) = (cx.rw.level_of(x), cx.rw.level_of(y)) else {
+                    continue;
+                };
+                if !cx.rw.higher(ly, lx) {
+                    continue;
+                }
+                let Some(evidence) = can_know_detail(cx.graph, x, y) else {
+                    continue;
+                };
+                out.push(inversion_diagnostic(cx, x, y, &evidence));
+            }
+        }
+        out
+    }
+}
+
+fn inversion_diagnostic(
+    cx: &LintContext<'_>,
+    x: VertexId,
+    y: VertexId,
+    evidence: &KnowEvidence,
+) -> Diagnostic {
+    let (witness, fix) = match evidence {
+        KnowEvidence::Trivial => unreachable!("x != y"),
+        KnowEvidence::DeFacto { vertices, steps } => (
+            render_flow_path(cx, vertices, steps),
+            strip_flow_step(cx.graph, vertices[0], vertices[1], steps[0]),
+        ),
+        KnowEvidence::DeFactoTerminal => (
+            format!("implicit edge {} -> {}", cx.name(x), cx.name(y)),
+            FixIt::StripImplicit {
+                src: x,
+                dst: y,
+                rights: tg_graph::Rights::ALL,
+            },
+        ),
+        KnowEvidence::Chain {
+            initial,
+            subjects,
+            links,
+            terminal,
+        } => {
+            let mut parts = Vec::new();
+            if let Some(sp) = initial {
+                parts.push(format!(
+                    "initial span {} to {}",
+                    format_word(&sp.word),
+                    cx.name(sp.subject)
+                ));
+            }
+            parts.push(format!(
+                "chain {}",
+                subjects
+                    .iter()
+                    .map(|s| cx.name(*s).to_string())
+                    .collect::<Vec<_>>()
+                    .join(" => ")
+            ));
+            for link in links {
+                parts.push(render_link(cx, link));
+            }
+            if let Some(sp) = terminal {
+                parts.push(format!(
+                    "terminal span {} from {}",
+                    format_word(&sp.word),
+                    cx.name(sp.subject)
+                ));
+            }
+            let fix = if let Some(link) = links.first() {
+                quarantine_path_edge(cx.graph, link.path[0], link.path[1])
+            } else if let Some(sp) = initial.as_ref().or(terminal.as_ref()) {
+                quarantine_path_edge(cx.graph, sp.path[0], sp.path[1])
+            } else {
+                // A one-subject chain with null spans degenerates to x == y.
+                unreachable!("chain evidence joins distinct vertices")
+            };
+            (parts.join("; "), fix)
+        }
+    };
+    let (fa, fb) = fix.edge();
+    let label = match fix {
+        FixIt::QuarantineEdge { .. } => {
+            format!("quarantine edge {} -> {}", cx.name(fa), cx.name(fb))
+        }
+        FixIt::StripExplicit { rights, .. } => {
+            format!(
+                "strip `{rights}` from edge {} -> {}",
+                cx.name(fa),
+                cx.name(fb)
+            )
+        }
+        FixIt::StripImplicit { rights, .. } => format!(
+            "strip implicit `{rights}` from edge {} -> {}",
+            cx.name(fa),
+            cx.name(fb)
+        ),
+    };
+    Diagnostic::new(
+        "TG005",
+        Severity::Error,
+        format!(
+            "hierarchy inversion: `{}` (derived level {}) can come to know `{}` (derived level {}) above it",
+            cx.name(x),
+            cx.rw.level_of(x).expect("checked"),
+            cx.name(y),
+            cx.rw.level_of(y).expect("checked"),
+        ),
+        LabeledSpan::new(
+            cx.edge_span(fa, fb),
+            format!("inversion channel uses edge `{} -> {}`", cx.name(fa), cx.name(fb)),
+        ),
+    )
+    .with_secondary(LabeledSpan::new(
+        cx.vertex_span(x),
+        format!("`{}` comes to know", cx.name(x)),
+    ))
+    .with_secondary(LabeledSpan::new(
+        cx.vertex_span(y),
+        format!("`{}` leaks", cx.name(y)),
+    ))
+    .with_witness(witness)
+    .with_fix(Fix::new(fix, label))
+}
+
+/// The pass is skipped on graphs larger than this: `can_steal` is decided
+/// per pair, and theft advisories on huge graphs drown the signal.
+const THEFT_VERTEX_CAP: usize = 64;
+
+/// TG006 — theft exposure: `can_steal(r, x, y)` holds, so `x` can obtain
+/// an explicit `r` right to `y` although no owner of that right grants it
+/// (Snyder's theft predicate, §2). Advisory: theft needs no cooperation
+/// from the owners, only from the thief's accomplices.
+pub struct TheftExposure;
+
+impl Lint for TheftExposure {
+    fn rule(&self) -> &'static RuleInfo {
+        rule("TG006").unwrap()
+    }
+
+    fn run(&self, cx: &LintContext<'_>) -> Vec<Diagnostic> {
+        if cx.graph.vertex_count() > THEFT_VERTEX_CAP {
+            return Vec::new();
+        }
+        let subjects: Vec<VertexId> = cx.graph.subjects().collect();
+        let mut out = Vec::new();
+        for y in cx.graph.vertex_ids() {
+            let thieves: Vec<VertexId> = subjects
+                .iter()
+                .copied()
+                .filter(|&x| x != y && can_steal(cx.graph, Right::Read, x, y))
+                .collect();
+            if thieves.is_empty() {
+                continue;
+            }
+            let shown: Vec<String> = thieves
+                .iter()
+                .take(3)
+                .map(|&t| format!("`{}`", cx.name(t)))
+                .collect();
+            let suffix = if thieves.len() > 3 {
+                format!(" and {} more", thieves.len() - 3)
+            } else {
+                String::new()
+            };
+            // Point at the edge the right would be stolen from: the first
+            // explicit r edge into y.
+            let owner_edge = cx
+                .graph
+                .edges()
+                .find(|e| e.dst == y && e.rights.explicit.contains(Right::Read));
+            let primary = match &owner_edge {
+                Some(e) => LabeledSpan::new(
+                    cx.edge_span(e.src, e.dst),
+                    format!("`{}` holds `r` to `{}`", cx.name(e.src), cx.name(y)),
+                ),
+                None => {
+                    LabeledSpan::new(cx.vertex_span(y), format!("`{}` declared here", cx.name(y)))
+                }
+            };
+            out.push(
+                Diagnostic::new(
+                    "TG006",
+                    Severity::Warn,
+                    format!(
+                        "theft exposure: `r` to `{}` can be stolen by {}{suffix}",
+                        cx.name(y),
+                        shown.join(", "),
+                    ),
+                    primary,
+                )
+                .with_witness(format!(
+                    "can_steal(r, {}, {})",
+                    cx.name(thieves[0]),
+                    cx.name(y)
+                )),
+            );
+        }
+        out
+    }
+}
+
+/// TG007 — the Section 5 provisos assume every vertex carries a level;
+/// an unassigned vertex is invisible to the hierarchy checks and can
+/// launder flows between levels.
+pub struct UnassignedVertices;
+
+impl Lint for UnassignedVertices {
+    fn rule(&self) -> &'static RuleInfo {
+        rule("TG007").unwrap()
+    }
+
+    fn needs_policy(&self) -> bool {
+        true
+    }
+
+    fn run(&self, cx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let levels = cx.levels.expect("policy-gated pass");
+        cx.graph
+            .vertex_ids()
+            .filter(|&v| levels.level_of(v).is_none())
+            .map(|v| {
+                Diagnostic::new(
+                    "TG007",
+                    Severity::Warn,
+                    format!("the policy assigns no level to `{}`", cx.name(v)),
+                    LabeledSpan::new(cx.vertex_span(v), format!("`{}` declared here", cx.name(v))),
+                )
+            })
+            .collect()
+    }
+}
+
+/// TG008 — a vertex with no edges at all holds no authority and no
+/// information channel; it is either dead weight or a sign the graph text
+/// dropped its edges.
+pub struct IsolatedVertices;
+
+impl Lint for IsolatedVertices {
+    fn rule(&self) -> &'static RuleInfo {
+        rule("TG008").unwrap()
+    }
+
+    fn run(&self, cx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let mut connected = vec![false; cx.graph.vertex_count()];
+        for edge in cx.graph.edges() {
+            connected[edge.src.index()] = true;
+            connected[edge.dst.index()] = true;
+        }
+        cx.graph
+            .vertex_ids()
+            .filter(|v| !connected[v.index()])
+            .map(|v| {
+                Diagnostic::new(
+                    "TG008",
+                    Severity::Info,
+                    format!("`{}` is isolated: it participates in no edge", cx.name(v)),
+                    LabeledSpan::new(cx.vertex_span(v), format!("`{}` declared here", cx.name(v))),
+                )
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,300 @@
+//! Diagnostic renderers: rustc-style text, JSON, and SARIF 2.1.0.
+//!
+//! All three are hand-rolled (the workspace is offline and carries no
+//! serde); the JSON emitters escape strings per RFC 8259.
+
+use core::fmt::Write as _;
+
+use tg_graph::diag::{Diagnostic, LabeledSpan, Severity};
+use tg_graph::Span;
+
+use crate::{RuleInfo, RULES};
+
+/// Counts diagnostics by severity: `(errors, warnings, infos)`.
+pub fn tally(diags: &[Diagnostic]) -> (usize, usize, usize) {
+    let mut t = (0, 0, 0);
+    for d in diags {
+        match d.severity {
+            Severity::Error => t.0 += 1,
+            Severity::Warn => t.1 += 1,
+            Severity::Info => t.2 += 1,
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------- text --
+
+fn push_excerpt(out: &mut String, source: &str, span: Span, label: &str, gutter: usize) {
+    let Some(line_text) = source.lines().nth(span.line - 1) else {
+        return;
+    };
+    let _ = writeln!(out, "{:gutter$} |", "");
+    let _ = writeln!(out, "{:>gutter$} | {}", span.line, line_text);
+    let carets = "^".repeat(span.len.max(1));
+    let _ = writeln!(
+        out,
+        "{:gutter$} | {:pad$}{carets} {label}",
+        "",
+        "",
+        pad = span.col.saturating_sub(1),
+    );
+}
+
+fn push_note(out: &mut String, path: &str, gutter: usize, kind: &str, s: &LabeledSpan) {
+    match s.span {
+        Some(sp) => {
+            let _ = writeln!(out, "{:gutter$} = {kind}: {} [{path}:{sp}]", "", s.label);
+        }
+        None => {
+            let _ = writeln!(out, "{:gutter$} = {kind}: {}", "", s.label);
+        }
+    }
+}
+
+/// Renders diagnostics the way rustc does: a header line, the source
+/// excerpt with a caret underline (when `source` is given and the span is
+/// known), secondary notes, the witness, and the suggested fix. Ends with
+/// a one-line tally.
+pub fn render_text(diags: &[Diagnostic], path: &str, source: Option<&str>, out: &mut String) {
+    let gutter = diags
+        .iter()
+        .filter_map(|d| d.primary.span)
+        .map(|s| s.line.to_string().len())
+        .max()
+        .unwrap_or(1);
+    for diag in diags {
+        let _ = writeln!(out, "{}[{}]: {}", diag.severity, diag.code, diag.message);
+        if let Some(span) = diag.primary.span {
+            let _ = writeln!(out, "{:gutter$}--> {path}:{span}", "");
+            if let Some(src) = source {
+                push_excerpt(out, src, span, &diag.primary.label, gutter);
+            } else {
+                push_note(out, path, gutter, "note", &diag.primary);
+            }
+        } else {
+            let _ = writeln!(out, "{:gutter$}--> {path}", "");
+            let _ = writeln!(out, "{:gutter$} = note: {}", "", diag.primary.label);
+        }
+        for sec in &diag.secondary {
+            push_note(out, path, gutter, "note", sec);
+        }
+        if let Some(w) = &diag.witness {
+            let _ = writeln!(out, "{:gutter$} = witness: {w}", "");
+        }
+        if let Some(fix) = &diag.fix {
+            let _ = writeln!(out, "{:gutter$} = help: {}", "", fix.label);
+        }
+        out.push('\n');
+    }
+    let (e, w, i) = tally(diags);
+    let _ = writeln!(out, "{e} error(s), {w} warning(s), {i} info(s)");
+}
+
+// ---------------------------------------------------------------- json --
+
+/// Escapes a string for a JSON literal (RFC 8259 §7).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_span(span: Option<Span>) -> String {
+    match span {
+        Some(s) => format!(
+            "{{\"line\":{},\"col\":{},\"len\":{}}}",
+            s.line, s.col, s.len
+        ),
+        None => "null".to_string(),
+    }
+}
+
+fn json_label(s: &LabeledSpan) -> String {
+    format!(
+        "{{\"span\":{},\"label\":\"{}\"}}",
+        json_span(s.span),
+        esc(&s.label)
+    )
+}
+
+fn json_opt_str(s: Option<&str>) -> String {
+    match s {
+        Some(s) => format!("\"{}\"", esc(s)),
+        None => "null".to_string(),
+    }
+}
+
+/// Renders diagnostics as a single JSON object:
+/// `{"file":…,"diagnostics":[…],"summary":{…}}`.
+pub fn render_json(diags: &[Diagnostic], path: &str) -> String {
+    let mut items = Vec::with_capacity(diags.len());
+    for d in diags {
+        let labels: Vec<String> = d.secondary.iter().map(json_label).collect();
+        items.push(format!(
+            "    {{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"primary\":{},\"secondary\":[{}],\"witness\":{},\"fix\":{}}}",
+            d.code,
+            d.severity,
+            esc(&d.message),
+            json_label(&d.primary),
+            labels.join(","),
+            json_opt_str(d.witness.as_deref()),
+            json_opt_str(d.fix.as_ref().map(|f| f.label.as_str())),
+        ));
+    }
+    let (e, w, i) = tally(diags);
+    format!(
+        "{{\n  \"file\": \"{}\",\n  \"diagnostics\": [\n{}\n  ],\n  \"summary\": {{\"error\": {e}, \"warn\": {w}, \"info\": {i}}}\n}}\n",
+        esc(path),
+        items.join(",\n"),
+    )
+}
+
+// --------------------------------------------------------------- sarif --
+
+fn sarif_level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Error => "error",
+        Severity::Warn => "warning",
+        Severity::Info => "note",
+    }
+}
+
+fn sarif_rule(r: &RuleInfo) -> String {
+    format!(
+        "          {{\"id\":\"{}\",\"name\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\"properties\":{{\"paper\":\"{}\"}}}}",
+        r.code,
+        r.name,
+        esc(r.summary),
+        esc(r.paper),
+    )
+}
+
+fn sarif_result(d: &Diagnostic, path: &str) -> String {
+    let rule_index = RULES
+        .iter()
+        .position(|r| r.code == d.code)
+        .expect("every emitted code is in the rule table");
+    let location = d.primary.span.map(|s| {
+        format!(
+            "{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\"region\":{{\"startLine\":{},\"startColumn\":{},\"endColumn\":{}}}}},\"message\":{{\"text\":\"{}\"}}}}",
+            esc(path),
+            s.line,
+            s.col,
+            s.col + s.len,
+            esc(&d.primary.label),
+        )
+    });
+    let mut props = Vec::new();
+    if let Some(w) = &d.witness {
+        props.push(format!("\"witness\":\"{}\"", esc(w)));
+    }
+    if let Some(f) = &d.fix {
+        props.push(format!("\"fix\":\"{}\"", esc(&f.label)));
+    }
+    format!(
+        "        {{\"ruleId\":\"{}\",\"ruleIndex\":{rule_index},\"level\":\"{}\",\"message\":{{\"text\":\"{}\"}},\"locations\":[{}],\"properties\":{{{}}}}}",
+        d.code,
+        sarif_level(d.severity),
+        esc(&d.message),
+        location.unwrap_or_default(),
+        props.join(","),
+    )
+}
+
+/// Renders diagnostics as a SARIF 2.1.0 log with a single run whose rule
+/// metadata is the full [`RULES`] table.
+pub fn render_sarif(diags: &[Diagnostic], path: &str) -> String {
+    let rules: Vec<String> = RULES.iter().map(sarif_rule).collect();
+    let results: Vec<String> = diags.iter().map(|d| sarif_result(d, path)).collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n",
+            "  \"version\": \"2.1.0\",\n",
+            "  \"runs\": [\n",
+            "    {{\n",
+            "      \"tool\": {{\n",
+            "        \"driver\": {{\n",
+            "          \"name\": \"tg-lint\",\n",
+            "          \"version\": \"0.1.0\",\n",
+            "          \"informationUri\": \"https://example.org/take-grant\",\n",
+            "          \"rules\": [\n{rules}\n          ]\n",
+            "        }}\n",
+            "      }},\n",
+            "      \"results\": [\n{results}\n      ]\n",
+            "    }}\n",
+            "  ]\n",
+            "}}\n",
+        ),
+        rules = rules.join(",\n"),
+        results = if results.is_empty() {
+            String::new()
+        } else {
+            results.join(",\n")
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::diag::LabeledSpan;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![Diagnostic::new(
+            "TG001",
+            Severity::Error,
+            "read-up: explicit `r` edge",
+            LabeledSpan::new(Some(Span::new(3, 1, 15)), "edge `a -> b` carries `r`"),
+        )
+        .with_witness("a \"quoted\" witness")]
+    }
+
+    #[test]
+    fn text_renders_excerpt_and_tally() {
+        let mut out = String::new();
+        let source = "subject a\nsubject b\nedge a -> b : r\n";
+        render_text(&sample(), "g.tg", Some(source), &mut out);
+        assert!(out.contains("error[TG001]: read-up"));
+        assert!(out.contains("--> g.tg:3:1"));
+        assert!(out.contains("edge a -> b : r"));
+        assert!(out.contains("^^^^^^^^^^^^^^^"));
+        assert!(out.contains("1 error(s), 0 warning(s), 0 info(s)"));
+    }
+
+    #[test]
+    fn json_escapes_and_tallies() {
+        let json = render_json(&sample(), "g.tg");
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"summary\": {\"error\": 1, \"warn\": 0, \"info\": 0}"));
+        assert!(json.contains("\"span\":{\"line\":3,\"col\":1,\"len\":15}"));
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_regions() {
+        let sarif = render_sarif(&sample(), "g.tg");
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("sarif-2.1.0.json"));
+        assert!(
+            sarif.contains("\"id\":\"TG005\""),
+            "full rule table present"
+        );
+        assert!(sarif.contains("\"startLine\":3"));
+        assert!(sarif.contains("\"endColumn\":16"));
+        let empty = render_sarif(&[], "g.tg");
+        assert!(empty.contains("\"results\": [\n\n      ]"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests tying the analyzer to the paper's security notions:
+//!
+//! * **Soundness of TG005**: a graph with zero error-severity diagnostics
+//!   (no policy given) satisfies `secure_derived` — and vice versa, an
+//!   insecure graph always produces an error.
+//! * **Fix-it soundness**: applying all fix-its to a fixpoint yields a
+//!   lint-clean graph that satisfies `secure_derived`, and (with a
+//!   policy) a clean monitor audit.
+
+use proptest::prelude::*;
+
+use tg_graph::{Right, Severity};
+use tg_hierarchy::{audit_graph, secure_derived, CombinedRestriction};
+use tg_lint::{apply_fixes, LintContext, Registry};
+use tg_sim::gen::{GraphGen, HierarchyGen};
+
+fn small_graph(seed: u64) -> tg_graph::ProtectionGraph {
+    GraphGen {
+        vertices: 12,
+        subject_ratio: 0.6,
+        out_degree: 1.8,
+        rights_weights: vec![
+            (Right::Read, 0.5),
+            (Right::Write, 0.4),
+            (Right::Take, 0.3),
+            (Right::Grant, 0.2),
+        ],
+        seed,
+    }
+    .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Without a policy the only error-severity lint is TG005, which must
+    /// agree exactly with `secure_derived`.
+    #[test]
+    fn errors_iff_derived_insecurity(seed in 0u64..10_000) {
+        let graph = small_graph(seed);
+        let registry = Registry::with_default_lints();
+        let diags = registry.run(&LintContext::new(&graph, None, None));
+        let has_error = diags.iter().any(|d| d.severity == Severity::Error);
+        prop_assert_eq!(
+            has_error,
+            secure_derived(&graph).is_err(),
+            "lint errors must match the checker's verdict"
+        );
+    }
+
+    /// Fix-it soundness, derived sense: after `apply_fixes` the graph is
+    /// lint-clean and `secure_derived` holds.
+    #[test]
+    fn fixes_restore_derived_security(seed in 0u64..10_000) {
+        let mut graph = small_graph(seed);
+        let registry = Registry::with_default_lints();
+        let report = apply_fixes(&registry, &mut graph, None);
+        prop_assert!(
+            report.remaining.iter().all(|d| d.severity < Severity::Error),
+            "fixpoint leaves no errors"
+        );
+        prop_assert!(secure_derived(&graph).is_ok());
+    }
+
+    /// Fix-it soundness, policy sense: a noisy hierarchy repaired by the
+    /// fix engine passes the reference monitor's audit (TG001/TG002 are
+    /// gone) and keeps `secure_derived`.
+    #[test]
+    fn fixes_restore_policy_security(seed in 0u64..10_000, noise in 1usize..8) {
+        let built = HierarchyGen {
+            levels: 3,
+            per_level: 2,
+            noise_edges: noise,
+            seed,
+        }
+        .build();
+        let mut graph = built.graph;
+        let levels = built.assignment;
+        let registry = Registry::with_default_lints();
+        let report = apply_fixes(&registry, &mut graph, Some(&levels));
+        prop_assert!(
+            report.remaining.iter().all(|d| d.severity < Severity::Error),
+            "fixpoint leaves no errors"
+        );
+        prop_assert!(
+            audit_graph(&graph, &levels, &CombinedRestriction).is_empty(),
+            "edge invariants hold after fixing"
+        );
+        prop_assert!(secure_derived(&graph).is_ok());
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerates the checked-in lint fixtures under `examples/graphs/`:
+//! the paper's figure graphs in the text interchange format, plus their
+//! level-assignment policies. CI lints these with `tgq lint`.
+//!
+//! Run with: `cargo run --example gen_lint_fixtures`
+
+use std::fs;
+use std::path::Path;
+
+use take_grant::graph::render_graph;
+use take_grant::hierarchy::policy::render_policy;
+use take_grant::sim::scenarios;
+
+fn main() {
+    let dir = Path::new("examples/graphs");
+    fs::create_dir_all(dir).expect("create examples/graphs");
+    let mut written = Vec::new();
+    let mut put = |name: &str, contents: String| {
+        let path = dir.join(name);
+        fs::write(&path, contents).expect("write fixture");
+        written.push(path.display().to_string());
+    };
+
+    let f22 = scenarios::fig_2_2();
+    put("fig_2_2.tg", render_graph(&f22.graph));
+
+    let f41 = scenarios::fig_4_1();
+    put("fig_4_1.tg", render_graph(&f41.graph));
+    put("fig_4_1.pol", render_policy(&f41.assignment, &f41.graph));
+
+    let f42 = scenarios::fig_4_2();
+    put("fig_4_2.tg", render_graph(&f42.graph));
+    put("fig_4_2.pol", render_policy(&f42.assignment, &f42.graph));
+
+    let f51 = scenarios::fig_5_1();
+    put("fig_5_1.tg", render_graph(&f51.graph));
+    put("fig_5_1.pol", render_policy(&f51.assignment, &f51.graph));
+
+    let f61 = scenarios::fig_6_1();
+    put("fig_6_1.tg", render_graph(&f61.graph));
+    put("fig_6_1.pol", render_policy(&f61.assignment, &f61.graph));
+
+    for path in written {
+        println!("wrote {path}");
+    }
+}

@@ -16,6 +16,9 @@
 //!   `higher` partial order, security (Theorem 5.2), the de jure rule
 //!   restrictions and the reference monitor (Theorem 5.5, Corollaries
 //!   5.6/5.7), the Wu-model baseline, and declassification analysis.
+//! * [`lint`] — a multi-pass static analyzer: paper-grounded lints over a
+//!   parsed graph and optional policy, with spanned diagnostics, fix-its,
+//!   and text/JSON/SARIF rendering.
 //! * [`blp`] — a Bell–LaPadula comparator used to validate the paper's §6
 //!   correspondence claim.
 //! * [`sim`] — workload generators and the scenario library reconstructing
@@ -43,6 +46,7 @@ pub use tg_analysis as analysis;
 pub use tg_blp as blp;
 pub use tg_graph as graph;
 pub use tg_hierarchy as hierarchy;
+pub use tg_lint as lint;
 pub use tg_paths as paths;
 pub use tg_rules as rules;
 pub use tg_sim as sim;
