@@ -108,6 +108,15 @@ impl Islands {
         self.islands.iter().map(Vec::as_slice)
     }
 
+    /// The partition in canonical form: one sorted member list per
+    /// island, ordered by smallest member. This is the comparison form
+    /// the incremental island index (`tg-inc`) is differentially tested
+    /// against — two decompositions are equal iff their canonical forms
+    /// are.
+    pub fn canonical(&self) -> Vec<Vec<VertexId>> {
+        self.islands.clone()
+    }
+
     /// Whether two vertices are subjects of the same island.
     pub fn same_island(&self, a: VertexId, b: VertexId) -> bool {
         match (self.island_of(a), self.island_of(b)) {

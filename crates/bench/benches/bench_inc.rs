@@ -1,0 +1,232 @@
+//! Incremental vs. from-scratch on the large mutate-then-query workload.
+//!
+//! Two head-to-head measurements over a ≥10,000-edge classified lattice
+//! (the `tg-sim` hierarchy family):
+//!
+//! * **audit**: apply a mutation trace and read the audit verdict after
+//!   every rule — the maintained violation set (`tg-inc`, one Corollary
+//!   5.7 check per touched edge) against a full Corollary 5.6 edge scan
+//!   per rule.
+//! * **mixed**: the full [`mixed_trace`] workload (rules interleaved
+//!   with audits, `can_share`, `can_know` and island queries) — the
+//!   incremental engine's memoized answers against per-query recomputes.
+//!
+//! Besides the Criterion display, the bench writes a machine-readable
+//! summary to `BENCH_inc.json` at the workspace root and **panics if the
+//! incremental side is not faster** — CI's bench-smoke job runs this
+//! bench in smoke mode (`BENCH_INC_SMOKE=1`, fewer iterations, same
+//! graph) precisely to catch a regression that makes "incremental" a
+//! lie. Answers are asserted identical between the two sides while
+//! timing, so the speed claim cannot drift away from correctness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tg_analysis::Islands;
+use tg_bench::time_ns;
+use tg_hierarchy::{audit_graph, CombinedRestriction, Monitor};
+use tg_inc::SharedIndex;
+use tg_sim::workload::{hierarchy, mixed_trace, MixedOp};
+
+/// Smoke mode: same ≥10k-edge graph, fewer ops and timing iterations.
+fn smoke() -> bool {
+    std::env::var_os("BENCH_INC_SMOKE").is_some()
+}
+
+struct Workload {
+    built: tg_hierarchy::structure::BuiltHierarchy,
+    trace: Vec<MixedOp>,
+}
+
+fn workload() -> Workload {
+    // 100 levels x 50 subjects: ~5.1k vertices, ~10.2k edges (each level
+    // is a bidirectional read-ring plus covers and one document each).
+    let built = hierarchy(100, 50);
+    assert!(
+        built.graph.edge_count() >= 10_000,
+        "the sim workload must have at least 10k edges, got {}",
+        built.graph.edge_count()
+    );
+    let ops = if smoke() { 120 } else { 400 };
+    let trace = mixed_trace(&built.graph, ops, 0xBE7C);
+    Workload { built, trace }
+}
+
+/// One incremental pass: fresh index + monitor, replay the trace, answer
+/// every audit/query from the maintained state. Returns the answers.
+fn run_incremental(w: &Workload) -> Vec<bool> {
+    let index = SharedIndex::new(&w.built.graph, &w.built.assignment, &CombinedRestriction);
+    let mut monitor = Monitor::new(
+        w.built.graph.clone(),
+        w.built.assignment.clone(),
+        Box::new(CombinedRestriction),
+    );
+    monitor.attach_observer(index.observer());
+    let mut answers = Vec::new();
+    for op in &w.trace {
+        match op {
+            MixedOp::Apply(rule) => {
+                let _ = monitor.try_apply(rule);
+            }
+            MixedOp::Audit => answers.push(index.audit_clean()),
+            MixedOp::CanShare(right, x, y) => {
+                answers.push(index.can_share(monitor.graph(), *right, *x, *y));
+            }
+            MixedOp::CanKnow(x, y) => answers.push(index.can_know(monitor.graph(), *x, *y)),
+            MixedOp::SameIsland(a, b) => {
+                answers.push(index.same_island(monitor.graph(), *a, *b));
+            }
+        }
+    }
+    answers
+}
+
+/// One from-scratch pass: same trace, every answer recomputed.
+fn run_full(w: &Workload) -> Vec<bool> {
+    let mut monitor = Monitor::new(
+        w.built.graph.clone(),
+        w.built.assignment.clone(),
+        Box::new(CombinedRestriction),
+    );
+    let mut answers = Vec::new();
+    for op in &w.trace {
+        match op {
+            MixedOp::Apply(rule) => {
+                let _ = monitor.try_apply(rule);
+            }
+            MixedOp::Audit => answers.push(
+                audit_graph(monitor.graph(), monitor.levels(), &CombinedRestriction).is_empty(),
+            ),
+            MixedOp::CanShare(right, x, y) => {
+                answers.push(tg_analysis::can_share(monitor.graph(), *right, *x, *y));
+            }
+            MixedOp::CanKnow(x, y) => {
+                answers.push(tg_analysis::can_know(monitor.graph(), *x, *y));
+            }
+            MixedOp::SameIsland(a, b) => {
+                answers.push(Islands::compute(monitor.graph()).same_island(*a, *b));
+            }
+        }
+    }
+    answers
+}
+
+/// Audit-only head-to-head: verdict after every rule of the trace's
+/// mutation prefix — maintained set vs. Corollary 5.6 rescan.
+fn run_audit_incremental(w: &Workload) -> usize {
+    let index = SharedIndex::new(&w.built.graph, &w.built.assignment, &CombinedRestriction);
+    let mut monitor = Monitor::new(
+        w.built.graph.clone(),
+        w.built.assignment.clone(),
+        Box::new(CombinedRestriction),
+    );
+    monitor.attach_observer(index.observer());
+    let mut clean = 0usize;
+    for op in &w.trace {
+        if let MixedOp::Apply(rule) = op {
+            let _ = monitor.try_apply(rule);
+            if index.audit_clean() {
+                clean += 1;
+            }
+        }
+    }
+    clean
+}
+
+fn run_audit_full(w: &Workload) -> usize {
+    let mut monitor = Monitor::new(
+        w.built.graph.clone(),
+        w.built.assignment.clone(),
+        Box::new(CombinedRestriction),
+    );
+    let mut clean = 0usize;
+    for op in &w.trace {
+        if let MixedOp::Apply(rule) = op {
+            let _ = monitor.try_apply(rule);
+            if audit_graph(monitor.graph(), monitor.levels(), &CombinedRestriction).is_empty() {
+                clean += 1;
+            }
+        }
+    }
+    clean
+}
+
+fn bench_inc(c: &mut Criterion) {
+    let w = workload();
+
+    // Correctness first: the two sides must agree on every answer.
+    let inc_answers = run_incremental(&w);
+    let full_answers = run_full(&w);
+    assert_eq!(
+        inc_answers, full_answers,
+        "incremental answers diverged from full recompute"
+    );
+    assert_eq!(run_audit_incremental(&w), run_audit_full(&w));
+
+    let iters = if smoke() { 2 } else { 5 };
+    let audit_inc_ns = time_ns(iters, || {
+        run_audit_incremental(&w);
+    });
+    let audit_full_ns = time_ns(iters, || {
+        run_audit_full(&w);
+    });
+    let mixed_inc_ns = time_ns(iters, || {
+        run_incremental(&w);
+    });
+    let mixed_full_ns = time_ns(iters, || {
+        run_full(&w);
+    });
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"bench_inc\",\n",
+            "  \"smoke\": {},\n",
+            "  \"vertices\": {},\n  \"edges\": {},\n  \"ops\": {},\n",
+            "  \"audit\": {{ \"incremental_ns\": {:.0}, \"full_ns\": {:.0}, \"speedup\": {:.2} }},\n",
+            "  \"mixed\": {{ \"incremental_ns\": {:.0}, \"full_ns\": {:.0}, \"speedup\": {:.2} }}\n",
+            "}}\n"
+        ),
+        smoke(),
+        w.built.graph.vertex_count(),
+        w.built.graph.edge_count(),
+        w.trace.len(),
+        audit_inc_ns,
+        audit_full_ns,
+        audit_full_ns / audit_inc_ns,
+        mixed_inc_ns,
+        mixed_full_ns,
+        mixed_full_ns / mixed_inc_ns,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_inc.json");
+    std::fs::write(path, &json).expect("write BENCH_inc.json");
+    println!("bench_inc summary ({path}):\n{json}");
+
+    assert!(
+        audit_inc_ns < audit_full_ns,
+        "incremental audit ({audit_inc_ns:.0} ns) must beat the full rescan ({audit_full_ns:.0} ns)"
+    );
+    assert!(
+        mixed_inc_ns < mixed_full_ns,
+        "incremental mixed workload ({mixed_inc_ns:.0} ns) must beat full recompute ({mixed_full_ns:.0} ns)"
+    );
+
+    // Criterion display: one sample per side so the harness output shows
+    // the same comparison (the JSON above carries the precise numbers).
+    let mut group = c.benchmark_group("inc/mixed_10k_edges");
+    group.bench_function("incremental", |b| {
+        b.iter(|| run_incremental(criterion::black_box(&w)))
+    });
+    group.bench_function("full_recompute", |b| {
+        b.iter(|| run_full(criterion::black_box(&w)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_inc
+}
+criterion_main!(benches);

@@ -1,0 +1,215 @@
+//! The `tgq bench` driver: incremental engine vs. from-scratch recompute
+//! over one mixed mutate-then-query workload.
+//!
+//! Both sides replay the *same* deterministic [`MixedOp`] trace against
+//! the same starting hierarchy; the incremental side answers every audit
+//! and query from the maintained [`tg_inc`] index, the full side
+//! recomputes each answer from scratch (Corollary 5.6 audit,
+//! `tg_analysis` decisions, a fresh island decomposition). Every answer
+//! pair is compared — a run whose answers diverge is an error, so the
+//! benchmark doubles as a coarse differential test.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use tg_analysis::Islands;
+use tg_hierarchy::{audit_graph, CombinedRestriction, Monitor};
+use tg_inc::{IncStats, SharedIndex};
+use tg_sim::workload::{hierarchy, mixed_trace, MixedOp};
+
+/// Workload parameters for one `tgq bench` run.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Hierarchy levels.
+    pub levels: usize,
+    /// Subjects per level.
+    pub per_level: usize,
+    /// Mixed-trace length.
+    pub ops: usize,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+/// Measured results of one run.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// The configuration measured.
+    pub config: BenchConfig,
+    /// Vertices in the starting graph.
+    pub vertices: usize,
+    /// Edges in the starting graph.
+    pub edges: usize,
+    /// Audit/query answers compared between the two sides.
+    pub answers: usize,
+    /// Wall time of the incremental side, nanoseconds (includes the one
+    /// up-front index build).
+    pub incremental_ns: u128,
+    /// Wall time of the recompute side, nanoseconds.
+    pub full_ns: u128,
+    /// The incremental index's work counters after the run.
+    pub stats: IncStats,
+}
+
+impl BenchReport {
+    /// `full_ns / incremental_ns`.
+    pub fn speedup(&self) -> f64 {
+        self.full_ns as f64 / (self.incremental_ns.max(1)) as f64
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "workload: {} levels x {} subjects ({} vertices, {} edges), {} ops, seed {}",
+            self.config.levels,
+            self.config.per_level,
+            self.vertices,
+            self.edges,
+            self.config.ops,
+            self.config.seed
+        );
+        let _ = writeln!(
+            out,
+            "incremental: {:.3} ms   full recompute: {:.3} ms   speedup: {:.1}x",
+            self.incremental_ns as f64 / 1e6,
+            self.full_ns as f64 / 1e6,
+            self.speedup()
+        );
+        let _ = writeln!(
+            out,
+            "answers compared: {} (identical)   index: {} edge checks, {} unions, {} rebuilds, {} memo hits / {} misses",
+            self.answers,
+            self.stats.edge_checks,
+            self.stats.island_unions,
+            self.stats.island_rebuilds,
+            self.stats.memo_hits,
+            self.stats.memo_misses
+        );
+        out
+    }
+
+    /// Machine-readable summary (hand-rolled JSON; the workspace has no
+    /// serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"tgq-bench\",\n",
+                "  \"levels\": {},\n  \"per_level\": {},\n  \"ops\": {},\n  \"seed\": {},\n",
+                "  \"vertices\": {},\n  \"edges\": {},\n  \"answers\": {},\n",
+                "  \"incremental_ns\": {},\n  \"full_ns\": {},\n  \"speedup\": {:.3},\n",
+                "  \"stats\": {{ \"edge_checks\": {}, \"island_unions\": {}, \"island_rebuilds\": {}, ",
+                "\"memo_hits\": {}, \"memo_misses\": {}, \"rollbacks\": {} }}\n",
+                "}}\n"
+            ),
+            self.config.levels,
+            self.config.per_level,
+            self.config.ops,
+            self.config.seed,
+            self.vertices,
+            self.edges,
+            self.answers,
+            self.incremental_ns,
+            self.full_ns,
+            self.speedup(),
+            self.stats.edge_checks,
+            self.stats.island_unions,
+            self.stats.island_rebuilds,
+            self.stats.memo_hits,
+            self.stats.memo_misses,
+            self.stats.rollbacks,
+        )
+    }
+}
+
+/// Runs the workload through both sides and compares every answer.
+///
+/// # Errors
+///
+/// Returns a message if the two sides ever disagree on an answer — which
+/// would mean the incremental index is unsound, so the benchmark refuses
+/// to report timings for it.
+pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
+    let built = hierarchy(config.levels, config.per_level);
+    let trace = mixed_trace(&built.graph, config.ops, config.seed);
+    let vertices = built.graph.vertex_count();
+    let edges = built.graph.edge_count();
+
+    let inc_start = Instant::now();
+    let index = SharedIndex::new(&built.graph, &built.assignment, &CombinedRestriction);
+    let mut monitor = Monitor::new(
+        built.graph.clone(),
+        built.assignment.clone(),
+        Box::new(CombinedRestriction),
+    );
+    monitor.attach_observer(index.observer());
+    let mut inc_answers: Vec<bool> = Vec::new();
+    for op in &trace {
+        match op {
+            MixedOp::Apply(rule) => {
+                let _ = monitor.try_apply(rule);
+            }
+            MixedOp::Audit => inc_answers.push(index.audit_clean()),
+            MixedOp::CanShare(right, x, y) => {
+                inc_answers.push(index.can_share(monitor.graph(), *right, *x, *y));
+            }
+            MixedOp::CanKnow(x, y) => inc_answers.push(index.can_know(monitor.graph(), *x, *y)),
+            MixedOp::SameIsland(a, b) => {
+                inc_answers.push(index.same_island(monitor.graph(), *a, *b));
+            }
+        }
+    }
+    let incremental_ns = inc_start.elapsed().as_nanos();
+    let stats = index.stats();
+
+    let full_start = Instant::now();
+    let mut monitor = Monitor::new(
+        built.graph.clone(),
+        built.assignment.clone(),
+        Box::new(CombinedRestriction),
+    );
+    let mut full_answers: Vec<bool> = Vec::new();
+    for op in &trace {
+        match op {
+            MixedOp::Apply(rule) => {
+                let _ = monitor.try_apply(rule);
+            }
+            MixedOp::Audit => full_answers.push(
+                audit_graph(monitor.graph(), monitor.levels(), &CombinedRestriction).is_empty(),
+            ),
+            MixedOp::CanShare(right, x, y) => {
+                full_answers.push(tg_analysis::can_share(monitor.graph(), *right, *x, *y));
+            }
+            MixedOp::CanKnow(x, y) => {
+                full_answers.push(tg_analysis::can_know(monitor.graph(), *x, *y));
+            }
+            MixedOp::SameIsland(a, b) => {
+                full_answers.push(Islands::compute(monitor.graph()).same_island(*a, *b));
+            }
+        }
+    }
+    let full_ns = full_start.elapsed().as_nanos();
+
+    if inc_answers != full_answers {
+        let first = inc_answers
+            .iter()
+            .zip(&full_answers)
+            .position(|(a, b)| a != b);
+        return Err(format!(
+            "incremental and full answers diverged (first at query {:?} of {})",
+            first,
+            inc_answers.len()
+        ));
+    }
+
+    Ok(BenchReport {
+        config: *config,
+        vertices,
+        edges,
+        answers: inc_answers.len(),
+        incremental_ns,
+        full_ns,
+        stats,
+    })
+}

@@ -13,6 +13,8 @@
 //! tgq monitor <graph> <policy> <trace> [--journal <file>] [--batch]
 //! tgq replay <graph> <policy> <journal>
 //! tgq lint <graph> [<policy>] [--format text|json|sarif] [--fix] [--deny <code>]
+//! tgq watch <graph> <policy> <trace>   incremental per-rule audit of a trace
+//! tgq bench [--levels N] [--per-level N] [--ops N] [--seed N] [--json <file>]
 //! ```
 //!
 //! Exit codes: `0` success (for `lint`: no diagnostics above info), `1`
@@ -25,6 +27,8 @@
 //! write-ahead format produced by `tgq monitor --journal`.
 
 #![forbid(unsafe_code)]
+
+pub mod bench;
 
 use std::fmt::Write as _;
 
@@ -99,6 +103,11 @@ const USAGES: &[(&str, &str)] = &[
         "lint",
         "tgq lint <graph> [<policy>] [--format text|json|sarif] [--fix] [--deny <code|warn|info|all>]",
     ),
+    ("watch", "tgq watch <graph> <policy> <trace>"),
+    (
+        "bench",
+        "tgq bench [--levels <n>] [--per-level <n>] [--ops <n>] [--seed <n>] [--json <file>]",
+    ),
 ];
 
 /// The usage error for one command.
@@ -159,7 +168,7 @@ pub fn run_full(args: &[String], out: &mut String) -> Result<u8, CliError> {
     match command {
         "show" => {
             let [path] = rest.as_slice() else {
-                return Err(usage_of("show"));
+                return Err(usage_of(command));
             };
             let g = load(path)?;
             let _ = writeln!(
@@ -187,7 +196,7 @@ pub fn run_full(args: &[String], out: &mut String) -> Result<u8, CliError> {
         }
         "dot" => {
             let [path] = rest.as_slice() else {
-                return Err(usage_of("dot"));
+                return Err(usage_of(command));
             };
             let g = load(path)?;
             let _ = write!(out, "{}", DotOptions::default().render(&g));
@@ -195,7 +204,7 @@ pub fn run_full(args: &[String], out: &mut String) -> Result<u8, CliError> {
         }
         "islands" => {
             let [path] = rest.as_slice() else {
-                return Err(usage_of("islands"));
+                return Err(usage_of(command));
             };
             let g = load(path)?;
             let islands = Islands::compute(&g);
@@ -207,7 +216,7 @@ pub fn run_full(args: &[String], out: &mut String) -> Result<u8, CliError> {
         }
         "levels" => {
             let [path] = rest.as_slice() else {
-                return Err(usage_of("levels"));
+                return Err(usage_of(command));
             };
             let g = load(path)?;
             for (title, levels) in [("rw", rw_levels(&g)), ("rwtg", rwtg_levels(&g))] {
@@ -235,7 +244,7 @@ pub fn run_full(args: &[String], out: &mut String) -> Result<u8, CliError> {
         }
         "secure" => {
             let [path] = rest.as_slice() else {
-                return Err(usage_of("secure"));
+                return Err(usage_of(command));
             };
             let g = load(path)?;
             match secure_derived(&g) {
@@ -258,7 +267,7 @@ pub fn run_full(args: &[String], out: &mut String) -> Result<u8, CliError> {
         "can-share" => {
             let (witness, rest): (bool, Vec<&str>) = split_flag(&rest, "--witness");
             let [path, right, x, y] = rest.as_slice() else {
-                return Err(usage_of("can-share"));
+                return Err(usage_of(command));
             };
             let g = load(path)?;
             let right = Right::parse(right).ok_or_else(|| format!("unknown right {right:?}"))?;
@@ -346,7 +355,7 @@ pub fn run_full(args: &[String], out: &mut String) -> Result<u8, CliError> {
         "can-steal" => {
             let (witness, rest): (bool, Vec<&str>) = split_flag(&rest, "--witness");
             let [path, right, x, y] = rest.as_slice() else {
-                return Err(usage_of("can-steal"));
+                return Err(usage_of(command));
             };
             let g = load(path)?;
             let right = Right::parse(right).ok_or_else(|| format!("unknown right {right:?}"))?;
@@ -369,7 +378,7 @@ pub fn run_full(args: &[String], out: &mut String) -> Result<u8, CliError> {
         }
         "conspirators" => {
             let [path, right, x, y] = rest.as_slice() else {
-                return Err(usage_of("conspirators"));
+                return Err(usage_of(command));
             };
             let g = load(path)?;
             let right = Right::parse(right).ok_or_else(|| format!("unknown right {right:?}"))?;
@@ -396,7 +405,7 @@ pub fn run_full(args: &[String], out: &mut String) -> Result<u8, CliError> {
         }
         "explain" => {
             let [graph_path, policy_path, verb, actor, via, target, right] = rest.as_slice() else {
-                return Err(usage_of("explain"));
+                return Err(usage_of(command));
             };
             let g = load(graph_path)?;
             let policy_text = std::fs::read_to_string(policy_path)
@@ -455,7 +464,7 @@ pub fn run_full(args: &[String], out: &mut String) -> Result<u8, CliError> {
             let (batch, rest) = split_flag(&rest, "--batch");
             let (journal_out, rest) = split_opt(&rest, "--journal")?;
             let [graph_path, policy_path, trace_path] = rest.as_slice() else {
-                return Err(usage_of("monitor"));
+                return Err(usage_of(command));
             };
             let g = load(graph_path)?;
             let policy_text = std::fs::read_to_string(policy_path)
@@ -527,7 +536,7 @@ pub fn run_full(args: &[String], out: &mut String) -> Result<u8, CliError> {
         }
         "replay" => {
             let [graph_path, policy_path, journal_path] = rest.as_slice() else {
-                return Err(usage_of("replay"));
+                return Err(usage_of(command));
             };
             let g = load(graph_path)?;
             let policy_text = std::fs::read_to_string(policy_path)
@@ -567,7 +576,7 @@ pub fn run_full(args: &[String], out: &mut String) -> Result<u8, CliError> {
         }
         "figure" => {
             let [id] = rest.as_slice() else {
-                return Err(usage_of("figure"));
+                return Err(usage_of(command));
             };
             let graph = match *id {
                 "2.1" => tg_sim::scenarios::fig_2_1().wu.graph,
@@ -595,7 +604,7 @@ pub fn run_full(args: &[String], out: &mut String) -> Result<u8, CliError> {
             let (graph_path, policy_path) = match rest.as_slice() {
                 [g] => (*g, None),
                 [g, p] => (*g, Some(*p)),
-                _ => return Err(usage_of("lint")),
+                _ => return Err(usage_of(command)),
             };
             let text = std::fs::read_to_string(graph_path)
                 .map_err(|e| format!("cannot read {graph_path}: {e}"))?;
@@ -619,6 +628,13 @@ pub fn run_full(args: &[String], out: &mut String) -> Result<u8, CliError> {
                     "applied {} fix(es) in {} round(s); rewrote {graph_path}",
                     report.applied, report.rounds
                 );
+                if let Some(clean) = report.certified {
+                    let _ = writeln!(
+                        out,
+                        "incremental certification: edge invariants {}",
+                        if clean { "clean" } else { "still violated" }
+                    );
+                }
                 // Spans refer to the pre-fix text; report what remains
                 // without locations.
                 report.remaining
@@ -639,6 +655,96 @@ pub fn run_full(args: &[String], out: &mut String) -> Result<u8, CliError> {
                 Some(Severity::Warn) => 1,
                 _ => 0,
             })
+        }
+        "watch" => {
+            let [graph_path, policy_path, trace_path] = rest.as_slice() else {
+                return Err(usage_of(command));
+            };
+            let g = load(graph_path)?;
+            let policy_text = std::fs::read_to_string(policy_path)
+                .map_err(|e| format!("cannot read {policy_path}: {e}"))?;
+            let levels =
+                parse_policy(&policy_text, &g).map_err(|e| format!("{policy_path}: {e}"))?;
+            let trace_text = std::fs::read_to_string(trace_path)
+                .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+            let trace = tg_rules::codec::decode_derivation(&trace_text)
+                .map_err(|e| format!("{trace_path}: {e}"))?;
+            // The incremental index watches every committed delta; the
+            // audit verdict after each rule is read off the maintained
+            // violation set instead of a Corollary 5.6 rescan per rule.
+            let index = tg_inc::SharedIndex::new(&g, &levels, &CombinedRestriction);
+            let mut monitor = tg_hierarchy::Monitor::new(g, levels, Box::new(CombinedRestriction));
+            monitor.attach_observer(index.observer());
+            let mut clean = index.audit_clean();
+            if !clean {
+                let _ = writeln!(out, "rule 0: audit starts dirty");
+            }
+            for (i, rule) in trace.steps.iter().enumerate() {
+                if let Err(e) = monitor.try_apply(rule) {
+                    let _ = writeln!(out, "rule {}: refused {rule}: {e}", i + 1);
+                }
+                let now = index.audit_clean();
+                if now != clean {
+                    let state = if now { "clean" } else { "VIOLATING" };
+                    let _ = writeln!(out, "rule {}: audit is now {state}", i + 1);
+                    clean = now;
+                }
+            }
+            for v in index.violations() {
+                let g = monitor.graph();
+                let _ = writeln!(
+                    out,
+                    "violation: {} -> {} : {}",
+                    name(g, v.src),
+                    name(g, v.dst),
+                    v.rights
+                );
+            }
+            let mstats = monitor.stats();
+            let istats = index.stats();
+            let _ = writeln!(
+                out,
+                "{} permitted, {} denied, {} malformed",
+                mstats.permitted, mstats.denied, mstats.malformed
+            );
+            let _ = writeln!(
+                out,
+                "index: {} edge checks, {} island unions, {} island rebuilds",
+                istats.edge_checks, istats.island_unions, istats.island_rebuilds
+            );
+            Ok(if clean { 0 } else { 1 })
+        }
+        "bench" => {
+            let (json_out, rest) = split_opt(&rest, "--json")?;
+            let (levels_n, rest) = split_opt(&rest, "--levels")?;
+            let (per_level, rest) = split_opt(&rest, "--per-level")?;
+            let (ops, rest) = split_opt(&rest, "--ops")?;
+            let (seed, rest) = split_opt(&rest, "--seed")?;
+            if !rest.is_empty() {
+                return Err(usage_of(command));
+            }
+            let parse = |v: Option<&str>, default: usize| -> Result<usize, CliError> {
+                match v {
+                    None => Ok(default),
+                    Some(s) => s
+                        .parse()
+                        .map_err(|_| CliError::Usage(format!("not a number: {s:?}"))),
+                }
+            };
+            let config = bench::BenchConfig {
+                levels: parse(levels_n, 20)?,
+                per_level: parse(per_level, 10)?,
+                ops: parse(ops, 500)?,
+                seed: parse(seed, 42)? as u64,
+            };
+            let report = bench::run(&config).map_err(CliError::Fail)?;
+            let _ = write!(out, "{}", report.render());
+            if let Some(path) = json_out {
+                std::fs::write(path, report.to_json())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                let _ = writeln!(out, "json summary written to {path}");
+            }
+            Ok(0)
         }
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n{}",

@@ -97,6 +97,63 @@ impl core::fmt::Display for BatchError {
 
 impl std::error::Error for BatchError {}
 
+/// Hooks through which an external index observes every state change the
+/// monitor commits — the attachment point for the incremental engine
+/// (`tg-inc`), which keeps islands, per-level adjacency and a maintained
+/// violation set in sync with the graph so audits need no full rescan.
+///
+/// The monitor calls these *after* mutating its graph and levels, passing
+/// both (plus the restriction) so the observer can read the post-state.
+/// Batch notifications bracket [`Monitor::try_apply_all`]: on abort the
+/// graph has already been rolled back via exact inverse effects, and the
+/// observer must roll its own state back too (e.g. with union-find
+/// epochs).
+pub trait MonitorObserver {
+    /// A rule's effect was applied. For a [`Effect::Created`] effect the
+    /// new vertex's inherited level is already assigned.
+    fn applied(
+        &mut self,
+        graph: &ProtectionGraph,
+        levels: &LevelAssignment,
+        restriction: &dyn Restriction,
+        effect: &Effect,
+    );
+
+    /// A transactional batch opened; subsequent [`MonitorObserver::applied`]
+    /// calls belong to it until a commit or abort.
+    fn batch_begin(&mut self);
+
+    /// The open batch rolled back: graph and levels are exactly as they
+    /// were at [`MonitorObserver::batch_begin`].
+    fn batch_abort(
+        &mut self,
+        graph: &ProtectionGraph,
+        levels: &LevelAssignment,
+        restriction: &dyn Restriction,
+    );
+
+    /// The open batch committed.
+    fn batch_commit(&mut self);
+
+    /// [`Monitor::quarantine`] stripped rights from the edge `src → dst`
+    /// (the graph already reflects the repair).
+    fn repaired(
+        &mut self,
+        graph: &ProtectionGraph,
+        levels: &LevelAssignment,
+        restriction: &dyn Restriction,
+        src: VertexId,
+        dst: VertexId,
+    );
+
+    /// The current audit verdict, if the observer maintains one.
+    /// Returning `Some` lets [`Monitor::audit`] skip the full Corollary
+    /// 5.6 edge scan; the default observer maintains nothing.
+    fn audit_cached(&self) -> Option<Vec<Violation>> {
+        None
+    }
+}
+
 /// An `r`/`w` edge violating the restriction's invariant, found by audit.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Violation {
@@ -163,6 +220,7 @@ pub struct Monitor {
     stats: MonitorStats,
     journal: Option<Journal>,
     degraded: bool,
+    observer: Option<Box<dyn MonitorObserver>>,
 }
 
 impl core::fmt::Debug for Monitor {
@@ -192,6 +250,62 @@ impl Monitor {
             stats: MonitorStats::default(),
             journal: None,
             degraded: false,
+            observer: None,
+        }
+    }
+
+    /// Attaches an observer that is notified of every committed state
+    /// change from now on. The observer sees nothing retroactively, so it
+    /// should be built from the monitor's current graph and levels (the
+    /// incremental engine's `SharedIndex` does exactly that).
+    pub fn attach_observer(&mut self, observer: Box<dyn MonitorObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Whether an observer is attached.
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// Adds an explicit edge *out of band* — around the rule interface,
+    /// not journaled and not logged — while still notifying the attached
+    /// observer, so an incremental index stays consistent. This is the
+    /// fault-injection port used to model a hostile co-resident component
+    /// in tests; the planted edge is exactly what the Corollary 5.6 audit
+    /// exists to catch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`tg_graph::GraphError`] (self-edge, empty rights,
+    /// unknown vertex).
+    pub fn inject_edge(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        rights: Rights,
+    ) -> Result<(), tg_graph::GraphError> {
+        let before = self.graph.rights(src, dst).explicit();
+        self.graph.add_edge(src, dst, rights)?;
+        let added = self.graph.rights(src, dst).explicit().difference(before);
+        if let Some(observer) = self.observer.as_mut() {
+            observer.applied(
+                &self.graph,
+                &self.levels,
+                self.restriction.as_ref(),
+                &Effect::ExplicitAdded {
+                    src,
+                    dst,
+                    rights: added,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Notifies the observer of an applied effect, if one is attached.
+    fn notify_applied(&mut self, effect: &Effect) {
+        if let Some(observer) = self.observer.as_mut() {
+            observer.applied(&self.graph, &self.levels, self.restriction.as_ref(), effect);
         }
     }
 
@@ -317,6 +431,7 @@ impl Monitor {
                     .expect("creator level exists");
             }
         }
+        self.notify_applied(&effect);
         self.log.push(rule.clone());
         self.stats.permitted += 1;
         Ok(effect)
@@ -336,6 +451,9 @@ impl Monitor {
     /// is left exactly as it was before the call.
     pub fn try_apply_all(&mut self, rules: &[Rule]) -> Result<Vec<Effect>, BatchError> {
         self.record(&JournalEvent::BatchBegin);
+        if let Some(observer) = self.observer.as_mut() {
+            observer.batch_begin();
+        }
         let mut applied: Vec<Effect> = Vec::with_capacity(rules.len());
         for (index, rule) in rules.iter().enumerate() {
             if let Err(error) = self.check(rule) {
@@ -348,6 +466,11 @@ impl Monitor {
                     if let Effect::Created { id, .. } = effect {
                         self.levels.unassign(*id);
                     }
+                }
+                // The graph is back at its batch_begin state; the
+                // observer rolls back to its matching epoch.
+                if let Some(observer) = self.observer.as_mut() {
+                    observer.batch_abort(&self.graph, &self.levels, self.restriction.as_ref());
                 }
                 let outcome = self.count_refusal(&error);
                 self.record(&JournalEvent::BatchAbort {
@@ -370,7 +493,11 @@ impl Monitor {
                         .expect("creator level exists");
                 }
             }
+            self.notify_applied(&effect);
             applied.push(effect);
+        }
+        if let Some(observer) = self.observer.as_mut() {
+            observer.batch_commit();
         }
         self.record(&JournalEvent::BatchCommit);
         for rule in rules {
@@ -380,10 +507,22 @@ impl Monitor {
         Ok(applied)
     }
 
-    /// Audits the whole graph against the restriction's edge invariant in
-    /// one pass over the explicit edges (Corollary 5.6: linear in the
-    /// number of edges — only `r`/`w` labels can violate).
+    /// Audits the whole graph against the restriction's edge invariant.
+    ///
+    /// Without an observer this is one pass over the explicit edges
+    /// (Corollary 5.6: linear in the number of edges — only `r`/`w`
+    /// labels can violate). With an attached incremental index the
+    /// maintained violation set is returned instead — O(violations), not
+    /// O(edges) — and debug builds cross-check it against the full scan.
     pub fn audit(&self) -> Vec<Violation> {
+        if let Some(cached) = self.observer.as_ref().and_then(|o| o.audit_cached()) {
+            debug_assert_eq!(
+                cached,
+                audit_graph(&self.graph, &self.levels, self.restriction.as_ref()),
+                "incremental audit diverged from the Corollary 5.6 scan"
+            );
+            return cached;
+        }
         audit_graph(&self.graph, &self.levels, self.restriction.as_ref())
     }
 
@@ -416,6 +555,16 @@ impl Monitor {
                 fix.edit
                     .apply(&mut self.graph)
                     .expect("audited edge exists");
+                let (src, dst) = fix.edit.edge();
+                if let Some(observer) = self.observer.as_mut() {
+                    observer.repaired(
+                        &self.graph,
+                        &self.levels,
+                        self.restriction.as_ref(),
+                        src,
+                        dst,
+                    );
+                }
             }
         }
         let violations = violations_of(&diagnostics);

@@ -8,4 +8,4 @@ mod scc;
 mod unionfind;
 
 pub use scc::{condensation, tarjan_scc, Condensation};
-pub use unionfind::UnionFind;
+pub use unionfind::{Epoch, EpochUnionFind, UnionFind};

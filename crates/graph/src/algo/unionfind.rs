@@ -1,4 +1,6 @@
-//! Disjoint-set forest with union by rank and path halving.
+//! Disjoint-set forests: [`UnionFind`] (union by rank, path halving) and
+//! [`EpochUnionFind`] (union by rank, undo log, no compression) for
+//! callers that must roll a suffix of unions back.
 
 /// A disjoint-set (union–find) structure over dense indices `0..n`.
 ///
@@ -114,6 +116,202 @@ impl UnionFind {
     }
 }
 
+/// A point in an [`EpochUnionFind`]'s history: the number of elements and
+/// effective unions at the moment [`EpochUnionFind::epoch`] was called.
+/// Rolling back to an epoch restores the partition exactly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Epoch {
+    unions: usize,
+    elems: usize,
+}
+
+/// One logged union: `child` (previously a root) was attached beneath
+/// `parent`, whose rank may have been bumped.
+#[derive(Clone, Copy, Debug)]
+struct Undo {
+    child: u32,
+    parent: u32,
+    rank_bumped: bool,
+}
+
+/// A disjoint-set forest whose operations can be undone.
+///
+/// Union by rank with an undo log and **no** path compression: compression
+/// rewrites parent pointers outside the logged union, which would make
+/// exact rollback impossible, so `find` here costs O(log n) instead of
+/// the amortized near-constant of [`UnionFind`]. In exchange, any suffix
+/// of `union`/`grow` operations can be rolled back with
+/// [`EpochUnionFind::rollback_to`] — the hook the incremental island
+/// index (`tg-inc`) needs to follow the monitor's transactional batch
+/// rollback without rebuilding from scratch.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::algo::EpochUnionFind;
+///
+/// let mut uf = EpochUnionFind::new(3);
+/// uf.union(0, 1);
+/// let mark = uf.epoch();
+/// uf.union(1, 2);
+/// let v = uf.grow();
+/// uf.union(v, 0);
+/// uf.rollback_to(mark);
+/// assert!(uf.same(0, 1));
+/// assert!(!uf.same(0, 2));
+/// assert_eq!(uf.len(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EpochUnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+    log: Vec<Undo>,
+}
+
+impl EpochUnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> EpochUnionFind {
+        EpochUnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            sets: n,
+            log: Vec::new(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently present.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Appends one fresh singleton element and returns its index.
+    pub fn grow(&mut self) -> usize {
+        let idx = self.parent.len();
+        self.parent.push(idx as u32);
+        self.rank.push(0);
+        self.sets += 1;
+        idx
+    }
+
+    /// Finds the canonical representative of `x`'s set. Takes `&self`:
+    /// without path compression a find never mutates the forest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= self.len()`.
+    pub fn find(&self, x: usize) -> usize {
+        let mut x = x as u32;
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x as usize;
+            }
+            x = p;
+        }
+    }
+
+    /// Merges the sets containing `a` and `b`; returns `true` if they were
+    /// previously disjoint. Effective merges are logged for rollback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        let rank_bumped = self.rank[hi] == self.rank[lo];
+        self.parent[lo] = hi as u32;
+        if rank_bumped {
+            self.rank[hi] += 1;
+        }
+        self.sets -= 1;
+        self.log.push(Undo {
+            child: lo as u32,
+            parent: hi as u32,
+            rank_bumped,
+        });
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn same(&self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// The current history point, for a later [`rollback_to`].
+    ///
+    /// [`rollback_to`]: EpochUnionFind::rollback_to
+    pub fn epoch(&self) -> Epoch {
+        Epoch {
+            unions: self.log.len(),
+            elems: self.parent.len(),
+        }
+    }
+
+    /// Undoes every `union` and `grow` performed since `epoch`, restoring
+    /// the partition of that moment exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` does not come from this structure's past (more
+    /// unions or elements than currently recorded).
+    pub fn rollback_to(&mut self, epoch: Epoch) {
+        assert!(
+            epoch.unions <= self.log.len() && epoch.elems <= self.parent.len(),
+            "epoch is not in this forest's past"
+        );
+        while self.log.len() > epoch.unions {
+            let undo = self.log.pop().expect("log is nonempty");
+            self.parent[undo.child as usize] = undo.child;
+            if undo.rank_bumped {
+                self.rank[undo.parent as usize] -= 1;
+            }
+            self.sets += 1;
+        }
+        // Every element past the epoch is a singleton root again (all
+        // unions touching it were logged later and have been popped).
+        let dropped = self.parent.len() - epoch.elems;
+        self.parent.truncate(epoch.elems);
+        self.rank.truncate(epoch.elems);
+        self.sets -= dropped;
+    }
+
+    /// Groups all elements by set, returning the list of sets (each
+    /// sorted), ordered by their smallest member.
+    pub fn sets(&self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for x in 0..n {
+            by_root.entry(self.find(x)).or_default().push(x);
+        }
+        let mut groups: Vec<Vec<usize>> = by_root.into_values().collect();
+        groups.sort_by_key(|g| g[0]);
+        groups
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +352,88 @@ mod tests {
         assert!(uf.is_empty());
         assert_eq!(uf.set_count(), 0);
         assert!(uf.sets().is_empty());
+    }
+
+    #[test]
+    fn epoch_forest_matches_plain_union_find() {
+        let mut plain = UnionFind::new(8);
+        let mut epoch = EpochUnionFind::new(8);
+        for (a, b) in [(0, 1), (2, 3), (1, 3), (4, 5), (6, 7), (5, 6)] {
+            assert_eq!(plain.union(a, b), epoch.union(a, b));
+        }
+        assert_eq!(plain.set_count(), epoch.set_count());
+        assert_eq!(plain.sets(), epoch.sets());
+    }
+
+    #[test]
+    fn rollback_undoes_unions_exactly() {
+        let mut uf = EpochUnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        let mark = uf.epoch();
+        let before = uf.sets();
+        uf.union(1, 3);
+        uf.union(4, 5);
+        uf.union(3, 5);
+        assert_eq!(uf.set_count(), 1);
+        uf.rollback_to(mark);
+        assert_eq!(uf.sets(), before);
+        assert_eq!(uf.set_count(), 4);
+        // The forest is fully usable after a rollback.
+        assert!(uf.union(0, 4));
+        assert!(uf.same(1, 4));
+    }
+
+    #[test]
+    fn rollback_retracts_grown_elements() {
+        let mut uf = EpochUnionFind::new(2);
+        uf.union(0, 1);
+        let mark = uf.epoch();
+        let a = uf.grow();
+        let b = uf.grow();
+        uf.union(a, 0);
+        uf.union(b, a);
+        assert_eq!(uf.len(), 4);
+        assert_eq!(uf.set_count(), 1);
+        uf.rollback_to(mark);
+        assert_eq!(uf.len(), 2);
+        assert_eq!(uf.set_count(), 1);
+        assert!(uf.same(0, 1));
+    }
+
+    #[test]
+    fn nested_epochs_roll_back_in_order() {
+        let mut uf = EpochUnionFind::new(5);
+        let outer = uf.epoch();
+        uf.union(0, 1);
+        let inner = uf.epoch();
+        uf.union(2, 3);
+        uf.rollback_to(inner);
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(2, 3));
+        uf.rollback_to(outer);
+        assert_eq!(uf.set_count(), 5);
+    }
+
+    #[test]
+    fn redundant_unions_are_not_logged() {
+        let mut uf = EpochUnionFind::new(3);
+        uf.union(0, 1);
+        let mark = uf.epoch();
+        // Already joined: no effect, so rollback has nothing to undo.
+        assert!(!uf.union(1, 0));
+        uf.rollback_to(mark);
+        assert!(uf.same(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in this forest's past")]
+    fn foreign_epochs_are_rejected() {
+        let mut big = EpochUnionFind::new(4);
+        big.union(0, 1);
+        big.union(2, 3);
+        let late = big.epoch();
+        let mut small = EpochUnionFind::new(4);
+        small.rollback_to(late);
     }
 }

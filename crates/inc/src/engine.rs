@@ -1,0 +1,530 @@
+//! The incremental engine and its monitor-facing observer handle.
+//!
+//! [`IncEngine`] is the standalone front door: it owns a graph, a level
+//! assignment and a restriction, records every mutation in a
+//! [`ChangeLog`] and keeps an [`IncIndex`] current, so audits and
+//! `can_share`/`can_know` queries interleaved with mutations cost
+//! incremental work instead of a recompute per question.
+//!
+//! [`SharedIndex`] is the same index behind a shared handle, shaped to
+//! plug into the reference monitor: [`SharedIndex::observer`] yields a
+//! [`MonitorObserver`] for [`Monitor::attach_observer`], after which the
+//! monitor's audits come from the maintained violation set and the
+//! handle answers queries against the monitor's live graph.
+//!
+//! [`Monitor::attach_observer`]: tg_hierarchy::Monitor::attach_observer
+//! [`Monitor`]: tg_hierarchy::Monitor
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tg_graph::{GraphError, ProtectionGraph, Right, Rights, VertexId};
+use tg_hierarchy::{LevelAssignment, LevelError, MonitorObserver, Restriction, Violation};
+use tg_rules::Effect;
+
+use crate::index::{IncIndex, IncStats};
+use crate::log::{Change, ChangeLog};
+
+/// An incrementally indexed protection system.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{Rights, ProtectionGraph};
+/// use tg_hierarchy::{CombinedRestriction, LevelAssignment};
+/// use tg_inc::IncEngine;
+///
+/// let mut g = ProtectionGraph::new();
+/// let hi = g.add_subject("hi");
+/// let lo = g.add_subject("lo");
+/// let mut levels = LevelAssignment::linear(&["low", "high"]);
+/// levels.assign(hi, 1).unwrap();
+/// levels.assign(lo, 0).unwrap();
+///
+/// let mut engine = IncEngine::new(g, levels, Box::new(CombinedRestriction));
+/// assert!(engine.audit_clean());
+/// // A read-up edge flips the maintained verdict — no rescan involved.
+/// engine.add_edge(lo, hi, Rights::R).unwrap();
+/// assert!(!engine.audit_clean());
+/// engine.remove_edge(lo, hi, Rights::R).unwrap();
+/// assert!(engine.audit_clean());
+/// ```
+pub struct IncEngine {
+    graph: ProtectionGraph,
+    levels: LevelAssignment,
+    restriction: Box<dyn Restriction>,
+    index: IncIndex,
+    log: ChangeLog,
+    batch_mark: Option<usize>,
+}
+
+impl core::fmt::Debug for IncEngine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("IncEngine")
+            .field("graph", &self.graph)
+            .field("levels", &self.levels)
+            .field("log_len", &self.log.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl IncEngine {
+    /// Builds the engine (and its index, in one scan) over an existing
+    /// system.
+    pub fn new(
+        graph: ProtectionGraph,
+        levels: LevelAssignment,
+        restriction: Box<dyn Restriction>,
+    ) -> IncEngine {
+        let index = IncIndex::build(&graph, &levels, restriction.as_ref());
+        IncEngine {
+            graph,
+            levels,
+            restriction,
+            index,
+            log: ChangeLog::new(),
+            batch_mark: None,
+        }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &ProtectionGraph {
+        &self.graph
+    }
+
+    /// The classification.
+    pub fn levels(&self) -> &LevelAssignment {
+        &self.levels
+    }
+
+    /// The change log (every committed mutation, oldest first).
+    pub fn log(&self) -> &ChangeLog {
+        &self.log
+    }
+
+    /// The index's work counters.
+    pub fn stats(&self) -> IncStats {
+        self.index.stats()
+    }
+
+    /// Adds a subject vertex.
+    pub fn add_subject(&mut self, name: &str) -> VertexId {
+        let id = self.graph.add_subject(name);
+        self.index.vertex_added(id);
+        self.log.push(Change::VertexAdded { id });
+        id
+    }
+
+    /// Adds an object vertex.
+    pub fn add_object(&mut self, name: &str) -> VertexId {
+        let id = self.graph.add_object(name);
+        self.index.vertex_added(id);
+        self.log.push(Change::VertexAdded { id });
+        id
+    }
+
+    /// Adds explicit rights to `src → dst`, returning the exact delta
+    /// (possibly empty, if the edge already carried them all).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] (self-edge, empty rights, unknown
+    /// vertex); nothing is logged on error.
+    pub fn add_edge(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        rights: Rights,
+    ) -> Result<Rights, GraphError> {
+        let before = self.graph.rights(src, dst).explicit();
+        self.graph.add_edge(src, dst, rights)?;
+        let added = self.graph.rights(src, dst).explicit().difference(before);
+        if !added.is_empty() {
+            self.log.push(Change::ExplicitAdded {
+                src,
+                dst,
+                rights: added,
+            });
+            self.index.explicit_added(
+                &self.graph,
+                &self.levels,
+                self.restriction.as_ref(),
+                src,
+                dst,
+                added,
+            );
+        }
+        Ok(added)
+    }
+
+    /// Removes explicit rights from `src → dst`, returning the rights
+    /// actually removed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] for unknown vertices.
+    pub fn remove_edge(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        rights: Rights,
+    ) -> Result<Rights, GraphError> {
+        let removed = self.graph.remove_explicit_rights(src, dst, rights)?;
+        if !removed.is_empty() {
+            self.log.push(Change::ExplicitRemoved {
+                src,
+                dst,
+                rights: removed,
+            });
+            self.index.explicit_removed(
+                &self.graph,
+                &self.levels,
+                self.restriction.as_ref(),
+                src,
+                dst,
+                removed,
+            );
+        }
+        Ok(removed)
+    }
+
+    /// Adds implicit (de facto) rights to `src → dst`, returning the
+    /// exact delta.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`].
+    pub fn add_implicit(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        rights: Rights,
+    ) -> Result<Rights, GraphError> {
+        let before = self.graph.rights(src, dst).implicit();
+        self.graph.add_implicit_edge(src, dst, rights)?;
+        let added = self.graph.rights(src, dst).implicit().difference(before);
+        if !added.is_empty() {
+            self.log.push(Change::ImplicitAdded {
+                src,
+                dst,
+                rights: added,
+            });
+            self.index.implicit_added(src, dst);
+        }
+        Ok(added)
+    }
+
+    /// Removes implicit rights from `src → dst`, returning the rights
+    /// actually removed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`].
+    pub fn remove_implicit(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        rights: Rights,
+    ) -> Result<Rights, GraphError> {
+        let removed = self.graph.remove_implicit_rights(src, dst, rights)?;
+        if !removed.is_empty() {
+            self.log.push(Change::ImplicitRemoved {
+                src,
+                dst,
+                rights: removed,
+            });
+            self.index.implicit_removed(src, dst);
+        }
+        Ok(removed)
+    }
+
+    /// (Re)assigns `vertex` to `level`. Rechecks only the vertex's
+    /// incident edges (Corollary 5.7 per edge); memoized queries stay
+    /// valid because classification does not enter Theorems 2.3/3.2.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LevelError`] for unknown levels.
+    pub fn assign_level(&mut self, vertex: VertexId, level: usize) -> Result<(), LevelError> {
+        let previous = self.levels.level_of(vertex);
+        self.levels.assign(vertex, level)?;
+        self.log.push(Change::LevelAssigned {
+            vertex,
+            level,
+            previous,
+        });
+        self.index
+            .level_changed(&self.graph, &self.levels, self.restriction.as_ref(), vertex);
+        Ok(())
+    }
+
+    /// Opens a transactional batch over the engine's own mutation
+    /// methods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch is already open.
+    pub fn begin_batch(&mut self) {
+        assert!(self.batch_mark.is_none(), "engine batches do not nest");
+        self.batch_mark = Some(self.log.mark());
+        self.index.begin_batch();
+    }
+
+    /// Commits the open batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is open.
+    pub fn commit_batch(&mut self) {
+        assert!(self.batch_mark.take().is_some(), "no open batch");
+        self.index.commit_batch();
+    }
+
+    /// Aborts the open batch: every change since `begin_batch` is
+    /// inverted in reverse order on the graph and levels (exact deltas
+    /// make inversion lossless), the index rolls back to its matching
+    /// epochs, and the log is truncated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is open.
+    pub fn abort_batch(&mut self) {
+        let mark = self.batch_mark.take().expect("no open batch");
+        let undo: Vec<Change> = self.log.since(mark).to_vec();
+        for change in undo.iter().rev() {
+            match change {
+                Change::VertexAdded { id } => {
+                    self.graph.pop_vertex(*id).expect("logged vertex is newest");
+                }
+                Change::VertexPopped { .. } => {
+                    unreachable!("the engine never logs pops going forward")
+                }
+                Change::ExplicitAdded { src, dst, rights } => {
+                    self.graph
+                        .remove_explicit_rights(*src, *dst, *rights)
+                        .expect("logged edge exists");
+                }
+                Change::ExplicitRemoved { src, dst, rights } => {
+                    self.graph
+                        .add_edge(*src, *dst, *rights)
+                        .expect("removed rights re-add cleanly");
+                }
+                Change::ImplicitAdded { src, dst, rights } => {
+                    self.graph
+                        .remove_implicit_rights(*src, *dst, *rights)
+                        .expect("logged edge exists");
+                }
+                Change::ImplicitRemoved { src, dst, rights } => {
+                    self.graph
+                        .add_implicit_edge(*src, *dst, *rights)
+                        .expect("removed rights re-add cleanly");
+                }
+                Change::LevelAssigned {
+                    vertex, previous, ..
+                } => match previous {
+                    Some(level) => self
+                        .levels
+                        .assign(*vertex, *level)
+                        .expect("previous level exists"),
+                    None => {
+                        self.levels.unassign(*vertex);
+                    }
+                },
+            }
+        }
+        self.log.truncate(mark);
+        self.index
+            .abort_batch(&self.graph, &self.levels, self.restriction.as_ref());
+    }
+
+    /// Whether the maintained audit verdict is clean (no explicit edge
+    /// violates the restriction).
+    pub fn audit_clean(&self) -> bool {
+        self.index.audit_clean()
+    }
+
+    /// The maintained violation set (identical to
+    /// [`tg_hierarchy::audit_graph`] on the current state).
+    pub fn violations(&self) -> Vec<Violation> {
+        self.index.violations()
+    }
+
+    /// Memoized `can_share` (Theorem 2.3).
+    pub fn can_share(&mut self, right: Right, x: VertexId, y: VertexId) -> bool {
+        self.index.can_share(&self.graph, right, x, y)
+    }
+
+    /// Memoized `can_know` (Theorem 3.2).
+    pub fn can_know(&mut self, x: VertexId, y: VertexId) -> bool {
+        self.index.can_know(&self.graph, x, y)
+    }
+
+    /// Whether `a` and `b` share an island.
+    pub fn same_island(&self, a: VertexId, b: VertexId) -> bool {
+        self.index.same_island(&self.graph, a, b)
+    }
+
+    /// The island partition, canonical form (see
+    /// [`tg_analysis::Islands::canonical`]).
+    pub fn islands_canonical(&self) -> Vec<Vec<VertexId>> {
+        self.index.islands_canonical(&self.graph)
+    }
+
+    /// The vertices currently at `level`, in id order.
+    pub fn at_level(&self, level: usize) -> Vec<VertexId> {
+        self.index.at_level(level).collect()
+    }
+
+    /// Consumes the engine, returning the graph and levels.
+    pub fn into_parts(self) -> (ProtectionGraph, LevelAssignment) {
+        (self.graph, self.levels)
+    }
+}
+
+/// An [`IncIndex`] behind a shared handle, so the same index can serve as
+/// the monitor's observer *and* answer queries from the outside.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{ProtectionGraph, Rights};
+/// use tg_hierarchy::{CombinedRestriction, LevelAssignment, Monitor};
+/// use tg_inc::SharedIndex;
+///
+/// let mut g = ProtectionGraph::new();
+/// let a = g.add_subject("a");
+/// let b = g.add_subject("b");
+/// let mut levels = LevelAssignment::linear(&["low", "high"]);
+/// levels.assign(a, 0).unwrap();
+/// levels.assign(b, 0).unwrap();
+///
+/// let index = SharedIndex::new(&g, &levels, &CombinedRestriction);
+/// let mut monitor = Monitor::new(g, levels, Box::new(CombinedRestriction));
+/// monitor.attach_observer(index.observer());
+/// // Audits now come from the maintained violation set.
+/// assert!(monitor.audit().is_empty());
+/// ```
+#[derive(Clone)]
+pub struct SharedIndex {
+    inner: Rc<RefCell<IncIndex>>,
+}
+
+impl SharedIndex {
+    /// Builds the index over the system the monitor will be created
+    /// from. Build it from the *same* graph and levels you hand the
+    /// monitor — the observer only sees deltas from then on.
+    pub fn new(
+        graph: &ProtectionGraph,
+        levels: &LevelAssignment,
+        restriction: &dyn Restriction,
+    ) -> SharedIndex {
+        SharedIndex {
+            inner: Rc::new(RefCell::new(IncIndex::build(graph, levels, restriction))),
+        }
+    }
+
+    /// A boxed observer handle for
+    /// [`Monitor::attach_observer`](tg_hierarchy::Monitor::attach_observer).
+    pub fn observer(&self) -> Box<dyn MonitorObserver> {
+        Box::new(SharedIndex {
+            inner: Rc::clone(&self.inner),
+        })
+    }
+
+    /// Whether the maintained audit verdict is clean.
+    pub fn audit_clean(&self) -> bool {
+        self.inner.borrow().audit_clean()
+    }
+
+    /// The maintained violation set.
+    pub fn violations(&self) -> Vec<Violation> {
+        self.inner.borrow().violations()
+    }
+
+    /// Memoized `can_share` against the monitor's live graph.
+    pub fn can_share(
+        &self,
+        graph: &ProtectionGraph,
+        right: Right,
+        x: VertexId,
+        y: VertexId,
+    ) -> bool {
+        self.inner.borrow_mut().can_share(graph, right, x, y)
+    }
+
+    /// Memoized `can_know` against the monitor's live graph.
+    pub fn can_know(&self, graph: &ProtectionGraph, x: VertexId, y: VertexId) -> bool {
+        self.inner.borrow_mut().can_know(graph, x, y)
+    }
+
+    /// Whether `a` and `b` share an island.
+    pub fn same_island(&self, graph: &ProtectionGraph, a: VertexId, b: VertexId) -> bool {
+        self.inner.borrow().same_island(graph, a, b)
+    }
+
+    /// The island partition, canonical form.
+    pub fn islands_canonical(&self, graph: &ProtectionGraph) -> Vec<Vec<VertexId>> {
+        self.inner.borrow().islands_canonical(graph)
+    }
+
+    /// The index's work counters.
+    pub fn stats(&self) -> IncStats {
+        self.inner.borrow().stats()
+    }
+}
+
+impl core::fmt::Debug for SharedIndex {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SharedIndex").finish_non_exhaustive()
+    }
+}
+
+impl MonitorObserver for SharedIndex {
+    fn applied(
+        &mut self,
+        graph: &ProtectionGraph,
+        levels: &LevelAssignment,
+        restriction: &dyn Restriction,
+        effect: &Effect,
+    ) {
+        self.inner
+            .borrow_mut()
+            .effect_applied(graph, levels, restriction, effect);
+    }
+
+    fn batch_begin(&mut self) {
+        self.inner.borrow_mut().begin_batch();
+    }
+
+    fn batch_abort(
+        &mut self,
+        graph: &ProtectionGraph,
+        levels: &LevelAssignment,
+        restriction: &dyn Restriction,
+    ) {
+        self.inner
+            .borrow_mut()
+            .abort_batch(graph, levels, restriction);
+    }
+
+    fn batch_commit(&mut self) {
+        self.inner.borrow_mut().commit_batch();
+    }
+
+    fn repaired(
+        &mut self,
+        graph: &ProtectionGraph,
+        levels: &LevelAssignment,
+        restriction: &dyn Restriction,
+        src: VertexId,
+        dst: VertexId,
+    ) {
+        self.inner
+            .borrow_mut()
+            .repaired(graph, levels, restriction, src, dst);
+    }
+
+    fn audit_cached(&self) -> Option<Vec<Violation>> {
+        Some(self.inner.borrow().violations())
+    }
+}

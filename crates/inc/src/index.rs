@@ -1,0 +1,638 @@
+//! The incremental index: maintained islands, regions, per-level
+//! adjacency and a maintained violation set.
+//!
+//! [`IncIndex`] does not own the graph — the engine (or the monitor, via
+//! [`SharedIndex`](crate::SharedIndex)) owns it and feeds the index one
+//! notification per committed delta. Each notification costs:
+//!
+//! * one Corollary 5.7 restriction check per touched edge (a constant
+//!   number of level comparisons) to keep the maintained violation set —
+//!   and hence the audit verdict — current without Corollary 5.6's full
+//!   edge scan;
+//! * O(α) union-find work to keep the island partition (paper §2) and
+//!   the weak-connectivity regions backing memo invalidation current;
+//! * a generation bump on the affected region root, which lazily evicts
+//!   exactly the memoized `can_share`/`can_know` answers whose
+//!   neighbourhood changed.
+//!
+//! The two union-finds are [`EpochUnionFind`]s: a transactional batch
+//! captures their epochs at `batch_begin` and rolls back to them on
+//! abort, mirroring the monitor's exact-inverse-effect rollback. The one
+//! operation union-find cannot undo cheaply is a *split*: removing the
+//! last `t`/`g` right between two subjects may cut an island, so that
+//! case falls back to an island rebuild (counted in
+//! [`IncStats::island_rebuilds`]); removals never split regions, leaving
+//! a conservative superset that only ever over-invalidates the memo.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use tg_graph::algo::{Epoch, EpochUnionFind};
+use tg_graph::{ProtectionGraph, Right, Rights, VertexId};
+use tg_hierarchy::{LevelAssignment, Restriction, Violation};
+use tg_rules::Effect;
+
+use crate::memo::{QueryKey, QueryMemo, Stamp};
+
+/// Counters describing how much work the incremental paths did — the
+/// numbers that make "incremental beats recompute" checkable.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct IncStats {
+    /// Per-edge restriction checks (Corollary 5.7 applications).
+    pub edge_checks: usize,
+    /// Effective island union operations.
+    pub island_unions: usize,
+    /// Island rebuilds forced by a `t`/`g` removal between subjects.
+    pub island_rebuilds: usize,
+    /// Memoized query answers served without recomputation.
+    pub memo_hits: usize,
+    /// Queries answered by a fresh Theorem 2.3 / 3.2 decision.
+    pub memo_misses: usize,
+    /// Batch aborts rolled back via union-find epochs.
+    pub rollbacks: usize,
+}
+
+/// Saved state for one open transactional batch.
+#[derive(Debug)]
+struct BatchMark {
+    islands_epoch: Epoch,
+    regions_epoch: Epoch,
+    /// `(key, previous entry)` for every violation-map write, replayed in
+    /// reverse on abort.
+    violations_undo: Vec<((VertexId, VertexId), Option<Rights>)>,
+    /// `(vertex, previous level)` for every mirror write.
+    levels_undo: Vec<(VertexId, Option<usize>)>,
+    /// Vertices whose region changed; their roots are re-dirtied after
+    /// rollback so mid-batch memo entries cannot be served.
+    touched: Vec<VertexId>,
+    /// An island rebuild happened inside the batch, so the saved epoch no
+    /// longer describes this forest — abort must rebuild instead.
+    islands_rebuilt: bool,
+}
+
+/// The incremental index over one protection graph.
+///
+/// All mutation methods take the graph (and policy) *post-state*: the
+/// caller mutates first, then notifies. See the crate docs for the
+/// soundness argument behind each maintained structure.
+#[derive(Debug)]
+pub struct IncIndex {
+    /// Island partition: union-find over subject–subject explicit `t`/`g`
+    /// edges (paper §2, as in `tg_analysis::Islands`).
+    islands: EpochUnionFind,
+    /// Weak-connectivity regions over *all* edges (explicit and
+    /// implicit), backing memo invalidation.
+    regions: EpochUnionFind,
+    /// Generation per element, read at the region root; bumped from
+    /// `gen_counter` whenever the region's contents change.
+    region_gen: Vec<u64>,
+    /// Globally monotone generation source. Never reset — not even by
+    /// rollback — so a popped-and-reused vertex id can never collide with
+    /// a stale memo stamp.
+    gen_counter: u64,
+    /// The maintained violation set: exactly what
+    /// [`tg_hierarchy::audit_graph`] would report, keyed and ordered the
+    /// same way.
+    violations: BTreeMap<(VertexId, VertexId), Rights>,
+    /// Per-level vertex sets (the per-level adjacency index).
+    by_level: Vec<BTreeSet<VertexId>>,
+    /// Mirror of the assignment, so a reassignment knows the old level.
+    level_of: Vec<Option<usize>>,
+    memo: QueryMemo,
+    stats: IncStats,
+    batch: Option<BatchMark>,
+}
+
+/// The rights [`tg_hierarchy::audit_graph`] would strip from one edge:
+/// every single right the restriction rejects on its own, or — if none is
+/// rejected alone but the combined label is — the whole label. Empty
+/// means the edge is clean. One call is O(1) restriction work
+/// (Corollary 5.7), independent of graph size.
+pub fn edge_violating_rights(
+    levels: &LevelAssignment,
+    restriction: &dyn Restriction,
+    src: VertexId,
+    dst: VertexId,
+    explicit: Rights,
+) -> Rights {
+    if explicit.is_empty() {
+        return Rights::EMPTY;
+    }
+    let mut flagged = Rights::EMPTY;
+    for right in explicit.iter() {
+        if restriction.edge_violates(levels, src, dst, Rights::singleton(right)) {
+            flagged.insert(right);
+        }
+    }
+    if flagged.is_empty() && restriction.edge_violates(levels, src, dst, explicit) {
+        return explicit;
+    }
+    flagged
+}
+
+impl IncIndex {
+    /// Builds the index from scratch over the current graph and policy.
+    /// This is the only full scan in the index's life (absent island
+    /// rebuilds): everything after is delta-driven.
+    pub fn build(
+        graph: &ProtectionGraph,
+        levels: &LevelAssignment,
+        restriction: &dyn Restriction,
+    ) -> IncIndex {
+        let n = graph.vertex_count();
+        let mut index = IncIndex {
+            islands: EpochUnionFind::new(n),
+            regions: EpochUnionFind::new(n),
+            region_gen: vec![0; n],
+            gen_counter: 0,
+            violations: BTreeMap::new(),
+            by_level: Vec::new(),
+            level_of: vec![None; n],
+            memo: QueryMemo::default(),
+            stats: IncStats::default(),
+            batch: None,
+        };
+        for edge in graph.edges() {
+            if !edge.rights.combined().is_empty() {
+                index.regions.union(edge.src.index(), edge.dst.index());
+            }
+            if edge.rights.explicit.intersects(Rights::TG)
+                && graph.is_subject(edge.src)
+                && graph.is_subject(edge.dst)
+            {
+                index.islands.union(edge.src.index(), edge.dst.index());
+            }
+            let v = edge_violating_rights(
+                levels,
+                restriction,
+                edge.src,
+                edge.dst,
+                edge.rights.explicit,
+            );
+            index.stats.edge_checks += 1;
+            if !v.is_empty() {
+                index.violations.insert((edge.src, edge.dst), v);
+            }
+        }
+        for (vertex, level) in levels.assignments() {
+            index.level_of[vertex.index()] = Some(level);
+            index.level_set(level).insert(vertex);
+        }
+        index
+    }
+
+    fn level_set(&mut self, level: usize) -> &mut BTreeSet<VertexId> {
+        if self.by_level.len() <= level {
+            self.by_level.resize_with(level + 1, BTreeSet::new);
+        }
+        &mut self.by_level[level]
+    }
+
+    fn next_gen(&mut self) -> u64 {
+        self.gen_counter += 1;
+        self.gen_counter
+    }
+
+    /// Marks `v`'s region dirty, evicting (lazily) every memoized answer
+    /// with an endpoint in it.
+    fn touch_region(&mut self, v: VertexId) {
+        let root = self.regions.find(v.index());
+        self.region_gen[root] = self.next_gen();
+        if let Some(batch) = self.batch.as_mut() {
+            batch.touched.push(v);
+        }
+    }
+
+    /// Writes the violation entry for one edge, with batch undo logging.
+    fn set_violation(&mut self, key: (VertexId, VertexId), value: Rights) {
+        let previous = if value.is_empty() {
+            self.violations.remove(&key)
+        } else {
+            self.violations.insert(key, value)
+        };
+        if let Some(batch) = self.batch.as_mut() {
+            batch.violations_undo.push((key, previous));
+        }
+    }
+
+    /// Re-derives the violation entry for `src → dst` from the graph's
+    /// current label — one Corollary 5.7 check.
+    fn recheck_edge(
+        &mut self,
+        graph: &ProtectionGraph,
+        levels: &LevelAssignment,
+        restriction: &dyn Restriction,
+        src: VertexId,
+        dst: VertexId,
+    ) {
+        let explicit = graph.rights(src, dst).explicit();
+        let v = edge_violating_rights(levels, restriction, src, dst, explicit);
+        self.stats.edge_checks += 1;
+        self.set_violation((src, dst), v);
+    }
+
+    fn rebuild_islands(&mut self, graph: &ProtectionGraph) {
+        self.stats.island_rebuilds += 1;
+        let mut islands = EpochUnionFind::new(graph.vertex_count());
+        for edge in graph.edges() {
+            if edge.rights.explicit.intersects(Rights::TG)
+                && graph.is_subject(edge.src)
+                && graph.is_subject(edge.dst)
+            {
+                islands.union(edge.src.index(), edge.dst.index());
+            }
+        }
+        self.islands = islands;
+        if let Some(batch) = self.batch.as_mut() {
+            batch.islands_rebuilt = true;
+        }
+    }
+
+    /// Explicit rights `added` (a non-empty exact delta) appeared on
+    /// `src → dst`.
+    pub fn explicit_added(
+        &mut self,
+        graph: &ProtectionGraph,
+        levels: &LevelAssignment,
+        restriction: &dyn Restriction,
+        src: VertexId,
+        dst: VertexId,
+        added: Rights,
+    ) {
+        self.recheck_edge(graph, levels, restriction, src, dst);
+        self.regions.union(src.index(), dst.index());
+        self.touch_region(src);
+        self.touch_region(dst);
+        if added.intersects(Rights::TG)
+            && graph.is_subject(src)
+            && graph.is_subject(dst)
+            && self.islands.union(src.index(), dst.index())
+        {
+            self.stats.island_unions += 1;
+        }
+    }
+
+    /// Explicit rights `removed` (a non-empty exact delta) disappeared
+    /// from `src → dst`.
+    pub fn explicit_removed(
+        &mut self,
+        graph: &ProtectionGraph,
+        levels: &LevelAssignment,
+        restriction: &dyn Restriction,
+        src: VertexId,
+        dst: VertexId,
+        removed: Rights,
+    ) {
+        self.recheck_edge(graph, levels, restriction, src, dst);
+        // Regions never split on removal: the stale merge is a sound
+        // superset (see crate docs).
+        self.touch_region(src);
+        self.touch_region(dst);
+        if removed.intersects(Rights::TG)
+            && graph.is_subject(src)
+            && graph.is_subject(dst)
+            && !graph.rights(src, dst).explicit().intersects(Rights::TG)
+        {
+            // The last t/g right between two subjects went away: the edge
+            // may have been an island cut edge. Union-find cannot split,
+            // so rebuild (the one non-incremental case).
+            self.rebuild_islands(graph);
+        }
+    }
+
+    /// [`Monitor::quarantine`](tg_hierarchy::Monitor::quarantine)
+    /// stripped the violating rights from `src → dst`. What it strips is
+    /// exactly this edge's maintained violation entry (the union of the
+    /// audit's per-right strip fixes), so that entry is the removal
+    /// delta.
+    pub fn repaired(
+        &mut self,
+        graph: &ProtectionGraph,
+        levels: &LevelAssignment,
+        restriction: &dyn Restriction,
+        src: VertexId,
+        dst: VertexId,
+    ) {
+        let removed = self
+            .violations
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(Rights::ALL);
+        self.explicit_removed(graph, levels, restriction, src, dst, removed);
+    }
+
+    /// Implicit rights appeared on `src → dst` (de facto rules).
+    pub fn implicit_added(&mut self, src: VertexId, dst: VertexId) {
+        // Implicit edges carry information flow (can_know), not audit
+        // relevance: audit checks explicit labels only.
+        self.regions.union(src.index(), dst.index());
+        self.touch_region(src);
+        self.touch_region(dst);
+    }
+
+    /// Implicit rights disappeared from `src → dst`.
+    pub fn implicit_removed(&mut self, src: VertexId, dst: VertexId) {
+        self.touch_region(src);
+        self.touch_region(dst);
+    }
+
+    /// A vertex was appended to the graph. Must be called in append
+    /// order — `id` has to be the next element of both forests.
+    pub fn vertex_added(&mut self, id: VertexId) {
+        let a = self.islands.grow();
+        let b = self.regions.grow();
+        debug_assert_eq!(a, id.index(), "vertices must be mirrored in append order");
+        debug_assert_eq!(b, id.index());
+        let gen = self.next_gen();
+        self.region_gen.push(gen);
+        self.level_of.push(None);
+    }
+
+    /// The newest vertex was popped outside any batch (batched pops are
+    /// handled wholesale by epoch rollback). Falls back to a full
+    /// rebuild — this path exists for API completeness, not speed.
+    pub fn vertex_popped(
+        &mut self,
+        graph: &ProtectionGraph,
+        levels: &LevelAssignment,
+        restriction: &dyn Restriction,
+        id: VertexId,
+    ) {
+        assert!(self.batch.is_none(), "batched pops roll back via epochs");
+        if let Some(level) = self.level_of[id.index()] {
+            self.by_level[level].remove(&id);
+        }
+        *self = IncIndex::build(graph, levels, restriction);
+    }
+
+    /// Vertex `v` was assigned a (possibly different) level, or lost its
+    /// assignment. Rechecks `v`'s incident edges — O(deg(v)) Corollary
+    /// 5.7 checks — and updates the per-level index. The query memo is
+    /// deliberately untouched: levels appear nowhere in Theorems 2.3,
+    /// 3.1 or 3.2, so `can_share`/`can_know` answers cannot change.
+    pub fn level_changed(
+        &mut self,
+        graph: &ProtectionGraph,
+        levels: &LevelAssignment,
+        restriction: &dyn Restriction,
+        v: VertexId,
+    ) {
+        let new = levels.level_of(v);
+        let old = self.level_of[v.index()];
+        if new != old {
+            if let Some(batch) = self.batch.as_mut() {
+                batch.levels_undo.push((v, old));
+            }
+            if let Some(l) = old {
+                self.by_level[l].remove(&v);
+            }
+            if let Some(l) = new {
+                self.level_set(l).insert(v);
+            }
+            self.level_of[v.index()] = new;
+        }
+        let incident: Vec<(VertexId, VertexId)> = graph
+            .out_edges(v)
+            .map(|(u, _)| (v, u))
+            .chain(graph.in_edges(v).map(|(u, _)| (u, v)))
+            .collect();
+        for (src, dst) in incident {
+            self.recheck_edge(graph, levels, restriction, src, dst);
+        }
+    }
+
+    /// Applies one rule effect (the monitor's delta language) to the
+    /// index. For [`Effect::Created`] the new vertex's inherited level
+    /// must already be assigned, matching the monitor's notification
+    /// order.
+    pub fn effect_applied(
+        &mut self,
+        graph: &ProtectionGraph,
+        levels: &LevelAssignment,
+        restriction: &dyn Restriction,
+        effect: &Effect,
+    ) {
+        match effect {
+            Effect::ExplicitAdded { src, dst, rights } => {
+                if !rights.is_empty() {
+                    self.explicit_added(graph, levels, restriction, *src, *dst, *rights);
+                }
+            }
+            Effect::ImplicitAdded { src, dst, rights } => {
+                if !rights.is_empty() {
+                    self.implicit_added(*src, *dst);
+                }
+            }
+            Effect::Created {
+                id,
+                creator,
+                rights,
+            } => {
+                self.vertex_added(*id);
+                self.level_changed(graph, levels, restriction, *id);
+                if !rights.is_empty() {
+                    self.explicit_added(graph, levels, restriction, *creator, *id, *rights);
+                }
+            }
+            Effect::Removed { src, dst, removed } => {
+                if !removed.is_empty() {
+                    self.explicit_removed(graph, levels, restriction, *src, *dst, *removed);
+                }
+            }
+        }
+    }
+
+    /// Opens a transactional batch: captures both forests' epochs and
+    /// starts undo logging for the violation map and level mirror.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch is already open (batches do not nest — the
+    /// monitor's don't either).
+    pub fn begin_batch(&mut self) {
+        assert!(self.batch.is_none(), "incremental batches do not nest");
+        self.batch = Some(BatchMark {
+            islands_epoch: self.islands.epoch(),
+            regions_epoch: self.regions.epoch(),
+            violations_undo: Vec::new(),
+            levels_undo: Vec::new(),
+            touched: Vec::new(),
+            islands_rebuilt: false,
+        });
+    }
+
+    /// Commits the open batch: the undo state is simply dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is open.
+    pub fn commit_batch(&mut self) {
+        assert!(self.batch.take().is_some(), "no open batch to commit");
+    }
+
+    /// Aborts the open batch. The caller must have restored the graph and
+    /// levels to their `begin_batch` state first (the monitor does, via
+    /// exact inverse effects); the index then rolls its own structures
+    /// back to the matching epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is open.
+    pub fn abort_batch(
+        &mut self,
+        graph: &ProtectionGraph,
+        levels: &LevelAssignment,
+        restriction: &dyn Restriction,
+    ) {
+        let _ = (levels, restriction);
+        let batch = self.batch.take().expect("no open batch to abort");
+        for (key, previous) in batch.violations_undo.into_iter().rev() {
+            match previous {
+                Some(rights) => {
+                    self.violations.insert(key, rights);
+                }
+                None => {
+                    self.violations.remove(&key);
+                }
+            }
+        }
+        for (v, previous) in batch.levels_undo.into_iter().rev() {
+            if let Some(l) = self.level_of[v.index()] {
+                self.by_level[l].remove(&v);
+            }
+            if let Some(l) = previous {
+                self.level_set(l).insert(v);
+            }
+            self.level_of[v.index()] = previous;
+        }
+        self.regions.rollback_to(batch.regions_epoch);
+        self.region_gen.truncate(self.regions.len());
+        self.level_of.truncate(self.regions.len());
+        if batch.islands_rebuilt {
+            // A mid-batch rebuild detached the forest from its epochs;
+            // rebuild again from the (already restored) graph.
+            self.rebuild_islands(graph);
+        } else {
+            self.islands.rollback_to(batch.islands_epoch);
+        }
+        // Re-dirty every region the batch touched: memo entries recorded
+        // mid-batch must not be servable against the rolled-back state.
+        for v in batch.touched {
+            if v.index() < self.regions.len() {
+                self.touch_region(v);
+            }
+        }
+        self.stats.rollbacks += 1;
+    }
+
+    /// Whether the maintained audit verdict is "clean".
+    pub fn audit_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The maintained violation set — identical, entry for entry, to what
+    /// [`tg_hierarchy::audit_graph`] reports on the current graph.
+    pub fn violations(&self) -> Vec<Violation> {
+        self.violations
+            .iter()
+            .map(|(&(src, dst), &rights)| Violation { src, dst, rights })
+            .collect()
+    }
+
+    /// Whether `a` and `b` are subjects of the same island.
+    pub fn same_island(&self, graph: &ProtectionGraph, a: VertexId, b: VertexId) -> bool {
+        graph.is_subject(a) && graph.is_subject(b) && self.islands.same(a.index(), b.index())
+    }
+
+    /// The island partition in the same canonical form as
+    /// [`tg_analysis::Islands::canonical`]: sorted member lists ordered
+    /// by smallest member, objects filtered out.
+    pub fn islands_canonical(&self, graph: &ProtectionGraph) -> Vec<Vec<VertexId>> {
+        self.islands
+            .sets()
+            .into_iter()
+            .filter_map(|group| {
+                let subjects: Vec<VertexId> = group
+                    .into_iter()
+                    .map(VertexId::from_index)
+                    .filter(|&v| graph.is_subject(v))
+                    .collect();
+                if subjects.is_empty() {
+                    None
+                } else {
+                    Some(subjects)
+                }
+            })
+            .collect()
+    }
+
+    /// The vertices currently assigned `level`, in id order.
+    pub fn at_level(&self, level: usize) -> impl Iterator<Item = VertexId> + '_ {
+        self.by_level
+            .get(level)
+            .into_iter()
+            .flat_map(|set| set.iter().copied())
+    }
+
+    /// Number of distinct levels with at least one assigned vertex.
+    pub fn populated_levels(&self) -> usize {
+        self.by_level.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    fn stamp(&self, v: VertexId) -> Stamp {
+        let root = self.regions.find(v.index());
+        (root, self.region_gen[root])
+    }
+
+    /// Memoized `can_share` (Theorem 2.3). A hit costs two union-find
+    /// finds; a miss delegates to [`tg_analysis::can_share`] and caches
+    /// the verdict under the endpoints' region fingerprints.
+    pub fn can_share(
+        &mut self,
+        graph: &ProtectionGraph,
+        right: Right,
+        x: VertexId,
+        y: VertexId,
+    ) -> bool {
+        let (sx, sy) = (self.stamp(x), self.stamp(y));
+        let key = QueryKey::Share(right, x, y);
+        if let Some(hit) = self.memo.get(key, sx, sy) {
+            self.stats.memo_hits += 1;
+            return hit;
+        }
+        self.stats.memo_misses += 1;
+        let value = tg_analysis::can_share(graph, right, x, y);
+        self.memo.insert(key, value, sx, sy);
+        value
+    }
+
+    /// Memoized `can_know` (Theorem 3.2), same contract as
+    /// [`IncIndex::can_share`].
+    pub fn can_know(&mut self, graph: &ProtectionGraph, x: VertexId, y: VertexId) -> bool {
+        let (sx, sy) = (self.stamp(x), self.stamp(y));
+        let key = QueryKey::Know(x, y);
+        if let Some(hit) = self.memo.get(key, sx, sy) {
+            self.stats.memo_hits += 1;
+            return hit;
+        }
+        self.stats.memo_misses += 1;
+        let value = tg_analysis::can_know(graph, x, y);
+        self.memo.insert(key, value, sx, sy);
+        value
+    }
+
+    /// Number of memo entries currently stored.
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Drops every memoized answer (kept for benchmarks that want cold
+    /// queries; never required for correctness).
+    pub fn clear_memo(&mut self) {
+        self.memo.clear();
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> IncStats {
+        self.stats
+    }
+}

@@ -1,0 +1,63 @@
+//! Incremental audit and query engine for hierarchical Take-Grant
+//! protection systems.
+//!
+//! The paper's complexity results are *per-operation*: Corollary 5.7
+//! checks one rule against a restriction in O(1) level comparisons, and
+//! Corollary 5.6 audits a whole graph in one pass over its edges. A
+//! long-running monitor should therefore never pay Corollary 5.6 per
+//! mutation — the audit verdict is maintainable edge by edge. This crate
+//! makes that concrete:
+//!
+//! * [`ChangeLog`]/[`Change`] — an append-only record of exact mutation
+//!   deltas (edge/right add-remove, vertex add, level reassignment),
+//!   invertible entry by entry for transactional rollback.
+//! * [`IncIndex`] — the maintained state: an island partition over an
+//!   epoch union-find with rollback (paper §2), weak-connectivity
+//!   regions driving memo invalidation, a per-level adjacency index, and
+//!   the maintained violation set whose emptiness *is* the audit
+//!   verdict.
+//! * [`IncEngine`] — graph + levels + restriction + index + log behind
+//!   one mutation API, with transactional batches.
+//! * [`SharedIndex`] — the index as a
+//!   [`MonitorObserver`](tg_hierarchy::MonitorObserver), so the
+//!   reference monitor's own audits and batch rollbacks ride on the
+//!   incremental state.
+//!
+//! Every answer the incremental paths produce is differentially tested
+//! against the from-scratch analyses (`tg_analysis`, `tg_hierarchy`'s
+//! Corollary 5.6 audit, and the exponential `tg_analysis::reference`
+//! searches on small graphs); see this crate's `tests/`.
+//!
+//! # Examples
+//!
+//! ```
+//! use tg_graph::{ProtectionGraph, Right, Rights};
+//! use tg_hierarchy::{CombinedRestriction, LevelAssignment};
+//! use tg_inc::IncEngine;
+//!
+//! let mut g = ProtectionGraph::new();
+//! let a = g.add_subject("a");
+//! let b = g.add_subject("b");
+//! let mut levels = LevelAssignment::linear(&["low", "high"]);
+//! levels.assign(a, 0).unwrap();
+//! levels.assign(b, 0).unwrap();
+//!
+//! let mut engine = IncEngine::new(g, levels, Box::new(CombinedRestriction));
+//! assert!(!engine.can_share(Right::Read, a, b));
+//! // Mutate, then re-query: only the touched region is re-decided.
+//! engine.add_edge(a, b, Rights::TG).unwrap();
+//! assert!(engine.same_island(a, b));
+//! assert!(engine.audit_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod index;
+mod log;
+mod memo;
+
+pub use engine::{IncEngine, SharedIndex};
+pub use index::{edge_violating_rights, IncIndex, IncStats};
+pub use log::{Change, ChangeLog};

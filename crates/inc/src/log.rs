@@ -1,0 +1,146 @@
+//! The change log: an append-only record of graph and policy mutations.
+//!
+//! Every mutation the [`IncEngine`](crate::IncEngine) commits is recorded
+//! as a [`Change`] carrying the *exact delta* (the rights actually added
+//! or removed, not the rights requested), so each entry can be inverted
+//! precisely during a batch abort. The log is also the unit the
+//! incremental index consumes: one `Change` maps to one O(1)-ish index
+//! update (Corollary 5.7's per-rule restriction check plus a union-find
+//! operation or two), instead of a whole-graph re-audit (Corollary 5.6).
+
+use tg_graph::{Rights, VertexId};
+
+/// One committed mutation, carrying its exact delta.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Change {
+    /// A vertex was appended to the graph.
+    VertexAdded {
+        /// The new vertex.
+        id: VertexId,
+    },
+    /// The newest vertex was popped again (batch rollback only).
+    VertexPopped {
+        /// The popped vertex.
+        id: VertexId,
+    },
+    /// Explicit rights were added to `src → dst`. `rights` is the delta:
+    /// rights the edge did not already carry.
+    ExplicitAdded {
+        /// Edge source.
+        src: VertexId,
+        /// Edge destination.
+        dst: VertexId,
+        /// The newly added rights (non-empty).
+        rights: Rights,
+    },
+    /// Explicit rights were removed from `src → dst`. `rights` is the
+    /// delta: rights the edge actually carried.
+    ExplicitRemoved {
+        /// Edge source.
+        src: VertexId,
+        /// Edge destination.
+        dst: VertexId,
+        /// The removed rights (non-empty).
+        rights: Rights,
+    },
+    /// Implicit (de facto) rights were added to `src → dst`.
+    ImplicitAdded {
+        /// Edge source.
+        src: VertexId,
+        /// Edge destination.
+        dst: VertexId,
+        /// The newly added implicit rights (non-empty).
+        rights: Rights,
+    },
+    /// Implicit rights were removed from `src → dst`.
+    ImplicitRemoved {
+        /// Edge source.
+        src: VertexId,
+        /// Edge destination.
+        dst: VertexId,
+        /// The removed implicit rights (non-empty).
+        rights: Rights,
+    },
+    /// A vertex was (re)assigned a level.
+    LevelAssigned {
+        /// The reclassified vertex.
+        vertex: VertexId,
+        /// Its new level.
+        level: usize,
+        /// Its previous level, if it had one.
+        previous: Option<usize>,
+    },
+}
+
+/// An append-only sequence of [`Change`]s with positional marks, so a
+/// batch can be truncated (its suffix inverted in reverse) on abort.
+#[derive(Clone, Default, Debug)]
+pub struct ChangeLog {
+    entries: Vec<Change>,
+}
+
+impl ChangeLog {
+    /// An empty log.
+    pub fn new() -> ChangeLog {
+        ChangeLog::default()
+    }
+
+    /// Appends a change.
+    pub fn push(&mut self, change: Change) {
+        self.entries.push(change);
+    }
+
+    /// Number of recorded changes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The current position — pass back to [`ChangeLog::since`] or
+    /// [`ChangeLog::truncate`] to delimit a batch.
+    pub fn mark(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The changes recorded at or after `mark`.
+    pub fn since(&self, mark: usize) -> &[Change] {
+        &self.entries[mark..]
+    }
+
+    /// Discards every change at or after `mark` (batch abort).
+    pub fn truncate(&mut self, mark: usize) {
+        self.entries.truncate(mark);
+    }
+
+    /// Iterates over all recorded changes, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Change> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_delimit_batches() {
+        let mut log = ChangeLog::new();
+        log.push(Change::VertexAdded {
+            id: VertexId::from_index(0),
+        });
+        let mark = log.mark();
+        log.push(Change::ExplicitAdded {
+            src: VertexId::from_index(0),
+            dst: VertexId::from_index(1),
+            rights: Rights::R,
+        });
+        assert_eq!(log.since(mark).len(), 1);
+        log.truncate(mark);
+        assert_eq!(log.len(), 1);
+        assert!(log.since(mark).is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Memoized `can_share`/`can_know` answers with region-stamped
+//! invalidation.
+//!
+//! Both decision procedures are *local* in one precise sense: every
+//! witness Theorem 2.3 (`can_share`) or Theorem 3.2 (`can_know`) builds —
+//! islands, bridges, initial/terminal spans, de facto flow paths — lies
+//! entirely inside the weak-connectivity component (over all edges,
+//! explicit and implicit, ignoring direction) containing the two query
+//! endpoints. A mutation that touches neither endpoint's component
+//! therefore cannot change the answer, and the cached verdict stays
+//! valid.
+//!
+//! The index maintains that component partition as a second union-find
+//! (`regions`) plus a generation counter per component root. A cached
+//! entry remembers, for each endpoint, the pair *(component root,
+//! generation)* at answer time; it is a hit only if both pairs still
+//! match. Any edge change inside a component bumps its root's
+//! generation, so precisely the queries whose neighbourhood changed are
+//! evicted — level reassignment bumps nothing, because levels appear
+//! nowhere in Theorems 2.3/3.1/3.2.
+//!
+//! Removals never split `regions` (a union-find cannot unsplit); the
+//! component is then a *superset* of the true weak component, which is
+//! conservative in the sound direction: we may invalidate more than
+//! necessary, never less.
+
+use std::collections::BTreeMap;
+
+use tg_graph::{Right, VertexId};
+
+/// A memo key: which query, over which endpoints.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub(crate) enum QueryKey {
+    /// `can_share(right, x, y)` (Theorem 2.3).
+    Share(Right, VertexId, VertexId),
+    /// `can_know(x, y)` (Theorem 3.2).
+    Know(VertexId, VertexId),
+}
+
+/// The component fingerprint of one endpoint at answer time.
+pub(crate) type Stamp = (usize, u64);
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    value: bool,
+    x_stamp: Stamp,
+    y_stamp: Stamp,
+}
+
+/// The memo table. Storage is a `BTreeMap` for deterministic iteration;
+/// stale entries are dropped lazily on lookup.
+#[derive(Clone, Default, Debug)]
+pub(crate) struct QueryMemo {
+    entries: BTreeMap<QueryKey, Entry>,
+}
+
+impl QueryMemo {
+    /// Looks up `key`; returns the cached verdict only if both endpoint
+    /// stamps still match the live region fingerprints.
+    pub(crate) fn get(&mut self, key: QueryKey, x_stamp: Stamp, y_stamp: Stamp) -> Option<bool> {
+        match self.entries.get(&key) {
+            Some(e) if e.x_stamp == x_stamp && e.y_stamp == y_stamp => Some(e.value),
+            Some(_) => {
+                self.entries.remove(&key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Records a fresh verdict under the endpoints' current fingerprints.
+    pub(crate) fn insert(&mut self, key: QueryKey, value: bool, x_stamp: Stamp, y_stamp: Stamp) {
+        self.entries.insert(
+            key,
+            Entry {
+                value,
+                x_stamp,
+                y_stamp,
+            },
+        );
+    }
+
+    /// Number of live entries (stale ones included until touched).
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Drops everything (full rebuild).
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_stamps_miss_and_evict() {
+        let mut memo = QueryMemo::default();
+        let key = QueryKey::Know(VertexId::from_index(0), VertexId::from_index(1));
+        memo.insert(key, true, (0, 1), (1, 1));
+        assert_eq!(memo.get(key, (0, 1), (1, 1)), Some(true));
+        // Generation bumped on x's component: miss, and the entry is gone.
+        assert_eq!(memo.get(key, (0, 2), (1, 1)), None);
+        assert_eq!(memo.len(), 0);
+    }
+
+    #[test]
+    fn merged_components_change_the_root() {
+        let mut memo = QueryMemo::default();
+        let key = QueryKey::Share(
+            Right::Read,
+            VertexId::from_index(2),
+            VertexId::from_index(5),
+        );
+        memo.insert(key, false, (2, 7), (5, 3));
+        // x's component merged into root 5: stamp root differs, miss.
+        assert_eq!(memo.get(key, (5, 8), (5, 8)), None);
+    }
+}

@@ -1,0 +1,244 @@
+//! Differential test oracle: after *every* step of a random mutation
+//! sequence, the incremental engine's answers — audit verdict and
+//! violation set, island partition, `can_share`, `can_know` — must be
+//! identical to a from-scratch recompute over the same graph.
+//!
+//! Three legs:
+//!
+//! * the main differential property (256 random mutation sequences,
+//!   checked step by step against `audit_graph`, `Islands::compute` and
+//!   the `tg_analysis` decision procedures, with every query asked twice
+//!   so the memo's hit path is exercised as hard as its miss path);
+//! * a brute-force leg on tiny graphs, pinning the memoized answers to
+//!   the exponential rule-closure searches in `tg_analysis::reference`;
+//! * a transactional leg: a batch of mutations aborted via
+//!   [`IncEngine::abort_batch`] must leave graph, levels, violation set,
+//!   islands and future query answers exactly as they were.
+
+use proptest::prelude::*;
+use tg_analysis::reference::{can_know_bruteforce, can_share_bruteforce, SearchBounds};
+use tg_analysis::Islands;
+use tg_graph::{ProtectionGraph, Right, Rights, VertexId};
+use tg_hierarchy::{audit_graph, CombinedRestriction, LevelAssignment};
+use tg_inc::IncEngine;
+
+/// One raw mutation op: `(kind, a, b, bits)` decoded against the current
+/// vertex count, so sequences stay meaningful as the graph grows.
+type RawOp = (u8, usize, usize, u8);
+
+fn ops_strategy(max_len: usize) -> impl Strategy<Value = Vec<RawOp>> {
+    prop::collection::vec((0u8..6, 0usize..64, 0usize..64, 1u8..32), 1..max_len)
+}
+
+/// Applies one decoded op to the engine. Ops that the graph rejects
+/// (self-edges, missing vertices) are skipped — the generator is free to
+/// propose them, the engine must simply not corrupt its index.
+fn apply_op(engine: &mut IncEngine, op: RawOp) {
+    let (kind, a, b, bits) = op;
+    let n = engine.graph().vertex_count();
+    match kind {
+        0 => {
+            engine.add_subject(&format!("s{a}"));
+        }
+        1 => {
+            engine.add_object(&format!("o{a}"));
+        }
+        _ if n == 0 => {}
+        2 => {
+            let rights = Rights::from_bits(u16::from(bits) & 0b11111);
+            let _ = engine.add_edge(
+                VertexId::from_index(a % n),
+                VertexId::from_index(b % n),
+                rights,
+            );
+        }
+        3 => {
+            let rights = Rights::from_bits(u16::from(bits) & 0b11111);
+            let _ = engine.remove_edge(
+                VertexId::from_index(a % n),
+                VertexId::from_index(b % n),
+                rights,
+            );
+        }
+        4 => {
+            let _ = engine.assign_level(VertexId::from_index(a % n), usize::from(bits) % 3);
+        }
+        _ => {
+            // De facto rules only ever add implicit `r`; keep the model
+            // comparable.
+            let _ = engine.add_implicit(
+                VertexId::from_index(a % n),
+                VertexId::from_index(b % n),
+                Rights::R,
+            );
+        }
+    }
+}
+
+fn fresh_engine() -> IncEngine {
+    IncEngine::new(
+        ProtectionGraph::new(),
+        LevelAssignment::linear(&["low", "mid", "high"]),
+        Box::new(CombinedRestriction),
+    )
+}
+
+/// Every maintained answer vs. its from-scratch oracle, on the current
+/// state. Queries are asked twice: the first call may miss the memo, the
+/// second must hit it (or be freshly evicted) — both must agree with the
+/// oracle.
+fn assert_agrees(engine: &mut IncEngine, step: usize) {
+    let graph = engine.graph().clone();
+    let levels = engine.levels().clone();
+
+    let expected = audit_graph(&graph, &levels, &CombinedRestriction);
+    assert_eq!(
+        engine.violations(),
+        expected,
+        "violation set diverged at step {step}"
+    );
+    assert_eq!(engine.audit_clean(), expected.is_empty());
+
+    let islands = Islands::compute(&graph);
+    assert_eq!(
+        engine.islands_canonical(),
+        islands.canonical(),
+        "island partition diverged at step {step}"
+    );
+
+    let n = graph.vertex_count();
+    if n == 0 {
+        return;
+    }
+    // A deterministic sample of query pairs: ends, middle, and a
+    // wrap-around pair — enough to catch stale memo entries without
+    // making every case quadratic.
+    let pairs = [
+        (0, n - 1),
+        (n - 1, 0),
+        (n / 2, n - 1),
+        (step % n, (step + 1) % n),
+    ];
+    for (xi, yi) in pairs {
+        let (x, y) = (VertexId::from_index(xi), VertexId::from_index(yi));
+        for right in [Right::Read, Right::Grant] {
+            let oracle = tg_analysis::can_share(&graph, right, x, y);
+            assert_eq!(engine.can_share(right, x, y), oracle, "step {step}");
+            assert_eq!(engine.can_share(right, x, y), oracle, "memo, step {step}");
+        }
+        let oracle = tg_analysis::can_know(&graph, x, y);
+        assert_eq!(engine.can_know(x, y), oracle, "step {step}");
+        assert_eq!(engine.can_know(x, y), oracle, "memo, step {step}");
+        assert_eq!(engine.same_island(x, y), islands.same_island(x, y));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tentpole oracle: engine answers equal recompute answers after
+    /// every single mutation of a random sequence.
+    #[test]
+    fn incremental_matches_recompute_stepwise(ops in ops_strategy(40)) {
+        let mut engine = fresh_engine();
+        for (step, &op) in ops.iter().enumerate() {
+            apply_op(&mut engine, op);
+            assert_agrees(&mut engine, step);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tiny graphs, exponential oracle: the memoized decision procedures
+    /// under mutation stay pinned to the bounded rule-closure search.
+    #[test]
+    fn memoized_answers_match_bruteforce(ops in ops_strategy(12)) {
+        let bounds = SearchBounds { max_creates: 1, max_states: 30_000 };
+        let mut engine = fresh_engine();
+        for &op in &ops {
+            apply_op(&mut engine, op);
+            let graph = engine.graph().clone();
+            let n = graph.vertex_count();
+            if n == 0 || n > 4 {
+                continue;
+            }
+            for xi in 0..n {
+                for yi in 0..n {
+                    if xi == yi {
+                        continue;
+                    }
+                    let (x, y) = (VertexId::from_index(xi), VertexId::from_index(yi));
+                    // The bounded search under-approximates: everything
+                    // it realizes, the engine must answer true.
+                    if can_share_bruteforce(&graph, Right::Read, x, y, bounds) {
+                        assert!(engine.can_share(Right::Read, x, y));
+                    }
+                    if can_know_bruteforce(&graph, x, y, bounds) {
+                        assert!(engine.can_know(x, y));
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Aborted batches leave no trace: graph, levels, violations,
+    /// islands and future answers are exactly the pre-batch ones.
+    #[test]
+    fn aborted_batches_restore_everything(
+        prefix in ops_strategy(12),
+        batch in ops_strategy(12),
+    ) {
+        let mut engine = fresh_engine();
+        for &op in &prefix {
+            apply_op(&mut engine, op);
+        }
+        // Warm the memo so rollback must invalidate, not just recompute.
+        assert_agrees(&mut engine, 0);
+
+        let graph_before = engine.graph().clone();
+        let levels_before = engine.levels().clone();
+        let violations_before = engine.violations();
+        let islands_before = engine.islands_canonical();
+
+        engine.begin_batch();
+        for &op in &batch {
+            apply_op(&mut engine, op);
+        }
+        engine.abort_batch();
+
+        assert_eq!(engine.graph(), &graph_before);
+        assert_eq!(engine.levels(), &levels_before);
+        assert_eq!(engine.violations(), violations_before);
+        assert_eq!(engine.islands_canonical(), islands_before);
+        // And the whole oracle battery still agrees (memo included).
+        assert_agrees(&mut engine, 1);
+    }
+
+    /// Committed batches are indistinguishable from unbatched application.
+    #[test]
+    fn committed_batches_match_unbatched(ops in ops_strategy(16)) {
+        let mut batched = fresh_engine();
+        batched.begin_batch();
+        for &op in &ops {
+            apply_op(&mut batched, op);
+        }
+        batched.commit_batch();
+
+        let mut plain = fresh_engine();
+        for &op in &ops {
+            apply_op(&mut plain, op);
+        }
+
+        assert_eq!(batched.graph(), plain.graph());
+        assert_eq!(batched.levels(), plain.levels());
+        assert_eq!(batched.violations(), plain.violations());
+        assert_eq!(batched.islands_canonical(), plain.islands_canonical());
+        assert_agrees(&mut batched, 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Mutation invariants on the incremental engine, exercised with the
+//! `tg-sim` fault machinery:
+//!
+//! * **Removal soundness** — removing rights can only make a graph *more*
+//!   secure, and it can never flip the maintained verdict from dirty to
+//!   clean without the audit having flagged the removed edge first: the
+//!   verdict transition is witnessed by the pre-removal violation set.
+//! * **Quarantine equivalence** — after identical out-of-band tampering
+//!   (via [`Monitor::inject_edge`], planted edges derived from
+//!   `tg_sim::faults::tamper_graph`), a monitor carrying a [`SharedIndex`]
+//!   and a plain monitor agree on the audit, on what `quarantine()`
+//!   strips, and on the repaired graph — and the index's maintained state
+//!   still matches a from-scratch recompute afterwards.
+
+use proptest::prelude::*;
+use tg_analysis::Islands;
+use tg_graph::{Rights, VertexId};
+use tg_hierarchy::{audit_graph, CombinedRestriction, Monitor};
+use tg_inc::{IncEngine, SharedIndex};
+use tg_sim::faults::tamper_graph;
+use tg_sim::prng::Prng;
+use tg_sim::workload::hierarchy;
+
+/// A tampered classified hierarchy: the `tg-sim` lattice with `count`
+/// out-of-band `r`/`w` edges planted around the rule interface.
+fn tampered(seed: u64, count: usize) -> tg_hierarchy::structure::BuiltHierarchy {
+    let mut built = hierarchy(3, 2);
+    let mut rng = Prng::seed_from_u64(seed);
+    tamper_graph(&mut built.graph, &built.assignment, count, &mut rng);
+    built
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Removing an edge never turns an insecure graph secure without the
+    /// audit having flagged exactly that edge: every dirty→clean verdict
+    /// transition is witnessed by the removed pair appearing in the
+    /// pre-removal violation set. The maintained verdict itself stays
+    /// pinned to the Corollary 5.6 rescan at every step.
+    #[test]
+    fn removals_cannot_silently_launder_violations(
+        seed in 0u64..1 << 48,
+        tampers in 1usize..6,
+        removals in prop::collection::vec((0usize..64, 0usize..64, 1u8..32), 1..24),
+    ) {
+        let built = tampered(seed, tampers);
+        let mut engine = IncEngine::new(
+            built.graph,
+            built.assignment,
+            Box::new(CombinedRestriction),
+        );
+        let n = engine.graph().vertex_count();
+
+        for (a, b, bits) in removals {
+            let before = engine.violations();
+            let src = VertexId::from_index(a % n);
+            let dst = VertexId::from_index(b % n);
+            let rights = Rights::from_bits(u16::from(bits) & 0b11111);
+            let removed = match engine.remove_edge(src, dst, rights) {
+                Ok(removed) => removed,
+                Err(_) => continue,
+            };
+            let after = engine.violations();
+
+            // Verdict equality against the from-scratch audit, per step.
+            let oracle = audit_graph(engine.graph(), engine.levels(), &CombinedRestriction);
+            prop_assert_eq!(&after, &oracle);
+
+            // Removal is monotone: no *new* violating pair may appear.
+            for v in &after {
+                prop_assert!(
+                    before.iter().any(|p| p.src == v.src && p.dst == v.dst),
+                    "removal introduced a violation on {:?}→{:?}", v.src, v.dst
+                );
+            }
+
+            // A dirty→clean flip must be witnessed: the edge we removed
+            // was one the audit had already flagged.
+            if !before.is_empty() && after.is_empty() {
+                prop_assert!(!removed.is_empty());
+                prop_assert!(
+                    before.iter().any(|v| v.src == src && v.dst == dst),
+                    "verdict flipped clean but the removed edge {:?}→{:?} \
+                     was never flagged", src, dst
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A monitor with the incremental index attached and a plain monitor,
+    /// fed identical out-of-band tampering, remain indistinguishable
+    /// through the full detect–quarantine–recover cycle, and the index's
+    /// maintained violations and islands still equal a fresh recompute
+    /// once the dust settles.
+    #[test]
+    fn quarantine_leaves_indexed_and_plain_monitors_identical(
+        seed in 0u64..1 << 48,
+        tampers in 1usize..8,
+    ) {
+        let built = hierarchy(3, 2);
+
+        // Derive the planted edges on a scratch copy, so both monitors
+        // receive the *same* injection sequence through their fault port.
+        let mut scratch = built.graph.clone();
+        let mut rng = Prng::seed_from_u64(seed);
+        let planted = tamper_graph(&mut scratch, &built.assignment, tampers, &mut rng);
+
+        let mut plain = Monitor::new(
+            built.graph.clone(),
+            built.assignment.clone(),
+            Box::new(CombinedRestriction),
+        );
+        let index = SharedIndex::new(&built.graph, &built.assignment, &CombinedRestriction);
+        let mut indexed = Monitor::new(
+            built.graph,
+            built.assignment,
+            Box::new(CombinedRestriction),
+        );
+        indexed.attach_observer(index.observer());
+
+        for t in &planted {
+            plain.inject_edge(t.src, t.dst, t.rights).unwrap();
+            indexed.inject_edge(t.src, t.dst, t.rights).unwrap();
+        }
+
+        // Detection: both audits agree (the indexed one is served from
+        // the maintained set; debug builds cross-check it internally).
+        let expected = audit_graph(plain.graph(), plain.levels(), &CombinedRestriction);
+        prop_assert_eq!(&plain.audit_cycle(), &expected);
+        prop_assert_eq!(&indexed.audit_cycle(), &expected);
+        prop_assert_eq!(&index.violations(), &expected);
+        if planted.iter().any(|t| t.violating) {
+            prop_assert!(!expected.is_empty());
+        }
+
+        // Repair: identical strips, identical resulting graphs.
+        let repaired_plain = plain.quarantine();
+        let repaired_indexed = indexed.quarantine();
+        prop_assert_eq!(repaired_plain, repaired_indexed);
+        prop_assert_eq!(plain.graph(), indexed.graph());
+        prop_assert!(plain.audit().is_empty());
+        prop_assert!(indexed.audit().is_empty());
+
+        // The index tracked every repair: maintained state equals a
+        // from-scratch recompute on the repaired graph.
+        prop_assert!(index.audit_clean());
+        prop_assert_eq!(
+            index.violations(),
+            audit_graph(indexed.graph(), indexed.levels(), &CombinedRestriction)
+        );
+        prop_assert_eq!(
+            index.islands_canonical(indexed.graph()),
+            Islands::compute(indexed.graph()).canonical()
+        );
+    }
+}

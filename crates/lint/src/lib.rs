@@ -41,8 +41,9 @@ pub mod render;
 use std::collections::HashSet;
 
 use tg_analysis::FlowGraph;
-use tg_graph::{ProtectionGraph, SourceMap, Span, VertexId};
-use tg_hierarchy::{rw_levels, DerivedLevels, LevelAssignment};
+use tg_graph::{ProtectionGraph, Rights, SourceMap, Span, VertexId};
+use tg_hierarchy::{rw_levels, CombinedRestriction, DerivedLevels, LevelAssignment};
+use tg_inc::IncEngine;
 
 pub use tg_graph::diag::{Diagnostic, Fix, FixIt, LabeledSpan, Severity};
 
@@ -270,6 +271,42 @@ pub struct FixReport {
     /// Diagnostics still present after the fixpoint (never error-severity
     /// with an applicable fix).
     pub remaining: Vec<Diagnostic>,
+    /// Independent certification of the fix trail: the applied fixes,
+    /// replayed on an incremental engine seeded with the *pre-fix* graph,
+    /// drove the edge invariants (TG000–TG002) clean. `None` when no
+    /// policy was supplied (there are no edge invariants without one).
+    pub certified: Option<bool>,
+}
+
+/// Replays a fix trail on an [`IncEngine`] seeded with `graph` and
+/// returns the maintained edge-invariant verdict after the last fix.
+///
+/// This is the lint analogue of the monitor's quarantine cross-check:
+/// each strip costs one Corollary 5.7 recheck of the touched edge
+/// instead of the Corollary 5.6 whole-graph rescan per round that
+/// [`apply_fixes`] already pays, so the certificate is independent of
+/// the fixpoint loop's own re-lints.
+pub fn certify_edge_fixes(
+    graph: ProtectionGraph,
+    levels: &LevelAssignment,
+    fixes: &[FixIt],
+) -> bool {
+    let mut engine = IncEngine::new(graph, levels.clone(), Box::new(CombinedRestriction));
+    for fix in fixes {
+        match *fix {
+            FixIt::StripExplicit { src, dst, rights } => {
+                let _ = engine.remove_edge(src, dst, rights);
+            }
+            FixIt::StripImplicit { src, dst, rights } => {
+                let _ = engine.remove_implicit(src, dst, rights);
+            }
+            FixIt::QuarantineEdge { src, dst } => {
+                let _ = engine.remove_edge(src, dst, Rights::ALL);
+                let _ = engine.remove_implicit(src, dst, Rights::ALL);
+            }
+        }
+    }
+    engine.audit_clean()
 }
 
 /// Applies every error-severity fix-it and re-lints until a fixpoint:
@@ -283,9 +320,11 @@ pub fn apply_fixes(
     graph: &mut ProtectionGraph,
     levels: Option<&LevelAssignment>,
 ) -> FixReport {
+    let seed = levels.map(|_| graph.clone());
+    let mut trail: Vec<FixIt> = Vec::new();
     let mut applied = 0;
     let mut rounds = 0;
-    loop {
+    let remaining = loop {
         rounds += 1;
         let diags = registry.run(&LintContext::new(graph, levels, None));
         let mut seen = HashSet::new();
@@ -296,25 +335,28 @@ pub fn apply_fixes(
             .filter(|f| seen.insert(*f))
             .collect();
         if fixes.is_empty() {
-            return FixReport {
-                applied,
-                rounds,
-                remaining: diags,
-            };
+            break diags;
         }
         let mut progressed = false;
         for fix in fixes {
             let removed = fix.apply(graph).expect("lint fixes target live vertices");
             progressed |= removed;
             applied += usize::from(removed);
+            if removed {
+                trail.push(fix);
+            }
         }
         if !progressed {
-            return FixReport {
-                applied,
-                rounds,
-                remaining: diags,
-            };
+            break diags;
         }
+    };
+    let certified =
+        seed.map(|pre| certify_edge_fixes(pre, levels.expect("seed implies policy"), &trail));
+    FixReport {
+        applied,
+        rounds,
+        remaining,
+        certified,
     }
 }
 
@@ -368,6 +410,38 @@ mod tests {
             .remaining
             .iter()
             .all(|d| d.severity < Severity::Error));
+        // Without a policy there are no edge invariants to certify.
+        assert_eq!(report.certified, None);
         assert!(tg_hierarchy::secure_derived(&g).is_ok());
+    }
+
+    #[test]
+    fn fix_trail_is_certified_incrementally_against_a_policy() {
+        let mut g = ProtectionGraph::new();
+        let hi = g.add_subject("hi");
+        let lo = g.add_subject("lo");
+        let mut levels = LevelAssignment::linear(&["low", "high"]);
+        levels.assign(hi, 1).unwrap();
+        levels.assign(lo, 0).unwrap();
+        // A read-up edge: TG001, error severity, strip fix.
+        g.add_edge(lo, hi, Rights::R).unwrap();
+
+        // The replayed trail must land on the same clean verdict the
+        // fixpoint loop reports — certified independently, one Cor 5.7
+        // edge recheck per strip.
+        let registry = Registry::with_default_lints();
+        let report = apply_fixes(&registry, &mut g, Some(&levels));
+        assert!(report.applied >= 1);
+        assert_eq!(report.certified, Some(true));
+
+        // And a trail that fixes nothing on a dirty graph certifies dirty.
+        let mut dirty = ProtectionGraph::new();
+        let a = dirty.add_subject("a");
+        let b = dirty.add_subject("b");
+        dirty.add_edge(a, b, Rights::R).unwrap();
+        let mut pol = LevelAssignment::linear(&["low", "high"]);
+        pol.assign(a, 0).unwrap();
+        pol.assign(b, 1).unwrap();
+        assert!(!certify_edge_fixes(dirty, &pol, &[]));
     }
 }

@@ -5,7 +5,10 @@
 //! exposes its complexity class (the linear-time claims behind Theorem
 //! 2.3's decision procedure and Corollaries 5.6/5.7).
 
-use tg_graph::{ProtectionGraph, Rights, VertexId};
+use tg_graph::{ProtectionGraph, Right, Rights, VertexId};
+use tg_rules::Rule;
+
+use crate::prng::Prng;
 
 /// A take-chain: `s -t-> v1 -t-> … -t-> vn -r-> o`. `can_share(r, s, o)`
 /// is true via a terminal span of length `n + 1`.
@@ -85,11 +88,50 @@ pub fn hierarchy(levels: usize, per_level: usize) -> tg_hierarchy::structure::Bu
     built
 }
 
+/// One step of a mixed mutate-then-query workload (the access pattern a
+/// long-running monitor actually sees: rules interleaved with audits and
+/// authority questions, not a mutation phase followed by a query phase).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MixedOp {
+    /// Apply a (random, possibly ill-formed) rule through the monitor.
+    Apply(Box<Rule>),
+    /// Ask for the audit verdict.
+    Audit,
+    /// Ask `can_share(right, x, y)` (Theorem 2.3).
+    CanShare(Right, VertexId, VertexId),
+    /// Ask `can_know(x, y)` (Theorem 3.2).
+    CanKnow(VertexId, VertexId),
+    /// Ask whether two vertices share an island (paper §2).
+    SameIsland(VertexId, VertexId),
+}
+
+/// A deterministic mixed workload over `graph`: roughly half the steps
+/// mutate (random rules, as in [`gen::random_rule`](crate::gen::random_rule)),
+/// a fifth audit, and the rest query `can_share`/`can_know`/islands over
+/// random vertex pairs. Drive it through both an incremental engine and a
+/// from-scratch recompute to compare answers or cost.
+pub fn mixed_trace(graph: &ProtectionGraph, ops: usize, seed: u64) -> Vec<MixedOp> {
+    let mut rng = Prng::seed_from_u64(seed);
+    let n = graph.vertex_count().max(1);
+    let pick = |rng: &mut Prng| VertexId::from_index(rng.gen_range(0..n));
+    (0..ops)
+        .map(|_| match rng.gen_range(0..10) {
+            0..=4 => MixedOp::Apply(Box::new(crate::gen::random_rule(graph, &mut rng))),
+            5 | 6 => MixedOp::Audit,
+            7 => {
+                let right = Right::from_index(rng.gen_range(0..5) as u8).expect("named right");
+                MixedOp::CanShare(right, pick(&mut rng), pick(&mut rng))
+            }
+            8 => MixedOp::CanKnow(pick(&mut rng), pick(&mut rng)),
+            _ => MixedOp::SameIsland(pick(&mut rng), pick(&mut rng)),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use tg_analysis::{can_know_f, can_share};
-    use tg_graph::Right;
 
     #[test]
     fn take_chains_share_at_every_size() {
@@ -125,6 +167,24 @@ mod tests {
             assert!(can_know_f(&g, x, far), "n = {n}");
             assert!(!can_know_f(&g, far, x));
         }
+    }
+
+    #[test]
+    fn mixed_traces_are_deterministic_and_mixed() {
+        let built = hierarchy(3, 2);
+        let trace = mixed_trace(&built.graph, 200, 11);
+        assert_eq!(trace, mixed_trace(&built.graph, 200, 11));
+        assert_eq!(trace.len(), 200);
+        let mutations = trace
+            .iter()
+            .filter(|op| matches!(op, MixedOp::Apply(_)))
+            .count();
+        let audits = trace
+            .iter()
+            .filter(|op| matches!(op, MixedOp::Audit))
+            .count();
+        let queries = trace.len() - mutations - audits;
+        assert!(mutations > 0 && audits > 0 && queries > 0);
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //! * [`lint`] — a multi-pass static analyzer: paper-grounded lints over a
 //!   parsed graph and optional policy, with spanned diagnostics, fix-its,
 //!   and text/JSON/SARIF rendering.
+//! * [`inc`] — the incremental audit and query engine: change-logged
+//!   mutation, epoch union-find islands with transactional rollback, and
+//!   memoized `can_share`/`can_know` with region-stamped invalidation,
+//!   attachable to the reference monitor as an observer.
 //! * [`blp`] — a Bell–LaPadula comparator used to validate the paper's §6
 //!   correspondence claim.
 //! * [`sim`] — workload generators and the scenario library reconstructing
@@ -46,6 +50,7 @@ pub use tg_analysis as analysis;
 pub use tg_blp as blp;
 pub use tg_graph as graph;
 pub use tg_hierarchy as hierarchy;
+pub use tg_inc as inc;
 pub use tg_lint as lint;
 pub use tg_paths as paths;
 pub use tg_rules as rules;
