@@ -1,0 +1,168 @@
+//! Instrumentation overhead on the `mixed_trace` workload.
+//!
+//! The `tg-obs` facade promises a near-free disabled path (one relaxed
+//! atomic load per span/counter site) and a cheap metrics path (relaxed
+//! `fetch_add`s into fixed global tables). This bench holds it to that:
+//! the full incremental `mixed_trace` run over the ≥10,000-edge
+//! hierarchy is timed with recording off, with metrics on, and with
+//! full event capture on, and the metrics-on run must stay within 10%
+//! of the disabled run — the budget ISSUE'd for production monitors
+//! that keep `--stats` on permanently. Results go to `BENCH_obs.json`
+//! at the workspace root; CI runs the smoke mode (`BENCH_OBS_SMOKE=1`,
+//! same graph, shorter trace).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tg_bench::time_ns;
+use tg_hierarchy::{CombinedRestriction, Monitor};
+use tg_inc::SharedIndex;
+use tg_obs::{Counter, Session, SpanKind};
+use tg_sim::workload::{hierarchy, mixed_trace, MixedOp};
+
+fn smoke() -> bool {
+    std::env::var_os("BENCH_OBS_SMOKE").is_some()
+}
+
+struct Workload {
+    built: tg_hierarchy::structure::BuiltHierarchy,
+    trace: Vec<MixedOp>,
+}
+
+fn workload() -> Workload {
+    let built = hierarchy(100, 50);
+    assert!(
+        built.graph.edge_count() >= 10_000,
+        "the sim workload must have at least 10k edges, got {}",
+        built.graph.edge_count()
+    );
+    let ops = if smoke() { 120 } else { 400 };
+    let trace = mixed_trace(&built.graph, ops, 0xBE7C);
+    Workload { built, trace }
+}
+
+/// The instrumented hot path under test: fresh index + monitor, replay
+/// the trace, answer every audit/query from the maintained state.
+fn run_incremental(w: &Workload) -> usize {
+    let index = SharedIndex::new(&w.built.graph, &w.built.assignment, &CombinedRestriction);
+    let mut monitor = Monitor::new(
+        w.built.graph.clone(),
+        w.built.assignment.clone(),
+        Box::new(CombinedRestriction),
+    );
+    monitor.attach_observer(index.observer());
+    let mut trues = 0usize;
+    for op in &w.trace {
+        match op {
+            MixedOp::Apply(rule) => {
+                let _ = monitor.try_apply(rule);
+            }
+            MixedOp::Audit => trues += usize::from(index.audit_clean()),
+            MixedOp::CanShare(right, x, y) => {
+                trues += usize::from(index.can_share(monitor.graph(), *right, *x, *y));
+            }
+            MixedOp::CanKnow(x, y) => {
+                trues += usize::from(index.can_know(monitor.graph(), *x, *y));
+            }
+            MixedOp::SameIsland(a, b) => {
+                trues += usize::from(index.same_island(monitor.graph(), *a, *b));
+            }
+        }
+    }
+    trues
+}
+
+fn bench_obs(c: &mut Criterion) {
+    let w = workload();
+
+    // Recording must actually see the workload before its cost is worth
+    // measuring: nonzero Corollary 5.7 rechecks, Theorem 2.3/3.2 memo
+    // traffic and monitor spans.
+    {
+        let session = Session::start(true, false);
+        run_incremental(&w);
+        let snap = session.snapshot();
+        assert!(snap.counter(Counter::IncEdgeChecks) > 0, "edge rechecks");
+        assert!(snap.counter(Counter::IncMemoMisses) > 0, "memo traffic");
+        assert!(snap.span(SpanKind::MonitorApply).count > 0, "apply spans");
+        assert!(snap.span(SpanKind::IncBuild).count > 0, "index build span");
+    }
+
+    // Min-of-rounds, sides interleaved, so shared noise (frequency
+    // scaling, a background compile) hits every configuration alike.
+    let iters = if smoke() { 2 } else { 4 };
+    let rounds = if smoke() { 3 } else { 5 };
+    let (mut off_ns, mut metrics_ns, mut events_ns) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..rounds {
+        off_ns = off_ns.min(time_ns(iters, || {
+            run_incremental(&w);
+        }));
+        {
+            let _session = Session::start(true, false);
+            metrics_ns = metrics_ns.min(time_ns(iters, || {
+                run_incremental(&w);
+            }));
+        }
+        {
+            let session = Session::start(true, true);
+            events_ns = events_ns.min(time_ns(iters, || {
+                run_incremental(&w);
+            }));
+            let _ = session.drain_events();
+        }
+    }
+    let metrics_overhead = metrics_ns / off_ns;
+    let events_overhead = events_ns / off_ns;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"bench_obs\",\n",
+            "  \"smoke\": {},\n",
+            "  \"vertices\": {},\n  \"edges\": {},\n  \"ops\": {},\n",
+            "  \"disabled_ns\": {:.0},\n",
+            "  \"metrics_ns\": {:.0},\n  \"metrics_overhead\": {:.4},\n",
+            "  \"events_ns\": {:.0},\n  \"events_overhead\": {:.4},\n",
+            "  \"budget\": 1.10\n",
+            "}}\n"
+        ),
+        smoke(),
+        w.built.graph.vertex_count(),
+        w.built.graph.edge_count(),
+        w.trace.len(),
+        off_ns,
+        metrics_ns,
+        metrics_overhead,
+        events_ns,
+        events_overhead,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    std::fs::write(path, &json).expect("write BENCH_obs.json");
+    println!("bench_obs summary ({path}):\n{json}");
+
+    assert!(
+        metrics_overhead <= 1.10,
+        "metrics recording costs {:.1}% on mixed_trace — over the 10% budget \
+         ({metrics_ns:.0} ns vs {off_ns:.0} ns disabled)",
+        (metrics_overhead - 1.0) * 100.0
+    );
+
+    // Criterion display of the same comparison.
+    let mut group = c.benchmark_group("obs/mixed_10k_edges");
+    group.bench_function("disabled", |b| {
+        b.iter(|| run_incremental(criterion::black_box(&w)))
+    });
+    group.bench_function("metrics_on", |b| {
+        let _session = Session::start(true, false);
+        b.iter(|| run_incremental(criterion::black_box(&w)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_obs
+}
+criterion_main!(benches);

@@ -14,8 +14,18 @@
 //! tgq replay <graph> <policy> <journal>
 //! tgq lint <graph> [<policy>] [--format text|json|sarif] [--fix] [--deny <code>]
 //! tgq watch <graph> <policy> <trace>   incremental per-rule audit of a trace
+//! tgq trace <graph> <policy> <trace> [--out <file>] [--format chrome|jsonl]
+//! tgq stats                            the span/counter catalog with paper refs
 //! tgq bench [--levels N] [--per-level N] [--ops N] [--seed N] [--json <file>]
 //! ```
+//!
+//! Every subcommand also accepts the global `--stats` flag, which runs
+//! it inside a `tg-obs` recording session and appends the aggregate
+//! span/counter table (`tgq stats` lists what each row measures).
+//! `tgq trace` replays a rule trace through the journaled monitor with
+//! an attached incremental index and emits the captured event stream as
+//! Chrome `trace_event` JSON (load it in `chrome://tracing` or
+//! <https://ui.perfetto.dev>) or JSONL.
 //!
 //! Exit codes: `0` success (for `lint`: no diagnostics above info), `1`
 //! analysis failure or negative verdict (for `lint`: warnings), `2` usage
@@ -75,55 +85,170 @@ impl core::fmt::Display for CliError {
     }
 }
 
-/// Per-command usage strings (also printed on bad arity).
-const USAGES: &[(&str, &str)] = &[
-    ("show", "tgq show <file>"),
-    ("dot", "tgq dot <file>"),
-    ("islands", "tgq islands <file>"),
-    ("levels", "tgq levels <file>"),
-    ("secure", "tgq secure <file>"),
-    ("secure-policy", "tgq secure-policy <graph-file> <policy-file>"),
-    ("audit", "tgq audit <graph-file> <policy-file>"),
-    (
-        "explain",
-        "tgq explain <graph> <policy> take|grant <actor> <via> <target> <right>",
-    ),
-    ("can-share", "tgq can-share <file> <right> <x> <y> [--witness]"),
-    ("can-know", "tgq can-know <file> <x> <y> [--witness]"),
-    ("can-know-f", "tgq can-know-f <file> <x> <y>"),
-    ("can-steal", "tgq can-steal <file> <right> <x> <y> [--witness]"),
-    ("conspirators", "tgq conspirators <file> <right> <x> <y>"),
-    ("figure", "tgq figure <2.1|2.2|3.1|4.1|4.2|5.1|6.1>"),
-    (
-        "monitor",
-        "tgq monitor <graph> <policy> <trace> [--journal <file>] [--batch]",
-    ),
-    ("replay", "tgq replay <graph> <policy> <journal>"),
-    (
-        "lint",
-        "tgq lint <graph> [<policy>] [--format text|json|sarif] [--fix] [--deny <code|warn|info|all>]",
-    ),
-    ("watch", "tgq watch <graph> <policy> <trace>"),
-    (
-        "bench",
-        "tgq bench [--levels <n>] [--per-level <n>] [--ops <n>] [--seed <n>] [--json <file>]",
-    ),
+/// One `tgq` subcommand: its positional signature and every optional
+/// flag it accepts. Usage lines are **generated** from this table
+/// ([`usage_line`]), so a flag added to the parser cannot silently go
+/// missing from the help text — the hand-written strings this replaces
+/// had drifted from what `bench` and `watch` actually accepted.
+pub struct CommandSpec {
+    /// Subcommand name as typed.
+    pub name: &'static str,
+    /// Positional arguments, rendered verbatim (empty for none).
+    pub args: &'static str,
+    /// Optional flags with their value shapes, e.g. `"--journal <file>"`;
+    /// each renders bracketed after the positionals.
+    pub flags: &'static [&'static str],
+}
+
+/// Every subcommand, in help order.
+pub const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "show",
+        args: "<file>",
+        flags: &[],
+    },
+    CommandSpec {
+        name: "dot",
+        args: "<file>",
+        flags: &[],
+    },
+    CommandSpec {
+        name: "islands",
+        args: "<file>",
+        flags: &[],
+    },
+    CommandSpec {
+        name: "levels",
+        args: "<file>",
+        flags: &[],
+    },
+    CommandSpec {
+        name: "secure",
+        args: "<file>",
+        flags: &[],
+    },
+    CommandSpec {
+        name: "secure-policy",
+        args: "<graph-file> <policy-file>",
+        flags: &[],
+    },
+    CommandSpec {
+        name: "audit",
+        args: "<graph-file> <policy-file>",
+        flags: &[],
+    },
+    CommandSpec {
+        name: "explain",
+        args: "<graph> <policy> take|grant <actor> <via> <target> <right>",
+        flags: &[],
+    },
+    CommandSpec {
+        name: "can-share",
+        args: "<file> <right> <x> <y>",
+        flags: &["--witness"],
+    },
+    CommandSpec {
+        name: "can-know",
+        args: "<file> <x> <y>",
+        flags: &["--witness"],
+    },
+    CommandSpec {
+        name: "can-know-f",
+        args: "<file> <x> <y>",
+        flags: &[],
+    },
+    CommandSpec {
+        name: "can-steal",
+        args: "<file> <right> <x> <y>",
+        flags: &["--witness"],
+    },
+    CommandSpec {
+        name: "conspirators",
+        args: "<file> <right> <x> <y>",
+        flags: &[],
+    },
+    CommandSpec {
+        name: "figure",
+        args: "<2.1|2.2|3.1|4.1|4.2|5.1|6.1>",
+        flags: &[],
+    },
+    CommandSpec {
+        name: "monitor",
+        args: "<graph> <policy> <trace>",
+        flags: &["--journal <file>", "--batch"],
+    },
+    CommandSpec {
+        name: "replay",
+        args: "<graph> <policy> <journal>",
+        flags: &[],
+    },
+    CommandSpec {
+        name: "lint",
+        args: "<graph> [<policy>]",
+        flags: &[
+            "--format text|json|sarif",
+            "--fix",
+            "--deny <code|warn|info|all>",
+        ],
+    },
+    CommandSpec {
+        name: "watch",
+        args: "<graph> <policy> <trace>",
+        flags: &[],
+    },
+    CommandSpec {
+        name: "trace",
+        args: "<graph> <policy> <trace>",
+        flags: &["--out <file>", "--format chrome|jsonl"],
+    },
+    CommandSpec {
+        name: "stats",
+        args: "",
+        flags: &[],
+    },
+    CommandSpec {
+        name: "bench",
+        args: "",
+        flags: &[
+            "--levels <n>",
+            "--per-level <n>",
+            "--ops <n>",
+            "--seed <n>",
+            "--json <file>",
+        ],
+    },
 ];
+
+/// The generated usage line for `command`: positionals, then each flag
+/// bracketed, then the global `[--stats]` every command accepts (except
+/// `stats` itself, which *is* the metrics surface).
+pub fn usage_line(command: &str) -> String {
+    let spec = COMMANDS
+        .iter()
+        .find(|c| c.name == command)
+        .expect("every dispatched command has a table entry");
+    let mut line = format!("tgq {}", spec.name);
+    if !spec.args.is_empty() {
+        let _ = write!(line, " {}", spec.args);
+    }
+    for flag in spec.flags {
+        let _ = write!(line, " [{flag}]");
+    }
+    if spec.name != "stats" {
+        line.push_str(" [--stats]");
+    }
+    line
+}
 
 /// The usage error for one command.
 fn usage_of(command: &str) -> CliError {
-    let line = USAGES
-        .iter()
-        .find(|(c, _)| *c == command)
-        .map(|(_, u)| *u)
-        .expect("every dispatched command has a usage line");
-    CliError::Usage(format!("usage: {line}"))
+    CliError::Usage(format!("usage: {}", usage_line(command)))
 }
 
 fn usage() -> String {
     let mut out = String::from("usage: tgq <command> ...\n");
-    for (_, line) in USAGES {
-        let _ = writeln!(out, "  {line}");
+    for spec in COMMANDS {
+        let _ = writeln!(out, "  {}", usage_line(spec.name));
     }
     out.push_str("run with a command name for details");
     out
@@ -161,8 +286,41 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
 /// `Ok(code)` is the process exit status a successful dispatch asks for
 /// (nonzero for `lint` findings); [`CliError`] distinguishes usage errors
 /// (exit `2`) from input/analysis failures (exit `1`).
+///
+/// The global `--stats` flag (accepted by every subcommand, stripped
+/// here before dispatch) wraps the run in a [`tg_obs::Session`] and
+/// appends the aggregate span/counter table to `out`.
 pub fn run_full(args: &[String], out: &mut String) -> Result<u8, CliError> {
-    let mut iter = args.iter().map(String::as_str);
+    let args: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (stats, args) = split_flag(&args, "--stats");
+    // `trace` needs event capture; one session serves both it and
+    // `--stats` (tg_obs sessions are exclusive, so nesting would
+    // deadlock).
+    let capture_events = args.first() == Some(&"trace");
+    let session = if stats || capture_events {
+        Some(tg_obs::Session::start(true, capture_events))
+    } else {
+        None
+    };
+    let result = {
+        let _span = tg_obs::span(tg_obs::SpanKind::CliCommand);
+        dispatch(&args, out, session.as_ref())
+    };
+    if stats {
+        if let Some(session) = &session {
+            let _ = writeln!(out);
+            out.push_str(&session.snapshot().render_table());
+        }
+    }
+    result
+}
+
+fn dispatch(
+    args: &[&str],
+    out: &mut String,
+    session: Option<&tg_obs::Session>,
+) -> Result<u8, CliError> {
+    let mut iter = args.iter().copied();
     let command = iter.next().ok_or_else(|| CliError::Usage(usage()))?;
     let rest: Vec<&str> = iter.collect();
     match command {
@@ -713,6 +871,93 @@ pub fn run_full(args: &[String], out: &mut String) -> Result<u8, CliError> {
                 istats.edge_checks, istats.island_unions, istats.island_rebuilds
             );
             Ok(if clean { 0 } else { 1 })
+        }
+        "trace" => {
+            let (out_path, rest) = split_opt(&rest, "--out")?;
+            let (format, rest) = split_opt(&rest, "--format")?;
+            let format = format.unwrap_or("chrome");
+            if !matches!(format, "chrome" | "jsonl") {
+                return Err(CliError::Usage(format!(
+                    "unknown --format {format:?} (chrome|jsonl)"
+                )));
+            }
+            let [graph_path, policy_path, trace_path] = rest.as_slice() else {
+                return Err(usage_of(command));
+            };
+            let g = load(graph_path)?;
+            let policy_text = std::fs::read_to_string(policy_path)
+                .map_err(|e| format!("cannot read {policy_path}: {e}"))?;
+            let levels =
+                parse_policy(&policy_text, &g).map_err(|e| format!("{policy_path}: {e}"))?;
+            let trace_text = std::fs::read_to_string(trace_path)
+                .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+            let trace = tg_rules::codec::decode_derivation(&trace_text)
+                .map_err(|e| format!("{trace_path}: {e}"))?;
+            let session = session.expect("run_full opens a session for trace");
+            // The instrumented pipeline: journaled monitor, incremental
+            // index observing every committed delta, one audit at the
+            // end — the same shape as `watch`, with event capture on.
+            let index = tg_inc::SharedIndex::new(&g, &levels, &CombinedRestriction);
+            let mut monitor = tg_hierarchy::Monitor::new(g, levels, Box::new(CombinedRestriction));
+            monitor.enable_journal();
+            monitor.attach_observer(index.observer());
+            let mut refused = 0usize;
+            for rule in &trace.steps {
+                if monitor.try_apply(rule).is_err() {
+                    refused += 1;
+                }
+            }
+            let violations = monitor.audit();
+            let events = session.drain_events();
+            let rendered = match format {
+                "jsonl" => tg_obs::render(&events, &mut tg_obs::JsonlSink::new()),
+                _ => tg_obs::render(&events, &mut tg_obs::ChromeSink::new()),
+            };
+            match out_path {
+                Some(path) => {
+                    std::fs::write(path, &rendered)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    let _ = writeln!(
+                        out,
+                        "{} events written to {path} ({} rules applied, {} refused, \
+                         {} violations, {} events dropped)",
+                        events.len(),
+                        trace.steps.len() - refused,
+                        refused,
+                        violations.len(),
+                        session.dropped_events()
+                    );
+                }
+                None => out.push_str(&rendered),
+            }
+            Ok(0)
+        }
+        "stats" => {
+            if !rest.is_empty() {
+                return Err(usage_of(command));
+            }
+            let _ = writeln!(out, "spans (tgq --stats rows; stable id, name, measures):");
+            for kind in tg_obs::SpanKind::ALL {
+                let _ = writeln!(
+                    out,
+                    "  {:>2}  {:<24} {}",
+                    kind.id(),
+                    kind.name(),
+                    kind.doc()
+                );
+            }
+            let _ = writeln!(out);
+            let _ = writeln!(out, "counters:");
+            for counter in tg_obs::Counter::ALL {
+                let _ = writeln!(
+                    out,
+                    "  {:>2}  {:<24} {}",
+                    counter.id(),
+                    counter.name(),
+                    counter.doc()
+                );
+            }
+            Ok(0)
         }
         "bench" => {
             let (json_out, rest) = split_opt(&rest, "--json")?;

@@ -266,12 +266,12 @@ fn usage_errors_carry_the_per_command_usage_string() {
         }
         other => panic!("expected usage error, got {other:?}"),
     }
-    // Bad arity: exactly that command's usage line.
+    // Bad arity: exactly that command's generated usage line.
     match run_full(&["can-share"]) {
         Err(tg_cli::CliError::Usage(msg)) => {
             assert_eq!(
                 msg,
-                "usage: tgq can-share <file> <right> <x> <y> [--witness]"
+                "usage: tgq can-share <file> <right> <x> <y> [--witness] [--stats]"
             )
         }
         other => panic!("expected usage error, got {other:?}"),
@@ -290,6 +290,138 @@ fn usage_errors_carry_the_per_command_usage_string() {
         Err(tg_cli::CliError::Fail(msg)) => assert!(msg.contains("cannot read")),
         other => panic!("expected failure, got {other:?}"),
     }
+}
+
+#[test]
+fn usage_lines_mention_every_accepted_flag() {
+    // Hand-maintained mirror of the flags each subcommand's parser
+    // actually pulls out (the split_flag/split_opt/split_multi calls in
+    // dispatch). Usage lines are generated from the COMMANDS table;
+    // comparing against this independent list catches a flag added to
+    // the parser but forgotten in the table — the drift that left
+    // `bench` and `watch` flags undocumented before the table existed.
+    let accepted: &[(&str, &[&str])] = &[
+        ("can-share", &["--witness"]),
+        ("can-know", &["--witness"]),
+        ("can-steal", &["--witness"]),
+        ("monitor", &["--journal", "--batch"]),
+        ("lint", &["--format", "--fix", "--deny"]),
+        ("trace", &["--out", "--format"]),
+        (
+            "bench",
+            &["--levels", "--per-level", "--ops", "--seed", "--json"],
+        ),
+    ];
+    let mut seen = Vec::new();
+    for spec in tg_cli::COMMANDS {
+        seen.push(spec.name);
+        let line = tg_cli::usage_line(spec.name);
+        let flags = accepted
+            .iter()
+            .find(|(name, _)| *name == spec.name)
+            .map_or(&[][..], |(_, flags)| flags);
+        for flag in flags {
+            assert!(
+                line.contains(flag),
+                "usage for {} omits {flag}: {line}",
+                spec.name
+            );
+        }
+        // Every command takes the global --stats (except stats itself).
+        if spec.name != "stats" {
+            assert!(line.contains("[--stats]"), "{}: {line}", spec.name);
+        }
+    }
+    // Every parser entry above corresponds to a real subcommand.
+    for (name, _) in accepted {
+        assert!(seen.contains(name), "{name} is not in COMMANDS");
+    }
+}
+
+#[test]
+fn stats_flag_appends_the_metrics_table() {
+    let path = temp_file("stats-flag.tg", FIG61);
+    let (code, out) = run_full(&["show", &path, "--stats"]).unwrap();
+    assert_eq!(code, 0);
+    assert!(out.contains("3 vertices"), "command output first: {out}");
+    assert!(out.contains("cli.command"), "span table follows: {out}");
+    assert!(out.contains("counter"), "counter table follows: {out}");
+}
+
+#[test]
+fn stats_subcommand_prints_the_catalog() {
+    let (code, out) = run_full(&["stats"]).unwrap();
+    assert_eq!(code, 0);
+    assert!(out.contains("monitor.apply"));
+    assert!(out.contains("inc.memo_hits"));
+    assert!(out.contains("Cor 5.6"), "docs cite the paper: {out}");
+    assert!(out.contains("Thm 5.2"), "docs cite the paper: {out}");
+    // Arguments are a usage error.
+    assert!(matches!(
+        run_full(&["stats", "extra"]),
+        Err(tg_cli::CliError::Usage(_))
+    ));
+}
+
+#[test]
+fn trace_emits_chrome_and_jsonl_renderings() {
+    use tg_graph::Rights;
+    let graph = temp_file("trace-cmd.tg", HIER_GRAPH);
+    let policy = temp_file("trace-cmd.pol", HIER_POLICY);
+    let trace = temp_file(
+        "trace-cmd.trace",
+        &format!(
+            "{}\n{}\n",
+            take_line(1, 2, 0, Rights::W),
+            take_line(1, 2, 0, Rights::R)
+        ),
+    );
+    let (code, out) = run_full(&["trace", &graph, &policy, &trace]).unwrap();
+    assert_eq!(code, 0);
+    assert!(out.starts_with("{\"traceEvents\":["), "got: {out}");
+    assert!(out.contains("\"monitor.apply\""), "got: {out}");
+    assert!(out.contains("\"ph\":\"C\""), "counter events too: {out}");
+
+    let (_, out) = run_full(&["trace", &graph, &policy, &trace, "--format", "jsonl"]).unwrap();
+    assert!(out.lines().count() > 2, "one event per line: {out}");
+    assert!(out.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+
+    // --out writes the document and prints a summary instead.
+    let out_path = temp_file("trace-cmd.json", "");
+    let (_, out) = run_full(&["trace", &graph, &policy, &trace, "--out", &out_path]).unwrap();
+    assert!(out.contains("events written to"), "got: {out}");
+    assert!(out.contains("1 rules applied, 1 refused"), "got: {out}");
+    let written = std::fs::read_to_string(&out_path).unwrap();
+    assert!(written.starts_with("{\"traceEvents\":["));
+
+    // Unknown formats and bad arity are usage errors.
+    assert!(matches!(
+        run_full(&["trace", &graph, &policy, &trace, "--format", "xml"]),
+        Err(tg_cli::CliError::Usage(_))
+    ));
+    assert!(matches!(
+        run_full(&["trace", &graph]),
+        Err(tg_cli::CliError::Usage(_))
+    ));
+}
+
+#[test]
+fn bench_stats_prints_nonzero_incremental_counters() {
+    let (code, out) = run_full(&[
+        "bench",
+        "--levels",
+        "6",
+        "--per-level",
+        "4",
+        "--ops",
+        "60",
+        "--stats",
+    ])
+    .unwrap();
+    assert_eq!(code, 0);
+    assert!(out.contains("inc.edge_checks"), "got: {out}");
+    assert!(out.contains("inc.memo_hits"), "got: {out}");
+    assert!(out.contains("inc.memo_misses"), "got: {out}");
 }
 
 #[test]

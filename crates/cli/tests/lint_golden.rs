@@ -2,7 +2,11 @@
 //! paper's Figures 4.1, 4.2 (secure) and 5.1 (insecure), pinned byte-for-
 //! byte. Regenerate with `UPDATE_GOLDEN=1 cargo test -p tg-cli`.
 
+mod common;
+
 use std::path::Path;
+
+use common::validate_json;
 
 fn fixture(name: &str) -> String {
     format!(
@@ -92,148 +96,4 @@ fn fig_5_1_reports_the_leak_in_all_formats() {
         "span points at the edge line"
     );
     assert!(text.contains("error[TG002]"), "write-down is diagnosed");
-}
-
-// ------------------------------------------------------- JSON validator --
-//
-// A minimal RFC 8259 syntax checker (the workspace has no serde): enough
-// to guarantee the hand-rolled emitters stay well-formed.
-
-fn validate_json(s: &str) -> Result<(), String> {
-    let b: Vec<char> = s.chars().collect();
-    let mut i = 0usize;
-    skip_ws(&b, &mut i);
-    value(&b, &mut i)?;
-    skip_ws(&b, &mut i);
-    if i != b.len() {
-        return Err(format!("trailing data at char {i}"));
-    }
-    Ok(())
-}
-
-fn skip_ws(b: &[char], i: &mut usize) {
-    while *i < b.len() && matches!(b[*i], ' ' | '\t' | '\n' | '\r') {
-        *i += 1;
-    }
-}
-
-fn value(b: &[char], i: &mut usize) -> Result<(), String> {
-    match b.get(*i) {
-        Some('{') => object(b, i),
-        Some('[') => array(b, i),
-        Some('"') => string(b, i),
-        Some('t') => literal(b, i, "true"),
-        Some('f') => literal(b, i, "false"),
-        Some('n') => literal(b, i, "null"),
-        Some(c) if c.is_ascii_digit() || *c == '-' => number(b, i),
-        other => Err(format!("unexpected {other:?} at char {i}")),
-    }
-}
-
-fn literal(b: &[char], i: &mut usize, lit: &str) -> Result<(), String> {
-    for c in lit.chars() {
-        if b.get(*i) != Some(&c) {
-            return Err(format!("bad literal at char {i}"));
-        }
-        *i += 1;
-    }
-    Ok(())
-}
-
-fn number(b: &[char], i: &mut usize) -> Result<(), String> {
-    if b.get(*i) == Some(&'-') {
-        *i += 1;
-    }
-    let start = *i;
-    while *i < b.len() && (b[*i].is_ascii_digit() || matches!(b[*i], '.' | 'e' | 'E' | '+' | '-')) {
-        *i += 1;
-    }
-    if *i == start {
-        return Err(format!("empty number at char {i}"));
-    }
-    Ok(())
-}
-
-fn string(b: &[char], i: &mut usize) -> Result<(), String> {
-    *i += 1; // opening quote
-    while let Some(&c) = b.get(*i) {
-        match c {
-            '"' => {
-                *i += 1;
-                return Ok(());
-            }
-            '\\' => {
-                *i += 1;
-                match b.get(*i) {
-                    Some('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') => *i += 1,
-                    Some('u') => {
-                        for k in 1..=4 {
-                            if !b.get(*i + k).is_some_and(|c| c.is_ascii_hexdigit()) {
-                                return Err(format!("bad \\u escape at char {i}"));
-                            }
-                        }
-                        *i += 5;
-                    }
-                    other => return Err(format!("bad escape {other:?} at char {i}")),
-                }
-            }
-            c if (c as u32) < 0x20 => return Err(format!("raw control char at {i}")),
-            _ => *i += 1,
-        }
-    }
-    Err("unterminated string".to_string())
-}
-
-fn object(b: &[char], i: &mut usize) -> Result<(), String> {
-    *i += 1;
-    skip_ws(b, i);
-    if b.get(*i) == Some(&'}') {
-        *i += 1;
-        return Ok(());
-    }
-    loop {
-        skip_ws(b, i);
-        if b.get(*i) != Some(&'"') {
-            return Err(format!("expected key at char {i}"));
-        }
-        string(b, i)?;
-        skip_ws(b, i);
-        if b.get(*i) != Some(&':') {
-            return Err(format!("expected ':' at char {i}"));
-        }
-        *i += 1;
-        skip_ws(b, i);
-        value(b, i)?;
-        skip_ws(b, i);
-        match b.get(*i) {
-            Some(',') => *i += 1,
-            Some('}') => {
-                *i += 1;
-                return Ok(());
-            }
-            other => return Err(format!("expected ',' or '}}', got {other:?} at char {i}")),
-        }
-    }
-}
-
-fn array(b: &[char], i: &mut usize) -> Result<(), String> {
-    *i += 1;
-    skip_ws(b, i);
-    if b.get(*i) == Some(&']') {
-        *i += 1;
-        return Ok(());
-    }
-    loop {
-        skip_ws(b, i);
-        value(b, i)?;
-        skip_ws(b, i);
-        match b.get(*i) {
-            Some(',') => *i += 1,
-            Some(']') => {
-                *i += 1;
-                return Ok(());
-            }
-            other => return Err(format!("expected ',' or ']', got {other:?} at char {i}")),
-        }
-    }
 }

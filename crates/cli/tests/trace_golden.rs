@@ -1,0 +1,118 @@
+//! Golden-file test for the Chrome `trace_event` JSON that `tgq trace`
+//! emits: the event sequence over a fixed rule trace against Figure 5.1
+//! is deterministic, so everything except the wall-clock `ts`/`dur`
+//! numbers (normalized to `0.000` before comparison) is pinned
+//! byte-for-byte. Regenerate with `UPDATE_GOLDEN=1 cargo test -p tg-cli`.
+
+mod common;
+
+use std::path::Path;
+
+use common::validate_json;
+
+fn fixture(name: &str) -> String {
+    format!(
+        "{}/../../examples/graphs/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Replaces every `"ts":`/`"dur":` value with `0.000`: the event
+/// *sequence* is deterministic, the timings are not.
+fn normalize_times(json: &str) -> String {
+    let bytes = json.as_bytes();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let key = ["\"ts\":", "\"dur\":"]
+            .into_iter()
+            .find(|k| json[i..].starts_with(k));
+        if let Some(key) = key {
+            out.push_str(key);
+            i += key.len();
+            while i < bytes.len() && matches!(bytes[i], b'0'..=b'9' | b'.') {
+                i += 1;
+            }
+            out.push_str("0.000");
+        } else {
+            out.push(bytes[i] as char); // the renderer emits ASCII only
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Figure 5.1 is x(0) -t-> s(1) -w,e-> y(2); both takes go through the
+/// monitor, whatever their verdicts, producing a fixed event stream.
+fn rule_trace() -> String {
+    use tg_graph::{Rights, VertexId};
+    let take = |rights| {
+        tg_rules::codec::encode_rule(&tg_rules::Rule::DeJure(tg_rules::DeJureRule::Take {
+            actor: VertexId::from_index(0),
+            via: VertexId::from_index(1),
+            target: VertexId::from_index(2),
+            rights,
+        }))
+    };
+    format!("{}\n{}\n", take(Rights::W), take(Rights::E))
+}
+
+#[test]
+fn trace_chrome_json_is_stable_and_valid() {
+    let graph = fixture("fig_5_1.tg");
+    let policy = fixture("fig_5_1.pol");
+    let trace_path = std::env::temp_dir().join(format!(
+        "tgq-test-{}-trace-golden.trace",
+        std::process::id()
+    ));
+    std::fs::write(&trace_path, rule_trace()).expect("write trace");
+
+    let args: Vec<String> = ["trace", &graph, &policy, &trace_path.to_string_lossy()]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut out = String::new();
+    let code = tg_cli::run_full(&args, &mut out).expect("trace dispatches");
+    assert_eq!(code, 0);
+
+    // Chrome-loadable: syntactically valid RFC 8259 with the trace_event
+    // envelope and both event phases.
+    validate_json(&out).unwrap_or_else(|e| panic!("trace output is not valid JSON: {e}\n{out}"));
+    assert!(out.starts_with("{\"traceEvents\":["));
+    assert!(out.contains("\"ph\":\"X\""), "complete events: {out}");
+    assert!(out.contains("\"ph\":\"C\""), "counter events: {out}");
+
+    let actual = normalize_times(&out);
+    let path = golden_path("trace_fig_5_1.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nregenerate with UPDATE_GOLDEN=1 cargo test -p tg-cli",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "golden mismatch; bless with UPDATE_GOLDEN=1 cargo test -p tg-cli"
+    );
+}
+
+#[test]
+fn normalization_only_touches_timings() {
+    let input = "{\"name\":\"x\",\"ts\":12.345,\"dur\":6.789,\"args\":{\"total\":42}}";
+    let normalized = normalize_times(input);
+    assert_eq!(
+        normalized,
+        "{\"name\":\"x\",\"ts\":0.000,\"dur\":0.000,\"args\":{\"total\":42}}"
+    );
+}

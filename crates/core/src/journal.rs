@@ -30,7 +30,7 @@
 //! ```
 //!
 //! Rules use the canonical text codec from
-//! [`tg_rules::codec`](tg_rules::codec).
+//! [`tg_rules::codec`].
 //!
 //! # Failure semantics
 //!
@@ -441,6 +441,7 @@ pub fn recover(
     restriction: Box<dyn Restriction>,
     journal_bytes: &[u8],
 ) -> Result<(Monitor, Recovery), JournalError> {
+    let _span = tg_obs::span(tg_obs::SpanKind::JournalRecover);
     let parsed = parse_journal(journal_bytes)?;
     let mut monitor = Monitor::new(graph, levels, restriction);
     monitor.enable_journal();

@@ -25,6 +25,16 @@
 //! * [`declass`] — the declassification analysis of §6: why raising or
 //!   lowering a classification compromises security.
 //!
+//! # Observability
+//!
+//! The monitor and journal are instrumented through the `tg_obs` facade:
+//! every `try_apply` runs under a `monitor.apply` span (one span per
+//! Corollary 5.7 check), every whole-graph audit under `monitor.audit`
+//! (Corollary 5.6), and journal writes/recovery under `journal.*` spans,
+//! with `monitor.permitted`/`denied`/`refused` counters splitting
+//! verdicts. Recording is off by default and costs one relaxed atomic
+//! load per site; `tgq --stats` or `tg_obs::Session` turns it on.
+//!
 //! # Examples
 //!
 //! ```

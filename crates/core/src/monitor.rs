@@ -330,7 +330,9 @@ impl Monitor {
 
     fn record(&mut self, event: &JournalEvent) {
         if let Some(journal) = self.journal.as_mut() {
+            let _span = tg_obs::span(tg_obs::SpanKind::JournalWrite);
             journal.append(event);
+            tg_obs::add(tg_obs::Counter::JournalRecords, 1);
         }
     }
 
@@ -339,14 +341,17 @@ impl Monitor {
         match error {
             MonitorError::Rule(_) => {
                 self.stats.malformed += 1;
+                tg_obs::add(tg_obs::Counter::MonitorMalformed, 1);
                 Outcome::Malformed
             }
             MonitorError::Denied(_) => {
                 self.stats.denied += 1;
+                tg_obs::add(tg_obs::Counter::MonitorDenied, 1);
                 Outcome::Denied
             }
             MonitorError::Degraded => {
                 self.stats.refused += 1;
+                tg_obs::add(tg_obs::Counter::MonitorRefused, 1);
                 Outcome::Refused
             }
         }
@@ -409,6 +414,7 @@ impl Monitor {
     /// permits it. On success the rule is logged; created vertices inherit
     /// the creator's level.
     pub fn try_apply(&mut self, rule: &Rule) -> Result<Effect, MonitorError> {
+        let _span = tg_obs::span(tg_obs::SpanKind::MonitorApply);
         if let Err(e) = self.check(rule) {
             let outcome = self.count_refusal(&e);
             self.record(&JournalEvent::Attempt {
@@ -434,6 +440,7 @@ impl Monitor {
         self.notify_applied(&effect);
         self.log.push(rule.clone());
         self.stats.permitted += 1;
+        tg_obs::add(tg_obs::Counter::MonitorPermitted, 1);
         Ok(effect)
     }
 
@@ -450,6 +457,7 @@ impl Monitor {
     /// Returns a [`BatchError`] naming the first refused rule; the monitor
     /// is left exactly as it was before the call.
     pub fn try_apply_all(&mut self, rules: &[Rule]) -> Result<Vec<Effect>, BatchError> {
+        let _span = tg_obs::span(tg_obs::SpanKind::MonitorBatch);
         self.record(&JournalEvent::BatchBegin);
         if let Some(observer) = self.observer.as_mut() {
             observer.batch_begin();
@@ -457,6 +465,7 @@ impl Monitor {
         let mut applied: Vec<Effect> = Vec::with_capacity(rules.len());
         for (index, rule) in rules.iter().enumerate() {
             if let Err(error) = self.check(rule) {
+                let _rollback = tg_obs::span(tg_obs::SpanKind::MonitorRollback);
                 // Roll back in reverse order: Created effects are only
                 // invertible while theirs is still the newest vertex.
                 for effect in applied.iter().rev() {
@@ -504,6 +513,7 @@ impl Monitor {
             self.log.push(rule.clone());
         }
         self.stats.permitted += rules.len();
+        tg_obs::add(tg_obs::Counter::MonitorPermitted, rules.len() as u64);
         Ok(applied)
     }
 
@@ -515,6 +525,7 @@ impl Monitor {
     /// maintained violation set is returned instead — O(violations), not
     /// O(edges) — and debug builds cross-check it against the full scan.
     pub fn audit(&self) -> Vec<Violation> {
+        let _span = tg_obs::span(tg_obs::SpanKind::MonitorAudit);
         if let Some(cached) = self.observer.as_ref().and_then(|o| o.audit_cached()) {
             debug_assert_eq!(
                 cached,
@@ -548,6 +559,7 @@ impl Monitor {
     /// journaled: the journal records rule traffic, and replaying it onto
     /// the untampered seed never re-creates the stripped edges.
     pub fn quarantine(&mut self) -> Vec<Violation> {
+        let _span = tg_obs::span(tg_obs::SpanKind::MonitorQuarantine);
         let diagnostics =
             audit_diagnostics(&self.graph, &self.levels, self.restriction.as_ref(), None);
         for diag in &diagnostics {
@@ -569,9 +581,11 @@ impl Monitor {
         }
         let violations = violations_of(&diagnostics);
         self.stats.quarantined += violations.len();
+        tg_obs::add(tg_obs::Counter::MonitorQuarantined, violations.len() as u64);
         if self.degraded && self.audit().is_empty() {
             self.degraded = false;
             self.stats.recoveries += 1;
+            tg_obs::add(tg_obs::Counter::MonitorRecoveries, 1);
         }
         violations
     }

@@ -138,6 +138,7 @@ impl IncIndex {
         levels: &LevelAssignment,
         restriction: &dyn Restriction,
     ) -> IncIndex {
+        let _span = tg_obs::span(tg_obs::SpanKind::IncBuild);
         let n = graph.vertex_count();
         let mut index = IncIndex {
             islands: EpochUnionFind::new(n),
@@ -177,6 +178,10 @@ impl IncIndex {
             index.level_of[vertex.index()] = Some(level);
             index.level_set(level).insert(vertex);
         }
+        tg_obs::add(
+            tg_obs::Counter::IncEdgeChecks,
+            index.stats.edge_checks as u64,
+        );
         index
     }
 
@@ -227,11 +232,14 @@ impl IncIndex {
         let explicit = graph.rights(src, dst).explicit();
         let v = edge_violating_rights(levels, restriction, src, dst, explicit);
         self.stats.edge_checks += 1;
+        tg_obs::add(tg_obs::Counter::IncEdgeChecks, 1);
         self.set_violation((src, dst), v);
     }
 
     fn rebuild_islands(&mut self, graph: &ProtectionGraph) {
+        let _span = tg_obs::span(tg_obs::SpanKind::IncIslandRebuild);
         self.stats.island_rebuilds += 1;
+        tg_obs::add(tg_obs::Counter::IncIslandRebuilds, 1);
         let mut islands = EpochUnionFind::new(graph.vertex_count());
         for edge in graph.edges() {
             if edge.rights.explicit.intersects(Rights::TG)
@@ -268,6 +276,7 @@ impl IncIndex {
             && self.islands.union(src.index(), dst.index())
         {
             self.stats.island_unions += 1;
+            tg_obs::add(tg_obs::Counter::IncIslandUnions, 1);
         }
     }
 
@@ -484,6 +493,7 @@ impl IncIndex {
         restriction: &dyn Restriction,
     ) {
         let _ = (levels, restriction);
+        let _span = tg_obs::span(tg_obs::SpanKind::IncRollback);
         let batch = self.batch.take().expect("no open batch to abort");
         for (key, previous) in batch.violations_undo.into_iter().rev() {
             match previous {
@@ -522,6 +532,7 @@ impl IncIndex {
             }
         }
         self.stats.rollbacks += 1;
+        tg_obs::add(tg_obs::Counter::IncRollbacks, 1);
     }
 
     /// Whether the maintained audit verdict is "clean".
@@ -597,9 +608,11 @@ impl IncIndex {
         let key = QueryKey::Share(right, x, y);
         if let Some(hit) = self.memo.get(key, sx, sy) {
             self.stats.memo_hits += 1;
+            tg_obs::add(tg_obs::Counter::IncMemoHits, 1);
             return hit;
         }
         self.stats.memo_misses += 1;
+        tg_obs::add(tg_obs::Counter::IncMemoMisses, 1);
         let value = tg_analysis::can_share(graph, right, x, y);
         self.memo.insert(key, value, sx, sy);
         value
@@ -612,9 +625,11 @@ impl IncIndex {
         let key = QueryKey::Know(x, y);
         if let Some(hit) = self.memo.get(key, sx, sy) {
             self.stats.memo_hits += 1;
+            tg_obs::add(tg_obs::Counter::IncMemoHits, 1);
             return hit;
         }
         self.stats.memo_misses += 1;
+        tg_obs::add(tg_obs::Counter::IncMemoMisses, 1);
         let value = tg_analysis::can_know(graph, x, y);
         self.memo.insert(key, value, sx, sy);
         value

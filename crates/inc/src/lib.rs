@@ -28,6 +28,16 @@
 //! Corollary 5.6 audit, and the exponential `tg_analysis::reference`
 //! searches on small graphs); see this crate's `tests/`.
 //!
+//! # Observability
+//!
+//! The claimed complexity bounds are observable at runtime via `tg_obs`:
+//! `inc.edge_checks` counts Corollary 5.7 per-edge rechecks (one per
+//! maintained edge on build, one per touched edge thereafter),
+//! `inc.memo_hits`/`inc.memo_misses` expose query memoization, and
+//! `inc.island_rebuilds` under the `inc.island_rebuild` span counts the
+//! Theorem 5.2 partition refreshes that removals force. `tgq bench
+//! --stats` prints all of them for the 10k-edge workload.
+//!
 //! # Examples
 //!
 //! ```

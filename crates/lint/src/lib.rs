@@ -225,12 +225,16 @@ impl Registry {
     /// Runs every applicable pass and returns the diagnostics sorted by
     /// severity (errors first), code, then source location.
     pub fn run(&self, cx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let _span = tg_obs::span(tg_obs::SpanKind::LintRun);
         let mut out = Vec::new();
         for lint in &self.lints {
             if lint.needs_policy() && cx.levels.is_none() {
                 continue;
             }
-            out.extend(lint.run(cx));
+            let _pass = tg_obs::span(pass_span(lint.rule().code));
+            let diags = lint.run(cx);
+            tg_obs::add(tg_obs::Counter::LintDiagnostics, diags.len() as u64);
+            out.extend(diags);
         }
         out.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
         out
@@ -240,6 +244,22 @@ impl Registry {
 impl Default for Registry {
     fn default() -> Registry {
         Registry::with_default_lints()
+    }
+}
+
+/// The per-pass timing span for a pass whose lowest code is `code`
+/// (passes registered outside the default set time under
+/// [`tg_obs::SpanKind::LintOtherPass`]).
+fn pass_span(code: &str) -> tg_obs::SpanKind {
+    match code {
+        "TG000" | "TG001" | "TG002" => tg_obs::SpanKind::LintEdgeInvariants,
+        "TG003" => tg_obs::SpanKind::LintCrossLevelLinks,
+        "TG004" => tg_obs::SpanKind::LintOrderCollapse,
+        "TG005" => tg_obs::SpanKind::LintHierarchyInversion,
+        "TG006" => tg_obs::SpanKind::LintTheftExposure,
+        "TG007" => tg_obs::SpanKind::LintUnassignedVertices,
+        "TG008" => tg_obs::SpanKind::LintIsolatedVertices,
+        _ => tg_obs::SpanKind::LintOtherPass,
     }
 }
 
@@ -320,6 +340,7 @@ pub fn apply_fixes(
     graph: &mut ProtectionGraph,
     levels: Option<&LevelAssignment>,
 ) -> FixReport {
+    let _span = tg_obs::span(tg_obs::SpanKind::LintFix);
     let seed = levels.map(|_| graph.clone());
     let mut trail: Vec<FixIt> = Vec::new();
     let mut applied = 0;
@@ -343,6 +364,7 @@ pub fn apply_fixes(
             progressed |= removed;
             applied += usize::from(removed);
             if removed {
+                tg_obs::add(tg_obs::Counter::LintFixesApplied, 1);
                 trail.push(fix);
             }
         }

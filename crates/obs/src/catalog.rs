@@ -1,0 +1,315 @@
+//! The closed catalog of instrumentation points.
+//!
+//! Ids are **stable**: they appear in persisted traces (`tgq trace`
+//! output, `BENCH_obs.json`) and must never be renumbered — new points
+//! are appended with fresh ids. Each entry documents the paper result it
+//! makes observable, mirroring the `RULES` table of `tg-lint`.
+
+/// One kind of timed region. The discriminant is the span's stable id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[repr(u32)]
+pub enum SpanKind {
+    /// One `Monitor::try_apply`: preview, Corollary 5.7 restriction
+    /// check, commit.
+    MonitorApply = 0,
+    /// One `Monitor::try_apply_all` transactional batch.
+    MonitorBatch = 1,
+    /// The inverse-effect rollback of a failed batch.
+    MonitorRollback = 2,
+    /// One write-ahead journal append (before any mutation).
+    JournalWrite = 3,
+    /// `journal::recover`: parse, verify and replay a journal.
+    JournalRecover = 4,
+    /// One whole-graph audit (Corollary 5.6 scan, or the maintained-set
+    /// read when an incremental index is attached).
+    MonitorAudit = 5,
+    /// One `Monitor::quarantine` repair cycle.
+    MonitorQuarantine = 6,
+    /// The one full scan that builds an incremental index.
+    IncBuild = 7,
+    /// An island rebuild forced by a `t`/`g` removal between subjects
+    /// (the union-find split case, Theorem 5.2's island structure).
+    IncIslandRebuild = 8,
+    /// An incremental batch abort rolling back to saved epochs.
+    IncRollback = 9,
+    /// One full lint run over a graph (all registered passes).
+    LintRun = 10,
+    /// The `TG000`–`TG002` edge-invariant pass (Corollary 5.6).
+    LintEdgeInvariants = 11,
+    /// The `TG003` cross-level-link pass (Theorem 5.2).
+    LintCrossLevelLinks = 12,
+    /// The `TG004` order-collapse pass (Proposition 4.4).
+    LintOrderCollapse = 13,
+    /// The `TG005` hierarchy-inversion pass (`secure_derived`).
+    LintHierarchyInversion = 14,
+    /// The `TG006` theft-exposure pass (`can_steal`).
+    LintTheftExposure = 15,
+    /// The `TG007` unassigned-vertex pass.
+    LintUnassignedVertices = 16,
+    /// The `TG008` isolated-vertex pass.
+    LintIsolatedVertices = 17,
+    /// A lint pass registered outside the default registry.
+    LintOtherPass = 18,
+    /// One `apply_fixes` fixpoint (lint, strip, re-lint until clean).
+    LintFix = 19,
+    /// One whole `tgq` subcommand, parse to output.
+    CliCommand = 20,
+}
+
+impl SpanKind {
+    /// Number of span kinds (ids are `0..COUNT`).
+    pub const COUNT: usize = 21;
+
+    /// Every kind, in id order.
+    pub const ALL: &'static [SpanKind] = &[
+        SpanKind::MonitorApply,
+        SpanKind::MonitorBatch,
+        SpanKind::MonitorRollback,
+        SpanKind::JournalWrite,
+        SpanKind::JournalRecover,
+        SpanKind::MonitorAudit,
+        SpanKind::MonitorQuarantine,
+        SpanKind::IncBuild,
+        SpanKind::IncIslandRebuild,
+        SpanKind::IncRollback,
+        SpanKind::LintRun,
+        SpanKind::LintEdgeInvariants,
+        SpanKind::LintCrossLevelLinks,
+        SpanKind::LintOrderCollapse,
+        SpanKind::LintHierarchyInversion,
+        SpanKind::LintTheftExposure,
+        SpanKind::LintUnassignedVertices,
+        SpanKind::LintIsolatedVertices,
+        SpanKind::LintOtherPass,
+        SpanKind::LintFix,
+        SpanKind::CliCommand,
+    ];
+
+    /// The stable id (the `repr` discriminant).
+    pub fn id(self) -> u32 {
+        self as u32
+    }
+
+    /// The dotted name used in rendered traces and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::MonitorApply => "monitor.apply",
+            SpanKind::MonitorBatch => "monitor.batch",
+            SpanKind::MonitorRollback => "monitor.rollback",
+            SpanKind::JournalWrite => "journal.write",
+            SpanKind::JournalRecover => "journal.recover",
+            SpanKind::MonitorAudit => "monitor.audit",
+            SpanKind::MonitorQuarantine => "monitor.quarantine",
+            SpanKind::IncBuild => "inc.build",
+            SpanKind::IncIslandRebuild => "inc.island_rebuild",
+            SpanKind::IncRollback => "inc.rollback",
+            SpanKind::LintRun => "lint.run",
+            SpanKind::LintEdgeInvariants => "lint.edge_invariants",
+            SpanKind::LintCrossLevelLinks => "lint.cross_level_links",
+            SpanKind::LintOrderCollapse => "lint.order_collapse",
+            SpanKind::LintHierarchyInversion => "lint.hierarchy_inversion",
+            SpanKind::LintTheftExposure => "lint.theft_exposure",
+            SpanKind::LintUnassignedVertices => "lint.unassigned_vertices",
+            SpanKind::LintIsolatedVertices => "lint.isolated_vertices",
+            SpanKind::LintOtherPass => "lint.other_pass",
+            SpanKind::LintFix => "lint.fix",
+            SpanKind::CliCommand => "cli.command",
+        }
+    }
+
+    /// The subsystem (the part before the dot) — Chrome's `cat` field.
+    pub fn category(self) -> &'static str {
+        let name = self.name();
+        &name[..name.find('.').expect("names are dotted")]
+    }
+
+    /// What the span measures, citing the paper result where one
+    /// applies.
+    pub fn doc(self) -> &'static str {
+        match self {
+            SpanKind::MonitorApply => "one rule through the monitor (Cor 5.7 check + commit)",
+            SpanKind::MonitorBatch => "one transactional rule batch",
+            SpanKind::MonitorRollback => "inverse-effect rollback of a failed batch",
+            SpanKind::JournalWrite => "one write-ahead journal append",
+            SpanKind::JournalRecover => "journal parse, verify and replay",
+            SpanKind::MonitorAudit => "whole-graph audit (Cor 5.6 scan or maintained-set read)",
+            SpanKind::MonitorQuarantine => "strip-and-reaudit repair cycle",
+            SpanKind::IncBuild => "the one full scan building the incremental index",
+            SpanKind::IncIslandRebuild => "island rebuild after a t/g cut (Thm 5.2 structure)",
+            SpanKind::IncRollback => "incremental epoch rollback on batch abort",
+            SpanKind::LintRun => "one full lint run (all passes)",
+            SpanKind::LintEdgeInvariants => "TG000-TG002 edge invariants (Cor 5.6)",
+            SpanKind::LintCrossLevelLinks => "TG003 bridge/connection search (Thm 5.2)",
+            SpanKind::LintOrderCollapse => "TG004 rw-level collapse (Prop 4.4)",
+            SpanKind::LintHierarchyInversion => "TG005 derived-security check (Thm 5.2)",
+            SpanKind::LintTheftExposure => "TG006 can_steal sweep",
+            SpanKind::LintUnassignedVertices => "TG007 policy coverage",
+            SpanKind::LintIsolatedVertices => "TG008 isolated vertices",
+            SpanKind::LintOtherPass => "a custom lint pass",
+            SpanKind::LintFix => "lint/strip/re-lint fixpoint",
+            SpanKind::CliCommand => "one tgq subcommand end to end",
+        }
+    }
+
+    /// The kind with stable id `id`, if it exists.
+    pub fn from_id(id: u32) -> Option<SpanKind> {
+        SpanKind::ALL.get(id as usize).copied()
+    }
+}
+
+/// One monotonic counter. The discriminant is the counter's stable id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[repr(u32)]
+pub enum Counter {
+    /// Rules applied and persisted.
+    MonitorPermitted = 0,
+    /// Rules denied by the restriction (Corollary 5.7 rejections).
+    MonitorDenied = 1,
+    /// Rules rejected by their own preconditions.
+    MonitorMalformed = 2,
+    /// De jure rules refused while the monitor was degraded.
+    MonitorRefused = 3,
+    /// Violating edges stripped by quarantine.
+    MonitorQuarantined = 4,
+    /// Returns from degraded mode to clean service.
+    MonitorRecoveries = 5,
+    /// Records appended to the write-ahead journal.
+    JournalRecords = 6,
+    /// Per-edge restriction rechecks (Corollary 5.7 applications) in the
+    /// incremental index.
+    IncEdgeChecks = 7,
+    /// Effective island union operations.
+    IncIslandUnions = 8,
+    /// Island rebuilds forced by a `t`/`g` removal between subjects.
+    IncIslandRebuilds = 9,
+    /// Memoized `can_share`/`can_know` answers served without
+    /// recomputation.
+    IncMemoHits = 10,
+    /// Queries decided fresh (Theorem 2.3 / 3.2) and then memoized.
+    IncMemoMisses = 11,
+    /// Incremental batch aborts rolled back via union-find epochs.
+    IncRollbacks = 12,
+    /// Diagnostics emitted by lint passes.
+    LintDiagnostics = 13,
+    /// Fix-its that removed something from the graph.
+    LintFixesApplied = 14,
+}
+
+impl Counter {
+    /// Number of counters (ids are `0..COUNT`).
+    pub const COUNT: usize = 15;
+
+    /// Every counter, in id order.
+    pub const ALL: &'static [Counter] = &[
+        Counter::MonitorPermitted,
+        Counter::MonitorDenied,
+        Counter::MonitorMalformed,
+        Counter::MonitorRefused,
+        Counter::MonitorQuarantined,
+        Counter::MonitorRecoveries,
+        Counter::JournalRecords,
+        Counter::IncEdgeChecks,
+        Counter::IncIslandUnions,
+        Counter::IncIslandRebuilds,
+        Counter::IncMemoHits,
+        Counter::IncMemoMisses,
+        Counter::IncRollbacks,
+        Counter::LintDiagnostics,
+        Counter::LintFixesApplied,
+    ];
+
+    /// The stable id (the `repr` discriminant).
+    pub fn id(self) -> u32 {
+        self as u32
+    }
+
+    /// The dotted name used in rendered traces and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::MonitorPermitted => "monitor.permitted",
+            Counter::MonitorDenied => "monitor.denied",
+            Counter::MonitorMalformed => "monitor.malformed",
+            Counter::MonitorRefused => "monitor.refused",
+            Counter::MonitorQuarantined => "monitor.quarantined",
+            Counter::MonitorRecoveries => "monitor.recoveries",
+            Counter::JournalRecords => "journal.records",
+            Counter::IncEdgeChecks => "inc.edge_checks",
+            Counter::IncIslandUnions => "inc.island_unions",
+            Counter::IncIslandRebuilds => "inc.island_rebuilds",
+            Counter::IncMemoHits => "inc.memo_hits",
+            Counter::IncMemoMisses => "inc.memo_misses",
+            Counter::IncRollbacks => "inc.rollbacks",
+            Counter::LintDiagnostics => "lint.diagnostics",
+            Counter::LintFixesApplied => "lint.fixes_applied",
+        }
+    }
+
+    /// The subsystem (the part before the dot).
+    pub fn category(self) -> &'static str {
+        let name = self.name();
+        &name[..name.find('.').expect("names are dotted")]
+    }
+
+    /// What the counter measures, citing the paper result where one
+    /// applies.
+    pub fn doc(self) -> &'static str {
+        match self {
+            Counter::MonitorPermitted => "rules applied and persisted",
+            Counter::MonitorDenied => "rules denied by the restriction (Cor 5.7)",
+            Counter::MonitorMalformed => "rules failing their own preconditions",
+            Counter::MonitorRefused => "de jure rules refused while degraded (fail closed)",
+            Counter::MonitorQuarantined => "violating edges stripped by quarantine",
+            Counter::MonitorRecoveries => "returns from degraded mode to clean service",
+            Counter::JournalRecords => "write-ahead journal records appended",
+            Counter::IncEdgeChecks => "per-edge restriction rechecks (Cor 5.7 per mutation)",
+            Counter::IncIslandUnions => "island union-find merges (paper section 2)",
+            Counter::IncIslandRebuilds => "island rebuilds after a t/g cut (Thm 5.2 islands)",
+            Counter::IncMemoHits => "memoized Thm 2.3/3.2 answers served",
+            Counter::IncMemoMisses => "Thm 2.3/3.2 decisions computed fresh",
+            Counter::IncRollbacks => "incremental epoch rollbacks on batch abort",
+            Counter::LintDiagnostics => "lint diagnostics emitted",
+            Counter::LintFixesApplied => "lint fix-its that removed rights",
+        }
+    }
+
+    /// The counter with stable id `id`, if it exists.
+    pub fn from_id(id: u32) -> Option<Counter> {
+        Counter::ALL.get(id as usize).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        assert_eq!(SpanKind::ALL.len(), SpanKind::COUNT);
+        assert_eq!(Counter::ALL.len(), Counter::COUNT);
+        for (i, kind) in SpanKind::ALL.iter().enumerate() {
+            assert_eq!(kind.id() as usize, i, "span ids are their index");
+            assert_eq!(SpanKind::from_id(kind.id()), Some(*kind));
+        }
+        for (i, counter) in Counter::ALL.iter().enumerate() {
+            assert_eq!(counter.id() as usize, i, "counter ids are their index");
+            assert_eq!(Counter::from_id(counter.id()), Some(*counter));
+        }
+        assert_eq!(SpanKind::from_id(999), None);
+        assert_eq!(Counter::from_id(999), None);
+    }
+
+    #[test]
+    fn names_are_dotted_and_unique() {
+        let mut names: Vec<&str> = SpanKind::ALL.iter().map(|k| k.name()).collect();
+        names.extend(Counter::ALL.iter().map(|c| c.name()));
+        for name in &names {
+            assert!(name.contains('.'), "{name} is subsystem-dotted");
+        }
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "names are unique");
+        assert_eq!(SpanKind::MonitorApply.category(), "monitor");
+        assert_eq!(Counter::IncEdgeChecks.category(), "inc");
+    }
+}

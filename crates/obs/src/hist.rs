@@ -1,0 +1,146 @@
+//! Log-bucketed latency histograms.
+//!
+//! One bucket per power of two of nanoseconds — 64 buckets cover the
+//! full `u64` range, the layout is fixed-size (it flattens into the
+//! global atomic span table), and recording is a bit-width computation
+//! plus one increment. Quantiles are read back at bucket resolution
+//! (within a factor of two), which is plenty for a p50/p99 column.
+
+/// Index of the log2 bucket that `ns` falls in: `0` for 0–1ns, else the
+/// position of the highest set bit. `bucket_of(ns) == b` implies
+/// `ns < 2^(b+1)`.
+pub(crate) fn bucket_of(ns: u64) -> usize {
+    (63 - (ns | 1).leading_zeros()) as usize
+}
+
+/// Lower edge of bucket `b` in nanoseconds (`2^b`, with bucket 0
+/// starting at 0).
+fn bucket_floor(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << b
+    }
+}
+
+/// A latency distribution with log2 buckets plus exact count, sum and
+/// max.
+///
+/// The fields are public because the global span table stores the same
+/// layout flattened into atomics and [`crate::Session::snapshot`] copies
+/// it out field by field; treat them as read-only and go through
+/// [`LogHistogram::record`] otherwise.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// `buckets[b]` counts samples with `bucket_of(ns) == b`.
+    pub buckets: [u64; 64],
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples in nanoseconds.
+    pub total_ns: u64,
+    /// Largest single sample in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: [0; 64],
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one sample of `ns` nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[bucket_of(ns)] += 1;
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// The exact mean in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The quantile `q` in `[0, 1]`, at bucket resolution: the lower
+    /// edge of the bucket holding the `ceil(q * count)`-th sample,
+    /// clamped to [`LogHistogram::max_ns`]. Returns 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_floor(b).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        for b in 0..64 {
+            assert_eq!(bucket_of(bucket_floor(b).max(1)), b);
+        }
+    }
+
+    #[test]
+    fn record_tracks_exact_count_sum_max() {
+        let mut h = LogHistogram::new();
+        for ns in [10, 20, 30, 4000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.total_ns, 4060);
+        assert_eq!(h.max_ns, 4000);
+        assert_eq!(h.mean_ns(), 1015);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn quantiles_hit_bucket_floors() {
+        let mut h = LogHistogram::new();
+        // 90 fast samples in bucket 5 (32–63ns), 10 slow in bucket 13.
+        for _ in 0..90 {
+            h.record(40);
+        }
+        for _ in 0..10 {
+            h.record(9000);
+        }
+        assert_eq!(h.quantile_ns(0.50), 32);
+        assert_eq!(h.quantile_ns(0.99), 8192);
+        assert_eq!(h.quantile_ns(1.0), 8192);
+        // Quantiles never exceed the observed max: one 5ns sample lands
+        // in the 4–7ns bucket, whose floor (4) is below the max.
+        let mut single = LogHistogram::new();
+        single.record(5);
+        assert_eq!(single.quantile_ns(1.0), 4);
+        assert_eq!(LogHistogram::new().quantile_ns(0.5), 0);
+    }
+}

@@ -1,0 +1,553 @@
+//! `tg-obs`: structured tracing and metrics for the enforcement core.
+//!
+//! The paper's cost claims are *per-operation*: Corollary 5.7 bounds one
+//! rule check by a constant number of level comparisons, Corollary 5.6
+//! bounds a whole-graph audit by one pass over the edges, and Theorem 5.2
+//! reduces hierarchy security to island/bridge structure. A production
+//! monitor should be able to *show* those costs on live traffic, not just
+//! assert them in benchmarks. This crate is the instrumentation layer
+//! that makes them visible:
+//!
+//! * [`SpanKind`] / [`Counter`] — a closed catalog of instrumentation
+//!   points with **stable numeric ids**, each documented with the paper
+//!   result it measures ([`SpanKind::doc`], [`Counter::doc`]).
+//! * [`Recorder`] — the abstract consumer of span enter/exit events and
+//!   counter increments. [`Tally`] is the aggregating implementation
+//!   (monotonic counters plus [`LogHistogram`] latency histograms);
+//!   [`replay`] drives any recorder from a captured event stream.
+//! * A global facade — [`span`], [`add`], [`Session`] — whose disabled
+//!   fast path is one relaxed atomic load, so instrumented hot paths
+//!   (`Monitor::try_apply`, the `tg-inc` per-edge rechecks, the lint
+//!   passes) stay within the bench-enforced ≤10% overhead budget (see
+//!   `BENCH_obs.json`).
+//! * [`Event`] buffering — a thread-local, lock-free-on-the-hot-path
+//!   buffer drained through a [`TraceSink`]: [`JsonlSink`] (one JSON
+//!   object per line) or [`ChromeSink`] (Chrome `about:tracing` /
+//!   Perfetto `trace_event` JSON), both hand-rolled like the SARIF
+//!   writer in `tg-lint` — the workspace is offline and carries no
+//!   serde.
+//!
+//! # Examples
+//!
+//! Recording and aggregating in-process:
+//!
+//! ```
+//! use tg_obs::{Counter, SpanKind, Tally};
+//!
+//! let session = tg_obs::Session::start(true, true);
+//! {
+//!     let _span = tg_obs::span(SpanKind::MonitorApply);
+//!     tg_obs::add(Counter::IncEdgeChecks, 3);
+//! } // span closes here
+//! let snapshot = session.snapshot();
+//! assert_eq!(snapshot.counter(Counter::IncEdgeChecks), 3);
+//! assert_eq!(snapshot.span(SpanKind::MonitorApply).count, 1);
+//!
+//! // The same numbers can be rebuilt from the captured event stream by
+//! // any `Recorder`; `Tally` is the built-in aggregator.
+//! let events = session.drain_events();
+//! let tally = Tally::from_events(&events);
+//! assert_eq!(tally.counters[Counter::IncEdgeChecks as usize], 3);
+//! ```
+//!
+//! Rendering a trace for `chrome://tracing`:
+//!
+//! ```
+//! use tg_obs::{ChromeSink, SpanKind};
+//!
+//! let session = tg_obs::Session::start(false, true);
+//! drop(tg_obs::span(SpanKind::LintRun));
+//! let events = session.drain_events();
+//! let json = tg_obs::render(&events, &mut ChromeSink::new());
+//! assert!(json.contains("\"traceEvents\""));
+//! assert!(json.contains("\"lint.run\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod hist;
+mod sink;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+pub use catalog::{Counter, SpanKind};
+pub use hist::LogHistogram;
+pub use sink::{render, ChromeSink, Event, JsonlSink, TraceSink};
+
+/// Consumes instrumentation as it happens (or as it is replayed).
+///
+/// The enforcement crates do not call a `Recorder` directly — they go
+/// through the near-zero-cost global facade ([`span`], [`add`]) — but
+/// every captured [`Event`] stream can be driven into a `Recorder` with
+/// [`replay`], and [`Tally`] is the standard aggregating implementation.
+/// Implement this to compute custom aggregations over a trace.
+///
+/// # Examples
+///
+/// ```
+/// use tg_obs::{Counter, Event, Recorder, SpanKind};
+///
+/// /// Counts monitor.apply spans and nothing else.
+/// #[derive(Default)]
+/// struct ApplyCounter(u64);
+///
+/// impl Recorder for ApplyCounter {
+///     fn span_enter(&mut self, _kind: SpanKind, _at_ns: u64) {}
+///     fn span_exit(&mut self, kind: SpanKind, _at_ns: u64, _dur_ns: u64) {
+///         if kind == SpanKind::MonitorApply {
+///             self.0 += 1;
+///         }
+///     }
+///     fn add(&mut self, _counter: Counter, _delta: u64, _at_ns: u64) {}
+/// }
+///
+/// let events = [Event::Span {
+///     kind: SpanKind::MonitorApply,
+///     start_ns: 0,
+///     dur_ns: 10,
+/// }];
+/// let mut rec = ApplyCounter::default();
+/// tg_obs::replay(&events, &mut rec);
+/// assert_eq!(rec.0, 1);
+/// ```
+pub trait Recorder {
+    /// A span of `kind` was entered at `at_ns` (nanoseconds since the
+    /// process's trace epoch).
+    fn span_enter(&mut self, kind: SpanKind, at_ns: u64);
+
+    /// The span of `kind` entered at `at_ns - dur_ns` exited.
+    fn span_exit(&mut self, kind: SpanKind, at_ns: u64, dur_ns: u64);
+
+    /// Counter `counter` was incremented by `delta` at `at_ns`.
+    fn add(&mut self, counter: Counter, delta: u64, at_ns: u64);
+}
+
+/// Drives `recorder` with every event of a captured stream, in order.
+/// Spans are delivered as an enter immediately followed by its exit
+/// (complete events carry both endpoints).
+pub fn replay(events: &[Event], recorder: &mut dyn Recorder) {
+    for event in events {
+        match *event {
+            Event::Span {
+                kind,
+                start_ns,
+                dur_ns,
+            } => {
+                recorder.span_enter(kind, start_ns);
+                recorder.span_exit(kind, start_ns + dur_ns, dur_ns);
+            }
+            Event::Count {
+                counter,
+                delta,
+                at_ns,
+            } => recorder.add(counter, delta, at_ns),
+        }
+    }
+}
+
+// ------------------------------------------------------- global state --
+
+const MODE_METRICS: u8 = 1;
+const MODE_EVENTS: u8 = 2;
+
+/// Which recording paths are live. `0` is the fast path: [`span`] and
+/// [`add`] reduce to one relaxed load and a branch.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Per-counter monotonic totals.
+static COUNTERS: [AtomicU64; Counter::COUNT] = zeroed();
+
+/// Per-span aggregates, flattened: `[count, total_ns, max_ns, b0..b63]`
+/// per [`SpanKind`].
+const SPAN_STRIDE: usize = 3 + 64;
+static SPANS: [AtomicU64; SpanKind::COUNT * SPAN_STRIDE] = zeroed();
+
+/// `const` zero-initializer for atomic arrays (`AtomicU64` is not
+/// `Copy`, so the usual `[0; N]` form needs a `const` item).
+const fn zeroed<const N: usize>() -> [AtomicU64; N] {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const Z: AtomicU64 = AtomicU64::new(0);
+    [Z; N]
+}
+
+/// Cap on the per-thread event buffer; beyond it events are counted as
+/// dropped rather than grown without bound (a long `tgq trace` of a
+/// pathological workload must not OOM the monitor it is observing).
+const MAX_BUFFERED_EVENTS: usize = 1 << 20;
+
+thread_local! {
+    static EVENTS: RefCell<Vec<Event>> = const { RefCell::new(Vec::new()) };
+    static DROPPED: RefCell<u64> = const { RefCell::new(0) };
+}
+
+/// The process's trace epoch: all timestamps are nanoseconds since the
+/// first instrumented operation (or [`Session::start`]).
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+fn push_event(event: Event) {
+    EVENTS.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        if buf.len() < MAX_BUFFERED_EVENTS {
+            buf.push(event);
+        } else {
+            DROPPED.with(|d| *d.borrow_mut() += 1);
+        }
+    });
+}
+
+// ------------------------------------------------------------ facade --
+
+/// Increments `counter` by `delta`. One relaxed atomic load when
+/// recording is off; one relaxed `fetch_add` (plus an event push when a
+/// trace is being captured) when on.
+#[inline]
+pub fn add(counter: Counter, delta: u64) {
+    let mode = MODE.load(Ordering::Relaxed);
+    if mode == 0 {
+        return;
+    }
+    if mode & MODE_METRICS != 0 {
+        COUNTERS[counter as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+    if mode & MODE_EVENTS != 0 {
+        push_event(Event::Count {
+            counter,
+            delta,
+            at_ns: now_ns(),
+        });
+    }
+}
+
+/// An RAII span: created by [`span`], records its duration on drop.
+/// Inert (no timestamp taken) when recording is off.
+#[must_use = "a span records its duration when dropped"]
+pub struct SpanGuard {
+    kind: SpanKind,
+    start_ns: u64,
+    live: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        let end_ns = now_ns();
+        let dur_ns = end_ns.saturating_sub(self.start_ns);
+        let mode = MODE.load(Ordering::Relaxed);
+        if mode & MODE_METRICS != 0 {
+            let base = self.kind as usize * SPAN_STRIDE;
+            SPANS[base].fetch_add(1, Ordering::Relaxed);
+            SPANS[base + 1].fetch_add(dur_ns, Ordering::Relaxed);
+            SPANS[base + 2].fetch_max(dur_ns, Ordering::Relaxed);
+            SPANS[base + 3 + hist::bucket_of(dur_ns)].fetch_add(1, Ordering::Relaxed);
+        }
+        if mode & MODE_EVENTS != 0 {
+            push_event(Event::Span {
+                kind: self.kind,
+                start_ns: self.start_ns,
+                dur_ns,
+            });
+        }
+    }
+}
+
+/// Opens a span of `kind`; the returned guard records the span's latency
+/// (into the histogram, and into the event buffer when a trace is being
+/// captured) when dropped. When recording is off this is one relaxed
+/// atomic load.
+#[inline]
+pub fn span(kind: SpanKind) -> SpanGuard {
+    if MODE.load(Ordering::Relaxed) == 0 {
+        return SpanGuard {
+            kind,
+            start_ns: 0,
+            live: false,
+        };
+    }
+    SpanGuard {
+        kind,
+        start_ns: now_ns(),
+        live: true,
+    }
+}
+
+/// Whether any recording (metrics or event capture) is currently on.
+pub fn enabled() -> bool {
+    MODE.load(Ordering::Relaxed) != 0
+}
+
+// ----------------------------------------------------------- session --
+
+/// Serializes sessions: global counters and the mode flag are shared, so
+/// two concurrent sessions (e.g. parallel tests) must not interleave.
+fn session_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    // A panic inside a session poisons nothing we care about: the state
+    // is reset at the next `Session::start`.
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// An exclusive recording window: [`Session::start`] resets the global
+/// metrics and the calling thread's event buffer, turns recording on,
+/// and turns it off again on drop. Only one session exists at a time
+/// (concurrent starters block), so snapshots are attributable.
+pub struct Session {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Session {
+    /// Starts a session recording metrics, a trace of [`Event`]s, or
+    /// both. Blocks while another session is live.
+    pub fn start(metrics: bool, events: bool) -> Session {
+        let lock = session_lock();
+        for c in &COUNTERS {
+            c.store(0, Ordering::Relaxed);
+        }
+        for s in &SPANS {
+            s.store(0, Ordering::Relaxed);
+        }
+        EVENTS.with(|buf| buf.borrow_mut().clear());
+        DROPPED.with(|d| *d.borrow_mut() = 0);
+        let _ = epoch();
+        let mode = if metrics { MODE_METRICS } else { 0 } | if events { MODE_EVENTS } else { 0 };
+        MODE.store(mode, Ordering::Relaxed);
+        Session { _lock: lock }
+    }
+
+    /// Reads the current aggregates into a plain [`Tally`].
+    pub fn snapshot(&self) -> Tally {
+        let mut tally = Tally::new();
+        for (i, c) in COUNTERS.iter().enumerate() {
+            tally.counters[i] = c.load(Ordering::Relaxed);
+        }
+        for kind in SpanKind::ALL {
+            let base = *kind as usize * SPAN_STRIDE;
+            let hist = &mut tally.spans[*kind as usize];
+            hist.count = SPANS[base].load(Ordering::Relaxed);
+            hist.total_ns = SPANS[base + 1].load(Ordering::Relaxed);
+            hist.max_ns = SPANS[base + 2].load(Ordering::Relaxed);
+            for b in 0..64 {
+                hist.buckets[b] = SPANS[base + 3 + b].load(Ordering::Relaxed);
+            }
+        }
+        tally
+    }
+
+    /// Takes the calling thread's captured events (oldest first),
+    /// leaving the buffer empty. Events captured on other threads stay
+    /// in their threads' buffers.
+    pub fn drain_events(&self) -> Vec<Event> {
+        EVENTS.with(|buf| std::mem::take(&mut *buf.borrow_mut()))
+    }
+
+    /// Events discarded on this thread because the buffer hit its cap.
+    pub fn dropped_events(&self) -> u64 {
+        DROPPED.with(|d| *d.borrow())
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        MODE.store(0, Ordering::Relaxed);
+    }
+}
+
+// ------------------------------------------------------------- tally --
+
+/// Plain aggregated metrics: one monotonic total per [`Counter`] and one
+/// [`LogHistogram`] per [`SpanKind`]. Produced by [`Session::snapshot`]
+/// or rebuilt from an event stream ([`Tally::from_events`]); this is
+/// what `tgq --stats` renders.
+#[derive(Clone, Debug)]
+pub struct Tally {
+    /// Totals, indexed by `Counter as usize`.
+    pub counters: Vec<u64>,
+    /// Latency histograms, indexed by `SpanKind as usize`.
+    pub spans: Vec<LogHistogram>,
+}
+
+impl Tally {
+    /// An all-zero tally.
+    pub fn new() -> Tally {
+        Tally {
+            counters: vec![0; Counter::COUNT],
+            spans: vec![LogHistogram::new(); SpanKind::COUNT],
+        }
+    }
+
+    /// Aggregates a captured event stream.
+    pub fn from_events(events: &[Event]) -> Tally {
+        let mut tally = Tally::new();
+        replay(events, &mut tally);
+        tally
+    }
+
+    /// The total of one counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize]
+    }
+
+    /// The latency histogram of one span kind.
+    pub fn span(&self, kind: SpanKind) -> &LogHistogram {
+        &self.spans[kind as usize]
+    }
+
+    /// Renders the non-zero rows as the aligned table `tgq --stats`
+    /// prints: spans with count, total, mean, p50/p99 and max; counters
+    /// with their totals and the paper result they measure.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<22} {:>9} {:>12} {:>10} {:>10} {:>10} {:>10}",
+            "span", "count", "total", "mean", "p50", "p99", "max"
+        );
+        let mut any = false;
+        for kind in SpanKind::ALL {
+            let h = self.span(*kind);
+            if h.count == 0 {
+                continue;
+            }
+            any = true;
+            let _ = writeln!(
+                out,
+                "{:<22} {:>9} {:>12} {:>10} {:>10} {:>10} {:>10}",
+                kind.name(),
+                h.count,
+                fmt_ns(h.total_ns),
+                fmt_ns(h.mean_ns()),
+                fmt_ns(h.quantile_ns(0.50)),
+                fmt_ns(h.quantile_ns(0.99)),
+                fmt_ns(h.max_ns),
+            );
+        }
+        if !any {
+            let _ = writeln!(out, "(no spans recorded)");
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{:<22} {:>9}  measures", "counter", "total");
+        any = false;
+        for counter in Counter::ALL {
+            let v = self.counter(*counter);
+            if v == 0 {
+                continue;
+            }
+            any = true;
+            let _ = writeln!(out, "{:<22} {:>9}  {}", counter.name(), v, counter.doc());
+        }
+        if !any {
+            let _ = writeln!(out, "(no counters recorded)");
+        }
+        out
+    }
+}
+
+impl Default for Tally {
+    fn default() -> Tally {
+        Tally::new()
+    }
+}
+
+impl Recorder for Tally {
+    fn span_enter(&mut self, _kind: SpanKind, _at_ns: u64) {}
+
+    fn span_exit(&mut self, kind: SpanKind, _at_ns: u64, dur_ns: u64) {
+        self.spans[kind as usize].record(dur_ns);
+    }
+
+    fn add(&mut self, counter: Counter, delta: u64, _at_ns: u64) {
+        self.counters[counter as usize] += delta;
+    }
+}
+
+/// Renders nanoseconds with a human unit (`ns`, `µs`, `ms`, `s`).
+pub fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{}µs", ns / 1_000),
+        10_000_000..=9_999_999_999 => format!("{}ms", ns / 1_000_000),
+        _ => format!("{}s", ns / 1_000_000_000),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_facade_records_nothing() {
+        // No session: the fast path must not record.
+        add(Counter::IncEdgeChecks, 5);
+        drop(span(SpanKind::MonitorApply));
+        let session = Session::start(true, false);
+        assert_eq!(session.snapshot().counter(Counter::IncEdgeChecks), 0);
+        assert_eq!(session.snapshot().span(SpanKind::MonitorApply).count, 0);
+    }
+
+    #[test]
+    fn session_aggregates_spans_and_counters() {
+        let session = Session::start(true, true);
+        for _ in 0..3 {
+            let _s = span(SpanKind::LintRun);
+            add(Counter::LintDiagnostics, 2);
+        }
+        let snap = session.snapshot();
+        assert_eq!(snap.span(SpanKind::LintRun).count, 3);
+        assert!(snap.span(SpanKind::LintRun).total_ns >= snap.span(SpanKind::LintRun).max_ns);
+        assert_eq!(snap.counter(Counter::LintDiagnostics), 6);
+
+        // The event stream rebuilds the same aggregates.
+        let events = session.drain_events();
+        assert_eq!(events.len(), 6);
+        let tally = Tally::from_events(&events);
+        assert_eq!(tally.counter(Counter::LintDiagnostics), 6);
+        assert_eq!(tally.span(SpanKind::LintRun).count, 3);
+        assert_eq!(session.dropped_events(), 0);
+    }
+
+    #[test]
+    fn sessions_reset_state() {
+        {
+            let session = Session::start(true, false);
+            add(Counter::MonitorPermitted, 7);
+            assert_eq!(session.snapshot().counter(Counter::MonitorPermitted), 7);
+        }
+        let session = Session::start(true, false);
+        assert_eq!(session.snapshot().counter(Counter::MonitorPermitted), 0);
+    }
+
+    #[test]
+    fn table_renders_nonzero_rows_with_docs() {
+        let session = Session::start(true, false);
+        add(Counter::IncEdgeChecks, 41);
+        drop(span(SpanKind::MonitorAudit));
+        let table = session.snapshot().render_table();
+        assert!(table.contains("monitor.audit"));
+        assert!(table.contains("inc.edge_checks"));
+        assert!(table.contains("41"));
+        assert!(table.contains("Cor 5.7"), "docs cite the paper: {table}");
+        assert!(!table.contains("lint.run"), "zero rows are elided");
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(25_000), "25µs");
+        assert_eq!(fmt_ns(25_000_000), "25ms");
+        assert_eq!(fmt_ns(25_000_000_000), "25s");
+    }
+}
