@@ -1,0 +1,196 @@
+//! Parallel vs. sequential on the large audit/query workload.
+//!
+//! Two head-to-head measurements over a ≥10,000-edge classified lattice
+//! (the `tg-sim` hierarchy family):
+//!
+//! * **audit**: the island-sharded parallel Corollary 5.6 scan
+//!   (`tg_par::par_audit` at `jobs = 4`) against the sequential
+//!   whole-graph fold ([`audit_graph`]);
+//! * **queries**: a batched `can_share`/`can_know`/`can_steal` request
+//!   vector evaluated by the work-stealing pool (`par_queries`) against
+//!   the one-thread loop (`seq_queries`).
+//!
+//! Besides the Criterion display, the bench writes a machine-readable
+//! summary to `BENCH_par.json` at the workspace root and **panics if
+//! the parallel side loses at `jobs >= 4`** — but only when the host
+//! actually has four hardware threads (`available_parallelism() >= 4`);
+//! on smaller boxes the pool is time-slicing one core and a slowdown is
+//! physics, not a regression. The JSON records the host parallelism so
+//! CI consumers can tell an enforced run from an informational one.
+//! Answers and violation sets are asserted identical between the two
+//! sides before timing, so the speed claim cannot drift away from
+//! correctness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tg_bench::time_ns;
+use tg_graph::{Right, VertexId};
+use tg_hierarchy::{audit_graph, CombinedRestriction};
+use tg_par::{par_audit, par_queries, seq_queries, Pool, Query};
+use tg_sim::workload::hierarchy;
+
+/// The job width the ISSUE-5 performance claim is made at.
+const RACE_JOBS: usize = 4;
+
+/// Smoke mode: same ≥10k-edge graph, fewer queries and iterations.
+fn smoke() -> bool {
+    std::env::var_os("BENCH_PAR_SMOKE").is_some()
+}
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+struct Workload {
+    built: tg_hierarchy::structure::BuiltHierarchy,
+    queries: Vec<Query>,
+}
+
+fn workload() -> Workload {
+    // 100 levels x 50 subjects: ~5.1k vertices, ~10.2k edges (each level
+    // is a bidirectional read-ring plus covers and one document each).
+    let built = hierarchy(100, 50);
+    assert!(
+        built.graph.edge_count() >= 10_000,
+        "the sim workload must have at least 10k edges, got {}",
+        built.graph.edge_count()
+    );
+    let n = built.graph.vertex_count();
+    let count = if smoke() { 24 } else { 96 };
+    // A deterministic batch spread across the lattice: all three
+    // predicate families over (x, y) pairs from every region.
+    let mut queries = Vec::new();
+    for i in 0..count {
+        let x = VertexId::from_index((i * 131) % n);
+        let y = VertexId::from_index((i * 197 + 61) % n);
+        queries.push(Query::CanShare(Right::Read, x, y));
+        queries.push(Query::CanKnow(y, x));
+        queries.push(Query::CanSteal(Right::Write, x, y));
+    }
+    Workload { built, queries }
+}
+
+fn run_seq_audit(w: &Workload) -> usize {
+    audit_graph(&w.built.graph, &w.built.assignment, &CombinedRestriction).len()
+}
+
+fn run_par_audit(w: &Workload, pool: &Pool) -> usize {
+    par_audit(
+        &w.built.graph,
+        &w.built.assignment,
+        &CombinedRestriction,
+        pool,
+    )
+    .len()
+}
+
+fn bench_par(c: &mut Criterion) {
+    let w = workload();
+    let pool = Pool::new(RACE_JOBS);
+    let parallelism = host_parallelism();
+
+    // Correctness first: the two sides must agree exactly.
+    let seq_violations = audit_graph(&w.built.graph, &w.built.assignment, &CombinedRestriction);
+    let par_violations = par_audit(
+        &w.built.graph,
+        &w.built.assignment,
+        &CombinedRestriction,
+        &pool,
+    );
+    assert_eq!(
+        seq_violations, par_violations,
+        "parallel audit diverged from the sequential Corollary 5.6 scan"
+    );
+    let seq_answers = seq_queries(&w.built.graph, &w.queries);
+    let par_answers = par_queries(&w.built.graph, &w.queries, &pool);
+    assert_eq!(
+        seq_answers, par_answers,
+        "parallel query answers diverged from the sequential loop"
+    );
+
+    let iters = if smoke() { 2 } else { 5 };
+    let audit_seq_ns = time_ns(iters, || {
+        run_seq_audit(&w);
+    });
+    let audit_par_ns = time_ns(iters, || {
+        run_par_audit(&w, &pool);
+    });
+    let queries_seq_ns = time_ns(iters, || {
+        seq_queries(&w.built.graph, &w.queries);
+    });
+    let queries_par_ns = time_ns(iters, || {
+        par_queries(&w.built.graph, &w.queries, &pool);
+    });
+
+    // The "parallel must win" claim is only physical when the host has
+    // the hardware threads to back the pool; record whether this run
+    // enforced it so the JSON is self-describing.
+    let enforced = parallelism >= RACE_JOBS;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"bench_par\",\n",
+            "  \"smoke\": {},\n",
+            "  \"jobs\": {},\n  \"host_parallelism\": {},\n  \"enforced\": {},\n",
+            "  \"vertices\": {},\n  \"edges\": {},\n  \"queries\": {},\n",
+            "  \"audit\": {{ \"parallel_ns\": {:.0}, \"sequential_ns\": {:.0}, \"speedup\": {:.2} }},\n",
+            "  \"queries_batch\": {{ \"parallel_ns\": {:.0}, \"sequential_ns\": {:.0}, \"speedup\": {:.2} }}\n",
+            "}}\n"
+        ),
+        smoke(),
+        RACE_JOBS,
+        parallelism,
+        enforced,
+        w.built.graph.vertex_count(),
+        w.built.graph.edge_count(),
+        w.queries.len(),
+        audit_par_ns,
+        audit_seq_ns,
+        audit_seq_ns / audit_par_ns,
+        queries_par_ns,
+        queries_seq_ns,
+        queries_seq_ns / queries_par_ns,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_par.json");
+    std::fs::write(path, &json).expect("write BENCH_par.json");
+    println!("bench_par summary ({path}):\n{json}");
+
+    if enforced {
+        assert!(
+            audit_par_ns < audit_seq_ns,
+            "parallel audit ({audit_par_ns:.0} ns) must beat the sequential scan \
+             ({audit_seq_ns:.0} ns) at jobs={RACE_JOBS} on a {parallelism}-thread host"
+        );
+        assert!(
+            queries_par_ns < queries_seq_ns,
+            "parallel query batch ({queries_par_ns:.0} ns) must beat the sequential loop \
+             ({queries_seq_ns:.0} ns) at jobs={RACE_JOBS} on a {parallelism}-thread host"
+        );
+    } else {
+        println!(
+            "bench_par: host has {parallelism} hardware thread(s) < {RACE_JOBS}; \
+             speedup assertion skipped (informational run)"
+        );
+    }
+
+    // Criterion display: one sample per side so the harness output shows
+    // the same comparison (the JSON above carries the precise numbers).
+    let mut group = c.benchmark_group("par/audit_10k_edges");
+    group.bench_function("parallel_jobs4", |b| {
+        b.iter(|| run_par_audit(criterion::black_box(&w), &pool))
+    });
+    group.bench_function("sequential", |b| {
+        b.iter(|| run_seq_audit(criterion::black_box(&w)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_par
+}
+criterion_main!(benches);

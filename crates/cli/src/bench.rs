@@ -15,6 +15,7 @@ use std::time::Instant;
 use tg_analysis::Islands;
 use tg_hierarchy::{audit_graph, CombinedRestriction, Monitor};
 use tg_inc::{IncStats, SharedIndex};
+use tg_par::{par_audit, par_queries, seq_queries, Pool, Query};
 use tg_sim::workload::{hierarchy, mixed_trace, MixedOp};
 
 /// Workload parameters for one `tgq bench` run.
@@ -28,6 +29,8 @@ pub struct BenchConfig {
     pub ops: usize,
     /// Trace seed.
     pub seed: u64,
+    /// Worker count for the parallel leg (the CLI passes its `--jobs`).
+    pub jobs: usize,
 }
 
 /// Measured results of one run.
@@ -46,6 +49,13 @@ pub struct BenchReport {
     pub incremental_ns: u128,
     /// Wall time of the recompute side, nanoseconds.
     pub full_ns: u128,
+    /// Queries in the post-trace batch the parallel leg evaluates.
+    pub batch_queries: usize,
+    /// Wall time of the sequential batch evaluation, nanoseconds.
+    pub seq_batch_ns: u128,
+    /// Wall time of the parallel batch evaluation (audit plus queries)
+    /// at [`BenchConfig::jobs`] workers, nanoseconds.
+    pub par_batch_ns: u128,
     /// The incremental index's work counters after the run.
     pub stats: IncStats,
 }
@@ -78,6 +88,14 @@ impl BenchReport {
         );
         let _ = writeln!(
             out,
+            "batch ({} queries + audit, {} jobs): sequential {:.3} ms   parallel {:.3} ms",
+            self.batch_queries,
+            self.config.jobs,
+            self.seq_batch_ns as f64 / 1e6,
+            self.par_batch_ns as f64 / 1e6,
+        );
+        let _ = writeln!(
+            out,
             "answers compared: {} (identical)   index: {} edge checks, {} unions, {} rebuilds, {} memo hits / {} misses",
             self.answers,
             self.stats.edge_checks,
@@ -97,8 +115,10 @@ impl BenchReport {
                 "{{\n",
                 "  \"bench\": \"tgq-bench\",\n",
                 "  \"levels\": {},\n  \"per_level\": {},\n  \"ops\": {},\n  \"seed\": {},\n",
+                "  \"jobs\": {},\n",
                 "  \"vertices\": {},\n  \"edges\": {},\n  \"answers\": {},\n",
                 "  \"incremental_ns\": {},\n  \"full_ns\": {},\n  \"speedup\": {:.3},\n",
+                "  \"batch_queries\": {},\n  \"seq_batch_ns\": {},\n  \"par_batch_ns\": {},\n",
                 "  \"stats\": {{ \"edge_checks\": {}, \"island_unions\": {}, \"island_rebuilds\": {}, ",
                 "\"memo_hits\": {}, \"memo_misses\": {}, \"rollbacks\": {} }}\n",
                 "}}\n"
@@ -107,12 +127,16 @@ impl BenchReport {
             self.config.per_level,
             self.config.ops,
             self.config.seed,
+            self.config.jobs,
             self.vertices,
             self.edges,
             self.answers,
             self.incremental_ns,
             self.full_ns,
             self.speedup(),
+            self.batch_queries,
+            self.seq_batch_ns,
+            self.par_batch_ns,
             self.stats.edge_checks,
             self.stats.island_unions,
             self.stats.island_rebuilds,
@@ -243,6 +267,36 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
         ));
     }
 
+    // Parallel leg: the trace's query mix as one batch against the final
+    // graph (plus a whole-graph audit), evaluated sequentially and then
+    // across the pool. Answer divergence is an error, like above — the
+    // leg doubles as a coarse differential test of `tg_par`.
+    let queries: Vec<Query> = trace
+        .iter()
+        .filter_map(|op| match op {
+            MixedOp::CanShare(right, x, y) => Some(Query::CanShare(*right, *x, *y)),
+            MixedOp::CanKnow(x, y) => Some(Query::CanKnow(*x, *y)),
+            _ => None,
+        })
+        .collect();
+    let graph = monitor.graph();
+    let levels_now = monitor.levels();
+    let seq_start = Instant::now();
+    let seq_answers = seq_queries(graph, &queries);
+    let seq_violations = audit_graph(graph, levels_now, &CombinedRestriction);
+    let seq_batch_ns = seq_start.elapsed().as_nanos();
+    let pool = Pool::new(config.jobs);
+    let par_start = Instant::now();
+    let par_answers = par_queries(graph, &queries, &pool);
+    let par_violations = par_audit(graph, levels_now, &CombinedRestriction, &pool);
+    let par_batch_ns = par_start.elapsed().as_nanos();
+    if par_answers != seq_answers || par_violations != seq_violations {
+        return Err(format!(
+            "parallel and sequential batch answers diverged at {} jobs",
+            config.jobs
+        ));
+    }
+
     Ok(BenchReport {
         config: *config,
         vertices,
@@ -250,6 +304,9 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
         answers: inc_answers.len(),
         incremental_ns,
         full_ns,
+        batch_queries: queries.len(),
+        seq_batch_ns,
+        par_batch_ns,
         stats,
     })
 }

@@ -19,9 +19,14 @@
 //! tgq bench [--levels N] [--per-level N] [--ops N] [--seed N] [--json <file>]
 //! ```
 //!
-//! Every subcommand also accepts the global `--stats` flag, which runs
-//! it inside a `tg-obs` recording session and appends the aggregate
+//! Every subcommand also accepts two global flags. `--stats` runs the
+//! command inside a `tg-obs` recording session and appends the aggregate
 //! span/counter table (`tgq stats` lists what each row measures).
+//! `--jobs <n>` sets the worker count for the commands that evaluate in
+//! parallel (`audit`, `lint`, `bench`, `watch`); the default is the
+//! `TGQ_JOBS` environment variable if set, else the machine's available
+//! parallelism, and `--jobs 1` is exactly the sequential path. Parallel
+//! output is byte-identical at any job count (see `tg-par`).
 //! `tgq trace` replays a rule trace through the journaled monitor with
 //! an attached incremental index and emits the captured event stream as
 //! Chrome `trace_event` JSON (load it in `chrome://tracing` or
@@ -48,10 +53,9 @@ use tg_analysis::{
 use tg_graph::{
     parse_graph, parse_graph_with_spans, render_graph, DotOptions, ProtectionGraph, Right, VertexId,
 };
-use tg_hierarchy::monitor::audit_graph;
 use tg_hierarchy::policy::parse_policy;
 use tg_hierarchy::{rw_levels, rwtg_levels, secure_derived, secure_policy, CombinedRestriction};
-use tg_lint::{apply_deny, apply_fixes, render, LintContext, Registry, Severity};
+use tg_lint::{apply_deny, apply_fixes, render, Diagnostic, LintContext, Registry, Severity};
 
 /// How a `tgq` invocation failed.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -220,8 +224,8 @@ pub const COMMANDS: &[CommandSpec] = &[
 ];
 
 /// The generated usage line for `command`: positionals, then each flag
-/// bracketed, then the global `[--stats]` every command accepts (except
-/// `stats` itself, which *is* the metrics surface).
+/// bracketed, then the globals `[--jobs <n>] [--stats]` every command
+/// accepts (except `stats` itself, which *is* the metrics surface).
 pub fn usage_line(command: &str) -> String {
     let spec = COMMANDS
         .iter()
@@ -235,7 +239,7 @@ pub fn usage_line(command: &str) -> String {
         let _ = write!(line, " [{flag}]");
     }
     if spec.name != "stats" {
-        line.push_str(" [--stats]");
+        line.push_str(" [--jobs <n>] [--stats]");
     }
     line
 }
@@ -293,6 +297,22 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), String> {
 pub fn run_full(args: &[String], out: &mut String) -> Result<u8, CliError> {
     let args: Vec<&str> = args.iter().map(String::as_str).collect();
     let (stats, args) = split_flag(&args, "--stats");
+    // Global `--jobs <n>`: the worker pool handed to every subcommand
+    // that evaluates in parallel. Flag beats `TGQ_JOBS` beats available
+    // parallelism; `--jobs 1` runs inline on this thread.
+    let (jobs, args) = split_opt(&args, "--jobs")?;
+    let pool = match jobs {
+        Some(raw) => {
+            let n: usize = raw
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--jobs expects a number, got {raw:?}")))?;
+            if n == 0 {
+                return Err(CliError::Usage("--jobs must be at least 1".to_string()));
+            }
+            tg_par::Pool::new(n)
+        }
+        None => tg_par::Pool::from_env_or_available(),
+    };
     // `trace` needs event capture; one session serves both it and
     // `--stats` (tg_obs sessions are exclusive, so nesting would
     // deadlock).
@@ -304,7 +324,7 @@ pub fn run_full(args: &[String], out: &mut String) -> Result<u8, CliError> {
     };
     let result = {
         let _span = tg_obs::span(tg_obs::SpanKind::CliCommand);
-        dispatch(&args, out, session.as_ref())
+        dispatch(&args, out, session.as_ref(), &pool)
     };
     if stats {
         if let Some(session) = &session {
@@ -319,6 +339,7 @@ fn dispatch(
     args: &[&str],
     out: &mut String,
     session: Option<&tg_obs::Session>,
+    pool: &tg_par::Pool,
 ) -> Result<u8, CliError> {
     let mut iter = args.iter().copied();
     let command = iter.next().ok_or_else(|| CliError::Usage(usage()))?;
@@ -479,7 +500,10 @@ fn dispatch(
             let levels =
                 parse_policy(&policy_text, &g).map_err(|e| format!("{policy_path}: {e}"))?;
             if command == "audit" {
-                let violations = audit_graph(&g, &levels, &CombinedRestriction);
+                // Island-sharded parallel Corollary 5.6 scan; with
+                // `--jobs 1` this is the sequential edge walk, and the
+                // output is byte-identical at any width.
+                let violations = tg_par::par_audit(&g, &levels, &CombinedRestriction, pool);
                 if violations.is_empty() {
                     let _ = writeln!(out, "audit clean: no r/w edge crosses levels");
                     Ok(0)
@@ -797,10 +821,16 @@ fn dispatch(
                 // without locations.
                 report.remaining
             } else {
-                registry.run(&LintContext::new(&graph, levels.as_ref(), Some(&srcmap)))
+                // Independent passes fan out across the pool; the merge
+                // re-establishes the canonical order, so `--jobs` never
+                // changes a byte of text/JSON/SARIF output.
+                registry.run_parallel(
+                    &LintContext::new(&graph, levels.as_ref(), Some(&srcmap)),
+                    pool,
+                )
             };
             apply_deny(&mut diags, &deny);
-            diags.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+            diags.sort_by(Diagnostic::canonical_cmp);
             let source = if fix { None } else { Some(text.as_str()) };
             match format {
                 "json" => out.push_str(&render::render_json(&diags, graph_path)),
@@ -857,6 +887,23 @@ fn dispatch(
                     name(g, v.dst),
                     v.rights
                 );
+            }
+            // Cross-check the maintained violation set against a sharded
+            // from-scratch scan on the pool. Silent when they agree (so
+            // output stays byte-identical at any --jobs); a mismatch
+            // would mean the incremental index is unsound.
+            let rescan = tg_par::par_audit(
+                monitor.graph(),
+                monitor.levels(),
+                &CombinedRestriction,
+                pool,
+            );
+            if rescan != index.violations() {
+                let _ = writeln!(
+                    out,
+                    "parallel audit cross-check FAILED: maintained set diverges from rescan"
+                );
+                return Ok(1);
             }
             let mstats = monitor.stats();
             let istats = index.stats();
@@ -981,6 +1028,7 @@ fn dispatch(
                 per_level: parse(per_level, 10)?,
                 ops: parse(ops, 500)?,
                 seed: parse(seed, 42)? as u64,
+                jobs: pool.jobs(),
             };
             let report = bench::run(&config).map_err(CliError::Fail)?;
             let _ = write!(out, "{}", report.render());

@@ -271,7 +271,7 @@ fn usage_errors_carry_the_per_command_usage_string() {
         Err(tg_cli::CliError::Usage(msg)) => {
             assert_eq!(
                 msg,
-                "usage: tgq can-share <file> <right> <x> <y> [--witness] [--stats]"
+                "usage: tgq can-share <file> <right> <x> <y> [--witness] [--jobs <n>] [--stats]"
             )
         }
         other => panic!("expected usage error, got {other:?}"),
@@ -327,9 +327,11 @@ fn usage_lines_mention_every_accepted_flag() {
                 spec.name
             );
         }
-        // Every command takes the global --stats (except stats itself).
+        // Every command takes the globals --jobs and --stats (except
+        // stats itself).
         if spec.name != "stats" {
             assert!(line.contains("[--stats]"), "{}: {line}", spec.name);
+            assert!(line.contains("[--jobs <n>]"), "{}: {line}", spec.name);
         }
     }
     // Every parser entry above corresponds to a real subcommand.

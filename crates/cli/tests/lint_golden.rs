@@ -97,3 +97,36 @@ fn fig_5_1_reports_the_leak_in_all_formats() {
     );
     assert!(text.contains("error[TG002]"), "write-down is diagnosed");
 }
+
+#[test]
+fn lint_output_is_byte_stable_at_any_job_count() {
+    // The ISSUE-5 determinism contract: `--jobs` must never change a
+    // byte of lint output. Two runs at --jobs 4 are diffed against each
+    // other (thread scheduling varies between them), and every width is
+    // diffed against --jobs 1 (the sequential driver) — for all three
+    // formats, on the figure that actually produces diagnostics.
+    let graph = fixture("fig_5_1.tg");
+    let policy = fixture("fig_5_1.pol");
+    for format in ["text", "json", "sarif"] {
+        let (code_seq, seq) = lint(&["lint", &graph, &policy, "--format", format, "--jobs", "1"]);
+        for jobs in ["2", "4", "8"] {
+            let (code_a, first) =
+                lint(&["lint", &graph, &policy, "--format", format, "--jobs", jobs]);
+            let (code_b, second) =
+                lint(&["lint", &graph, &policy, "--format", format, "--jobs", jobs]);
+            assert_eq!(first, second, "{format} --jobs {jobs}: two runs differ");
+            assert_eq!(
+                seq, first,
+                "{format} --jobs {jobs}: differs from sequential"
+            );
+            assert_eq!(
+                (code_seq, code_seq),
+                (code_a, code_b),
+                "{format} exit codes"
+            );
+        }
+    }
+    // And the golden itself is what every width produces.
+    let (_, out) = lint(&["lint", &graph, &policy, "--format", "text", "--jobs", "4"]);
+    check("fig_5_1.txt", &normalize(&out, &graph));
+}

@@ -65,8 +65,8 @@ pub use journal::{
 };
 pub use levels::{rw_levels, rwtg_levels, DerivedLevels, LevelAssignment, LevelError};
 pub use monitor::{
-    audit_diagnostics, audit_graph, BatchError, Explanation, Monitor, MonitorError,
-    MonitorObserver, MonitorStats, Violation,
+    audit_diagnostics, audit_graph, edge_audit_diagnostics, violations_of, BatchError, Explanation,
+    Monitor, MonitorError, MonitorObserver, MonitorStats, Violation,
 };
 pub use restrict::{
     ApplicationRestriction, CombinedRestriction, Decision, DenyReason, DirectionRestriction,

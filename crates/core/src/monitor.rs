@@ -108,7 +108,11 @@ impl std::error::Error for BatchError {}
 /// graph has already been rolled back via exact inverse effects, and the
 /// observer must roll its own state back too (e.g. with union-find
 /// epochs).
-pub trait MonitorObserver {
+///
+/// Observers must be `Send`: a `Monitor` (which owns its observer) is
+/// shared across threads behind a mutex in concurrent deployments, so the
+/// boxed observer travels with it.
+pub trait MonitorObserver: Send {
     /// A rule's effect was applied. For a [`Effect::Created`] effect the
     /// new vertex's inherited level is already assigned.
     fn applied(
@@ -661,17 +665,52 @@ pub fn audit_diagnostics(
     restriction: &dyn Restriction,
     srcmap: Option<&SourceMap>,
 ) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for edge in graph.edges() {
+        edge_audit_diagnostics(
+            graph,
+            levels,
+            restriction,
+            srcmap,
+            edge.src,
+            edge.dst,
+            &mut out,
+        );
+    }
+    // Canonical order (span, then code, then message): the edge scan is
+    // order-independent per edge, so sorting here makes the output
+    // byte-identical whether the edges were walked sequentially or
+    // audited shard-by-shard in parallel (`tg_par::par_audit`).
+    out.sort_by(Diagnostic::canonical_cmp);
+    out
+}
+
+/// The Corollary 5.6 check for *one* explicit edge, appending any
+/// [`Diagnostic`]s to `out`. This is the unit of work [`audit_diagnostics`]
+/// folds over the whole edge set and `tg_par` distributes across shards —
+/// a single shared implementation is what makes the parallel and
+/// sequential audits trivially equivalent per edge.
+///
+/// Does nothing if `src → dst` has no explicit rights.
+#[allow(clippy::too_many_arguments)]
+pub fn edge_audit_diagnostics(
+    graph: &ProtectionGraph,
+    levels: &LevelAssignment,
+    restriction: &dyn Restriction,
+    srcmap: Option<&SourceMap>,
+    src: VertexId,
+    dst: VertexId,
+    out: &mut Vec<Diagnostic>,
+) {
     let level_name = |v: VertexId| match levels.level_of(v) {
         Some(l) => format!("level {}", levels.name(l)),
         None => "no assigned level".to_string(),
     };
-    let mut out = Vec::new();
-    for edge in graph.edges() {
-        let explicit = edge.rights.explicit;
+    {
+        let explicit = graph.rights(src, dst).explicit;
         if explicit.is_empty() {
-            continue;
+            return;
         }
-        let (src, dst) = (edge.src, edge.dst);
         let src_name = &graph.vertex(src).name;
         let dst_name = &graph.vertex(dst).name;
         let edge_span = srcmap.and_then(|m| m.edge_span(src, dst));
@@ -742,13 +781,13 @@ pub fn audit_diagnostics(
             );
         }
     }
-    out
 }
 
 /// Folds audit diagnostics back into per-edge [`Violation`]s (the compact
 /// form the monitor's degraded-mode bookkeeping uses): one violation per
 /// edge, carrying the union of the rights its diagnostics would strip.
-fn violations_of(diagnostics: &[Diagnostic]) -> Vec<Violation> {
+/// Public so `tg_par`'s sharded audit can produce exactly the same fold.
+pub fn violations_of(diagnostics: &[Diagnostic]) -> Vec<Violation> {
     let mut per_edge: BTreeMap<(VertexId, VertexId), Rights> = BTreeMap::new();
     for diag in diagnostics {
         if let Some(Fix {

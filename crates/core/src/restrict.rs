@@ -102,7 +102,13 @@ impl Decision {
 /// meaningless with respect to the de facto rules, because the
 /// information can still flow" (§6) — only the monitor's *de jure* path
 /// consults the restriction.
-pub trait Restriction {
+///
+/// Restrictions are pure decision procedures over the graph and level
+/// assignment they are handed, so the trait requires `Send + Sync`:
+/// parallel evaluation (`tg-par`) shares one restriction across audit
+/// shards, and a `Monitor` holding a boxed restriction must be movable
+/// into worker threads.
+pub trait Restriction: Send + Sync {
     /// A short display name.
     fn name(&self) -> &'static str;
 

@@ -220,6 +220,19 @@ impl Diagnostic {
             .unwrap_or((usize::MAX, usize::MAX));
         (core::cmp::Reverse(self.severity), self.code, line, col)
     }
+
+    /// Canonical *total* order: [`sort_key`](Diagnostic::sort_key)
+    /// extended with the message as a tie-breaker. Two distinct findings
+    /// never share a message (messages name the vertices involved), so
+    /// sorting by this comparator yields the same byte sequence no matter
+    /// what order the diagnostics were produced in — the determinism
+    /// contract parallel evaluation (`tg_par`) relies on at merge points.
+    pub fn canonical_cmp(&self, other: &Diagnostic) -> core::cmp::Ordering {
+        self.sort_key()
+            .cmp(&other.sort_key())
+            .then_with(|| self.message.cmp(&other.message))
+            .then_with(|| self.primary.label.cmp(&other.primary.label))
+    }
 }
 
 #[cfg(test)]

@@ -15,8 +15,7 @@
 //! [`Monitor::attach_observer`]: tg_hierarchy::Monitor::attach_observer
 //! [`Monitor`]: tg_hierarchy::Monitor
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use tg_graph::{GraphError, ProtectionGraph, Right, Rights, VertexId};
 use tg_hierarchy::{LevelAssignment, LevelError, MonitorObserver, Restriction, Violation};
@@ -381,8 +380,11 @@ impl IncEngine {
     }
 }
 
-/// An [`IncIndex`] behind a shared handle, so the same index can serve as
-/// the monitor's observer *and* answer queries from the outside.
+/// An [`IncIndex`] behind a shared handle (`Arc<Mutex<_>>`), so the same
+/// index can serve as the monitor's observer *and* answer queries from the
+/// outside — including from other threads: clones of a `SharedIndex` are
+/// `Send`, and every method takes the internal lock for the duration of
+/// one index operation.
 ///
 /// # Examples
 ///
@@ -406,7 +408,7 @@ impl IncEngine {
 /// ```
 #[derive(Clone)]
 pub struct SharedIndex {
-    inner: Rc<RefCell<IncIndex>>,
+    inner: Arc<Mutex<IncIndex>>,
 }
 
 impl SharedIndex {
@@ -419,7 +421,7 @@ impl SharedIndex {
         restriction: &dyn Restriction,
     ) -> SharedIndex {
         SharedIndex {
-            inner: Rc::new(RefCell::new(IncIndex::build(graph, levels, restriction))),
+            inner: Arc::new(Mutex::new(IncIndex::build(graph, levels, restriction))),
         }
     }
 
@@ -427,18 +429,21 @@ impl SharedIndex {
     /// [`Monitor::attach_observer`](tg_hierarchy::Monitor::attach_observer).
     pub fn observer(&self) -> Box<dyn MonitorObserver> {
         Box::new(SharedIndex {
-            inner: Rc::clone(&self.inner),
+            inner: Arc::clone(&self.inner),
         })
     }
 
     /// Whether the maintained audit verdict is clean.
     pub fn audit_clean(&self) -> bool {
-        self.inner.borrow().audit_clean()
+        self.inner
+            .lock()
+            .expect("index lock poisoned")
+            .audit_clean()
     }
 
     /// The maintained violation set.
     pub fn violations(&self) -> Vec<Violation> {
-        self.inner.borrow().violations()
+        self.inner.lock().expect("index lock poisoned").violations()
     }
 
     /// Memoized `can_share` against the monitor's live graph.
@@ -449,27 +454,39 @@ impl SharedIndex {
         x: VertexId,
         y: VertexId,
     ) -> bool {
-        self.inner.borrow_mut().can_share(graph, right, x, y)
+        self.inner
+            .lock()
+            .expect("index lock poisoned")
+            .can_share(graph, right, x, y)
     }
 
     /// Memoized `can_know` against the monitor's live graph.
     pub fn can_know(&self, graph: &ProtectionGraph, x: VertexId, y: VertexId) -> bool {
-        self.inner.borrow_mut().can_know(graph, x, y)
+        self.inner
+            .lock()
+            .expect("index lock poisoned")
+            .can_know(graph, x, y)
     }
 
     /// Whether `a` and `b` share an island.
     pub fn same_island(&self, graph: &ProtectionGraph, a: VertexId, b: VertexId) -> bool {
-        self.inner.borrow().same_island(graph, a, b)
+        self.inner
+            .lock()
+            .expect("index lock poisoned")
+            .same_island(graph, a, b)
     }
 
     /// The island partition, canonical form.
     pub fn islands_canonical(&self, graph: &ProtectionGraph) -> Vec<Vec<VertexId>> {
-        self.inner.borrow().islands_canonical(graph)
+        self.inner
+            .lock()
+            .expect("index lock poisoned")
+            .islands_canonical(graph)
     }
 
     /// The index's work counters.
     pub fn stats(&self) -> IncStats {
-        self.inner.borrow().stats()
+        self.inner.lock().expect("index lock poisoned").stats()
     }
 }
 
@@ -488,12 +505,16 @@ impl MonitorObserver for SharedIndex {
         effect: &Effect,
     ) {
         self.inner
-            .borrow_mut()
+            .lock()
+            .expect("index lock poisoned")
             .effect_applied(graph, levels, restriction, effect);
     }
 
     fn batch_begin(&mut self) {
-        self.inner.borrow_mut().begin_batch();
+        self.inner
+            .lock()
+            .expect("index lock poisoned")
+            .begin_batch();
     }
 
     fn batch_abort(
@@ -503,12 +524,16 @@ impl MonitorObserver for SharedIndex {
         restriction: &dyn Restriction,
     ) {
         self.inner
-            .borrow_mut()
+            .lock()
+            .expect("index lock poisoned")
             .abort_batch(graph, levels, restriction);
     }
 
     fn batch_commit(&mut self) {
-        self.inner.borrow_mut().commit_batch();
+        self.inner
+            .lock()
+            .expect("index lock poisoned")
+            .commit_batch();
     }
 
     fn repaired(
@@ -519,12 +544,16 @@ impl MonitorObserver for SharedIndex {
         src: VertexId,
         dst: VertexId,
     ) {
-        self.inner
-            .borrow_mut()
-            .repaired(graph, levels, restriction, src, dst);
+        self.inner.lock().expect("index lock poisoned").repaired(
+            graph,
+            levels,
+            restriction,
+            src,
+            dst,
+        );
     }
 
     fn audit_cached(&self) -> Option<Vec<Violation>> {
-        Some(self.inner.borrow().violations())
+        Some(self.inner.lock().expect("index lock poisoned").violations())
     }
 }

@@ -173,7 +173,12 @@ impl<'a> LintContext<'a> {
 }
 
 /// One lint pass.
-pub trait Lint {
+///
+/// Passes must be `Sync`: the registry's parallel driver
+/// ([`Registry::run_parallel`]) shares every registered pass across
+/// worker threads. Passes are stateless decision procedures over the
+/// [`LintContext`], so this costs implementations nothing.
+pub trait Lint: Sync {
     /// The rule this pass emits (its entry in [`RULES`]); passes that emit
     /// several codes return the lowest.
     fn rule(&self) -> &'static RuleInfo;
@@ -223,7 +228,10 @@ impl Registry {
     }
 
     /// Runs every applicable pass and returns the diagnostics sorted by
-    /// severity (errors first), code, then source location.
+    /// severity (errors first), code, then source location, with the
+    /// message as a final tie-break — a *total* canonical order, so the
+    /// output is byte-identical to [`Registry::run_parallel`] at any job
+    /// count.
     pub fn run(&self, cx: &LintContext<'_>) -> Vec<Diagnostic> {
         let _span = tg_obs::span(tg_obs::SpanKind::LintRun);
         let mut out = Vec::new();
@@ -236,7 +244,39 @@ impl Registry {
             tg_obs::add(tg_obs::Counter::LintDiagnostics, diags.len() as u64);
             out.extend(diags);
         }
-        out.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        out.sort_by(Diagnostic::canonical_cmp);
+        out
+    }
+
+    /// Runs the applicable passes concurrently across `pool` and merges
+    /// their diagnostics into the same canonical order [`Registry::run`]
+    /// produces. The passes are independent analyses over one immutable
+    /// [`LintContext`], so the only coordination point is the merge —
+    /// per-pass diagnostics are concatenated in registration order
+    /// (the pool returns results in item order) and then stable-sorted
+    /// with the same total comparator, making the output byte-identical
+    /// to the sequential driver.
+    ///
+    /// Per-pass timing spans are skipped here (span event capture is
+    /// thread-local in `tg_obs`); the whole run is timed under
+    /// `lint.run` and the fan-out reports `par.shards`/`par.steals`.
+    pub fn run_parallel(&self, cx: &LintContext<'_>, pool: &tg_par::Pool) -> Vec<Diagnostic> {
+        let _span = tg_obs::span(tg_obs::SpanKind::LintRun);
+        let applicable: Vec<&dyn Lint> = self
+            .lints
+            .iter()
+            .map(|l| l.as_ref())
+            .filter(|l| !(l.needs_policy() && cx.levels.is_none()))
+            .collect();
+        tg_obs::add(tg_obs::Counter::ParShards, applicable.len() as u64);
+        let (per_pass, steals) = pool.run(&applicable, |lint| lint.run(cx));
+        tg_obs::add(tg_obs::Counter::ParSteals, steals);
+        for diags in &per_pass {
+            tg_obs::add(tg_obs::Counter::LintDiagnostics, diags.len() as u64);
+        }
+        let _merge = tg_obs::span(tg_obs::SpanKind::ParMerge);
+        let mut out: Vec<Diagnostic> = per_pass.into_iter().flatten().collect();
+        out.sort_by(Diagnostic::canonical_cmp);
         out
     }
 }

@@ -54,11 +54,17 @@ pub enum SpanKind {
     LintFix = 19,
     /// One whole `tgq` subcommand, parse to output.
     CliCommand = 20,
+    /// One sharded parallel audit (Corollary 5.6 scan across a pool).
+    ParAudit = 21,
+    /// One batched parallel query evaluation (Thm 2.3/3.2/4.1).
+    ParQueries = 22,
+    /// The deterministic merge of per-shard results (canonical sort).
+    ParMerge = 23,
 }
 
 impl SpanKind {
     /// Number of span kinds (ids are `0..COUNT`).
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 24;
 
     /// Every kind, in id order.
     pub const ALL: &'static [SpanKind] = &[
@@ -83,6 +89,9 @@ impl SpanKind {
         SpanKind::LintOtherPass,
         SpanKind::LintFix,
         SpanKind::CliCommand,
+        SpanKind::ParAudit,
+        SpanKind::ParQueries,
+        SpanKind::ParMerge,
     ];
 
     /// The stable id (the `repr` discriminant).
@@ -114,6 +123,9 @@ impl SpanKind {
             SpanKind::LintOtherPass => "lint.other_pass",
             SpanKind::LintFix => "lint.fix",
             SpanKind::CliCommand => "cli.command",
+            SpanKind::ParAudit => "par.audit",
+            SpanKind::ParQueries => "par.queries",
+            SpanKind::ParMerge => "par.merge",
         }
     }
 
@@ -148,6 +160,9 @@ impl SpanKind {
             SpanKind::LintOtherPass => "a custom lint pass",
             SpanKind::LintFix => "lint/strip/re-lint fixpoint",
             SpanKind::CliCommand => "one tgq subcommand end to end",
+            SpanKind::ParAudit => "island-sharded parallel audit (Cor 5.6 across a pool)",
+            SpanKind::ParQueries => "batched parallel Thm 2.3/3.2/4.1 queries",
+            SpanKind::ParMerge => "deterministic merge of per-shard results",
         }
     }
 
@@ -193,11 +208,16 @@ pub enum Counter {
     LintDiagnostics = 13,
     /// Fix-its that removed something from the graph.
     LintFixesApplied = 14,
+    /// Work shards created by parallel evaluation (audit shards plus
+    /// query chunks).
+    ParShards = 15,
+    /// Work-stealing claims beyond a worker's fair static share.
+    ParSteals = 16,
 }
 
 impl Counter {
     /// Number of counters (ids are `0..COUNT`).
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 17;
 
     /// Every counter, in id order.
     pub const ALL: &'static [Counter] = &[
@@ -216,6 +236,8 @@ impl Counter {
         Counter::IncRollbacks,
         Counter::LintDiagnostics,
         Counter::LintFixesApplied,
+        Counter::ParShards,
+        Counter::ParSteals,
     ];
 
     /// The stable id (the `repr` discriminant).
@@ -241,6 +263,8 @@ impl Counter {
             Counter::IncRollbacks => "inc.rollbacks",
             Counter::LintDiagnostics => "lint.diagnostics",
             Counter::LintFixesApplied => "lint.fixes_applied",
+            Counter::ParShards => "par.shards",
+            Counter::ParSteals => "par.steals",
         }
     }
 
@@ -269,6 +293,8 @@ impl Counter {
             Counter::IncRollbacks => "incremental epoch rollbacks on batch abort",
             Counter::LintDiagnostics => "lint diagnostics emitted",
             Counter::LintFixesApplied => "lint fix-its that removed rights",
+            Counter::ParShards => "parallel work shards created",
+            Counter::ParSteals => "work-steal claims beyond the fair share",
         }
     }
 

@@ -1,0 +1,239 @@
+//! Island-sharded parallel whole-graph audit (Corollary 5.6).
+//!
+//! Theorem 5.2 reduces hierarchy security to a property of individual
+//! bridges and connections, and Corollary 5.6 turns that into a single
+//! pass over the explicit edges — each edge checked independently
+//! against the restriction's invariant. Independence per edge means the
+//! scan decomposes along *any* partition of the edge set; partitioning
+//! along tg-connected components ("islands" generalized to weak
+//! connectivity over all explicit edges, so objects and bridges stay
+//! with their subjects) keeps each worker's reads local to one region
+//! of the graph.
+//!
+//! Determinism: every shard runs the *same* per-edge routine as the
+//! sequential audit ([`tg_hierarchy::edge_audit_diagnostics`]), the
+//! merged diagnostics are sorted with the same canonical comparator the
+//! sequential [`tg_hierarchy::audit_diagnostics`] applies, and the
+//! violation fold ([`tg_hierarchy::violations_of`]) is order-free — so
+//! the output is byte-identical at any job count.
+
+use tg_graph::diag::Diagnostic;
+use tg_graph::{ProtectionGraph, SourceMap, VertexId};
+use tg_hierarchy::{
+    edge_audit_diagnostics, violations_of, LevelAssignment, Restriction, Violation,
+};
+
+use crate::pool::Pool;
+
+/// A plain path-halving union-find over vertex indices, local to the
+/// sharder (the incremental engine's epoch-versioned one would be
+/// overkill for a single grouping pass).
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic tie-break: smaller root wins, so component
+            // representatives don't depend on union order.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi as usize] = lo;
+        }
+    }
+}
+
+/// Partitions the explicit edges of `graph` into shards for `jobs`
+/// workers: edges are grouped by weakly-connected component (islands
+/// plus their objects and bridges), components are packed into
+/// near-equal shards, and any component larger than one shard's budget
+/// is split by contiguous edge runs — necessary because a connected
+/// hierarchy is one giant component, and sound because the Corollary
+/// 5.6 check is per-edge.
+///
+/// The result is fully determined by the graph and `jobs`: component
+/// grouping keys on the smallest vertex id per component and edges keep
+/// their `(src, dst)` iteration order throughout.
+pub fn shard_edges(graph: &ProtectionGraph, jobs: usize) -> Vec<Vec<(VertexId, VertexId)>> {
+    let edges: Vec<(VertexId, VertexId)> = graph
+        .edges()
+        .filter(|e| !e.rights.explicit.is_empty())
+        .map(|e| (e.src, e.dst))
+        .collect();
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    let mut uf = UnionFind::new(graph.vertex_count());
+    for &(src, dst) in &edges {
+        uf.union(src.index() as u32, dst.index() as u32);
+    }
+    // Group edges by component, preserving edge order within each
+    // component and ordering components by representative id.
+    let mut grouped: std::collections::BTreeMap<u32, Vec<(VertexId, VertexId)>> =
+        std::collections::BTreeMap::new();
+    for &(src, dst) in &edges {
+        grouped
+            .entry(uf.find(src.index() as u32))
+            .or_default()
+            .push((src, dst));
+    }
+    // Budget: aim for a few shards per worker so work-stealing can
+    // rebalance uneven components, but never shards smaller than the
+    // merge overhead is worth.
+    let target = (jobs.max(1) * 4).min(edges.len());
+    let budget = edges.len().div_ceil(target).max(1);
+    let mut shards: Vec<Vec<(VertexId, VertexId)>> = Vec::new();
+    let mut current: Vec<(VertexId, VertexId)> = Vec::new();
+    for (_, component) in grouped {
+        if component.len() > budget {
+            // Oversized component: flush the accumulator, then split the
+            // component itself into budget-sized runs.
+            if !current.is_empty() {
+                shards.push(std::mem::take(&mut current));
+            }
+            for chunk in component.chunks(budget) {
+                shards.push(chunk.to_vec());
+            }
+        } else {
+            if current.len() + component.len() > budget && !current.is_empty() {
+                shards.push(std::mem::take(&mut current));
+            }
+            current.extend(component);
+        }
+    }
+    if !current.is_empty() {
+        shards.push(current);
+    }
+    shards
+}
+
+/// Parallel [`tg_hierarchy::audit_diagnostics`]: the Corollary 5.6 edge
+/// scan, sharded across `pool` and merged into the same canonical
+/// order. Byte-identical to the sequential audit at any job count.
+pub fn par_audit_diagnostics(
+    graph: &ProtectionGraph,
+    levels: &LevelAssignment,
+    restriction: &dyn Restriction,
+    srcmap: Option<&SourceMap>,
+    pool: &Pool,
+) -> Vec<Diagnostic> {
+    let _span = tg_obs::span(tg_obs::SpanKind::ParAudit);
+    let shards = shard_edges(graph, pool.jobs());
+    tg_obs::add(tg_obs::Counter::ParShards, shards.len() as u64);
+    let (per_shard, steals) = pool.run(&shards, |shard| {
+        let mut out = Vec::new();
+        for &(src, dst) in shard {
+            edge_audit_diagnostics(graph, levels, restriction, srcmap, src, dst, &mut out);
+        }
+        out
+    });
+    tg_obs::add(tg_obs::Counter::ParSteals, steals);
+    let _merge = tg_obs::span(tg_obs::SpanKind::ParMerge);
+    let mut merged: Vec<Diagnostic> = per_shard.into_iter().flatten().collect();
+    merged.sort_by(Diagnostic::canonical_cmp);
+    merged
+}
+
+/// Parallel [`tg_hierarchy::audit_graph`]: the sharded scan folded into
+/// per-edge [`Violation`]s. Byte-identical to the sequential audit at
+/// any job count.
+pub fn par_audit(
+    graph: &ProtectionGraph,
+    levels: &LevelAssignment,
+    restriction: &dyn Restriction,
+    pool: &Pool,
+) -> Vec<Violation> {
+    violations_of(&par_audit_diagnostics(
+        graph,
+        levels,
+        restriction,
+        None,
+        pool,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::Rights;
+    use tg_hierarchy::{audit_diagnostics, audit_graph, CombinedRestriction};
+
+    fn sample() -> (ProtectionGraph, LevelAssignment) {
+        let mut g = ProtectionGraph::new();
+        let mut levels = LevelAssignment::linear(&["low", "mid", "high"]);
+        // Three disconnected clusters, one with violations.
+        for c in 0..3 {
+            let s = g.add_subject(format!("s{c}"));
+            let t = g.add_subject(format!("t{c}"));
+            let o = g.add_object(format!("o{c}"));
+            levels.assign(s, c % 3).unwrap();
+            levels.assign(t, (c + 1) % 3).unwrap();
+            levels.assign(o, c % 3).unwrap();
+            g.add_edge(s, t, Rights::TG).unwrap();
+            g.add_edge(s, o, Rights::RW).unwrap();
+            g.add_edge(t, o, Rights::R | Rights::W).unwrap();
+        }
+        (g, levels)
+    }
+
+    #[test]
+    fn shards_cover_every_explicit_edge_once() {
+        let (g, _levels) = sample();
+        for jobs in [1, 2, 4, 8] {
+            let shards = shard_edges(&g, jobs);
+            let mut seen: Vec<(VertexId, VertexId)> = shards.iter().flatten().copied().collect();
+            seen.sort();
+            let mut expect: Vec<(VertexId, VertexId)> = g
+                .edges()
+                .filter(|e| !e.rights.explicit.is_empty())
+                .map(|e| (e.src, e.dst))
+                .collect();
+            expect.sort();
+            assert_eq!(seen, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_audit_at_any_width() {
+        let (g, levels) = sample();
+        let seq_diags = audit_diagnostics(&g, &levels, &CombinedRestriction, None);
+        let seq_violations = audit_graph(&g, &levels, &CombinedRestriction);
+        assert!(!seq_violations.is_empty(), "sample must have violations");
+        for jobs in [1, 2, 4, 8] {
+            let pool = Pool::new(jobs);
+            let par_diags = par_audit_diagnostics(&g, &levels, &CombinedRestriction, None, &pool);
+            assert_eq!(
+                format!("{par_diags:?}"),
+                format!("{seq_diags:?}"),
+                "jobs={jobs}"
+            );
+            assert_eq!(
+                par_audit(&g, &levels, &CombinedRestriction, &pool),
+                seq_violations,
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_no_shards() {
+        let g = ProtectionGraph::new();
+        assert!(shard_edges(&g, 4).is_empty());
+    }
+}

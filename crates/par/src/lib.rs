@@ -1,0 +1,73 @@
+//! Parallel island-sharded audit and query evaluation for hierarchical
+//! Take-Grant protection systems.
+//!
+//! Theorem 5.2 characterizes security level-locally — no bridge or
+//! connection may link distinct rwtg-levels — which makes the Corollary
+//! 5.6 whole-graph audit and the Theorem 2.3/3.2/4.1 decision
+//! procedures decompose along tg-connected islands: checks in one
+//! component never read another. This crate exploits that structure
+//! with three pieces, all dependency-free (std threads and channels
+//! only):
+//!
+//! * [`Pool`] — a scoped work-stealing worker pool. `jobs == 1` runs
+//!   inline on the caller's thread, so the sequential path *is* the
+//!   single-job configuration.
+//! * [`par_audit`] / [`par_audit_diagnostics`] — the Corollary 5.6 edge
+//!   scan sharded by weakly-connected component (oversized components
+//!   split by edge runs) and merged in canonical diagnostic order.
+//! * [`par_queries`] — batched `can_share` / `can_know` / `can_steal`
+//!   with work-stealing over contiguous request chunks, answers in
+//!   request order.
+//!
+//! # Determinism contract
+//!
+//! Every public function here returns output **byte-identical** to its
+//! sequential counterpart at any job count: shards run the same
+//! per-edge/per-query routines as the sequential code, and every merge
+//! point either preserves input order (queries) or applies the canonical
+//! diagnostic sort (audit) — the same sort the sequential
+//! [`tg_hierarchy::audit_diagnostics`] applies. The differential suite
+//! in `tests/diff_par.rs` pins this down against random hierarchies at
+//! jobs ∈ {1, 2, 4, 8}.
+//!
+//! # Observability
+//!
+//! Parallel evaluation reports through `tg_obs`: the `par.audit`,
+//! `par.queries` and `par.merge` spans time the sharded scan, batch
+//! evaluation, and the deterministic merge; `par.shards` counts work
+//! units created and `par.steals` counts claims beyond a worker's fair
+//! static share.
+//!
+//! # Examples
+//!
+//! ```
+//! use tg_graph::{ProtectionGraph, Right, Rights};
+//! use tg_hierarchy::{audit_graph, CombinedRestriction, LevelAssignment};
+//! use tg_par::{par_audit, par_queries, Pool, Query};
+//!
+//! let mut g = ProtectionGraph::new();
+//! let hi = g.add_subject("hi");
+//! let lo = g.add_subject("lo");
+//! let mut levels = LevelAssignment::linear(&["low", "high"]);
+//! levels.assign(hi, 1).unwrap();
+//! levels.assign(lo, 0).unwrap();
+//! g.add_edge(lo, hi, Rights::R).unwrap(); // read-up: a violation
+//!
+//! let pool = Pool::new(4);
+//! let violations = par_audit(&g, &levels, &CombinedRestriction, &pool);
+//! assert_eq!(violations, audit_graph(&g, &levels, &CombinedRestriction));
+//!
+//! let answers = par_queries(&g, &[Query::CanKnow(hi, lo)], &pool);
+//! assert_eq!(answers.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod audit;
+mod pool;
+mod queries;
+
+pub use audit::{par_audit, par_audit_diagnostics, shard_edges};
+pub use pool::{chunk_ranges, Pool};
+pub use queries::{par_queries, seq_queries, Query};

@@ -1,0 +1,221 @@
+//! A dependency-free scoped worker pool over `std::thread` and channels.
+//!
+//! The pool is deliberately minimal: one [`Pool`] records a target
+//! parallelism, and each [`Pool::run`] call spins up *scoped* workers
+//! that claim work items off a shared atomic cursor (work stealing in
+//! its simplest form: every claim races every worker), send `(index,
+//! result)` pairs down an mpsc channel, and join before `run` returns.
+//! Results are reassembled **in item order**, so the output of a `run`
+//! is a plain `Vec<R>` indistinguishable from a sequential `map` — the
+//! first half of the determinism contract (`tg_par`'s merge sorts
+//! supply the other half).
+//!
+//! With `jobs == 1` no thread is ever spawned: the closure runs inline
+//! on the caller's thread. That makes `--jobs 1` not merely "one
+//! worker" but *the sequential code path*, which the differential tests
+//! exploit as their oracle anchor.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// A fixed-width scoped worker pool.
+///
+/// Cheap to create (no threads live between [`Pool::run`] calls) and
+/// reusable; `jobs` is clamped to at least 1.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Pool {
+    /// A pool targeting `jobs` workers (clamped to ≥ 1).
+    pub fn new(jobs: usize) -> Pool {
+        Pool { jobs: jobs.max(1) }
+    }
+
+    /// A single-worker pool: every [`Pool::run`] executes inline.
+    pub fn sequential() -> Pool {
+        Pool::new(1)
+    }
+
+    /// Pool width from the environment: the `TGQ_JOBS` variable if set
+    /// to a positive integer, otherwise
+    /// [`std::thread::available_parallelism`]. This is the default the
+    /// CLI's `--jobs` flag overrides.
+    pub fn from_env_or_available() -> Pool {
+        if let Ok(raw) = std::env::var("TGQ_JOBS") {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n >= 1 {
+                    return Pool::new(n);
+                }
+            }
+        }
+        Pool::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Maps `work` over `items`, returning results in item order.
+    ///
+    /// Spawns `min(jobs, items.len())` scoped workers; each repeatedly
+    /// claims the next unclaimed index from a shared atomic cursor and
+    /// runs `work` on that item. A worker that claims more than its
+    /// fair static share `ceil(items / workers)` is *stealing* slack
+    /// from a slower sibling; the total number of such claims is
+    /// returned alongside the results (and fed to the `par.steals`
+    /// counter by callers).
+    ///
+    /// With `jobs == 1` (or ≤ 1 item) this is exactly
+    /// `items.iter().map(work).collect()` on the current thread, with a
+    /// steal count of 0.
+    pub fn run<T, R, F>(&self, items: &[T], work: F) -> (Vec<R>, u64)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.jobs == 1 || items.len() <= 1 {
+            return (items.iter().map(work).collect(), 0);
+        }
+        let workers = self.jobs.min(items.len());
+        let fair_share = items.len().div_ceil(workers);
+        let cursor = AtomicUsize::new(0);
+        let steals = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let steals = &steals;
+                let work = &work;
+                scope.spawn(move || {
+                    let mut claimed = 0usize;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        claimed += 1;
+                        if claimed > fair_share {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // A worker dies with the pool scope if the
+                        // receiver is gone; results for already-claimed
+                        // items are simply dropped.
+                        if tx.send((i, work(&items[i]))).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+            slots.resize_with(items.len(), || None);
+            for (i, r) in rx {
+                slots[i] = Some(r);
+            }
+            let out = slots
+                .into_iter()
+                .map(|slot| slot.expect("every item claimed exactly once"))
+                .collect();
+            (out, steals.load(Ordering::Relaxed) as u64)
+        })
+    }
+
+    /// Maps `work` over `0..chunks` index ranges of `len` items split
+    /// into `chunks` near-equal contiguous chunks, returning per-chunk
+    /// results in chunk order plus the steal count. Convenience wrapper
+    /// for batch-query evaluation, where the work items are ranges of a
+    /// request slice rather than owned values.
+    pub fn run_chunked<R, F>(&self, len: usize, chunks: usize, work: F) -> (Vec<R>, u64)
+    where
+        R: Send,
+        F: Fn(std::ops::Range<usize>) -> R + Sync,
+    {
+        let ranges = chunk_ranges(len, chunks);
+        self.run(&ranges, |range| work(range.clone()))
+    }
+}
+
+/// Splits `0..len` into at most `chunks` contiguous, near-equal,
+/// non-empty ranges covering it exactly, in order.
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.clamp(1, len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        for jobs in [1, 2, 4, 8] {
+            let pool = Pool::new(jobs);
+            let items: Vec<usize> = (0..100).collect();
+            let (out, _steals) = pool.run(&items, |&x| x * 2);
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn sequential_never_steals() {
+        let pool = Pool::sequential();
+        let items: Vec<usize> = (0..50).collect();
+        let (out, steals) = pool.run(&items, |&x| x + 1);
+        assert_eq!(out.len(), 50);
+        assert_eq!(steals, 0);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = Pool::new(4);
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(pool.run(&empty, |&x| x).0, Vec::<u32>::new());
+        assert_eq!(pool.run(&[7u32], |&x| x).0, vec![7]);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for len in [0usize, 1, 2, 7, 100] {
+            for chunks in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(len, chunks);
+                let mut covered = 0;
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "contiguous");
+                    assert!(!r.is_empty(), "non-empty");
+                    covered += r.len();
+                    next = r.end;
+                }
+                assert_eq!(covered, len);
+                assert!(ranges.len() <= chunks.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_clamped_to_one() {
+        assert_eq!(Pool::new(0).jobs(), 1);
+    }
+}

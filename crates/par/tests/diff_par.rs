@@ -1,0 +1,146 @@
+//! Differential parallel-vs-sequential test harness (ISSUE 5).
+//!
+//! 256 random hierarchies — linear lattices with noise edges and
+//! out-of-band tampering — each evaluated at jobs ∈ {1, 2, 4, 8}:
+//!
+//! * `par_audit_diagnostics` must be **byte-identical** (full `Debug`
+//!   rendering, spans and fix-its included) to the sequential
+//!   [`tg_hierarchy::audit_diagnostics`];
+//! * `par_audit` must equal both the sequential Corollary 5.6 fold
+//!   ([`tg_hierarchy::audit_graph`]) and the maintained violation set of
+//!   the incremental `tg_inc` engine (the second, independent oracle);
+//! * batched `par_queries` answers must equal the sequential
+//!   [`tg_par::seq_queries`] over the same request vector;
+//! * all of the above must *still* hold after a transactional batch is
+//!   rolled back, so parallel evaluation agrees with the oracles on the
+//!   restored state, not just the freshly built one.
+
+use proptest::prelude::*;
+use tg_graph::{Right, Rights, VertexId};
+use tg_hierarchy::{audit_diagnostics, audit_graph, CombinedRestriction, LevelAssignment};
+use tg_inc::IncEngine;
+use tg_par::{par_audit, par_audit_diagnostics, par_queries, seq_queries, Pool, Query};
+use tg_sim::faults::tamper_graph;
+use tg_sim::gen::HierarchyGen;
+use tg_sim::prng::Prng;
+
+const JOB_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// A deterministic query batch touching every vertex: all three
+/// predicate families over a spread of (x, y) pairs.
+fn query_batch(n: usize) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for i in 0..n.min(24) {
+        let x = VertexId::from_index(i % n);
+        let y = VertexId::from_index((i * 7 + 3) % n);
+        queries.push(Query::CanShare(Right::Read, x, y));
+        queries.push(Query::CanKnow(y, x));
+        queries.push(Query::CanSteal(Right::Write, x, y));
+    }
+    queries
+}
+
+/// Asserts every parallel answer equals its sequential oracle on the
+/// current graph state, at every job width.
+fn assert_par_matches(
+    graph: &tg_graph::ProtectionGraph,
+    levels: &LevelAssignment,
+    oracle_violations: &[tg_hierarchy::Violation],
+    label: &str,
+) {
+    let seq_diags = audit_diagnostics(graph, levels, &CombinedRestriction, None);
+    let seq_violations = audit_graph(graph, levels, &CombinedRestriction);
+    assert_eq!(
+        seq_violations, oracle_violations,
+        "{label}: sequential audit vs incremental oracle"
+    );
+    let queries = query_batch(graph.vertex_count());
+    let seq_answers = seq_queries(graph, &queries);
+    for jobs in JOB_WIDTHS {
+        let pool = Pool::new(jobs);
+        let par_diags = par_audit_diagnostics(graph, levels, &CombinedRestriction, None, &pool);
+        // Byte identity, not just logical equality: the rendered form is
+        // what goldens and SARIF consumers see.
+        assert_eq!(
+            format!("{par_diags:#?}"),
+            format!("{seq_diags:#?}"),
+            "{label}: diagnostics at jobs={jobs}"
+        );
+        assert_eq!(
+            par_audit(graph, levels, &CombinedRestriction, &pool),
+            seq_violations,
+            "{label}: violations at jobs={jobs}"
+        );
+        assert_eq!(
+            par_queries(graph, &queries, &pool),
+            seq_answers,
+            "{label}: query answers at jobs={jobs}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The ISSUE-5 acceptance property: parallel output byte-identical
+    /// to sequential at jobs ∈ {1, 2, 4, 8}, against 256 random
+    /// hierarchies, including after a transactional batch rollback.
+    #[test]
+    fn parallel_matches_sequential_and_incremental(
+        (levels, per_level, noise, seed, tampers) in
+            (2usize..5, 1usize..4, 0usize..8, 0u64..1_000_000, 0usize..6)
+    ) {
+        let mut built = HierarchyGen { levels, per_level, noise_edges: noise, seed }.build();
+        let mut rng = Prng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        tamper_graph(&mut built.graph, &built.assignment, tampers, &mut rng);
+
+        // Independent oracle: the incremental engine's maintained
+        // violation set over the same starting state.
+        let mut engine = IncEngine::new(
+            built.graph.clone(),
+            built.assignment.clone(),
+            Box::new(CombinedRestriction),
+        );
+        assert_par_matches(
+            engine.graph(),
+            engine.levels(),
+            &engine.violations(),
+            "fresh",
+        );
+
+        // Mutate through a transactional batch, then roll it back: the
+        // restored state must satisfy the same identities.
+        let n = engine.graph().vertex_count();
+        engine.begin_batch();
+        for k in 0..4usize {
+            let src = VertexId::from_index((seed as usize + k) % n);
+            let dst = VertexId::from_index((seed as usize + 3 * k + 1) % n);
+            if src != dst {
+                let _ = engine.add_edge(src, dst, if k % 2 == 0 { Rights::R } else { Rights::W });
+            }
+        }
+        engine.abort_batch();
+        assert_par_matches(
+            engine.graph(),
+            engine.levels(),
+            &engine.violations(),
+            "after rollback",
+        );
+
+        // And after a *committed* batch, for contrast: the maintained
+        // set tracks the new state, and parallel evaluation follows.
+        engine.begin_batch();
+        let src = VertexId::from_index(seed as usize % n);
+        let dst = VertexId::from_index((seed as usize + 1) % n);
+        if src != dst {
+            let _ = engine.add_edge(src, dst, Rights::R);
+        }
+        engine.commit_batch();
+        assert_par_matches(
+            engine.graph(),
+            engine.levels(),
+            &engine.violations(),
+            "after commit",
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! Concurrency stress test (ISSUE 5): N threads hammer one shared
+//! `Monitor` + `SharedIndex` with the `tg_sim` mixed mutate/query/fault
+//! workload, asserting
+//!
+//! * **no deadlock** — the whole harness runs under a watchdog; if the
+//!   threads wedge, the main thread panics at the timeout instead of
+//!   hanging the suite;
+//! * **fail-closed quarantine semantics** — after a fault thread injects
+//!   a violating edge and audits, de jure rules are refused until its
+//!   `quarantine()` repairs the graph, exactly as in the single-threaded
+//!   monitor;
+//! * **serializability** — every committed state change is recorded *in
+//!   monitor-lock order*; replaying that serialized log on a fresh
+//!   monitor must reproduce the final graph, level assignment, and
+//!   maintained violation set byte for byte. Queries answered from the
+//!   shared index along the way must agree with from-scratch recomputes
+//!   at the moment they are asked (checked under the same lock).
+//!
+//! The `Monitor` itself stays coarse-grained (one mutex) — the paper's
+//! reference-monitor model is a serial authority; what this test pins
+//! down is that the `Send + Sync` refactor (`Restriction: Send + Sync`,
+//! `MonitorObserver: Send`, `SharedIndex` over `Arc<Mutex<IncIndex>>`)
+//! makes that sharing *sound*, not that it makes it lock-free.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use tg_graph::{ProtectionGraph, Rights, VertexId};
+use tg_hierarchy::{CombinedRestriction, LevelAssignment, Monitor, MonitorError, Violation};
+use tg_inc::SharedIndex;
+use tg_rules::Rule;
+use tg_sim::faults::adversarial_trace;
+use tg_sim::workload::{hierarchy, mixed_trace, MixedOp};
+
+const THREADS: usize = 4;
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+/// One committed state change, recorded in monitor-lock order so the
+/// whole run can be replayed serially.
+#[derive(Clone, Debug)]
+enum ReplayOp {
+    /// A rule the monitor permitted (and persisted).
+    Rule(Rule),
+    /// An out-of-band edge injected through the fault port.
+    Inject(VertexId, VertexId, Rights),
+    /// An `audit_cycle` (flips the monitor into degraded mode when the
+    /// graph is dirty — replay must reproduce the mode transitions).
+    AuditCycle,
+    /// A quarantine repair pass.
+    Quarantine,
+}
+
+/// Everything guarded by one lock: the monitor and the serialized log.
+/// One mutex for both means "recorded order" and "application order"
+/// cannot disagree.
+struct Shared {
+    monitor: Monitor,
+    log: Vec<ReplayOp>,
+}
+
+fn violations_sorted(mut v: Vec<Violation>) -> Vec<Violation> {
+    v.sort_by_key(|x| (x.src, x.dst));
+    v
+}
+
+/// The worker body: replays its slice of the mixed trace against the
+/// shared monitor, interleaving queries (answers cross-checked against
+/// from-scratch recomputes under the lock) and, on the designated fault
+/// thread, inject/audit/quarantine cycles with fail-closed assertions.
+fn worker(
+    tid: usize,
+    shared: Arc<Mutex<Shared>>,
+    index: SharedIndex,
+    ops: Vec<MixedOp>,
+    hostile: Vec<Rule>,
+) {
+    for (i, op) in ops.into_iter().enumerate() {
+        match op {
+            MixedOp::Apply(rule) => {
+                let mut guard = shared.lock().expect("monitor lock");
+                if guard.monitor.try_apply(&rule).is_ok() {
+                    guard.log.push(ReplayOp::Rule(*rule));
+                }
+            }
+            MixedOp::Audit => {
+                // The maintained verdict must match a from-scratch scan
+                // of the state it was asked about — so hold the lock.
+                let guard = shared.lock().expect("monitor lock");
+                let fresh = tg_hierarchy::audit_graph(
+                    guard.monitor.graph(),
+                    guard.monitor.levels(),
+                    &CombinedRestriction,
+                );
+                assert_eq!(
+                    index.audit_clean(),
+                    fresh.is_empty(),
+                    "thread {tid} op {i}: maintained verdict diverged"
+                );
+            }
+            MixedOp::CanShare(right, x, y) => {
+                let guard = shared.lock().expect("monitor lock");
+                let graph = guard.monitor.graph();
+                assert_eq!(
+                    index.can_share(graph, right, x, y),
+                    tg_analysis::can_share(graph, right, x, y),
+                    "thread {tid} op {i}: can_share diverged"
+                );
+            }
+            MixedOp::CanKnow(x, y) => {
+                let guard = shared.lock().expect("monitor lock");
+                let graph = guard.monitor.graph();
+                assert_eq!(
+                    index.can_know(graph, x, y),
+                    tg_analysis::can_know(graph, x, y),
+                    "thread {tid} op {i}: can_know diverged"
+                );
+            }
+            MixedOp::SameIsland(a, b) => {
+                let guard = shared.lock().expect("monitor lock");
+                let graph = guard.monitor.graph();
+                assert_eq!(
+                    index.same_island(graph, a, b),
+                    tg_analysis::Islands::compute(graph).same_island(a, b),
+                    "thread {tid} op {i}: same_island diverged"
+                );
+            }
+        }
+        // The fault thread interleaves inject/audit/quarantine cycles
+        // with its trace slice, checking fail-closed semantics while
+        // the other threads keep querying.
+        if tid == 0 && i % 16 == 7 {
+            let mut guard = shared.lock().expect("monitor lock");
+            let n = guard.monitor.graph().vertex_count();
+            // A read-up edge: the hierarchy is linear, so reading from
+            // the last vertex (highest level) at vertex 0 violates.
+            let (lo, hi) = (VertexId::from_index(0), VertexId::from_index(n - 1));
+            if guard.monitor.inject_edge(lo, hi, Rights::R).is_ok() {
+                guard.log.push(ReplayOp::Inject(lo, hi, Rights::R));
+                let dirty = !guard.monitor.audit_cycle().is_empty();
+                guard.log.push(ReplayOp::AuditCycle);
+                if dirty {
+                    assert!(guard.monitor.is_degraded(), "audit_cycle must degrade");
+                    // Fail closed: any de jure rule is refused while
+                    // degraded, regardless of which thread asks.
+                    if let Some(rule) = hostile.get(i % hostile.len().max(1)) {
+                        if matches!(rule, Rule::DeJure(_)) {
+                            assert!(
+                                matches!(
+                                    guard.monitor.try_apply(rule),
+                                    Err(MonitorError::Degraded)
+                                ),
+                                "degraded monitor accepted a de jure rule"
+                            );
+                        }
+                    }
+                    guard.monitor.quarantine();
+                    guard.log.push(ReplayOp::Quarantine);
+                    assert!(
+                        !guard.monitor.is_degraded(),
+                        "quarantine of a violating-only fault must restore service"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_monitor_agrees_with_serialized_replay() {
+    // The watchdog: the real harness runs in a child thread; if it
+    // deadlocks, recv_timeout fires and the test fails instead of
+    // hanging. The wedged threads die with the process.
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    std::thread::spawn(move || {
+        harness();
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(WATCHDOG)
+        .expect("stress harness deadlocked (watchdog timeout)");
+}
+
+fn harness() {
+    let built = hierarchy(6, 4);
+    let index = SharedIndex::new(&built.graph, &built.assignment, &CombinedRestriction);
+    let mut monitor = Monitor::new(
+        built.graph.clone(),
+        built.assignment.clone(),
+        Box::new(CombinedRestriction),
+    );
+    monitor.attach_observer(index.observer());
+    let shared = Arc::new(Mutex::new(Shared {
+        monitor,
+        log: Vec::new(),
+    }));
+
+    std::thread::scope(|scope| {
+        for tid in 0..THREADS {
+            let shared = Arc::clone(&shared);
+            let index = index.clone();
+            let ops = mixed_trace(&built.graph, 120, 0xA5A5 + tid as u64);
+            let hostile =
+                adversarial_trace(&built.graph, &built.assignment, 40, 0x5A5A + tid as u64);
+            scope.spawn(move || worker(tid, shared, index, ops, hostile));
+        }
+    });
+
+    // Serialized replay: drive a fresh monitor through the recorded log
+    // in order. The final graph, levels and violation set must match
+    // the concurrent run exactly.
+    let shared = Arc::try_unwrap(shared)
+        .ok()
+        .expect("all workers joined")
+        .into_inner()
+        .expect("lock intact");
+    let mut replay = Monitor::new(
+        built.graph.clone(),
+        built.assignment.clone(),
+        Box::new(CombinedRestriction),
+    );
+    for op in &shared.log {
+        match op {
+            ReplayOp::Rule(rule) => {
+                replay
+                    .try_apply(rule)
+                    .expect("a committed rule must replay cleanly");
+            }
+            ReplayOp::Inject(src, dst, rights) => {
+                replay
+                    .inject_edge(*src, *dst, *rights)
+                    .expect("a committed injection must replay cleanly");
+            }
+            ReplayOp::AuditCycle => {
+                replay.audit_cycle();
+            }
+            ReplayOp::Quarantine => {
+                replay.quarantine();
+            }
+        }
+    }
+
+    assert_graphs_equal(shared.monitor.graph(), replay.graph());
+    assert_eq!(
+        levels_fingerprint(shared.monitor.levels(), shared.monitor.graph()),
+        levels_fingerprint(replay.levels(), replay.graph()),
+        "level assignments diverged"
+    );
+    assert_eq!(
+        violations_sorted(shared.monitor.audit()),
+        violations_sorted(replay.audit()),
+        "final violation sets diverged"
+    );
+    assert_eq!(
+        shared.monitor.is_degraded(),
+        replay.is_degraded(),
+        "degraded mode diverged"
+    );
+    // And the maintained index agrees with the final state too.
+    assert_eq!(
+        violations_sorted(index.violations()),
+        violations_sorted(replay.audit()),
+        "maintained violation set diverged from replay"
+    );
+}
+
+fn assert_graphs_equal(a: &ProtectionGraph, b: &ProtectionGraph) {
+    assert_eq!(a.vertex_count(), b.vertex_count(), "vertex counts diverged");
+    let ea: Vec<_> = a.edges().map(|e| (e.src, e.dst, e.rights)).collect();
+    let eb: Vec<_> = b.edges().map(|e| (e.src, e.dst, e.rights)).collect();
+    assert_eq!(ea, eb, "edge sets diverged");
+}
+
+fn levels_fingerprint(levels: &LevelAssignment, graph: &ProtectionGraph) -> Vec<Option<usize>> {
+    (0..graph.vertex_count())
+        .map(|i| levels.level_of(VertexId::from_index(i)))
+        .collect()
+}
