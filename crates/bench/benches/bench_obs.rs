@@ -117,6 +117,7 @@ fn bench_obs(c: &mut Criterion) {
             "{{\n",
             "  \"bench\": \"bench_obs\",\n",
             "  \"smoke\": {},\n",
+            "  \"jobs\": 1,\n  \"host_parallelism\": {},\n",
             "  \"vertices\": {},\n  \"edges\": {},\n  \"ops\": {},\n",
             "  \"disabled_ns\": {:.0},\n",
             "  \"metrics_ns\": {:.0},\n  \"metrics_overhead\": {:.4},\n",
@@ -125,6 +126,7 @@ fn bench_obs(c: &mut Criterion) {
             "}}\n"
         ),
         smoke(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
         w.built.graph.vertex_count(),
         w.built.graph.edge_count(),
         w.trace.len(),

@@ -115,7 +115,7 @@ impl BenchReport {
                 "{{\n",
                 "  \"bench\": \"tgq-bench\",\n",
                 "  \"levels\": {},\n  \"per_level\": {},\n  \"ops\": {},\n  \"seed\": {},\n",
-                "  \"jobs\": {},\n",
+                "  \"jobs\": {},\n  \"host_parallelism\": {},\n",
                 "  \"vertices\": {},\n  \"edges\": {},\n  \"answers\": {},\n",
                 "  \"incremental_ns\": {},\n  \"full_ns\": {},\n  \"speedup\": {:.3},\n",
                 "  \"batch_queries\": {},\n  \"seq_batch_ns\": {},\n  \"par_batch_ns\": {},\n",
@@ -128,6 +128,7 @@ impl BenchReport {
             self.config.ops,
             self.config.seed,
             self.config.jobs,
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
             self.vertices,
             self.edges,
             self.answers,

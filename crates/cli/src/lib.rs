@@ -10,8 +10,10 @@
 //! tgq can-know <file> <x> <y> [--witness]
 //! tgq can-know-f <file> <x> <y>
 //! tgq figure <2.1|2.2|3.1|4.1|4.2|5.1|6.1>
-//! tgq monitor <graph> <policy> <trace> [--journal <file>] [--batch]
-//! tgq replay <graph> <policy> <journal>
+//! tgq monitor <graph> <policy> <trace> [--journal <file>] [--batch] [--log <dir>]
+//! tgq replay <graph> <policy> <journal|log-dir>
+//! tgq at <log-dir> <epoch> <query...>     query a reconstructed historical state
+//! tgq diff <log-dir> <epoch1> <epoch2>    edge/verdict delta between two epochs
 //! tgq lint <graph> [<policy>] [--format text|json|sarif] [--fix] [--deny <code>]
 //! tgq watch <graph> <policy> <trace>   incremental per-rule audit of a trace
 //! tgq trace <graph> <policy> <trace> [--out <file>] [--format chrome|jsonl]
@@ -40,6 +42,20 @@
 //! lines); vertices are referred to by name. Rule traces use the
 //! `tg-rules` codec (one rule per line); journals are the `TGJ1`
 //! write-ahead format produced by `tgq monitor --journal`.
+//!
+//! `tgq monitor --log <dir>` additionally commits every journaled event
+//! through the hash-chained `tg-log` commit log in `<dir>`, writing an
+//! epoch snapshot every `--snap-interval <n>` commits (default 64;
+//! `0` disables). Rerunning against the same directory *continues* the
+//! logged history: the prior state is recovered from the newest valid
+//! snapshot plus a verified chain-suffix replay. `tgq replay` accepts
+//! either a `TGJ1` journal file or a commit-log directory and prints a
+//! recovery report (snapshot used, records replayed, torn-tail bytes,
+//! chain-verify result). `tgq at` and `tgq diff` reconstruct committed
+//! historical states by epoch — a forged, reordered, spliced or
+//! mid-chain-corrupted log **fails closed** (exit `1`) on every one of
+//! these commands; only a torn tail (a crashed append) is truncated,
+//! and that truncation is reported.
 
 #![forbid(unsafe_code)]
 
@@ -179,11 +195,26 @@ pub const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "monitor",
         args: "<graph> <policy> <trace>",
-        flags: &["--journal <file>", "--batch"],
+        flags: &[
+            "--journal <file>",
+            "--batch",
+            "--log <dir>",
+            "--snap-interval <n>",
+        ],
     },
     CommandSpec {
         name: "replay",
-        args: "<graph> <policy> <journal>",
+        args: "<graph> <policy> <journal|log-dir>",
+        flags: &[],
+    },
+    CommandSpec {
+        name: "at",
+        args: "<log-dir> <epoch> can-share <right> <x> <y> | can-know <x> <y> | can-steal <right> <x> <y> | audit",
+        flags: &[],
+    },
+    CommandSpec {
+        name: "diff",
+        args: "<log-dir> <epoch1> <epoch2>",
         flags: &[],
     },
     CommandSpec {
@@ -271,6 +302,65 @@ fn vertex(graph: &ProtectionGraph, name: &str) -> Result<VertexId, String> {
 
 fn name(graph: &ProtectionGraph, v: VertexId) -> String {
     graph.vertex(v).name.clone()
+}
+
+/// Opens the commit log in `dir` (self-anchored: the epoch-0 snapshot
+/// validates the chain's genesis digest) and reconstructs the committed
+/// state at `epoch`. Any verification failure — forged hash link,
+/// mid-chain corruption, unusable snapshots, replay divergence — fails
+/// closed as a [`CliError::Fail`] (exit `1`).
+fn state_at(
+    dir: &str,
+    epoch: u64,
+) -> Result<(tg_hierarchy::Monitor, tg_log::TravelInfo), CliError> {
+    let store = tg_log::DirStore::open(dir).map_err(|e| e.to_string())?;
+    let (log, _, _) = tg_log::CommitLog::open(
+        Box::new(store),
+        Box::new(CombinedRestriction),
+        tg_log::LogConfig::default(),
+        None,
+    )
+    .map_err(|e| CliError::Fail(format!("{dir}: {e}")))?;
+    log.state_at(epoch, Box::new(CombinedRestriction))
+        .map_err(|e| CliError::Fail(format!("{dir}: {e}")))
+}
+
+/// Every edge keyed by endpoint indices, with its explicit and implicit
+/// labels rendered, for epoch-to-epoch diffing (vertex ids are stable
+/// across epochs: replaying a longer prefix only appends vertices).
+fn edge_map(
+    graph: &ProtectionGraph,
+) -> std::collections::BTreeMap<(usize, usize), (String, String)> {
+    graph
+        .edges()
+        .map(|e| {
+            (
+                (e.src.index(), e.dst.index()),
+                (
+                    e.rights.explicit().to_string(),
+                    e.rights.implicit().to_string(),
+                ),
+            )
+        })
+        .collect()
+}
+
+fn rights_text(rights: &(String, String)) -> String {
+    let (explicit, implicit) = rights;
+    if implicit == "∅" {
+        explicit.clone()
+    } else {
+        format!("{explicit} [de facto: {implicit}]")
+    }
+}
+
+fn edge_label(graph: &ProtectionGraph, key: (usize, usize), rights: &(String, String)) -> String {
+    format!(
+        "{} -> {} : {}",
+        name(graph, VertexId::from_index(key.0)),
+        name(graph, VertexId::from_index(key.1)),
+        rights_text(rights)
+    )
 }
 
 /// Executes one `tgq` invocation, writing human-readable output to `out`.
@@ -645,8 +735,21 @@ fn dispatch(
         "monitor" => {
             let (batch, rest) = split_flag(&rest, "--batch");
             let (journal_out, rest) = split_opt(&rest, "--journal")?;
+            let (log_dir, rest) = split_opt(&rest, "--log")?;
+            let (snap_interval, rest) = split_opt(&rest, "--snap-interval")?;
             let [graph_path, policy_path, trace_path] = rest.as_slice() else {
                 return Err(usage_of(command));
+            };
+            if snap_interval.is_some() && log_dir.is_none() {
+                return Err(CliError::Usage(
+                    "--snap-interval only makes sense with --log <dir>".to_string(),
+                ));
+            }
+            let interval: u64 = match snap_interval {
+                None => 64,
+                Some(raw) => raw.parse().map_err(|_| {
+                    CliError::Usage(format!("--snap-interval expects a number, got {raw:?}"))
+                })?,
             };
             let g = load(graph_path)?;
             let policy_text = std::fs::read_to_string(policy_path)
@@ -657,7 +760,52 @@ fn dispatch(
                 .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
             let trace = tg_rules::codec::decode_derivation(&trace_text)
                 .map_err(|e| format!("{trace_path}: {e}"))?;
-            let mut monitor = tg_hierarchy::Monitor::new(g, levels, Box::new(CombinedRestriction));
+            // With --log, the monitor commits every journaled event
+            // through the hash-chained log in <dir>; an existing chain
+            // there is recovered and continued (its genesis must match
+            // the seed files, so a directory from another system is
+            // rejected).
+            let (log, mut monitor) = match log_dir {
+                None => (
+                    None,
+                    tg_hierarchy::Monitor::new(g, levels, Box::new(CombinedRestriction)),
+                ),
+                Some(dir) => {
+                    let config = tg_log::LogConfig {
+                        snapshot_interval: interval,
+                        write_through: true,
+                    };
+                    let store = tg_log::DirStore::open(dir).map_err(|e| e.to_string())?;
+                    let fresh = !store.dir().join(tg_log::CHAIN_FILE).exists();
+                    if fresh {
+                        let (log, monitor) = tg_log::CommitLog::create(
+                            Box::new(store),
+                            g,
+                            levels,
+                            Box::new(CombinedRestriction),
+                            config,
+                        )
+                        .map_err(|e| format!("{dir}: {e}"))?;
+                        let _ = writeln!(out, "commit log created in {dir}");
+                        (Some(log), monitor)
+                    } else {
+                        let genesis = tg_log::seed_digest(&g, &levels);
+                        let (log, monitor, report) = tg_log::CommitLog::open(
+                            Box::new(store),
+                            Box::new(CombinedRestriction),
+                            config,
+                            Some(genesis),
+                        )
+                        .map_err(|e| format!("{dir}: {e}"))?;
+                        let _ = writeln!(
+                            out,
+                            "commit log resumed at epoch {} (snapshot {} + {} replayed)",
+                            report.end_epoch, report.snapshot_epoch, report.replayed
+                        );
+                        (Some(log), monitor)
+                    }
+                }
+            };
             monitor.enable_journal();
             if batch {
                 match monitor.try_apply_all(&trace.steps) {
@@ -672,6 +820,9 @@ fn dispatch(
                         );
                     }
                 }
+                if let Some(log) = &log {
+                    log.maybe_snapshot(&monitor).map_err(|e| e.to_string())?;
+                }
             } else {
                 for rule in &trace.steps {
                     match monitor.try_apply(rule) {
@@ -679,6 +830,9 @@ fn dispatch(
                         Err(e) => {
                             let _ = writeln!(out, "refused {rule}: {e}");
                         }
+                    }
+                    if let Some(log) = &log {
+                        log.maybe_snapshot(&monitor).map_err(|e| e.to_string())?;
                     }
                 }
             }
@@ -714,6 +868,16 @@ fn dispatch(
                     journal.records()
                 );
             }
+            if let Some(log) = &log {
+                log.persist().map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    out,
+                    "commit log at epoch {} ({} snapshot(s), head {})",
+                    log.end_epoch(),
+                    log.snapshot_epochs().len(),
+                    tg_log::hex16(log.head_hash())
+                );
+            }
             Ok(0)
         }
         "replay" => {
@@ -725,22 +889,95 @@ fn dispatch(
                 .map_err(|e| format!("cannot read {policy_path}: {e}"))?;
             let levels =
                 parse_policy(&policy_text, &g).map_err(|e| format!("{policy_path}: {e}"))?;
-            let bytes = std::fs::read(journal_path)
-                .map_err(|e| format!("cannot read {journal_path}: {e}"))?;
-            let (monitor, report) =
-                tg_hierarchy::journal::recover(g, levels, Box::new(CombinedRestriction), &bytes)
-                    .map_err(|e| format!("{journal_path}: {e}"))?;
-            let _ = writeln!(out, "recovered: {} records replayed", report.replayed);
-            if let Some(torn) = report.torn {
+            let is_log_dir = std::fs::metadata(journal_path)
+                .map(|m| m.is_dir())
+                .unwrap_or(false);
+            let monitor = if is_log_dir {
+                // A tg-log commit-log directory: recover through the
+                // hash chain, pinning its genesis to these seed files.
+                let store = tg_log::DirStore::open(*journal_path).map_err(|e| e.to_string())?;
+                let genesis = tg_log::seed_digest(&g, &levels);
+                let (_, monitor, report) = tg_log::CommitLog::open(
+                    Box::new(store),
+                    Box::new(CombinedRestriction),
+                    tg_log::LogConfig::default(),
+                    Some(genesis),
+                )
+                .map_err(|e| format!("{journal_path}: {e}"))?;
+                let _ = writeln!(out, "recovered: {} records replayed", report.replayed);
+                let _ = writeln!(out, "recovery report:");
                 let _ = writeln!(
                     out,
-                    "torn tail truncated: {} bytes dropped after {} intact records",
-                    torn.dropped_bytes, torn.valid_records
+                    "  chain verify: ok (genesis {})",
+                    tg_log::hex16(report.genesis)
                 );
-            }
-            if report.discarded_open_batch {
-                let _ = writeln!(out, "uncommitted batch at end of journal discarded");
-            }
+                let _ = writeln!(
+                    out,
+                    "  snapshot used: epoch {} ({} rejected)",
+                    report.snapshot_epoch, report.snapshots_rejected
+                );
+                let _ = writeln!(out, "  records replayed: {}", report.replayed);
+                match report.torn {
+                    Some(t) => {
+                        let _ = writeln!(out, "  torn tail: {} bytes truncated", t.dropped_bytes);
+                    }
+                    None => {
+                        let _ = writeln!(out, "  torn tail: none");
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "  open batch: {}",
+                    if report.discarded_open_batch {
+                        "discarded"
+                    } else {
+                        "none"
+                    }
+                );
+                let _ = writeln!(
+                    out,
+                    "  recovered epoch: {} (base {})",
+                    report.end_epoch, report.base_epoch
+                );
+                monitor
+            } else {
+                let bytes = std::fs::read(journal_path)
+                    .map_err(|e| format!("cannot read {journal_path}: {e}"))?;
+                let (monitor, report) = tg_hierarchy::journal::recover(
+                    g,
+                    levels,
+                    Box::new(CombinedRestriction),
+                    &bytes,
+                )
+                .map_err(|e| format!("{journal_path}: {e}"))?;
+                let _ = writeln!(out, "recovered: {} records replayed", report.replayed);
+                let _ = writeln!(out, "recovery report:");
+                let _ = writeln!(out, "  chain verify: n/a (TGJ1 journal, crc32 per record)");
+                let _ = writeln!(out, "  snapshot used: none (full replay from seed)");
+                let _ = writeln!(out, "  records replayed: {}", report.replayed);
+                match report.torn {
+                    Some(t) => {
+                        let _ = writeln!(
+                            out,
+                            "  torn tail: {} bytes truncated after {} intact records",
+                            t.dropped_bytes, t.valid_records
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "  torn tail: none");
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "  open batch: {}",
+                    if report.discarded_open_batch {
+                        "discarded"
+                    } else {
+                        "none"
+                    }
+                );
+                monitor
+            };
             let stats = monitor.stats();
             let _ = writeln!(
                 out,
@@ -754,6 +991,148 @@ fn dispatch(
                 g.vertex_count(),
                 g.explicit_edge_count()
             );
+            Ok(0)
+        }
+        "at" => {
+            let (dir, epoch, query) = match rest.as_slice() {
+                [dir, epoch, query @ ..] if !query.is_empty() => (*dir, *epoch, query.to_vec()),
+                _ => return Err(usage_of(command)),
+            };
+            let epoch: u64 = epoch
+                .parse()
+                .map_err(|_| CliError::Usage(format!("not an epoch number: {epoch:?}")))?;
+            let (monitor, info) = state_at(dir, epoch)?;
+            let g = monitor.graph();
+            let _ = writeln!(
+                out,
+                "epoch {epoch} (snapshot {} + {} replayed):",
+                info.snapshot_epoch, info.replayed
+            );
+            match query.as_slice() {
+                ["can-share", right, x, y] => {
+                    let right =
+                        Right::parse(right).ok_or_else(|| format!("unknown right {right:?}"))?;
+                    let (vx, vy) = (vertex(g, x)?, vertex(g, y)?);
+                    if can_share(g, right, vx, vy) {
+                        let _ = writeln!(out, "true: {x} can acquire {right} to {y}");
+                    } else {
+                        let _ = writeln!(out, "false: {x} can never acquire {right} to {y}");
+                    }
+                    Ok(0)
+                }
+                ["can-know", x, y] => {
+                    let (vx, vy) = (vertex(g, x)?, vertex(g, y)?);
+                    if can_know(g, vx, vy) {
+                        let _ = writeln!(out, "true: {x} can come to know {y}'s information");
+                    } else {
+                        let _ = writeln!(out, "false: information cannot flow from {y} to {x}");
+                    }
+                    Ok(0)
+                }
+                ["can-steal", right, x, y] => {
+                    let right =
+                        Right::parse(right).ok_or_else(|| format!("unknown right {right:?}"))?;
+                    let (vx, vy) = (vertex(g, x)?, vertex(g, y)?);
+                    if can_steal(g, right, vx, vy) {
+                        let _ = writeln!(
+                            out,
+                            "true: {x} can steal {right} to {y} (no owner grants it)"
+                        );
+                    } else {
+                        let _ = writeln!(out, "false: {x} cannot steal {right} to {y}");
+                    }
+                    Ok(0)
+                }
+                ["audit"] => {
+                    let violations = monitor.audit();
+                    if violations.is_empty() {
+                        let _ = writeln!(out, "audit clean: no r/w edge crosses levels");
+                        Ok(0)
+                    } else {
+                        for v in &violations {
+                            let _ = writeln!(
+                                out,
+                                "violation: {} -> {} : {}",
+                                name(g, v.src),
+                                name(g, v.dst),
+                                v.rights
+                            );
+                        }
+                        Err(format!("{} violating edge(s)", violations.len()).into())
+                    }
+                }
+                _ => Err(usage_of(command)),
+            }
+        }
+        "diff" => {
+            let [dir, e1, e2] = rest.as_slice() else {
+                return Err(usage_of(command));
+            };
+            let parse_epoch = |raw: &str| -> Result<u64, CliError> {
+                raw.parse()
+                    .map_err(|_| CliError::Usage(format!("not an epoch number: {raw:?}")))
+            };
+            let (e1, e2) = (parse_epoch(e1)?, parse_epoch(e2)?);
+            let (m1, _) = state_at(dir, e1)?;
+            let (m2, _) = state_at(dir, e2)?;
+            let (g1, g2) = (m1.graph(), m2.graph());
+            let _ = writeln!(out, "diff epoch {e1} -> epoch {e2}:");
+            let _ = writeln!(
+                out,
+                "  vertices: {} -> {}",
+                g1.vertex_count(),
+                g2.vertex_count()
+            );
+            // Edge delta, keyed by endpoints; `~` marks a rights change.
+            let before = edge_map(g1);
+            let after = edge_map(g2);
+            let mut delta = 0usize;
+            for (key, rights) in &after {
+                let label = edge_label(g2, *key, rights);
+                match before.get(key) {
+                    None => {
+                        let _ = writeln!(out, "  + {label}");
+                        delta += 1;
+                    }
+                    Some(old) if old != rights => {
+                        let _ = writeln!(
+                            out,
+                            "  ~ {} => {}",
+                            edge_label(g1, *key, old),
+                            rights_text(rights)
+                        );
+                        delta += 1;
+                    }
+                    Some(_) => {}
+                }
+            }
+            for (key, rights) in &before {
+                if !after.contains_key(key) {
+                    let _ = writeln!(out, "  - {}", edge_label(g1, *key, rights));
+                    delta += 1;
+                }
+            }
+            if delta == 0 {
+                let _ = writeln!(out, "  edges: unchanged");
+            }
+            let (s1, s2) = (m1.stats(), m2.stats());
+            let _ = writeln!(
+                out,
+                "  stats: {:+} permitted, {:+} denied, {:+} malformed, {:+} refused",
+                s2.permitted as i64 - s1.permitted as i64,
+                s2.denied as i64 - s1.denied as i64,
+                s2.malformed as i64 - s1.malformed as i64,
+                s2.refused as i64 - s1.refused as i64
+            );
+            let (v1, v2) = (m1.audit(), m2.audit());
+            let verdict = |v: &[tg_hierarchy::Violation]| {
+                if v.is_empty() {
+                    "clean".to_string()
+                } else {
+                    format!("VIOLATING ({})", v.len())
+                }
+            };
+            let _ = writeln!(out, "  audit: {} -> {}", verdict(&v1), verdict(&v2));
             Ok(0)
         }
         "figure" => {

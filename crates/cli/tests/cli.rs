@@ -202,7 +202,9 @@ fn replay_survives_torn_tails_and_fails_closed_on_corruption() {
     let torn_path = temp_file("tear.torn", "");
     std::fs::write(&torn_path, &bytes[..bytes.len() - 5]).unwrap();
     let out = run(&["replay", &graph, &policy, &torn_path]).unwrap();
-    assert!(out.contains("torn tail truncated"));
+    // The torn partial line (29 bytes survive of the 34-byte record) is
+    // dropped whole; only the intact prefix replays.
+    assert!(out.contains("torn tail: 29 bytes truncated after 1 intact records"));
     assert!(out.contains("recovered: 1 records replayed"));
 
     // Mid-log corruption: damage the first record — replay refuses.
@@ -213,6 +215,151 @@ fn replay_survives_torn_tails_and_fails_closed_on_corruption() {
     std::fs::write(&bad_path, &damaged).unwrap();
     let err = run(&["replay", &graph, &policy, &bad_path]).unwrap_err();
     assert!(err.contains("corruption"), "got: {err}");
+}
+
+/// Fresh directory path for a commit log (removed if a previous run
+/// left one behind; the CLI creates it).
+fn temp_dir(name: &str) -> String {
+    let path = std::env::temp_dir().join(format!("tgq-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn monitor_commit_log_round_trips_with_report_at_and_diff() {
+    use tg_graph::Rights;
+    let graph = temp_file("log.tg", HIER_GRAPH);
+    let policy = temp_file("log.pol", HIER_POLICY);
+    let trace = temp_file(
+        "log.trace",
+        &format!(
+            "{}\n{}\n",
+            take_line(1, 2, 0, Rights::W),
+            take_line(1, 2, 0, Rights::R)
+        ),
+    );
+    let dir = temp_dir("log.dir");
+    let out = run(&["monitor", &graph, &policy, &trace, "--log", &dir]).unwrap();
+    assert!(out.contains("commit log created in"), "got: {out}");
+    assert!(out.contains("1 permitted, 1 denied, 0 malformed, 0 refused"));
+    assert!(
+        out.contains("commit log at epoch 2 (1 snapshot(s)"),
+        "got: {out}"
+    );
+
+    // Replaying the directory prints the pinned recovery report block.
+    let out = run(&["replay", &graph, &policy, &dir]).unwrap();
+    assert!(out.contains("recovered: 2 records replayed"), "got: {out}");
+    assert!(out.contains("recovery report:"), "got: {out}");
+    assert!(out.contains("  chain verify: ok (genesis "), "got: {out}");
+    assert!(
+        out.contains("  snapshot used: epoch 0 (0 rejected)"),
+        "got: {out}"
+    );
+    assert!(out.contains("  records replayed: 2"), "got: {out}");
+    assert!(out.contains("  torn tail: none"), "got: {out}");
+    assert!(out.contains("  open batch: none"), "got: {out}");
+    assert!(out.contains("  recovered epoch: 2 (base 0)"), "got: {out}");
+    assert!(out.contains("1 permitted, 1 denied, 0 malformed, 0 refused"));
+
+    // Rerunning the monitor against the same directory continues the
+    // logged history instead of starting over.
+    let out = run(&["monitor", &graph, &policy, &trace, "--log", &dir]).unwrap();
+    assert!(
+        out.contains("commit log resumed at epoch 2 (snapshot 0 + 2 replayed)"),
+        "got: {out}"
+    );
+    assert!(out.contains("commit log at epoch 4"), "got: {out}");
+
+    // Time travel: epoch 0 has no lo -> hi edge, epoch 2 does.
+    let out = run(&["at", &dir, "0", "can-share", "w", "lo", "hi"]).unwrap();
+    assert!(
+        out.contains("epoch 0 (snapshot 0 + 0 replayed):"),
+        "got: {out}"
+    );
+    let out = run(&["at", &dir, "2", "audit"]).unwrap();
+    assert!(
+        out.contains("epoch 2 (snapshot 0 + 2 replayed):"),
+        "got: {out}"
+    );
+    assert!(out.contains("audit clean"), "got: {out}");
+
+    let out = run(&["diff", &dir, "0", "2"]).unwrap();
+    assert!(out.contains("diff epoch 0 -> epoch 2:"), "got: {out}");
+    assert!(out.contains("  vertices: 3 -> 3"), "got: {out}");
+    assert!(out.contains("  + lo -> hi : w"), "got: {out}");
+    assert!(
+        out.contains("  stats: +1 permitted, +1 denied, +0 malformed, +0 refused"),
+        "got: {out}"
+    );
+    assert!(out.contains("  audit: clean -> clean"), "got: {out}");
+
+    // Unreachable epochs refuse closed.
+    let err = run(&["at", &dir, "99", "audit"]).unwrap_err();
+    assert!(err.contains("future"), "got: {err}");
+}
+
+#[test]
+fn corrupted_commit_logs_fail_closed_with_exit_1() {
+    use tg_graph::Rights;
+    let graph = temp_file("logcorrupt.tg", HIER_GRAPH);
+    let policy = temp_file("logcorrupt.pol", HIER_POLICY);
+    let trace = temp_file(
+        "logcorrupt.trace",
+        &format!(
+            "{}\n{}\n",
+            take_line(1, 2, 0, Rights::W),
+            take_line(1, 2, 0, Rights::R)
+        ),
+    );
+    let dir = temp_dir("logcorrupt.dir");
+    run(&["monitor", &graph, &policy, &trace, "--log", &dir]).unwrap();
+    let chain_path = std::path::Path::new(&dir).join("chain.tgl");
+    let pristine = std::fs::read(&chain_path).unwrap();
+
+    // Flip a byte in the FIRST record (not the tail): fails closed as a
+    // Fail error — the binary maps that to exit 1.
+    let mut forged = pristine.clone();
+    let first_record = forged.iter().position(|&b| b == b'\n').unwrap() + 3;
+    forged[first_record] ^= 0x41;
+    std::fs::write(&chain_path, &forged).unwrap();
+    match run_full(&["replay", &graph, &policy, &dir]) {
+        Err(tg_cli::CliError::Fail(msg)) => {
+            assert!(
+                msg.contains("corrupt") || msg.contains("link") || msg.contains("refus"),
+                "got: {msg}"
+            );
+        }
+        other => panic!("forged chain must fail closed, got {other:?}"),
+    }
+    assert!(matches!(
+        run_full(&["at", &dir, "1", "audit"]),
+        Err(tg_cli::CliError::Fail(_))
+    ));
+    assert!(matches!(
+        run_full(&["diff", &dir, "0", "1"]),
+        Err(tg_cli::CliError::Fail(_))
+    ));
+
+    // A torn tail (truncated mid-record) is recoverable and reported.
+    std::fs::write(&chain_path, &pristine[..pristine.len() - 7]).unwrap();
+    let out = run(&["replay", &graph, &policy, &dir]).unwrap();
+    assert!(out.contains("torn tail: "), "got: {out}");
+    assert!(out.contains("recovered: 1 records replayed"), "got: {out}");
+
+    // A wrong seed (different graph) is a genesis mismatch: fail closed.
+    std::fs::write(&chain_path, &pristine).unwrap();
+    let other_graph = temp_file("logcorrupt-other.tg", FIG61);
+    let other_policy = temp_file(
+        "logcorrupt-other.pol",
+        "level low\nassign x low\nassign s low\nassign y low\n",
+    );
+    match run_full(&["replay", &other_graph, &other_policy, &dir]) {
+        Err(tg_cli::CliError::Fail(msg)) => {
+            assert!(msg.contains("genesis"), "got: {msg}");
+        }
+        other => panic!("wrong seed must fail closed, got {other:?}"),
+    }
 }
 
 #[test]
@@ -304,7 +451,10 @@ fn usage_lines_mention_every_accepted_flag() {
         ("can-share", &["--witness"]),
         ("can-know", &["--witness"]),
         ("can-steal", &["--witness"]),
-        ("monitor", &["--journal", "--batch"]),
+        (
+            "monitor",
+            &["--journal", "--batch", "--log", "--snap-interval"],
+        ),
         ("lint", &["--format", "--fix", "--deny"]),
         ("trace", &["--out", "--format"]),
         (

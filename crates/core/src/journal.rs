@@ -138,7 +138,11 @@ pub enum JournalEvent {
 }
 
 impl JournalEvent {
-    fn encode_payload(&self) -> String {
+    /// Encodes this event as a `TGJ1` record payload (the part after the
+    /// CRC and sequence number). Public so other log formats — the
+    /// hash-chained commit log in `tg-log` — can carry the exact same
+    /// payloads and share one codec.
+    pub fn encode_payload(&self) -> String {
         match self {
             JournalEvent::Attempt { outcome, rule } => {
                 format!("R {outcome} {}", encode_rule(rule))
@@ -154,7 +158,14 @@ impl JournalEvent {
         }
     }
 
-    fn decode_payload(payload: &str) -> Result<JournalEvent, CodecError> {
+    /// Decodes a `TGJ1` record payload (inverse of
+    /// [`encode_payload`](JournalEvent::encode_payload)).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] if the payload tag, outcome word, batch index, or
+    /// embedded rule fails to parse.
+    pub fn decode_payload(payload: &str) -> Result<JournalEvent, CodecError> {
         let (tag, rest) = match payload.split_once(' ') {
             Some((tag, rest)) => (tag, rest),
             None => (payload, ""),
@@ -457,11 +468,36 @@ pub fn recover(
         discarded_open_batch = true;
     }
 
+    replay_events(&mut monitor, effective)?;
+
+    Ok((
+        monitor,
+        Recovery {
+            replayed: effective.len(),
+            torn: parsed.torn,
+            discarded_open_batch,
+        },
+    ))
+}
+
+/// Replays already-parsed events onto a live monitor, **re-verifying**
+/// every record against the monitor's restriction (the journal is
+/// evidence, not authority). Callers must strip a trailing open batch
+/// first (see [`open_batch_start`]); [`recover`] does this, and the
+/// commit log's snapshot-based recovery does the same for its chain
+/// suffix.
+///
+/// # Errors
+///
+/// [`JournalError::UnexpectedEvent`] on a structurally impossible event
+/// order, [`JournalError::Diverged`] when a journaled outcome does not
+/// reproduce. Record numbers in errors are 0-based indexes into `events`.
+pub fn replay_events(monitor: &mut Monitor, events: &[JournalEvent]) -> Result<(), JournalError> {
     let mut batch: Option<Vec<Rule>> = None;
-    for (record, event) in effective.iter().enumerate() {
+    for (record, event) in events.iter().enumerate() {
         match (event, batch.as_mut()) {
             (JournalEvent::Attempt { outcome, rule }, None) => {
-                replay_attempt(&mut monitor, *outcome, rule, record)?;
+                replay_attempt(monitor, *outcome, rule, record)?;
             }
             (JournalEvent::BatchBegin, None) => {
                 batch = Some(Vec::new());
@@ -513,19 +549,13 @@ pub fn recover(
             _ => return Err(JournalError::UnexpectedEvent { record }),
         }
     }
-
-    Ok((
-        monitor,
-        Recovery {
-            replayed: effective.len(),
-            torn: parsed.torn,
-            discarded_open_batch,
-        },
-    ))
+    Ok(())
 }
 
 /// Index of the `BatchBegin` of a batch still open at end of log, if any.
-fn open_batch_start(events: &[JournalEvent]) -> Option<usize> {
+/// Recovery discards everything from here on — the batch never committed,
+/// matching the live monitor's rollback-on-abort semantics.
+pub fn open_batch_start(events: &[JournalEvent]) -> Option<usize> {
     let mut open: Option<usize> = None;
     for (i, event) in events.iter().enumerate() {
         match event {

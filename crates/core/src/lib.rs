@@ -61,12 +61,13 @@ pub mod structure;
 pub mod wu;
 
 pub use journal::{
-    recover, Journal, JournalError, JournalEvent, Outcome, ParsedJournal, Recovery, TornTail,
+    open_batch_start, parse_journal, recover, replay_events, Journal, JournalError, JournalEvent,
+    Outcome, ParsedJournal, Recovery, TornTail,
 };
 pub use levels::{rw_levels, rwtg_levels, DerivedLevels, LevelAssignment, LevelError};
 pub use monitor::{
-    audit_diagnostics, audit_graph, edge_audit_diagnostics, violations_of, BatchError, Explanation,
-    Monitor, MonitorError, MonitorObserver, MonitorStats, Violation,
+    audit_diagnostics, audit_graph, edge_audit_diagnostics, violations_of, BatchError, EventSink,
+    Explanation, Monitor, MonitorError, MonitorObserver, MonitorStats, Violation,
 };
 pub use restrict::{
     ApplicationRestriction, CombinedRestriction, Decision, DenyReason, DirectionRestriction,

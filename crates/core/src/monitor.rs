@@ -158,6 +158,20 @@ pub trait MonitorObserver: Send {
     }
 }
 
+/// A sink that receives every journal event the monitor records, in
+/// order, *before* the corresponding graph mutation — the same
+/// write-ahead discipline as the in-memory [`Journal`]. This is the
+/// attachment point for external durable logs (the hash-chained commit
+/// log in `tg-log`): the monitor stays ignorant of storage, hashing and
+/// snapshot policy; the sink owns all of it.
+///
+/// `Send` for the same reason as [`MonitorObserver`]: a monitor handed to
+/// a worker thread carries its sink along.
+pub trait EventSink: Send {
+    /// Called with each event at the moment it is recorded.
+    fn append(&mut self, event: &JournalEvent);
+}
+
 /// An `r`/`w` edge violating the restriction's invariant, found by audit.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Violation {
@@ -223,6 +237,7 @@ pub struct Monitor {
     log: Derivation,
     stats: MonitorStats,
     journal: Option<Journal>,
+    sink: Option<Box<dyn EventSink>>,
     degraded: bool,
     observer: Option<Box<dyn MonitorObserver>>,
 }
@@ -253,9 +268,28 @@ impl Monitor {
             log: Derivation::new(),
             stats: MonitorStats::default(),
             journal: None,
+            sink: None,
             degraded: false,
             observer: None,
         }
+    }
+
+    /// Reconstitutes a monitor from externally persisted state — a
+    /// commit-log snapshot: the graph, classification and counters are
+    /// adopted as recorded, while the [`Derivation`] log restarts empty
+    /// (carrying the full rule-by-rule history in every snapshot would
+    /// defeat bounded recovery; the journal remains the history of
+    /// record). The monitor starts undegraded with no journal, sink or
+    /// observer attached.
+    pub fn restore(
+        graph: ProtectionGraph,
+        levels: LevelAssignment,
+        restriction: Box<dyn Restriction>,
+        stats: MonitorStats,
+    ) -> Monitor {
+        let mut monitor = Monitor::new(graph, levels, restriction);
+        monitor.stats = stats;
+        monitor
     }
 
     /// Attaches an observer that is notified of every committed state
@@ -327,6 +361,18 @@ impl Monitor {
         self.journal.as_ref()
     }
 
+    /// Attaches an event sink that receives every recorded event from now
+    /// on, before the corresponding mutation. Attach it *after* any
+    /// recovery replay, or the replayed history is logged twice.
+    pub fn attach_event_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Whether an event sink is attached.
+    pub fn has_event_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
     /// Whether the monitor is in fail-closed degraded mode.
     pub fn is_degraded(&self) -> bool {
         self.degraded
@@ -337,6 +383,9 @@ impl Monitor {
             let _span = tg_obs::span(tg_obs::SpanKind::JournalWrite);
             journal.append(event);
             tg_obs::add(tg_obs::Counter::JournalRecords, 1);
+        }
+        if let Some(sink) = self.sink.as_mut() {
+            sink.append(event);
         }
     }
 

@@ -1,0 +1,406 @@
+//! Storage behind the commit log: a tiny flat-namespace file store.
+//!
+//! Two backends implement [`Store`]:
+//!
+//! * [`DirStore`] — a real directory. Appends are fsynced; whole-file
+//!   writes go through the atomic temp-file + fsync + rename protocol, so
+//!   a crash leaves either the old file or the new one, never a mix.
+//! * [`MemStore`] — an in-memory map shared between clones, with every
+//!   write routed through a [`CrashPlan`]. This is the fault-injection
+//!   backend: tests kill the "process" at an exact byte offset, then
+//!   reopen the surviving bytes through a fresh handle to model restart.
+//!
+//! `MemStore` models the atomic-write protocol explicitly — temp bytes
+//! first, then a one-byte "rename tick" — so a crash mid-protocol leaves
+//! a partial `*.tmp` entry and an untouched final file, exactly the state
+//! a real filesystem guarantees.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use tg_sim::faults::{CrashPlan, WriteFate};
+
+/// A storage failure. Every variant is fatal to the commit log that
+/// observes it: the log poisons itself rather than continue with
+/// un-durable history.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StoreError {
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl StoreError {
+    pub(crate) fn new(detail: impl Into<String>) -> StoreError {
+        StoreError {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "store error: {}", self.detail)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A flat namespace of named byte files, the only storage interface the
+/// commit log uses. Object-safe and `Send` so a log can be handed to a
+/// worker thread.
+pub trait Store: Send {
+    /// Reads a whole file, `None` if absent.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on an I/O failure other than absence.
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, StoreError>;
+
+    /// Appends bytes to a file, creating it if absent, durably.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the bytes could not all be made durable — the
+    /// caller must assume an unknown prefix landed.
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError>;
+
+    /// Replaces a file's contents atomically: after a crash at any point
+    /// the file holds either its old contents or exactly `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the replacement could not be completed; the
+    /// final file is then unchanged (only temp debris may remain).
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError>;
+
+    /// Removes a file if present.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on an I/O failure other than absence.
+    fn remove(&mut self, name: &str) -> Result<(), StoreError>;
+
+    /// All file names present, sorted.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the namespace cannot be enumerated.
+    fn list(&self) -> Result<Vec<String>, StoreError>;
+}
+
+/// Suffix of the scratch file used by the atomic-write protocol.
+const TMP_SUFFIX: &str = ".tmp";
+
+/// A [`Store`] over a real directory.
+#[derive(Debug)]
+pub struct DirStore {
+    dir: PathBuf,
+}
+
+impl DirStore {
+    /// Opens (creating if needed) a directory as a store.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<DirStore, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::new(format!("create {}: {e}", dir.display())))?;
+        Ok(DirStore { dir })
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// Fsyncs the directory itself so a just-renamed or just-created
+    /// entry survives a crash. Best-effort on platforms where opening a
+    /// directory for sync is not supported.
+    fn sync_dir(&self) {
+        if let Ok(d) = fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+impl Store for DirStore {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        match fs::read(self.path(name)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(StoreError::new(format!("read {name}: {e}"))),
+        }
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))
+            .map_err(|e| StoreError::new(format!("open {name} for append: {e}")))?;
+        file.write_all(bytes)
+            .map_err(|e| StoreError::new(format!("append {name}: {e}")))?;
+        file.sync_data()
+            .map_err(|e| StoreError::new(format!("fsync {name}: {e}")))?;
+        Ok(())
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let tmp = self.path(&format!("{name}{TMP_SUFFIX}"));
+        let mut file = fs::File::create(&tmp)
+            .map_err(|e| StoreError::new(format!("create {}: {e}", tmp.display())))?;
+        file.write_all(bytes)
+            .map_err(|e| StoreError::new(format!("write {}: {e}", tmp.display())))?;
+        file.sync_all()
+            .map_err(|e| StoreError::new(format!("fsync {}: {e}", tmp.display())))?;
+        drop(file);
+        fs::rename(&tmp, self.path(name))
+            .map_err(|e| StoreError::new(format!("rename into {name}: {e}")))?;
+        self.sync_dir();
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), StoreError> {
+        match fs::remove_file(self.path(name)) {
+            Ok(()) => {
+                self.sync_dir();
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StoreError::new(format!("remove {name}: {e}"))),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        let mut names = Vec::new();
+        let entries = fs::read_dir(&self.dir)
+            .map_err(|e| StoreError::new(format!("list {}: {e}", self.dir.display())))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::new(format!("list entry: {e}")))?;
+            if let Some(name) = entry.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+/// A crash-injectable in-memory [`Store`]. Clones share the same file
+/// map and crash plan, so a test keeps one handle "outside the process"
+/// to inspect or reopen the surviving bytes after the plan trips.
+#[derive(Clone, Debug)]
+pub struct MemStore {
+    files: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
+    plan: Arc<Mutex<CrashPlan>>,
+}
+
+impl Default for MemStore {
+    fn default() -> MemStore {
+        MemStore::new()
+    }
+}
+
+impl MemStore {
+    /// An empty store that never crashes.
+    pub fn new() -> MemStore {
+        MemStore::with_plan(CrashPlan::never())
+    }
+
+    /// An empty store whose writes follow `plan`.
+    pub fn with_plan(plan: CrashPlan) -> MemStore {
+        MemStore {
+            files: Arc::new(Mutex::new(BTreeMap::new())),
+            plan: Arc::new(Mutex::new(plan)),
+        }
+    }
+
+    /// Replaces the crash plan (e.g. back to [`CrashPlan::never`] before
+    /// reopening the survivors, modelling a clean restart).
+    pub fn set_plan(&self, plan: CrashPlan) {
+        *self.plan.lock().expect("plan lock") = plan;
+    }
+
+    /// Whether the crash plan has tripped — the modelled process is dead.
+    pub fn crashed(&self) -> bool {
+        self.plan.lock().expect("plan lock").tripped()
+    }
+
+    /// Total bytes a run over the same workload would write: run the
+    /// workload once against a `never` plan, then call this to size an
+    /// exhaustive `kill_after_bytes` sweep.
+    pub fn bytes_stored(&self) -> usize {
+        self.files
+            .lock()
+            .expect("files lock")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    fn lock_files(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Vec<u8>>> {
+        self.files.lock().expect("files lock")
+    }
+
+    fn admit(&self, len: usize) -> WriteFate {
+        self.plan.lock().expect("plan lock").admit(len)
+    }
+}
+
+impl Store for MemStore {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(self.lock_files().get(name).cloned())
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        match self.admit(bytes.len()) {
+            WriteFate::Full => {
+                self.lock_files()
+                    .entry(name.to_string())
+                    .or_default()
+                    .extend_from_slice(bytes);
+                Ok(())
+            }
+            WriteFate::Partial(k) => {
+                self.lock_files()
+                    .entry(name.to_string())
+                    .or_default()
+                    .extend_from_slice(&bytes[..k]);
+                Err(StoreError::new(format!(
+                    "crash: append to {name} torn after {k} of {} bytes",
+                    bytes.len()
+                )))
+            }
+            WriteFate::Dead => Err(StoreError::new("crash: process is dead")),
+        }
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        // Phase 1: write the temp file (crash leaves partial temp bytes,
+        // final file untouched).
+        let tmp = format!("{name}{TMP_SUFFIX}");
+        match self.admit(bytes.len()) {
+            WriteFate::Full => {
+                self.lock_files().insert(tmp.clone(), bytes.to_vec());
+            }
+            WriteFate::Partial(k) => {
+                self.lock_files().insert(tmp, bytes[..k].to_vec());
+                return Err(StoreError::new(format!(
+                    "crash: temp write for {name} torn after {k} of {} bytes",
+                    bytes.len()
+                )));
+            }
+            WriteFate::Dead => return Err(StoreError::new("crash: process is dead")),
+        }
+        // Phase 2: the rename tick — one indivisible unit of crash
+        // budget. Crash here leaves a complete temp file but the old
+        // final contents.
+        match self.admit(1) {
+            WriteFate::Full => {
+                let mut files = self.lock_files();
+                files.remove(&tmp);
+                files.insert(name.to_string(), bytes.to_vec());
+                Ok(())
+            }
+            WriteFate::Partial(_) => Err(StoreError::new(format!(
+                "crash: died before renaming {tmp} into place"
+            ))),
+            WriteFate::Dead => Err(StoreError::new("crash: process is dead")),
+        }
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), StoreError> {
+        // Removal is one indivisible unit, like the rename tick.
+        match self.admit(1) {
+            WriteFate::Full => {
+                self.lock_files().remove(name);
+                Ok(())
+            }
+            WriteFate::Partial(_) | WriteFate::Dead => {
+                Err(StoreError::new(format!("crash: died removing {name}")))
+            }
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        Ok(self.lock_files().keys().cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_store_round_trips_and_lists() {
+        let dir = std::env::temp_dir().join(format!("tg-log-store-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut store = DirStore::open(&dir).unwrap();
+        assert_eq!(store.read("a").unwrap(), None);
+        store.append("a", b"hello ").unwrap();
+        store.append("a", b"world").unwrap();
+        assert_eq!(
+            store.read("a").unwrap().as_deref(),
+            Some(&b"hello world"[..])
+        );
+        store.write_atomic("b", b"atomic").unwrap();
+        assert_eq!(
+            store.list().unwrap(),
+            vec!["a".to_string(), "b".to_string()]
+        );
+        store.write_atomic("b", b"replaced").unwrap();
+        assert_eq!(store.read("b").unwrap().as_deref(), Some(&b"replaced"[..]));
+        store.remove("a").unwrap();
+        store.remove("a").unwrap(); // idempotent
+        assert_eq!(store.list().unwrap(), vec!["b".to_string()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_store_clones_share_contents() {
+        let mut store = MemStore::new();
+        let outside = store.clone();
+        store.append("x", b"abc").unwrap();
+        assert_eq!(outside.read("x").unwrap().as_deref(), Some(&b"abc"[..]));
+        assert_eq!(outside.bytes_stored(), 3);
+    }
+
+    #[test]
+    fn mem_store_crashes_tear_appends() {
+        let mut store = MemStore::with_plan(CrashPlan::kill_after_bytes(5));
+        store.append("x", b"abc").unwrap();
+        store.append("x", b"defg").unwrap_err(); // 2 of 4 land
+        assert!(store.crashed());
+        store.append("x", b"zz").unwrap_err(); // dead: nothing lands
+        assert_eq!(store.read("x").unwrap().as_deref(), Some(&b"abcde"[..]));
+    }
+
+    #[test]
+    fn mem_store_atomic_writes_never_mix_old_and_new() {
+        // Budget sweep across the whole protocol: the final file is
+        // always either absent/old or exactly the new bytes.
+        let payload = b"0123456789";
+        for budget in 0..=11u64 {
+            let mut store = MemStore::with_plan(CrashPlan::kill_after_bytes(budget));
+            let result = store.write_atomic("f", payload);
+            let survivors = store.clone();
+            match survivors.read("f").unwrap() {
+                None => assert!(result.is_err(), "budget {budget}"),
+                Some(bytes) => {
+                    assert_eq!(bytes, payload.to_vec(), "budget {budget}");
+                    assert!(result.is_ok(), "budget {budget}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! The 256-case differential suite: every state the commit log
+//! reconstructs (snapshot + chain-suffix replay) must be *identical* to
+//! the state the naive oracle produces by replaying the raw `TGJ1`
+//! journal prefix from the seed — across snapshot boundaries, with
+//! snapshots disabled, and after compaction.
+//!
+//! The live monitor journals through **both** paths at once (the PR 1
+//! plain journal and the hash-chained commit log), so journal record
+//! `k` and chain record `k` describe the same event, and "epoch `e`"
+//! means the same cut in both histories. The oracle for epoch `e` is
+//! then `recover(seed, magic line + first e journal lines)`.
+
+use tg_analysis::can_know;
+use tg_graph::{ProtectionGraph, VertexId};
+use tg_hierarchy::journal::recover;
+use tg_hierarchy::structure::linear_hierarchy;
+use tg_hierarchy::{CombinedRestriction, LevelAssignment, Monitor};
+use tg_log::{CommitLog, LogConfig, LogError, MemStore, Store};
+use tg_rules::Rule;
+use tg_sim::faults::adversarial_trace;
+use tg_sim::prng::Prng;
+
+fn restriction() -> Box<CombinedRestriction> {
+    Box::new(CombinedRestriction)
+}
+
+fn seed_state() -> (ProtectionGraph, LevelAssignment) {
+    let built = linear_hierarchy(&["low", "mid", "high"], 3);
+    (built.graph, built.assignment)
+}
+
+/// Mixes single applications with transactional batches so the history
+/// exercises `R`, `B`/`A`/`C` and `B`/`A`/`X` records, calling
+/// `maybe_snapshot` after every step the way the CLI service loop does.
+fn drive(monitor: &mut Monitor, log: &CommitLog, trace: &[Rule], seed: u64) {
+    let mut rng = Prng::seed_from_u64(seed ^ 0x5EED);
+    let mut i = 0;
+    while i < trace.len() {
+        if rng.gen_bool(0.3) {
+            let width = 2 + rng.below(3);
+            let batch = &trace[i..(i + width).min(trace.len())];
+            let _ = monitor.try_apply_all(batch);
+            i += batch.len();
+        } else {
+            let _ = monitor.try_apply(&trace[i]);
+            i += 1;
+        }
+        log.maybe_snapshot(monitor).expect("snapshotting succeeds");
+    }
+}
+
+/// The naive oracle: seed state folded through the first `epoch` raw
+/// journal records, via PR 1's `recover`.
+fn oracle_at(journal_text: &str, epoch: u64) -> Monitor {
+    let mut lines = journal_text.lines();
+    let magic = lines.next().expect("journal has a magic line");
+    let mut prefix = String::from(magic);
+    prefix.push('\n');
+    for line in lines.take(epoch as usize) {
+        prefix.push_str(line);
+        prefix.push('\n');
+    }
+    let (graph, levels) = seed_state();
+    let (monitor, _) = recover(graph, levels, restriction(), prefix.as_bytes())
+        .expect("a clean journal prefix recovers");
+    monitor
+}
+
+fn assert_state_matches(case: &str, ours: &Monitor, oracle: &Monitor) {
+    assert_eq!(ours.graph(), oracle.graph(), "{case}: graphs diverge");
+    assert_eq!(ours.levels(), oracle.levels(), "{case}: levels diverge");
+    assert_eq!(ours.stats(), oracle.stats(), "{case}: stats diverge");
+    // Same graph, same verdicts — probe a query anyway so the suite
+    // fails loudly if graph equality ever stops implying verdict
+    // equality.
+    let n = ours.graph().vertex_count();
+    if n >= 2 {
+        let x = VertexId::from_index(0);
+        let y = VertexId::from_index(n - 1);
+        assert_eq!(
+            can_know(ours.graph(), x, y),
+            can_know(oracle.graph(), x, y),
+            "{case}: can_know verdicts diverge"
+        );
+    }
+}
+
+/// Four probe epochs per run: genesis, two interior cuts, and the head.
+fn probes(end: u64) -> [u64; 4] {
+    [0, end / 3, 2 * end / 3, end]
+}
+
+/// 16 seeds x 4 snapshot intervals x 4 probe epochs = 256 differential
+/// reconstructions.
+#[test]
+fn time_travel_matches_naive_journal_replay() {
+    let mut cases = 0usize;
+    for seed in 0..16u64 {
+        for interval in [0u64, 2, 5, 8] {
+            let (graph, levels) = seed_state();
+            let trace = adversarial_trace(&graph, &levels, 30 + (seed as usize % 20), seed);
+            let config = LogConfig {
+                snapshot_interval: interval,
+                write_through: true,
+            };
+            let (log, mut monitor) = CommitLog::create(
+                Box::new(MemStore::new()),
+                graph,
+                levels,
+                restriction(),
+                config,
+            )
+            .expect("fresh log");
+            monitor.enable_journal();
+            drive(&mut monitor, &log, &trace, seed);
+
+            let journal = monitor
+                .journal()
+                .expect("journal enabled")
+                .as_str()
+                .to_string();
+            let end = log.end_epoch();
+            assert_eq!(
+                end,
+                journal.lines().count() as u64 - 1,
+                "chain and journal record the same history"
+            );
+
+            for epoch in probes(end) {
+                let (ours, info) = log
+                    .state_at(epoch, restriction())
+                    .expect("committed epochs reconstruct");
+                let oracle = oracle_at(&journal, epoch);
+                let case = format!("seed {seed} interval {interval} epoch {epoch}");
+                assert_state_matches(&case, &ours, &oracle);
+                assert!(
+                    info.snapshot_epoch <= epoch,
+                    "{case}: snapshot used is at or below the probe"
+                );
+                cases += 1;
+            }
+        }
+    }
+    assert_eq!(cases, 256, "the differential suite is exactly 256 cases");
+}
+
+/// After compaction the reachable epochs must reconstruct to the exact
+/// same states as before, and folded epochs must refuse closed.
+#[test]
+fn compaction_preserves_every_reachable_state() {
+    for seed in [3u64, 11, 17] {
+        let (graph, levels) = seed_state();
+        let trace = adversarial_trace(&graph, &levels, 40, seed);
+        let config = LogConfig {
+            snapshot_interval: 6,
+            write_through: true,
+        };
+        let (log, mut monitor) = CommitLog::create(
+            Box::new(MemStore::new()),
+            graph,
+            levels,
+            restriction(),
+            config,
+        )
+        .expect("fresh log");
+        monitor.enable_journal();
+        drive(&mut monitor, &log, &trace, seed);
+        let journal = monitor
+            .journal()
+            .expect("journal enabled")
+            .as_str()
+            .to_string();
+        let end = log.end_epoch();
+
+        let report = log.compact(restriction()).expect("compaction proof holds");
+        assert!(report.base_epoch > 0, "seed {seed}: something was folded");
+        assert_eq!(log.base_epoch(), report.base_epoch);
+        assert_eq!(log.end_epoch(), end, "compaction never loses the head");
+
+        for epoch in report.base_epoch..=end {
+            let (ours, _) = log
+                .state_at(epoch, restriction())
+                .expect("post-compaction epochs reconstruct");
+            let oracle = oracle_at(&journal, epoch);
+            assert_state_matches(
+                &format!("seed {seed} post-compaction epoch {epoch}"),
+                &ours,
+                &oracle,
+            );
+        }
+        match log.state_at(report.base_epoch - 1, restriction()) {
+            Err(LogError::CompactedAway { .. }) => {}
+            other => panic!("folded epoch must refuse closed, got {other:?}"),
+        }
+        match log.state_at(end + 1, restriction()) {
+            Err(LogError::FutureEpoch { .. }) => {}
+            other => panic!("future epoch must refuse closed, got {other:?}"),
+        }
+    }
+}
+
+/// Reopening a log continues the same history: the recovered monitor
+/// matches the live one, and the recovery report's replay length is
+/// bounded by the snapshot interval (plus a discarded trailing batch).
+#[test]
+fn reopen_round_trips_and_bounds_replay() {
+    for seed in [2u64, 9, 23] {
+        for interval in [4u64, 64] {
+            let (graph, levels) = seed_state();
+            let trace = adversarial_trace(&graph, &levels, 35, seed);
+            let config = LogConfig {
+                snapshot_interval: interval,
+                write_through: true,
+            };
+            let store = MemStore::new();
+            let (log, mut monitor) = CommitLog::create(
+                Box::new(store.clone()),
+                graph,
+                levels,
+                restriction(),
+                config,
+            )
+            .expect("fresh log");
+            monitor.enable_journal();
+            drive(&mut monitor, &log, &trace, seed);
+            let end = log.end_epoch();
+            drop(log);
+
+            let reopened: Box<dyn Store> = Box::new(store.clone());
+            let (log2, recovered, report) =
+                CommitLog::open(reopened, restriction(), config, None).expect("clean reopen");
+            assert_eq!(report.end_epoch, end, "no committed history is lost");
+            assert_eq!(
+                recovered.graph(),
+                monitor.graph(),
+                "graphs diverge on reopen"
+            );
+            assert_eq!(
+                recovered.levels(),
+                monitor.levels(),
+                "levels diverge on reopen"
+            );
+            assert_eq!(
+                recovered.stats(),
+                monitor.stats(),
+                "stats diverge on reopen"
+            );
+            assert!(
+                report.replayed as u64 <= interval,
+                "seed {seed}: replayed {} > interval {interval}",
+                report.replayed
+            );
+            assert!(
+                !report.discarded_open_batch,
+                "clean shutdown has no open batch"
+            );
+            assert!(report.torn.is_none(), "clean shutdown has no torn tail");
+            assert_eq!(log2.end_epoch(), end);
+        }
+    }
+}

@@ -60,11 +60,19 @@ pub enum SpanKind {
     ParQueries = 22,
     /// The deterministic merge of per-shard results (canonical sort).
     ParMerge = 23,
+    /// One hash-chained commit-log record append.
+    LogCommit = 24,
+    /// One atomic epoch snapshot write (temp file + fsync + rename).
+    LogSnapshot = 25,
+    /// Commit-log recovery: chain verify, snapshot load, suffix replay.
+    LogRecover = 26,
+    /// One compaction: differential proof, chain rewrite, pruning.
+    LogCompact = 27,
 }
 
 impl SpanKind {
     /// Number of span kinds (ids are `0..COUNT`).
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 28;
 
     /// Every kind, in id order.
     pub const ALL: &'static [SpanKind] = &[
@@ -92,6 +100,10 @@ impl SpanKind {
         SpanKind::ParAudit,
         SpanKind::ParQueries,
         SpanKind::ParMerge,
+        SpanKind::LogCommit,
+        SpanKind::LogSnapshot,
+        SpanKind::LogRecover,
+        SpanKind::LogCompact,
     ];
 
     /// The stable id (the `repr` discriminant).
@@ -126,6 +138,10 @@ impl SpanKind {
             SpanKind::ParAudit => "par.audit",
             SpanKind::ParQueries => "par.queries",
             SpanKind::ParMerge => "par.merge",
+            SpanKind::LogCommit => "log.commit",
+            SpanKind::LogSnapshot => "log.snapshot",
+            SpanKind::LogRecover => "log.recover",
+            SpanKind::LogCompact => "log.compact",
         }
     }
 
@@ -163,6 +179,10 @@ impl SpanKind {
             SpanKind::ParAudit => "island-sharded parallel audit (Cor 5.6 across a pool)",
             SpanKind::ParQueries => "batched parallel Thm 2.3/3.2/4.1 queries",
             SpanKind::ParMerge => "deterministic merge of per-shard results",
+            SpanKind::LogCommit => "one hash-chained commit-log append",
+            SpanKind::LogSnapshot => "one atomic epoch snapshot write",
+            SpanKind::LogRecover => "commit-log chain verify + snapshot + replay",
+            SpanKind::LogCompact => "compaction proof, chain rewrite and pruning",
         }
     }
 
@@ -213,11 +233,19 @@ pub enum Counter {
     ParShards = 15,
     /// Work-stealing claims beyond a worker's fair static share.
     ParSteals = 16,
+    /// Records appended to the hash-chained commit log.
+    LogCommits = 17,
+    /// Epoch snapshots written atomically.
+    LogSnapshots = 18,
+    /// Compactions that folded dead history below a snapshot.
+    LogCompactions = 19,
+    /// Chain records replayed during commit-log recovery or time travel.
+    LogReplayed = 20,
 }
 
 impl Counter {
     /// Number of counters (ids are `0..COUNT`).
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 21;
 
     /// Every counter, in id order.
     pub const ALL: &'static [Counter] = &[
@@ -238,6 +266,10 @@ impl Counter {
         Counter::LintFixesApplied,
         Counter::ParShards,
         Counter::ParSteals,
+        Counter::LogCommits,
+        Counter::LogSnapshots,
+        Counter::LogCompactions,
+        Counter::LogReplayed,
     ];
 
     /// The stable id (the `repr` discriminant).
@@ -265,6 +297,10 @@ impl Counter {
             Counter::LintFixesApplied => "lint.fixes_applied",
             Counter::ParShards => "par.shards",
             Counter::ParSteals => "par.steals",
+            Counter::LogCommits => "log.commits",
+            Counter::LogSnapshots => "log.snapshots",
+            Counter::LogCompactions => "log.compactions",
+            Counter::LogReplayed => "log.replayed",
         }
     }
 
@@ -295,6 +331,10 @@ impl Counter {
             Counter::LintFixesApplied => "lint fix-its that removed rights",
             Counter::ParShards => "parallel work shards created",
             Counter::ParSteals => "work-steal claims beyond the fair share",
+            Counter::LogCommits => "hash-chained commit-log records appended",
+            Counter::LogSnapshots => "epoch snapshots written atomically",
+            Counter::LogCompactions => "compactions folding dead history",
+            Counter::LogReplayed => "chain records replayed (recovery + time travel)",
         }
     }
 

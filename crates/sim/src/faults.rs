@@ -20,6 +20,111 @@ use tg_graph::{ProtectionGraph, Right, Rights, VertexId};
 use tg_hierarchy::LevelAssignment;
 use tg_rules::{DeJureRule, Rule};
 
+/// What a fault-instrumented write is allowed to do (see [`CrashPlan`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WriteFate {
+    /// The whole write goes through.
+    Full,
+    /// Only the first `n` bytes land — the process died mid-write.
+    Partial(usize),
+    /// Nothing lands: the process is already dead.
+    Dead,
+}
+
+/// A deterministic crash schedule for write-path fault injection.
+///
+/// A storage shim routes every write through [`CrashPlan::admit`]; the
+/// plan counts bytes (or whole writes) until its budget runs out, then
+/// *trips*: the offending write lands partially and every later write is
+/// refused outright, modelling a process killed at one exact point. One
+/// plan is shared by the journal-, snapshot- and compaction-crash test
+/// matrices, so "kill at byte `k`" means the same thing in all three.
+///
+/// Sweeping `kill_after_bytes(k)` for every `k` up to the total bytes
+/// written visits every record boundary and every mid-record byte
+/// exactly once — the exhaustive crash-point matrix.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CrashPlan {
+    limit: CrashLimit,
+    tripped: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CrashLimit {
+    /// Never crash.
+    Never,
+    /// Bytes still allowed to land before the crash.
+    Bytes(u64),
+    /// Whole writes still allowed before one fails with nothing landed.
+    Writes(u64),
+}
+
+impl CrashPlan {
+    /// A plan that never crashes.
+    pub fn never() -> CrashPlan {
+        CrashPlan {
+            limit: CrashLimit::Never,
+            tripped: false,
+        }
+    }
+
+    /// Crash once `budget` more bytes have landed: the write that would
+    /// exceed the budget lands only its allowed prefix (possibly zero
+    /// bytes), and everything after it is refused.
+    pub fn kill_after_bytes(budget: u64) -> CrashPlan {
+        CrashPlan {
+            limit: CrashLimit::Bytes(budget),
+            tripped: false,
+        }
+    }
+
+    /// Crash at the `nth` write call (0-based): writes before it land in
+    /// full, the `nth` lands nothing, and everything after is refused.
+    pub fn kill_at_write(nth: u64) -> CrashPlan {
+        CrashPlan {
+            limit: CrashLimit::Writes(nth),
+            tripped: false,
+        }
+    }
+
+    /// Admits a write of `len` bytes against the schedule, returning how
+    /// much of it survives. Once a write is cut short the plan is
+    /// *tripped* and every subsequent call returns [`WriteFate::Dead`].
+    pub fn admit(&mut self, len: usize) -> WriteFate {
+        if self.tripped {
+            return WriteFate::Dead;
+        }
+        match &mut self.limit {
+            CrashLimit::Never => WriteFate::Full,
+            CrashLimit::Bytes(budget) => {
+                if len as u64 <= *budget {
+                    *budget -= len as u64;
+                    WriteFate::Full
+                } else {
+                    let keep = *budget as usize;
+                    *budget = 0;
+                    self.tripped = true;
+                    WriteFate::Partial(keep)
+                }
+            }
+            CrashLimit::Writes(remaining) => {
+                if *remaining == 0 {
+                    self.tripped = true;
+                    WriteFate::Partial(0)
+                } else {
+                    *remaining -= 1;
+                    WriteFate::Full
+                }
+            }
+        }
+    }
+
+    /// Whether the crash point has been reached.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+}
+
 /// One way of damaging a byte buffer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CorruptionKind {
@@ -244,6 +349,45 @@ mod tests {
             assert!(out.is_empty());
             assert_eq!(pos, 0);
         }
+    }
+
+    #[test]
+    fn crash_plans_cut_exactly_at_the_byte_budget() {
+        // Simulate writes of 10 bytes each against every budget up to 35:
+        // bytes landed must equal min(budget, total), and the plan trips
+        // exactly when the budget falls short.
+        for budget in 0..=35u64 {
+            let mut plan = CrashPlan::kill_after_bytes(budget);
+            let mut landed = 0u64;
+            for _ in 0..3 {
+                match plan.admit(10) {
+                    WriteFate::Full => landed += 10,
+                    WriteFate::Partial(k) => landed += k as u64,
+                    WriteFate::Dead => {}
+                }
+            }
+            assert_eq!(landed, budget.min(30), "budget = {budget}");
+            assert_eq!(plan.tripped(), budget < 30, "budget = {budget}");
+        }
+    }
+
+    #[test]
+    fn crash_plans_kill_the_nth_write_whole() {
+        let mut plan = CrashPlan::kill_at_write(2);
+        assert_eq!(plan.admit(5), WriteFate::Full);
+        assert_eq!(plan.admit(7), WriteFate::Full);
+        assert_eq!(plan.admit(3), WriteFate::Partial(0));
+        assert_eq!(plan.admit(1), WriteFate::Dead);
+        assert!(plan.tripped());
+    }
+
+    #[test]
+    fn never_plans_admit_everything() {
+        let mut plan = CrashPlan::never();
+        for _ in 0..1000 {
+            assert_eq!(plan.admit(1 << 20), WriteFate::Full);
+        }
+        assert!(!plan.tripped());
     }
 
     #[test]

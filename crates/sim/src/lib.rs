@@ -12,8 +12,10 @@
 //! * [`prng`] — the deterministic in-tree random-number generator behind
 //!   [`gen`] and [`faults`] (no external `rand` dependency).
 //! * [`faults`] — fault injection: adversarial traces, journal byte
-//!   corruption, and out-of-band graph/level tampering for testing the
-//!   monitor's crash-safety and fail-closed guarantees.
+//!   corruption, deterministic crash schedules ([`faults::CrashPlan`])
+//!   for write-path kill-point matrices, and out-of-band graph/level
+//!   tampering for testing the monitor's crash-safety and fail-closed
+//!   guarantees.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -23,6 +23,10 @@
 //!   mutation, epoch union-find islands with transactional rollback, and
 //!   memoized `can_share`/`can_know` with region-stamped invalidation,
 //!   attachable to the reference monitor as an observer.
+//! * [`log`] — the hash-chained commit log: tamper-evident durable
+//!   history with epoch snapshots, bounded-time recovery, compaction with
+//!   a differential proof, and time-travel reconstruction of any past
+//!   protection state.
 //! * [`blp`] — a Bell–LaPadula comparator used to validate the paper's §6
 //!   correspondence claim.
 //! * [`sim`] — workload generators and the scenario library reconstructing
@@ -52,6 +56,7 @@ pub use tg_graph as graph;
 pub use tg_hierarchy as hierarchy;
 pub use tg_inc as inc;
 pub use tg_lint as lint;
+pub use tg_log as log;
 pub use tg_paths as paths;
 pub use tg_rules as rules;
 pub use tg_sim as sim;
