@@ -52,7 +52,9 @@
 //! either a `TGJ1` journal file or a commit-log directory and prints a
 //! recovery report (snapshot used, records replayed, torn-tail bytes,
 //! chain-verify result). `tgq at` and `tgq diff` reconstruct committed
-//! historical states by epoch — a forged, reordered, spliced or
+//! historical states by epoch, opening the log **read-only**: a query
+//! never rewrites the log directory (only `monitor` and `replay` heal a
+//! torn chain on disk). A forged, reordered, spliced or
 //! mid-chain-corrupted log **fails closed** (exit `1`) on every one of
 //! these commands; only a torn tail (a crashed append) is truncated,
 //! and that truncation is reported.
@@ -304,17 +306,19 @@ fn name(graph: &ProtectionGraph, v: VertexId) -> String {
     graph.vertex(v).name.clone()
 }
 
-/// Opens the commit log in `dir` (self-anchored: the epoch-0 snapshot
-/// validates the chain's genesis digest) and reconstructs the committed
-/// state at `epoch`. Any verification failure — forged hash link,
-/// mid-chain corruption, unusable snapshots, replay divergence — fails
-/// closed as a [`CliError::Fail`] (exit `1`).
+/// Opens the commit log in `dir` **read-only** (self-anchored: the
+/// epoch-0 snapshot validates the chain's genesis digest) and
+/// reconstructs the committed state at `epoch`. Queries never rewrite
+/// the log directory: a torn tail is truncated in memory only, leaving
+/// the on-disk bytes for `tgq replay` to heal. Any verification failure
+/// — forged hash link, mid-chain corruption, unusable snapshots, replay
+/// divergence — fails closed as a [`CliError::Fail`] (exit `1`).
 fn state_at(
     dir: &str,
     epoch: u64,
 ) -> Result<(tg_hierarchy::Monitor, tg_log::TravelInfo), CliError> {
     let store = tg_log::DirStore::open(dir).map_err(|e| e.to_string())?;
-    let (log, _, _) = tg_log::CommitLog::open(
+    let (log, _) = tg_log::CommitLog::open_read_only(
         Box::new(store),
         Box::new(CombinedRestriction),
         tg_log::LogConfig::default(),

@@ -362,6 +362,57 @@ fn corrupted_commit_logs_fail_closed_with_exit_1() {
     }
 }
 
+/// `tgq at` / `tgq diff` are queries: they open the log read-only, so a
+/// torn chain is truncated in memory only and the on-disk bytes (the
+/// forensic evidence) survive until a healing command (`replay`) runs.
+#[test]
+fn at_and_diff_never_rewrite_the_log_directory() {
+    use tg_graph::Rights;
+    let graph = temp_file("logro.tg", HIER_GRAPH);
+    let policy = temp_file("logro.pol", HIER_POLICY);
+    let trace = temp_file(
+        "logro.trace",
+        &format!(
+            "{}\n{}\n",
+            take_line(1, 2, 0, Rights::W),
+            take_line(1, 2, 0, Rights::R)
+        ),
+    );
+    let dir = temp_dir("logro.dir");
+    run(&["monitor", &graph, &policy, &trace, "--log", &dir]).unwrap();
+    let chain_path = std::path::Path::new(&dir).join("chain.tgl");
+    let pristine = std::fs::read(&chain_path).unwrap();
+
+    // Tear the tail (drops record 2): queries answer from the committed
+    // prefix without rewriting the chain file.
+    let torn = pristine[..pristine.len() - 7].to_vec();
+    std::fs::write(&chain_path, &torn).unwrap();
+    let out = run(&["at", &dir, "1", "audit"]).unwrap();
+    assert!(out.contains("epoch 1"), "got: {out}");
+    assert_eq!(
+        std::fs::read(&chain_path).unwrap(),
+        torn,
+        "tgq at rewrote the chain file"
+    );
+    let out = run(&["diff", &dir, "0", "1"]).unwrap();
+    assert!(out.contains("diff epoch 0 -> epoch 1:"), "got: {out}");
+    assert_eq!(
+        std::fs::read(&chain_path).unwrap(),
+        torn,
+        "tgq diff rewrote the chain file"
+    );
+
+    // `tgq replay` is the healing command: afterwards the torn tail is
+    // gone from disk.
+    let out = run(&["replay", &graph, &policy, &dir]).unwrap();
+    assert!(out.contains("torn tail: "), "got: {out}");
+    assert_ne!(
+        std::fs::read(&chain_path).unwrap(),
+        torn,
+        "replay heals the persisted chain"
+    );
+}
+
 #[test]
 fn monitor_and_replay_error_paths() {
     let graph = temp_file("err2.tg", HIER_GRAPH);

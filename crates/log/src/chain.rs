@@ -355,14 +355,18 @@ impl Chain {
                     if later_valid {
                         return Err(ChainError::MidChainCorruption { line: idx + 1 });
                     }
-                    let dropped: usize =
-                        lines[idx..].iter().map(|l| l.len() + 1).sum::<usize>() - 1;
+                    // Dropped bytes = everything from the first torn
+                    // line to end of input, computed from the torn
+                    // line's byte offset (each earlier line was followed
+                    // by the newline `split` consumed) — re-summing the
+                    // torn lines would miscount a trailing newline.
+                    let offset: usize = lines[..idx].iter().map(|l| l.len() + 1).sum();
                     let valid_records = chain.records.len();
                     return Ok((
                         chain,
                         Some(ChainTear {
                             valid_records,
-                            dropped_bytes: dropped.min(bytes.len()),
+                            dropped_bytes: bytes.len() - offset,
                         }),
                     ));
                 }
@@ -432,6 +436,32 @@ mod tests {
         let tear = tear.unwrap();
         assert_eq!(tear.valid_records, 2);
         assert!(tear.dropped_bytes > 0);
+    }
+
+    #[test]
+    fn torn_tail_byte_accounting_is_exact() {
+        let chain = sample_chain(3);
+        let text = chain.encode();
+
+        // Tear that ends *with* a newline: zero the last record's hash
+        // in place (no longer self-valid) and keep the trailing newline.
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines[3] = format!("0000000000000000{}", &lines[3][16..]);
+        let forged = lines.join("\n") + "\n";
+        let (parsed, tear) = Chain::parse(forged.as_bytes(), 0xabcd).unwrap();
+        assert_eq!(parsed.records().len(), 2);
+        assert_eq!(
+            tear.unwrap().dropped_bytes,
+            lines[3].len() + 1,
+            "the trailing newline is part of the torn region"
+        );
+
+        // Tear mid-record with no trailing newline: exactly the partial
+        // line's bytes.
+        let cut = text.len() - 9;
+        let partial = cut - (text[..cut].rfind('\n').unwrap() + 1);
+        let (_, tear) = Chain::parse(&text.as_bytes()[..cut], 0xabcd).unwrap();
+        assert_eq!(tear.unwrap().dropped_bytes, partial);
     }
 
     #[test]

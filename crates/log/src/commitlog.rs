@@ -104,6 +104,9 @@ pub enum LogError {
         /// What diverged.
         detail: String,
     },
+    /// The log was opened with [`CommitLog::open_read_only`]; it accepts
+    /// no writes (no commits, snapshots, compaction, or chain healing).
+    ReadOnly,
 }
 
 impl core::fmt::Display for LogError {
@@ -140,6 +143,9 @@ impl core::fmt::Display for LogError {
                 f,
                 "compaction proof failed at epoch {epoch}: {detail}; nothing was modified"
             ),
+            LogError::ReadOnly => {
+                write!(f, "commit log opened read-only: refusing to write")
+            }
         }
     }
 }
@@ -217,6 +223,9 @@ struct LogInner {
     /// Whether the live monitor currently has a batch open (snapshots
     /// must not cut a batch in half).
     batch_open: bool,
+    /// Opened via [`CommitLog::open_read_only`]: every write path
+    /// refuses, and recovery healing stays in memory.
+    read_only: bool,
     poisoned: Option<String>,
 }
 
@@ -230,8 +239,15 @@ impl LogInner {
         }
     }
 
+    fn check_writable(&self) -> Result<(), LogError> {
+        if self.read_only {
+            return Err(LogError::ReadOnly);
+        }
+        self.check_poison()
+    }
+
     fn flush_pending(&mut self) -> Result<(), LogError> {
-        self.check_poison()?;
+        self.check_writable()?;
         if self.pending.is_empty() {
             return Ok(());
         }
@@ -248,9 +264,9 @@ impl LogInner {
     }
 
     fn append_event(&mut self, event: &JournalEvent) {
-        if self.poisoned.is_some() {
-            // Fail-stop: the store is gone; the next persist/snapshot
-            // call surfaces the poisoning to the caller.
+        if self.poisoned.is_some() || self.read_only {
+            // Fail-stop: the store is gone (or the log is read-only);
+            // the next persist/snapshot call surfaces it to the caller.
             return;
         }
         let _span = tg_obs::span(tg_obs::SpanKind::LogCommit);
@@ -419,6 +435,7 @@ impl CommitLog {
             interval: config.snapshot_interval,
             write_through: config.write_through,
             batch_open: false,
+            read_only: false,
             poisoned: None,
         }));
         let mut monitor = Monitor::new(graph, levels, restriction);
@@ -448,6 +465,49 @@ impl CommitLog {
         config: LogConfig,
         expected_genesis: Option<u64>,
     ) -> Result<(CommitLog, Monitor, RecoveryReport), LogError> {
+        let (inner, mut monitor, report) =
+            CommitLog::open_impl(store, restriction, config, expected_genesis, false)?;
+        let inner = Arc::new(Mutex::new(inner));
+        monitor.attach_event_sink(Box::new(LogSink {
+            inner: Arc::clone(&inner),
+        }));
+        Ok((CommitLog { inner }, monitor, report))
+    }
+
+    /// Opens an existing log for queries only: the same verification and
+    /// recovery semantics as [`CommitLog::open`], but the persisted
+    /// chain is never rewritten — a torn tail or trailing open batch is
+    /// truncated *in memory* while the on-disk bytes stay byte-for-byte
+    /// intact for forensics. Every write path on the returned log
+    /// ([`persist`](CommitLog::persist), snapshots, compaction, wired
+    /// sinks) fails with [`LogError::ReadOnly`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`CommitLog::open`].
+    pub fn open_read_only(
+        store: Box<dyn Store>,
+        restriction: Box<dyn Restriction>,
+        config: LogConfig,
+        expected_genesis: Option<u64>,
+    ) -> Result<(CommitLog, RecoveryReport), LogError> {
+        let (inner, _, report) =
+            CommitLog::open_impl(store, restriction, config, expected_genesis, true)?;
+        Ok((
+            CommitLog {
+                inner: Arc::new(Mutex::new(inner)),
+            },
+            report,
+        ))
+    }
+
+    fn open_impl(
+        store: Box<dyn Store>,
+        restriction: Box<dyn Restriction>,
+        config: LogConfig,
+        expected_genesis: Option<u64>,
+        read_only: bool,
+    ) -> Result<(LogInner, Monitor, RecoveryReport), LogError> {
         let _span = tg_obs::span(tg_obs::SpanKind::LogRecover);
         let bytes = store.read(CHAIN_FILE)?.ok_or(LogError::MissingChain)?;
         let genesis = Chain::peek_genesis(&bytes)?;
@@ -477,6 +537,7 @@ impl CommitLog {
             interval: config.snapshot_interval,
             write_through: config.write_through,
             batch_open: false,
+            read_only,
             poisoned: None,
         };
 
@@ -487,33 +548,35 @@ impl CommitLog {
 
         // Heal: drop the discarded trailing batch from the in-memory
         // chain and, if anything was dropped (tear or batch), rewrite
-        // the persisted chain so store and memory agree again.
+        // the persisted chain so store and memory agree again (a
+        // read-only open keeps the healing in memory).
         let committed = (snapshot_epoch - inner.chain.base_epoch()) as usize + info.replayed;
         if info.discarded_open_batch {
             inner.chain.truncate_records(committed);
         }
-        if info.discarded_open_batch || torn.is_some() {
+        if !read_only && (info.discarded_open_batch || torn.is_some()) {
             let healed = inner.chain.encode();
             inner.store.write_atomic(CHAIN_FILE, healed.as_bytes())?;
         }
+        // A heal can shrink history below snapshot files that were
+        // already listed (a tear below a snapshot); drop those epochs so
+        // the list stays sorted and best_snapshot's newest-first reverse
+        // scan stays correct.
+        let healed_end = inner.chain.end_epoch();
+        inner.snapshots.retain(|&e| e <= healed_end);
         inner.last_snapshot = snapshot_epoch;
 
         let report = RecoveryReport {
             genesis,
             base_epoch: inner.chain.base_epoch(),
-            end_epoch: inner.chain.end_epoch(),
+            end_epoch: healed_end,
             snapshot_epoch,
             replayed: info.replayed,
             torn,
             discarded_open_batch: info.discarded_open_batch,
             snapshots_rejected: rejected,
         };
-        let inner = Arc::new(Mutex::new(inner));
-        let mut monitor = monitor;
-        monitor.attach_event_sink(Box::new(LogSink {
-            inner: Arc::clone(&inner),
-        }));
-        Ok((CommitLog { inner }, monitor, report))
+        Ok((inner, monitor, report))
     }
 
     /// A fresh sink handle for wiring an externally built monitor to
@@ -544,7 +607,7 @@ impl CommitLog {
     /// [`LogError::Store`]/[`LogError::Poisoned`] on storage failure.
     pub fn maybe_snapshot(&self, monitor: &Monitor) -> Result<Option<u64>, LogError> {
         let mut inner = self.lock();
-        inner.check_poison()?;
+        inner.check_writable()?;
         if inner.interval == 0 || inner.batch_open {
             return Ok(None);
         }
@@ -564,7 +627,7 @@ impl CommitLog {
     /// [`LogError::Store`]/[`LogError::Poisoned`] on storage failure.
     pub fn snapshot_now(&self, monitor: &Monitor) -> Result<u64, LogError> {
         let mut inner = self.lock();
-        inner.check_poison()?;
+        inner.check_writable()?;
         let end = inner.chain.end_epoch();
         self.snapshot_now_locked(&mut inner, monitor, end)?;
         Ok(end)
@@ -590,8 +653,11 @@ impl CommitLog {
             inner.poisoned = Some(e.to_string());
             return Err(LogError::Store(e));
         }
-        if inner.snapshots.last() != Some(&end) {
-            inner.snapshots.push(end);
+        // Sorted insert: after a torn-chain recovery new snapshot epochs
+        // can land below ones already listed, and a bare push would
+        // break best_snapshot's newest-last ordering.
+        if let Err(pos) = inner.snapshots.binary_search(&end) {
+            inner.snapshots.insert(pos, end);
         }
         inner.last_snapshot = end;
         tg_obs::add(tg_obs::Counter::LogSnapshots, 1);
@@ -638,7 +704,7 @@ impl CommitLog {
     /// disagree; storage errors poison the log.
     pub fn compact(&self, restriction: Box<dyn Restriction>) -> Result<CompactionReport, LogError> {
         let mut inner = self.lock();
-        inner.check_poison()?;
+        inner.check_writable()?;
         let _span = tg_obs::span(tg_obs::SpanKind::LogCompact);
         inner.flush_pending()?;
         let old_base = inner.chain.base_epoch();
@@ -654,8 +720,17 @@ impl CommitLog {
         }
 
         // Differential proof: reduce(old base, records up to target) must
-        // equal the snapshot being promoted to base.
-        let (base_snap, _) = inner.best_snapshot(target)?;
+        // equal the snapshot being promoted to base. The fold starts at
+        // the *base* snapshot — seed-anchored at epoch 0, itself proven
+        // by any earlier compaction — never at the candidate, so the
+        // proof replays the exact records about to be folded away. A
+        // wrong-state snapshot whose digest and chain hash still check
+        // out (it was taken against some other state) is caught here
+        // instead of being promoted into permanent history.
+        let base_snap = match inner.load_snapshot(old_base) {
+            Ok(snap) => snap,
+            Err(_) => return Err(LogError::NoUsableSnapshot { rejected: 1 }),
+        };
         let (proof_monitor, _) = inner.fold_from(base_snap, target, restriction)?;
         if *proof_monitor.graph() != candidate.graph {
             return Err(LogError::CompactionProof {

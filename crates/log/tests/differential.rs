@@ -199,6 +199,192 @@ fn compaction_preserves_every_reachable_state() {
     }
 }
 
+/// A snapshot whose *state* was forged but whose body digest and chain
+/// hash still validate must fail `compact()`'s differential proof: the
+/// proof folds from the base snapshot — never from the candidate itself
+/// — so it actually replays the records about to be folded away.
+#[test]
+fn forged_snapshot_state_fails_the_compaction_proof() {
+    let (graph, levels) = seed_state();
+    let trace = adversarial_trace(&graph, &levels, 40, 7);
+    let config = LogConfig {
+        snapshot_interval: 6,
+        write_through: true,
+    };
+    let store = MemStore::new();
+    let (log, mut monitor) = CommitLog::create(
+        Box::new(store.clone()),
+        graph,
+        levels,
+        restriction(),
+        config,
+    )
+    .expect("fresh log");
+    drive(&mut monitor, &log, &trace, 7);
+    let target = *log.snapshot_epochs().last().expect("snapshots exist");
+    assert!(target > 0, "an interval snapshot exists to compact into");
+
+    // Forge the candidate's state while keeping every integrity check
+    // happy: decode, add a subject the history never created, re-encode
+    // (which recomputes the body digest) with the genuine epoch and
+    // chain hash.
+    let name = tg_log::snapshot::file_name(target);
+    let bytes = store.read(&name).expect("read").expect("snapshot exists");
+    let mut snap = tg_log::Snapshot::decode(&bytes).expect("valid snapshot");
+    snap.graph.add_subject("forged");
+    {
+        let mut boxed: Box<dyn Store> = Box::new(store.clone());
+        boxed
+            .write_atomic(&name, snap.encode().as_bytes())
+            .expect("tamper");
+    }
+
+    match log.compact(restriction()) {
+        Err(LogError::CompactionProof { epoch, .. }) => assert_eq!(epoch, target),
+        other => panic!("forged snapshot must fail the proof, got {other:?}"),
+    }
+    assert_eq!(log.base_epoch(), 0, "nothing was modified");
+}
+
+/// Snapshots written after a torn-tail recovery land *below* stale
+/// snapshot epochs from the torn region; the stale epochs must be
+/// dropped on open and later inserts must keep the list sorted, or
+/// best_snapshot's newest-first reverse scan picks the wrong snapshot.
+#[test]
+fn snapshot_list_stays_sorted_across_torn_recovery() {
+    let (graph, levels) = seed_state();
+    let trace = adversarial_trace(&graph, &levels, 40, 11);
+    let config = LogConfig {
+        snapshot_interval: 2,
+        write_through: true,
+    };
+    let store = MemStore::new();
+    let (log, mut monitor) = CommitLog::create(
+        Box::new(store.clone()),
+        graph,
+        levels,
+        restriction(),
+        config,
+    )
+    .expect("fresh log");
+    drive(&mut monitor, &log, &trace, 11);
+    let newest = *log.snapshot_epochs().last().expect("snapshots exist");
+    assert!(newest > 2, "interval snapshots exist above the tear point");
+    drop(log);
+
+    // Tear the chain back below the newest snapshot: keep the header
+    // plus the first `newest - 2` records, then a torn partial line.
+    let chain = store
+        .read(tg_log::CHAIN_FILE)
+        .expect("read")
+        .expect("chain exists");
+    let text = String::from_utf8(chain).expect("utf8");
+    let keep = (newest - 2) as usize;
+    let mut torn: String = text
+        .lines()
+        .take(1 + keep)
+        .flat_map(|l| [l, "\n"])
+        .collect();
+    torn.push_str("0000 torn mid-append");
+    {
+        let mut boxed: Box<dyn Store> = Box::new(store.clone());
+        boxed
+            .write_atomic(tg_log::CHAIN_FILE, torn.as_bytes())
+            .expect("tamper");
+    }
+
+    let (log2, monitor2, report) =
+        CommitLog::open(Box::new(store.clone()), restriction(), config, None)
+            .expect("torn reopen");
+    assert!(report.torn.is_some(), "the tear is reported");
+    // A tear mid-batch can truncate further than the cut itself.
+    assert!(report.end_epoch <= keep as u64);
+    assert!(report.end_epoch < newest, "history healed below the tear");
+    assert!(
+        log2.snapshot_epochs().iter().all(|&e| e <= report.end_epoch),
+        "stale snapshots above the healed end are dropped: {:?}",
+        log2.snapshot_epochs()
+    );
+
+    let epoch = log2.snapshot_now(&monitor2).expect("snapshot");
+    let snaps = log2.snapshot_epochs();
+    let mut sorted = snaps.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(snaps, sorted, "the list stays sorted and duplicate-free");
+    let (_, info) = log2.state_at(epoch, restriction()).expect("reconstructs");
+    assert_eq!(info.snapshot_epoch, epoch, "the newest snapshot is found");
+    assert_eq!(info.replayed, 0);
+}
+
+/// A read-only open verifies and recovers like a normal open but never
+/// rewrites the store, and every write path refuses.
+#[test]
+fn read_only_open_heals_in_memory_only() {
+    let (graph, levels) = seed_state();
+    let trace = adversarial_trace(&graph, &levels, 30, 5);
+    let config = LogConfig {
+        snapshot_interval: 4,
+        write_through: true,
+    };
+    let store = MemStore::new();
+    let (log, mut monitor) = CommitLog::create(
+        Box::new(store.clone()),
+        graph,
+        levels,
+        restriction(),
+        config,
+    )
+    .expect("fresh log");
+    monitor.enable_journal();
+    drive(&mut monitor, &log, &trace, 5);
+    let journal = monitor
+        .journal()
+        .expect("journal enabled")
+        .as_str()
+        .to_string();
+    drop(log);
+
+    // Tear the tail; a read-only open must truncate in memory only.
+    let chain = store
+        .read(tg_log::CHAIN_FILE)
+        .expect("read")
+        .expect("chain exists");
+    let torn = chain[..chain.len() - 5].to_vec();
+    {
+        let mut boxed: Box<dyn Store> = Box::new(store.clone());
+        boxed
+            .write_atomic(tg_log::CHAIN_FILE, &torn)
+            .expect("tamper");
+    }
+    let before = store.read(tg_log::CHAIN_FILE).expect("read");
+
+    let (rlog, report) =
+        CommitLog::open_read_only(Box::new(store.clone()), restriction(), config, None)
+            .expect("read-only reopen");
+    assert!(report.torn.is_some(), "the tear is reported");
+    assert_eq!(
+        store.read(tg_log::CHAIN_FILE).expect("read"),
+        before,
+        "a read-only open must not rewrite the chain"
+    );
+
+    // Queries answer from the committed prefix...
+    let (ours, _) = rlog
+        .state_at(report.end_epoch, restriction())
+        .expect("reconstructs");
+    let oracle = oracle_at(&journal, report.end_epoch);
+    assert_state_matches("read-only torn reopen", &ours, &oracle);
+
+    // ...and every write path refuses.
+    assert!(matches!(rlog.persist(), Err(LogError::ReadOnly)));
+    assert!(matches!(rlog.snapshot_now(&ours), Err(LogError::ReadOnly)));
+    assert!(matches!(
+        rlog.compact(restriction()),
+        Err(LogError::ReadOnly)
+    ));
+}
+
 /// Reopening a log continues the same history: the recovered monitor
 /// matches the live one, and the recovery report's replay length is
 /// bounded by the snapshot interval (plus a discarded trailing batch).
