@@ -767,7 +767,11 @@ fn realize_link(session: &mut Session, link: &Link) -> Result<FlowStep, Synthesi
                 .expect("has r>");
             let m = link.path[r_pos + 1];
             take_through(session, from, &link.path[..=r_pos], m, Right::Read)?;
-            let mut chain: Vec<VertexId> = link.path[r_pos + 1..].to_vec();
+            // The `<t*` suffix runs from `to` back to the `<w` letter's
+            // holder (`path[r_pos + 2]`) — `m` is the take-through
+            // *target*, not part of the chain: the holder has `w` over
+            // `m`, not `t` to it.
+            let mut chain: Vec<VertexId> = link.path[r_pos + 2..].to_vec();
             chain.reverse();
             take_through(session, to, &chain, m, Right::Write)?;
             session.apply(DeFactoRule::Post {

@@ -1,0 +1,197 @@
+//! Whole-graph flow closure vs. the per-pair query loop.
+//!
+//! The ISSUE-7 performance claim: on a ≥10,000-edge classified lattice
+//! (the `tg-sim` hierarchy family), computing the full de facto flow
+//! closure once and answering every query by O(1) lookup
+//! ([`FlowClosure::compute`]) beats answering the same batch with the
+//! per-pair [`can_know`] engine. A third lane times the island-sharded
+//! parallel closure (`tg_par::par_closure` at `jobs = 4`) for the same
+//! answer set.
+//!
+//! Besides the Criterion display, the bench writes a machine-readable
+//! summary to `BENCH_flow.json` at the workspace root (with `jobs` /
+//! `host_parallelism` fields like BENCH_par/BENCH_log) and **panics if
+//! the closure loses the race** — that assertion is unconditional: the
+//! closure-vs-loop claim is single-threaded, so host width is no
+//! excuse. The parallel lane is only *enforced* against the sequential
+//! closure when the host really has the hardware threads. Verdicts are
+//! asserted identical between all sides before timing, so the speed
+//! claim cannot drift away from correctness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tg_analysis::can_know;
+use tg_bench::time_ns;
+use tg_flow::FlowClosure;
+use tg_graph::VertexId;
+use tg_par::{par_closure, Pool};
+use tg_sim::workload::hierarchy;
+
+/// The job width the parallel closure lane runs at.
+const RACE_JOBS: usize = 4;
+
+/// Smoke mode: same ≥10k-edge graph, fewer query pairs and iterations.
+fn smoke() -> bool {
+    std::env::var_os("BENCH_FLOW_SMOKE").is_some()
+}
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+struct Workload {
+    built: tg_hierarchy::structure::BuiltHierarchy,
+    pairs: Vec<(VertexId, VertexId)>,
+}
+
+fn workload() -> Workload {
+    // 100 levels x 50 subjects: ~5.1k vertices, ~10.2k edges.
+    let built = hierarchy(100, 50);
+    assert!(
+        built.graph.edge_count() >= 10_000,
+        "the sim workload must have at least 10k edges, got {}",
+        built.graph.edge_count()
+    );
+    let n = built.graph.vertex_count();
+    let count = if smoke() { 48 } else { 512 };
+    // A deterministic pair batch spread across the lattice.
+    let pairs = (0..count)
+        .map(|i| {
+            (
+                VertexId::from_index((i * 131) % n),
+                VertexId::from_index((i * 197 + 61) % n),
+            )
+        })
+        .collect();
+    Workload { built, pairs }
+}
+
+/// The whole-closure side: one fixpoint, then O(1) lookups.
+fn run_closure(w: &Workload) -> usize {
+    let closure = FlowClosure::compute(&w.built.graph);
+    w.pairs
+        .iter()
+        .filter(|&&(x, y)| closure.can_know(x, y))
+        .count()
+}
+
+/// The parallel lane: island-sharded reach phase, same assembly.
+fn run_par_closure(w: &Workload, pool: &Pool) -> usize {
+    let closure = par_closure(&w.built.graph, pool);
+    w.pairs
+        .iter()
+        .filter(|&&(x, y)| closure.can_know(x, y))
+        .count()
+}
+
+/// The per-pair side: the Theorem 3.2 engine once per query.
+fn run_per_pair(w: &Workload) -> usize {
+    w.pairs
+        .iter()
+        .filter(|&&(x, y)| x == y || can_know(&w.built.graph, x, y))
+        .count()
+}
+
+fn bench_flow(c: &mut Criterion) {
+    let w = workload();
+    let pool = Pool::new(RACE_JOBS);
+    let parallelism = host_parallelism();
+
+    // Correctness first: all three sides must agree on every pair.
+    let closure = FlowClosure::compute(&w.built.graph);
+    let par = par_closure(&w.built.graph, &pool);
+    for &(x, y) in &w.pairs {
+        let per_pair = x == y || can_know(&w.built.graph, x, y);
+        assert_eq!(
+            closure.can_know(x, y),
+            per_pair,
+            "closure diverged from per-pair can_know at ({x}, {y})"
+        );
+        assert_eq!(
+            par.can_know(x, y),
+            per_pair,
+            "parallel closure diverged at ({x}, {y})"
+        );
+    }
+
+    let iters = if smoke() { 2 } else { 5 };
+    let closure_ns = time_ns(iters, || {
+        run_closure(&w);
+    });
+    let par_ns = time_ns(iters, || {
+        run_par_closure(&w, &pool);
+    });
+    let per_pair_ns = time_ns(iters, || {
+        run_per_pair(&w);
+    });
+
+    // The parallel-beats-sequential claim is only physical with the
+    // hardware threads to back the pool; the closure-beats-loop claim
+    // is single-threaded and always enforced.
+    let par_enforced = parallelism >= RACE_JOBS;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"bench_flow\",\n",
+            "  \"smoke\": {},\n",
+            "  \"jobs\": {},\n  \"host_parallelism\": {},\n  \"par_enforced\": {},\n",
+            "  \"vertices\": {},\n  \"edges\": {},\n  \"pairs\": {},\n",
+            "  \"closure_then_lookup_ns\": {:.0},\n",
+            "  \"parallel_closure_ns\": {:.0},\n",
+            "  \"per_pair_loop_ns\": {:.0},\n",
+            "  \"closure_speedup\": {:.2}\n",
+            "}}\n"
+        ),
+        smoke(),
+        RACE_JOBS,
+        parallelism,
+        par_enforced,
+        w.built.graph.vertex_count(),
+        w.built.graph.edge_count(),
+        w.pairs.len(),
+        closure_ns,
+        par_ns,
+        per_pair_ns,
+        per_pair_ns / closure_ns,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_flow.json");
+    std::fs::write(path, &json).expect("write BENCH_flow.json");
+    println!("bench_flow summary ({path}):\n{json}");
+
+    assert!(
+        closure_ns < per_pair_ns,
+        "the whole-graph closure ({closure_ns:.0} ns for {} pairs) must beat \
+         the per-pair query loop ({per_pair_ns:.0} ns)",
+        w.pairs.len()
+    );
+    if !par_enforced {
+        println!(
+            "bench_flow: host has {parallelism} hardware thread(s) < {RACE_JOBS}; \
+             the parallel lane is informational"
+        );
+    }
+
+    // Criterion display: the same comparison (the JSON above carries
+    // the precise numbers).
+    let mut group = c.benchmark_group("flow/closure_10k_edges");
+    group.bench_function("closure_then_lookup", |b| {
+        b.iter(|| run_closure(criterion::black_box(&w)))
+    });
+    group.bench_function("parallel_closure_jobs4", |b| {
+        b.iter(|| run_par_closure(criterion::black_box(&w), &pool))
+    });
+    group.bench_function("per_pair_loop", |b| {
+        b.iter(|| run_per_pair(criterion::black_box(&w)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_flow
+}
+criterion_main!(benches);

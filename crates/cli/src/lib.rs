@@ -15,6 +15,7 @@
 //! tgq at <log-dir> <epoch> <query...>     query a reconstructed historical state
 //! tgq diff <log-dir> <epoch1> <epoch2>    edge/verdict delta between two epochs
 //! tgq lint <graph> [<policy>] [--format text|json|sarif] [--fix] [--deny <code>]
+//! tgq plan <graph> <policy> <trace>    vet a trace statically, without applying it
 //! tgq watch <graph> <policy> <trace>   incremental per-rule audit of a trace
 //! tgq trace <graph> <policy> <trace> [--out <file>] [--format chrome|jsonl]
 //! tgq stats                            the span/counter catalog with paper refs
@@ -227,6 +228,11 @@ pub const COMMANDS: &[CommandSpec] = &[
             "--fix",
             "--deny <code|warn|info|all>",
         ],
+    },
+    CommandSpec {
+        name: "plan",
+        args: "<graph> <policy> <trace>",
+        flags: &["--format text|json|sarif", "--deny <code|warn|info|all>"],
     },
     CommandSpec {
         name: "watch",
@@ -1160,6 +1166,7 @@ fn dispatch(
             let (fix, rest) = split_flag(&rest, "--fix");
             let (format, rest) = split_opt(&rest, "--format")?;
             let (deny, rest) = split_multi(&rest, "--deny")?;
+            validate_deny(&deny)?;
             let format = format.unwrap_or("text");
             if !matches!(format, "text" | "json" | "sarif") {
                 return Err(CliError::Usage(format!(
@@ -1219,6 +1226,61 @@ fn dispatch(
                 "json" => out.push_str(&render::render_json(&diags, graph_path)),
                 "sarif" => out.push_str(&render::render_sarif(&diags, graph_path)),
                 _ => render::render_text(&diags, graph_path, source, out),
+            }
+            let worst = diags.iter().map(|d| d.severity).max();
+            Ok(match worst {
+                Some(Severity::Error) => 2,
+                Some(Severity::Warn) => 1,
+                _ => 0,
+            })
+        }
+        "plan" => {
+            let (format, rest) = split_opt(&rest, "--format")?;
+            let (deny, rest) = split_multi(&rest, "--deny")?;
+            validate_deny(&deny)?;
+            let format = format.unwrap_or("text");
+            if !matches!(format, "text" | "json" | "sarif") {
+                return Err(CliError::Usage(format!(
+                    "unknown --format {format:?} (text|json|sarif)"
+                )));
+            }
+            let [graph_path, policy_path, trace_path] = rest.as_slice() else {
+                return Err(usage_of(command));
+            };
+            let text = std::fs::read_to_string(graph_path)
+                .map_err(|e| format!("cannot read {graph_path}: {e}"))?;
+            let (graph, srcmap) =
+                parse_graph_with_spans(&text).map_err(|e| format!("{graph_path}: {e}"))?;
+            let policy_text = std::fs::read_to_string(policy_path)
+                .map_err(|e| format!("cannot read {policy_path}: {e}"))?;
+            let levels =
+                parse_policy(&policy_text, &graph).map_err(|e| format!("{policy_path}: {e}"))?;
+            let trace_text = std::fs::read_to_string(trace_path)
+                .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+            let trace = tg_rules::codec::decode_derivation(&trace_text)
+                .map_err(|e| format!("{trace_path}: {e}"))?;
+            // Only the trace-vetting pass runs: `plan` answers "would the
+            // monitor accept this?", not "is the graph clean?" — that is
+            // `tgq lint`'s job. The graph is never mutated.
+            let registry = {
+                let mut r = Registry::empty();
+                r.register(Box::new(tg_lint::passes::RefusedTraceStep));
+                r
+            };
+            let cx = LintContext::new(&graph, Some(&levels), Some(&srcmap)).with_trace(&trace);
+            let mut diags = registry.run_parallel(&cx, pool);
+            apply_deny(&mut diags, &deny);
+            diags.sort_by(Diagnostic::canonical_cmp);
+            match format {
+                "json" => out.push_str(&render::render_json(&diags, graph_path)),
+                "sarif" => out.push_str(&render::render_sarif(&diags, graph_path)),
+                _ => {
+                    if diags.is_empty() {
+                        let _ =
+                            writeln!(out, "plan: all {} step(s) statically accepted", trace.len());
+                    }
+                    render::render_text(&diags, graph_path, Some(text.as_str()), out);
+                }
             }
             let worst = diags.iter().map(|d| d.severity).max();
             Ok(match worst {
@@ -1427,6 +1489,28 @@ fn dispatch(
             usage()
         ))),
     }
+}
+
+/// Rejects `--deny` entries that name nothing: an entry must be `all`, a
+/// severity (`warn`/`info`), or a code from the rule registry. A typo'd
+/// code used to be silently ignored — the user believed the gate was up
+/// when nothing was being denied.
+fn validate_deny(deny: &[String]) -> Result<(), CliError> {
+    for entry in deny {
+        let known = entry == "all"
+            || Severity::parse(entry).is_some()
+            || tg_lint::RULES
+                .iter()
+                .any(|r| r.code.eq_ignore_ascii_case(entry));
+        if !known {
+            let codes: Vec<&str> = tg_lint::RULES.iter().map(|r| r.code).collect();
+            return Err(CliError::Usage(format!(
+                "unknown --deny entry {entry:?} (expected all, warn, info, or one of {})",
+                codes.join(", ")
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Extracts every `flag <value>` pair from `args`, splitting values on

@@ -660,6 +660,69 @@ fn lint_exit_codes_are_severity_keyed() {
 }
 
 #[test]
+fn lint_rejects_unknown_deny_entries() {
+    let graph = temp_file("lint-deny.tg", FIG61);
+    // A typo'd code used to be silently ignored; now it is a usage error
+    // (exit 2), before any file is even read.
+    match run_full(&["lint", &graph, "--deny", "TG099"]) {
+        Err(tg_cli::CliError::Usage(msg)) => {
+            assert!(msg.contains("TG099"), "names the bad entry: {msg}");
+            assert!(msg.contains("TG006"), "lists the real codes: {msg}");
+        }
+        other => panic!("expected usage error, got {other:?}"),
+    }
+    match run_full(&["lint", &graph, "--deny", "sevère"]) {
+        Err(tg_cli::CliError::Usage(_)) => {}
+        other => panic!("expected usage error, got {other:?}"),
+    }
+    // Every legitimate shape still passes: a code (any case), a
+    // severity, and `all`.
+    for deny in ["tg006", "TG006", "warn", "info", "all"] {
+        assert!(
+            run_full(&["lint", &graph, "--deny", deny]).is_ok(),
+            "--deny {deny} should be accepted"
+        );
+    }
+}
+
+#[test]
+fn plan_vets_a_trace_without_applying_it() {
+    let graph = temp_file("plan.tg", FIG61);
+    let policy = temp_file(
+        "plan.pol",
+        "level low\nlevel high\ndominates high low\nassign x low\nassign s high\nassign y high\n",
+    );
+    let before = std::fs::read_to_string(&graph).unwrap();
+    // `x` (low) takes `r` over `y` (high): preconditions hold, the
+    // restriction refuses the read-up.
+    let refused = temp_file("plan-refused.tr", "take 0 1 2 x1\n");
+    let (code, out) = run_full(&["plan", &graph, &policy, &refused]).unwrap();
+    assert_eq!(code, 2, "a refused step exits 2: {out}");
+    assert!(out.contains("error[TG011]"), "got: {out}");
+    assert!(out.contains("step 1"), "got: {out}");
+    // `x` removing its own `t` right is fine.
+    let ok = temp_file("plan-ok.tr", "remove 0 1 x4\n");
+    let (code, out) = run_full(&["plan", &graph, &policy, &ok]).unwrap();
+    assert_eq!(code, 0, "a legal trace exits 0: {out}");
+    assert!(out.contains("statically accepted"), "got: {out}");
+    // Vetting never mutates the graph file.
+    assert_eq!(std::fs::read_to_string(&graph).unwrap(), before);
+    // Usage errors: missing arguments, unknown format, bad deny entry.
+    assert!(matches!(
+        run_full(&["plan", &graph, &policy]),
+        Err(tg_cli::CliError::Usage(_))
+    ));
+    assert!(matches!(
+        run_full(&["plan", &graph, &policy, &ok, "--format", "yaml"]),
+        Err(tg_cli::CliError::Usage(_))
+    ));
+    assert!(matches!(
+        run_full(&["plan", &graph, &policy, &ok, "--deny", "TG0XX"]),
+        Err(tg_cli::CliError::Usage(_))
+    ));
+}
+
+#[test]
 fn lint_fix_rewrites_the_graph_to_a_clean_state() {
     // Figure 5.1: x (high) -t-> s (high) -w,e-> y (low).
     let graph = temp_file(

@@ -96,6 +96,52 @@ fn fig_5_1_reports_the_leak_in_all_formats() {
         "span points at the edge line"
     );
     assert!(text.contains("error[TG002]"), "write-down is diagnosed");
+    // The flow closure finds the one-conspirator chain flow too: `x`
+    // alone can take `s`'s write right and funnel itself to `y`.
+    assert!(text.contains("warn[TG009]"), "conspiracy flow is diagnosed");
+}
+
+#[test]
+fn laundering_reports_the_conduit_in_all_formats() {
+    case("laundering", "text", "txt", 2);
+    case("laundering", "json", "json", 2);
+    case("laundering", "sarif", "sarif", 2);
+    let text = std::fs::read_to_string(golden_path("laundering.txt")).expect("golden");
+    assert!(text.contains("warn[TG010]"), "laundering is diagnosed");
+    assert!(
+        text.contains("sole conduit"),
+        "the diagnostic names the conduit"
+    );
+}
+
+fn plan_case(trace: &str, format: &str, golden: &str, expect_exit: u8) {
+    let graph = fixture("fig_6_1.tg");
+    let policy = fixture("fig_6_1.pol");
+    let trace = fixture(trace);
+    let (code, out) = lint(&["plan", &graph, &policy, &trace, "--format", format]);
+    assert_eq!(code, expect_exit, "plan {format} exit code");
+    if format != "text" {
+        validate_json(&out).unwrap_or_else(|e| panic!("plan {format} is not valid JSON: {e}"));
+    }
+    check(golden, &normalize(&out, &graph));
+}
+
+#[test]
+fn plan_pins_the_refused_step_in_all_formats() {
+    plan_case("plan_refused.tr", "text", "plan_refused.txt", 2);
+    plan_case("plan_refused.tr", "json", "plan_refused.json", 2);
+    plan_case("plan_refused.tr", "sarif", "plan_refused.sarif", 2);
+    let text = std::fs::read_to_string(golden_path("plan_refused.txt")).expect("golden");
+    assert!(text.contains("error[TG011]"), "the refusal is diagnosed");
+    assert!(
+        text.contains("step 1"),
+        "the first refused step is numbered"
+    );
+}
+
+#[test]
+fn plan_accepts_a_legal_trace() {
+    plan_case("plan_ok.tr", "text", "plan_ok.txt", 0);
 }
 
 #[test]

@@ -11,6 +11,8 @@
 //! minimum wall-clock time per iteration over `sample_size` samples, each
 //! sample running for roughly `measurement_time / sample_size`.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};

@@ -1,0 +1,121 @@
+//! A dense row-major bit matrix, the workhorse of the closure phases.
+//!
+//! Rows are fixed-width bit sets packed into `u64` words; the closure uses
+//! them for class reachability, per-vertex class memberships, and the de
+//! facto component reach. Nothing here is specific to protection graphs.
+
+/// A `rows × cols` bit matrix.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct BitMatrix {
+    words_per_row: usize,
+    cols: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// An all-zero matrix.
+    pub(crate) fn new(rows: usize, cols: usize) -> BitMatrix {
+        let words_per_row = cols.div_ceil(64);
+        BitMatrix {
+            words_per_row,
+            cols,
+            bits: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Sets bit `(row, col)`.
+    pub(crate) fn set(&mut self, row: usize, col: usize) {
+        debug_assert!(col < self.cols);
+        self.bits[row * self.words_per_row + col / 64] |= 1u64 << (col % 64);
+    }
+
+    /// Reads bit `(row, col)`.
+    pub(crate) fn get(&self, row: usize, col: usize) -> bool {
+        debug_assert!(col < self.cols);
+        self.bits[row * self.words_per_row + col / 64] & (1u64 << (col % 64)) != 0
+    }
+
+    /// `dst |= src`, both rows of `self`.
+    pub(crate) fn or_row(&mut self, dst: usize, src: usize) {
+        let w = self.words_per_row;
+        let (d, s) = (dst * w, src * w);
+        for i in 0..w {
+            let v = self.bits[s + i];
+            self.bits[d + i] |= v;
+        }
+    }
+
+    /// `dst (in self) |= src (in other)`; the matrices must share a width.
+    pub(crate) fn or_row_from(&mut self, dst: usize, other: &BitMatrix, src: usize) {
+        debug_assert_eq!(self.words_per_row, other.words_per_row);
+        let w = self.words_per_row;
+        for i in 0..w {
+            self.bits[dst * w + i] |= other.bits[src * w + i];
+        }
+    }
+
+    /// Whether row `a` of `self` and row `b` of `other` share a set bit.
+    pub(crate) fn rows_intersect(&self, a: usize, other: &BitMatrix, b: usize) -> bool {
+        debug_assert_eq!(self.words_per_row, other.words_per_row);
+        let w = self.words_per_row;
+        (0..w).any(|i| self.bits[a * w + i] & other.bits[b * w + i] != 0)
+    }
+
+    /// Iterates the set column indices of a row in ascending order.
+    pub(crate) fn iter_row(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
+        let w = self.words_per_row;
+        let words = &self.bits[row * w..(row + 1) * w];
+        words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut rest = word;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+
+    /// Whether any bit of the row is set.
+    pub(crate) fn row_any(&self, row: usize) -> bool {
+        let w = self.words_per_row;
+        self.bits[row * w..(row + 1) * w].iter().any(|&x| x != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_and_iterate() {
+        let mut m = BitMatrix::new(2, 130);
+        m.set(0, 0);
+        m.set(0, 64);
+        m.set(0, 129);
+        m.set(1, 63);
+        assert!(m.get(0, 129) && !m.get(1, 129));
+        assert_eq!(m.iter_row(0).collect::<Vec<_>>(), vec![0, 64, 129]);
+        assert_eq!(m.iter_row(1).collect::<Vec<_>>(), vec![63]);
+        assert!(m.row_any(0));
+        assert!(!BitMatrix::new(1, 10).row_any(0));
+    }
+
+    #[test]
+    fn row_ops_union_and_intersect() {
+        let mut m = BitMatrix::new(3, 70);
+        m.set(0, 5);
+        m.set(1, 69);
+        m.or_row(0, 1);
+        assert!(m.get(0, 69) && m.get(0, 5) && !m.get(1, 5));
+        let mut other = BitMatrix::new(1, 70);
+        assert!(!m.rows_intersect(0, &other, 0));
+        other.set(0, 69);
+        assert!(m.rows_intersect(0, &other, 0));
+        let mut dst = BitMatrix::new(1, 70);
+        dst.or_row_from(0, &m, 0);
+        assert_eq!(dst.iter_row(0).collect::<Vec<_>>(), vec![5, 69],);
+    }
+}

@@ -1,0 +1,252 @@
+//! Generation-stamped closure memoization.
+//!
+//! [`FlowClosure::compute`] is a whole-graph pass; an incremental engine
+//! that lints after every mutation would pay it each time. The cache
+//! splits the pass at its only island-dependent seam — the per-island
+//! take-reach — and memoizes those reaches under three stamps supplied by
+//! the caller:
+//!
+//! * **`graph_epoch`** — bumped on *every* mutation. While it is
+//!   unchanged the assembled closure is returned as-is.
+//! * **`t_epoch`** — bumped whenever an explicit `t` right appears or
+//!   disappears anywhere. Take-reaches follow explicit `t` edges through
+//!   arbitrary vertices, so any such change invalidates every cached
+//!   reach at once.
+//! * **per-island generation** — a counter that changes whenever the
+//!   island's membership changes (`tg_inc`'s region generations). While
+//!   `t_epoch` holds, an island whose generation is unchanged keeps its
+//!   reach; only touched islands are re-searched.
+//!
+//! The assembly phase ([`FlowClosure::from_island_reaches`]) always
+//! reruns on a changed `graph_epoch`: it reads `r`/`w`/`g` edges and the
+//! de facto acquires relation, which the stamps above do not track. It is
+//! a near-linear bitset pass, so the expensive part — one BFS per island
+//! — is what the stamps protect.
+
+use std::collections::HashMap;
+
+use tg_graph::{ProtectionGraph, VertexId};
+
+use crate::closure::{island_reach, FlowClosure};
+use tg_analysis::Islands;
+
+/// Hit/miss counters for a [`ClosureCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Island reaches served from the cache.
+    pub islands_reused: u64,
+    /// Island reaches recomputed by BFS.
+    pub islands_recomputed: u64,
+    /// Full closures assembled from island reaches.
+    pub closures_assembled: u64,
+    /// Closures returned without any recomputation.
+    pub closures_reused: u64,
+}
+
+/// A memoized [`FlowClosure`] keyed by caller-supplied generation stamps.
+///
+/// The caller owns the invalidation contract (see the module docs); the
+/// cache itself never inspects edges. `tg_inc`'s engine threads its
+/// mutation epochs and region generations through here so repeated
+/// whole-graph lints between sparse mutations cost one bitset assembly —
+/// or nothing at all.
+#[derive(Debug, Default)]
+pub struct ClosureCache {
+    /// Stamp of the cached assembly, if any.
+    assembled_at: Option<u64>,
+    /// `t_epoch` the cached reaches were computed under.
+    reaches_at: Option<u64>,
+    /// Island root (smallest member index) → (island generation, reach).
+    reaches: HashMap<usize, (u64, Vec<VertexId>)>,
+    closure: Option<FlowClosure>,
+    stats: CacheStats,
+}
+
+impl ClosureCache {
+    /// An empty cache.
+    pub fn new() -> ClosureCache {
+        ClosureCache::default()
+    }
+
+    /// The closure for `graph`, reusing whatever the stamps allow.
+    ///
+    /// `island_gen(v)` must return the current generation of the island
+    /// containing `v`; it is queried on each island's smallest member.
+    /// The stamps must obey the contract in the module docs or stale
+    /// verdicts will be served.
+    pub fn closure<F>(
+        &mut self,
+        graph: &ProtectionGraph,
+        graph_epoch: u64,
+        t_epoch: u64,
+        island_gen: F,
+    ) -> &FlowClosure
+    where
+        F: Fn(VertexId) -> u64,
+    {
+        if self.assembled_at == Some(graph_epoch) && self.closure.is_some() {
+            self.stats.closures_reused += 1;
+        } else {
+            if self.reaches_at != Some(t_epoch) {
+                self.reaches.clear();
+                self.reaches_at = Some(t_epoch);
+            }
+            let islands = Islands::compute(graph);
+            let mut fresh: HashMap<usize, (u64, Vec<VertexId>)> =
+                HashMap::with_capacity(islands.len());
+            let mut reaches: Vec<Vec<VertexId>> = Vec::with_capacity(islands.len());
+            for members in islands.iter() {
+                let root = members[0].index();
+                let gen = island_gen(members[0]);
+                let reach = match self.reaches.get(&root) {
+                    Some((cached_gen, cached)) if *cached_gen == gen => {
+                        self.stats.islands_reused += 1;
+                        cached.clone()
+                    }
+                    _ => {
+                        self.stats.islands_recomputed += 1;
+                        island_reach(graph, members)
+                    }
+                };
+                fresh.insert(root, (gen, reach.clone()));
+                reaches.push(reach);
+            }
+            self.reaches = fresh;
+            self.stats.closures_assembled += 1;
+            self.closure = Some(FlowClosure::from_island_reaches(graph, &islands, &reaches));
+            self.assembled_at = Some(graph_epoch);
+        }
+        self.closure.as_ref().expect("assembled above")
+    }
+
+    /// The most recently assembled closure, if any, without checking any
+    /// stamp or touching the counters. Callers that just called
+    /// [`closure`](Self::closure) can use this to re-borrow the result
+    /// after inspecting [`stats`](Self::stats).
+    pub fn cached(&self) -> Option<&FlowClosure> {
+        self.closure.as_ref()
+    }
+
+    /// Counters since construction (or the last [`clear`](Self::clear)).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drops everything, including the counters.
+    pub fn clear(&mut self) {
+        *self = ClosureCache::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::Rights;
+
+    #[test]
+    fn same_epoch_reuses_the_closure() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        g.add_edge(a, b, Rights::T).unwrap();
+        let mut cache = ClosureCache::new();
+        assert!(cache.closure(&g, 0, 0, |_| 0).can_know(a, b));
+        assert!(cache.closure(&g, 0, 0, |_| 0).can_know(a, b));
+        let stats = cache.stats();
+        assert_eq!(stats.closures_assembled, 1);
+        assert_eq!(stats.closures_reused, 1);
+    }
+
+    #[test]
+    fn unchanged_islands_keep_their_reaches() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let o = g.add_object("o");
+        let b = g.add_subject("b");
+        g.add_edge(a, o, Rights::T).unwrap();
+        let mut cache = ClosureCache::new();
+        cache.closure(&g, 0, 0, |_| 0);
+        let first = cache.stats().islands_recomputed;
+        assert!(first >= 2);
+
+        // A read edge changes the graph but neither t-structure nor
+        // membership: bump graph_epoch only. All reaches are reused.
+        g.add_edge(b, o, Rights::R).unwrap();
+        let verdict = cache.closure(&g, 1, 0, |_| 0).can_know(b, o);
+        assert!(verdict);
+        let stats = cache.stats();
+        assert_eq!(stats.islands_recomputed, first);
+        assert!(stats.islands_reused >= 2);
+        assert_eq!(stats.closures_assembled, 2);
+    }
+
+    #[test]
+    fn t_epoch_bump_drops_every_reach() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        let o = g.add_object("o");
+        g.add_edge(a, o, Rights::R).unwrap();
+        let mut cache = ClosureCache::new();
+        cache.closure(&g, 0, 0, |_| 0);
+        let first = cache.stats().islands_recomputed;
+
+        g.add_edge(b, a, Rights::T).unwrap();
+        assert!(cache.closure(&g, 1, 1, |_| 0).can_know(b, o));
+        let stats = cache.stats();
+        assert_eq!(stats.islands_reused, 0);
+        assert!(stats.islands_recomputed > first);
+    }
+
+    #[test]
+    fn island_generation_recomputes_only_that_island() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let _b = g.add_subject("b");
+        let mut cache = ClosureCache::new();
+        cache.closure(&g, 0, 0, |_| 0);
+        assert_eq!(cache.stats().islands_recomputed, 2);
+
+        // Pretend island `a` changed membership: its gen moves, b's holds.
+        cache.closure(&g, 1, 0, |v| u64::from(v == a));
+        let stats = cache.stats();
+        assert_eq!(stats.islands_recomputed, 3);
+        assert_eq!(stats.islands_reused, 1);
+    }
+
+    #[test]
+    fn stale_free_verdicts_across_a_mutation_series() {
+        let mut g = ProtectionGraph::new();
+        let mut cache = ClosureCache::new();
+        let (mut graph_epoch, mut t_epoch) = (0u64, 0u64);
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        let c = g.add_subject("c");
+        let o = g.add_object("o");
+        for (src, dst, rights) in [
+            (a, b, Rights::T),
+            (b, o, Rights::W),
+            (c, o, Rights::R),
+            (b, c, Rights::G),
+        ] {
+            g.add_edge(src, dst, rights).unwrap();
+            graph_epoch += 1;
+            if rights.contains(tg_graph::Right::Take) {
+                t_epoch += 1;
+            }
+            // Island membership may shift on t/g edges between subjects:
+            // fold both epochs into the per-island stamp conservatively.
+            let gen = graph_epoch;
+            let closure = cache.closure(&g, graph_epoch, t_epoch, |_| gen);
+            for x in g.vertex_ids() {
+                for y in g.vertex_ids() {
+                    assert_eq!(
+                        closure.can_know(x, y),
+                        tg_analysis::can_know(&g, x, y),
+                        "stale verdict at ({x}, {y}) after epoch {graph_epoch}"
+                    );
+                }
+            }
+        }
+    }
+}

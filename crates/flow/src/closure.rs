@@ -1,0 +1,673 @@
+//! The whole-graph flow closure: one island-local fixpoint answering
+//! `can_know` for *every* pair at once.
+//!
+//! The per-pair decision (`tg_analysis::can_know`, Theorem 3.2) runs a
+//! chained product-BFS over the B∪C automaton per query. This module
+//! replaces the generic automaton walk with a *typed bridge oracle*: the
+//! four bridge shapes of arXiv 1208.1346 — `t>+`, `<t+`, `t>* g> <t*`,
+//! `t>* <g <t*` — and the three connection shapes are each decided by
+//! set algebra over per-island take-closures, so the whole relation is
+//! assembled in a handful of linear passes:
+//!
+//! 1. **Islands** (paper §2) are the seed equivalence classes: island
+//!    mates are joined by one-letter bridges.
+//! 2. **Take reach.** Each island BFSes forward over explicit `t` edges
+//!    once ([`island_reach`]); `rti(v)` inverts this into "the islands
+//!    whose take-closure covers `v`".
+//! 3. **Bridge merge.** Shape 1/2 bridges merge an island with every
+//!    foreign subject its reach covers; shapes 3/4 merge everything in
+//!    `rti(a) ∪ rti(b)` across each explicit grant edge `a → b`. The
+//!    merged classes are exactly the components of the symmetric bridge
+//!    relation — inside one class, authority travels freely.
+//! 4. **Connections.** Explicit `r`/`w` edges induce *directed* links
+//!    between classes through conduit vertices (`t>* r>`, `<w <t*`,
+//!    `t>* r> <w <t*`); a class-level reachability matrix closes them
+//!    transitively.
+//! 5. **Spans.** Per vertex, the classes rw-initially / rw-terminally
+//!    spanning it reduce the Theorem 3.2 chain question to one bitset
+//!    intersection.
+//! 6. **De facto.** The admissible rw-path relation (Theorem 3.1) is
+//!    closed over the condensation of the one-step flow graph, plus the
+//!    definition's implicit-edge terminal cases.
+//!
+//! The result answers `can_know(x, y)` for any pair in O(classes/64)
+//! words — and is differentially pinned, verdict for verdict, to the
+//! per-pair procedure.
+
+use std::collections::VecDeque;
+
+use tg_analysis::Islands;
+use tg_graph::algo::{condensation, UnionFind};
+use tg_graph::{ProtectionGraph, Right, VertexId};
+
+use crate::bitset::BitMatrix;
+
+/// Shape statistics of an assembled closure, for tests and benches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ClosureStats {
+    /// Vertices covered.
+    pub vertices: usize,
+    /// Islands before bridge merging.
+    pub islands: usize,
+    /// Flow classes after bridge merging.
+    pub classes: usize,
+    /// Directed conduit links (class → vertex and vertex → class).
+    pub conduit_links: usize,
+    /// Strongly connected components of the de facto flow graph.
+    pub df_components: usize,
+}
+
+/// The complete de facto flow relation of one protection graph.
+///
+/// Build it once with [`FlowClosure::compute`] (or shard the take-reach
+/// phase and assemble with [`FlowClosure::from_island_reaches`]); query
+/// any pair with [`FlowClosure::can_know`]. Verdicts agree exactly with
+/// [`tg_analysis::can_know`].
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{ProtectionGraph, Rights};
+/// use tg_flow::FlowClosure;
+///
+/// let mut g = ProtectionGraph::new();
+/// let x = g.add_subject("x");
+/// let q = g.add_object("q");
+/// let y = g.add_object("y");
+/// g.add_edge(x, q, Rights::T).unwrap();
+/// g.add_edge(q, y, Rights::R).unwrap();
+///
+/// let closure = FlowClosure::compute(&g);
+/// assert!(closure.can_know(x, y));
+/// assert!(!closure.can_know(y, x));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FlowClosure {
+    vertex_count: usize,
+    /// Flow class of each subject vertex (`None` for objects).
+    class_of_vertex: Vec<Option<u32>>,
+    /// For each vertex `x`: classes reachable from any class eligible as
+    /// the chain head `u1` (reach-closed `know_from`).
+    from_reach: BitMatrix,
+    /// For each vertex `y`: classes eligible as the chain tail `un`.
+    to_classes: BitMatrix,
+    /// De facto flow component of each vertex.
+    df_component: Vec<u32>,
+    /// For each component: vertices reachable in the flow graph
+    /// (reflexive over members).
+    df_reach: BitMatrix,
+    /// Implicit-edge terminal cases `(x, y)` of the `can_know_f`
+    /// definition, sorted.
+    terminal_pairs: Vec<(u32, u32)>,
+    stats: ClosureStats,
+}
+
+/// Forward closure over explicit take edges from an island's members:
+/// every vertex some member reaches with a (possibly empty) `t>*` prefix.
+/// Sorted by id. This is the only phase whose cost depends on the island,
+/// which makes it the unit of sharding (`tg-par`) and of memoization
+/// ([`crate::ClosureCache`]).
+pub fn island_reach(graph: &ProtectionGraph, members: &[VertexId]) -> Vec<VertexId> {
+    let n = graph.vertex_count();
+    let mut seen = vec![false; n];
+    let mut queue: VecDeque<VertexId> = VecDeque::new();
+    for &m in members {
+        if !seen[m.index()] {
+            seen[m.index()] = true;
+            queue.push_back(m);
+        }
+    }
+    let mut out: Vec<VertexId> = members.to_vec();
+    while let Some(v) = queue.pop_front() {
+        for (w, rights) in graph.out_edges(v) {
+            if rights.explicit().contains(Right::Take) && !seen[w.index()] {
+                seen[w.index()] = true;
+                out.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+impl FlowClosure {
+    /// Computes the closure sequentially.
+    pub fn compute(graph: &ProtectionGraph) -> FlowClosure {
+        let islands = Islands::compute(graph);
+        let reaches: Vec<Vec<VertexId>> = islands
+            .iter()
+            .map(|members| island_reach(graph, members))
+            .collect();
+        FlowClosure::from_island_reaches(graph, &islands, &reaches)
+    }
+
+    /// Assembles the closure from precomputed per-island take reaches
+    /// (`reaches[i]` must be `island_reach(graph, islands.members(i))`).
+    /// All remaining phases are cheap and deterministic, so computing the
+    /// reaches elsewhere — in parallel shards, or from a generation-stamped
+    /// cache — yields a byte-identical closure.
+    pub fn from_island_reaches(
+        graph: &ProtectionGraph,
+        islands: &Islands,
+        reaches: &[Vec<VertexId>],
+    ) -> FlowClosure {
+        let n = graph.vertex_count();
+        let k = islands.len();
+        assert_eq!(reaches.len(), k, "one reach set per island");
+
+        // rti[v]: islands whose take-closure covers v (ascending).
+        let mut rti: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, reach) in reaches.iter().enumerate() {
+            for v in reach {
+                rti[v.index()].push(i as u32);
+            }
+        }
+
+        // Bridge merge. Shapes 1/2: an island bridges to every foreign
+        // subject in its take reach. Shapes 3/4: a grant edge a → b with
+        // take-reachers on both sides bridges every pair across it.
+        let mut uf = UnionFind::new(k);
+        for (i, reach) in reaches.iter().enumerate() {
+            for &v in reach {
+                if let Some(j) = islands.island_of(v) {
+                    uf.union(i, j);
+                }
+            }
+        }
+        for edge in graph.edges() {
+            if !edge.rights.explicit().contains(Right::Grant) {
+                continue;
+            }
+            let (ra, rb) = (&rti[edge.src.index()], &rti[edge.dst.index()]);
+            if ra.is_empty() || rb.is_empty() {
+                continue;
+            }
+            let anchor = ra[0] as usize;
+            for &i in ra.iter().chain(rb.iter()) {
+                uf.union(anchor, i as usize);
+            }
+        }
+
+        // Compact classes in root order so numbering is deterministic.
+        let mut class_of_island: Vec<u32> = vec![u32::MAX; k];
+        let mut classes = 0u32;
+        for i in 0..k {
+            let root = uf.find(i);
+            if class_of_island[root] == u32::MAX {
+                class_of_island[root] = classes;
+                classes += 1;
+            }
+            class_of_island[i] = class_of_island[root];
+        }
+        let kc = classes as usize;
+
+        let class_of_vertex: Vec<Option<u32>> = (0..n)
+            .map(|v| {
+                islands
+                    .island_of(VertexId::from_index(v))
+                    .map(|i| class_of_island[i])
+            })
+            .collect();
+
+        // Conduit links. cin[m]: classes with a read link into conduit m
+        // (`t>* r>` toward m) plus m's own class; cout[m]: classes with a
+        // write link out of conduit m (`<w <t*` away from m) plus m's own
+        // class. A class-level step C → D exists iff some conduit has
+        // C ∈ cin and D ∈ cout — exactly a connection word.
+        let mut cin: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut cout: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for edge in graph.edges() {
+            let explicit = edge.rights.explicit();
+            if explicit.contains(Right::Read) {
+                for &i in &rti[edge.src.index()] {
+                    cin[edge.dst.index()].push(class_of_island[i as usize]);
+                }
+            }
+            if explicit.contains(Right::Write) {
+                for &i in &rti[edge.src.index()] {
+                    cout[edge.dst.index()].push(class_of_island[i as usize]);
+                }
+            }
+        }
+        for v in 0..n {
+            if let Some(c) = class_of_vertex[v] {
+                cin[v].push(c);
+                cout[v].push(c);
+            }
+        }
+        let mut conduit_links = 0usize;
+        for list in cin.iter_mut().chain(cout.iter_mut()) {
+            list.sort_unstable();
+            list.dedup();
+            conduit_links += list.len();
+        }
+        // Reverse index: conduits each class reads.
+        let mut class_conduits: Vec<Vec<u32>> = vec![Vec::new(); kc];
+        for (m, list) in cin.iter().enumerate() {
+            for &c in list {
+                class_conduits[c as usize].push(m as u32);
+            }
+        }
+
+        // Transitive class reachability (reflexive): condense the
+        // bipartite class → conduit → class step graph instead of one
+        // BFS per class — Tarjan emits successors first, so a single
+        // in-order pass of whole-row ORs closes the relation in
+        // O(components · classes/64) words. Node `c` is class `c`,
+        // node `kc + m` is conduit `m`.
+        let mut step: Vec<Vec<usize>> = vec![Vec::new(); kc + n];
+        for (c, conduits) in class_conduits.iter().enumerate() {
+            step[c].extend(conduits.iter().map(|&m| kc + m as usize));
+        }
+        for (m, list) in cout.iter().enumerate() {
+            step[kc + m].extend(list.iter().map(|&d| d as usize));
+        }
+        let ccond = condensation(&step);
+        let mut class_reach = BitMatrix::new(ccond.len(), kc);
+        for (ci, members) in ccond.components.iter().enumerate() {
+            for &v in members {
+                if v < kc {
+                    class_reach.set(ci, v);
+                }
+            }
+            let succs = ccond.adj[ci].clone();
+            for s in succs {
+                debug_assert!(s < ci, "tarjan emits successors first");
+                class_reach.or_row(ci, s);
+            }
+        }
+        // Class `c`'s reach row is its component's row (reflexive: the
+        // component's own members include `c`).
+        let class_row = |c: usize| ccond.component_of[c];
+
+        // Spans. know_from[x]: classes eligible as u1 (rw-initial span
+        // `t>* w>` into x, or x's own class); to_classes[y]: classes
+        // eligible as un (rw-terminal span `t>* r>` into y, or y's own
+        // class).
+        let mut know_from = BitMatrix::new(n, kc);
+        let mut to_classes = BitMatrix::new(n, kc);
+        for edge in graph.edges() {
+            let explicit = edge.rights.explicit();
+            if explicit.contains(Right::Write) {
+                for &i in &rti[edge.src.index()] {
+                    know_from.set(edge.dst.index(), class_of_island[i as usize] as usize);
+                }
+            }
+            if explicit.contains(Right::Read) {
+                for &i in &rti[edge.src.index()] {
+                    to_classes.set(edge.dst.index(), class_of_island[i as usize] as usize);
+                }
+            }
+        }
+        for (v, class) in class_of_vertex.iter().enumerate() {
+            if let Some(c) = class {
+                know_from.set(v, *c as usize);
+                to_classes.set(v, *c as usize);
+            }
+        }
+        let mut from_reach = BitMatrix::new(n, kc);
+        for v in 0..n {
+            let heads: Vec<usize> = know_from.iter_row(v).collect();
+            for c in heads {
+                from_reach.or_row_from(v, &class_reach, class_row(c));
+            }
+        }
+
+        // De facto flow: close the one-step acquire relation (combined
+        // rights, subject sources — the Theorem 3.1 flow graph) over its
+        // condensation. Tarjan emits a component only after everything it
+        // reaches, so a single in-order pass unions successor rows.
+        let mut acquires: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for edge in graph.edges() {
+            let rights = edge.rights.combined();
+            if graph.is_subject(edge.src) {
+                if rights.contains(Right::Read) {
+                    acquires[edge.src.index()].push(edge.dst.index());
+                }
+                if rights.contains(Right::Write) {
+                    acquires[edge.dst.index()].push(edge.src.index());
+                }
+            }
+        }
+        let cond = condensation(&acquires);
+        let comps = cond.len();
+        let mut df_reach = BitMatrix::new(comps, n);
+        for (ci, members) in cond.components.iter().enumerate() {
+            for &v in members {
+                df_reach.set(ci, v);
+            }
+            let succs = cond.adj[ci].clone();
+            for s in succs {
+                debug_assert!(s < ci, "tarjan emits successors first");
+                df_reach.or_row(ci, s);
+            }
+        }
+        let df_component: Vec<u32> = (0..n).map(|v| cond.component_of[v] as u32).collect();
+
+        // Implicit-edge terminal cases of the can_know_f definition.
+        let mut terminal_pairs: Vec<(u32, u32)> = Vec::new();
+        for edge in graph.edges() {
+            let implicit = edge.rights.implicit();
+            if implicit.contains(Right::Read) {
+                terminal_pairs.push((edge.src.index() as u32, edge.dst.index() as u32));
+            }
+            if implicit.contains(Right::Write) {
+                terminal_pairs.push((edge.dst.index() as u32, edge.src.index() as u32));
+            }
+        }
+        terminal_pairs.sort_unstable();
+        terminal_pairs.dedup();
+
+        FlowClosure {
+            vertex_count: n,
+            class_of_vertex,
+            from_reach,
+            to_classes,
+            df_component,
+            df_reach,
+            terminal_pairs,
+            stats: ClosureStats {
+                vertices: n,
+                islands: k,
+                classes: kc,
+                conduit_links,
+                df_components: comps,
+            },
+        }
+    }
+
+    /// Number of vertices the closure covers.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_count
+    }
+
+    /// Shape statistics.
+    pub fn stats(&self) -> ClosureStats {
+        self.stats
+    }
+
+    /// The flow class of a subject (`None` for objects). Two subjects in
+    /// one class are joined by bridges: each can obtain any right the
+    /// other holds.
+    pub fn class_of(&self, v: VertexId) -> Option<u32> {
+        self.class_of_vertex[v.index()]
+    }
+
+    /// Whether `x` can come to know `y`'s information using any mix of de
+    /// jure and de facto rules — agrees with [`tg_analysis::can_know`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range for the closed graph.
+    pub fn can_know(&self, x: VertexId, y: VertexId) -> bool {
+        x == y || self.flows_de_facto(x, y) || self.chain_flow(x, y)
+    }
+
+    /// The pure de facto component (Theorem 3.1 plus the definition's
+    /// implicit-edge terminal cases) — agrees with
+    /// [`tg_analysis::can_know_f`].
+    pub fn flows_de_facto(&self, x: VertexId, y: VertexId) -> bool {
+        if x == y {
+            return true;
+        }
+        if self
+            .df_reach
+            .get(self.df_component[x.index()] as usize, y.index())
+        {
+            return true;
+        }
+        self.terminal_pairs
+            .binary_search(&(x.index() as u32, y.index() as u32))
+            .is_ok()
+    }
+
+    /// The Theorem 3.2 chain component: a subject chain `u1 … un` joined
+    /// by bridges and connections, with `u1` rw-initially spanning `x`
+    /// and `un` rw-terminally spanning `y`. True chain flows require de
+    /// jure cooperation — this is the conspiracy-reachable part of the
+    /// relation.
+    pub fn chain_flow(&self, x: VertexId, y: VertexId) -> bool {
+        self.from_reach
+            .rows_intersect(x.index(), &self.to_classes, y.index())
+    }
+
+    /// Whether `x` can know `y` *only* through a de jure-assisted chain
+    /// (no pure de facto path): the flows TG009 attributes to
+    /// conspiracies.
+    pub fn chain_only(&self, x: VertexId, y: VertexId) -> bool {
+        x != y && !self.flows_de_facto(x, y) && self.chain_flow(x, y)
+    }
+
+    /// Every `y` that `x` can come to know, ascending (reflexive).
+    pub fn knowable(&self, x: VertexId) -> Vec<VertexId> {
+        (0..self.vertex_count)
+            .map(VertexId::from_index)
+            .filter(|&y| self.can_know(x, y))
+            .collect()
+    }
+
+    /// Whether `x` has any chain-eligible head class at all (cheap
+    /// pre-filter for pair scans).
+    pub fn has_chain_heads(&self, x: VertexId) -> bool {
+        self.from_reach.row_any(x.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_analysis::can_know;
+    use tg_graph::Rights;
+
+    fn pinned(g: &ProtectionGraph) {
+        let closure = FlowClosure::compute(g);
+        for x in g.vertex_ids() {
+            for y in g.vertex_ids() {
+                assert_eq!(
+                    closure.can_know(x, y),
+                    can_know(g, x, y),
+                    "closure disagrees with can_know at ({x}, {y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        pinned(&ProtectionGraph::new());
+        let mut g = ProtectionGraph::new();
+        g.add_subject("s");
+        g.add_object("o");
+        pinned(&g);
+    }
+
+    #[test]
+    fn figure_2_2_shapes() {
+        // Paper Figure 2.2: three islands joined by bridges.
+        let mut g = ProtectionGraph::new();
+        let p = g.add_subject("p");
+        let u = g.add_subject("u");
+        let v = g.add_object("v");
+        let w = g.add_subject("w");
+        let x = g.add_object("x");
+        let y = g.add_subject("y");
+        let s_prime = g.add_subject("s'");
+        let s = g.add_object("s");
+        g.add_edge(p, u, Rights::G).unwrap();
+        g.add_edge(u, v, Rights::T).unwrap();
+        g.add_edge(w, v, Rights::T).unwrap();
+        g.add_edge(w, x, Rights::T).unwrap();
+        g.add_edge(x, y, Rights::T).unwrap();
+        g.add_edge(y, s_prime, Rights::G).unwrap();
+        g.add_edge(s_prime, s, Rights::T).unwrap();
+        let closure = FlowClosure::compute(&g);
+        // u -t-> v <-t- w (double take toward a shared object) is not in
+        // B, so {p,u} stays apart; w -t-> x -t-> y is a shape-1 bridge
+        // onto subject y, merging w's island with {y,s'}.
+        assert_ne!(closure.class_of(u), closure.class_of(w));
+        assert_eq!(closure.class_of(w), closure.class_of(y));
+        assert_eq!(closure.class_of(y), closure.class_of(s_prime));
+        pinned(&g);
+    }
+
+    #[test]
+    fn all_four_bridge_shapes_merge() {
+        // Shape 1: a -t-> b.
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        g.add_edge(a, b, Rights::T).unwrap();
+        let c = FlowClosure::compute(&g);
+        assert_eq!(c.class_of(a), c.class_of(b));
+
+        // Shape 2: b -t-> a seen from a.
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        g.add_edge(b, a, Rights::T).unwrap();
+        let c = FlowClosure::compute(&g);
+        assert_eq!(c.class_of(a), c.class_of(b));
+
+        // Shape 3: a -t-> p, p -g-> q, b -t-> q.
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        let p = g.add_object("p");
+        let q = g.add_object("q");
+        g.add_edge(a, p, Rights::T).unwrap();
+        g.add_edge(p, q, Rights::G).unwrap();
+        g.add_edge(b, q, Rights::T).unwrap();
+        let c = FlowClosure::compute(&g);
+        assert_eq!(c.class_of(a), c.class_of(b));
+        pinned(&g);
+
+        // Shape 4: a -t-> p, q -g-> p, b -t-> q.
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        let p = g.add_object("p");
+        let q = g.add_object("q");
+        g.add_edge(a, p, Rights::T).unwrap();
+        g.add_edge(q, p, Rights::G).unwrap();
+        g.add_edge(b, q, Rights::T).unwrap();
+        let c = FlowClosure::compute(&g);
+        assert_eq!(c.class_of(a), c.class_of(b));
+        pinned(&g);
+    }
+
+    #[test]
+    fn non_bridges_do_not_merge() {
+        // Double take toward a shared object is not a bridge.
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        let p = g.add_object("p");
+        g.add_edge(a, p, Rights::T).unwrap();
+        g.add_edge(b, p, Rights::T).unwrap();
+        let c = FlowClosure::compute(&g);
+        assert_ne!(c.class_of(a), c.class_of(b));
+        pinned(&g);
+    }
+
+    #[test]
+    fn connections_are_directed() {
+        // x -t-> q -r-> y: read connection x → y, never y → x.
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let q = g.add_object("q");
+        let y = g.add_subject("y");
+        g.add_edge(x, q, Rights::T).unwrap();
+        g.add_edge(q, y, Rights::R).unwrap();
+        let c = FlowClosure::compute(&g);
+        assert!(c.can_know(x, y));
+        assert!(!c.can_know(y, x));
+        assert!(c.chain_only(x, y));
+        pinned(&g);
+    }
+
+    #[test]
+    fn double_connection_meets_in_the_middle() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let a = g.add_object("a");
+        let m = g.add_object("m");
+        let b = g.add_object("b");
+        let y = g.add_subject("y");
+        g.add_edge(x, a, Rights::T).unwrap();
+        g.add_edge(a, m, Rights::R).unwrap();
+        g.add_edge(y, b, Rights::T).unwrap();
+        g.add_edge(b, m, Rights::W).unwrap();
+        pinned(&g);
+        assert!(FlowClosure::compute(&g).can_know(x, y));
+    }
+
+    #[test]
+    fn de_facto_and_terminal_cases() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let m = g.add_object("m");
+        let z = g.add_subject("z");
+        g.add_edge(x, m, Rights::R).unwrap();
+        g.add_edge(z, m, Rights::W).unwrap();
+        pinned(&g);
+
+        // Implicit object-sourced read edge: terminal but true.
+        let mut g = ProtectionGraph::new();
+        let o = g.add_object("o");
+        let y = g.add_subject("y");
+        g.add_implicit_edge(o, y, Rights::R).unwrap();
+        let c = FlowClosure::compute(&g);
+        assert!(c.can_know(o, y));
+        assert!(c.flows_de_facto(o, y));
+        pinned(&g);
+    }
+
+    #[test]
+    fn spans_at_both_ends() {
+        // u -w-> x (object), u -t-> q -r-> y: u rw-initially spans x and
+        // rw-terminally spans y, so can_know(x, y) via the n = 1 chain.
+        let mut g = ProtectionGraph::new();
+        let u = g.add_subject("u");
+        let x = g.add_object("x");
+        let q = g.add_object("q");
+        let y = g.add_object("y");
+        g.add_edge(u, x, Rights::W).unwrap();
+        g.add_edge(u, q, Rights::T).unwrap();
+        g.add_edge(q, y, Rights::R).unwrap();
+        let c = FlowClosure::compute(&g);
+        assert!(c.can_know(x, y));
+        assert!(c.has_chain_heads(x));
+        pinned(&g);
+    }
+
+    #[test]
+    fn multi_link_chains_compose() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let u = g.add_subject("u");
+        let v = g.add_subject("v");
+        let y = g.add_object("y");
+        g.add_edge(x, u, Rights::R).unwrap();
+        g.add_edge(u, v, Rights::T).unwrap();
+        g.add_edge(v, y, Rights::R).unwrap();
+        let c = FlowClosure::compute(&g);
+        assert!(c.can_know(x, y));
+        assert!(!c.can_know(y, x));
+        assert_eq!(c.knowable(x), vec![x, u, v, y]);
+        pinned(&g);
+    }
+
+    #[test]
+    fn stats_report_shapes() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        g.add_edge(a, b, Rights::T).unwrap();
+        let stats = FlowClosure::compute(&g).stats();
+        assert_eq!(stats.vertices, 2);
+        assert_eq!(stats.islands, 1);
+        assert_eq!(stats.classes, 1);
+    }
+}

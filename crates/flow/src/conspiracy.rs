@@ -1,0 +1,473 @@
+//! Conspiracy attribution: *who* has to cooperate for a flow to happen.
+//!
+//! Theorem 3.2 characterizes `can_know(x, y)` by a subject chain
+//! `u1 … un`; every chain subject must actively apply rules, so the chain
+//! is a conspiracy and the shortest chain is a minimum conspirator set
+//! (in the access-set style of arXiv 1208.0108, specialized to flows).
+//! This module finds a shortest chain with the same typed oracle the
+//! closure uses — per-subject take-closures plus set algebra for the four
+//! bridge shapes and three connection shapes — and labels every link with
+//! its shape, giving lints a human-readable "bridge word" per hop.
+
+use std::collections::VecDeque;
+
+use tg_graph::{ProtectionGraph, Right, VertexId};
+
+/// The shape of one subject-chain link, i.e. which B∪C word joins the two
+/// subjects.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkShape {
+    /// Bridge `t>+`: `from` takes along the path to `to`.
+    TakeForward,
+    /// Bridge `<t+`: `to` takes along the path to `from`.
+    TakeReverse,
+    /// Bridge `t>* g> <t*`: both take toward a grant edge crossing
+    /// forward.
+    GrantForward,
+    /// Bridge `t>* <g <t*`: both take toward a grant edge crossing
+    /// backward.
+    GrantReverse,
+    /// Connection `t>* r>`: `from` takes then reads `to`.
+    ReadConnection,
+    /// Connection `<w <t*`: `to` takes then writes `from`.
+    WriteConnection,
+    /// Connection `t>* r> <w <t*`: both take toward a middle vertex that
+    /// `from` reads and `to` writes.
+    ReadWriteConnection,
+}
+
+impl LinkShape {
+    /// The link's word (the paper's path-language notation).
+    pub fn word(self) -> &'static str {
+        match self {
+            LinkShape::TakeForward => "t>+",
+            LinkShape::TakeReverse => "<t+",
+            LinkShape::GrantForward => "t>* g> <t*",
+            LinkShape::GrantReverse => "t>* <g <t*",
+            LinkShape::ReadConnection => "t>* r>",
+            LinkShape::WriteConnection => "<w <t*",
+            LinkShape::ReadWriteConnection => "t>* r> <w <t*",
+        }
+    }
+
+    /// Whether the word is a bridge (authority moves) rather than a
+    /// connection (information moves).
+    pub fn is_bridge(self) -> bool {
+        matches!(
+            self,
+            LinkShape::TakeForward
+                | LinkShape::TakeReverse
+                | LinkShape::GrantForward
+                | LinkShape::GrantReverse
+        )
+    }
+}
+
+/// One typed link of a conspiracy chain.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TypedLink {
+    /// The chain subject nearer `x`.
+    pub from: VertexId,
+    /// The chain subject nearer `y`.
+    pub to: VertexId,
+    /// Which B∪C shape joins them.
+    pub shape: LinkShape,
+}
+
+/// A minimum conspirator set for one flow, with its typed chain.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Conspiracy {
+    /// The conspiring subjects in chain order (`u1 … un`); empty when the
+    /// flow needs no active subject (trivial or implicit-terminal flows).
+    pub subjects: Vec<VertexId>,
+    /// Links joining consecutive subjects (`subjects.len() - 1` entries,
+    /// empty for de facto flows, whose subjects act in path order).
+    pub links: Vec<TypedLink>,
+}
+
+impl Conspiracy {
+    /// Number of conspirators.
+    pub fn len(&self) -> usize {
+        self.subjects.len()
+    }
+
+    /// Whether the flow needs no conspirator at all.
+    pub fn is_empty(&self) -> bool {
+        self.subjects.is_empty()
+    }
+
+    /// The chain's bridge word: each link's shape joined with `·`, or `ν`
+    /// for linkless flows.
+    pub fn bridge_word(&self) -> String {
+        if self.links.is_empty() {
+            "ν".to_string()
+        } else {
+            let words: Vec<&str> = self.links.iter().map(|l| l.shape.word()).collect();
+            words.join(" · ")
+        }
+    }
+}
+
+/// Per-subject closure sets, each a bitset over vertices.
+struct SubjectSets {
+    /// Take reach `t>*` (reflexive).
+    ts: Vec<u64>,
+    /// `{m : ∃a ∈ ts, a -r-> m}` — everything the subject can read after
+    /// taking.
+    reads: Vec<u64>,
+    /// `{m : ∃b ∈ ts, b -w-> m}` — everything the subject can write after
+    /// taking.
+    writes: Vec<u64>,
+    /// `{b : ∃a ∈ ts, a -g-> b}` — grant-edge targets in take reach.
+    gt: Vec<u64>,
+    /// `{b : ∃a ∈ ts, b -g-> a}` — grant-edge sources into take reach.
+    gs: Vec<u64>,
+}
+
+fn bit_set(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1 << (i % 64);
+}
+
+fn bit_get(words: &[u64], i: usize) -> bool {
+    words[i / 64] & (1 << (i % 64)) != 0
+}
+
+fn bits_intersect(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).any(|(x, y)| x & y != 0)
+}
+
+fn subject_sets(graph: &ProtectionGraph, s: VertexId) -> SubjectSets {
+    let n = graph.vertex_count();
+    let w = n.div_ceil(64).max(1);
+    let mut sets = SubjectSets {
+        ts: vec![0; w],
+        reads: vec![0; w],
+        writes: vec![0; w],
+        gt: vec![0; w],
+        gs: vec![0; w],
+    };
+    let mut queue = VecDeque::from([s]);
+    bit_set(&mut sets.ts, s.index());
+    let mut order = vec![s];
+    while let Some(v) = queue.pop_front() {
+        for (u, rights) in graph.out_edges(v) {
+            if rights.explicit().contains(Right::Take) && !bit_get(&sets.ts, u.index()) {
+                bit_set(&mut sets.ts, u.index());
+                order.push(u);
+                queue.push_back(u);
+            }
+        }
+    }
+    for a in order {
+        for (m, rights) in graph.out_edges(a) {
+            let explicit = rights.explicit();
+            if explicit.contains(Right::Read) {
+                bit_set(&mut sets.reads, m.index());
+            }
+            if explicit.contains(Right::Write) {
+                bit_set(&mut sets.writes, m.index());
+            }
+            if explicit.contains(Right::Grant) {
+                bit_set(&mut sets.gt, m.index());
+            }
+        }
+        for (b, rights) in graph.in_edges(a) {
+            if rights.explicit().contains(Right::Grant) {
+                bit_set(&mut sets.gs, b.index());
+            }
+        }
+    }
+    sets
+}
+
+/// Classifies the B∪C link from `u` to `v`, if any, preferring bridges
+/// over connections and shorter shapes over longer ones.
+fn link_shape(u: &SubjectSets, v: &SubjectSets, ui: usize, vi: usize) -> Option<LinkShape> {
+    if bit_get(&u.ts, vi) {
+        return Some(LinkShape::TakeForward);
+    }
+    if bit_get(&v.ts, ui) {
+        return Some(LinkShape::TakeReverse);
+    }
+    if bits_intersect(&u.gt, &v.ts) {
+        return Some(LinkShape::GrantForward);
+    }
+    if bits_intersect(&u.gs, &v.ts) {
+        return Some(LinkShape::GrantReverse);
+    }
+    if bit_get(&u.reads, vi) {
+        return Some(LinkShape::ReadConnection);
+    }
+    if bit_get(&v.writes, ui) {
+        return Some(LinkShape::WriteConnection);
+    }
+    if bits_intersect(&u.reads, &v.writes) {
+        return Some(LinkShape::ReadWriteConnection);
+    }
+    None
+}
+
+/// A minimum conspirator set witnessing `can_know(x, y)`, or `None` when
+/// the flow is impossible. Runs one take-closure per subject plus a BFS
+/// over subjects, so cost grows with `subjects × edges` — callers lint
+/// whole graphs through [`crate::FlowClosure`] and reserve this for the
+/// pairs they flag.
+///
+/// # Panics
+///
+/// Panics if `x` or `y` does not belong to `graph`.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{ProtectionGraph, Rights};
+/// use tg_flow::min_flow_conspirators;
+///
+/// let mut g = ProtectionGraph::new();
+/// let x = g.add_subject("x");
+/// let u = g.add_subject("u");
+/// let y = g.add_object("y");
+/// g.add_edge(x, u, Rights::R).unwrap();
+/// g.add_edge(u, y, Rights::T).unwrap();
+/// let mut g2 = g.clone();
+/// let q = g2.add_object("q");
+/// g2.add_edge(u, q, Rights::T).unwrap();
+/// g2.add_edge(q, y, Rights::R).unwrap();
+///
+/// let conspiracy = min_flow_conspirators(&g2, x, y).unwrap();
+/// assert_eq!(conspiracy.subjects, vec![x, u]);
+/// ```
+pub fn min_flow_conspirators(
+    graph: &ProtectionGraph,
+    x: VertexId,
+    y: VertexId,
+) -> Option<Conspiracy> {
+    if x == y {
+        return Some(Conspiracy {
+            subjects: Vec::new(),
+            links: Vec::new(),
+        });
+    }
+    // Pure de facto flows first, mirroring the decision order of
+    // can_know_detail: the conspirators are the subjects along the
+    // admissible rw-path (each applies a de facto rule).
+    if let Some((vertices, _steps)) = tg_analysis::can_know_f_path(graph, x, y) {
+        let subjects: Vec<VertexId> = vertices
+            .into_iter()
+            .filter(|&v| graph.is_subject(v))
+            .collect();
+        return Some(Conspiracy {
+            subjects,
+            links: Vec::new(),
+        });
+    }
+    if tg_analysis::can_know_f(graph, x, y) {
+        // Implicit-edge terminal case: the flow is already exhibited.
+        return Some(Conspiracy {
+            subjects: Vec::new(),
+            links: Vec::new(),
+        });
+    }
+
+    let subjects: Vec<VertexId> = graph.subjects().collect();
+    let sets: Vec<SubjectSets> = subjects.iter().map(|&s| subject_sets(graph, s)).collect();
+
+    // Chain heads: subjects rw-initially spanning x (t>* w> into x), plus
+    // x itself; tails: subjects rw-terminally spanning y (t>* r> into y),
+    // plus y itself.
+    let is_head = |i: usize| -> bool { bit_get(&sets[i].writes, x.index()) || subjects[i] == x };
+    let is_tail = |i: usize| -> bool { bit_get(&sets[i].reads, y.index()) || subjects[i] == y };
+
+    let mut parent: Vec<Option<usize>> = vec![None; subjects.len()];
+    let mut seen = vec![false; subjects.len()];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut goal: Option<usize> = None;
+    for (i, seen_i) in seen.iter_mut().enumerate() {
+        if is_head(i) {
+            *seen_i = true;
+            if is_tail(i) {
+                goal = Some(i);
+                break;
+            }
+            queue.push_back(i);
+        }
+    }
+    while goal.is_none() {
+        let Some(i) = queue.pop_front() else {
+            break;
+        };
+        for j in 0..subjects.len() {
+            if seen[j]
+                || link_shape(&sets[i], &sets[j], subjects[i].index(), subjects[j].index())
+                    .is_none()
+            {
+                continue;
+            }
+            seen[j] = true;
+            parent[j] = Some(i);
+            if is_tail(j) {
+                goal = Some(j);
+                break;
+            }
+            queue.push_back(j);
+        }
+    }
+
+    let mut at = goal?;
+    let mut chain = vec![at];
+    while let Some(p) = parent[at] {
+        chain.push(p);
+        at = p;
+    }
+    chain.reverse();
+    let links: Vec<TypedLink> = chain
+        .windows(2)
+        .map(|w| {
+            let (i, j) = (w[0], w[1]);
+            let shape = link_shape(&sets[i], &sets[j], subjects[i].index(), subjects[j].index())
+                .expect("chain edges came from link_shape");
+            TypedLink {
+                from: subjects[i],
+                to: subjects[j],
+                shape,
+            }
+        })
+        .collect();
+    Some(Conspiracy {
+        subjects: chain.into_iter().map(|i| subjects[i]).collect(),
+        links,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::Rights;
+
+    #[test]
+    fn trivial_flows_need_nobody() {
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let c = min_flow_conspirators(&g, a, a).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.bridge_word(), "ν");
+    }
+
+    #[test]
+    fn de_facto_path_subjects_conspire() {
+        // x -r-> o <w- s -r-> y: x and s cooperate (post then spy).
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let o = g.add_object("o");
+        let s = g.add_subject("s");
+        let y = g.add_object("y");
+        g.add_edge(x, o, Rights::R).unwrap();
+        g.add_edge(s, o, Rights::W).unwrap();
+        g.add_edge(s, y, Rights::R).unwrap();
+        let c = min_flow_conspirators(&g, x, y).unwrap();
+        assert_eq!(c.subjects, vec![x, s]);
+        assert!(c.links.is_empty());
+    }
+
+    #[test]
+    fn bridge_chain_is_typed() {
+        // x -t-> u (bridge), u -t-> q -r-> y (terminal span).
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let u = g.add_subject("u");
+        let q = g.add_object("q");
+        let y = g.add_object("y");
+        g.add_edge(x, u, Rights::T).unwrap();
+        g.add_edge(u, q, Rights::T).unwrap();
+        g.add_edge(q, y, Rights::R).unwrap();
+        let c = min_flow_conspirators(&g, x, y).unwrap();
+        // x itself rw-terminally spans y through the take chain, so the
+        // minimum conspiracy is x alone.
+        assert_eq!(c.subjects, vec![x]);
+
+        // Cut x's own take edge into u: now two conspirators are needed.
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let u = g.add_subject("u");
+        let q = g.add_object("q");
+        let y = g.add_object("y");
+        g.add_edge(u, x, Rights::T).unwrap(); // u -t-> x: shape <t+ from x
+        g.add_edge(u, q, Rights::T).unwrap();
+        g.add_edge(q, y, Rights::R).unwrap();
+        let c = min_flow_conspirators(&g, x, y).unwrap();
+        assert_eq!(c.subjects, vec![x, u]);
+        assert_eq!(c.links.len(), 1);
+        assert_eq!(c.links[0].shape, LinkShape::TakeReverse);
+        assert!(c.links[0].shape.is_bridge());
+        assert_eq!(c.bridge_word(), "<t+");
+    }
+
+    #[test]
+    fn grant_bridges_classify() {
+        // x -t-> p, p -g-> q, u -t-> q, u -r-> y.
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let p = g.add_object("p");
+        let q = g.add_object("q");
+        let u = g.add_subject("u");
+        let y = g.add_object("y");
+        g.add_edge(x, p, Rights::T).unwrap();
+        g.add_edge(p, q, Rights::G).unwrap();
+        g.add_edge(u, q, Rights::T).unwrap();
+        g.add_edge(u, y, Rights::R).unwrap();
+        let c = min_flow_conspirators(&g, x, y).unwrap();
+        assert_eq!(c.subjects, vec![x, u]);
+        assert_eq!(c.links[0].shape, LinkShape::GrantForward);
+        assert_eq!(c.bridge_word(), "t>* g> <t*");
+    }
+
+    #[test]
+    fn connections_classify() {
+        // Double connection: x -t-> a -r-> m <w- b <t- y.
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let a = g.add_object("a");
+        let m = g.add_object("m");
+        let b = g.add_object("b");
+        let y = g.add_subject("y");
+        g.add_edge(x, a, Rights::T).unwrap();
+        g.add_edge(a, m, Rights::R).unwrap();
+        g.add_edge(y, b, Rights::T).unwrap();
+        g.add_edge(b, m, Rights::W).unwrap();
+        let c = min_flow_conspirators(&g, x, y).unwrap();
+        assert_eq!(c.subjects, vec![x, y]);
+        assert_eq!(c.links[0].shape, LinkShape::ReadWriteConnection);
+        assert!(!c.links[0].shape.is_bridge());
+    }
+
+    #[test]
+    fn impossible_flows_have_no_conspiracy() {
+        let mut g = ProtectionGraph::new();
+        let x = g.add_subject("x");
+        let y = g.add_object("y");
+        assert!(min_flow_conspirators(&g, x, y).is_none());
+    }
+
+    #[test]
+    fn conspiracies_match_the_closure() {
+        // Wherever the closure says a flow exists, a conspiracy exists.
+        let mut g = ProtectionGraph::new();
+        let a = g.add_subject("a");
+        let b = g.add_subject("b");
+        let c = g.add_subject("c");
+        let o = g.add_object("o");
+        g.add_edge(a, b, Rights::T).unwrap();
+        g.add_edge(b, c, Rights::R).unwrap();
+        g.add_edge(c, o, Rights::RW).unwrap();
+        let closure = crate::FlowClosure::compute(&g);
+        for x in g.vertex_ids() {
+            for y in g.vertex_ids() {
+                assert_eq!(
+                    closure.can_know(x, y),
+                    min_flow_conspirators(&g, x, y).is_some(),
+                    "conspiracy existence disagrees at ({x}, {y})"
+                );
+            }
+        }
+    }
+}

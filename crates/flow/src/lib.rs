@@ -1,0 +1,45 @@
+//! Whole-hierarchy de facto flow closure for Take-Grant protection
+//! graphs.
+//!
+//! The per-pair oracles in `tg_analysis` answer "*can* x learn y's
+//! contents?" one pair at a time by enumerating words of the bridge and
+//! connection languages. Lints, policy audits, and the `tgq` batch
+//! commands want the *whole relation* — every pair at once — and the
+//! per-pair search repeats nearly all of its work across pairs: take
+//! reaches, bridge discovery, and the de facto flow graph are global
+//! structures.
+//!
+//! This crate computes the full `can_know` relation in one island-local
+//! fixpoint:
+//!
+//! 1. partition subjects into islands ([`tg_analysis::Islands`]);
+//! 2. one BFS per island over explicit `t` edges ([`island_reach`]) —
+//!    the only phase that depends on island structure, hence the unit of
+//!    memoization ([`ClosureCache`]) and of work-sharding (`tg_par`);
+//! 3. merge islands joined by a bridge into *flow classes* with a typed
+//!    oracle over the four bridge shapes of the hierarchy papers
+//!    (`t>+`, `<t+`, `t>* g> <t*`, `t>* <g <t*`) — set algebra on the
+//!    reaches, no path-language automaton;
+//! 4. link classes through *conduits* (read/write connections) and close
+//!    the class-level relation;
+//! 5. reduce per-vertex initial/terminal spans to class bitsets, and
+//!    close the pure de facto relation by condensation.
+//!
+//! The result, [`FlowClosure`], answers [`can_know`](FlowClosure::can_know)
+//! for any pair in O(words-per-row) bit operations and is pinned
+//! verdict-for-verdict to [`tg_analysis::can_know`] by differential
+//! tests. [`min_flow_conspirators`] attributes any closed flow to a
+//! minimum set of cooperating subjects with a typed link per hop —
+//! the flow analogue of `tg_analysis::theft::min_conspirators`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+mod cache;
+mod closure;
+mod conspiracy;
+
+pub use cache::{CacheStats, ClosureCache};
+pub use closure::{island_reach, ClosureStats, FlowClosure};
+pub use conspiracy::{min_flow_conspirators, Conspiracy, LinkShape, TypedLink};

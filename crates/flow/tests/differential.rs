@@ -1,0 +1,185 @@
+//! Differential oracle for the whole-graph flow closure.
+//!
+//! The closure must be *verdict- and witness-equivalent* to the per-pair
+//! reference engines it replaces:
+//!
+//! * `FlowClosure::can_know(x, y)` ⟺ `tg_analysis::can_know(g, x, y)`
+//!   for every ordered pair, over 256 random hierarchies (and a second
+//!   batch of adversarial unstructured graphs).
+//! * Every closure-positive pair synthesizes a `tg_rules` derivation
+//!   (`know_witness`) that replays to a graph where the know edge
+//!   exists — the closure never claims a flow the rule system cannot
+//!   derive.
+//! * `min_flow_conspirators` answers `Some` exactly on the closure's
+//!   positive pairs, and its conspirator set is non-empty whenever the
+//!   flow is chain-mediated.
+//! * The bounded brute-force theft search is a lower bound: a stolen
+//!   read right is a de facto flow, so `can_steal_bruteforce(r, x, y)`
+//!   implies `can_know(x, y)` in the closure.
+
+use proptest::prelude::*;
+
+use tg_analysis::reference::{can_steal_bruteforce, SearchBounds};
+use tg_analysis::synthesis::know_witness;
+use tg_analysis::{can_know, know_edge_exists};
+use tg_flow::{min_flow_conspirators, FlowClosure};
+use tg_graph::{ProtectionGraph, Right, VertexId};
+use tg_sim::gen::{GraphGen, HierarchyGen};
+
+/// How many closure-positive pairs per case get the full witness
+/// synthesis + replay treatment (synthesis is the expensive leg).
+const WITNESSES_PER_CASE: usize = 6;
+
+fn random_hierarchy(seed: u64) -> ProtectionGraph {
+    HierarchyGen {
+        levels: 2 + (seed % 3) as usize,
+        per_level: 2 + (seed % 2) as usize,
+        noise_edges: (seed % 9) as usize,
+        seed,
+    }
+    .build()
+    .graph
+}
+
+fn adversarial_graph(seed: u64) -> ProtectionGraph {
+    GraphGen {
+        vertices: 12,
+        subject_ratio: 0.6,
+        out_degree: 1.9,
+        rights_weights: vec![
+            (Right::Read, 0.5),
+            (Right::Write, 0.4),
+            (Right::Take, 0.35),
+            (Right::Grant, 0.25),
+        ],
+        seed,
+    }
+    .build()
+}
+
+/// The shared pinning: all-pairs verdict equality, witness replay for a
+/// bounded sample of positive pairs, and conspirator agreement.
+fn pin_closure(g: &ProtectionGraph) {
+    let closure = FlowClosure::compute(g);
+    let ids: Vec<VertexId> = g.vertex_ids().collect();
+    let mut replayed = 0usize;
+    for &x in &ids {
+        for &y in &ids {
+            if x == y {
+                continue;
+            }
+            let whole = closure.can_know(x, y);
+            let per_pair = can_know(g, x, y);
+            prop_assert_eq!(
+                whole,
+                per_pair,
+                "closure disagrees with per-pair can_know at ({}, {})\n{}",
+                x,
+                y,
+                tg_graph::render_graph(g)
+            );
+            // Conspiracy attribution answers exactly on positive pairs.
+            let conspiracy = min_flow_conspirators(g, x, y);
+            prop_assert_eq!(
+                conspiracy.is_some(),
+                whole,
+                "min_flow_conspirators disagrees with the closure at ({}, {})",
+                x,
+                y
+            );
+            if let Some(c) = &conspiracy {
+                if closure.chain_only(x, y) {
+                    prop_assert!(
+                        !c.subjects.is_empty(),
+                        "a chain-mediated flow needs at least one conspirator ({x}, {y})"
+                    );
+                }
+            }
+            // Witness equivalence: the rule system derives the flow.
+            if whole && replayed < WITNESSES_PER_CASE {
+                replayed += 1;
+                let witness = know_witness(g, x, y);
+                prop_assert!(
+                    witness.is_ok(),
+                    "closure-positive pair ({x}, {y}) has no rule witness: {:?}\n{}",
+                    witness.err(),
+                    tg_graph::render_graph(g)
+                );
+                let done = witness.unwrap().replayed(g);
+                prop_assert!(done.is_ok(), "witness does not replay: {:?}", done.err());
+                let done = done.unwrap();
+                prop_assert!(
+                    know_edge_exists(&done, x, y),
+                    "replayed witness lacks the know edge ({x}, {y})"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The acceptance pin: 256 random hierarchies (linear structures
+    /// plus noise edges), whole-graph closure ≡ per-pair loop.
+    #[test]
+    fn closure_matches_per_pair_oracle_on_hierarchies(seed in 0u64..1_000_000) {
+        pin_closure(&random_hierarchy(seed));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same pin on unstructured adversarial graphs — take/grant chains,
+    /// cycles, object relays the hierarchy generator never produces.
+    #[test]
+    fn closure_matches_per_pair_oracle_on_adversarial_graphs(seed in 0u64..1_000_000) {
+        pin_closure(&adversarial_graph(seed));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The theft engine lower-bounds the closure: a read right stolen by
+    /// a *subject* is an explicit `r` edge that subject can exercise in
+    /// some derivable world, hence a de facto flow the closure must
+    /// already report. (An object can be handed the right too, but with
+    /// no subject to exercise it there is no flow — `can_know` is false.)
+    #[test]
+    fn stolen_reads_are_closure_flows(seed in 0u64..1_000_000) {
+        let g = GraphGen {
+            vertices: 5,
+            subject_ratio: 0.7,
+            out_degree: 1.6,
+            rights_weights: vec![
+                (Right::Read, 0.5),
+                (Right::Take, 0.4),
+                (Right::Grant, 0.3),
+            ],
+            seed,
+        }
+        .build();
+        let closure = FlowClosure::compute(&g);
+        let bounds = SearchBounds { max_creates: 1, max_states: 20_000 };
+        let ids: Vec<VertexId> = g.vertex_ids().collect();
+        for &x in &ids {
+            if !g.is_subject(x) {
+                continue;
+            }
+            for &y in &ids {
+                if x == y {
+                    continue;
+                }
+                if can_steal_bruteforce(&g, Right::Read, x, y, bounds) {
+                    prop_assert!(
+                        closure.can_know(x, y),
+                        "brute force steals r {x} -> {y} but the closure sees no flow\n{}",
+                        tg_graph::render_graph(&g)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -358,6 +358,17 @@ impl IncEngine {
         self.index.can_know(&self.graph, x, y)
     }
 
+    /// The whole-graph flow closure (Theorem 5.5), memoized under the
+    /// engine's mutation epochs — see [`IncIndex::flow_closure`].
+    pub fn flow_closure(&mut self) -> &tg_flow::FlowClosure {
+        self.index.flow_closure(&self.graph)
+    }
+
+    /// Hit/miss counters of the flow-closure cache.
+    pub fn flow_cache_stats(&self) -> tg_flow::CacheStats {
+        self.index.flow_cache_stats()
+    }
+
     /// Whether `a` and `b` share an island.
     pub fn same_island(&self, a: VertexId, b: VertexId) -> bool {
         self.index.same_island(&self.graph, a, b)

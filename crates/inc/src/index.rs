@@ -98,6 +98,16 @@ pub struct IncIndex {
     /// Mirror of the assignment, so a reassignment knows the old level.
     level_of: Vec<Option<usize>>,
     memo: QueryMemo,
+    /// Bumped on every graph mutation; while it holds still the cached
+    /// whole-graph flow closure is served as-is.
+    graph_epoch: u64,
+    /// Bumped when an explicit `t` right appears or disappears anywhere
+    /// (take-reaches follow explicit `t` edges through arbitrary
+    /// vertices, so any such change invalidates every cached reach).
+    t_epoch: u64,
+    /// Generation-stamped memo of the `tg_flow` closure, fed the two
+    /// epochs above plus per-island region generations.
+    flow_cache: tg_flow::ClosureCache,
     stats: IncStats,
     batch: Option<BatchMark>,
 }
@@ -149,6 +159,9 @@ impl IncIndex {
             by_level: Vec::new(),
             level_of: vec![None; n],
             memo: QueryMemo::default(),
+            graph_epoch: 0,
+            t_epoch: 0,
+            flow_cache: tg_flow::ClosureCache::new(),
             stats: IncStats::default(),
             batch: None,
         };
@@ -195,6 +208,16 @@ impl IncIndex {
     fn next_gen(&mut self) -> u64 {
         self.gen_counter += 1;
         self.gen_counter
+    }
+
+    /// Records a graph mutation for the flow-closure cache; `t_delta`
+    /// says whether explicit `t` rights changed (which additionally
+    /// invalidates every cached island take-reach).
+    fn flow_invalidate(&mut self, t_delta: bool) {
+        self.graph_epoch += 1;
+        if t_delta {
+            self.t_epoch += 1;
+        }
     }
 
     /// Marks `v`'s region dirty, evicting (lazily) every memoized answer
@@ -267,6 +290,7 @@ impl IncIndex {
         added: Rights,
     ) {
         self.recheck_edge(graph, levels, restriction, src, dst);
+        self.flow_invalidate(added.contains(Right::Take));
         self.regions.union(src.index(), dst.index());
         self.touch_region(src);
         self.touch_region(dst);
@@ -292,6 +316,7 @@ impl IncIndex {
         removed: Rights,
     ) {
         self.recheck_edge(graph, levels, restriction, src, dst);
+        self.flow_invalidate(removed.contains(Right::Take));
         // Regions never split on removal: the stale merge is a sound
         // superset (see crate docs).
         self.touch_region(src);
@@ -333,6 +358,7 @@ impl IncIndex {
     pub fn implicit_added(&mut self, src: VertexId, dst: VertexId) {
         // Implicit edges carry information flow (can_know), not audit
         // relevance: audit checks explicit labels only.
+        self.flow_invalidate(false);
         self.regions.union(src.index(), dst.index());
         self.touch_region(src);
         self.touch_region(dst);
@@ -340,6 +366,7 @@ impl IncIndex {
 
     /// Implicit rights disappeared from `src → dst`.
     pub fn implicit_removed(&mut self, src: VertexId, dst: VertexId) {
+        self.flow_invalidate(false);
         self.touch_region(src);
         self.touch_region(dst);
     }
@@ -354,6 +381,7 @@ impl IncIndex {
         let gen = self.next_gen();
         self.region_gen.push(gen);
         self.level_of.push(None);
+        self.flow_invalidate(false);
     }
 
     /// The newest vertex was popped outside any batch (batched pops are
@@ -531,6 +559,10 @@ impl IncIndex {
                 self.touch_region(v);
             }
         }
+        // The graph was rewound under the flow cache's feet; a closure
+        // assembled mid-batch describes the aborted state. Conservative:
+        // drop the closure and every reach.
+        self.flow_invalidate(true);
         self.stats.rollbacks += 1;
         tg_obs::add(tg_obs::Counter::IncRollbacks, 1);
     }
@@ -633,6 +665,45 @@ impl IncIndex {
         let value = tg_analysis::can_know(graph, x, y);
         self.memo.insert(key, value, sx, sy);
         value
+    }
+
+    /// The whole-graph flow closure (Theorem 5.5), memoized under the
+    /// index's mutation epochs.
+    ///
+    /// While no mutation has been notified since the last call, the
+    /// assembled closure is returned without touching the graph. After
+    /// mutations that leave explicit `t` edges alone, islands whose
+    /// weak-connectivity region is untouched keep their take-reaches and
+    /// only the assembly reruns. An island's membership can only change
+    /// through an edge or vertex mutation inside its own region (islands
+    /// are region-contained), so the region generation is a sound —
+    /// conservative — island stamp.
+    pub fn flow_closure(&mut self, graph: &ProtectionGraph) -> &tg_flow::FlowClosure {
+        let _span = tg_obs::span(tg_obs::SpanKind::FlowClosure);
+        let before = self.flow_cache.stats();
+        {
+            let regions = &self.regions;
+            let region_gen = &self.region_gen;
+            self.flow_cache
+                .closure(graph, self.graph_epoch, self.t_epoch, |v| {
+                    region_gen[regions.find(v.index())]
+                });
+        }
+        let now = self.flow_cache.stats();
+        tg_obs::add(
+            tg_obs::Counter::FlowClosures,
+            now.closures_assembled - before.closures_assembled,
+        );
+        tg_obs::add(
+            tg_obs::Counter::FlowIslandsReused,
+            now.islands_reused - before.islands_reused,
+        );
+        self.flow_cache.cached().expect("closure just ensured")
+    }
+
+    /// Hit/miss counters of the flow-closure cache.
+    pub fn flow_cache_stats(&self) -> tg_flow::CacheStats {
+        self.flow_cache.stats()
     }
 
     /// Number of memo entries currently stored.

@@ -242,3 +242,58 @@ proptest! {
         assert_agrees(&mut batched, 2);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The memoized whole-graph flow closure stays pinned to the
+    /// per-pair Theorem 3.2 oracle across mutation sequences: sampled
+    /// pairs after every step (so stale epochs surface immediately),
+    /// all pairs on the final state, and an abort in the middle to
+    /// check the conservative batch invalidation.
+    #[test]
+    fn flow_closure_memo_never_staleness(
+        ops in ops_strategy(24),
+        batch in ops_strategy(6),
+    ) {
+        let mut engine = fresh_engine();
+        for (step, &op) in ops.iter().enumerate() {
+            apply_op(&mut engine, op);
+            let graph = engine.graph().clone();
+            let n = graph.vertex_count();
+            if n == 0 {
+                continue;
+            }
+            let pairs = [(0, n - 1), (step % n, (step * 7 + 1) % n)];
+            let closure = engine.flow_closure();
+            for (xi, yi) in pairs {
+                let (x, y) = (VertexId::from_index(xi), VertexId::from_index(yi));
+                prop_assert_eq!(
+                    closure.can_know(x, y),
+                    tg_analysis::can_know(&graph, x, y),
+                    "stale closure at step {} pair ({}, {})", step, xi, yi
+                );
+            }
+        }
+
+        // An aborted batch must not leave a mid-batch closure servable.
+        engine.begin_batch();
+        for &op in &batch {
+            apply_op(&mut engine, op);
+            let _ = engine.flow_closure();
+        }
+        engine.abort_batch();
+
+        let graph = engine.graph().clone();
+        let closure = engine.flow_closure();
+        for x in graph.vertex_ids() {
+            for y in graph.vertex_ids() {
+                prop_assert_eq!(
+                    closure.can_know(x, y),
+                    tg_analysis::can_know(&graph, x, y),
+                    "final closure diverges at ({:?}, {:?})", x, y
+                );
+            }
+        }
+    }
+}

@@ -117,6 +117,24 @@ pub const RULES: &[RuleInfo] = &[
         summary: "the vertex participates in no edge, explicit or implicit",
         paper: "Section 1 (protection graph)",
     },
+    RuleInfo {
+        code: "TG009",
+        name: "conspiracy-flow",
+        summary: "a subject-chain conspiracy lets a vertex come to know one the policy places above it",
+        paper: "Theorem 5.5 / Theorem 3.2",
+    },
+    RuleInfo {
+        code: "TG010",
+        name: "rights-laundering",
+        summary: "a read right granted down the order is the sole conduit through which an unauthorized subject learns the target",
+        paper: "Theorem 5.5 (de facto closure)",
+    },
+    RuleInfo {
+        code: "TG011",
+        name: "refused-trace-step",
+        summary: "a planned mutation trace contains a step the reference monitor would refuse",
+        paper: "Corollary 5.7",
+    },
 ];
 
 /// Looks up a rule by code.
@@ -138,6 +156,12 @@ pub struct LintContext<'a> {
     pub rw: DerivedLevels,
     /// The one-step de facto flow structure.
     pub flow: FlowGraph,
+    /// The whole-graph flow closure (Theorem 5.5): the full `can_know`
+    /// relation, shared by the flow-aware passes.
+    pub closure: tg_flow::FlowClosure,
+    /// A planned mutation trace to vet statically (`tgq plan`), when one
+    /// was supplied. Only [`passes::RefusedTraceStep`] consumes it.
+    pub trace: Option<&'a tg_rules::Derivation>,
 }
 
 impl<'a> LintContext<'a> {
@@ -147,13 +171,27 @@ impl<'a> LintContext<'a> {
         levels: Option<&'a LevelAssignment>,
         srcmap: Option<&'a SourceMap>,
     ) -> LintContext<'a> {
+        let closure = {
+            let _span = tg_obs::span(tg_obs::SpanKind::FlowClosure);
+            tg_flow::FlowClosure::compute(graph)
+        };
+        tg_obs::add(tg_obs::Counter::FlowClosures, 1);
         LintContext {
             graph,
             levels,
             srcmap,
             rw: rw_levels(graph),
             flow: FlowGraph::compute(graph),
+            closure,
+            trace: None,
         }
+    }
+
+    /// Attaches a planned mutation trace for static vetting
+    /// ([`passes::RefusedTraceStep`] / `tgq plan`).
+    pub fn with_trace(mut self, trace: &'a tg_rules::Derivation) -> LintContext<'a> {
+        self.trace = Some(trace);
+        self
     }
 
     /// The vertex's display name.
@@ -204,7 +242,7 @@ impl Registry {
         Registry { lints: Vec::new() }
     }
 
-    /// The default registry: all eight paper-grounded passes.
+    /// The default registry: all paper-grounded passes.
     pub fn with_default_lints() -> Registry {
         let mut reg = Registry::empty();
         reg.register(Box::new(passes::EdgeInvariants));
@@ -214,6 +252,9 @@ impl Registry {
         reg.register(Box::new(passes::TheftExposure));
         reg.register(Box::new(passes::UnassignedVertices));
         reg.register(Box::new(passes::IsolatedVertices));
+        reg.register(Box::new(passes::ConspiracyFlow));
+        reg.register(Box::new(passes::RightsLaundering));
+        reg.register(Box::new(passes::RefusedTraceStep));
         reg
     }
 
@@ -289,8 +330,9 @@ impl Default for Registry {
 
 /// The per-pass timing span for a pass whose lowest code is `code`
 /// (passes registered outside the default set time under
-/// [`tg_obs::SpanKind::LintOtherPass`]).
-fn pass_span(code: &str) -> tg_obs::SpanKind {
+/// [`tg_obs::SpanKind::LintOtherPass`]). Public so the observability
+/// drift test can assert every registry code has a dedicated span.
+pub fn pass_span(code: &str) -> tg_obs::SpanKind {
     match code {
         "TG000" | "TG001" | "TG002" => tg_obs::SpanKind::LintEdgeInvariants,
         "TG003" => tg_obs::SpanKind::LintCrossLevelLinks,
@@ -299,6 +341,9 @@ fn pass_span(code: &str) -> tg_obs::SpanKind {
         "TG006" => tg_obs::SpanKind::LintTheftExposure,
         "TG007" => tg_obs::SpanKind::LintUnassignedVertices,
         "TG008" => tg_obs::SpanKind::LintIsolatedVertices,
+        "TG009" => tg_obs::SpanKind::LintConspiracyFlow,
+        "TG010" => tg_obs::SpanKind::LintRightsLaundering,
+        "TG011" => tg_obs::SpanKind::LintRefusedTraceStep,
         _ => tg_obs::SpanKind::LintOtherPass,
     }
 }

@@ -3,9 +3,11 @@
 //! Each pass checks one result of the paper; the mapping is recorded in
 //! the [`RULES`](crate::RULES) table and in `DESIGN.md`.
 
-use tg_analysis::{can_know_detail, can_steal, FlowStep, KnowEvidence, Link};
+use tg_analysis::synthesis::know_witness;
+use tg_analysis::{can_know_detail, can_steal, know_edge_exists, FlowStep, KnowEvidence, Link};
+use tg_flow::min_flow_conspirators;
 use tg_graph::{ProtectionGraph, Right, VertexId};
-use tg_hierarchy::{audit_diagnostics, CombinedRestriction};
+use tg_hierarchy::{audit_diagnostics, CombinedRestriction, Monitor};
 use tg_paths::{format_word, lang, PathSearch, SearchConfig};
 
 use crate::{rule, Diagnostic, Fix, FixIt, LabeledSpan, Lint, LintContext, RuleInfo, Severity};
@@ -484,6 +486,298 @@ impl Lint for UnassignedVertices {
                 )
             })
             .collect()
+    }
+}
+
+/// The flow-closure passes are skipped on graphs larger than this: every
+/// flagged pair synthesizes and replays a rules derivation, which is
+/// per-pair work on top of the shared closure.
+const CONSPIRACY_VERTEX_CAP: usize = 256;
+
+/// Synthesizes a derivation witnessing `can_know(x, y)` and replays it
+/// through `tg_rules`, returning `true` only when the replayed graph
+/// actually carries the claimed implicit edge. The flow-closure passes
+/// refuse to report any flow that fails this gate: the analysis can never
+/// claim a flow the rule system cannot derive.
+fn replays_through_rules(graph: &ProtectionGraph, x: VertexId, y: VertexId) -> bool {
+    let Ok(derivation) = know_witness(graph, x, y) else {
+        return false;
+    };
+    let Ok(done) = derivation.replayed(graph) else {
+        return false;
+    };
+    x == y || know_edge_exists(&done, x, y)
+}
+
+/// TG009 — conspiracy-reachable downward flow: the whole-graph flow
+/// closure (Theorem 5.5) shows `x` can come to know `y` although the
+/// policy does not let `x` dominate `y`, and the flow exists *only*
+/// through a cooperating subject chain (Theorem 3.2). The witness is the
+/// minimum conspirator set with its typed bridge word; every report is
+/// gated on a successful rules replay.
+pub struct ConspiracyFlow;
+
+impl Lint for ConspiracyFlow {
+    fn rule(&self) -> &'static RuleInfo {
+        rule("TG009").unwrap()
+    }
+
+    fn needs_policy(&self) -> bool {
+        true
+    }
+
+    fn run(&self, cx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let levels = cx.levels.expect("policy-gated pass");
+        if cx.graph.vertex_count() > CONSPIRACY_VERTEX_CAP {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for x in cx.graph.vertex_ids() {
+            let Some(lx) = levels.level_of(x) else {
+                continue;
+            };
+            for y in cx.graph.vertex_ids() {
+                if x == y {
+                    continue;
+                }
+                let Some(ly) = levels.level_of(y) else {
+                    continue;
+                };
+                // Reading down is what the policy authorizes; a flow the
+                // knower dominates is not a finding.
+                if levels.dominates(lx, ly) {
+                    continue;
+                }
+                // Only chain-mediated flows: a flow that already rides an
+                // rw-path needs no conspiracy and is TG004/TG005 ground.
+                if !cx.closure.chain_only(x, y) {
+                    continue;
+                }
+                let Some(conspiracy) = min_flow_conspirators(cx.graph, x, y) else {
+                    continue;
+                };
+                if !replays_through_rules(cx.graph, x, y) {
+                    continue;
+                }
+                let names: Vec<String> = conspiracy
+                    .subjects
+                    .iter()
+                    .map(|&s| format!("`{}`", cx.name(s)))
+                    .collect();
+                out.push(
+                    Diagnostic::new(
+                        "TG009",
+                        Severity::Warn,
+                        format!(
+                            "conspiracy flow: `{}` (level {}) can come to know `{}` (level {}) with {} conspirator{}",
+                            cx.name(x),
+                            levels.name(lx),
+                            cx.name(y),
+                            levels.name(ly),
+                            conspiracy.subjects.len(),
+                            if conspiracy.subjects.len() == 1 { "" } else { "s" },
+                        ),
+                        LabeledSpan::new(
+                            cx.vertex_span(x),
+                            format!("`{}` comes to know", cx.name(x)),
+                        ),
+                    )
+                    .with_secondary(LabeledSpan::new(
+                        cx.vertex_span(y),
+                        format!("`{}` leaks", cx.name(y)),
+                    ))
+                    .with_witness(format!(
+                        "conspirators {}; bridge word {}",
+                        names.join(", "),
+                        conspiracy.bridge_word()
+                    )),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// TG010 — rights laundering: a subject `s` legitimately reads `y` (the
+/// grant runs down the order), but that read is the *sole conduit*
+/// through which some subject the policy does not authorize comes to
+/// know `y` — `s` relays what it reads, in the style of a trojan relay.
+/// Detected by recomputing the flow closure with the single `r` right
+/// stripped and comparing verdicts; reports are replay-gated like TG009.
+pub struct RightsLaundering;
+
+impl Lint for RightsLaundering {
+    fn rule(&self) -> &'static RuleInfo {
+        rule("TG010").unwrap()
+    }
+
+    fn needs_policy(&self) -> bool {
+        true
+    }
+
+    fn run(&self, cx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let levels = cx.levels.expect("policy-gated pass");
+        if cx.graph.vertex_count() > CONSPIRACY_VERTEX_CAP {
+            return Vec::new();
+        }
+        let subjects: Vec<VertexId> = cx.graph.subjects().collect();
+        let mut out = Vec::new();
+        for edge in cx.graph.edges() {
+            if !edge.rights.explicit.contains(Right::Read) {
+                continue;
+            }
+            let (s, y) = (edge.src, edge.dst);
+            if !cx.graph.is_subject(s) {
+                continue;
+            }
+            let (Some(ls), Some(ly)) = (levels.level_of(s), levels.level_of(y)) else {
+                continue;
+            };
+            // The conduit itself must be authorized: laundering is a
+            // *legitimate* grant abused, not a read-up (that is TG001).
+            if !levels.dominates(ls, ly) {
+                continue;
+            }
+            let candidates: Vec<VertexId> = subjects
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    c != s
+                        && c != y
+                        && levels
+                            .level_of(c)
+                            .is_some_and(|lc| !levels.dominates(lc, ly))
+                        && cx.closure.can_know(c, y)
+                })
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            // Strip the one right and recompute: survivors of the cut are
+            // reachable some other way and not laundered through s.
+            let mut without = cx.graph.clone();
+            without
+                .remove_explicit_rights(s, y, tg_graph::Rights::R)
+                .expect("the edge was just enumerated");
+            let closure_without = tg_flow::FlowClosure::compute(&without);
+            let laundered: Vec<VertexId> = candidates
+                .into_iter()
+                .filter(|&c| !closure_without.can_know(c, y))
+                .filter(|&c| replays_through_rules(cx.graph, c, y))
+                .collect();
+            if laundered.is_empty() {
+                continue;
+            }
+            let shown: Vec<String> = laundered
+                .iter()
+                .take(3)
+                .map(|&c| format!("`{}`", cx.name(c)))
+                .collect();
+            let suffix = if laundered.len() > 3 {
+                format!(" and {} more", laundered.len() - 3)
+            } else {
+                String::new()
+            };
+            out.push(
+                Diagnostic::new(
+                    "TG010",
+                    Severity::Warn,
+                    format!(
+                        "rights laundering: `{}`'s read of `{}` is the sole conduit through which {}{suffix} can come to know `{}`",
+                        cx.name(s),
+                        cx.name(y),
+                        shown.join(", "),
+                        cx.name(y),
+                    ),
+                    LabeledSpan::new(
+                        cx.edge_span(s, y),
+                        format!("`{}` reads `{}` here", cx.name(s), cx.name(y)),
+                    ),
+                )
+                .with_secondary(LabeledSpan::new(
+                    cx.vertex_span(laundered[0]),
+                    format!("`{}` is not cleared for `{}`", cx.name(laundered[0]), cx.name(y)),
+                ))
+                .with_witness(format!(
+                    "can_know({}, {}) holds, and fails once `r` is stripped from {} -> {}",
+                    cx.name(laundered[0]),
+                    cx.name(y),
+                    cx.name(s),
+                    cx.name(y),
+                ))
+                .with_fix(Fix::new(
+                    FixIt::StripExplicit {
+                        src: s,
+                        dst: y,
+                        rights: tg_graph::Rights::R,
+                    },
+                    format!("strip `r` from edge {} -> {}", cx.name(s), cx.name(y)),
+                )),
+            );
+        }
+        out
+    }
+}
+
+/// TG011 — statically refused trace step: when the context carries a
+/// planned mutation trace (`tgq plan`), this pass replays it against a
+/// scratch reference monitor (Corollary 5.7) *without touching the real
+/// graph* and reports the first step the monitor would refuse.
+pub struct RefusedTraceStep;
+
+impl Lint for RefusedTraceStep {
+    fn rule(&self) -> &'static RuleInfo {
+        rule("TG011").unwrap()
+    }
+
+    fn needs_policy(&self) -> bool {
+        true
+    }
+
+    fn run(&self, cx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let levels = cx.levels.expect("policy-gated pass");
+        let Some(trace) = cx.trace else {
+            return Vec::new();
+        };
+        let mut monitor = Monitor::new(
+            cx.graph.clone(),
+            levels.clone(),
+            Box::new(CombinedRestriction),
+        );
+        for (i, step) in trace.steps.iter().enumerate() {
+            let Err(err) = monitor.try_apply(step) else {
+                continue;
+            };
+            tg_obs::add(tg_obs::Counter::PlanRefusals, 1);
+            let actor = step.actor();
+            // The actor may be a vertex the trace itself created; only
+            // vertices of the original graph have names and spans.
+            let primary = if actor.index() < cx.graph.vertex_count() {
+                LabeledSpan::new(
+                    cx.vertex_span(actor),
+                    format!("`{}` acts here", cx.name(actor)),
+                )
+            } else {
+                LabeledSpan::new(
+                    None,
+                    "the actor is created earlier in the trace".to_string(),
+                )
+            };
+            return vec![Diagnostic::new(
+                "TG011",
+                Severity::Error,
+                format!(
+                    "the monitor refuses step {} of the trace: {step} ({err})",
+                    i + 1
+                ),
+                primary,
+            )
+            .with_witness(format!(
+                "{i} accepted step{} precede the refusal",
+                if i == 1 { "" } else { "s" }
+            ))];
+        }
+        Vec::new()
     }
 }
 

@@ -1,0 +1,52 @@
+//! Drift tests: the rule registry, the observability catalog and the
+//! documentation must move together. A new lint code that forgets its
+//! `tg_obs` span or its DESIGN/GLOSSARY mention fails here, not in
+//! review.
+
+use tg_lint::{pass_span, RULES};
+use tg_obs::SpanKind;
+
+const DESIGN: &str = include_str!("../../../DESIGN.md");
+const GLOSSARY: &str = include_str!("../../../docs/GLOSSARY.md");
+const README: &str = include_str!("../../../README.md");
+
+#[test]
+fn every_rule_code_has_a_dedicated_catalog_span() {
+    for rule in RULES {
+        let span = pass_span(rule.code);
+        assert_ne!(
+            span,
+            SpanKind::LintOtherPass,
+            "{} ({}) is registered without a dedicated tg_obs span",
+            rule.code,
+            rule.name,
+        );
+        assert!(
+            !span.name().is_empty(),
+            "{}'s span has no catalog name",
+            rule.code
+        );
+    }
+}
+
+#[test]
+fn every_rule_code_is_documented() {
+    for rule in RULES {
+        assert!(
+            DESIGN.contains(rule.code) || GLOSSARY.contains(rule.code),
+            "{} ({}) is mentioned in neither DESIGN.md nor docs/GLOSSARY.md",
+            rule.code,
+            rule.name,
+        );
+    }
+}
+
+#[test]
+fn the_flow_lints_are_in_the_readme() {
+    for code in ["TG009", "TG010", "TG011"] {
+        assert!(
+            README.contains(code),
+            "{code} is missing from the README walkthrough"
+        );
+    }
+}

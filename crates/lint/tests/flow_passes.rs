@@ -1,0 +1,250 @@
+//! Targeted tests for the flow-closure passes: TG009 (conspiracy flow),
+//! TG010 (rights laundering) and TG011 (refused trace step).
+
+use tg_graph::{ProtectionGraph, Rights, Severity, VertexId};
+use tg_hierarchy::LevelAssignment;
+use tg_lint::{LintContext, Registry};
+use tg_rules::{DeJureRule, Derivation};
+
+fn codes(diags: &[tg_lint::Diagnostic], code: &str) -> usize {
+    diags.iter().filter(|d| d.code == code).count()
+}
+
+/// `a -t-> m -r-> y`: `a` can come to know `y` only by taking the read
+/// right first — a chain flow with `a` as sole conspirator.
+fn chain_graph() -> (ProtectionGraph, VertexId, VertexId, VertexId) {
+    let mut g = ProtectionGraph::new();
+    let a = g.add_subject("a");
+    let m = g.add_object("m");
+    let y = g.add_object("y");
+    g.add_edge(a, m, Rights::T).unwrap();
+    g.add_edge(m, y, Rights::R).unwrap();
+    (g, a, m, y)
+}
+
+#[test]
+fn tg009_fires_on_chain_only_downward_flow() {
+    let (g, a, m, y) = chain_graph();
+    let mut levels = LevelAssignment::linear(&["low", "high"]);
+    levels.assign(a, 0).unwrap();
+    levels.assign(m, 0).unwrap();
+    levels.assign(y, 1).unwrap();
+    let registry = Registry::with_default_lints();
+    let diags = registry.run(&LintContext::new(&g, Some(&levels), None));
+    let found: Vec<_> = diags.iter().filter(|d| d.code == "TG009").collect();
+    assert_eq!(found.len(), 1, "one conspiracy flow: {diags:?}");
+    let d = found[0];
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(d.message.contains("`a`") && d.message.contains("`y`"));
+    let witness = d.witness.as_deref().unwrap();
+    assert!(witness.contains("conspirators `a`"), "witness: {witness}");
+    assert!(witness.contains("bridge word"), "witness: {witness}");
+}
+
+#[test]
+fn tg009_is_silent_when_the_knower_dominates() {
+    let (g, a, m, y) = chain_graph();
+    let mut levels = LevelAssignment::linear(&["low", "high"]);
+    levels.assign(a, 1).unwrap();
+    levels.assign(m, 0).unwrap();
+    levels.assign(y, 0).unwrap();
+    let registry = Registry::with_default_lints();
+    let diags = registry.run(&LintContext::new(&g, Some(&levels), None));
+    assert_eq!(
+        codes(&diags, "TG009"),
+        0,
+        "read-down is authorized: {diags:?}"
+    );
+}
+
+#[test]
+fn tg009_is_silent_on_plain_de_facto_flow() {
+    // `a -r-> y` flows without any conspiracy: TG001/TG005 territory.
+    let mut g = ProtectionGraph::new();
+    let a = g.add_subject("a");
+    let y = g.add_object("y");
+    g.add_edge(a, y, Rights::R).unwrap();
+    let mut levels = LevelAssignment::linear(&["low", "high"]);
+    levels.assign(a, 0).unwrap();
+    levels.assign(y, 1).unwrap();
+    let registry = Registry::with_default_lints();
+    let diags = registry.run(&LintContext::new(&g, Some(&levels), None));
+    assert_eq!(codes(&diags, "TG009"), 0, "{diags:?}");
+    assert!(
+        codes(&diags, "TG001") > 0,
+        "the read-up is still caught: {diags:?}"
+    );
+}
+
+#[test]
+fn tg010_fires_on_a_trojan_relay() {
+    // `server` legitimately reads `secret` (same level); `spy` below
+    // reads the server and learns the secret only through that read.
+    let mut g = ProtectionGraph::new();
+    let server = g.add_subject("server");
+    let spy = g.add_subject("spy");
+    let secret = g.add_object("secret");
+    g.add_edge(server, secret, Rights::R).unwrap();
+    g.add_edge(spy, server, Rights::R).unwrap();
+    let mut levels = LevelAssignment::linear(&["low", "high"]);
+    levels.assign(server, 1).unwrap();
+    levels.assign(spy, 0).unwrap();
+    levels.assign(secret, 1).unwrap();
+    let registry = Registry::with_default_lints();
+    let diags = registry.run(&LintContext::new(&g, Some(&levels), None));
+    let found: Vec<_> = diags.iter().filter(|d| d.code == "TG010").collect();
+    assert_eq!(found.len(), 1, "one laundering conduit: {diags:?}");
+    let d = found[0];
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(d.message.contains("`server`") && d.message.contains("`spy`"));
+    let fix = d.fix.as_ref().expect("stripping the conduit is the fix");
+    assert!(fix.label.contains("strip `r`"), "fix: {}", fix.label);
+}
+
+#[test]
+fn tg010_is_silent_when_the_flow_survives_the_cut() {
+    // The spy also reads the secret directly, so the server's read is
+    // not the sole conduit.
+    let mut g = ProtectionGraph::new();
+    let server = g.add_subject("server");
+    let spy = g.add_subject("spy");
+    let secret = g.add_object("secret");
+    g.add_edge(server, secret, Rights::R).unwrap();
+    g.add_edge(spy, server, Rights::R).unwrap();
+    g.add_edge(spy, secret, Rights::R).unwrap();
+    let mut levels = LevelAssignment::linear(&["low", "high"]);
+    levels.assign(server, 1).unwrap();
+    levels.assign(spy, 0).unwrap();
+    levels.assign(secret, 1).unwrap();
+    let registry = Registry::with_default_lints();
+    let diags = registry.run(&LintContext::new(&g, Some(&levels), None));
+    assert_eq!(codes(&diags, "TG010"), 0, "{diags:?}");
+}
+
+fn plan_setup() -> (
+    ProtectionGraph,
+    LevelAssignment,
+    VertexId,
+    VertexId,
+    VertexId,
+) {
+    let mut g = ProtectionGraph::new();
+    let a = g.add_subject("a");
+    let b = g.add_subject("b");
+    let o = g.add_object("o");
+    g.add_edge(a, b, Rights::T).unwrap();
+    g.add_edge(b, o, Rights::R).unwrap();
+    let mut levels = LevelAssignment::linear(&["low", "high"]);
+    levels.assign(a, 1).unwrap();
+    levels.assign(b, 1).unwrap();
+    levels.assign(o, 0).unwrap();
+    (g, levels, a, b, o)
+}
+
+#[test]
+fn tg011_reports_the_first_refused_step() {
+    let (g, levels, a, b, o) = plan_setup();
+    let mut trace = Derivation::new();
+    // Step 1 is fine; step 2 lacks the `g` right and is refused.
+    trace.push(DeJureRule::Take {
+        actor: a,
+        via: b,
+        target: o,
+        rights: Rights::R,
+    });
+    trace.push(DeJureRule::Grant {
+        actor: a,
+        via: b,
+        target: o,
+        rights: Rights::R,
+    });
+    let registry = Registry::with_default_lints();
+    let cx = LintContext::new(&g, Some(&levels), None).with_trace(&trace);
+    let diags = registry.run(&cx);
+    let found: Vec<_> = diags.iter().filter(|d| d.code == "TG011").collect();
+    assert_eq!(found.len(), 1, "{diags:?}");
+    let d = found[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("step 2"), "message: {}", d.message);
+    assert!(
+        d.witness.as_deref().unwrap().contains("1 accepted step"),
+        "witness: {:?}",
+        d.witness
+    );
+}
+
+#[test]
+fn tg011_vets_without_applying() {
+    let (g, levels, a, b, o) = plan_setup();
+    let snapshot = g.clone();
+    let mut trace = Derivation::new();
+    trace.push(DeJureRule::Take {
+        actor: a,
+        via: b,
+        target: o,
+        rights: Rights::R,
+    });
+    let registry = Registry::with_default_lints();
+    let cx = LintContext::new(&g, Some(&levels), None).with_trace(&trace);
+    let diags = registry.run(&cx);
+    assert_eq!(
+        codes(&diags, "TG011"),
+        0,
+        "a legal trace is clean: {diags:?}"
+    );
+    assert_eq!(g, snapshot, "vetting must not mutate the graph");
+}
+
+#[test]
+fn tg011_catches_restriction_refusals_not_just_preconditions() {
+    // `a` (low) takes `r` over `o` (high): the de jure preconditions
+    // hold but the combined restriction refuses the read-up.
+    let mut g = ProtectionGraph::new();
+    let a = g.add_subject("a");
+    let b = g.add_subject("b");
+    let o = g.add_object("o");
+    g.add_edge(a, b, Rights::T).unwrap();
+    g.add_edge(b, o, Rights::R).unwrap();
+    let mut levels = LevelAssignment::linear(&["low", "high"]);
+    levels.assign(a, 0).unwrap();
+    levels.assign(b, 1).unwrap();
+    levels.assign(o, 1).unwrap();
+    let mut trace = Derivation::new();
+    trace.push(DeJureRule::Take {
+        actor: a,
+        via: b,
+        target: o,
+        rights: Rights::R,
+    });
+    let registry = Registry::with_default_lints();
+    let cx = LintContext::new(&g, Some(&levels), None).with_trace(&trace);
+    let diags = registry.run(&cx);
+    let found: Vec<_> = diags.iter().filter(|d| d.code == "TG011").collect();
+    assert_eq!(found.len(), 1, "{diags:?}");
+    assert!(found[0].message.contains("step 1"));
+}
+
+#[test]
+fn tg011_is_silent_without_a_trace() {
+    let (g, levels, _, _, _) = plan_setup();
+    let registry = Registry::with_default_lints();
+    let diags = registry.run(&LintContext::new(&g, Some(&levels), None));
+    assert_eq!(codes(&diags, "TG011"), 0, "{diags:?}");
+}
+
+#[test]
+fn flow_passes_are_deterministic_under_parallel_runs() {
+    let (g, a, m, y) = chain_graph();
+    let mut levels = LevelAssignment::linear(&["low", "high"]);
+    levels.assign(a, 0).unwrap();
+    levels.assign(m, 0).unwrap();
+    levels.assign(y, 1).unwrap();
+    let registry = Registry::with_default_lints();
+    let cx = LintContext::new(&g, Some(&levels), None);
+    let sequential = registry.run(&cx);
+    for jobs in [1, 4] {
+        let pool = tg_par::Pool::new(jobs);
+        let parallel = registry.run_parallel(&cx, &pool);
+        assert_eq!(sequential, parallel, "jobs={jobs}");
+    }
+}

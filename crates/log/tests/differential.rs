@@ -294,14 +294,15 @@ fn snapshot_list_stays_sorted_across_torn_recovery() {
     }
 
     let (log2, monitor2, report) =
-        CommitLog::open(Box::new(store.clone()), restriction(), config, None)
-            .expect("torn reopen");
+        CommitLog::open(Box::new(store.clone()), restriction(), config, None).expect("torn reopen");
     assert!(report.torn.is_some(), "the tear is reported");
     // A tear mid-batch can truncate further than the cut itself.
     assert!(report.end_epoch <= keep as u64);
     assert!(report.end_epoch < newest, "history healed below the tear");
     assert!(
-        log2.snapshot_epochs().iter().all(|&e| e <= report.end_epoch),
+        log2.snapshot_epochs()
+            .iter()
+            .all(|&e| e <= report.end_epoch),
         "stale snapshots above the healed end are dropped: {:?}",
         log2.snapshot_epochs()
     );

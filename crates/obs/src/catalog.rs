@@ -68,11 +68,21 @@ pub enum SpanKind {
     LogRecover = 26,
     /// One compaction: differential proof, chain rewrite, pruning.
     LogCompact = 27,
+    /// One whole-graph flow closure (Theorem 5.5 via typed bridges).
+    FlowClosure = 28,
+    /// The `TG009` conspiracy-reachable downward-flow pass.
+    LintConspiracyFlow = 29,
+    /// The `TG010` rights-laundering / trojan-exposure pass.
+    LintRightsLaundering = 30,
+    /// The `TG011` statically-refused trace-step pass (`tgq plan`).
+    LintRefusedTraceStep = 31,
+    /// One island-sharded parallel flow closure.
+    ParClosure = 32,
 }
 
 impl SpanKind {
     /// Number of span kinds (ids are `0..COUNT`).
-    pub const COUNT: usize = 28;
+    pub const COUNT: usize = 33;
 
     /// Every kind, in id order.
     pub const ALL: &'static [SpanKind] = &[
@@ -104,6 +114,11 @@ impl SpanKind {
         SpanKind::LogSnapshot,
         SpanKind::LogRecover,
         SpanKind::LogCompact,
+        SpanKind::FlowClosure,
+        SpanKind::LintConspiracyFlow,
+        SpanKind::LintRightsLaundering,
+        SpanKind::LintRefusedTraceStep,
+        SpanKind::ParClosure,
     ];
 
     /// The stable id (the `repr` discriminant).
@@ -142,6 +157,11 @@ impl SpanKind {
             SpanKind::LogSnapshot => "log.snapshot",
             SpanKind::LogRecover => "log.recover",
             SpanKind::LogCompact => "log.compact",
+            SpanKind::FlowClosure => "flow.closure",
+            SpanKind::LintConspiracyFlow => "lint.conspiracy_flow",
+            SpanKind::LintRightsLaundering => "lint.rights_laundering",
+            SpanKind::LintRefusedTraceStep => "lint.refused_trace_step",
+            SpanKind::ParClosure => "par.closure",
         }
     }
 
@@ -183,6 +203,11 @@ impl SpanKind {
             SpanKind::LogSnapshot => "one atomic epoch snapshot write",
             SpanKind::LogRecover => "commit-log chain verify + snapshot + replay",
             SpanKind::LogCompact => "compaction proof, chain rewrite and pruning",
+            SpanKind::FlowClosure => "whole-graph flow closure (Thm 5.5 via typed bridges)",
+            SpanKind::LintConspiracyFlow => "TG009 conspiracy-reachable downward flows",
+            SpanKind::LintRightsLaundering => "TG010 rights-laundering exposure",
+            SpanKind::LintRefusedTraceStep => "TG011 static trace vetting (tgq plan)",
+            SpanKind::ParClosure => "island-sharded parallel flow closure",
         }
     }
 
@@ -241,11 +266,18 @@ pub enum Counter {
     LogCompactions = 19,
     /// Chain records replayed during commit-log recovery or time travel.
     LogReplayed = 20,
+    /// Whole-graph flow closures assembled.
+    FlowClosures = 21,
+    /// Island take-reaches served from a generation-stamped cache.
+    FlowIslandsReused = 22,
+    /// Trace steps a static `tgq plan` vetting found the monitor would
+    /// refuse.
+    PlanRefusals = 23,
 }
 
 impl Counter {
     /// Number of counters (ids are `0..COUNT`).
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 24;
 
     /// Every counter, in id order.
     pub const ALL: &'static [Counter] = &[
@@ -270,6 +302,9 @@ impl Counter {
         Counter::LogSnapshots,
         Counter::LogCompactions,
         Counter::LogReplayed,
+        Counter::FlowClosures,
+        Counter::FlowIslandsReused,
+        Counter::PlanRefusals,
     ];
 
     /// The stable id (the `repr` discriminant).
@@ -301,6 +336,9 @@ impl Counter {
             Counter::LogSnapshots => "log.snapshots",
             Counter::LogCompactions => "log.compactions",
             Counter::LogReplayed => "log.replayed",
+            Counter::FlowClosures => "flow.closures",
+            Counter::FlowIslandsReused => "flow.islands_reused",
+            Counter::PlanRefusals => "cli.plan_refusals",
         }
     }
 
@@ -335,6 +373,9 @@ impl Counter {
             Counter::LogSnapshots => "epoch snapshots written atomically",
             Counter::LogCompactions => "compactions folding dead history",
             Counter::LogReplayed => "chain records replayed (recovery + time travel)",
+            Counter::FlowClosures => "whole-graph flow closures assembled (Thm 5.5)",
+            Counter::FlowIslandsReused => "island take-reaches served from cache",
+            Counter::PlanRefusals => "trace steps statically refused by tgq plan",
         }
     }
 

@@ -1,0 +1,90 @@
+//! Island-sharded parallel flow closure.
+//!
+//! `tg_flow`'s closure has exactly one island-dependent phase: the
+//! per-island take-reach BFS. Everything downstream — bridge merging,
+//! conduit linking, span reduction, the de facto condensation — is a
+//! deterministic function of those reaches. So the parallel closure
+//! shards the BFS phase over the pool, one work item per island, and
+//! hands the gathered reaches to the same sequential assembly
+//! ([`tg_flow::FlowClosure::from_island_reaches`]) the one-thread path
+//! uses. Reaches come back in island order ([`Pool::run`] preserves item
+//! order), so the result is **byte-identical** at any job count.
+
+use tg_analysis::Islands;
+use tg_flow::{island_reach, FlowClosure};
+use tg_graph::{ProtectionGraph, VertexId};
+
+use crate::pool::Pool;
+
+/// The whole-graph flow closure with the per-island take-reach phase
+/// sharded across `pool`.
+///
+/// Identical to [`FlowClosure::compute`] at any job count; `jobs == 1`
+/// *is* the sequential path.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::{ProtectionGraph, Rights};
+/// use tg_par::{par_closure, Pool};
+///
+/// let mut g = ProtectionGraph::new();
+/// let a = g.add_subject("a");
+/// let b = g.add_subject("b");
+/// let o = g.add_object("o");
+/// g.add_edge(a, b, Rights::T).unwrap();
+/// g.add_edge(b, o, Rights::R).unwrap();
+///
+/// let closure = par_closure(&g, &Pool::new(4));
+/// assert!(closure.can_know(a, o));
+/// ```
+pub fn par_closure(graph: &ProtectionGraph, pool: &Pool) -> FlowClosure {
+    let _span = tg_obs::span(tg_obs::SpanKind::ParClosure);
+    let islands = Islands::compute(graph);
+    let shards: Vec<&[VertexId]> = islands.iter().collect();
+    tg_obs::add(tg_obs::Counter::ParShards, shards.len() as u64);
+    let (reaches, steals) = pool.run(&shards, |members| island_reach(graph, members));
+    tg_obs::add(tg_obs::Counter::ParSteals, steals);
+    tg_obs::add(tg_obs::Counter::FlowClosures, 1);
+    let _merge = tg_obs::span(tg_obs::SpanKind::ParMerge);
+    FlowClosure::from_island_reaches(graph, &islands, &reaches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::Rights;
+
+    #[test]
+    fn matches_sequential_closure_at_any_width() {
+        let mut g = ProtectionGraph::new();
+        let subjects: Vec<VertexId> = (0..12).map(|i| g.add_subject(format!("s{i}"))).collect();
+        let objects: Vec<VertexId> = (0..6).map(|i| g.add_object(format!("o{i}"))).collect();
+        for (i, &s) in subjects.iter().enumerate() {
+            let o = objects[i % objects.len()];
+            let rights = match i % 4 {
+                0 => Rights::T,
+                1 => Rights::G,
+                2 => Rights::R,
+                _ => Rights::W,
+            };
+            g.add_edge(s, o, rights).unwrap();
+            if i + 1 < subjects.len() && i % 3 == 0 {
+                g.add_edge(s, subjects[i + 1], Rights::T).unwrap();
+            }
+        }
+        let seq = FlowClosure::compute(&g);
+        for jobs in [1, 2, 4, 8] {
+            let par = par_closure(&g, &Pool::new(jobs));
+            for x in g.vertex_ids() {
+                for y in g.vertex_ids() {
+                    assert_eq!(
+                        par.can_know(x, y),
+                        seq.can_know(x, y),
+                        "jobs={jobs} disagrees at ({x}, {y})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -18,6 +18,9 @@
 //! * [`par_queries`] — batched `can_share` / `can_know` / `can_steal`
 //!   with work-stealing over contiguous request chunks, answers in
 //!   request order.
+//! * [`par_closure`] — the whole-graph flow closure (`tg_flow`) with
+//!   its only island-dependent phase, the per-island take-reach BFS,
+//!   sharded one island per work item.
 //!
 //! # Determinism contract
 //!
@@ -65,9 +68,11 @@
 #![warn(missing_docs)]
 
 mod audit;
+mod closure;
 mod pool;
 mod queries;
 
 pub use audit::{par_audit, par_audit_diagnostics, shard_edges};
+pub use closure::par_closure;
 pub use pool::{chunk_ranges, Pool};
 pub use queries::{par_queries, seq_queries, Query};

@@ -144,3 +144,53 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The ISSUE-7 closure leg: the island-sharded parallel flow
+    /// closure answers exactly like the sequential whole-graph closure
+    /// *and* like the per-pair `can_know` loop, at jobs ∈ {1, 4}, on
+    /// random (tampered) hierarchies. `tg_flow` cannot dev-depend on
+    /// `tg_par` (cycle), so the parallel half of its differential
+    /// oracle lives here.
+    #[test]
+    fn par_closure_matches_sequential_and_per_pair(
+        (levels, per_level, noise, seed, tampers) in
+            (2usize..5, 1usize..4, 0usize..8, 0u64..1_000_000, 0usize..6)
+    ) {
+        let mut built = HierarchyGen { levels, per_level, noise_edges: noise, seed }.build();
+        let mut rng = Prng::seed_from_u64(seed ^ 0x0717_0717_0717_0717);
+        tamper_graph(&mut built.graph, &built.assignment, tampers, &mut rng);
+        let g = &built.graph;
+
+        let seq = tg_flow::FlowClosure::compute(g);
+        for jobs in [1usize, 4] {
+            let par = tg_par::par_closure(g, &Pool::new(jobs));
+            for x in g.vertex_ids() {
+                for y in g.vertex_ids() {
+                    prop_assert_eq!(
+                        par.can_know(x, y),
+                        seq.can_know(x, y),
+                        "jobs={} disagrees with sequential at ({}, {})",
+                        jobs, x, y
+                    );
+                    prop_assert_eq!(
+                        par.chain_only(x, y),
+                        seq.chain_only(x, y),
+                        "jobs={} chain_only disagrees at ({}, {})",
+                        jobs, x, y
+                    );
+                    if x != y {
+                        prop_assert_eq!(
+                            par.can_know(x, y),
+                            tg_analysis::can_know(g, x, y),
+                            "jobs={} disagrees with per-pair can_know at ({}, {})",
+                            jobs, x, y
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

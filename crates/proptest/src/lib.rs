@@ -15,6 +15,8 @@
 //! * **No persistence.** `.proptest-regressions` files are ignored.
 //! * Uniform choice in `prop_oneof!` (weighted arms are not supported).
 
+#![forbid(unsafe_code)]
+
 pub mod strategy;
 
 pub mod test_runner {

@@ -1,12 +1,14 @@
-//! Figure 2.1: why earlier hierarchical Take-Grant models fall to a
-//! two-subject conspiracy, and why the paper's structures do not.
+//! Conspiracy analysis: why earlier hierarchical Take-Grant models fall
+//! to a two-subject conspiracy, and how the whole-graph flow closure
+//! (`tg_flow`) measures exactly how much cooperation every flow needs.
 //!
 //! Run with: `cargo run --example conspiracy`
 
-use take_grant::analysis::can_know;
+use take_grant::flow::{min_flow_conspirators, FlowClosure};
 use take_grant::graph::{Right, Rights};
 use take_grant::hierarchy::structure::linear_hierarchy;
 use take_grant::hierarchy::wu;
+use take_grant::sim::scenarios;
 
 fn main() {
     println!("== Wu's model: hierarchy by edge direction ==");
@@ -38,14 +40,56 @@ fn main() {
     let bottom = built.subjects[0][0];
     let secret = g.add_object("secret");
     g.add_edge(top, secret, Rights::R).unwrap();
+    // One island-local fixpoint answers every can_know pair at once —
+    // no per-pair search.
+    let closure = FlowClosure::compute(&g);
+    let n = g.vertex_count();
+    let flowing = g
+        .vertex_ids()
+        .flat_map(|x| g.vertex_ids().map(move |y| (x, y)))
+        .filter(|&(x, y)| x != y && closure.can_know(x, y))
+        .count();
+    println!(
+        "flow closure: {flowing} of {} ordered pairs can flow",
+        n * (n - 1)
+    );
     println!(
         "every subject may be corrupt; still can_know(bottom, secret) = {}",
-        can_know(&g, bottom, secret)
+        closure.can_know(bottom, secret)
     );
-    assert!(!can_know(&g, bottom, secret));
+    assert!(!closure.can_know(bottom, secret));
     println!(
         "Theorem 4.3: with no t/g edges between levels there is nothing \
          for a conspiracy to grip — no number of corrupt subjects moves \
          information down."
+    );
+
+    println!("\n== minimum conspirator sets: Figure 5.1 ==");
+    let fig = scenarios::fig_5_1();
+    let g = fig.graph;
+    let find = |name: &str| {
+        g.vertex_ids()
+            .find(|&v| g.vertex(v).name == name)
+            .expect("figure vertex")
+    };
+    let (x, y) = (find("x"), find("y"));
+    let closure = FlowClosure::compute(&g);
+    assert!(closure.can_know(y, x));
+    let conspiracy = min_flow_conspirators(&g, y, x).expect("the closure says the flow exists");
+    let names: Vec<&str> = conspiracy
+        .subjects
+        .iter()
+        .map(|&s| g.vertex(s).name.as_str())
+        .collect();
+    println!("can_know(y, x): the low subject can learn the high one's secrets,");
+    println!(
+        "but only if {} cooperate(s): conspirators {{{}}}, bridge word {}",
+        conspiracy.subjects.len(),
+        names.join(", "),
+        conspiracy.bridge_word()
+    );
+    println!(
+        "the conspirator count is the price of the leak — `tgq lint` \
+         reports it as TG009."
     );
 }

@@ -7,9 +7,50 @@
 use std::fs;
 use std::path::Path;
 
-use take_grant::graph::render_graph;
+use take_grant::graph::{render_graph, ProtectionGraph, Rights, VertexId};
 use take_grant::hierarchy::policy::render_policy;
+use take_grant::hierarchy::LevelAssignment;
+use take_grant::rules::codec::encode_derivation;
+use take_grant::rules::{DeJureRule, Derivation};
 use take_grant::sim::scenarios;
+
+/// The TG010 exemplar: `server` legitimately reads `secret` at its own
+/// level, and `spy` below reads the server — the server's read is the
+/// sole conduit through which the spy can come to know the secret.
+fn laundering() -> (ProtectionGraph, LevelAssignment) {
+    let mut g = ProtectionGraph::new();
+    let server = g.add_subject("server");
+    let spy = g.add_subject("spy");
+    let secret = g.add_object("secret");
+    g.add_edge(server, secret, Rights::R).expect("edge");
+    g.add_edge(spy, server, Rights::R).expect("edge");
+    let mut levels = LevelAssignment::linear(&["low", "high"]);
+    levels.assign(server, 1).expect("assign");
+    levels.assign(spy, 0).expect("assign");
+    levels.assign(secret, 1).expect("assign");
+    (g, levels)
+}
+
+/// Traces for `tgq plan` against Figure 6.1 (`x -t-> s -r-> y`, `x` low,
+/// `s`/`y` high): the refused one has `x` take `r` over `y` — the de
+/// jure preconditions hold but the combined restriction refuses the
+/// read-up; the accepted one merely removes `x`'s own `t` right.
+fn plan_traces() -> (String, String) {
+    let mut refused = Derivation::new();
+    refused.push(DeJureRule::Take {
+        actor: VertexId::from_index(0),
+        via: VertexId::from_index(1),
+        target: VertexId::from_index(2),
+        rights: Rights::R,
+    });
+    let mut ok = Derivation::new();
+    ok.push(DeJureRule::Remove {
+        actor: VertexId::from_index(0),
+        target: VertexId::from_index(1),
+        rights: Rights::T,
+    });
+    (encode_derivation(&refused), encode_derivation(&ok))
+}
 
 fn main() {
     let dir = Path::new("examples/graphs");
@@ -39,6 +80,14 @@ fn main() {
     let f61 = scenarios::fig_6_1();
     put("fig_6_1.tg", render_graph(&f61.graph));
     put("fig_6_1.pol", render_policy(&f61.assignment, &f61.graph));
+
+    let (graph, levels) = laundering();
+    put("laundering.tg", render_graph(&graph));
+    put("laundering.pol", render_policy(&levels, &graph));
+
+    let (refused, ok) = plan_traces();
+    put("plan_refused.tr", refused);
+    put("plan_ok.tr", ok);
 
     for path in written {
         println!("wrote {path}");

@@ -12,6 +12,10 @@
 //! * [`analysis`] — the decision procedures: islands, `can_share`
 //!   (Theorem 2.3), `can_know_f` (Theorem 3.1) and `can_know` (Theorem 3.2),
 //!   plus constructive witness synthesis.
+//! * [`flow`] — the whole-hierarchy flow closure: one island-local
+//!   fixpoint answering every `can_know` pair at once, with typed bridge
+//!   search, minimum conspirator sets, and generation-stamped
+//!   memoization for incremental reuse.
 //! * [`hierarchy`] — the paper's contribution: rw-levels, rwtg-levels, the
 //!   `higher` partial order, security (Theorem 5.2), the de jure rule
 //!   restrictions and the reference monitor (Theorem 5.5, Corollaries
@@ -52,6 +56,7 @@
 
 pub use tg_analysis as analysis;
 pub use tg_blp as blp;
+pub use tg_flow as flow;
 pub use tg_graph as graph;
 pub use tg_hierarchy as hierarchy;
 pub use tg_inc as inc;
