@@ -20,8 +20,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tg_analysis::can_know;
-use tg_bench::time_ns;
+use tg_bench::{corpus_scale, time_ns, CORPUS_SEED};
 use tg_flow::FlowClosure;
+use tg_gen::{generate, Family, GenConfig};
 use tg_graph::VertexId;
 use tg_par::{par_closure, Pool};
 use tg_sim::workload::hierarchy;
@@ -124,6 +125,51 @@ fn bench_flow(c: &mut Criterion) {
         run_per_pair(&w);
     });
 
+    // Corpus leg: the same closure-vs-loop race on a generated deep
+    // chain (`tg-gen`, scale from `TGQ_BENCH_SCALE`), recorded with its
+    // scale and seed. Agreement is asserted; the timing is informational
+    // (the speed claim stays pinned to the sim workload above).
+    let scale = corpus_scale(if smoke() { 200 } else { 2_000 });
+    let scenario = generate(&GenConfig::new(Family::Chain, scale, CORPUS_SEED));
+    let cn = scenario.graph.vertex_count();
+    let corpus_pairs: Vec<(VertexId, VertexId)> = (0..if smoke() { 48 } else { 256 })
+        .map(|i| {
+            (
+                VertexId::from_index((i * 131) % cn),
+                VertexId::from_index((i * 197 + 61) % cn),
+            )
+        })
+        .collect();
+    let cw = Workload {
+        built: tg_hierarchy::structure::BuiltHierarchy {
+            graph: scenario.graph,
+            assignment: scenario.levels,
+            subjects: scenario.subjects,
+        },
+        pairs: corpus_pairs,
+    };
+    let corpus_closure = FlowClosure::compute(&cw.built.graph);
+    let corpus_par = par_closure(&cw.built.graph, &pool);
+    for &(x, y) in &cw.pairs {
+        let per_pair = x == y || can_know(&cw.built.graph, x, y);
+        assert_eq!(
+            corpus_closure.can_know(x, y),
+            per_pair,
+            "corpus closure diverged from per-pair can_know at ({x}, {y})"
+        );
+        assert_eq!(
+            corpus_par.can_know(x, y),
+            per_pair,
+            "corpus parallel closure diverged at ({x}, {y})"
+        );
+    }
+    let corpus_closure_ns = time_ns(iters, || {
+        run_closure(&cw);
+    });
+    let corpus_per_pair_ns = time_ns(iters, || {
+        run_per_pair(&cw);
+    });
+
     // The parallel-beats-sequential claim is only physical with the
     // hardware threads to back the pool; the closure-beats-loop claim
     // is single-threaded and always enforced.
@@ -139,7 +185,10 @@ fn bench_flow(c: &mut Criterion) {
             "  \"closure_then_lookup_ns\": {:.0},\n",
             "  \"parallel_closure_ns\": {:.0},\n",
             "  \"per_pair_loop_ns\": {:.0},\n",
-            "  \"closure_speedup\": {:.2}\n",
+            "  \"closure_speedup\": {:.2},\n",
+            "  \"corpus\": {{ \"family\": \"chain\", \"scale\": {}, \"seed\": {}, ",
+            "\"vertices\": {}, \"edges\": {}, \"pairs\": {}, ",
+            "\"closure_then_lookup_ns\": {:.0}, \"per_pair_loop_ns\": {:.0}, \"speedup\": {:.2} }}\n",
             "}}\n"
         ),
         smoke(),
@@ -153,6 +202,14 @@ fn bench_flow(c: &mut Criterion) {
         par_ns,
         per_pair_ns,
         per_pair_ns / closure_ns,
+        scale,
+        CORPUS_SEED,
+        cw.built.graph.vertex_count(),
+        cw.built.graph.edge_count(),
+        cw.pairs.len(),
+        corpus_closure_ns,
+        corpus_per_pair_ns,
+        corpus_per_pair_ns / corpus_closure_ns,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_flow.json");
     std::fs::write(path, &json).expect("write BENCH_flow.json");

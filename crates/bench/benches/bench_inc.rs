@@ -21,10 +21,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tg_analysis::Islands;
-use tg_bench::time_ns;
+use tg_bench::{corpus_scale, time_ns, CORPUS_SEED};
+use tg_gen::{generate, Family, GenConfig};
+use tg_hierarchy::structure::BuiltHierarchy;
 use tg_hierarchy::{audit_graph, CombinedRestriction, Monitor};
 use tg_inc::SharedIndex;
-use tg_sim::workload::{hierarchy, mixed_trace, MixedOp};
+use tg_sim::workload::{corpus_trace, hierarchy, mixed_trace, MixedOp};
 
 /// Smoke mode: same ≥10k-edge graph, fewer ops and timing iterations.
 fn smoke() -> bool {
@@ -48,6 +50,22 @@ fn workload() -> Workload {
     let ops = if smoke() { 120 } else { 400 };
     let trace = mixed_trace(&built.graph, ops, 0xBE7C);
     Workload { built, trace }
+}
+
+/// The corpus leg: a generated military compartment lattice (`tg-gen`,
+/// scale from `TGQ_BENCH_SCALE`) driven by the level-aware
+/// [`corpus_trace`] mix. Returns the workload plus the resolved scale.
+fn corpus_workload() -> (Workload, usize) {
+    let scale = corpus_scale(if smoke() { 200 } else { 2_000 });
+    let scenario = generate(&GenConfig::new(Family::Military, scale, CORPUS_SEED));
+    let built = BuiltHierarchy {
+        graph: scenario.graph,
+        assignment: scenario.levels,
+        subjects: scenario.subjects,
+    };
+    let ops = if smoke() { 120 } else { 400 };
+    let trace = corpus_trace(&built.graph, &built.assignment, ops, CORPUS_SEED);
+    (Workload { built, trace }, scale)
 }
 
 /// One incremental pass: fresh index + monitor, replay the trace, answer
@@ -175,6 +193,24 @@ fn bench_inc(c: &mut Criterion) {
         run_full(&w);
     });
 
+    // Corpus leg: same head-to-head on a generated compartment lattice,
+    // recorded with its scale and seed. The timing is informational (the
+    // speed *claims* are asserted on the pinned sim workload above); the
+    // answer agreement is not.
+    let (cw, scale) = corpus_workload();
+    let corpus_inc_answers = run_incremental(&cw);
+    assert_eq!(
+        corpus_inc_answers,
+        run_full(&cw),
+        "incremental answers diverged from full recompute on the corpus leg"
+    );
+    let corpus_inc_ns = time_ns(iters, || {
+        run_incremental(&cw);
+    });
+    let corpus_full_ns = time_ns(iters, || {
+        run_full(&cw);
+    });
+
     let json = format!(
         concat!(
             "{{\n",
@@ -183,7 +219,10 @@ fn bench_inc(c: &mut Criterion) {
             "  \"jobs\": 1,\n  \"host_parallelism\": {},\n",
             "  \"vertices\": {},\n  \"edges\": {},\n  \"ops\": {},\n",
             "  \"audit\": {{ \"incremental_ns\": {:.0}, \"full_ns\": {:.0}, \"speedup\": {:.2} }},\n",
-            "  \"mixed\": {{ \"incremental_ns\": {:.0}, \"full_ns\": {:.0}, \"speedup\": {:.2} }}\n",
+            "  \"mixed\": {{ \"incremental_ns\": {:.0}, \"full_ns\": {:.0}, \"speedup\": {:.2} }},\n",
+            "  \"corpus\": {{ \"family\": \"military\", \"scale\": {}, \"seed\": {}, ",
+            "\"vertices\": {}, \"edges\": {}, \"ops\": {}, ",
+            "\"incremental_ns\": {:.0}, \"full_ns\": {:.0}, \"speedup\": {:.2} }}\n",
             "}}\n"
         ),
         smoke(),
@@ -197,6 +236,14 @@ fn bench_inc(c: &mut Criterion) {
         mixed_inc_ns,
         mixed_full_ns,
         mixed_full_ns / mixed_inc_ns,
+        scale,
+        CORPUS_SEED,
+        cw.built.graph.vertex_count(),
+        cw.built.graph.edge_count(),
+        cw.trace.len(),
+        corpus_inc_ns,
+        corpus_full_ns,
+        corpus_full_ns / corpus_inc_ns,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_inc.json");
     std::fs::write(path, &json).expect("write BENCH_inc.json");

@@ -22,8 +22,10 @@
 //! correctness.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use tg_bench::time_ns;
+use tg_bench::{corpus_scale, time_ns, CORPUS_SEED};
+use tg_gen::{generate, Family, GenConfig};
 use tg_graph::{Right, VertexId};
+use tg_hierarchy::structure::BuiltHierarchy;
 use tg_hierarchy::{audit_graph, CombinedRestriction};
 use tg_par::{par_audit, par_queries, seq_queries, Pool, Query};
 use tg_sim::workload::hierarchy;
@@ -67,6 +69,30 @@ fn workload() -> Workload {
         queries.push(Query::CanSteal(Right::Write, x, y));
     }
     Workload { built, queries }
+}
+
+/// The corpus leg: a generated DAG-of-levels lattice (`tg-gen`, scale
+/// from `TGQ_BENCH_SCALE`) with the same deterministic query batch
+/// shape. Returns the workload plus the resolved scale.
+fn corpus_workload() -> (Workload, usize) {
+    let scale = corpus_scale(if smoke() { 200 } else { 2_000 });
+    let scenario = generate(&GenConfig::new(Family::Dag, scale, CORPUS_SEED));
+    let built = BuiltHierarchy {
+        graph: scenario.graph,
+        assignment: scenario.levels,
+        subjects: scenario.subjects,
+    };
+    let n = built.graph.vertex_count();
+    let count = if smoke() { 24 } else { 96 };
+    let mut queries = Vec::new();
+    for i in 0..count {
+        let x = VertexId::from_index((i * 131) % n);
+        let y = VertexId::from_index((i * 197 + 61) % n);
+        queries.push(Query::CanShare(Right::Read, x, y));
+        queries.push(Query::CanKnow(y, x));
+        queries.push(Query::CanSteal(Right::Write, x, y));
+    }
+    (Workload { built, queries }, scale)
 }
 
 fn run_seq_audit(w: &Workload) -> usize {
@@ -121,6 +147,35 @@ fn bench_par(c: &mut Criterion) {
         par_queries(&w.built.graph, &w.queries, &pool);
     });
 
+    // Corpus leg: the same audit + query batch on a generated DAG
+    // lattice, recorded with its scale and seed. Agreement is asserted;
+    // the timing is informational (the speed claims stay pinned to the
+    // sim workload above).
+    let (cw, scale) = corpus_workload();
+    assert_eq!(
+        audit_graph(&cw.built.graph, &cw.built.assignment, &CombinedRestriction),
+        par_audit(
+            &cw.built.graph,
+            &cw.built.assignment,
+            &CombinedRestriction,
+            &pool,
+        ),
+        "parallel audit diverged on the corpus leg"
+    );
+    assert_eq!(
+        seq_queries(&cw.built.graph, &cw.queries),
+        par_queries(&cw.built.graph, &cw.queries, &pool),
+        "parallel query answers diverged on the corpus leg"
+    );
+    let corpus_seq_ns = time_ns(iters, || {
+        run_seq_audit(&cw);
+        seq_queries(&cw.built.graph, &cw.queries);
+    });
+    let corpus_par_ns = time_ns(iters, || {
+        run_par_audit(&cw, &pool);
+        par_queries(&cw.built.graph, &cw.queries, &pool);
+    });
+
     // The "parallel must win" claim is only physical when the host has
     // the hardware threads to back the pool; record whether this run
     // enforced it so the JSON is self-describing.
@@ -134,7 +189,10 @@ fn bench_par(c: &mut Criterion) {
             "  \"jobs\": {},\n  \"host_parallelism\": {},\n  \"enforced\": {},\n",
             "  \"vertices\": {},\n  \"edges\": {},\n  \"queries\": {},\n",
             "  \"audit\": {{ \"parallel_ns\": {:.0}, \"sequential_ns\": {:.0}, \"speedup\": {:.2} }},\n",
-            "  \"queries_batch\": {{ \"parallel_ns\": {:.0}, \"sequential_ns\": {:.0}, \"speedup\": {:.2} }}\n",
+            "  \"queries_batch\": {{ \"parallel_ns\": {:.0}, \"sequential_ns\": {:.0}, \"speedup\": {:.2} }},\n",
+            "  \"corpus\": {{ \"family\": \"dag\", \"scale\": {}, \"seed\": {}, ",
+            "\"vertices\": {}, \"edges\": {}, \"queries\": {}, ",
+            "\"parallel_ns\": {:.0}, \"sequential_ns\": {:.0}, \"speedup\": {:.2} }}\n",
             "}}\n"
         ),
         smoke(),
@@ -150,6 +208,14 @@ fn bench_par(c: &mut Criterion) {
         queries_par_ns,
         queries_seq_ns,
         queries_seq_ns / queries_par_ns,
+        scale,
+        CORPUS_SEED,
+        cw.built.graph.vertex_count(),
+        cw.built.graph.edge_count(),
+        cw.queries.len(),
+        corpus_par_ns,
+        corpus_seq_ns,
+        corpus_seq_ns / corpus_par_ns,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_par.json");
     std::fs::write(path, &json).expect("write BENCH_par.json");

@@ -15,6 +15,19 @@ pub const SIZES: [usize; 5] = [64, 128, 256, 512, 1024];
 /// The hierarchy depths swept by the Wu-conspiracy experiment.
 pub const DEPTHS: [usize; 4] = [2, 4, 6, 8];
 
+/// The corpus-leg scale: `TGQ_BENCH_SCALE` when set (the same knob
+/// `tgq bench --scale` reads), else `default`. Every corpus leg records
+/// the resolved value in its JSON envelope so swept runs are comparable.
+pub fn corpus_scale(default: usize) -> usize {
+    std::env::var("TGQ_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The pinned seed every corpus bench leg generates its scenario with.
+pub const CORPUS_SEED: u64 = 42;
+
 /// Times `f` over `iters` runs and returns nanoseconds per run.
 pub fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
     // One warm-up run.

@@ -18,9 +18,34 @@ use tg_inc::{IncStats, SharedIndex};
 use tg_par::{par_audit, par_queries, seq_queries, Pool, Query};
 use tg_sim::workload::{hierarchy, mixed_trace, MixedOp};
 
+/// Integer square root (floor), matching `tg_gen`'s bit-exact mapping.
+fn isqrt(n: usize) -> usize {
+    if n < 2 {
+        return n;
+    }
+    let mut x = n;
+    let mut y = n.div_ceil(2);
+    while y < x {
+        x = y;
+        y = (y + n / y) / 2;
+    }
+    x
+}
+
+/// Derived `(levels, per_level)` defaults for a target vertex count:
+/// one `--scale` knob (or `TGQ_BENCH_SCALE`) sweeps the workload while
+/// keeping the historical 20 × 10 shape at the default scale of 200.
+pub fn dims_for_scale(scale: usize) -> (usize, usize) {
+    let per_level = isqrt(scale / 2).max(2);
+    ((scale / per_level).max(2), per_level)
+}
+
 /// Workload parameters for one `tgq bench` run.
 #[derive(Clone, Copy, Debug)]
 pub struct BenchConfig {
+    /// The requested vertex scale the level shape was derived from
+    /// (recorded in the JSON envelope so swept runs are comparable).
+    pub scale: usize,
     /// Hierarchy levels.
     pub levels: usize,
     /// Subjects per level.
@@ -71,11 +96,12 @@ impl BenchReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "workload: {} levels x {} subjects ({} vertices, {} edges), {} ops, seed {}",
+            "workload: {} levels x {} subjects ({} vertices, {} edges), scale {}, {} ops, seed {}",
             self.config.levels,
             self.config.per_level,
             self.vertices,
             self.edges,
+            self.config.scale,
             self.config.ops,
             self.config.seed
         );
@@ -114,6 +140,7 @@ impl BenchReport {
             concat!(
                 "{{\n",
                 "  \"bench\": \"tgq-bench\",\n",
+                "  \"scale\": {},\n",
                 "  \"levels\": {},\n  \"per_level\": {},\n  \"ops\": {},\n  \"seed\": {},\n",
                 "  \"jobs\": {},\n  \"host_parallelism\": {},\n",
                 "  \"vertices\": {},\n  \"edges\": {},\n  \"answers\": {},\n",
@@ -123,6 +150,7 @@ impl BenchReport {
                 "\"memo_hits\": {}, \"memo_misses\": {}, \"rollbacks\": {} }}\n",
                 "}}\n"
             ),
+            self.config.scale,
             self.config.levels,
             self.config.per_level,
             self.config.ops,

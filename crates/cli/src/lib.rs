@@ -19,7 +19,8 @@
 //! tgq watch <graph> <policy> <trace>   incremental per-rule audit of a trace
 //! tgq trace <graph> <policy> <trace> [--out <file>] [--format chrome|jsonl]
 //! tgq stats                            the span/counter catalog with paper refs
-//! tgq bench [--levels N] [--per-level N] [--ops N] [--seed N] [--json <file>]
+//! tgq gen <family> [--scale N] [--seed N] [--campaign conspiracy|trojan|none] [--out dir]
+//! tgq bench [--scale N] [--levels N] [--per-level N] [--ops N] [--seed N] [--json <file>]
 //! ```
 //!
 //! Every subcommand also accepts two global flags. `--stats` runs the
@@ -250,9 +251,20 @@ pub const COMMANDS: &[CommandSpec] = &[
         flags: &[],
     },
     CommandSpec {
+        name: "gen",
+        args: "<military|chain|antichain|dag>",
+        flags: &[
+            "--scale <n>",
+            "--seed <n>",
+            "--campaign conspiracy|trojan|none",
+            "--out <dir>",
+        ],
+    },
+    CommandSpec {
         name: "bench",
         args: "",
         flags: &[
+            "--scale <n>",
             "--levels <n>",
             "--per-level <n>",
             "--ops <n>",
@@ -1451,8 +1463,78 @@ fn dispatch(
             }
             Ok(0)
         }
+        "gen" => {
+            let (scale, rest) = split_opt(&rest, "--scale")?;
+            let (seed, rest) = split_opt(&rest, "--seed")?;
+            let (campaign_raw, rest) = split_opt(&rest, "--campaign")?;
+            let (out_dir, rest) = split_opt(&rest, "--out")?;
+            let [family_raw] = rest.as_slice() else {
+                return Err(usage_of(command));
+            };
+            let family = tg_gen::Family::parse(family_raw).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown family {family_raw:?} (expected military, chain, antichain, or dag)"
+                ))
+            })?;
+            let parse = |v: Option<&str>, default: usize| -> Result<usize, CliError> {
+                match v {
+                    None => Ok(default),
+                    Some(s) => s
+                        .parse()
+                        .map_err(|_| CliError::Usage(format!("not a number: {s:?}"))),
+                }
+            };
+            let campaign = match campaign_raw {
+                None | Some("none") => None,
+                Some(raw) => Some(tg_gen::CampaignKind::parse(raw).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "unknown campaign {raw:?} (expected conspiracy, trojan, or none)"
+                    ))
+                })?),
+            };
+            let config = tg_gen::GenConfig {
+                campaign,
+                ..tg_gen::GenConfig::new(family, parse(scale, 32)?, parse(seed, 1)? as u64)
+            };
+            let scenario = tg_gen::generate(&config);
+            let dir = std::path::Path::new(out_dir.unwrap_or("."));
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            let stem = scenario.stem();
+            let mut emit = |ext: &str, text: &str| -> Result<(), String> {
+                let path = dir.join(format!("{stem}.{ext}"));
+                std::fs::write(&path, text)
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                let _ = writeln!(out, "wrote {}", path.display());
+                Ok(())
+            };
+            emit("tg", &scenario.graph_text())?;
+            emit("pol", &scenario.policy_text())?;
+            if let Some(trace) = scenario.trace_text() {
+                emit("tr", &trace)?;
+            }
+            let _ = writeln!(
+                out,
+                "{}: {} levels, {} vertices, {} edges",
+                family,
+                scenario.levels.len(),
+                scenario.graph.vertex_count(),
+                scenario.graph.edge_count()
+            );
+            if let Some(campaign) = &scenario.campaign {
+                let _ = writeln!(
+                    out,
+                    "campaign {}: {} steps ({} permitted, final step refused by the monitor)",
+                    campaign.kind,
+                    campaign.trace.len(),
+                    campaign.trace.len() - 1
+                );
+            }
+            Ok(0)
+        }
         "bench" => {
             let (json_out, rest) = split_opt(&rest, "--json")?;
+            let (scale_flag, rest) = split_opt(&rest, "--scale")?;
             let (levels_n, rest) = split_opt(&rest, "--levels")?;
             let (per_level, rest) = split_opt(&rest, "--per-level")?;
             let (ops, rest) = split_opt(&rest, "--ops")?;
@@ -1468,9 +1550,16 @@ fn dispatch(
                         .map_err(|_| CliError::Usage(format!("not a number: {s:?}"))),
                 }
             };
+            // Workload size: `--scale` beats `TGQ_BENCH_SCALE` beats the
+            // historical default of 200 vertices (20 levels × 10); explicit
+            // `--levels`/`--per-level` still override the derived shape.
+            let env_scale = std::env::var("TGQ_BENCH_SCALE").ok();
+            let scale = parse(scale_flag.or(env_scale.as_deref()), 200)?;
+            let (scaled_levels, scaled_per_level) = bench::dims_for_scale(scale);
             let config = bench::BenchConfig {
-                levels: parse(levels_n, 20)?,
-                per_level: parse(per_level, 10)?,
+                scale,
+                levels: parse(levels_n, scaled_levels)?,
+                per_level: parse(per_level, scaled_per_level)?,
                 ops: parse(ops, 500)?,
                 seed: parse(seed, 42)? as u64,
                 jobs: pool.jobs(),

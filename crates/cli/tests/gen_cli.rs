@@ -1,0 +1,179 @@
+//! `tgq gen` and the `tgq bench --scale` knob.
+
+use tg_cli::CliError;
+
+fn run_full(args: &[&str]) -> Result<(u8, String), CliError> {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = String::new();
+    tg_cli::run_full(&args, &mut out).map(|code| (code, out))
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tgq-gen-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn gen_writes_graph_and_policy() {
+    let dir = scratch("plain");
+    let (code, out) = run_full(&[
+        "gen",
+        "antichain",
+        "--scale",
+        "16",
+        "--seed",
+        "3",
+        "--out",
+        dir.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert_eq!(code, 0);
+    let tg = dir.join("antichain-s16-seed3.tg");
+    let pol = dir.join("antichain-s16-seed3.pol");
+    assert!(tg.exists(), "graph file: {out}");
+    assert!(pol.exists(), "policy file: {out}");
+    assert!(
+        !dir.join("antichain-s16-seed3.tr").exists(),
+        "no campaign, no trace"
+    );
+    assert!(out.contains("antichain:"), "summary line: {out}");
+
+    // The emitted artifacts feed straight back into the analyzer: a
+    // campaign-free scenario is lint-clean (exit 0).
+    let (lint_code, _) = run_full(&["lint", tg.to_str().unwrap(), pol.to_str().unwrap()]).unwrap();
+    assert_eq!(lint_code, 0, "clean corpus scenario lints clean");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gen_campaign_emits_trace_that_plan_refuses() {
+    let dir = scratch("campaign");
+    let (code, out) = run_full(&[
+        "gen",
+        "chain",
+        "--scale",
+        "12",
+        "--seed",
+        "1",
+        "--campaign",
+        "trojan",
+        "--out",
+        dir.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert_eq!(code, 0);
+    assert!(out.contains("campaign trojan: 3 steps"), "{out}");
+    let tg = dir.join("chain-s12-seed1.tg");
+    let pol = dir.join("chain-s12-seed1.pol");
+    let tr = dir.join("chain-s12-seed1.tr");
+    assert!(tr.exists(), "campaign trace: {out}");
+
+    // Static vetting refuses the final downward-flow step (exit 2).
+    let (plan_code, plan_out) = run_full(&[
+        "plan",
+        tg.to_str().unwrap(),
+        pol.to_str().unwrap(),
+        tr.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert_eq!(plan_code, 2, "{plan_out}");
+    assert!(plan_out.contains("TG011"), "{plan_out}");
+    assert!(plan_out.contains("refuses step 3"), "{plan_out}");
+
+    // The campaign scaffolding is inert, so the standing state still
+    // satisfies Corollary 5.6 (audit exit 0) …
+    let (audit_code, _) =
+        run_full(&["audit", tg.to_str().unwrap(), pol.to_str().unwrap()]).unwrap();
+    assert_eq!(audit_code, 0, "campaign graphs stay audit-clean");
+    // … while the deeper passes flag the latent channel (exit 2).
+    let (lint_code, lint_out) =
+        run_full(&["lint", tg.to_str().unwrap(), pol.to_str().unwrap()]).unwrap();
+    assert_eq!(lint_code, 2, "{lint_out}");
+    assert!(
+        lint_out.contains("TG010"),
+        "trojan laundering flagged: {lint_out}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gen_is_deterministic_across_runs() {
+    let a = scratch("det-a");
+    let b = scratch("det-b");
+    for dir in [&a, &b] {
+        run_full(&[
+            "gen",
+            "dag",
+            "--scale",
+            "20",
+            "--seed",
+            "9",
+            "--campaign",
+            "conspiracy",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+    }
+    for ext in ["tg", "pol", "tr"] {
+        let name = format!("dag-s20-seed9.{ext}");
+        assert_eq!(
+            std::fs::read_to_string(a.join(&name)).unwrap(),
+            std::fs::read_to_string(b.join(&name)).unwrap(),
+            "{name} differs between identical invocations"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&a);
+    let _ = std::fs::remove_dir_all(&b);
+}
+
+#[test]
+fn gen_usage_errors() {
+    assert!(matches!(run_full(&["gen"]), Err(CliError::Usage(_))));
+    match run_full(&["gen", "banana"]) {
+        Err(CliError::Usage(m)) => assert!(m.contains("unknown family"), "{m}"),
+        other => panic!("expected usage error, got {other:?}"),
+    }
+    match run_full(&["gen", "chain", "--campaign", "banana"]) {
+        Err(CliError::Usage(m)) => assert!(m.contains("unknown campaign"), "{m}"),
+        other => panic!("expected usage error, got {other:?}"),
+    }
+}
+
+#[test]
+fn bench_scale_drives_workload_and_json() {
+    let json = std::env::temp_dir().join(format!("tgq-bench-scale-{}.json", std::process::id()));
+    let (code, out) = run_full(&[
+        "bench",
+        "--scale",
+        "72",
+        "--ops",
+        "40",
+        "--jobs",
+        "2",
+        "--json",
+        json.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("scale 72"), "{out}");
+    let envelope = std::fs::read_to_string(&json).unwrap();
+    assert!(envelope.contains("\"scale\": 72"), "{envelope}");
+    let _ = std::fs::remove_file(&json);
+
+    // `TGQ_BENCH_SCALE` fills in when the flag is absent, and the flag
+    // beats it. (This test owns the variable: nothing else in this test
+    // binary reads it.)
+    std::env::set_var("TGQ_BENCH_SCALE", "50");
+    let (_, out) = run_full(&["bench", "--ops", "10", "--jobs", "1"]).unwrap();
+    assert!(out.contains("scale 50"), "{out}");
+    let (_, out) = run_full(&["bench", "--scale", "72", "--ops", "10", "--jobs", "1"]).unwrap();
+    assert!(out.contains("scale 72"), "{out}");
+    std::env::remove_var("TGQ_BENCH_SCALE");
+
+    // Default scale reproduces the historical 20 × 10 workload shape.
+    let (_, out) = run_full(&["bench", "--ops", "10", "--jobs", "1"]).unwrap();
+    assert!(out.contains("workload: 20 levels x 10 subjects"), "{out}");
+    assert!(out.contains("scale 200"), "{out}");
+}

@@ -114,6 +114,29 @@ fn laundering_reports_the_conduit_in_all_formats() {
     );
 }
 
+#[test]
+fn trojan_corpus_fixture_reports_the_laundering_in_all_formats() {
+    // The generated trojan campaign (examples/graphs/corpus, pinned by
+    // crates/gen/tests/fixtures.rs): the standing graph is audit-clean,
+    // but the linter must flag the corrupt service's read of the secret
+    // as the laundering conduit — the static half of Theorem 5.5's
+    // completeness story, with the monitor's refusal as the dynamic half
+    // (see examples/trojan.rs).
+    case("corpus/trojan-chain", "text", "txt", 2);
+    case("corpus/trojan-chain", "json", "json", 2);
+    case("corpus/trojan-chain", "sarif", "sarif", 2);
+    let text = std::fs::read_to_string(golden_path("corpus/trojan-chain.txt")).expect("golden");
+    assert!(text.contains("warn[TG010]"), "laundering is diagnosed");
+    assert!(
+        text.contains("trojan-spy"),
+        "the diagnostic names the uncleared candidate"
+    );
+    assert!(
+        text.contains("error[TG003]"),
+        "the cross-level take scaffolding is an error"
+    );
+}
+
 fn plan_case(trace: &str, format: &str, golden: &str, expect_exit: u8) {
     let graph = fixture("fig_6_1.tg");
     let policy = fixture("fig_6_1.pol");

@@ -1,0 +1,364 @@
+//! Adversarial campaign generators.
+//!
+//! A campaign decorates a clean hierarchy with *inert* adversarial
+//! machinery — `t`/`g` scaffolding that carries no information by itself,
+//! so the graph still passes the Corollary 5.6 edge audit — and emits a
+//! rule trace whose prefix the reference monitor permits and whose final
+//! step attempts the downward flow the machinery was built for. Theorem
+//! 5.5 says that step must be refused; the static linter, which sees the
+//! machinery rather than the attempt, must flag the latent channel
+//! (TG003/TG005 on the structure, TG006 theft exposure for conspiracies,
+//! TG010 rights laundering for trojans).
+//!
+//! Two shapes:
+//!
+//! * [`CampaignKind::Conspiracy`] — multi-subject conspiracy in the §3
+//!   sense: three accomplices at a low level assemble a shared dropbox
+//!   (create, then two grants along their `g`-cycle), and the last — who
+//!   holds `t` over a high custodian — tries to take the custodian's read
+//!   right on a high secret. The prefix is all same-level and permitted;
+//!   the take is a read-up and refused.
+//! * [`CampaignKind::Trojan`] — the `demo_trojan.py` laundering shape: a
+//!   legitimate high user grants its read of a high secret to a trojan
+//!   subject (authorized, level-respecting), a low spy lifts the trojan's
+//!   courier handle through a `t` edge (inert rights move freely), and
+//!   the trojan finally tries to take write on the spy's low dropbox to
+//!   exfiltrate — a write-down, refused.
+
+use tg_graph::{Rights, VertexId};
+use tg_hierarchy::structure::BuiltHierarchy;
+use tg_rules::{DeJureRule, Derivation};
+use tg_sim::prng::Prng;
+
+/// Which adversarial campaign to install on a scenario.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CampaignKind {
+    /// Multi-subject conspiracy probing `can_steal`/`can_know` across a
+    /// level boundary; final step is a refused read-up.
+    Conspiracy,
+    /// Rights-laundering trojan (grant → corrupt take → refused
+    /// write-down).
+    Trojan,
+}
+
+impl CampaignKind {
+    /// The kind's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CampaignKind::Conspiracy => "conspiracy",
+            CampaignKind::Trojan => "trojan",
+        }
+    }
+
+    /// Parses a CLI name back to a kind.
+    pub fn parse(s: &str) -> Option<CampaignKind> {
+        match s {
+            "conspiracy" => Some(CampaignKind::Conspiracy),
+            "trojan" => Some(CampaignKind::Trojan),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for CampaignKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The monitor verdict a campaign step is built to receive.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// The monitor admits the step.
+    Permit,
+    /// The monitor refuses the step (Theorem 5.5).
+    Refuse,
+}
+
+/// An installed campaign: the trace to feed the monitor, the verdict each
+/// step must receive, and the probe pair the campaign is about.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    /// Which shape was installed.
+    pub kind: CampaignKind,
+    /// The rule trace (also rendered to `.tr` by the scenario).
+    pub trace: Derivation,
+    /// Expected monitor verdict per step, same length as the trace.
+    pub expected: Vec<Verdict>,
+    /// The subject that must never come to know the secret.
+    pub knower: VertexId,
+    /// The secret object the campaign targets.
+    pub secret: VertexId,
+}
+
+/// Picks the campaign's level boundary: a `(high, low)` pair where high
+/// strictly dominates low when the order has any comparable pair, else
+/// (antichain) an incomparable pair. Either way `low` does not dominate
+/// `high`, so acquiring `r` on high material (or `w` toward low ground)
+/// is refused.
+fn boundary(levels: &tg_hierarchy::LevelAssignment, rng: &mut Prng) -> (usize, usize) {
+    let k = levels.len();
+    let mut comparable = Vec::new();
+    let mut incomparable = Vec::new();
+    for hi in 0..k {
+        for lo in 0..k {
+            if hi == lo {
+                continue;
+            }
+            if levels.higher(hi, lo) {
+                comparable.push((hi, lo));
+            } else if !levels.higher(lo, hi) {
+                incomparable.push((hi, lo));
+            }
+        }
+    }
+    if !comparable.is_empty() {
+        *rng.choose(&comparable)
+    } else {
+        *rng.choose(&incomparable)
+    }
+}
+
+/// Installs `kind` on `built`, mutating its graph in place and returning
+/// the campaign trace with expected verdicts.
+pub(crate) fn install(kind: CampaignKind, built: &mut BuiltHierarchy, rng: &mut Prng) -> Campaign {
+    let (hi, lo) = boundary(&built.assignment, rng);
+    match kind {
+        CampaignKind::Conspiracy => conspiracy(built, hi, lo),
+        CampaignKind::Trojan => trojan(built, hi, lo),
+    }
+}
+
+fn add_subject_at(built: &mut BuiltHierarchy, level: usize, name: &str) -> VertexId {
+    let v = built.graph.add_subject(name);
+    built.assignment.assign(v, level).expect("level exists");
+    v
+}
+
+fn add_object_at(built: &mut BuiltHierarchy, level: usize, name: &str) -> VertexId {
+    let v = built.graph.add_object(name);
+    built.assignment.assign(v, level).expect("level exists");
+    v
+}
+
+/// Three low conspirators, a high custodian with a secret, a `g`-cycle
+/// among the accomplices and one `t` edge toward the custodian. Trace:
+/// create a shared dropbox, pass it along the cycle, then try to take the
+/// custodian's read right — refused as a read-up.
+fn conspiracy(built: &mut BuiltHierarchy, hi: usize, lo: usize) -> Campaign {
+    let custodian = built.subjects[hi][0];
+    let secret = add_object_at(built, hi, "consp-secret");
+    built
+        .graph
+        .add_edge(custodian, secret, Rights::RW)
+        .expect("fresh secret edge");
+    let c: Vec<VertexId> = (0..3)
+        .map(|i| add_subject_at(built, lo, &format!("consp-c{i}")))
+        .collect();
+    for i in 0..3 {
+        built
+            .graph
+            .add_edge(c[i], c[(i + 1) % 3], Rights::G)
+            .expect("fresh g-cycle edge");
+    }
+    built
+        .graph
+        .add_edge(c[2], custodian, Rights::T)
+        .expect("fresh t edge");
+
+    // The dropbox is created by the first trace step, so its id is the
+    // next dense index after the scaffolded graph.
+    let dropbox = VertexId::from_index(built.graph.vertex_count());
+    let mut trace = Derivation::new();
+    trace.push(DeJureRule::Create {
+        actor: c[0],
+        kind: tg_graph::VertexKind::Object,
+        rights: Rights::RW,
+        name: "consp-dropbox".to_string(),
+    });
+    trace.push(DeJureRule::Grant {
+        actor: c[0],
+        via: c[1],
+        target: dropbox,
+        rights: Rights::RW,
+    });
+    trace.push(DeJureRule::Grant {
+        actor: c[1],
+        via: c[2],
+        target: dropbox,
+        rights: Rights::RW,
+    });
+    trace.push(DeJureRule::Take {
+        actor: c[2],
+        via: custodian,
+        target: secret,
+        rights: Rights::R,
+    });
+    Campaign {
+        kind: CampaignKind::Conspiracy,
+        trace,
+        expected: vec![
+            Verdict::Permit,
+            Verdict::Permit,
+            Verdict::Permit,
+            Verdict::Refuse,
+        ],
+        knower: c[2],
+        secret,
+    }
+}
+
+/// The laundering trojan: `user` (high) legitimately reads `secret`
+/// (high) and holds `g` over the trojan `srv` (high); `spy` (low) holds
+/// `t` over `srv`; `srv` holds `t` over a low `courier` object which
+/// holds `w` over the spy's `dropbox`. Trace: user grants its read to the
+/// trojan (permitted, level-respecting), the spy lifts the courier handle
+/// (inert `t`, permitted), and the trojan takes write on the dropbox to
+/// exfiltrate — a write-down, refused.
+fn trojan(built: &mut BuiltHierarchy, hi: usize, lo: usize) -> Campaign {
+    let user = built.subjects[hi][0];
+    let secret = add_object_at(built, hi, "trojan-secret");
+    built
+        .graph
+        .add_edge(user, secret, Rights::RW)
+        .expect("fresh secret edge");
+    let srv = add_subject_at(built, hi, "trojan-srv");
+    let spy = add_subject_at(built, lo, "trojan-spy");
+    let courier = add_object_at(built, lo, "trojan-courier");
+    let dropbox = add_object_at(built, lo, "trojan-dropbox");
+    built
+        .graph
+        .add_edge(user, srv, Rights::G)
+        .expect("fresh g edge");
+    built
+        .graph
+        .add_edge(spy, srv, Rights::T)
+        .expect("fresh t edge");
+    built
+        .graph
+        .add_edge(srv, courier, Rights::T)
+        .expect("fresh t edge");
+    built
+        .graph
+        .add_edge(courier, dropbox, Rights::W)
+        .expect("fresh w edge");
+
+    let mut trace = Derivation::new();
+    trace.push(DeJureRule::Grant {
+        actor: user,
+        via: srv,
+        target: secret,
+        rights: Rights::R,
+    });
+    trace.push(DeJureRule::Take {
+        actor: spy,
+        via: srv,
+        target: courier,
+        rights: Rights::T,
+    });
+    trace.push(DeJureRule::Take {
+        actor: srv,
+        via: courier,
+        target: dropbox,
+        rights: Rights::W,
+    });
+    Campaign {
+        kind: CampaignKind::Trojan,
+        trace,
+        expected: vec![Verdict::Permit, Verdict::Permit, Verdict::Refuse],
+        knower: spy,
+        secret,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, Family, GenConfig};
+    use tg_hierarchy::{CombinedRestriction, Monitor};
+
+    fn replay_verdicts(scenario: &crate::Scenario) -> Vec<Verdict> {
+        let campaign = scenario.campaign.as_ref().expect("campaign installed");
+        let mut monitor = Monitor::new(
+            scenario.graph.clone(),
+            scenario.levels.clone(),
+            Box::new(CombinedRestriction),
+        );
+        campaign
+            .trace
+            .steps
+            .iter()
+            .map(|rule| match monitor.try_apply(rule) {
+                Ok(_) => Verdict::Permit,
+                Err(_) => Verdict::Refuse,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_family_campaign_replays_to_its_expected_verdicts() {
+        for family in Family::ALL {
+            for kind in [CampaignKind::Conspiracy, CampaignKind::Trojan] {
+                for seed in [0, 7, 991] {
+                    let config = GenConfig::new(family, 16, seed).with_campaign(kind);
+                    let scenario = generate(&config);
+                    let campaign = scenario.campaign.as_ref().unwrap();
+                    assert_eq!(
+                        replay_verdicts(&scenario),
+                        campaign.expected,
+                        "{family}/{kind}/seed {seed}"
+                    );
+                    assert_eq!(
+                        campaign.expected.last(),
+                        Some(&Verdict::Refuse),
+                        "campaigns end in a refusal"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_graphs_stay_audit_clean() {
+        // The scaffolding is inert: no explicit r/w edge crosses the
+        // order, so the Corollary 5.6 edge audit stays empty and only
+        // the *attempt* is refused (Theorem 5.5 soundness side).
+        for family in Family::ALL {
+            for kind in [CampaignKind::Conspiracy, CampaignKind::Trojan] {
+                let config = GenConfig::new(family, 16, 3).with_campaign(kind);
+                let scenario = generate(&config);
+                let violations = tg_hierarchy::audit_graph(
+                    &scenario.graph,
+                    &scenario.levels,
+                    &CombinedRestriction,
+                );
+                assert!(violations.is_empty(), "{family}/{kind}: {violations:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn trojan_secret_is_statically_knowable_but_never_monitored_into() {
+        // The pure rule system would leak (that is what TG010 flags);
+        // the monitor never lets the acquisition happen.
+        let config = GenConfig::new(Family::Chain, 12, 5).with_campaign(CampaignKind::Trojan);
+        let scenario = generate(&config);
+        let campaign = scenario.campaign.as_ref().unwrap();
+        assert!(tg_analysis::can_know(
+            &scenario.graph,
+            campaign.knower,
+            campaign.secret
+        ));
+        let mut monitor = Monitor::new(
+            scenario.graph.clone(),
+            scenario.levels.clone(),
+            Box::new(CombinedRestriction),
+        );
+        for rule in &campaign.trace.steps {
+            let _ = monitor.try_apply(rule);
+        }
+        assert!(!monitor
+            .graph()
+            .has_any(campaign.knower, campaign.secret, tg_graph::Right::Read));
+    }
+}

@@ -1,0 +1,351 @@
+//! Scenario corpus generators (ROADMAP: "Scenario corpus").
+//!
+//! Logrippo's order-theoretic surveys catalog the lattice shapes a
+//! Theorem 5.5 completeness claim must be exercised against; this crate
+//! realizes the four recurring families as seeded, deterministic
+//! protection-graph scenarios at configurable scale:
+//!
+//! * [`Family::Military`] — the Figure 4.2 compartment lattice: authority
+//!   levels crossed with category subsets, rich in incomparable pairs;
+//! * [`Family::Chain`] — a deep linear classification (Figure 4.1 grown
+//!   tall): the longest dominance chains the monitor will ever walk;
+//! * [`Family::Antichain`] — a wide antichain: many mutually incomparable
+//!   compartments, the worst case for "neither dominates" refusals;
+//! * [`Family::Dag`] — a random DAG of levels: seeded covers from higher
+//!   to lower levels at configurable density, the irregular middle ground
+//!   between the chain and the antichain.
+//!
+//! Every scenario is a [`tg_hierarchy::structure::BuiltHierarchy`]-style
+//! package — graph, policy, per-level subject lists, one attached document
+//! per level — and is **audit-clean by construction**: information flows up
+//! only, so the monitor, the linter, the flow closure and the incremental
+//! and parallel engines must all agree it is secure. Scenarios are
+//! deterministic in `(family, scale, seed)`: the same configuration always
+//! renders byte-identical `.tg`/`.pol`/`.tr` text.
+//!
+//! On top of a scenario, [`CampaignKind::Conspiracy`] and
+//! [`CampaignKind::Trojan`] install adversarial machinery (inert `t`/`g`
+//! scaffolding that the static rules *could* exploit) plus a rule trace
+//! whose prefix the monitor permits and whose final downward-flow step it
+//! must refuse — the executable form of the Theorem 5.5 completeness
+//! claim. See [`campaign`] for the exact shapes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+
+pub use campaign::{Campaign, CampaignKind, Verdict};
+
+use tg_graph::ProtectionGraph;
+use tg_hierarchy::policy::render_policy;
+use tg_hierarchy::structure::{lattice_hierarchy, military_hierarchy, BuiltHierarchy};
+use tg_hierarchy::LevelAssignment;
+use tg_sim::prng::Prng;
+
+/// One of the four Logrippo lattice families.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Family {
+    /// Authority levels × category subsets (the Figure 4.2 shape).
+    Military,
+    /// A deep linear chain of levels (Figure 4.1 grown tall).
+    Chain,
+    /// A wide antichain: every level incomparable to every other.
+    Antichain,
+    /// A random DAG of levels with seeded cover density.
+    Dag,
+}
+
+impl Family {
+    /// All four families, in canonical order.
+    pub const ALL: [Family; 4] = [
+        Family::Military,
+        Family::Chain,
+        Family::Antichain,
+        Family::Dag,
+    ];
+
+    /// The family's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Military => "military",
+            Family::Chain => "chain",
+            Family::Antichain => "antichain",
+            Family::Dag => "dag",
+        }
+    }
+
+    /// Parses a CLI name back to a family.
+    pub fn parse(s: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == s)
+    }
+}
+
+impl core::fmt::Display for Family {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parameters of one generated scenario. `scale` is the approximate
+/// subject count; levels, subjects per level and (for
+/// [`Family::Military`]) the compartment count are all derived from it,
+/// so one knob sweeps the whole corpus. `density` bounds the random
+/// cover fan-in of [`Family::Dag`] (ignored by the other families).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GenConfig {
+    /// Which lattice family to build.
+    pub family: Family,
+    /// Approximate total subject count (clamped to at least 8).
+    pub scale: usize,
+    /// Seed for every random choice (dag covers, campaign boundary).
+    pub seed: u64,
+    /// Adversarial campaign to install, if any.
+    pub campaign: Option<CampaignKind>,
+    /// Maximum random covers per level for [`Family::Dag`] (≥ 1).
+    pub density: usize,
+}
+
+impl GenConfig {
+    /// A campaign-free configuration with the default density.
+    pub fn new(family: Family, scale: usize, seed: u64) -> GenConfig {
+        GenConfig {
+            family,
+            scale,
+            seed,
+            campaign: None,
+            density: 2,
+        }
+    }
+
+    /// The same configuration with a campaign installed.
+    pub fn with_campaign(mut self, kind: CampaignKind) -> GenConfig {
+        self.campaign = Some(kind);
+        self
+    }
+}
+
+/// A generated scenario: the graph, its policy, the per-level subject
+/// lists, the per-level document objects, and the optional campaign.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The configuration that produced this scenario.
+    pub config: GenConfig,
+    /// The protection graph.
+    pub graph: ProtectionGraph,
+    /// The classification policy.
+    pub levels: LevelAssignment,
+    /// `subjects[level]` lists that level's subject vertices.
+    pub subjects: Vec<Vec<tg_graph::VertexId>>,
+    /// One attached document object per level.
+    pub docs: Vec<tg_graph::VertexId>,
+    /// The installed campaign, when the configuration requested one.
+    pub campaign: Option<Campaign>,
+}
+
+impl Scenario {
+    /// The graph in the `.tg` text codec (exactly
+    /// [`tg_graph::render_graph`], so parsing and re-rendering is the
+    /// identity on this text).
+    pub fn graph_text(&self) -> String {
+        tg_graph::render_graph(&self.graph)
+    }
+
+    /// The policy in the `.pol` text codec.
+    pub fn policy_text(&self) -> String {
+        render_policy(&self.levels, &self.graph)
+    }
+
+    /// The campaign trace in the `.tr` codec, when a campaign is
+    /// installed. Pure [`tg_rules::codec::encode_derivation`] output:
+    /// decoding and re-encoding is the identity on this text.
+    pub fn trace_text(&self) -> Option<String> {
+        self.campaign
+            .as_ref()
+            .map(|c| tg_rules::codec::encode_derivation(&c.trace))
+    }
+
+    /// Deterministic file stem, e.g. `chain-s48-seed7`.
+    pub fn stem(&self) -> String {
+        format!(
+            "{}-s{}-seed{}",
+            self.config.family, self.config.scale, self.config.seed
+        )
+    }
+}
+
+/// Integer square root (floor), avoiding floats so scale mapping is
+/// bit-exact on every host.
+fn isqrt(n: usize) -> usize {
+    if n < 2 {
+        return n;
+    }
+    let mut x = n;
+    let mut y = n.div_ceil(2);
+    while y < x {
+        x = y;
+        y = (y + n / y) / 2;
+    }
+    x
+}
+
+/// Derived `(levels, per_level)` for the chain/antichain/dag families.
+fn dims(family: Family, scale: usize) -> (usize, usize) {
+    let scale = scale.max(8);
+    let levels = match family {
+        // Deep: stretch the order as far as the scale allows.
+        Family::Chain => (isqrt(scale) * 2).clamp(3, 512),
+        // Wide: as many incomparable compartments as levels.
+        Family::Antichain => (isqrt(scale) * 2).clamp(2, 512),
+        // Irregular: a squarer aspect than the chain.
+        Family::Dag => isqrt(scale).clamp(2, 256),
+        Family::Military => unreachable!("military dims come from the category count"),
+    };
+    (levels, (scale / levels).max(2))
+}
+
+/// The military family's compartment count: the largest `c ≤ 5` whose
+/// lattice (4 authorities × 2^c subsets) still leaves ≥ 2 subjects per
+/// level at this scale.
+fn military_categories(scale: usize) -> usize {
+    let scale = scale.max(8);
+    let mut c = 1;
+    while c < 5 && 4 * (1usize << (c + 1)) * 2 <= scale {
+        c += 1;
+    }
+    c
+}
+
+/// Builds the configured scenario. Deterministic: the same configuration
+/// always yields the same graph, policy and campaign, byte for byte.
+pub fn generate(config: &GenConfig) -> Scenario {
+    let mut rng = Prng::seed_from_u64(config.seed);
+    let mut built = build_family(config, &mut rng);
+    let docs = (0..built.subjects.len())
+        .map(|level| built.attach_object(level, &format!("doc{level}")))
+        .collect();
+    let campaign = config
+        .campaign
+        .map(|kind| campaign::install(kind, &mut built, &mut rng));
+    Scenario {
+        config: *config,
+        graph: built.graph,
+        levels: built.assignment,
+        subjects: built.subjects,
+        docs,
+        campaign,
+    }
+}
+
+fn build_family(config: &GenConfig, rng: &mut Prng) -> BuiltHierarchy {
+    match config.family {
+        Family::Military => {
+            const CATEGORIES: [&str; 5] = ["A", "B", "C", "D", "E"];
+            let c = military_categories(config.scale);
+            let per_level = (config.scale.max(8) / (4 << c)).max(2);
+            military_hierarchy(&CATEGORIES[..c], per_level)
+        }
+        Family::Chain => {
+            let (levels, per_level) = dims(Family::Chain, config.scale);
+            let names: Vec<String> = (0..levels).map(|i| format!("C{i}")).collect();
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            tg_hierarchy::structure::linear_hierarchy(&refs, per_level)
+        }
+        Family::Antichain => {
+            let (levels, per_level) = dims(Family::Antichain, config.scale);
+            let names: Vec<String> = (0..levels).map(|i| format!("A{i}")).collect();
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            lattice_hierarchy(&refs, &[], per_level).expect("an antichain has no cycles")
+        }
+        Family::Dag => {
+            let (levels, per_level) = dims(Family::Dag, config.scale);
+            let names: Vec<String> = (0..levels).map(|i| format!("D{i}")).collect();
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            // Random covers from each level down to distinct lower levels;
+            // `(i, j)` with `i > j` keeps the order acyclic by construction.
+            let mut covers = Vec::new();
+            for i in 1..levels {
+                let fan = 1 + rng.below(config.density.max(1));
+                let mut below: Vec<usize> = (0..i).collect();
+                for _ in 0..fan.min(i) {
+                    let k = rng.below(below.len());
+                    covers.push((i, below.swap_remove(k)));
+                }
+            }
+            lattice_hierarchy(&refs, &covers, per_level).expect("downward covers are acyclic")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_config() {
+        for family in Family::ALL {
+            for kind in [
+                None,
+                Some(CampaignKind::Conspiracy),
+                Some(CampaignKind::Trojan),
+            ] {
+                let config = GenConfig {
+                    campaign: kind,
+                    ..GenConfig::new(family, 24, 7)
+                };
+                let a = generate(&config);
+                let b = generate(&config);
+                assert_eq!(a.graph_text(), b.graph_text(), "{family} graph");
+                assert_eq!(a.policy_text(), b.policy_text(), "{family} policy");
+                assert_eq!(a.trace_text(), b.trace_text(), "{family} trace");
+            }
+        }
+    }
+
+    #[test]
+    fn families_have_their_shapes() {
+        let military = generate(&GenConfig::new(Family::Military, 32, 1));
+        assert_eq!(military.subjects.len() % 4, 0, "authorities × subsets");
+        let chain = generate(&GenConfig::new(Family::Chain, 32, 1));
+        let l = chain.levels.len();
+        assert!(chain.levels.higher(l - 1, 0), "chain top dominates bottom");
+        let antichain = generate(&GenConfig::new(Family::Antichain, 32, 1));
+        for a in 0..antichain.levels.len() {
+            for b in 0..antichain.levels.len() {
+                if a != b {
+                    assert!(antichain.levels.incomparable(a, b), "antichain {a} {b}");
+                }
+            }
+        }
+        let dag = generate(&GenConfig::new(Family::Dag, 32, 1));
+        assert!(dag.levels.len() >= 2);
+    }
+
+    #[test]
+    fn scale_reaches_one_hundred_thousand_edges() {
+        // The acceptance criterion: a 10⁵-edge hierarchy, deterministic in
+        // the seed. The chain at scale 50_000 crosses the line.
+        let config = GenConfig::new(Family::Chain, 50_000, 42);
+        let scenario = generate(&config);
+        assert!(
+            scenario.graph.edge_count() >= 100_000,
+            "got {} edges",
+            scenario.graph.edge_count()
+        );
+        let again = generate(&config);
+        assert_eq!(scenario.graph.edge_count(), again.graph.edge_count());
+        assert_eq!(
+            scenario.graph.vertex_count(),
+            again.graph.vertex_count(),
+            "same seed, same graph"
+        );
+    }
+
+    #[test]
+    fn parse_names_round_trip() {
+        for family in Family::ALL {
+            assert_eq!(Family::parse(family.name()), Some(family));
+        }
+        assert_eq!(Family::parse("banana"), None);
+    }
+}

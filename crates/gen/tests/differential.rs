@@ -1,0 +1,247 @@
+//! Corpus-wide differential suite (ISSUE 8 acceptance property).
+//!
+//! 256 proptest cases drawn across all four generator families, with and
+//! without adversarial campaigns, each asserting that every engine in the
+//! workspace agrees on the generated scenario:
+//!
+//! * **monitor vs linter** — clean scenarios audit empty on the
+//!   sequential Corollary 5.6 fold, the parallel sharded audit at
+//!   jobs ∈ {1, 4}, and the incremental engine's maintained set, with
+//!   byte-identical diagnostics (so TG001/TG002 and the monitor cannot
+//!   disagree);
+//! * **lint determinism** — the full default registry produces
+//!   byte-identical diagnostics sequentially and at jobs ∈ {1, 4};
+//! * **flow closure** — `tg_flow::FlowClosure`, the island-sharded
+//!   `tg_par::par_closure` and the per-pair Theorem 3.2 decision agree on
+//!   every `can_know` verdict;
+//! * **Theorem 5.5 completeness at scale** — every generated
+//!   downward-flow campaign is refused by the monitor at exactly the
+//!   expected step, never yields the knower a read right on the secret,
+//!   and is flagged by the linter (TG006 theft exposure for
+//!   conspiracies, TG010 rights laundering for trojans, and a refused
+//!   TG011 step under `tgq plan`'s trace-vetting pass).
+
+use proptest::prelude::*;
+use tg_gen::{generate, CampaignKind, Family, GenConfig, Verdict};
+use tg_hierarchy::{audit_diagnostics, audit_graph, CombinedRestriction, LevelAssignment, Monitor};
+use tg_inc::IncEngine;
+use tg_lint::{LintContext, Registry};
+use tg_par::{par_audit, par_audit_diagnostics, Pool};
+
+const JOB_WIDTHS: [usize; 2] = [1, 4];
+
+/// Sequential/parallel/incremental audit agreement on one state; clean
+/// scenarios must be clean everywhere.
+fn assert_audit_agreement(
+    graph: &tg_graph::ProtectionGraph,
+    levels: &LevelAssignment,
+    label: &str,
+) {
+    let seq_diags = audit_diagnostics(graph, levels, &CombinedRestriction, None);
+    let seq_violations = audit_graph(graph, levels, &CombinedRestriction);
+    prop_assert!(
+        seq_violations.is_empty(),
+        "{label}: corpus scenarios are audit-clean by construction, got {seq_violations:?}"
+    );
+    prop_assert!(seq_diags.is_empty(), "{label}: no TG001/TG002 diagnostics");
+    let engine = IncEngine::new(graph.clone(), levels.clone(), Box::new(CombinedRestriction));
+    prop_assert_eq!(
+        engine.violations(),
+        seq_violations.clone(),
+        "{}: incremental maintained set",
+        label
+    );
+    for jobs in JOB_WIDTHS {
+        let pool = Pool::new(jobs);
+        let par_diags = par_audit_diagnostics(graph, levels, &CombinedRestriction, None, &pool);
+        prop_assert_eq!(
+            format!("{par_diags:#?}"),
+            format!("{seq_diags:#?}"),
+            "{}: audit diagnostics at jobs={}",
+            label,
+            jobs
+        );
+        prop_assert_eq!(
+            par_audit(graph, levels, &CombinedRestriction, &pool),
+            seq_violations.clone(),
+            "{}: violations at jobs={}",
+            label,
+            jobs
+        );
+    }
+}
+
+/// Full-registry lint agreement: byte-identical sequentially and at
+/// every job width; returns the sequential diagnostics for inspection.
+fn assert_lint_agreement(
+    graph: &tg_graph::ProtectionGraph,
+    levels: &LevelAssignment,
+    label: &str,
+) -> Vec<tg_lint::Diagnostic> {
+    let registry = Registry::with_default_lints();
+    let cx = LintContext::new(graph, Some(levels), None);
+    let seq = registry.run(&cx);
+    for jobs in JOB_WIDTHS {
+        let pool = Pool::new(jobs);
+        let par = registry.run_parallel(&cx, &pool);
+        prop_assert_eq!(
+            format!("{par:#?}"),
+            format!("{seq:#?}"),
+            "{}: lint diagnostics at jobs={}",
+            label,
+            jobs
+        );
+    }
+    seq
+}
+
+/// Flow-closure agreement: whole-graph closure, parallel closure and the
+/// per-pair Theorem 3.2 decision all answer alike.
+fn assert_flow_agreement(graph: &tg_graph::ProtectionGraph, label: &str) {
+    let seq = tg_flow::FlowClosure::compute(graph);
+    for jobs in JOB_WIDTHS {
+        let par = tg_par::par_closure(graph, &Pool::new(jobs));
+        for x in graph.vertex_ids() {
+            for y in graph.vertex_ids() {
+                prop_assert_eq!(
+                    par.can_know(x, y),
+                    seq.can_know(x, y),
+                    "{}: par_closure jobs={} at ({}, {})",
+                    label,
+                    jobs,
+                    x,
+                    y
+                );
+            }
+        }
+    }
+    // Per-pair oracle over a deterministic sample (the full quadratic
+    // loop per case would dominate the suite's runtime).
+    let n = graph.vertex_count();
+    for i in 0..24usize {
+        let x = tg_graph::VertexId::from_index((i * 5) % n);
+        let y = tg_graph::VertexId::from_index((i * 11 + 3) % n);
+        if x != y {
+            prop_assert_eq!(
+                seq.can_know(x, y),
+                tg_analysis::can_know(graph, x, y),
+                "{}: closure vs per-pair at ({}, {})",
+                label,
+                x,
+                y
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Zero monitor/lint/inc/par/flow disagreements across the corpus,
+    /// and zero downward-flow campaigns admitted by the monitor or
+    /// missed by the linter.
+    #[test]
+    fn corpus_engines_agree_and_campaigns_are_refused(
+        (family_idx, scale, seed, campaign_idx) in
+            (0usize..4, 8usize..21, 0u64..1_000_000, 0usize..3)
+    ) {
+        let family = Family::ALL[family_idx];
+        let campaign = match campaign_idx {
+            0 => None,
+            1 => Some(CampaignKind::Conspiracy),
+            _ => Some(CampaignKind::Trojan),
+        };
+        let config = GenConfig {
+            campaign,
+            ..GenConfig::new(family, scale, seed)
+        };
+        let scenario = generate(&config);
+        let label = format!(
+            "{family} scale={scale} seed={seed} campaign={campaign:?}"
+        );
+        // Small enough that no lint pass is cap-skipped: TG006 caps at
+        // 64 vertices, TG009/TG010 at 256.
+        prop_assert!(scenario.graph.vertex_count() <= 64, "{label}: under lint caps");
+
+        assert_audit_agreement(&scenario.graph, &scenario.levels, &label);
+        let lint = assert_lint_agreement(&scenario.graph, &scenario.levels, &label);
+        assert_flow_agreement(&scenario.graph, &label);
+
+        match &scenario.campaign {
+            None => {
+                // A campaign-free scenario realizes its policy exactly:
+                // the full registry finds nothing to say.
+                prop_assert!(
+                    lint.is_empty(),
+                    "{label}: clean scenario lints clean, got {lint:#?}"
+                );
+            }
+            Some(campaign) => {
+                // Monitor side of Theorem 5.5: the trace replays to its
+                // expected verdicts and the knower never obtains a read
+                // right on the secret.
+                let mut monitor = Monitor::new(
+                    scenario.graph.clone(),
+                    scenario.levels.clone(),
+                    Box::new(CombinedRestriction),
+                );
+                let verdicts: Vec<Verdict> = campaign
+                    .trace
+                    .steps
+                    .iter()
+                    .map(|rule| match monitor.try_apply(rule) {
+                        Ok(_) => Verdict::Permit,
+                        Err(_) => Verdict::Refuse,
+                    })
+                    .collect();
+                prop_assert_eq!(
+                    verdicts,
+                    campaign.expected.clone(),
+                    "{}: per-step verdicts",
+                    label
+                );
+                prop_assert!(
+                    !monitor.graph().has_any(
+                        campaign.knower,
+                        campaign.secret,
+                        tg_graph::Right::Read
+                    ),
+                    "{label}: the downward flow was admitted"
+                );
+                // The replayed state is still a corpus state: all engines
+                // keep agreeing after the permitted prefix landed.
+                assert_audit_agreement(monitor.graph(), monitor.levels(), &label);
+
+                // Linter side: the latent channel is flagged.
+                let expected_code = match campaign.kind {
+                    CampaignKind::Conspiracy => "TG006",
+                    CampaignKind::Trojan => "TG010",
+                };
+                prop_assert!(
+                    lint.iter().any(|d| d.code == expected_code),
+                    "{label}: linter must flag the campaign with {expected_code}, got {lint:#?}"
+                );
+
+                // `tgq plan` side: static trace vetting refuses the final
+                // step before anything runs.
+                let registry = {
+                    let mut r = Registry::empty();
+                    r.register(Box::new(tg_lint::passes::RefusedTraceStep));
+                    r
+                };
+                let cx = LintContext::new(&scenario.graph, Some(&scenario.levels), None)
+                    .with_trace(&campaign.trace);
+                let plan = registry.run(&cx);
+                prop_assert_eq!(plan.len(), 1, "{}: one refused step", label);
+                prop_assert_eq!(plan[0].code, "TG011", "{}", label);
+                prop_assert!(
+                    plan[0]
+                        .message
+                        .contains(&format!("refuses step {}", campaign.trace.len())),
+                    "{label}: the refusal is the final step, got {:?}",
+                    plan[0].message
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Committed corpus fixtures stay in lock-step with the generators.
+//!
+//! `examples/graphs/corpus/` holds small pinned-seed scenarios (one per
+//! family, plus one trojan and one conspiracy campaign) that the CI
+//! `corpus-smoke` job runs `tgq audit`/`lint`/`plan` over. This test
+//! regenerates each from its recorded configuration and asserts the
+//! committed bytes match — regenerate with `UPDATE_GOLDEN=1` after an
+//! intentional generator change.
+
+use std::path::PathBuf;
+
+use tg_gen::{generate, CampaignKind, Family, GenConfig};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/graphs/corpus")
+}
+
+/// The committed corpus: `(fixture stem, configuration)`. Scale 12 and
+/// seed 1 keep every fixture small enough to eyeball in review.
+fn fixtures() -> Vec<(&'static str, GenConfig)> {
+    vec![
+        ("military-small", GenConfig::new(Family::Military, 12, 1)),
+        ("chain-small", GenConfig::new(Family::Chain, 12, 1)),
+        ("antichain-small", GenConfig::new(Family::Antichain, 12, 1)),
+        ("dag-small", GenConfig::new(Family::Dag, 12, 1)),
+        (
+            "trojan-chain",
+            GenConfig::new(Family::Chain, 12, 1).with_campaign(CampaignKind::Trojan),
+        ),
+        (
+            "conspiracy-military",
+            GenConfig::new(Family::Military, 12, 1).with_campaign(CampaignKind::Conspiracy),
+        ),
+    ]
+}
+
+fn check(stem: &str, ext: &str, generated: &str) {
+    let path = corpus_dir().join(format!("{stem}.{ext}"));
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(corpus_dir()).unwrap();
+        std::fs::write(&path, generated).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); bless with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        committed,
+        generated,
+        "{} drifted from its generator; bless with UPDATE_GOLDEN=1",
+        path.display()
+    );
+}
+
+#[test]
+fn committed_corpus_matches_generators() {
+    for (stem, config) in fixtures() {
+        let scenario = generate(&config);
+        check(stem, "tg", &scenario.graph_text());
+        check(stem, "pol", &scenario.policy_text());
+        match scenario.trace_text() {
+            Some(trace) => check(stem, "tr", &trace),
+            None => assert!(
+                !corpus_dir().join(format!("{stem}.tr")).exists(),
+                "{stem}: campaign-free fixtures have no trace"
+            ),
+        }
+    }
+}

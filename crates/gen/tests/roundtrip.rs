@@ -1,0 +1,133 @@
+//! Round-trip property suite (ISSUE 8 satellite 1).
+//!
+//! Every artifact a scenario emits — the `.tg` graph, the `.pol` policy
+//! and the `.tr` campaign trace — must survive a parse → re-encode cycle
+//! byte-identically, so generated corpora can be committed as fixtures,
+//! shipped through `tgq gen --out`, and reloaded by any consumer without
+//! drift. Campaign traces additionally replay under `tgq plan`'s monitor
+//! semantics to exactly the expected per-step verdicts *after* the
+//! round-trip, proving the codec preserves rule meaning, not just bytes.
+
+use proptest::prelude::*;
+use tg_gen::{generate, CampaignKind, Family, GenConfig, Verdict};
+use tg_graph::{parse_graph_with_spans, render_graph};
+use tg_hierarchy::policy::{parse_policy, render_policy};
+use tg_hierarchy::{CombinedRestriction, Monitor};
+use tg_rules::codec::{decode_derivation, encode_derivation};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `.tg` and `.pol` re-encode byte-identically for every family,
+    /// with or without campaign scaffolding.
+    #[test]
+    fn graph_and_policy_round_trip(
+        (family_idx, scale, seed, campaign_idx) in
+            (0usize..4, 8usize..21, 0u64..1_000_000, 0usize..3)
+    ) {
+        let family = Family::ALL[family_idx];
+        let campaign = match campaign_idx {
+            0 => None,
+            1 => Some(CampaignKind::Conspiracy),
+            _ => Some(CampaignKind::Trojan),
+        };
+        let config = GenConfig {
+            campaign,
+            ..GenConfig::new(family, scale, seed)
+        };
+        let scenario = generate(&config);
+        let label = format!("{family} scale={scale} seed={seed} campaign={campaign:?}");
+
+        let graph_text = scenario.graph_text();
+        let (parsed, _spans) = parse_graph_with_spans(&graph_text)
+            .unwrap_or_else(|e| panic!("{label}: .tg must parse, got {e}"));
+        prop_assert_eq!(
+            render_graph(&parsed),
+            graph_text.clone(),
+            "{}: .tg re-encode",
+            label
+        );
+
+        let policy_text = scenario.policy_text();
+        let parsed_levels = parse_policy(&policy_text, &parsed)
+            .unwrap_or_else(|e| panic!("{label}: .pol must parse, got {e}"));
+        prop_assert_eq!(
+            render_policy(&parsed_levels, &parsed),
+            policy_text,
+            "{}: .pol re-encode",
+            label
+        );
+        // The parsed assignment is the generated one, not merely a
+        // text-stable sibling.
+        for (v, level) in scenario.levels.assignments() {
+            prop_assert_eq!(
+                parsed_levels.level_of(v),
+                Some(level),
+                "{}: level of {}",
+                label,
+                v
+            );
+        }
+    }
+
+    /// `.tr` re-encodes byte-identically, and the decoded trace replays
+    /// on the decoded graph to the campaign's expected verdicts — the
+    /// committed artifacts alone reproduce the refusal.
+    #[test]
+    fn campaign_trace_round_trips_and_replays(
+        (family_idx, scale, seed, kind_idx) in
+            (0usize..4, 8usize..21, 0u64..1_000_000, 0usize..2)
+    ) {
+        let family = Family::ALL[family_idx];
+        let kind = if kind_idx == 0 {
+            CampaignKind::Conspiracy
+        } else {
+            CampaignKind::Trojan
+        };
+        let config = GenConfig::new(family, scale, seed).with_campaign(kind);
+        let scenario = generate(&config);
+        let campaign = scenario.campaign.as_ref().expect("campaign requested");
+        let label = format!("{family} scale={scale} seed={seed} kind={kind}");
+
+        let trace_text = scenario.trace_text().expect("campaign scenarios carry a trace");
+        let decoded = decode_derivation(&trace_text)
+            .unwrap_or_else(|e| panic!("{label}: .tr must parse, got {e}"));
+        prop_assert_eq!(
+            encode_derivation(&decoded),
+            trace_text,
+            "{}: .tr re-encode",
+            label
+        );
+        prop_assert_eq!(
+            decoded.steps.clone(),
+            campaign.trace.steps.clone(),
+            "{}: decoded steps",
+            label
+        );
+
+        // Reconstruct the whole monitored run from artifacts only.
+        let (graph, _spans) = parse_graph_with_spans(&scenario.graph_text()).unwrap();
+        let levels = parse_policy(&scenario.policy_text(), &graph).unwrap();
+        let mut monitor = Monitor::new(graph, levels, Box::new(CombinedRestriction));
+        let verdicts: Vec<Verdict> = decoded
+            .steps
+            .iter()
+            .map(|rule| match monitor.try_apply(rule) {
+                Ok(_) => Verdict::Permit,
+                Err(_) => Verdict::Refuse,
+            })
+            .collect();
+        prop_assert_eq!(
+            verdicts,
+            campaign.expected.clone(),
+            "{}: replay from artifacts",
+            label
+        );
+        prop_assert_eq!(
+            campaign.expected.last(),
+            Some(&Verdict::Refuse),
+            "{}: campaigns end refused",
+            label
+        );
+    }
+}

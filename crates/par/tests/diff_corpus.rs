@@ -1,0 +1,151 @@
+//! Corpus-drawn differential suite (ISSUE 8 satellite): the `diff_par`
+//! identities re-proven over the **generator families** instead of the
+//! random-noise hierarchies.
+//!
+//! 256 cases draw a scenario from one of the four `tg-gen` lattice
+//! shapes (military, chain, antichain, dag), with or without adversarial
+//! campaign scaffolding, and assert at jobs ∈ {1, 4}:
+//!
+//! * `par_audit_diagnostics` byte-identical to the sequential
+//!   [`tg_hierarchy::audit_diagnostics`] (full `Debug` rendering);
+//! * `par_audit` equal to both the sequential Corollary 5.6 fold and
+//!   the incremental `tg_inc` engine's maintained violation set;
+//! * batched `par_queries` equal to the sequential [`seq_queries`] over
+//!   the same cross-level request vector;
+//! * all of the above again after a transactional batch rollback and
+//!   after a committed batch, so the engines agree on evolved states,
+//!   not just freshly generated ones.
+
+use proptest::prelude::*;
+use tg_gen::{generate, CampaignKind, Family, GenConfig};
+use tg_graph::{Right, Rights, VertexId};
+use tg_hierarchy::{audit_diagnostics, audit_graph, CombinedRestriction, LevelAssignment};
+use tg_inc::IncEngine;
+use tg_par::{par_audit, par_audit_diagnostics, par_queries, seq_queries, Pool, Query};
+
+const JOB_WIDTHS: [usize; 2] = [1, 4];
+
+/// A deterministic query batch touching every vertex: all three
+/// predicate families over a spread of (x, y) pairs.
+fn query_batch(n: usize) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for i in 0..n.min(24) {
+        let x = VertexId::from_index(i % n);
+        let y = VertexId::from_index((i * 7 + 3) % n);
+        queries.push(Query::CanShare(Right::Read, x, y));
+        queries.push(Query::CanKnow(y, x));
+        queries.push(Query::CanSteal(Right::Write, x, y));
+    }
+    queries
+}
+
+/// Asserts every parallel answer equals its sequential oracle on the
+/// current graph state, at every job width.
+fn assert_par_matches(
+    graph: &tg_graph::ProtectionGraph,
+    levels: &LevelAssignment,
+    oracle_violations: &[tg_hierarchy::Violation],
+    label: &str,
+) {
+    let seq_diags = audit_diagnostics(graph, levels, &CombinedRestriction, None);
+    let seq_violations = audit_graph(graph, levels, &CombinedRestriction);
+    assert_eq!(
+        seq_violations, oracle_violations,
+        "{label}: sequential audit vs incremental oracle"
+    );
+    let queries = query_batch(graph.vertex_count());
+    let seq_answers = seq_queries(graph, &queries);
+    for jobs in JOB_WIDTHS {
+        let pool = Pool::new(jobs);
+        let par_diags = par_audit_diagnostics(graph, levels, &CombinedRestriction, None, &pool);
+        assert_eq!(
+            format!("{par_diags:#?}"),
+            format!("{seq_diags:#?}"),
+            "{label}: diagnostics at jobs={jobs}"
+        );
+        assert_eq!(
+            par_audit(graph, levels, &CombinedRestriction, &pool),
+            seq_violations,
+            "{label}: violations at jobs={jobs}"
+        );
+        assert_eq!(
+            par_queries(graph, &queries, &pool),
+            seq_answers,
+            "{label}: query answers at jobs={jobs}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Parallel output byte-identical to sequential on every generator
+    /// family, fresh and across a rollback/commit cycle.
+    #[test]
+    fn corpus_scenarios_evaluate_identically_at_every_width(
+        (family_idx, scale, seed, campaign_idx) in
+            (0usize..4, 8usize..24, 0u64..1_000_000, 0usize..3)
+    ) {
+        let family = Family::ALL[family_idx];
+        let campaign = match campaign_idx {
+            0 => None,
+            1 => Some(CampaignKind::Conspiracy),
+            _ => Some(CampaignKind::Trojan),
+        };
+        let config = GenConfig {
+            campaign,
+            ..GenConfig::new(family, scale, seed)
+        };
+        let scenario = generate(&config);
+        let label = format!("{family} scale={scale} seed={seed} campaign={campaign:?}");
+
+        // Independent oracle: the incremental engine's maintained
+        // violation set over the same starting state.
+        let mut engine = IncEngine::new(
+            scenario.graph.clone(),
+            scenario.levels.clone(),
+            Box::new(CombinedRestriction),
+        );
+        assert_par_matches(
+            engine.graph(),
+            engine.levels(),
+            &engine.violations(),
+            &format!("{label} fresh"),
+        );
+
+        // Mutate through a transactional batch, then roll it back: the
+        // restored state must satisfy the same identities.
+        let n = engine.graph().vertex_count();
+        engine.begin_batch();
+        for k in 0..4usize {
+            let src = VertexId::from_index((seed as usize + k) % n);
+            let dst = VertexId::from_index((seed as usize + 3 * k + 1) % n);
+            if src != dst {
+                let _ = engine.add_edge(src, dst, if k % 2 == 0 { Rights::R } else { Rights::W });
+            }
+        }
+        engine.abort_batch();
+        assert_par_matches(
+            engine.graph(),
+            engine.levels(),
+            &engine.violations(),
+            &format!("{label} after rollback"),
+        );
+
+        // And after a *committed* batch: the maintained set tracks the
+        // evolved state, and parallel evaluation follows.
+        engine.begin_batch();
+        let src = VertexId::from_index(seed as usize % n);
+        let dst = VertexId::from_index((seed as usize + 1) % n);
+        if src != dst {
+            let _ = engine.add_edge(src, dst, Rights::R);
+        }
+        engine.commit_batch();
+        assert_par_matches(
+            engine.graph(),
+            engine.levels(),
+            &engine.violations(),
+            &format!("{label} after commit"),
+        );
+    }
+}

@@ -128,6 +128,66 @@ pub fn mixed_trace(graph: &ProtectionGraph, ops: usize, seed: u64) -> Vec<MixedO
         .collect()
 }
 
+/// A corpus-backed mixed workload over a *classified* graph: the same
+/// op mix as [`mixed_trace`], but every query draws its vertex pair from
+/// two **different** levels of `levels` whenever the assignment has two
+/// — cross-level authority questions are the case the hierarchy
+/// machinery exists for, and uniform pairs almost never produce them on
+/// wide corpora. Mutations still apply random (possibly ill-formed)
+/// rules; the monitor refusing some of them is part of the workload.
+/// Deterministic in `(graph, levels, ops, seed)`.
+pub fn corpus_trace(
+    graph: &ProtectionGraph,
+    levels: &tg_hierarchy::LevelAssignment,
+    ops: usize,
+    seed: u64,
+) -> Vec<MixedOp> {
+    let mut rng = Prng::seed_from_u64(seed);
+    // Vertices grouped by level, in vertex-index order (deterministic).
+    let mut by_level: Vec<Vec<VertexId>> = vec![Vec::new(); levels.len()];
+    for (v, level) in levels.assignments() {
+        by_level[level].push(v);
+    }
+    by_level.retain(|vs| !vs.is_empty());
+    let n = graph.vertex_count().max(1);
+    let pick_pair = |rng: &mut Prng| -> (VertexId, VertexId) {
+        if by_level.len() >= 2 {
+            let la = rng.gen_range(0..by_level.len());
+            let mut lb = rng.gen_range(0..by_level.len() - 1);
+            if lb >= la {
+                lb += 1;
+            }
+            let x = by_level[la][rng.gen_range(0..by_level[la].len())];
+            let y = by_level[lb][rng.gen_range(0..by_level[lb].len())];
+            (x, y)
+        } else {
+            (
+                VertexId::from_index(rng.gen_range(0..n)),
+                VertexId::from_index(rng.gen_range(0..n)),
+            )
+        }
+    };
+    (0..ops)
+        .map(|_| match rng.gen_range(0..10) {
+            0..=4 => MixedOp::Apply(Box::new(crate::gen::random_rule(graph, &mut rng))),
+            5 | 6 => MixedOp::Audit,
+            7 => {
+                let right = Right::from_index(rng.gen_range(0..5) as u8).expect("named right");
+                let (x, y) = pick_pair(&mut rng);
+                MixedOp::CanShare(right, x, y)
+            }
+            8 => {
+                let (x, y) = pick_pair(&mut rng);
+                MixedOp::CanKnow(x, y)
+            }
+            _ => {
+                let (x, y) = pick_pair(&mut rng);
+                MixedOp::SameIsland(x, y)
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +245,29 @@ mod tests {
             .count();
         let queries = trace.len() - mutations - audits;
         assert!(mutations > 0 && audits > 0 && queries > 0);
+    }
+
+    #[test]
+    fn corpus_traces_are_deterministic_and_cross_level() {
+        let built = hierarchy(4, 3);
+        let trace = corpus_trace(&built.graph, &built.assignment, 300, 5);
+        assert_eq!(trace, corpus_trace(&built.graph, &built.assignment, 300, 5));
+        assert_eq!(trace.len(), 300);
+        // Every query pair spans two levels (the assignment has four).
+        for op in &trace {
+            let pair = match op {
+                MixedOp::CanShare(_, x, y) => Some((x, y)),
+                MixedOp::CanKnow(x, y) | MixedOp::SameIsland(x, y) => Some((x, y)),
+                _ => None,
+            };
+            if let Some((x, y)) = pair {
+                assert_ne!(
+                    built.assignment.level_of(*x),
+                    built.assignment.level_of(*y),
+                    "corpus queries are cross-level"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! The trojan laundering campaign, step by step: a grant the policy
+//! permits, a corrupt take the monitor has no grounds to refuse, and the
+//! write-down that Theorem 5.5 finally stops.
+//!
+//! This is the generated counterpart of `examples/graphs/corpus/
+//! trojan-chain.*` (same family, scale, seed): `tg-gen` plants a corrupt
+//! service at the high level, a spy below the boundary, and a dead-drop
+//! courier — then scripts the laundering attempt as a rule trace whose
+//! prefix is level-respecting and whose final step is not. The linter
+//! sees the latent channel statically (TG010, pinned as a golden in
+//! `crates/cli/tests/golden/corpus/trojan-chain.txt`); the monitor
+//! refuses the channel dynamically. Both halves are Theorem 5.5.
+//!
+//! Run with: `cargo run --example trojan`
+
+use take_grant::gen::{generate, CampaignKind, Family, GenConfig, Verdict};
+use take_grant::graph::Right;
+use take_grant::hierarchy::{CombinedRestriction, Monitor};
+use take_grant::lint::{LintContext, Registry};
+
+fn main() {
+    // The committed corpus fixture's exact configuration.
+    let config = GenConfig::new(Family::Chain, 12, 1).with_campaign(CampaignKind::Trojan);
+    let scenario = generate(&config);
+    let campaign = scenario.campaign.as_ref().expect("campaign requested");
+    let g = &scenario.graph;
+    let name = |v| &g.vertex(v).name;
+
+    println!("== the stage ==");
+    println!(
+        "a {}-level chain ({} vertices, {} edges), plus the campaign cast:",
+        scenario.levels.len(),
+        g.vertex_count(),
+        g.edge_count()
+    );
+    println!(
+        "  `trojan-secret` (high) is read-writable by its owning user;\n  \
+         `trojan-srv` is a corrupt high-level service the user can grant to;\n  \
+         `trojan-spy` (low) holds t over the service;\n  \
+         `trojan-courier` (low) is the service's handle to the low side;\n  \
+         `trojan-dropbox` (low) is where the secret is meant to land."
+    );
+
+    // The pure rule system — no monitor — would leak: that latent
+    // channel is exactly what the TG010 lint flags statically.
+    assert!(take_grant::analysis::can_know(
+        g,
+        campaign.knower,
+        campaign.secret
+    ));
+    println!("\n== the linter's verdict, before anything runs ==");
+    let registry = Registry::with_default_lints();
+    let cx = LintContext::new(g, Some(&scenario.levels), None);
+    let diagnostics = registry.run(&cx);
+    let tg010 = diagnostics.iter().filter(|d| d.code == "TG010").count();
+    println!(
+        "{} diagnostics, {tg010} of them rights-laundering (TG010): the \
+         spy CAN come to know the secret under the unrestricted rules.",
+        diagnostics.len()
+    );
+    assert!(tg010 > 0, "the laundering conduit is flagged");
+
+    println!("\n== the campaign, replayed through the monitor ==");
+    let mut monitor = Monitor::new(
+        g.clone(),
+        scenario.levels.clone(),
+        Box::new(CombinedRestriction),
+    );
+    for (i, rule) in campaign.trace.steps.iter().enumerate() {
+        let verdict = monitor.try_apply(rule);
+        match &verdict {
+            Ok(_) => println!("  step {}: {rule}\n          permitted", i + 1),
+            Err(e) => println!("  step {}: {rule}\n          REFUSED: {e}", i + 1),
+        }
+        let expected = campaign.expected[i];
+        assert_eq!(
+            verdict.is_ok(),
+            expected == Verdict::Permit,
+            "step {} verdict must match the campaign script",
+            i + 1
+        );
+    }
+    println!(
+        "\nthe grant and the corrupt take were level-respecting — the \
+         monitor had no grounds to refuse them. The write-down was not."
+    );
+
+    // The acquisition never happened: the spy's view of the secret is
+    // exactly what it was before the campaign.
+    assert!(!monitor
+        .graph()
+        .has_any(campaign.knower, campaign.secret, Right::Read));
+    println!(
+        "after the campaign, {} holds no read over {} — the flow the \
+         linter predicted is the flow the monitor refused (Theorem 5.5).",
+        name(campaign.knower),
+        name(campaign.secret)
+    );
+}

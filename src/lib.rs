@@ -16,6 +16,11 @@
 //!   fixpoint answering every `can_know` pair at once, with typed bridge
 //!   search, minimum conspirator sets, and generation-stamped
 //!   memoization for incremental reuse.
+//! * [`gen`] — the scenario corpus: seeded generators for the four
+//!   order-theoretic lattice families (military compartment lattices,
+//!   deep chains, wide antichains, DAGs of levels) plus adversarial
+//!   conspiracy and trojan campaign traces with expected per-step
+//!   monitor verdicts.
 //! * [`hierarchy`] — the paper's contribution: rw-levels, rwtg-levels, the
 //!   `higher` partial order, security (Theorem 5.2), the de jure rule
 //!   restrictions and the reference monitor (Theorem 5.5, Corollaries
@@ -57,6 +62,7 @@
 pub use tg_analysis as analysis;
 pub use tg_blp as blp;
 pub use tg_flow as flow;
+pub use tg_gen as gen;
 pub use tg_graph as graph;
 pub use tg_hierarchy as hierarchy;
 pub use tg_inc as inc;
