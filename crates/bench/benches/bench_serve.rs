@@ -1,0 +1,88 @@
+//! The daemon soak as a bench target: boot `tg-serve` on a loopback
+//! TCP socket, drive it with concurrent scripted sessions from the
+//! `tg-sim` corpus trace, and record throughput and tail latency.
+//!
+//! Besides the Criterion display, the bench writes the machine-readable
+//! soak summary to `BENCH_serve.json` at the workspace root — the same
+//! shape the acceptance soak test emits — and **panics unless the
+//! daemon's final state is byte-identical to an offline replay of its
+//! commit log** (zero admitted-but-unlogged mutations). The speed
+//! numbers cannot drift away from the durability claim.
+//!
+//! `BENCH_SERVE_SMOKE=1` shrinks the soak (fewer sessions and requests)
+//! for CI; the JSON records the actual session/request counts and the
+//! host parallelism so consumers can tell the two apart.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tg_serve::soak::{run_soak, SoakConfig};
+
+/// Smoke mode: same daemon, smaller soak.
+fn smoke() -> bool {
+    std::env::var_os("BENCH_SERVE_SMOKE").is_some()
+}
+
+fn soak_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("tg-bench-serve-{tag}-{}", std::process::id()))
+}
+
+fn soak_config(tag: &str, sessions: usize, requests_per_session: usize) -> SoakConfig {
+    SoakConfig {
+        sessions,
+        requests_per_session,
+        batch_window: 16,
+        seed: 42,
+        scale: 96,
+        log_dir: soak_dir(tag),
+    }
+}
+
+fn bench_serve(c: &mut Criterion) {
+    // The headline soak: acceptance-sized in full mode, CI-sized under
+    // BENCH_SERVE_SMOKE. Either way the replay-identity invariant is
+    // enforced before any number is reported.
+    let (sessions, per_session) = if smoke() { (8, 40) } else { (32, 320) };
+    let config = soak_config("headline", sessions, per_session);
+    let _ = std::fs::remove_dir_all(&config.log_dir);
+    let report = run_soak(&config).expect("soak run");
+    let _ = std::fs::remove_dir_all(&config.log_dir);
+    assert!(
+        report.replay_identical,
+        "daemon final state diverged from offline replay"
+    );
+    assert_eq!(report.errors, 0, "error verdicts in a generated trace");
+    assert_eq!(report.ok + report.refused, report.requests);
+
+    let json = report.to_json();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!(
+        "soak: {} requests / {} sessions, {:.0} req/s, p50 {}us p99 {}us (summary in {path})",
+        report.requests, report.sessions, report.throughput_rps, report.p50_us, report.p99_us
+    );
+
+    // The Criterion target times a small fixed soak end-to-end (boot,
+    // serve, shutdown, replay-verify) so regressions in any stage of
+    // the daemon lifecycle show up, not just steady-state throughput.
+    let mut group = c.benchmark_group("serve");
+    group.bench_function("soak_4x25", |b| {
+        b.iter(|| {
+            let config = soak_config("iter", 4, 25);
+            let _ = std::fs::remove_dir_all(&config.log_dir);
+            let report = run_soak(criterion::black_box(&config)).expect("soak run");
+            let _ = std::fs::remove_dir_all(&config.log_dir);
+            assert!(report.replay_identical);
+            report.requests
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_serve
+}
+criterion_main!(benches);

@@ -11,7 +11,9 @@
 //! tgq can-know-f <file> <x> <y>
 //! tgq figure <2.1|2.2|3.1|4.1|4.2|5.1|6.1>
 //! tgq monitor <graph> <policy> <trace> [--journal <file>] [--batch] [--log <dir>]
-//! tgq replay <graph> <policy> <journal|log-dir>
+//! tgq replay <graph> <policy> <journal|log-dir> [--dump-state <file>]
+//! tgq serve <graph> <policy> --listen <addr>|--unix <path>   the TGP1 daemon
+//! tgq client --connect <addr>|--unix <path> [--script <file>]
 //! tgq at <log-dir> <epoch> <query...>     query a reconstructed historical state
 //! tgq diff <log-dir> <epoch1> <epoch2>    edge/verdict delta between two epochs
 //! tgq lint <graph> [<policy>] [--format text|json|sarif] [--fix] [--deny <code>]
@@ -60,10 +62,24 @@
 //! mid-chain-corrupted log **fails closed** (exit `1`) on every one of
 //! these commands; only a torn tail (a crashed append) is truncated,
 //! and that truncation is reported.
+//!
+//! `tgq serve` boots the same monitor as a resident daemon speaking the
+//! TGP1 wire protocol (normative spec: `docs/PROTOCOL.md`) over TCP
+//! (`--listen`) or a Unix socket (`--unix`), with every mutation
+//! admission-batched through one gateway and, with `--log <dir>`,
+//! committed through the hash-chained log before the verdict is sent.
+//! `tgq client` drives a running daemon with a line-oriented script
+//! (`ping`, `apply <rule>`, `can-share <right> <x> <y>`, `can-know`,
+//! `same-island`, `audit`, `stats`, `shutdown`); it exits `1` if any
+//! request was answered with an `error` frame. `--dump-state <file>` on
+//! `serve` and `replay` writes the final graph in `tg-graph` text form,
+//! so CI can check a daemon's end state is byte-identical to an offline
+//! recovery of its commit log.
 
 #![forbid(unsafe_code)]
 
 pub mod bench;
+mod serve;
 
 use std::fmt::Write as _;
 
@@ -209,7 +225,24 @@ pub const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "replay",
         args: "<graph> <policy> <journal|log-dir>",
-        flags: &[],
+        flags: &["--dump-state <file>"],
+    },
+    CommandSpec {
+        name: "serve",
+        args: "<graph> <policy>",
+        flags: &[
+            "--listen <addr>",
+            "--unix <path>",
+            "--batch-window <n>",
+            "--log <dir>",
+            "--snap-interval <n>",
+            "--dump-state <file>",
+        ],
+    },
+    CommandSpec {
+        name: "client",
+        args: "",
+        flags: &["--connect <addr>", "--unix <path>", "--script <file>"],
     },
     CommandSpec {
         name: "at",
@@ -902,7 +935,10 @@ fn dispatch(
             }
             Ok(0)
         }
+        "serve" => serve::cmd_serve(&rest, out, pool),
+        "client" => serve::cmd_client(&rest, out),
         "replay" => {
+            let (dump_state, rest) = split_opt(&rest, "--dump-state")?;
             let [graph_path, policy_path, journal_path] = rest.as_slice() else {
                 return Err(usage_of(command));
             };
@@ -1013,6 +1049,11 @@ fn dispatch(
                 g.vertex_count(),
                 g.explicit_edge_count()
             );
+            if let Some(path) = dump_state {
+                std::fs::write(path, render_graph(g))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                let _ = writeln!(out, "recovered state dumped to {path}");
+            }
             Ok(0)
         }
         "at" => {

@@ -1,0 +1,215 @@
+//! The `tgq serve` and `tgq client` subcommands: boot the resident
+//! policy-decision daemon over TCP or a Unix socket, and drive it with
+//! a TGP1 script. The protocol itself lives in `tg-serve` and is
+//! specified in `docs/PROTOCOL.md`; this module is only argument
+//! parsing, lifecycle, and exit codes.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+use tg_hierarchy::policy::parse_policy;
+use tg_hierarchy::CombinedRestriction;
+use tg_serve::{parse_script, run_script, Bind, Client, ServeConfig, Server};
+
+use crate::{load, usage_of, CliError};
+
+/// Parses the `--listen <addr>` / `--unix <path>` pair shared by both
+/// subcommands into a [`Bind`]: exactly one must be present.
+fn parse_bind(command: &str, listen: Option<&str>, unix: Option<&str>) -> Result<Bind, CliError> {
+    match (listen, unix) {
+        (Some(addr), None) => Ok(Bind::Tcp(addr.to_string())),
+        (None, Some(path)) => Ok(Bind::Unix(std::path::PathBuf::from(path))),
+        _ => Err(usage_of(command)),
+    }
+}
+
+/// `tgq serve <graph> <policy> --listen <addr>|--unix <path>`.
+///
+/// Boots the daemon, prints one readiness line **directly to stdout**
+/// (the caller buffers `out` until exit, and a parent process waiting
+/// to connect needs the line now), then blocks until a protocol
+/// `Shutdown` frame stops the gateway. The post-mortem summary goes to
+/// `out` like any other command's output.
+pub(crate) fn cmd_serve(
+    rest: &[&str],
+    out: &mut String,
+    pool: &tg_par::Pool,
+) -> Result<u8, CliError> {
+    let (listen, rest) = crate::split_opt(rest, "--listen")?;
+    let (unix, rest) = crate::split_opt(&rest, "--unix")?;
+    let (batch_window_raw, rest) = crate::split_opt(&rest, "--batch-window")?;
+    let (log_dir, rest) = crate::split_opt(&rest, "--log")?;
+    let (snap_interval, rest) = crate::split_opt(&rest, "--snap-interval")?;
+    let (dump_state, rest) = crate::split_opt(&rest, "--dump-state")?;
+    let [graph_path, policy_path] = rest.as_slice() else {
+        return Err(usage_of("serve"));
+    };
+    let bind = parse_bind("serve", listen, unix)?;
+    let batch_window: usize = match batch_window_raw {
+        None => 16,
+        Some(raw) => {
+            let n = raw.parse().map_err(|_| {
+                CliError::Usage(format!("--batch-window expects a number, got {raw:?}"))
+            })?;
+            if n == 0 {
+                return Err(CliError::Usage(
+                    "--batch-window must be at least 1".to_string(),
+                ));
+            }
+            n
+        }
+    };
+    if snap_interval.is_some() && log_dir.is_none() {
+        return Err(CliError::Usage(
+            "--snap-interval only makes sense with --log <dir>".to_string(),
+        ));
+    }
+    let interval: u64 = match snap_interval {
+        None => 64,
+        Some(raw) => raw.parse().map_err(|_| {
+            CliError::Usage(format!("--snap-interval expects a number, got {raw:?}"))
+        })?,
+    };
+
+    let g = load(graph_path)?;
+    let policy_text = std::fs::read_to_string(policy_path)
+        .map_err(|e| format!("cannot read {policy_path}: {e}"))?;
+    let levels = parse_policy(&policy_text, &g).map_err(|e| format!("{policy_path}: {e}"))?;
+
+    // With --log every admission is committed through the hash-chained
+    // log in <dir>, exactly like `tgq monitor --log`: a fresh directory
+    // starts a chain from these seed files, an existing one is
+    // recovered and continued (its genesis must match, so a log from
+    // another system is rejected).
+    let (log, monitor) = match log_dir {
+        None => (
+            None,
+            tg_hierarchy::Monitor::new(g, levels, Box::new(CombinedRestriction)),
+        ),
+        Some(dir) => {
+            let config = tg_log::LogConfig {
+                snapshot_interval: interval,
+                write_through: false,
+            };
+            let store = tg_log::DirStore::open(dir).map_err(|e| e.to_string())?;
+            let fresh = !store.dir().join(tg_log::CHAIN_FILE).exists();
+            if fresh {
+                let (log, monitor) = tg_log::CommitLog::create(
+                    Box::new(store),
+                    g,
+                    levels,
+                    Box::new(CombinedRestriction),
+                    config,
+                )
+                .map_err(|e| format!("{dir}: {e}"))?;
+                let _ = writeln!(out, "commit log created in {dir}");
+                (Some(log), monitor)
+            } else {
+                let genesis = tg_log::seed_digest(&g, &levels);
+                let (log, monitor, report) = tg_log::CommitLog::open(
+                    Box::new(store),
+                    Box::new(CombinedRestriction),
+                    config,
+                    Some(genesis),
+                )
+                .map_err(|e| format!("{dir}: {e}"))?;
+                let _ = writeln!(
+                    out,
+                    "commit log resumed at epoch {} (snapshot {} + {} replayed)",
+                    report.end_epoch, report.snapshot_epoch, report.replayed
+                );
+                (Some(log), monitor)
+            }
+        }
+    };
+
+    let server = Server::start(bind, monitor, log, ServeConfig { batch_window }, *pool)
+        .map_err(CliError::Fail)?;
+    println!("listening on {} (TGP1)", server.local_addr());
+    let _ = std::io::stdout().flush();
+
+    let (report, monitor, log) = server.join().map_err(CliError::Fail)?;
+    let _ = writeln!(
+        out,
+        "served {} frames over {} sessions ({} protocol errors)",
+        report.frames, report.sessions, report.protocol_errors
+    );
+    let _ = writeln!(
+        out,
+        "{} admission batches, {} refusals",
+        report.batches, report.refusals
+    );
+    let stats = monitor.stats();
+    let _ = writeln!(
+        out,
+        "{} permitted, {} denied, {} malformed, {} refused",
+        stats.permitted, stats.denied, stats.malformed, stats.refused
+    );
+    if let Some(log) = &log {
+        let _ = writeln!(
+            out,
+            "commit log at epoch {} ({} snapshot(s), head {})",
+            log.end_epoch(),
+            log.snapshot_epochs().len(),
+            tg_log::hex16(log.head_hash())
+        );
+    }
+    if let Some(path) = dump_state {
+        let rendered = tg_graph::render_graph(monitor.graph());
+        std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "final state dumped to {path}");
+    }
+    Ok(0)
+}
+
+/// `tgq client --connect <addr>|--unix <path> [--script <file>]`.
+///
+/// Connects, performs the TGP1 preamble, runs the script (from the
+/// file, or stdin when no `--script`), and prints one line per
+/// response. Exit `0` when every request was answered `ok` or
+/// `refused` (a refusal is a verdict, not a failure), `1` when any
+/// answer was an `error` frame or the transport failed.
+pub(crate) fn cmd_client(rest: &[&str], out: &mut String) -> Result<u8, CliError> {
+    let (connect, rest) = crate::split_opt(rest, "--connect")?;
+    let (unix, rest) = crate::split_opt(&rest, "--unix")?;
+    let (script_path, rest) = crate::split_opt(&rest, "--script")?;
+    if !rest.is_empty() {
+        return Err(usage_of("client"));
+    }
+    let bind = parse_bind("client", connect, unix)?;
+    let text = match script_path {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        }
+        None => {
+            let mut buf = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buf
+        }
+    };
+    let lines = parse_script(&text).map_err(CliError::Fail)?;
+    let mut client = match &bind {
+        Bind::Tcp(addr) => Client::connect_tcp(addr).map_err(CliError::Fail)?,
+        Bind::Unix(path) => {
+            #[cfg(unix)]
+            {
+                Client::connect_unix(path).map_err(CliError::Fail)?
+            }
+            #[cfg(not(unix))]
+            {
+                return Err(CliError::Fail(format!(
+                    "cannot connect {}: unix sockets are unsupported on this platform",
+                    path.display()
+                )));
+            }
+        }
+    };
+    let outcome = run_script(&mut client, &lines, out).map_err(CliError::Fail)?;
+    let _ = writeln!(
+        out,
+        "{} ok, {} refused, {} errors",
+        outcome.ok, outcome.refused, outcome.errors
+    );
+    Ok(u8::from(outcome.errors > 0))
+}

@@ -165,6 +165,17 @@ impl Scenario {
             .map(|c| tg_rules::codec::encode_derivation(&c.trace))
     }
 
+    /// Every subject's display name, level by level in creation order —
+    /// the principals a `tg-serve` soak run impersonates, one session
+    /// per name slice.
+    pub fn principal_names(&self) -> Vec<String> {
+        self.subjects
+            .iter()
+            .flatten()
+            .map(|&v| self.graph.vertex(v).name.clone())
+            .collect()
+    }
+
     /// Deterministic file stem, e.g. `chain-s48-seed7`.
     pub fn stem(&self) -> String {
         format!(

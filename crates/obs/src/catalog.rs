@@ -78,11 +78,21 @@ pub enum SpanKind {
     LintRefusedTraceStep = 31,
     /// One island-sharded parallel flow closure.
     ParClosure = 32,
+    /// One accepted daemon connection, preamble check included.
+    ServeAccept = 33,
+    /// One wire frame read, decoded and routed to the gateway.
+    ServeFrame = 34,
+    /// One admission batch through `Monitor::try_apply_all` (plus the
+    /// sequential verdict-attribution replay when the batch aborts).
+    ServeBatch = 35,
+    /// One gateway flush cycle: admission batch, snapshot opportunity,
+    /// incremental re-audit.
+    ServeFlush = 36,
 }
 
 impl SpanKind {
     /// Number of span kinds (ids are `0..COUNT`).
-    pub const COUNT: usize = 33;
+    pub const COUNT: usize = 37;
 
     /// Every kind, in id order.
     pub const ALL: &'static [SpanKind] = &[
@@ -119,6 +129,10 @@ impl SpanKind {
         SpanKind::LintRightsLaundering,
         SpanKind::LintRefusedTraceStep,
         SpanKind::ParClosure,
+        SpanKind::ServeAccept,
+        SpanKind::ServeFrame,
+        SpanKind::ServeBatch,
+        SpanKind::ServeFlush,
     ];
 
     /// The stable id (the `repr` discriminant).
@@ -162,6 +176,10 @@ impl SpanKind {
             SpanKind::LintRightsLaundering => "lint.rights_laundering",
             SpanKind::LintRefusedTraceStep => "lint.refused_trace_step",
             SpanKind::ParClosure => "par.closure",
+            SpanKind::ServeAccept => "serve.accept",
+            SpanKind::ServeFrame => "serve.frame",
+            SpanKind::ServeBatch => "serve.batch",
+            SpanKind::ServeFlush => "serve.flush",
         }
     }
 
@@ -208,6 +226,10 @@ impl SpanKind {
             SpanKind::LintRightsLaundering => "TG010 rights-laundering exposure",
             SpanKind::LintRefusedTraceStep => "TG011 static trace vetting (tgq plan)",
             SpanKind::ParClosure => "island-sharded parallel flow closure",
+            SpanKind::ServeAccept => "one accepted daemon connection (TGP1 preamble)",
+            SpanKind::ServeFrame => "one wire frame read, decode, route",
+            SpanKind::ServeBatch => "one admission batch (Cor 5.7 checks en bloc)",
+            SpanKind::ServeFlush => "one gateway flush: batch + snapshot + re-audit",
         }
     }
 
@@ -273,11 +295,23 @@ pub enum Counter {
     /// Trace steps a static `tgq plan` vetting found the monitor would
     /// refuse.
     PlanRefusals = 23,
+    /// Daemon sessions opened (accepted connections with a valid
+    /// preamble). With [`Counter::ServeSessionsClosed`] this is the
+    /// in-flight session gauge: open − closed = live now.
+    ServeSessionsOpened = 24,
+    /// Daemon sessions closed (EOF, error, or shutdown drain).
+    ServeSessionsClosed = 25,
+    /// Wire frames the daemon read and routed.
+    ServeFrames = 26,
+    /// Admission batches the gateway flushed.
+    ServeBatches = 27,
+    /// Mutations the gateway's monitor refused.
+    ServeRefusals = 28,
 }
 
 impl Counter {
     /// Number of counters (ids are `0..COUNT`).
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 29;
 
     /// Every counter, in id order.
     pub const ALL: &'static [Counter] = &[
@@ -305,6 +339,11 @@ impl Counter {
         Counter::FlowClosures,
         Counter::FlowIslandsReused,
         Counter::PlanRefusals,
+        Counter::ServeSessionsOpened,
+        Counter::ServeSessionsClosed,
+        Counter::ServeFrames,
+        Counter::ServeBatches,
+        Counter::ServeRefusals,
     ];
 
     /// The stable id (the `repr` discriminant).
@@ -339,6 +378,11 @@ impl Counter {
             Counter::FlowClosures => "flow.closures",
             Counter::FlowIslandsReused => "flow.islands_reused",
             Counter::PlanRefusals => "cli.plan_refusals",
+            Counter::ServeSessionsOpened => "serve.sessions_opened",
+            Counter::ServeSessionsClosed => "serve.sessions_closed",
+            Counter::ServeFrames => "serve.frames",
+            Counter::ServeBatches => "serve.batches",
+            Counter::ServeRefusals => "serve.refusals",
         }
     }
 
@@ -376,6 +420,11 @@ impl Counter {
             Counter::FlowClosures => "whole-graph flow closures assembled (Thm 5.5)",
             Counter::FlowIslandsReused => "island take-reaches served from cache",
             Counter::PlanRefusals => "trace steps statically refused by tgq plan",
+            Counter::ServeSessionsOpened => "daemon sessions opened (in-flight = opened - closed)",
+            Counter::ServeSessionsClosed => "daemon sessions closed",
+            Counter::ServeFrames => "wire frames read and routed",
+            Counter::ServeBatches => "admission batches flushed",
+            Counter::ServeRefusals => "daemon mutations refused by the monitor",
         }
     }
 

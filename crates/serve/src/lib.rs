@@ -1,0 +1,47 @@
+//! `tg-serve`: a resident Take-Grant policy-decision daemon.
+//!
+//! The workspace's other crates answer policy questions in one process,
+//! one invocation at a time. This crate keeps a [`Monitor`] resident
+//! and lets many clients share it over a socket, without weakening any
+//! guarantee the monitor gives:
+//!
+//! - **One choke point.** Every request — mutation or query — funnels
+//!   through the [`gateway::Gateway`], in a single canonical serial
+//!   order. There is no second path to the monitor.
+//! - **A hand-rolled wire protocol.** [`proto`] implements TGP1, a
+//!   length-prefixed binary framing over TCP or Unix sockets whose
+//!   payloads are the workspace's existing text codecs. The normative
+//!   spec lives in `docs/PROTOCOL.md`; `tests/conformance.rs` pins this
+//!   implementation to that document byte for byte.
+//! - **Admission batching.** Pending mutations coalesce into one
+//!   transactional [`Monitor::try_apply_all`] plus one incremental
+//!   re-audit, with exact per-request verdict attribution when the
+//!   batch aborts and rolls back ([`gateway`]).
+//! - **Fail-closed durability.** With a commit log attached, an
+//!   admission is acknowledged only after the `tg-log` chain accepts
+//!   it; a persistence failure flips the gateway into a degraded mode
+//!   that refuses all further mutations.
+//! - **Proof under load.** [`soak`] boots a real daemon, drives it from
+//!   dozens of concurrent sessions, and cross-checks the final state
+//!   against an offline replay of the commit log.
+//!
+//! `tgq serve` and `tgq client` (in the CLI crate) are thin wrappers
+//! over [`server::Server`] and [`client::Client`].
+//!
+//! [`Monitor`]: tg_hierarchy::Monitor
+//! [`Monitor::try_apply_all`]: tg_hierarchy::Monitor::try_apply_all
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod gateway;
+pub mod proto;
+pub mod server;
+pub mod soak;
+
+pub use client::{parse_script, run_script, Client, ScriptLine, ScriptOutcome};
+pub use gateway::{parse_request, Gateway, Request, Verdict};
+pub use proto::{Frame, Opcode, ProtoError};
+pub use server::{Bind, ServeConfig, Server, ServerReport};
+pub use soak::{run_soak, SoakConfig, SoakReport};

@@ -1,0 +1,358 @@
+//! The `TGP1` wire protocol: length-prefixed binary frames over a byte
+//! stream.
+//!
+//! The normative specification lives in `docs/PROTOCOL.md`; this module
+//! is its one implementation, and `tests/conformance.rs` pins the two
+//! together by round-tripping every frame example from the document
+//! byte-for-byte. Change either side and the conformance test fails.
+//!
+//! A connection starts with a 4-byte magic (`TGP1`) from the client.
+//! After that, both directions carry frames:
+//!
+//! ```text
+//! +---------+------------+--------+---------------------+
+//! | len u32 | request id | opcode | payload (len-9 B)   |
+//! | BE      | u64 BE     | u8     | UTF-8 text codecs   |
+//! +---------+------------+--------+---------------------+
+//! ```
+//!
+//! `len` counts everything after itself (so `len >= 9`), capped at
+//! [`MAX_FRAME`]. Every violation of the framing rules is **fail
+//! closed**: the peer answers with an [`Opcode::Error`] frame where it
+//! can, then drops the connection — a malformed byte stream never
+//! reaches the monitor.
+
+use std::io::{Read, Write};
+
+/// The connection preamble: a client's first four bytes. A server that
+/// reads anything else answers one `Error` frame (`bad-magic`) and
+/// closes. An incompatible protocol revision would bump the digit.
+pub const MAGIC: [u8; 4] = *b"TGP1";
+
+/// Hard cap on `len` (the byte count after the length word): 1 MiB.
+/// Oversized frames are refused and the connection is closed — a
+/// corrupt or hostile length prefix must not drive allocation.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Bytes of header inside the length-counted region: request id (8)
+/// plus opcode (1).
+pub const HEADER: u32 = 9;
+
+/// Every frame kind, request and response. The discriminant is the wire
+/// opcode byte; ids at or above `0x80` are responses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Liveness probe. Empty payload; answered `Ok` with payload `pong`.
+    Ping = 0x01,
+    /// Apply one rule. Payload: one `tg-rules` codec line.
+    Apply = 0x02,
+    /// Theorem 2.3 query. Payload: `<right> <x> <y>` (vertex names).
+    CanShare = 0x03,
+    /// Theorem 3.2 query. Payload: `<x> <y>`.
+    CanKnow = 0x04,
+    /// Island query (paper §2). Payload: `<x> <y>`.
+    SameIsland = 0x05,
+    /// Audit verdict (Corollary 5.6). Empty payload.
+    Audit = 0x06,
+    /// Monitor counters and log epoch. Empty payload.
+    Stats = 0x07,
+    /// Graceful stop: drain, persist, exit. Empty payload.
+    Shutdown = 0x7F,
+    /// Success response; payload is the answer text.
+    Ok = 0x80,
+    /// The monitor admitted the request to the gateway but **refused**
+    /// it (Corollary 5.7 denial, malformed rule, degraded mode).
+    /// Payload is the refusal reason. A refusal is a verdict, not an
+    /// error: the connection stays up.
+    Refused = 0x81,
+    /// Protocol or input error (`<code>: <detail>` payload). Framing
+    /// errors additionally close the connection.
+    Error = 0x82,
+}
+
+impl Opcode {
+    /// Decodes a wire opcode byte.
+    pub fn from_byte(byte: u8) -> Option<Opcode> {
+        Some(match byte {
+            0x01 => Opcode::Ping,
+            0x02 => Opcode::Apply,
+            0x03 => Opcode::CanShare,
+            0x04 => Opcode::CanKnow,
+            0x05 => Opcode::SameIsland,
+            0x06 => Opcode::Audit,
+            0x07 => Opcode::Stats,
+            0x7F => Opcode::Shutdown,
+            0x80 => Opcode::Ok,
+            0x81 => Opcode::Refused,
+            0x82 => Opcode::Error,
+            _ => return None,
+        })
+    }
+
+    /// Whether this opcode is a response (id `>= 0x80`).
+    pub fn is_response(self) -> bool {
+        self as u8 >= 0x80
+    }
+}
+
+/// One decoded frame: everything after the length word.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Frame {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub request_id: u64,
+    /// What the frame asks or answers.
+    pub opcode: Opcode,
+    /// Opcode-specific body in the existing text codecs.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame with a UTF-8 payload.
+    pub fn text(request_id: u64, opcode: Opcode, payload: &str) -> Frame {
+        Frame {
+            request_id,
+            opcode,
+            payload: payload.as_bytes().to_vec(),
+        }
+    }
+
+    /// The payload as text (lossy only for non-UTF-8 bytes, which no
+    /// conforming peer sends).
+    pub fn payload_text(&self) -> String {
+        String::from_utf8_lossy(&self.payload).into_owned()
+    }
+}
+
+/// Why a byte stream failed to yield a frame. Every variant is fail
+/// closed at the transport: the reader answers `Error` where possible
+/// and drops the connection.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProtoError {
+    /// The four preamble bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// `len` exceeded [`MAX_FRAME`].
+    Oversized(u32),
+    /// `len` was below [`HEADER`] — no room for id and opcode.
+    Undersized(u32),
+    /// The opcode byte is not in the catalog.
+    BadOpcode(u8),
+    /// The stream ended mid-frame (`expected`, `got` bytes).
+    Truncated {
+        /// Bytes the length prefix promised.
+        expected: usize,
+        /// Bytes actually read before EOF.
+        got: usize,
+    },
+    /// The peer closed cleanly between frames.
+    Closed,
+    /// Transport failure (message text; `std::io::Error` is not `Eq`).
+    Io(String),
+}
+
+impl core::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProtoError::BadMagic(m) => write!(f, "bad-magic: expected TGP1, got {m:02x?}"),
+            ProtoError::Oversized(len) => {
+                write!(f, "oversized-frame: len {len} exceeds {MAX_FRAME}")
+            }
+            ProtoError::Undersized(len) => {
+                write!(f, "short-frame: len {len} below header size {HEADER}")
+            }
+            ProtoError::BadOpcode(b) => write!(f, "bad-opcode: {b:#04x}"),
+            ProtoError::Truncated { expected, got } => {
+                write!(f, "truncated-frame: expected {expected} bytes, got {got}")
+            }
+            ProtoError::Closed => write!(f, "connection closed"),
+            ProtoError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+/// Encodes `frame` as wire bytes, length prefix included.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let len = HEADER + frame.payload.len() as u32;
+    let mut bytes = Vec::with_capacity(4 + len as usize);
+    bytes.extend_from_slice(&len.to_be_bytes());
+    bytes.extend_from_slice(&frame.request_id.to_be_bytes());
+    bytes.push(frame.opcode as u8);
+    bytes.extend_from_slice(&frame.payload);
+    bytes
+}
+
+/// Decodes one complete wire frame (length prefix included) from
+/// `bytes`, which must contain exactly one frame — the in-memory
+/// counterpart of [`read_frame`], used by the conformance tests.
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, ProtoError> {
+    if bytes.len() < 4 {
+        return Err(ProtoError::Truncated {
+            expected: 4,
+            got: bytes.len(),
+        });
+    }
+    let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    if len > MAX_FRAME {
+        return Err(ProtoError::Oversized(len));
+    }
+    if len < HEADER {
+        return Err(ProtoError::Undersized(len));
+    }
+    let body = &bytes[4..];
+    if body.len() != len as usize {
+        return Err(ProtoError::Truncated {
+            expected: len as usize,
+            got: body.len(),
+        });
+    }
+    let request_id = u64::from_be_bytes(body[..8].try_into().expect("8 bytes"));
+    let opcode = Opcode::from_byte(body[8]).ok_or(ProtoError::BadOpcode(body[8]))?;
+    Ok(Frame {
+        request_id,
+        opcode,
+        payload: body[9..].to_vec(),
+    })
+}
+
+/// Reads and validates the connection preamble.
+pub fn read_magic(reader: &mut dyn Read) -> Result<(), ProtoError> {
+    let mut magic = [0u8; 4];
+    read_exact_or(reader, &mut magic, 0)?;
+    if magic != MAGIC {
+        return Err(ProtoError::BadMagic(magic));
+    }
+    Ok(())
+}
+
+/// Writes the connection preamble.
+pub fn write_magic(writer: &mut dyn Write) -> std::io::Result<()> {
+    writer.write_all(&MAGIC)
+}
+
+/// Reads one frame from a stream. EOF on the length word's first byte
+/// is a clean [`ProtoError::Closed`]; EOF anywhere later is
+/// [`ProtoError::Truncated`].
+pub fn read_frame(reader: &mut dyn Read) -> Result<Frame, ProtoError> {
+    let mut len_bytes = [0u8; 4];
+    read_exact_or(reader, &mut len_bytes, 0)?;
+    let len = u32::from_be_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(ProtoError::Oversized(len));
+    }
+    if len < HEADER {
+        return Err(ProtoError::Undersized(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    read_exact_or(reader, &mut body, 4).map_err(|e| match e {
+        ProtoError::Closed => ProtoError::Truncated {
+            expected: len as usize,
+            got: 0,
+        },
+        other => other,
+    })?;
+    let request_id = u64::from_be_bytes(body[..8].try_into().expect("8 bytes"));
+    let opcode = Opcode::from_byte(body[8]).ok_or(ProtoError::BadOpcode(body[8]))?;
+    Ok(Frame {
+        request_id,
+        opcode,
+        payload: body[9..].to_vec(),
+    })
+}
+
+/// Writes one frame to a stream.
+pub fn write_frame(writer: &mut dyn Write, frame: &Frame) -> std::io::Result<()> {
+    writer.write_all(&encode_frame(frame))
+}
+
+/// `read_exact` that maps EOF-at-start to [`ProtoError::Closed`] and
+/// EOF-midway to [`ProtoError::Truncated`] (with `already` bytes of
+/// earlier context counted into the expectation).
+fn read_exact_or(reader: &mut dyn Read, buf: &mut [u8], already: usize) -> Result<(), ProtoError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && already == 0 {
+                    Err(ProtoError::Closed)
+                } else {
+                    Err(ProtoError::Truncated {
+                        expected: already + buf.len(),
+                        got: already + filled,
+                    })
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let frame = Frame::text(7, Opcode::Apply, "take 0 1 2 x1");
+        let bytes = encode_frame(&frame);
+        assert_eq!(decode_frame(&bytes).unwrap(), frame);
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert_eq!(read_frame(&mut cursor).unwrap(), frame);
+    }
+
+    #[test]
+    fn framing_violations_fail_closed() {
+        // Oversized length prefix: rejected before any allocation.
+        let mut bytes = ((MAX_FRAME + 1).to_be_bytes()).to_vec();
+        bytes.extend_from_slice(&[0; 16]);
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(ProtoError::Oversized(MAX_FRAME + 1))
+        );
+        // Undersized: no room for the header.
+        let bytes = 4u32.to_be_bytes().to_vec();
+        assert_eq!(decode_frame(&bytes), Err(ProtoError::Undersized(4)));
+        // Unknown opcode byte.
+        let mut bytes = HEADER.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&1u64.to_be_bytes());
+        bytes.push(0x55);
+        assert_eq!(decode_frame(&bytes), Err(ProtoError::BadOpcode(0x55)));
+        // Torn mid-frame.
+        let full = encode_frame(&Frame::text(1, Opcode::Ping, ""));
+        let mut cursor = std::io::Cursor::new(&full[..full.len() - 1]);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ProtoError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn magic_is_checked() {
+        let mut good = std::io::Cursor::new(MAGIC.to_vec());
+        assert!(read_magic(&mut good).is_ok());
+        let mut bad = std::io::Cursor::new(b"TGP9".to_vec());
+        assert_eq!(read_magic(&mut bad), Err(ProtoError::BadMagic(*b"TGP9")));
+    }
+
+    #[test]
+    fn opcode_bytes_are_stable() {
+        for op in [
+            Opcode::Ping,
+            Opcode::Apply,
+            Opcode::CanShare,
+            Opcode::CanKnow,
+            Opcode::SameIsland,
+            Opcode::Audit,
+            Opcode::Stats,
+            Opcode::Shutdown,
+            Opcode::Ok,
+            Opcode::Refused,
+            Opcode::Error,
+        ] {
+            assert_eq!(Opcode::from_byte(op as u8), Some(op));
+        }
+        assert_eq!(Opcode::from_byte(0x00), None);
+    }
+}

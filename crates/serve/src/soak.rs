@@ -1,0 +1,295 @@
+//! The soak harness: thousands of simulated principals hammering one
+//! daemon, with tail latency and a replay cross-check.
+//!
+//! A soak run generates a `tg-gen` corpus scenario, boots a real server
+//! on a loopback TCP socket with a commit log, and drives it from many
+//! concurrent client sessions, each replaying a deterministic
+//! [`corpus_trace`] of mixed mutations
+//! and queries in lock-step (one round trip per request, so every
+//! latency sample is a true request latency, not a pipeline artifact).
+//! After shutdown it reopens the commit log **offline** and checks the
+//! daemon's final graph is byte-identical to the recovered one — the
+//! "zero admitted-but-unlogged mutations" acceptance gate.
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
+
+use tg_gen::{generate, Family, GenConfig};
+use tg_graph::render_graph;
+use tg_hierarchy::CombinedRestriction;
+use tg_log::{CommitLog, DirStore, LogConfig};
+use tg_par::Pool;
+use tg_sim::workload::{corpus_trace, render_script};
+
+use crate::client::{parse_script, Client, ScriptLine};
+use crate::proto::Opcode;
+use crate::server::{Bind, ServeConfig, Server, ServerReport};
+
+/// Shape of one soak run.
+#[derive(Clone, Debug)]
+pub struct SoakConfig {
+    /// Concurrent client sessions.
+    pub sessions: usize,
+    /// Requests each session sends (plus the harness's own control
+    /// requests).
+    pub requests_per_session: usize,
+    /// The daemon's admission batch window.
+    pub batch_window: usize,
+    /// Seed for the corpus scenario and every per-session trace.
+    pub seed: u64,
+    /// `tg-gen` scale knob: approximate subject count of the corpus.
+    pub scale: usize,
+    /// Directory for the commit log. Must not already hold a chain; the
+    /// run leaves it in place so callers can inspect or clean it.
+    pub log_dir: std::path::PathBuf,
+}
+
+/// What a soak run measured.
+#[derive(Clone, Debug)]
+pub struct SoakReport {
+    /// Sessions driven.
+    pub sessions: usize,
+    /// Total requests answered across all sessions.
+    pub requests: u64,
+    /// `ok` verdicts.
+    pub ok: u64,
+    /// `refused` verdicts (policy denials are expected workload).
+    pub refused: u64,
+    /// `error` verdicts (should be zero on a well-formed trace).
+    pub errors: u64,
+    /// Wall-clock for the request phase, milliseconds.
+    pub elapsed_ms: f64,
+    /// Requests per second over the request phase.
+    pub throughput_rps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Worst request latency, microseconds.
+    pub max_us: u64,
+    /// The daemon's own lifetime report.
+    pub server: ServerReport,
+    /// Commit-log epoch at shutdown.
+    pub final_epoch: u64,
+    /// Whether the daemon's final graph was byte-identical to an
+    /// offline recovery of its commit log.
+    pub replay_identical: bool,
+    /// Pool width the daemon ran with.
+    pub jobs: usize,
+    /// `std::thread::available_parallelism` on this host.
+    pub host_parallelism: usize,
+}
+
+impl SoakReport {
+    /// The report as a small hand-rolled JSON object (the workspace has
+    /// no serialization dependency), shaped like the other
+    /// `BENCH_*.json` files.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"bench_serve\",\n",
+                "  \"sessions\": {},\n  \"requests\": {},\n",
+                "  \"ok\": {},\n  \"refused\": {},\n  \"errors\": {},\n",
+                "  \"elapsed_ms\": {:.1},\n  \"throughput_rps\": {:.0},\n",
+                "  \"latency_us\": {{ \"p50\": {}, \"p99\": {}, \"max\": {} }},\n",
+                "  \"server\": {{ \"sessions\": {}, \"frames\": {}, ",
+                "\"batches\": {}, \"refusals\": {}, \"protocol_errors\": {} }},\n",
+                "  \"final_epoch\": {},\n  \"replay_identical\": {},\n",
+                "  \"jobs\": {},\n  \"host_parallelism\": {}\n",
+                "}}\n"
+            ),
+            self.sessions,
+            self.requests,
+            self.ok,
+            self.refused,
+            self.errors,
+            self.elapsed_ms,
+            self.throughput_rps,
+            self.p50_us,
+            self.p99_us,
+            self.max_us,
+            self.server.sessions,
+            self.server.frames,
+            self.server.batches,
+            self.server.refusals,
+            self.server.protocol_errors,
+            self.final_epoch,
+            self.replay_identical,
+            self.jobs,
+            self.host_parallelism,
+        )
+    }
+}
+
+/// One session's share of the work: lock-step round trips with latency
+/// sampling.
+fn drive_session(
+    addr: String,
+    lines: Vec<ScriptLine>,
+) -> Result<(Vec<u64>, u64, u64, u64), String> {
+    let mut client = Client::connect_tcp(&addr)?;
+    let mut latencies = Vec::with_capacity(lines.len());
+    let (mut ok, mut refused, mut errors) = (0u64, 0u64, 0u64);
+    for line in &lines {
+        let started = Instant::now();
+        let frame = client.request(line.opcode, &line.payload)?;
+        latencies.push(started.elapsed().as_micros() as u64);
+        match frame.opcode {
+            Opcode::Ok => ok += 1,
+            Opcode::Refused => refused += 1,
+            _ => errors += 1,
+        }
+    }
+    Ok((latencies, ok, refused, errors))
+}
+
+/// Runs one soak. See the module docs for the phases; the commit log is
+/// left in `config.log_dir` for post-mortem inspection.
+///
+/// # Errors
+///
+/// Any setup, transport, or cross-check failure, as text. A refused
+/// mutation is workload, not failure; a latency sample set of zero, a
+/// session error, or a replay mismatch is failure.
+pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, String> {
+    // Corpus: one military-lattice scenario scaled to `scale` subjects.
+    let scenario = generate(&GenConfig::new(Family::Military, config.scale, config.seed));
+    let principals = scenario.principal_names();
+    if principals.is_empty() {
+        return Err("scenario generated no principals".to_string());
+    }
+
+    // Durable state: a fresh commit log in the caller's directory.
+    std::fs::create_dir_all(&config.log_dir)
+        .map_err(|e| format!("cannot create {}: {e}", config.log_dir.display()))?;
+    let store = DirStore::open(&config.log_dir).map_err(|e| e.to_string())?;
+    let log_config = LogConfig {
+        snapshot_interval: 256,
+        // Buffered appends: the gateway persists after every admission
+        // batch, which is the durability point the replay check relies
+        // on; per-record write-through would only measure the disk.
+        write_through: false,
+    };
+    let (log, monitor) = CommitLog::create(
+        Box::new(store),
+        scenario.graph.clone(),
+        scenario.levels.clone(),
+        Box::new(CombinedRestriction),
+        log_config,
+    )
+    .map_err(|e| e.to_string())?;
+    let genesis = tg_log::seed_digest(&scenario.graph, &scenario.levels);
+
+    // The daemon under test.
+    let pool = Pool::from_env_or_available();
+    let server = Server::start(
+        Bind::Tcp("127.0.0.1:0".to_string()),
+        monitor,
+        Some(log),
+        ServeConfig {
+            batch_window: config.batch_window,
+        },
+        pool,
+    )?;
+    let addr = server.local_addr().to_string();
+
+    // One deterministic script per session, derived from the corpus
+    // trace family with a per-session seed. Parsing our own rendered
+    // script keeps the soak honest: it exercises the exact dialect
+    // `tgq client` speaks.
+    let scripts: Vec<Vec<ScriptLine>> = (0..config.sessions)
+        .map(|i| {
+            let trace = corpus_trace(
+                &scenario.graph,
+                &scenario.levels,
+                config.requests_per_session,
+                config.seed.wrapping_add(i as u64 + 1),
+            );
+            parse_script(&render_script(&scenario.graph, &trace))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Request phase: every session in its own thread.
+    let started = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    let mut workers = Vec::new();
+    for lines in scripts {
+        let addr = addr.clone();
+        let tx = tx.clone();
+        workers.push(thread::spawn(move || {
+            let _ = tx.send(drive_session(addr, lines));
+        }));
+    }
+    drop(tx);
+    let mut latencies: Vec<u64> = Vec::new();
+    let (mut ok, mut refused, mut errors) = (0u64, 0u64, 0u64);
+    for outcome in rx {
+        let (lat, o, r, e) = outcome?;
+        latencies.extend(lat);
+        ok += o;
+        refused += r;
+        errors += e;
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+    let elapsed = started.elapsed();
+
+    // Shutdown via the protocol, like any client would.
+    let mut control = Client::connect_tcp(&addr)?;
+    let bye = control.request(Opcode::Shutdown, "")?;
+    if bye.opcode != Opcode::Ok {
+        return Err(format!("shutdown not acknowledged: {}", bye.payload_text()));
+    }
+    let (server_report, live_monitor, live_log) = server.join()?;
+    let live_log = live_log.ok_or_else(|| "soak server lost its commit log".to_string())?;
+    let final_epoch = live_log.end_epoch();
+    let live_render = render_graph(live_monitor.graph());
+    drop(live_log);
+    drop(live_monitor);
+
+    // Offline replay: recover a second monitor purely from the durable
+    // chain and compare graphs byte for byte.
+    let store = DirStore::open(&config.log_dir).map_err(|e| e.to_string())?;
+    let (_replayed_log, replayed_monitor, recovery) = CommitLog::open(
+        Box::new(store),
+        Box::new(CombinedRestriction),
+        log_config,
+        Some(genesis),
+    )
+    .map_err(|e| e.to_string())?;
+    if recovery.end_epoch != final_epoch {
+        return Err(format!(
+            "replay recovered epoch {} but the daemon stopped at {}",
+            recovery.end_epoch, final_epoch
+        ));
+    }
+    let replay_identical = render_graph(replayed_monitor.graph()) == live_render;
+
+    if latencies.is_empty() {
+        return Err("no latency samples collected".to_string());
+    }
+    latencies.sort_unstable();
+    let percentile = |p: usize| latencies[(latencies.len() - 1) * p / 100];
+    let requests = latencies.len() as u64;
+    let elapsed_ms = elapsed.as_secs_f64() * 1000.0;
+    Ok(SoakReport {
+        sessions: config.sessions,
+        requests,
+        ok,
+        refused,
+        errors,
+        elapsed_ms,
+        throughput_rps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_us: percentile(50),
+        p99_us: percentile(99),
+        max_us: *latencies.last().expect("nonempty"),
+        server: server_report,
+        final_epoch,
+        replay_identical,
+        jobs: pool.jobs(),
+        host_parallelism: thread::available_parallelism().map_or(1, |n| n.get()),
+    })
+}

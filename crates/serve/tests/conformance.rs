@@ -1,0 +1,191 @@
+//! The PROTOCOL.md conformance suite: every frame example in the
+//! normative document must encode and decode byte-for-byte against the
+//! one implementation, and every example here must appear verbatim in
+//! the document. `docs/PROTOCOL.md` and `crates/serve/src/proto.rs`
+//! cannot drift apart without failing this test.
+
+use tg_serve::proto::{decode_frame, encode_frame, MAGIC, MAX_FRAME};
+use tg_serve::{Frame, Opcode};
+
+fn protocol_md() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/PROTOCOL.md");
+    std::fs::read_to_string(path).expect("read docs/PROTOCOL.md")
+}
+
+fn unhex(hex: &str) -> Vec<u8> {
+    assert!(hex.len().is_multiple_of(2), "odd hex length in {hex:?}");
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).expect("hex digit"))
+        .collect()
+}
+
+/// Every `hex:` example from PROTOCOL.md §7, paired with the frame the
+/// document says it encodes. One entry per opcode — the loop below
+/// asserts the catalog is covered.
+fn examples() -> Vec<(&'static str, Frame)> {
+    vec![
+        (
+            "00000009000000000000000101",
+            Frame::text(1, Opcode::Ping, ""),
+        ),
+        (
+            "0000000d000000000000000180706f6e67",
+            Frame::text(1, Opcode::Ok, "pong"),
+        ),
+        (
+            "0000001600000000000000020274616b65203020312032207831",
+            Frame::text(2, Opcode::Apply, "take 0 1 2 x1"),
+        ),
+        (
+            "0000000f00000000000000028164656e696564",
+            Frame::text(2, Opcode::Refused, "denied"),
+        ),
+        (
+            "000000170000000000000003037220616c696365207265706f7274",
+            Frame::text(3, Opcode::CanShare, "r alice report"),
+        ),
+        (
+            "00000015000000000000000404616c696365207265706f7274",
+            Frame::text(4, Opcode::CanKnow, "alice report"),
+        ),
+        (
+            "00000012000000000000000505616c69636520626f62",
+            Frame::text(5, Opcode::SameIsland, "alice bob"),
+        ),
+        (
+            "00000009000000000000000606",
+            Frame::text(6, Opcode::Audit, ""),
+        ),
+        (
+            "00000009000000000000000707",
+            Frame::text(7, Opcode::Stats, ""),
+        ),
+        (
+            "0000000900000000000000087f",
+            Frame::text(8, Opcode::Shutdown, ""),
+        ),
+        (
+            "000000190000000000000000826261642d6f70636f64653a2030783432",
+            Frame::text(0, Opcode::Error, "bad-opcode: 0x42"),
+        ),
+    ]
+}
+
+#[test]
+fn every_documented_frame_round_trips_byte_for_byte() {
+    for (hex, frame) in examples() {
+        let bytes = unhex(hex);
+        assert_eq!(
+            encode_frame(&frame),
+            bytes,
+            "encoding {frame:?} must produce the documented bytes {hex}"
+        );
+        assert_eq!(
+            decode_frame(&bytes).expect(hex),
+            frame,
+            "decoding {hex} must produce the documented frame"
+        );
+    }
+}
+
+#[test]
+fn every_example_appears_verbatim_in_the_document() {
+    let doc = protocol_md();
+    for (hex, _) in examples() {
+        assert!(
+            doc.contains(&format!("hex: `{hex}`")),
+            "PROTOCOL.md lost the example `{hex}`"
+        );
+    }
+    // The magic preamble example too.
+    let magic_hex: String = MAGIC.iter().map(|b| format!("{b:02x}")).collect();
+    assert!(doc.contains(&format!("hex: `{magic_hex}`")));
+}
+
+#[test]
+fn the_document_has_no_undocumented_examples() {
+    // Symmetry: every `hex:` line in the document is either the magic
+    // or one of the frames this suite round-trips. A new example added
+    // to the document without a conformance entry fails here.
+    let doc = protocol_md();
+    let known: Vec<String> = examples()
+        .iter()
+        .map(|(hex, _)| (*hex).to_string())
+        .chain([MAGIC.iter().map(|b| format!("{b:02x}")).collect()])
+        .collect();
+    let mut found = 0;
+    for line in doc.lines() {
+        let Some(rest) = line.strip_prefix("hex: `") else {
+            continue;
+        };
+        let hex = rest.trim_end_matches('`');
+        assert!(
+            known.iter().any(|k| k == hex),
+            "PROTOCOL.md documents `{hex}` but the conformance suite does not cover it"
+        );
+        found += 1;
+    }
+    assert_eq!(
+        found,
+        known.len(),
+        "every known example must appear exactly once"
+    );
+}
+
+#[test]
+fn the_example_set_covers_the_whole_opcode_catalog() {
+    let covered: Vec<Opcode> = examples().iter().map(|(_, f)| f.opcode).collect();
+    for byte in 0..=u8::MAX {
+        if let Some(op) = Opcode::from_byte(byte) {
+            assert!(
+                covered.contains(&op),
+                "opcode {op:?} ({byte:#04x}) has no documented frame example"
+            );
+        }
+    }
+}
+
+#[test]
+fn documented_constants_match_the_implementation() {
+    let doc = protocol_md();
+    // The opcode table bytes.
+    for (byte, name) in [
+        (0x01u8, "Ping"),
+        (0x02, "Apply"),
+        (0x03, "CanShare"),
+        (0x04, "CanKnow"),
+        (0x05, "SameIsland"),
+        (0x06, "Audit"),
+        (0x07, "Stats"),
+        (0x7F, "Shutdown"),
+        (0x80, "Ok"),
+        (0x81, "Refused"),
+        (0x82, "Error"),
+    ] {
+        assert_eq!(Opcode::from_byte(byte), Opcode::from_byte(byte));
+        assert!(
+            doc.contains(&format!("| 0x{byte:02X} | {name} |")),
+            "opcode table row for {name} (0x{byte:02X}) missing from PROTOCOL.md"
+        );
+    }
+    // The frame cap, stated as both prose and number.
+    assert_eq!(MAX_FRAME, 1 << 20);
+    assert!(doc.contains("MAX_FRAME = 1048576"));
+    // Every stable error code is documented.
+    for code in [
+        "bad-magic",
+        "oversized-frame",
+        "short-frame",
+        "truncated-frame",
+        "bad-opcode",
+        "bad-payload",
+        "unknown-vertex",
+        "log-failure",
+    ] {
+        assert!(
+            doc.contains(&format!("| `{code}` |")),
+            "error code {code} missing from the PROTOCOL.md table"
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Crash-during-batch: tear the chain file mid-record and show recovery
+//! lands exactly on the last fully-admitted batch the gateway flushed.
+
+use tg_graph::{render_graph, ProtectionGraph, Rights};
+use tg_hierarchy::{CombinedRestriction, LevelAssignment};
+use tg_log::{CommitLog, DirStore, LogConfig, CHAIN_FILE};
+use tg_par::Pool;
+use tg_rules::{DeJureRule, Rule};
+use tg_serve::Gateway;
+
+/// `s1 -t-> s2`; `s2` holds a right over each of four documents, so
+/// four independent takes admit cleanly.
+fn system() -> (ProtectionGraph, LevelAssignment) {
+    let mut g = ProtectionGraph::new();
+    let s1 = g.add_subject("s1");
+    let s2 = g.add_subject("s2");
+    g.add_edge(s1, s2, Rights::T).unwrap();
+    let mut ids = vec![s1, s2];
+    for i in 0..4 {
+        let doc = g.add_object(format!("doc{i}"));
+        g.add_edge(s2, doc, Rights::R).unwrap();
+        ids.push(doc);
+    }
+    let mut levels = LevelAssignment::linear(&["only"]);
+    for v in ids {
+        levels.assign(v, 0).unwrap();
+    }
+    (g, levels)
+}
+
+fn take(g: &ProtectionGraph, target: &str) -> Box<Rule> {
+    let v = |n: &str| g.find_by_name(n).expect("vertex");
+    Box::new(Rule::DeJure(DeJureRule::Take {
+        actor: v("s1"),
+        via: v("s2"),
+        target: v(target),
+        rights: Rights::R,
+    }))
+}
+
+#[test]
+fn recovery_lands_on_the_last_fully_admitted_batch() {
+    let dir = std::env::temp_dir().join(format!("tg-serve-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let (g, levels) = system();
+    let genesis = tg_log::seed_digest(&g, &levels);
+    let log_config = LogConfig {
+        snapshot_interval: 0, // recovery must come from the chain alone
+        write_through: true,
+    };
+    let store = DirStore::open(&dir).unwrap();
+    let (log, monitor) = CommitLog::create(
+        Box::new(store),
+        g.clone(),
+        levels,
+        Box::new(CombinedRestriction),
+        log_config,
+    )
+    .unwrap();
+
+    let pool = Pool::sequential();
+    let mut gateway: Gateway<u32> = Gateway::new(monitor, Some(log), 2);
+
+    // Batch 1 admits and persists; remember its durable length and the
+    // graph it left behind.
+    for (i, doc) in ["doc0", "doc1"].iter().enumerate() {
+        for (_, verdict) in gateway.submit_mutation(i as u32, take(&g, doc)) {
+            assert!(matches!(verdict, tg_serve::Verdict::Ok(_)));
+        }
+    }
+    let _ = pool; // gateway flushes on the window boundary; no waves here
+    let chain_path = dir.join(CHAIN_FILE);
+    let after_batch_1 = std::fs::metadata(&chain_path).unwrap().len();
+    let (graph_after_batch_1, epoch_after_batch_1) = {
+        // Render via a replay so the reference is what durability holds,
+        // not what memory holds.
+        let store = DirStore::open(&dir).unwrap();
+        let (_, m, report) = CommitLog::open(
+            Box::new(store),
+            Box::new(CombinedRestriction),
+            log_config,
+            Some(genesis),
+        )
+        .unwrap();
+        (render_graph(m.graph()), report.end_epoch)
+    };
+
+    // Batch 2 admits and persists too…
+    for (i, doc) in ["doc2", "doc3"].iter().enumerate() {
+        for (_, verdict) in gateway.submit_mutation(2 + i as u32, take(&g, doc)) {
+            assert!(matches!(verdict, tg_serve::Verdict::Ok(_)));
+        }
+    }
+    let after_batch_2 = std::fs::metadata(&chain_path).unwrap().len();
+    assert!(after_batch_2 > after_batch_1);
+    drop(gateway);
+
+    // …but the daemon "crashes" mid-write: the chain file ends ten
+    // bytes into batch 2's first record — mid-line, far from any record
+    // boundary, with no commit marker in sight.
+    let torn_len = after_batch_1 + 10;
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&chain_path)
+        .unwrap();
+    file.set_len(torn_len).unwrap();
+    drop(file);
+
+    // Recovery discards the torn tail and lands exactly on batch 1.
+    let store = DirStore::open(&dir).unwrap();
+    let (_, recovered, report) = CommitLog::open(
+        Box::new(store),
+        Box::new(CombinedRestriction),
+        log_config,
+        Some(genesis),
+    )
+    .unwrap();
+    assert!(report.torn.is_some(), "the tear must be detected");
+    assert_eq!(render_graph(recovered.graph()), graph_after_batch_1);
+    assert_eq!(
+        report.end_epoch, epoch_after_batch_1,
+        "recovery must land on the last fully-admitted batch"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The other crash shape: the file ends cleanly on a record boundary,
+/// but inside an uncommitted batch. Recovery must drop the whole open
+/// batch — a batch is admitted only when its commit marker is durable.
+#[test]
+fn recovery_discards_a_trailing_uncommitted_batch() {
+    let dir = std::env::temp_dir().join(format!("tg-serve-openbatch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let (g, levels) = system();
+    let genesis = tg_log::seed_digest(&g, &levels);
+    let log_config = LogConfig {
+        snapshot_interval: 0,
+        write_through: true,
+    };
+    let store = DirStore::open(&dir).unwrap();
+    let (log, monitor) = CommitLog::create(
+        Box::new(store),
+        g.clone(),
+        levels,
+        Box::new(CombinedRestriction),
+        log_config,
+    )
+    .unwrap();
+    let mut gateway: Gateway<u32> = Gateway::new(monitor, Some(log), 2);
+    for (i, doc) in ["doc0", "doc1"].iter().enumerate() {
+        let _ = gateway.submit_mutation(i as u32, take(&g, doc));
+    }
+    let chain_path = dir.join(CHAIN_FILE);
+    let after_batch_1 = std::fs::metadata(&chain_path).unwrap().len();
+    for (i, doc) in ["doc2", "doc3"].iter().enumerate() {
+        let _ = gateway.submit_mutation(2 + i as u32, take(&g, doc));
+    }
+    drop(gateway);
+
+    // Cut the file back to batch 1 plus batch 2's first whole lines,
+    // stopping before the commit marker: scan for the last newline that
+    // leaves at least one batch-2 record but no commit.
+    let bytes = std::fs::read(&chain_path).unwrap();
+    let cut = bytes[..bytes.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .unwrap() as u64
+        + 1;
+    assert!(cut > after_batch_1, "cut must leave part of batch 2");
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&chain_path)
+        .unwrap();
+    file.set_len(cut).unwrap();
+    drop(file);
+
+    let store = DirStore::open(&dir).unwrap();
+    let (_, recovered, report) = CommitLog::open(
+        Box::new(store),
+        Box::new(CombinedRestriction),
+        log_config,
+        Some(genesis),
+    )
+    .unwrap();
+    // No torn line — every kept record is intact — but the open batch
+    // is gone: only batch 1's two takes survive in the graph.
+    assert!(report.torn.is_none());
+    let recovered_render = render_graph(recovered.graph());
+    assert!(recovered_render.contains("doc0") && recovered_render.contains("doc1"));
+    let s1 = recovered.graph().find_by_name("s1").unwrap();
+    let doc3 = recovered.graph().find_by_name("doc3").unwrap();
+    assert!(
+        !recovered.graph().has_any(s1, doc3, tg_graph::Right::Read),
+        "an uncommitted admission must not survive recovery"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,322 @@
+//! Live-daemon integration tests: real sockets, real threads, one
+//! gateway. Every test boots a server on an ephemeral loopback port (or
+//! a Unix socket), talks TGP1 to it, and shuts it down through the
+//! protocol.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use tg_graph::{ProtectionGraph, Rights};
+use tg_hierarchy::{CombinedRestriction, LevelAssignment, Monitor};
+use tg_par::Pool;
+use tg_serve::proto::{encode_frame, read_frame, write_magic, ProtoError, MAX_FRAME};
+use tg_serve::{Bind, Client, Frame, Opcode, ServeConfig, Server};
+
+/// Two subjects and two documents at one level; `s1 -t-> s2`, `s2`
+/// reads both documents.
+fn system() -> (ProtectionGraph, LevelAssignment) {
+    let mut g = ProtectionGraph::new();
+    let s1 = g.add_subject("s1");
+    let s2 = g.add_subject("s2");
+    let doc_a = g.add_object("doc_a");
+    let doc_b = g.add_object("doc_b");
+    g.add_edge(s1, s2, Rights::T).unwrap();
+    g.add_edge(s2, doc_a, Rights::R).unwrap();
+    g.add_edge(s2, doc_b, Rights::R).unwrap();
+    let mut levels = LevelAssignment::linear(&["only"]);
+    for v in [s1, s2, doc_a, doc_b] {
+        levels.assign(v, 0).unwrap();
+    }
+    (g, levels)
+}
+
+fn boot(batch_window: usize) -> Server {
+    let (g, levels) = system();
+    let monitor = Monitor::new(g, levels, Box::new(CombinedRestriction));
+    Server::start(
+        Bind::Tcp("127.0.0.1:0".to_string()),
+        monitor,
+        None,
+        ServeConfig { batch_window },
+        Pool::new(2),
+    )
+    .expect("boot server")
+}
+
+#[test]
+fn a_session_round_trips_every_request_kind() {
+    let server = boot(4);
+    let mut client = Client::connect_tcp(server.local_addr()).unwrap();
+
+    let pong = client.request(Opcode::Ping, "").unwrap();
+    assert_eq!(
+        (pong.opcode, pong.payload_text()),
+        (Opcode::Ok, "pong".into())
+    );
+
+    // s1 takes r over doc_a through s2.
+    let applied = client.request(Opcode::Apply, "take 0 1 2 x1").unwrap();
+    assert_eq!(applied.opcode, Opcode::Ok);
+    assert_eq!(applied.payload_text(), "applied");
+
+    let shared = client.request(Opcode::CanShare, "r s1 doc_b").unwrap();
+    assert_eq!(shared.payload_text(), "true");
+    let know = client.request(Opcode::CanKnow, "s1 doc_a").unwrap();
+    assert_eq!(know.opcode, Opcode::Ok);
+    let island = client.request(Opcode::SameIsland, "s1 s2").unwrap();
+    assert_eq!(island.payload_text(), "true");
+    let audit = client.request(Opcode::Audit, "").unwrap();
+    assert_eq!(audit.payload_text(), "clean");
+    let stats = client.request(Opcode::Stats, "").unwrap();
+    assert!(stats.payload_text().starts_with("permitted 1 "));
+
+    let bye = client.request(Opcode::Shutdown, "").unwrap();
+    assert_eq!((bye.opcode, bye.payload_text()), (Opcode::Ok, "bye".into()));
+    let (report, monitor, _) = server.join().unwrap();
+    assert_eq!(report.sessions, 1);
+    assert_eq!(report.frames, 8);
+    assert_eq!(report.protocol_errors, 0);
+    assert_eq!(monitor.stats().permitted, 1);
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let server = boot(3);
+    let mut client = Client::connect_tcp(server.local_addr()).unwrap();
+    // Three mutations fill the window; the pings land after.
+    for payload in ["take 0 1 2 x1", "take 0 1 3 x1"] {
+        client.send(Opcode::Apply, payload).unwrap();
+    }
+    client.send(Opcode::Stats, "").unwrap();
+    client.send(Opcode::Ping, "").unwrap();
+    let first = client.recv().unwrap();
+    let second = client.recv().unwrap();
+    let stats = client.recv().unwrap();
+    let ping = client.recv().unwrap();
+    assert_eq!(first.request_id, 1);
+    assert_eq!(second.request_id, 2);
+    assert_eq!(first.payload_text(), "applied");
+    assert_eq!(second.payload_text(), "applied");
+    // The stats query flushed the batch before answering, so both
+    // admissions are visible.
+    assert!(stats.payload_text().starts_with("permitted 2 "));
+    assert_eq!(ping.payload_text(), "pong");
+    server.shutdown_now();
+    server.join().unwrap();
+}
+
+#[test]
+fn concurrent_sessions_all_get_answers() {
+    let server = boot(8);
+    let addr = server.local_addr().to_string();
+    let workers: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect_tcp(&addr).unwrap();
+                for _ in 0..25 {
+                    let frame = client.request(Opcode::CanShare, "r s1 doc_a").unwrap();
+                    assert_eq!(frame.opcode, Opcode::Ok);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    server.shutdown_now();
+    let (report, _, _) = server.join().unwrap();
+    assert_eq!(report.sessions, 8);
+    assert_eq!(report.frames, 200);
+}
+
+#[test]
+fn bad_magic_is_refused_and_the_connection_closes() {
+    let server = boot(4);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.write_all(b"HTTP").unwrap();
+    let reply = read_frame(&mut stream).unwrap();
+    assert_eq!(reply.opcode, Opcode::Error);
+    assert!(reply.payload_text().starts_with("bad-magic"));
+    // The server closed the connection: the next read sees EOF.
+    let mut buf = [0u8; 1];
+    assert_eq!(stream.read(&mut buf).unwrap(), 0);
+    // And the daemon is still alive for well-behaved clients.
+    let mut client = Client::connect_tcp(server.local_addr()).unwrap();
+    assert_eq!(
+        client.request(Opcode::Ping, "").unwrap().payload_text(),
+        "pong"
+    );
+    server.shutdown_now();
+    let (report, _, _) = server.join().unwrap();
+    assert_eq!(report.protocol_errors, 1);
+}
+
+#[test]
+fn oversized_frames_fail_closed() {
+    let server = boot(4);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    write_magic(&mut stream).unwrap();
+    stream.write_all(&(MAX_FRAME + 1).to_be_bytes()).unwrap();
+    let reply = read_frame(&mut stream).unwrap();
+    assert_eq!(reply.opcode, Opcode::Error);
+    assert!(reply.payload_text().starts_with("oversized-frame"));
+    let mut buf = [0u8; 1];
+    assert_eq!(stream.read(&mut buf).unwrap(), 0);
+    server.shutdown_now();
+    server.join().unwrap();
+}
+
+#[test]
+fn unknown_opcodes_answer_error_but_keep_the_session() {
+    let server = boot(4);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    write_magic(&mut stream).unwrap();
+    // Opcode 0x42 is unassigned: decoding fails as a framing violation.
+    let mut bytes = encode_frame(&Frame::text(7, Opcode::Ping, "")).to_vec();
+    bytes[12] = 0x42;
+    stream.write_all(&bytes).unwrap();
+    let reply = read_frame(&mut stream).unwrap();
+    assert_eq!(reply.opcode, Opcode::Error);
+    assert!(reply.payload_text().starts_with("bad-opcode"));
+    server.shutdown_now();
+    server.join().unwrap();
+}
+
+#[test]
+fn response_opcodes_in_requests_answer_error_and_keep_the_session() {
+    let server = boot(4);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    write_magic(&mut stream).unwrap();
+    // `Ok` decodes as a frame but is not a request: the session
+    // survives with an error verdict.
+    stream
+        .write_all(&encode_frame(&Frame::text(7, Opcode::Ok, "")))
+        .unwrap();
+    let reply = read_frame(&mut stream).unwrap();
+    assert_eq!((reply.request_id, reply.opcode), (7, Opcode::Error));
+    assert!(reply.payload_text().starts_with("bad-opcode"));
+    stream
+        .write_all(&encode_frame(&Frame::text(8, Opcode::Ping, "")))
+        .unwrap();
+    let pong = read_frame(&mut stream).unwrap();
+    assert_eq!((pong.request_id, pong.opcode), (8, Opcode::Ok));
+    server.shutdown_now();
+    server.join().unwrap();
+}
+
+#[test]
+fn truncated_frames_fail_closed() {
+    let server = boot(4);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    write_magic(&mut stream).unwrap();
+    // Announce 100 bytes, send 20, then half-close.
+    stream.write_all(&100u32.to_be_bytes()).unwrap();
+    stream.write_all(&[0u8; 20]).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let reply = read_frame(&mut stream).unwrap();
+    assert_eq!(reply.opcode, Opcode::Error);
+    assert!(reply.payload_text().starts_with("truncated-frame"));
+    server.shutdown_now();
+    server.join().unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_sockets_serve_and_refuse_occupied_paths() {
+    let dir = std::env::temp_dir().join(format!("tg-serve-unix-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("daemon.sock");
+
+    let (g, levels) = system();
+    let monitor = Monitor::new(g, levels, Box::new(CombinedRestriction));
+    let server = Server::start(
+        Bind::Unix(path.clone()),
+        monitor,
+        None,
+        ServeConfig::default(),
+        Pool::new(2),
+    )
+    .unwrap();
+
+    // A second bind on the same path is refused while the first lives.
+    let (g, levels) = system();
+    let monitor = Monitor::new(g, levels, Box::new(CombinedRestriction));
+    let err = match Server::start(
+        Bind::Unix(path.clone()),
+        monitor,
+        None,
+        ServeConfig::default(),
+        Pool::new(2),
+    ) {
+        Err(err) => err,
+        Ok(_) => panic!("second bind on an occupied path must fail"),
+    };
+    assert!(err.contains("already exists"), "{err}");
+
+    let mut client = Client::connect_unix(&path).unwrap();
+    assert_eq!(
+        client.request(Opcode::Ping, "").unwrap().payload_text(),
+        "pong"
+    );
+    assert_eq!(
+        client.request(Opcode::Shutdown, "").unwrap().payload_text(),
+        "bye"
+    );
+    server.join().unwrap();
+    // The daemon removed its socket file on the way out.
+    assert!(!path.exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn script_runner_drives_a_live_daemon() {
+    let server = boot(2);
+    let mut client = Client::connect_tcp(server.local_addr()).unwrap();
+    let lines = tg_serve::parse_script(
+        "# exercise the whole dialect\n\
+         ping\n\
+         apply take 0 1 2 x1\n\
+         apply take 0 1 3 x1\n\
+         can-share r s1 doc_a\n\
+         can-know nosuch doc_a\n\
+         audit\n\
+         stats\n\
+         shutdown\n",
+    )
+    .unwrap();
+    let mut out = String::new();
+    let outcome = tg_serve::run_script(&mut client, &lines, &mut out).unwrap();
+    assert_eq!(outcome.ok, 7);
+    assert_eq!(outcome.refused, 0);
+    assert_eq!(outcome.errors, 1); // the unknown vertex
+    assert!(out.contains("1 ok: pong"));
+    assert!(out.contains("5 error: unknown-vertex"));
+    assert!(out.contains("8 ok: bye"));
+    server.join().unwrap();
+}
+
+#[test]
+fn proto_error_display_is_the_wire_code() {
+    // The Display impls double as the stable error codes PROTOCOL.md
+    // documents; a rename here is a protocol change.
+    assert!(ProtoError::BadMagic(*b"HTTP")
+        .to_string()
+        .starts_with("bad-magic"));
+    assert!(ProtoError::Oversized(MAX_FRAME + 1)
+        .to_string()
+        .starts_with("oversized-frame"));
+    assert!(ProtoError::Undersized(3)
+        .to_string()
+        .starts_with("short-frame"));
+    assert!(ProtoError::BadOpcode(0x42)
+        .to_string()
+        .starts_with("bad-opcode"));
+    assert!(ProtoError::Truncated {
+        expected: 100,
+        got: 20
+    }
+    .to_string()
+    .starts_with("truncated-frame"));
+}

@@ -1,0 +1,52 @@
+//! The acceptance soak: ≥ 32 concurrent sessions, ≥ 10 000 requests,
+//! a commit log underneath, and a byte-identical offline replay at the
+//! end. Writes `BENCH_serve.json` at the workspace root.
+
+use tg_serve::soak::{run_soak, SoakConfig};
+
+#[test]
+fn soak_thirty_two_sessions_ten_thousand_requests() {
+    let log_dir = std::env::temp_dir().join(format!("tg-serve-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&log_dir);
+    let config = SoakConfig {
+        sessions: 32,
+        requests_per_session: 320, // 10 240 total
+        batch_window: 16,
+        seed: 42,
+        scale: 96,
+        log_dir: log_dir.clone(),
+    };
+    let report = run_soak(&config).expect("soak run");
+    let _ = std::fs::remove_dir_all(&log_dir);
+
+    assert_eq!(report.sessions, 32);
+    assert!(
+        report.requests >= 10_000,
+        "acceptance floor: {} requests",
+        report.requests
+    );
+    // Every request got a verdict, and none were transport errors. The
+    // corpus trace applies random (sometimes ill-formed) rules, so
+    // refusals are expected workload — errors are not.
+    assert_eq!(report.ok + report.refused + report.errors, report.requests);
+    assert_eq!(report.errors, 0, "error verdicts in a well-formed trace");
+    assert!(report.refused > 0, "a corpus trace always trips refusals");
+    // Zero admitted-but-unlogged mutations: the daemon's final graph is
+    // byte-identical to an offline recovery of its commit log.
+    assert!(report.replay_identical, "live state diverged from replay");
+    assert!(report.final_epoch > 0, "no mutations were logged");
+    // The latency percentiles are ordered and populated.
+    assert!(report.p50_us <= report.p99_us);
+    assert!(report.p99_us <= report.max_us);
+    assert!(report.throughput_rps > 0.0);
+    // The daemon really multiplexed: every session was accepted and
+    // batching coalesced requests (fewer batches than mutations).
+    assert_eq!(report.server.sessions as usize, 33); // 32 + control
+    assert!(report.server.batches > 0);
+    assert_eq!(report.server.protocol_errors, 0);
+
+    let json = report.to_json();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!("soak summary ({path}):\n{json}");
+}

@@ -188,6 +188,37 @@ pub fn corpus_trace(
         .collect()
 }
 
+/// Renders a mixed trace as a `tgq client` script: one request line per
+/// op in the client dialect (`apply <rule-line>`, `can-share <right>
+/// <x> <y>`, `can-know <x> <y>`, `same-island <x> <y>`, `audit`).
+/// Mutations travel in the rule codec (vertex indices over the graph
+/// the daemon loaded); queries name vertices by display name, so the
+/// script assumes names without whitespace — which every generator in
+/// this workspace produces.
+pub fn render_script(graph: &ProtectionGraph, ops: &[MixedOp]) -> String {
+    use core::fmt::Write as _;
+    let name = |v: VertexId| graph.vertex(v).name.as_str();
+    let mut out = String::new();
+    for op in ops {
+        match op {
+            MixedOp::Apply(rule) => {
+                let _ = writeln!(out, "apply {}", tg_rules::codec::encode_rule(rule));
+            }
+            MixedOp::Audit => out.push_str("audit\n"),
+            MixedOp::CanShare(right, x, y) => {
+                let _ = writeln!(out, "can-share {right} {} {}", name(*x), name(*y));
+            }
+            MixedOp::CanKnow(x, y) => {
+                let _ = writeln!(out, "can-know {} {}", name(*x), name(*y));
+            }
+            MixedOp::SameIsland(x, y) => {
+                let _ = writeln!(out, "same-island {} {}", name(*x), name(*y));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +298,24 @@ mod tests {
                     "corpus queries are cross-level"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn rendered_scripts_cover_every_op_kind() {
+        let built = hierarchy(3, 2);
+        let trace = mixed_trace(&built.graph, 100, 9);
+        let script = render_script(&built.graph, &trace);
+        assert_eq!(script.lines().count(), 100);
+        for verb in ["apply ", "audit", "can-share ", "can-know ", "same-island "] {
+            assert!(
+                script.lines().any(|l| l.starts_with(verb)),
+                "no {verb:?} line in:\n{script}"
+            );
+        }
+        // Apply lines round-trip through the rule codec.
+        for line in script.lines().filter(|l| l.starts_with("apply ")) {
+            tg_rules::codec::decode_rule(&line["apply ".len()..]).expect(line);
         }
     }
 
