@@ -27,7 +27,8 @@ use tg_gen::{generate, Family, GenConfig};
 use tg_graph::{Right, VertexId};
 use tg_hierarchy::structure::BuiltHierarchy;
 use tg_hierarchy::{audit_graph, CombinedRestriction};
-use tg_par::{par_audit, par_queries, seq_queries, Pool, Query};
+use tg_inc::SharedIndex;
+use tg_par::{par_audit, par_queries, par_queries_indexed, seq_queries, Pool, Query};
 use tg_sim::workload::hierarchy;
 
 /// The job width the ISSUE-5 performance claim is made at.
@@ -147,6 +148,38 @@ fn bench_par(c: &mut Criterion) {
         par_queries(&w.built.graph, &w.queries, &pool);
     });
 
+    // Indexed leg: the same query batch through the island-sharded
+    // SharedIndex, one-worker pool vs RACE_JOBS. Each timed iteration
+    // builds a fresh index so both sides pay the same cold-memo cost and
+    // the race measures concurrent shard access, not residual cache
+    // state. Lock contention and memo traffic are captured from the obs
+    // counters over one instrumented parallel pass.
+    let index = SharedIndex::new(&w.built.graph, &w.built.assignment, &CombinedRestriction);
+    assert_eq!(
+        par_queries_indexed(&w.built.graph, &index, &w.queries, &pool),
+        seq_answers,
+        "sharded-index query answers diverged from the sequential loop"
+    );
+    let indexed_seq_ns = time_ns(iters, || {
+        let index = SharedIndex::new(&w.built.graph, &w.built.assignment, &CombinedRestriction);
+        par_queries_indexed(&w.built.graph, &index, &w.queries, &Pool::sequential());
+    });
+    let indexed_par_ns = time_ns(iters, || {
+        let index = SharedIndex::new(&w.built.graph, &w.built.assignment, &CombinedRestriction);
+        par_queries_indexed(&w.built.graph, &index, &w.queries, &pool);
+    });
+    let (lock_waits, memo_hits, memo_misses) = {
+        let session = tg_obs::Session::start(true, false);
+        let index = SharedIndex::new(&w.built.graph, &w.built.assignment, &CombinedRestriction);
+        par_queries_indexed(&w.built.graph, &index, &w.queries, &pool);
+        let tally = session.snapshot();
+        (
+            tally.counter(tg_obs::Counter::ParLockWait),
+            tally.counter(tg_obs::Counter::IncMemoHits),
+            tally.counter(tg_obs::Counter::IncMemoMisses),
+        )
+    };
+
     // Corpus leg: the same audit + query batch on a generated DAG
     // lattice, recorded with its scale and seed. Agreement is asserted;
     // the timing is informational (the speed claims stay pinned to the
@@ -190,6 +223,8 @@ fn bench_par(c: &mut Criterion) {
             "  \"vertices\": {},\n  \"edges\": {},\n  \"queries\": {},\n",
             "  \"audit\": {{ \"parallel_ns\": {:.0}, \"sequential_ns\": {:.0}, \"speedup\": {:.2} }},\n",
             "  \"queries_batch\": {{ \"parallel_ns\": {:.0}, \"sequential_ns\": {:.0}, \"speedup\": {:.2} }},\n",
+            "  \"queries_indexed\": {{ \"parallel_ns\": {:.0}, \"sequential_ns\": {:.0}, \"speedup\": {:.2}, ",
+            "\"lock_waits\": {}, \"memo_hits\": {}, \"memo_misses\": {} }},\n",
             "  \"corpus\": {{ \"family\": \"dag\", \"scale\": {}, \"seed\": {}, ",
             "\"vertices\": {}, \"edges\": {}, \"queries\": {}, ",
             "\"parallel_ns\": {:.0}, \"sequential_ns\": {:.0}, \"speedup\": {:.2} }}\n",
@@ -208,6 +243,12 @@ fn bench_par(c: &mut Criterion) {
         queries_par_ns,
         queries_seq_ns,
         queries_seq_ns / queries_par_ns,
+        indexed_par_ns,
+        indexed_seq_ns,
+        indexed_seq_ns / indexed_par_ns,
+        lock_waits,
+        memo_hits,
+        memo_misses,
         scale,
         CORPUS_SEED,
         cw.built.graph.vertex_count(),
@@ -231,6 +272,12 @@ fn bench_par(c: &mut Criterion) {
             queries_par_ns < queries_seq_ns,
             "parallel query batch ({queries_par_ns:.0} ns) must beat the sequential loop \
              ({queries_seq_ns:.0} ns) at jobs={RACE_JOBS} on a {parallelism}-thread host"
+        );
+        assert!(
+            indexed_par_ns < indexed_seq_ns,
+            "sharded-index query batch ({indexed_par_ns:.0} ns) must beat its one-worker run \
+             ({indexed_seq_ns:.0} ns) at jobs={RACE_JOBS} on a {parallelism}-thread host — \
+             the per-island memo locks exist so this race is winnable"
         );
     } else {
         println!(

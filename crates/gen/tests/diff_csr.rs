@@ -1,0 +1,276 @@
+//! ISSUE 10 acceptance: the CSR-vs-legacy differential suite.
+//!
+//! The hot graph representation moved from one `BTreeMap` per vertex to
+//! an interned CSR core with a mutation overlay and periodic re-pack
+//! (`tg_graph::csr`). The pre-refactor layout survives as
+//! [`LegacyGraph`] — the specification — and this suite drives 256
+//! proptest cases across the full `tg-gen` corpus through **both**
+//! layouts with a churn phase designed to leave the CSR graph mid-life:
+//! packed entries, overlay edits shadowing them, tombstones, and
+//! re-packs forced at a case-chosen threshold. Equivalence is then
+//! asserted on everything downstream consumers read:
+//!
+//! * the edge stream, per-vertex adjacency (out and in), and edge
+//!   counts — record for record, in order;
+//! * audit verdicts and diagnostics (byte-identical formatting, the
+//!   Corollary 5.6 contract);
+//! * `can_share`/`can_know` answers (Theorems 2.3/3.2) on a
+//!   deterministic sample;
+//! * the island partition in canonical form (paper §2).
+//!
+//! A second property pins the intern/re-pack round trip: a random
+//! mutation script replayed into both layouts agrees at *every* pack
+//! state, and packing is logically invisible.
+
+use proptest::prelude::*;
+use tg_analysis::Islands;
+use tg_gen::{generate, Family, GenConfig};
+use tg_graph::legacy::LegacyGraph;
+use tg_graph::{EdgeRecord, ProtectionGraph, Right, Rights, VertexId};
+use tg_hierarchy::{audit_diagnostics, audit_graph, CombinedRestriction};
+
+/// Replays `source`'s vertices and edges into both layouts, then churns
+/// a deterministic subset of edges through both: remove-then-re-add
+/// (overlay round trips), permanent single-right removal (tombstones or
+/// label shrink), and implicit add/remove cycles. The CSR side runs with
+/// the case's pack threshold, so re-packs interleave with the churn.
+fn replay_with_churn(
+    source: &ProtectionGraph,
+    pack_threshold: usize,
+) -> (ProtectionGraph, LegacyGraph) {
+    let mut csr = ProtectionGraph::with_capacity(source.vertex_count());
+    csr.set_pack_threshold(pack_threshold);
+    let mut legacy = LegacyGraph::new();
+    for (_, v) in source.vertices() {
+        csr.add_vertex(v.kind, v.name.clone());
+        legacy.add_vertex(v.kind, v.name.clone());
+    }
+    let edges: Vec<EdgeRecord> = source.edges().collect();
+    for e in &edges {
+        if !e.rights.explicit.is_empty() {
+            csr.add_edge(e.src, e.dst, e.rights.explicit).unwrap();
+            legacy.add_edge(e.src, e.dst, e.rights.explicit).unwrap();
+        }
+        if !e.rights.implicit.is_empty() {
+            csr.add_implicit_edge(e.src, e.dst, e.rights.implicit)
+                .unwrap();
+            legacy
+                .add_implicit_edge(e.src, e.dst, e.rights.implicit)
+                .unwrap();
+        }
+    }
+    for (i, e) in edges.iter().enumerate() {
+        match i % 4 {
+            0 if !e.rights.explicit.is_empty() => {
+                // Remove-then-re-add of the same label: must collapse to
+                // the original state in both layouts.
+                csr.remove_explicit_rights(e.src, e.dst, e.rights.explicit)
+                    .unwrap();
+                legacy
+                    .remove_explicit_rights(e.src, e.dst, e.rights.explicit)
+                    .unwrap();
+                csr.add_edge(e.src, e.dst, e.rights.explicit).unwrap();
+                legacy.add_edge(e.src, e.dst, e.rights.explicit).unwrap();
+            }
+            1 => {
+                // Permanent removal of one explicit right: a tombstone if
+                // the label empties, a shrunken overlay entry otherwise.
+                if let Some(right) = e.rights.explicit.iter().next() {
+                    csr.remove_explicit_rights(e.src, e.dst, Rights::singleton(right))
+                        .unwrap();
+                    legacy
+                        .remove_explicit_rights(e.src, e.dst, Rights::singleton(right))
+                        .unwrap();
+                }
+            }
+            2 => {
+                // Implicit add/remove cycle across possibly several
+                // re-pack boundaries.
+                csr.add_implicit_edge(e.src, e.dst, Rights::R).unwrap();
+                legacy.add_implicit_edge(e.src, e.dst, Rights::R).unwrap();
+                csr.remove_implicit_rights(e.src, e.dst, Rights::R).unwrap();
+                legacy
+                    .remove_implicit_rights(e.src, e.dst, Rights::R)
+                    .unwrap();
+            }
+            _ => {}
+        }
+    }
+    (csr, legacy)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The churned CSR graph and the legacy layout agree on every read
+    /// surface, and the overlay-laden graph equals a packed-fresh
+    /// rebuild of the legacy content.
+    #[test]
+    fn csr_and_legacy_layouts_agree_across_corpus(
+        (family_idx, scale, seed, pack_threshold) in
+            (0usize..4, 8usize..21, 0u64..1_000_000, 1usize..24)
+    ) {
+        let family = Family::ALL[family_idx];
+        let config = GenConfig::new(family, scale, seed);
+        let scenario = generate(&config);
+        let label = format!("{family} scale={scale} seed={seed} thr={pack_threshold}");
+
+        let (csr, legacy) = replay_with_churn(&scenario.graph, pack_threshold);
+        prop_assert!(
+            csr.pack_count() > 0 || csr.overlay_len() > 0 || csr.edge_count() == 0,
+            "{label}: churn must exercise the overlay or a re-pack"
+        );
+
+        // Edge stream and counts, record for record.
+        let csr_edges: Vec<EdgeRecord> = csr.edges().collect();
+        let legacy_edges: Vec<EdgeRecord> = legacy.edges().collect();
+        prop_assert_eq!(&csr_edges, &legacy_edges, "{}: edge stream", label);
+        prop_assert_eq!(csr.edge_count(), legacy.edge_count(), "{}: edge_count", label);
+        prop_assert_eq!(
+            csr.explicit_edge_count(),
+            legacy.explicit_edge_count(),
+            "{}: explicit_edge_count",
+            label
+        );
+
+        // Per-vertex adjacency, both directions, plus name interning.
+        for v in csr.vertex_ids() {
+            let out_c: Vec<_> = csr.out_edges(v).collect();
+            let out_l: Vec<_> = legacy.out_edges(v).collect();
+            prop_assert_eq!(out_c, out_l, "{}: out_edges({})", label, v);
+            let in_c: Vec<_> = csr.in_edges(v).collect();
+            let in_l: Vec<_> = legacy.in_edges(v).collect();
+            prop_assert_eq!(in_c, in_l, "{}: in_edges({})", label, v);
+            prop_assert_eq!(
+                csr.find_by_name(&csr.vertex(v).name),
+                legacy.find_by_name(&legacy.vertex(v).name),
+                "{}: find_by_name({})",
+                label,
+                v
+            );
+        }
+
+        // The overlay-laden graph is logically equal to a packed-fresh
+        // rebuild: divergence here pins a bug to the overlay/merge
+        // machinery specifically.
+        let rebuilt = legacy.to_graph();
+        prop_assert!(rebuilt.is_packed());
+        prop_assert_eq!(&csr, &rebuilt, "{}: csr == packed rebuild", label);
+
+        // Audit verdicts and byte-identical diagnostics (Cor 5.6).
+        let diags_csr = audit_diagnostics(&csr, &scenario.levels, &CombinedRestriction, None);
+        let diags_rebuilt =
+            audit_diagnostics(&rebuilt, &scenario.levels, &CombinedRestriction, None);
+        prop_assert_eq!(
+            format!("{diags_csr:#?}"),
+            format!("{diags_rebuilt:#?}"),
+            "{}: diagnostics byte-identity",
+            label
+        );
+        prop_assert_eq!(
+            audit_graph(&csr, &scenario.levels, &CombinedRestriction),
+            audit_graph(&rebuilt, &scenario.levels, &CombinedRestriction),
+            "{}: audit verdicts",
+            label
+        );
+
+        // Island partitions (paper §2), canonical form.
+        prop_assert_eq!(
+            Islands::compute(&csr).canonical(),
+            Islands::compute(&rebuilt).canonical(),
+            "{}: island partition",
+            label
+        );
+
+        // Theorem 2.3 / 3.2 answers on a deterministic sample.
+        let n = csr.vertex_count();
+        for i in 0..8usize {
+            let x = VertexId::from_index((i * 7 + 1) % n);
+            let y = VertexId::from_index((i * 13 + 3) % n);
+            if x == y {
+                continue;
+            }
+            prop_assert_eq!(
+                tg_analysis::can_share(&csr, Right::Read, x, y),
+                tg_analysis::can_share(&rebuilt, Right::Read, x, y),
+                "{}: can_share({}, {})",
+                label,
+                x,
+                y
+            );
+            prop_assert_eq!(
+                tg_analysis::can_know(&csr, x, y),
+                tg_analysis::can_know(&rebuilt, x, y),
+                "{}: can_know({}, {})",
+                label,
+                x,
+                y
+            );
+        }
+    }
+
+    /// Intern/re-pack round trip: a random mutation script agrees with
+    /// the legacy layout at every pack state, and an explicit `pack()`
+    /// at the end changes nothing observable.
+    #[test]
+    fn random_scripts_round_trip_through_repacks(
+        ops in prop::collection::vec((0u8..5, 0usize..12, 0usize..12, 1u16..32), 1..120),
+        pack_threshold in 1usize..10,
+    ) {
+        let mut csr = ProtectionGraph::new();
+        csr.set_pack_threshold(pack_threshold);
+        let mut legacy = LegacyGraph::new();
+        for i in 0..12usize {
+            let name = format!("v{i}");
+            if i % 3 == 0 {
+                csr.add_object(name.clone());
+                legacy.add_object(name);
+            } else {
+                csr.add_subject(name.clone());
+                legacy.add_subject(name);
+            }
+        }
+        for (op, a, b, bits) in ops {
+            let (src, dst) = (VertexId::from_index(a), VertexId::from_index(b));
+            let rights = Rights::from_bits(bits);
+            if rights.is_empty() {
+                continue;
+            }
+            match op {
+                0 => {
+                    prop_assert_eq!(
+                        csr.add_edge(src, dst, rights),
+                        legacy.add_edge(src, dst, rights)
+                    );
+                }
+                1 => {
+                    prop_assert_eq!(
+                        csr.add_implicit_edge(src, dst, rights),
+                        legacy.add_implicit_edge(src, dst, rights)
+                    );
+                }
+                2 => {
+                    prop_assert_eq!(
+                        csr.remove_explicit_rights(src, dst, rights),
+                        legacy.remove_explicit_rights(src, dst, rights)
+                    );
+                }
+                3 => {
+                    prop_assert_eq!(
+                        csr.remove_implicit_rights(src, dst, rights),
+                        legacy.remove_implicit_rights(src, dst, rights)
+                    );
+                }
+                _ => csr.pack(),
+            }
+            prop_assert_eq!(csr.edge_count(), legacy.edge_count());
+        }
+        let before: Vec<EdgeRecord> = csr.edges().collect();
+        let legacy_edges: Vec<EdgeRecord> = legacy.edges().collect();
+        prop_assert_eq!(&before, &legacy_edges, "script end state");
+        csr.pack();
+        let after: Vec<EdgeRecord> = csr.edges().collect();
+        prop_assert_eq!(&after, &before, "pack() is logically invisible");
+        prop_assert!(csr.is_packed());
+    }
+}

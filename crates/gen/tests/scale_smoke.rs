@@ -1,0 +1,107 @@
+//! The 10⁶-edge scale tier, gated behind `TGQ_SCALE_TEST=1`.
+//!
+//! The CSR refactor exists so the corpus can reach 10⁶–10⁷ edges without
+//! the per-edge `BTreeMap` node overhead of the legacy layout. This
+//! smoke test pins that claim end to end: generate the Figure 4.2
+//! military lattice at a million edges, run the Corollary 5.6 whole-
+//! graph audit and the island partition over it, and assert the
+//! process's peak resident set stayed inside the documented budget.
+//!
+//! # Memory budget
+//!
+//! 1 GiB of peak RSS (`VmHWM`), measured on Linux via
+//! `/proc/self/status`; elsewhere the RSS assertion is skipped and the
+//! test only checks completion. The budget is deliberately loose —
+//! roughly 5× the observed ~210 MiB high-water mark — so it catches layout
+//! regressions (an accidental return to per-edge heap nodes lands well
+//! above it) without flaking on allocator variance. For the record, the
+//! packed CSR core itself is ~16 bytes/edge (`targets` + `rights` +
+//! reverse rows), i.e. ~16 MiB of the total; the rest is the generator,
+//! the level assignment, and audit scratch.
+//!
+//! Run it with:
+//!
+//! ```text
+//! TGQ_SCALE_TEST=1 cargo test --release -p tg-gen --test scale_smoke
+//! ```
+//!
+//! Keep `--release`: debug builds are ~10× slower here and the gate
+//! exists precisely so `cargo test -q` stays fast.
+
+use tg_gen::{generate, Family, GenConfig};
+use tg_hierarchy::{audit_graph, CombinedRestriction};
+
+/// Peak resident set size in bytes (`VmHWM`), or `None` off-Linux.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
+const RSS_BUDGET_BYTES: u64 = 1024 * 1024 * 1024;
+
+#[test]
+fn million_edge_military_lattice_audits_within_budget() {
+    if std::env::var("TGQ_SCALE_TEST").as_deref() != Ok("1") {
+        eprintln!("scale_smoke: skipped (set TGQ_SCALE_TEST=1 to run)");
+        return;
+    }
+
+    // Military at scale 500_000 crosses 10⁶ edges (deterministic in the
+    // seed; see the generator's dims mapping).
+    let config = GenConfig::new(Family::Military, 500_000, 42);
+    let scenario = generate(&config);
+    assert!(
+        scenario.graph.edge_count() >= 1_000_000,
+        "expected a 10⁶-edge lattice, got {}",
+        scenario.graph.edge_count()
+    );
+    // The auto-repack contract: the mutable overlay never grows past
+    // ~⅛ of the packed core, so the bulk of a million edges lives in
+    // the flat CSR arrays, not in per-edge tree nodes.
+    let overlay = scenario.graph.overlay_len();
+    let packed = scenario.graph.packed_edge_count();
+    assert!(
+        overlay <= 64.max(packed / 8),
+        "overlay {overlay} entries vs {packed} packed edges — auto \
+         re-pack did not keep the overlay bounded"
+    );
+    assert!(
+        scenario.graph.pack_count() > 0,
+        "building 10⁶ edges must re-pack"
+    );
+
+    // The Corollary 5.6 audit over the full graph: corpus scenarios are
+    // audit-clean by construction.
+    let violations = audit_graph(&scenario.graph, &scenario.levels, &CombinedRestriction);
+    assert!(
+        violations.is_empty(),
+        "corpus lattice must be audit-clean, got {} violations",
+        violations.len()
+    );
+
+    // The island partition at scale: every island is level-homogeneous
+    // in the military lattice, so the partition is nontrivial.
+    let islands = tg_analysis::Islands::compute(&scenario.graph);
+    assert!(islands.canonical().len() > 1, "lattice has many islands");
+
+    match peak_rss_bytes() {
+        Some(peak) => {
+            eprintln!(
+                "scale_smoke: {} edges, peak RSS {} MiB (budget {} MiB)",
+                scenario.graph.edge_count(),
+                peak >> 20,
+                RSS_BUDGET_BYTES >> 20
+            );
+            assert!(
+                peak <= RSS_BUDGET_BYTES,
+                "peak RSS {} MiB exceeds the {} MiB budget — did the graph \
+                 layout regress to per-edge heap nodes?",
+                peak >> 20,
+                RSS_BUDGET_BYTES >> 20
+            );
+        }
+        None => eprintln!("scale_smoke: non-Linux host, RSS assertion skipped"),
+    }
+}

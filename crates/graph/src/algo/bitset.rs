@@ -1,0 +1,162 @@
+//! A growable bitset over `usize` indices.
+//!
+//! Dense membership sets over vertex indices — per-level membership in
+//! the incremental index, visited sets in traversals — want one bit per
+//! vertex, not one `BTreeSet` node per member. Iteration yields members
+//! in ascending order, so code migrating from `BTreeSet<usize>` keeps
+//! its deterministic output.
+
+const WORD_BITS: usize = 64;
+
+/// A set of `usize` values stored one bit per value, growing on demand.
+///
+/// # Examples
+///
+/// ```
+/// use tg_graph::algo::BitSet;
+///
+/// let mut set = BitSet::new();
+/// set.insert(3);
+/// set.insert(200);
+/// assert!(set.contains(3));
+/// assert_eq!(set.iter().collect::<Vec<_>>(), vec![3, 200]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set.
+    pub fn new() -> BitSet {
+        BitSet::default()
+    }
+
+    /// Creates an empty set with room for values below `capacity`
+    /// without reallocating.
+    pub fn with_capacity(capacity: usize) -> BitSet {
+        BitSet {
+            words: Vec::with_capacity(capacity.div_ceil(WORD_BITS)),
+            len: 0,
+        }
+    }
+
+    /// Inserts `value`; returns whether it was newly added.
+    pub fn insert(&mut self, value: usize) -> bool {
+        let word = value / WORD_BITS;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << (value % WORD_BITS);
+        let fresh = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// Removes `value`; returns whether it was present.
+    pub fn remove(&mut self, value: usize) -> bool {
+        let word = value / WORD_BITS;
+        if word >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << (value % WORD_BITS);
+        let present = self.words[word] & mask != 0;
+        self.words[word] &= !mask;
+        self.len -= usize::from(present);
+        present
+    }
+
+    /// Whether `value` is a member.
+    pub fn contains(&self, value: usize) -> bool {
+        self.words
+            .get(value / WORD_BITS)
+            .is_some_and(|w| w & (1u64 << (value % WORD_BITS)) != 0)
+    }
+
+    /// Number of members. O(1): maintained across mutations.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &word)| {
+            let base = i * WORD_BITS;
+            BitIter { word, base }
+        })
+    }
+
+    /// Removes every member.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+}
+
+/// Iterator over the set bits of one word, ascending.
+struct BitIter {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let bit = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.base + bit)
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> BitSet {
+        let mut set = BitSet::new();
+        for value in iter {
+            set.insert(value);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut set = BitSet::new();
+        assert!(set.insert(5));
+        assert!(!set.insert(5));
+        assert!(set.contains(5));
+        assert!(!set.contains(6));
+        assert_eq!(set.len(), 1);
+        assert!(set.remove(5));
+        assert!(!set.remove(5));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_ascending_across_words() {
+        let set: BitSet = [130, 0, 63, 64, 7].into_iter().collect();
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![0, 7, 63, 64, 130]);
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn remove_beyond_capacity_is_noop() {
+        let mut set = BitSet::new();
+        assert!(!set.remove(1000));
+        assert!(!set.contains(1000));
+    }
+}

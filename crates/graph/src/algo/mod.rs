@@ -4,8 +4,10 @@
 //! run over derived graphs (flow graphs, link graphs, island graphs) as well
 //! as over protection graphs themselves.
 
+mod bitset;
 mod scc;
 mod unionfind;
 
+pub use bitset::BitSet;
 pub use scc::{condensation, tarjan_scc, Condensation};
 pub use unionfind::{Epoch, EpochUnionFind, UnionFind};

@@ -1,0 +1,523 @@
+//! The packed graph core: CSR parallel arrays plus a mutation overlay.
+//!
+//! [`ProtectionGraph`](crate::ProtectionGraph) stores its adjacency in
+//! two halves:
+//!
+//! * [`CsrCore`] — the *packed* edges in compressed-sparse-row form:
+//!   three parallel arrays (`offsets`, `targets`, `rights`) for forward
+//!   traversal plus a reverse CSR (`in_offsets`, `in_sources`,
+//!   `in_rights`) for predecessor queries with their labels inline.
+//!   Immutable between re-packs, so a whole-graph
+//!   scan (the Corollary 5.6 audit, the Theorem 5.5 closure) is a linear
+//!   walk over contiguous memory instead of a pointer chase through
+//!   per-vertex tree maps.
+//! * [`Overlay`] — a small sorted edit set shadowing the packed core.
+//!   Every mutation writes the pair's *absolute* post-state here
+//!   (`Some(rights)` = the pair carries exactly these labels, `None` =
+//!   tombstone, the pair carries nothing), so a read never has to merge
+//!   deltas: the overlay answer, when present, is the answer.
+//!
+//! When the overlay grows past the re-pack threshold the graph folds it
+//! into a fresh `CsrCore` and clears it — an O(V + E) pass amortized
+//! over the Θ(E / threshold-fraction) mutations that filled the overlay.
+//! Logical content is invariant under re-packing, which is what keeps
+//! `tg_inc`'s one-edge-recheck contract alive: the index never observes
+//! a re-pack, only the mutations around it.
+
+use std::collections::{btree_map, btree_set, BTreeMap, BTreeSet};
+
+use crate::algo::BitSet;
+use crate::graph::EdgeRights;
+
+/// The packed half of the adjacency: struct-of-arrays CSR, forward and
+/// reverse. Rows are vertices `0..rows()`; vertices added after the last
+/// re-pack have no row yet and live purely in the overlay.
+#[derive(Clone, Default, Debug)]
+pub(crate) struct CsrCore {
+    /// Forward row boundaries: row `v` is `targets[offsets[v]..offsets[v+1]]`.
+    /// Empty (`len == 0`) means zero rows; otherwise `len == rows + 1`.
+    offsets: Vec<u32>,
+    /// Successor vertex per packed edge, ascending within each row.
+    targets: Vec<u32>,
+    /// Labels parallel to `targets`.
+    rights: Vec<EdgeRights>,
+    /// Reverse row boundaries, same convention as `offsets`.
+    in_offsets: Vec<u32>,
+    /// Predecessor vertex per packed edge, ascending within each row.
+    in_sources: Vec<u32>,
+    /// Labels parallel to `in_sources`, so a predecessor sweep reads its
+    /// rights in O(1) instead of binary-searching the forward row.
+    in_rights: Vec<EdgeRights>,
+}
+
+impl CsrCore {
+    /// Number of packed rows (vertices known at the last re-pack).
+    pub(crate) fn rows(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of packed edges.
+    pub(crate) fn edge_len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The packed out-row of `v`: `(targets, rights)` parallel slices,
+    /// empty for rows past the packed range.
+    #[inline]
+    pub(crate) fn row(&self, v: usize) -> (&[u32], &[EdgeRights]) {
+        if v + 1 >= self.offsets.len() {
+            return (&[], &[]);
+        }
+        let (lo, hi) = (self.offsets[v] as usize, self.offsets[v + 1] as usize);
+        (&self.targets[lo..hi], &self.rights[lo..hi])
+    }
+
+    /// The packed in-row of `v`: `(predecessors, rights)` parallel slices,
+    /// predecessors ascending.
+    #[inline]
+    pub(crate) fn in_row(&self, v: usize) -> (&[u32], &[EdgeRights]) {
+        if v + 1 >= self.in_offsets.len() {
+            return (&[], &[]);
+        }
+        let (lo, hi) = (self.in_offsets[v] as usize, self.in_offsets[v + 1] as usize);
+        (&self.in_sources[lo..hi], &self.in_rights[lo..hi])
+    }
+
+    /// The packed labels of `(src, dst)`, by binary search within the row.
+    #[inline]
+    pub(crate) fn get(&self, src: u32, dst: u32) -> Option<EdgeRights> {
+        let (targets, rights) = self.row(src as usize);
+        targets.binary_search(&dst).ok().map(|i| rights[i])
+    }
+
+    /// Packs per-vertex rows (each already sorted by target) into a fresh
+    /// core, building the reverse CSR by counting sort over destinations.
+    pub(crate) fn from_rows(rows: &[Vec<(u32, EdgeRights)>]) -> CsrCore {
+        let n = rows.len();
+        let m: usize = rows.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(m);
+        let mut rights = Vec::with_capacity(m);
+        offsets.push(0);
+        for row in rows {
+            debug_assert!(row.windows(2).all(|w| w[0].0 < w[1].0), "rows are sorted");
+            for &(dst, r) in row {
+                targets.push(dst);
+                rights.push(r);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        // Reverse CSR: count in-degrees, prefix-sum, then scatter sources
+        // in ascending src order so each in-row comes out sorted.
+        let mut in_degree = vec![0u32; n];
+        for &dst in &targets {
+            in_degree[dst as usize] += 1;
+        }
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        in_offsets.push(0u32);
+        for v in 0..n {
+            in_offsets.push(in_offsets[v] + in_degree[v]);
+        }
+        let mut cursor: Vec<u32> = in_offsets[..n].to_vec();
+        let mut in_sources = vec![0u32; m];
+        let mut in_rights = vec![EdgeRights::default(); m];
+        for (src, row) in rows.iter().enumerate() {
+            for &(dst, r) in row {
+                let slot = cursor[dst as usize];
+                in_sources[slot as usize] = src as u32;
+                in_rights[slot as usize] = r;
+                cursor[dst as usize] = slot + 1;
+            }
+        }
+        CsrCore {
+            offsets,
+            targets,
+            rights,
+            in_offsets,
+            in_sources,
+            in_rights,
+        }
+    }
+}
+
+/// The mutable half of the adjacency: absolute per-pair states shadowing
+/// the packed core, with a reverse index for predecessor queries.
+#[derive(Clone, Default, Debug)]
+pub(crate) struct Overlay {
+    /// `edits[src][dst]`: `Some(rights)` = the pair carries exactly these
+    /// labels; `None` = tombstone (the pair carries nothing, hiding any
+    /// packed entry).
+    edits: BTreeMap<u32, BTreeMap<u32, Option<EdgeRights>>>,
+    /// Reverse adjacency of the overlay: every `(src, dst)` edit appears
+    /// as `src ∈ rev[dst]`, tombstones included.
+    rev: BTreeMap<u32, BTreeSet<u32>>,
+    /// Bit `src` set iff `edits` has a row for `src`. Point lookups on
+    /// the hot read path test one bit instead of probing the map — after
+    /// a re-pack almost every vertex is untouched, and analysis loops
+    /// (`can_share` BFS, the Cor 5.6 edge scan) do millions of lookups.
+    touched_src: BitSet,
+    /// Bit `dst` set iff `rev` has an entry for `dst`.
+    touched_dst: BitSet,
+    /// Total number of edits (the re-pack trigger).
+    len: usize,
+}
+
+impl Overlay {
+    /// The edit for `(src, dst)`: `None` = no edit (fall through to the
+    /// packed core), `Some(state)` = the absolute state.
+    #[inline]
+    pub(crate) fn get(&self, src: u32, dst: u32) -> Option<Option<EdgeRights>> {
+        if !self.touched_src.contains(src as usize) {
+            return None;
+        }
+        self.edits.get(&src).and_then(|row| row.get(&dst)).copied()
+    }
+
+    /// Writes the absolute state of `(src, dst)`.
+    pub(crate) fn set(&mut self, src: u32, dst: u32, state: Option<EdgeRights>) {
+        let row = self.edits.entry(src).or_default();
+        if row.insert(dst, state).is_none() {
+            self.len += 1;
+            self.touched_src.insert(src as usize);
+            self.rev.entry(dst).or_default().insert(src);
+            self.touched_dst.insert(dst as usize);
+        }
+    }
+
+    /// Drops the edit for `(src, dst)` entirely, if present.
+    pub(crate) fn remove(&mut self, src: u32, dst: u32) {
+        if let Some(row) = self.edits.get_mut(&src) {
+            if row.remove(&dst).is_some() {
+                self.len -= 1;
+                if row.is_empty() {
+                    self.edits.remove(&src);
+                    self.touched_src.remove(src as usize);
+                }
+                if let Some(set) = self.rev.get_mut(&dst) {
+                    set.remove(&src);
+                    if set.is_empty() {
+                        self.rev.remove(&dst);
+                        self.touched_dst.remove(dst as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops every edit whose source is `src` (vertex retraction).
+    pub(crate) fn remove_row(&mut self, src: u32) {
+        if let Some(row) = self.edits.remove(&src) {
+            self.len -= row.len();
+            self.touched_src.remove(src as usize);
+            for dst in row.keys() {
+                if let Some(set) = self.rev.get_mut(dst) {
+                    set.remove(&src);
+                    if set.is_empty() {
+                        self.rev.remove(dst);
+                        self.touched_dst.remove(*dst as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The edit row of `src`, if any edits exist.
+    #[inline]
+    pub(crate) fn row(&self, src: u32) -> Option<&BTreeMap<u32, Option<EdgeRights>>> {
+        if !self.touched_src.contains(src as usize) {
+            return None;
+        }
+        self.edits.get(&src)
+    }
+
+    /// The sources with an edit targeting `dst` (tombstones included),
+    /// ascending. `None` when no edit targets `dst` (the common case).
+    #[inline]
+    pub(crate) fn preds(&self, dst: u32) -> Option<btree_set::Iter<'_, u32>> {
+        if !self.touched_dst.contains(dst as usize) {
+            return None;
+        }
+        self.rev.get(&dst).map(|set| set.iter())
+    }
+
+    /// Number of edits.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the overlay holds no edits.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops every edit (after a re-pack folded them into the core).
+    pub(crate) fn clear(&mut self) {
+        self.edits.clear();
+        self.rev.clear();
+        self.touched_src.clear();
+        self.touched_dst.clear();
+        self.len = 0;
+    }
+}
+
+/// The merged view of one vertex's out-edges: a sorted two-way merge of
+/// the packed row and the overlay edits, overlay shadowing packed,
+/// tombstones skipped. Yields `(dst, rights)` in ascending `dst` order —
+/// the same order the legacy `BTreeMap` adjacency produced, so every
+/// downstream consumer sees byte-identical iteration.
+pub(crate) enum MergedRow<'a> {
+    /// No overlay edits for this vertex (the common case after a
+    /// re-pack): the packed slices *are* the row, no merge branching.
+    Packed {
+        targets: &'a [u32],
+        rights: &'a [EdgeRights],
+        pos: usize,
+    },
+    /// Two-way merge of the packed row and the edit row.
+    Merged {
+        targets: &'a [u32],
+        rights: &'a [EdgeRights],
+        pos: usize,
+        edits: btree_map::Iter<'a, u32, Option<EdgeRights>>,
+        pending: Option<(u32, Option<EdgeRights>)>,
+    },
+}
+
+impl<'a> MergedRow<'a> {
+    #[inline]
+    pub(crate) fn new(core: &'a CsrCore, overlay: &'a Overlay, v: u32) -> MergedRow<'a> {
+        let (targets, rights) = core.row(v as usize);
+        match overlay.row(v) {
+            None => MergedRow::Packed {
+                targets,
+                rights,
+                pos: 0,
+            },
+            Some(row) => MergedRow::Merged {
+                targets,
+                rights,
+                pos: 0,
+                edits: row.iter(),
+                pending: None,
+            },
+        }
+    }
+}
+
+impl Iterator for MergedRow<'_> {
+    type Item = (u32, EdgeRights);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u32, EdgeRights)> {
+        let (targets, rights, pos, edits, pending) = match self {
+            MergedRow::Packed {
+                targets,
+                rights,
+                pos,
+            } => {
+                if *pos < targets.len() {
+                    let i = *pos;
+                    *pos += 1;
+                    return Some((targets[i], rights[i]));
+                }
+                return None;
+            }
+            MergedRow::Merged {
+                targets,
+                rights,
+                pos,
+                edits,
+                pending,
+            } => (targets, rights, pos, edits, pending),
+        };
+        loop {
+            let edit = pending
+                .take()
+                .or_else(|| edits.next().map(|(&d, &s)| (d, s)));
+            match edit {
+                None => {
+                    // Overlay exhausted: the rest is the packed tail.
+                    if *pos < targets.len() {
+                        let i = *pos;
+                        *pos += 1;
+                        return Some((targets[i], rights[i]));
+                    }
+                    return None;
+                }
+                Some((dst, state)) => {
+                    if *pos < targets.len() && targets[*pos] < dst {
+                        // Packed entries strictly before the edit pass
+                        // through untouched.
+                        *pending = Some((dst, state));
+                        let i = *pos;
+                        *pos += 1;
+                        return Some((targets[i], rights[i]));
+                    }
+                    if *pos < targets.len() && targets[*pos] == dst {
+                        // The edit shadows this packed entry.
+                        *pos += 1;
+                    }
+                    match state {
+                        Some(rights) => return Some((dst, rights)),
+                        None => continue, // tombstone: the pair is gone
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A sorted, deduplicating merge of the packed and overlay predecessor
+/// lists of one vertex. Yields `(src, Some(rights))` for predecessors
+/// whose labels come straight from the packed reverse row, and
+/// `(src, None)` for predecessors with an overlay edit — the caller must
+/// consult the overlay for those (the edit may be a tombstone).
+pub(crate) struct MergedPreds<'a> {
+    packed: &'a [u32],
+    rights: &'a [EdgeRights],
+    pos: usize,
+    overlay: Option<btree_set::Iter<'a, u32>>,
+    pending: Option<u32>,
+}
+
+impl<'a> MergedPreds<'a> {
+    #[inline]
+    pub(crate) fn new(core: &'a CsrCore, overlay: &'a Overlay, v: u32) -> MergedPreds<'a> {
+        let (packed, rights) = core.in_row(v as usize);
+        MergedPreds {
+            packed,
+            rights,
+            pos: 0,
+            overlay: overlay.preds(v),
+            pending: None,
+        }
+    }
+}
+
+impl Iterator for MergedPreds<'_> {
+    type Item = (u32, Option<EdgeRights>);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u32, Option<EdgeRights>)> {
+        let edit = self
+            .pending
+            .take()
+            .or_else(|| self.overlay.as_mut().and_then(|it| it.next().copied()));
+        match edit {
+            None => {
+                if self.pos < self.packed.len() {
+                    let i = self.pos;
+                    self.pos += 1;
+                    return Some((self.packed[i], Some(self.rights[i])));
+                }
+                None
+            }
+            Some(src) => {
+                if self.pos < self.packed.len() && self.packed[self.pos] < src {
+                    self.pending = Some(src);
+                    let i = self.pos;
+                    self.pos += 1;
+                    return Some((self.packed[i], Some(self.rights[i])));
+                }
+                if self.pos < self.packed.len() && self.packed[self.pos] == src {
+                    self.pos += 1; // present in both halves: emit once
+                }
+                Some((src, None))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rights;
+
+    fn er(explicit: Rights) -> EdgeRights {
+        EdgeRights {
+            explicit,
+            implicit: Rights::EMPTY,
+        }
+    }
+
+    #[test]
+    fn from_rows_builds_forward_and_reverse() {
+        let rows = vec![
+            vec![(1, er(Rights::R)), (2, er(Rights::W))],
+            vec![(2, er(Rights::T))],
+            vec![],
+        ];
+        let core = CsrCore::from_rows(&rows);
+        assert_eq!(core.rows(), 3);
+        assert_eq!(core.edge_len(), 3);
+        assert_eq!(core.row(0).0, &[1, 2]);
+        assert_eq!(core.get(0, 2), Some(er(Rights::W)));
+        assert_eq!(core.get(2, 0), None);
+        assert_eq!(core.in_row(2).0, &[0, 1]);
+        assert_eq!(core.in_row(2).1, &[er(Rights::W), er(Rights::T)]);
+        assert_eq!(core.in_row(0).0, &[] as &[u32]);
+        // Rows past the packed range are empty, not a panic.
+        assert_eq!(core.row(7).0, &[] as &[u32]);
+    }
+
+    #[test]
+    fn merged_row_shadows_and_tombstones() {
+        let rows = vec![
+            vec![(1, er(Rights::R)), (3, er(Rights::W))],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        ];
+        let core = CsrCore::from_rows(&rows);
+        let mut overlay = Overlay::default();
+        overlay.set(0, 1, None); // tombstone a packed edge
+        overlay.set(0, 2, Some(er(Rights::T))); // insert between packed
+        overlay.set(0, 4, Some(er(Rights::G))); // append past packed
+        let merged: Vec<(u32, EdgeRights)> = MergedRow::new(&core, &overlay, 0).collect();
+        assert_eq!(
+            merged,
+            vec![(2, er(Rights::T)), (3, er(Rights::W)), (4, er(Rights::G))]
+        );
+        // A row with no edits is the raw packed slice.
+        assert_eq!(MergedRow::new(&core, &overlay, 1).count(), 0);
+    }
+
+    #[test]
+    fn merged_preds_deduplicates() {
+        let rows = vec![vec![(2, er(Rights::R))], vec![(2, er(Rights::W))], vec![]];
+        let core = CsrCore::from_rows(&rows);
+        let mut overlay = Overlay::default();
+        overlay.set(1, 2, Some(er(Rights::T))); // src 1 in both halves
+        overlay.set(0, 2, None); // tombstone still listed (caller filters)
+        let preds: Vec<(u32, Option<EdgeRights>)> = MergedPreds::new(&core, &overlay, 2).collect();
+        // Overlay-edited pairs come back `None`: the caller reads through
+        // the overlay (which may tombstone them).
+        assert_eq!(preds, vec![(0, None), (1, None)]);
+        // A purely packed predecessor carries its rights inline.
+        let packed_only: Vec<(u32, Option<EdgeRights>)> =
+            MergedPreds::new(&core, &Overlay::default(), 2).collect();
+        assert_eq!(
+            packed_only,
+            vec![(0, Some(er(Rights::R))), (1, Some(er(Rights::W)))]
+        );
+    }
+
+    #[test]
+    fn overlay_len_tracks_distinct_pairs() {
+        let mut overlay = Overlay::default();
+        overlay.set(0, 1, Some(er(Rights::R)));
+        overlay.set(0, 1, None); // overwrite, not a new edit
+        overlay.set(2, 1, Some(er(Rights::W)));
+        assert_eq!(overlay.len(), 2);
+        assert_eq!(
+            overlay.preds(1).unwrap().copied().collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        overlay.remove(0, 1);
+        assert_eq!(overlay.len(), 1);
+        overlay.remove_row(2);
+        assert!(overlay.is_empty());
+        assert!(overlay.preds(1).is_none());
+    }
+}

@@ -1,7 +1,8 @@
 //! The protection graph itself.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::HashMap;
 
+use crate::csr::{CsrCore, MergedPreds, MergedRow, Overlay};
 use crate::{GraphError, Right, Rights, Vertex, VertexId, VertexKind};
 
 /// The explicit and implicit rights carried by one ordered vertex pair.
@@ -59,6 +60,17 @@ pub struct EdgeRecord {
 /// implicit (information flow). Vertices are never removed; edges disappear
 /// when their last right is removed.
 ///
+/// # Memory layout
+///
+/// Vertex ids are interned: dense `u32` creation-order indices behind
+/// [`VertexId`], with a name → first-id intern table making
+/// [`ProtectionGraph::find_by_name`] O(1). Adjacency lives in a packed
+/// CSR core (struct-of-arrays `offsets`/`targets`/`rights`, forward and
+/// reverse) plus a small sorted mutation overlay; when the overlay grows
+/// past the re-pack threshold it is folded back into the CSR arrays.
+/// Logical content — every label, every iteration order — is invariant
+/// under re-packing; see `DESIGN.md` §16 for the lifecycle.
+///
 /// Mutating methods validate their arguments and return [`GraphError`];
 /// read-only accessors taking a [`VertexId`] panic on ids that do not belong
 /// to this graph, exactly like indexing a `Vec` (passing a foreign id is a
@@ -77,14 +89,38 @@ pub struct EdgeRecord {
 /// assert_eq!(g.vertex_count(), 2);
 /// assert_eq!(g.rights(s, o).explicit(), Rights::RW);
 /// ```
-#[derive(Clone, PartialEq, Eq, Default, Debug)]
+#[derive(Clone, Default, Debug)]
 pub struct ProtectionGraph {
     vertices: Vec<Vertex>,
-    /// Outgoing adjacency: `out[v]` maps successor index to labels.
-    out: Vec<BTreeMap<u32, EdgeRights>>,
-    /// Reverse index: `inc[v]` is the set of predecessors with a live edge.
-    inc: Vec<BTreeSet<u32>>,
+    /// Intern table: name → id of the *first* vertex bearing it.
+    names: HashMap<String, u32>,
+    /// The packed adjacency (CSR parallel arrays, forward and reverse).
+    csr: CsrCore,
+    /// Absolute per-pair edits shadowing the packed core.
+    overlay: Overlay,
+    /// Maintained count of pairs with a nonempty label.
+    live_edges: usize,
+    /// Maintained count of pairs with a nonempty explicit label.
+    explicit_edges: usize,
+    /// Overlay size that triggers a re-pack; 0 = automatic
+    /// (`max(64, packed_edges / 8)`).
+    pack_threshold: usize,
+    /// Number of re-packs performed (observability for tests/benches).
+    packs: u64,
 }
+
+impl PartialEq for ProtectionGraph {
+    /// Logical equality: same vertices and the same edge records,
+    /// regardless of how the content is split between the packed core
+    /// and the overlay.
+    fn eq(&self, other: &ProtectionGraph) -> bool {
+        self.vertices == other.vertices
+            && self.live_edges == other.live_edges
+            && self.edges().eq(other.edges())
+    }
+}
+
+impl Eq for ProtectionGraph {}
 
 impl ProtectionGraph {
     /// Creates an empty graph.
@@ -96,8 +132,8 @@ impl ProtectionGraph {
     pub fn with_capacity(vertices: usize) -> ProtectionGraph {
         ProtectionGraph {
             vertices: Vec::with_capacity(vertices),
-            out: Vec::with_capacity(vertices),
-            inc: Vec::with_capacity(vertices),
+            names: HashMap::with_capacity(vertices),
+            ..ProtectionGraph::default()
         }
     }
 
@@ -121,9 +157,9 @@ impl ProtectionGraph {
     /// Adds a vertex of the given kind and returns its id.
     pub fn add_vertex(&mut self, kind: VertexKind, name: impl Into<String>) -> VertexId {
         let id = VertexId(self.vertices.len() as u32);
-        self.vertices.push(Vertex::new(kind, name));
-        self.out.push(BTreeMap::new());
-        self.inc.push(BTreeSet::new());
+        let vertex = Vertex::new(kind, name);
+        self.names.entry(vertex.name.clone()).or_insert(id.0);
+        self.vertices.push(vertex);
         id
     }
 
@@ -184,17 +220,16 @@ impl ProtectionGraph {
     }
 
     /// Number of ordered vertex pairs carrying at least one right
-    /// (explicit or implicit).
+    /// (explicit or implicit). O(1): the count is maintained across
+    /// mutations.
     pub fn edge_count(&self) -> usize {
-        self.out.iter().map(BTreeMap::len).sum()
+        self.live_edges
     }
 
-    /// Number of ordered vertex pairs carrying at least one explicit right.
+    /// Number of ordered vertex pairs carrying at least one explicit
+    /// right. O(1): the count is maintained across mutations.
     pub fn explicit_edge_count(&self) -> usize {
-        self.out
-            .iter()
-            .map(|m| m.values().filter(|e| !e.explicit.is_empty()).count())
-            .sum()
+        self.explicit_edges
     }
 
     /// Iterates over all vertex ids in creation order.
@@ -224,11 +259,19 @@ impl ProtectionGraph {
             .map(|(id, _)| id)
     }
 
-    /// Finds the first vertex with the given name.
+    /// Finds the first vertex with the given name. O(1) through the
+    /// intern table.
     pub fn find_by_name(&self, name: &str) -> Option<VertexId> {
-        self.vertices()
-            .find(|(_, v)| v.name == name)
-            .map(|(id, _)| id)
+        self.names.get(name).map(|&i| VertexId(i))
+    }
+
+    /// The effective labels of `(src, dst)`: the overlay's absolute
+    /// state when an edit exists, the packed entry otherwise.
+    fn effective(&self, src: u32, dst: u32) -> EdgeRights {
+        match self.overlay.get(src, dst) {
+            Some(state) => state.unwrap_or_default(),
+            None => self.csr.get(src, dst).unwrap_or_default(),
+        }
     }
 
     /// The labels of the ordered pair `(src, dst)`; both labels are empty if
@@ -238,11 +281,9 @@ impl ProtectionGraph {
     ///
     /// Panics if either id does not belong to this graph.
     pub fn rights(&self, src: VertexId, dst: VertexId) -> EdgeRights {
+        assert!(self.contains_vertex(src), "unknown vertex {src}");
         assert!(self.contains_vertex(dst), "unknown vertex {dst}");
-        self.out[src.index()]
-            .get(&(dst.0))
-            .copied()
-            .unwrap_or_default()
+        self.effective(src.0, dst.0)
     }
 
     /// Whether `(src, dst)` carries `right` explicitly.
@@ -261,6 +302,41 @@ impl ProtectionGraph {
     /// Panics if either id does not belong to this graph.
     pub fn has_any(&self, src: VertexId, dst: VertexId, right: Right) -> bool {
         self.rights(src, dst).combined().contains(right)
+    }
+
+    /// Records the transition of `(src, dst)` from labels `cur` to `new`
+    /// in the overlay, maintaining the edge counters, then re-packs if
+    /// the overlay crossed the threshold.
+    fn write_state(&mut self, src: u32, dst: u32, cur: EdgeRights, new: EdgeRights) {
+        if new == cur {
+            return;
+        }
+        match (cur.is_empty(), new.is_empty()) {
+            (true, false) => self.live_edges += 1,
+            (false, true) => self.live_edges -= 1,
+            _ => {}
+        }
+        match (cur.explicit.is_empty(), new.explicit.is_empty()) {
+            (true, false) => self.explicit_edges += 1,
+            (false, true) => self.explicit_edges -= 1,
+            _ => {}
+        }
+        let packed = self.csr.get(src, dst);
+        if new.is_empty() {
+            if packed.is_some() {
+                // The packed entry must stay hidden: tombstone.
+                self.overlay.set(src, dst, None);
+            } else {
+                self.overlay.remove(src, dst);
+            }
+        } else if packed == Some(new) {
+            // Mutation circled back to the packed state (e.g. a
+            // remove-then-re-add): the edit is redundant.
+            self.overlay.remove(src, dst);
+        } else {
+            self.overlay.set(src, dst, Some(new));
+        }
+        self.maybe_pack();
     }
 
     /// Adds the nonempty set `rights` to the explicit label of `(src, dst)`,
@@ -296,17 +372,15 @@ impl ProtectionGraph {
         if rights.is_empty() {
             return Err(GraphError::EmptyRights);
         }
-        let cell = self.out[src.index()].entry(dst.0).or_default();
-        let before = *cell;
+        let cur = self.effective(src.0, dst.0);
+        let mut new = cur;
         if implicit {
-            cell.implicit |= rights;
+            new.implicit |= rights;
         } else {
-            cell.explicit |= rights;
+            new.explicit |= rights;
         }
-        let changed = *cell != before;
-        if before.is_empty() {
-            self.inc[dst.index()].insert(src.0);
-        }
+        let changed = new != cur;
+        self.write_state(src.0, dst.0, cur, new);
         Ok(changed)
     }
 
@@ -320,15 +394,16 @@ impl ProtectionGraph {
         rights: Rights,
     ) -> Result<Rights, GraphError> {
         self.check_pair(src, dst)?;
-        let Some(cell) = self.out[src.index()].get_mut(&dst.0) else {
+        let cur = self.effective(src.0, dst.0);
+        if cur.is_empty() {
             return Ok(Rights::EMPTY);
-        };
-        let removed = cell.explicit & rights;
-        cell.explicit = cell.explicit - rights;
-        if cell.is_empty() {
-            self.out[src.index()].remove(&dst.0);
-            self.inc[dst.index()].remove(&src.0);
         }
+        let removed = cur.explicit & rights;
+        let new = EdgeRights {
+            explicit: cur.explicit - rights,
+            implicit: cur.implicit,
+        };
+        self.write_state(src.0, dst.0, cur, new);
         Ok(removed)
     }
 
@@ -344,15 +419,16 @@ impl ProtectionGraph {
         rights: Rights,
     ) -> Result<Rights, GraphError> {
         self.check_pair(src, dst)?;
-        let Some(cell) = self.out[src.index()].get_mut(&dst.0) else {
+        let cur = self.effective(src.0, dst.0);
+        if cur.is_empty() {
             return Ok(Rights::EMPTY);
-        };
-        let removed = cell.implicit & rights;
-        cell.implicit = cell.implicit - rights;
-        if cell.is_empty() {
-            self.out[src.index()].remove(&dst.0);
-            self.inc[dst.index()].remove(&src.0);
         }
+        let removed = cur.implicit & rights;
+        let new = EdgeRights {
+            explicit: cur.explicit,
+            implicit: cur.implicit - rights,
+        };
+        self.write_state(src.0, dst.0, cur, new);
         Ok(removed)
     }
 
@@ -366,86 +442,177 @@ impl ProtectionGraph {
         if id.index() + 1 != self.vertices.len() {
             return Err(GraphError::NotLastVertex(id));
         }
-        let idx = id.index();
-        // Drop edges pointing at the vertex from its predecessors...
-        for src in std::mem::take(&mut self.inc[idx]) {
-            self.out[src as usize].remove(&id.0);
+        // Delete every incident edge through the normal overlay path, so
+        // the counters stay exact and packed entries get tombstoned.
+        let preds: Vec<u32> = self.in_edges(id).map(|(v, _)| v.0).collect();
+        for src in preds {
+            let cur = self.effective(src, id.0);
+            self.write_state(src, id.0, cur, EdgeRights::default());
         }
-        // ...and its own out-edges from the predecessor sets of their
-        // targets.
-        for &dst in self.out[idx].keys() {
-            self.inc[dst as usize].remove(&id.0);
+        let outs: Vec<u32> = self.out_edges(id).map(|(v, _)| v.0).collect();
+        for dst in outs {
+            let cur = self.effective(id.0, dst);
+            self.write_state(id.0, dst, cur, EdgeRights::default());
         }
-        self.out.pop();
-        self.inc.pop();
-        self.vertices.pop();
+        let vertex = self.vertices.pop().expect("checked nonempty");
+        if self.names.get(&vertex.name) == Some(&id.0) {
+            self.names.remove(&vertex.name);
+        }
+        if self.csr.rows() > self.vertices.len() {
+            // The packed core still has a row (and tombstones) for the
+            // retracted vertex; fold it away so a future vertex reusing
+            // the id starts from a clean slate.
+            self.pack();
+        } else {
+            // The vertex was never packed: its edits (all tombstones or
+            // removals by now) just get dropped.
+            self.overlay.remove_row(id.0);
+        }
         Ok(())
     }
 
     /// Deletes every implicit right in the graph. Implicit edges are derived
-    /// state; analyses frequently recompute them from scratch.
+    /// state; analyses frequently recompute them from scratch — so this
+    /// rebuilds the packed core in one pass instead of writing O(E)
+    /// overlay edits.
     pub fn clear_implicit(&mut self) {
-        let inc = &mut self.inc;
-        for (v, map) in self.out.iter_mut().enumerate() {
-            map.retain(|dst, cell| {
-                cell.implicit = Rights::EMPTY;
-                let keep = !cell.explicit.is_empty();
-                if !keep {
-                    inc[*dst as usize].remove(&(v as u32));
-                }
-                keep
-            });
+        let n = self.vertices.len();
+        let mut rows: Vec<Vec<(u32, EdgeRights)>> = Vec::with_capacity(n);
+        let mut live = 0;
+        for v in 0..n as u32 {
+            let row: Vec<(u32, EdgeRights)> = MergedRow::new(&self.csr, &self.overlay, v)
+                .filter(|(_, r)| !r.explicit.is_empty())
+                .map(|(dst, r)| {
+                    (
+                        dst,
+                        EdgeRights {
+                            explicit: r.explicit,
+                            implicit: Rights::EMPTY,
+                        },
+                    )
+                })
+                .collect();
+            live += row.len();
+            rows.push(row);
         }
+        self.csr = CsrCore::from_rows(&rows);
+        self.overlay.clear();
+        self.live_edges = live;
+        self.explicit_edges = live;
+        self.packs += 1;
     }
 
     /// Iterates over every edge record (pairs with a nonempty label), in
     /// `(src, dst)` order.
     pub fn edges(&self) -> impl Iterator<Item = EdgeRecord> + '_ {
-        self.out.iter().enumerate().flat_map(|(src, map)| {
-            map.iter().map(move |(dst, rights)| EdgeRecord {
-                src: VertexId(src as u32),
-                dst: VertexId(*dst),
-                rights: *rights,
+        (0..self.vertices.len() as u32).flat_map(move |src| {
+            MergedRow::new(&self.csr, &self.overlay, src).map(move |(dst, rights)| EdgeRecord {
+                src: VertexId(src),
+                dst: VertexId(dst),
+                rights,
             })
         })
     }
 
-    /// Iterates over the out-edges of `v` as `(successor, labels)` pairs.
+    /// Iterates over the out-edges of `v` as `(successor, labels)` pairs,
+    /// in ascending successor order.
     ///
     /// # Panics
     ///
     /// Panics if `v` does not belong to this graph.
     pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeRights)> + '_ {
-        self.out[v.index()]
-            .iter()
-            .map(|(dst, rights)| (VertexId(*dst), *rights))
+        assert!(self.contains_vertex(v), "unknown vertex {v}");
+        MergedRow::new(&self.csr, &self.overlay, v.0).map(|(dst, rights)| (VertexId(dst), rights))
     }
 
-    /// Iterates over the in-edges of `v` as `(predecessor, labels)` pairs.
+    /// Iterates over the in-edges of `v` as `(predecessor, labels)` pairs,
+    /// in ascending predecessor order.
     ///
     /// # Panics
     ///
     /// Panics if `v` does not belong to this graph.
     pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeRights)> + '_ {
-        self.inc[v.index()].iter().map(move |src| {
-            let rights = self.out[*src as usize]
-                .get(&(v.0))
-                .copied()
-                .unwrap_or_default();
-            (VertexId(*src), rights)
+        assert!(self.contains_vertex(v), "unknown vertex {v}");
+        MergedPreds::new(&self.csr, &self.overlay, v.0).filter_map(move |(src, packed)| {
+            // `Some` = labels straight from the packed reverse row (never
+            // empty); `None` = the pair has an overlay edit, read through it.
+            let rights = match packed {
+                Some(rights) => rights,
+                None => self.effective(src, v.0),
+            };
+            if rights.is_empty() {
+                None
+            } else {
+                Some((VertexId(src), rights))
+            }
         })
     }
 
     /// Drops implicit rights everywhere, keeping only recorded authority.
     /// Returns the number of implicit rights dropped.
     pub fn strip_implicit(&mut self) -> usize {
-        let before: usize = self
-            .out
-            .iter()
-            .map(|m| m.values().map(|e| e.implicit.len()).sum::<usize>())
-            .sum();
+        let before: usize = self.edges().map(|e| e.rights.implicit.len()).sum();
         self.clear_implicit();
         before
+    }
+
+    /// Folds the overlay into a fresh packed core. A no-op when the
+    /// overlay is empty and every vertex already has a packed row.
+    /// Logical content is unchanged — only the physical split between
+    /// the CSR arrays and the overlay moves.
+    pub fn pack(&mut self) {
+        if self.overlay.is_empty() && self.csr.rows() == self.vertices.len() {
+            return;
+        }
+        let n = self.vertices.len();
+        let mut rows: Vec<Vec<(u32, EdgeRights)>> = Vec::with_capacity(n);
+        for v in 0..n as u32 {
+            rows.push(MergedRow::new(&self.csr, &self.overlay, v).collect());
+        }
+        self.csr = CsrCore::from_rows(&rows);
+        self.overlay.clear();
+        self.packs += 1;
+    }
+
+    fn maybe_pack(&mut self) {
+        let threshold = if self.pack_threshold > 0 {
+            self.pack_threshold
+        } else {
+            (self.csr.edge_len() / 8).max(64)
+        };
+        if self.overlay.len() >= threshold {
+            self.pack();
+        }
+    }
+
+    /// Overrides the automatic re-pack threshold: the overlay is folded
+    /// into the packed core whenever it holds at least `threshold`
+    /// edits. `0` restores the automatic policy
+    /// (`max(64, packed_edges / 8)`). Exposed so tests and benchmarks
+    /// can force re-packs at precise points; irrelevant to correctness.
+    pub fn set_pack_threshold(&mut self, threshold: usize) {
+        self.pack_threshold = threshold;
+    }
+
+    /// Number of edits currently in the mutation overlay.
+    pub fn overlay_len(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// Number of edges in the packed core (tombstoned entries included
+    /// until the next re-pack).
+    pub fn packed_edge_count(&self) -> usize {
+        self.csr.edge_len()
+    }
+
+    /// Number of re-packs performed over this graph's lifetime.
+    pub fn pack_count(&self) -> u64 {
+        self.packs
+    }
+
+    /// Whether the graph is fully packed (no overlay edits pending).
+    pub fn is_packed(&self) -> bool {
+        self.overlay.is_empty() && self.csr.rows() == self.vertices.len()
     }
 }
 
@@ -590,5 +757,98 @@ mod tests {
         let (g, a, _, _) = small();
         assert_eq!(g.find_by_name("a"), Some(a));
         assert_eq!(g.find_by_name("zzz"), None);
+    }
+
+    #[test]
+    fn find_by_name_interns_first_occurrence() {
+        let mut g = ProtectionGraph::new();
+        let first = g.add_subject("dup");
+        let _second = g.add_subject("dup");
+        assert_eq!(g.find_by_name("dup"), Some(first));
+    }
+
+    #[test]
+    fn pack_preserves_content_and_order() {
+        let (mut g, a, b, o) = small();
+        g.add_edge(b, o, Rights::W).unwrap();
+        g.add_edge(a, b, Rights::T).unwrap();
+        g.add_implicit_edge(a, o, Rights::R).unwrap();
+        let before: Vec<EdgeRecord> = g.edges().collect();
+        let counts = (g.edge_count(), g.explicit_edge_count());
+        g.pack();
+        assert!(g.is_packed());
+        assert_eq!(g.edges().collect::<Vec<_>>(), before);
+        assert_eq!((g.edge_count(), g.explicit_edge_count()), counts);
+        // Reads hit the packed core now.
+        assert_eq!(g.rights(a, b).explicit(), Rights::T);
+        assert_eq!(g.overlay_len(), 0);
+        assert_eq!(g.packed_edge_count(), 3);
+    }
+
+    #[test]
+    fn mutations_after_pack_shadow_the_core() {
+        let (mut g, a, b, o) = small();
+        g.add_edge(a, b, Rights::TG).unwrap();
+        g.add_edge(b, o, Rights::RW).unwrap();
+        g.pack();
+        // Remove a packed edge: tombstone, not resurrection.
+        g.remove_explicit_rights(a, b, Rights::TG).unwrap();
+        assert!(g.rights(a, b).is_empty());
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.in_edges(b).count(), 0);
+        // Re-add with the original label: the redundant edit is dropped.
+        g.add_edge(a, b, Rights::TG).unwrap();
+        assert_eq!(g.rights(a, b).explicit(), Rights::TG);
+        assert_eq!(g.overlay_len(), 0, "round-trip edits collapse");
+        // Re-add with a different label: the edit shadows the core.
+        g.remove_explicit_rights(a, b, Rights::G).unwrap();
+        assert_eq!(g.rights(a, b).explicit(), Rights::T);
+        assert_eq!(g.edges().count(), 2);
+    }
+
+    #[test]
+    fn automatic_repack_folds_the_overlay() {
+        let mut g = ProtectionGraph::new();
+        g.set_pack_threshold(4);
+        let vs: Vec<VertexId> = (0..8).map(|i| g.add_subject(format!("s{i}"))).collect();
+        for w in vs.windows(2) {
+            g.add_edge(w[0], w[1], Rights::T).unwrap();
+        }
+        assert!(g.pack_count() > 0, "threshold 4 must have re-packed");
+        assert!(g.overlay_len() < 4);
+        assert_eq!(g.edge_count(), 7);
+    }
+
+    #[test]
+    fn pop_vertex_across_pack_boundary() {
+        let (mut g, a, b, _) = small();
+        g.add_edge(a, b, Rights::T).unwrap();
+        let c = g.add_subject("c");
+        g.add_edge(a, c, Rights::R).unwrap();
+        g.add_edge(c, b, Rights::W).unwrap();
+        g.pack(); // c's edges are now in the packed core
+        g.pop_vertex(c).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.rights(a, b).explicit(), Rights::T);
+        assert_eq!(g.in_edges(b).count(), 1);
+        assert_eq!(g.find_by_name("c"), None);
+        // The reused id starts clean.
+        let c2 = g.add_object("c2");
+        assert!(g.rights(a, c2).is_empty());
+        assert_eq!(g.out_edges(c2).count(), 0);
+    }
+
+    #[test]
+    fn logical_equality_ignores_pack_state() {
+        let (mut g1, a, b, o) = small();
+        g1.add_edge(a, b, Rights::TG).unwrap();
+        g1.add_edge(b, o, Rights::RW).unwrap();
+        let mut g2 = g1.clone();
+        g1.pack();
+        g2.remove_explicit_rights(a, b, Rights::G).unwrap();
+        assert_ne!(g1, g2);
+        g2.add_edge(a, b, Rights::G).unwrap();
+        assert_eq!(g1, g2, "same content, different physical split");
     }
 }

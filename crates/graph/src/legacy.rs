@@ -1,0 +1,309 @@
+//! The reference adjacency-map layout, kept as a differential oracle.
+//!
+//! Before the CSR refactor, [`ProtectionGraph`]
+//! stored its adjacency as one `BTreeMap<u32, EdgeRights>` per vertex
+//! plus a `BTreeSet<u32>` reverse index. That layout is preserved here,
+//! verbatim in behavior, as [`LegacyGraph`]: the scale-tier differential
+//! suites drive the same mutation scripts through both layouts and
+//! require identical read-back — edge streams, labels, counts — and,
+//! after [`LegacyGraph::to_graph`], byte-identical audit diagnostics and
+//! query answers. The legacy layout is the *specification*; the CSR core
+//! is the implementation under test.
+//!
+//! Nothing in the production path uses this module.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{
+    EdgeRecord, EdgeRights, GraphError, ProtectionGraph, Rights, Vertex, VertexId, VertexKind,
+};
+
+/// A protection graph in the pre-CSR adjacency-map layout. Mirrors the
+/// mutation and read API of [`ProtectionGraph`] exactly, including error
+/// behavior and iteration order.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct LegacyGraph {
+    vertices: Vec<Vertex>,
+    /// Outgoing adjacency: `out[v]` maps successor index to labels.
+    out: Vec<BTreeMap<u32, EdgeRights>>,
+    /// Reverse index: `inc[v]` is the set of predecessors with a live edge.
+    inc: Vec<BTreeSet<u32>>,
+}
+
+impl LegacyGraph {
+    /// Creates an empty graph.
+    pub fn new() -> LegacyGraph {
+        LegacyGraph::default()
+    }
+
+    fn check(&self, id: VertexId) -> Result<(), GraphError> {
+        if id.index() < self.vertices.len() {
+            Ok(())
+        } else {
+            Err(GraphError::UnknownVertex(id))
+        }
+    }
+
+    fn check_pair(&self, src: VertexId, dst: VertexId) -> Result<(), GraphError> {
+        self.check(src)?;
+        self.check(dst)?;
+        if src == dst {
+            return Err(GraphError::SelfEdge(src));
+        }
+        Ok(())
+    }
+
+    /// Adds a vertex of the given kind and returns its id.
+    pub fn add_vertex(&mut self, kind: VertexKind, name: impl Into<String>) -> VertexId {
+        let id = VertexId::from_index(self.vertices.len());
+        self.vertices.push(Vertex::new(kind, name));
+        self.out.push(BTreeMap::new());
+        self.inc.push(BTreeSet::new());
+        id
+    }
+
+    /// Adds a subject vertex.
+    pub fn add_subject(&mut self, name: impl Into<String>) -> VertexId {
+        self.add_vertex(VertexKind::Subject, name)
+    }
+
+    /// Adds an object vertex.
+    pub fn add_object(&mut self, name: impl Into<String>) -> VertexId {
+        self.add_vertex(VertexKind::Object, name)
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of ordered vertex pairs carrying at least one right.
+    pub fn edge_count(&self) -> usize {
+        self.out.iter().map(BTreeMap::len).sum()
+    }
+
+    /// Number of ordered vertex pairs carrying at least one explicit right.
+    pub fn explicit_edge_count(&self) -> usize {
+        self.out
+            .iter()
+            .map(|m| m.values().filter(|e| !e.explicit.is_empty()).count())
+            .sum()
+    }
+
+    /// The vertex record for `id`.
+    pub fn vertex(&self, id: VertexId) -> &Vertex {
+        &self.vertices[id.index()]
+    }
+
+    /// The labels of the ordered pair `(src, dst)`.
+    pub fn rights(&self, src: VertexId, dst: VertexId) -> EdgeRights {
+        self.out[src.index()]
+            .get(&(dst.index() as u32))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Finds the first vertex with the given name.
+    pub fn find_by_name(&self, name: &str) -> Option<VertexId> {
+        self.vertices
+            .iter()
+            .position(|v| v.name == name)
+            .map(VertexId::from_index)
+    }
+
+    /// Adds `rights` to the explicit label of `(src, dst)`. Returns
+    /// whether the label changed.
+    pub fn add_edge(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        rights: Rights,
+    ) -> Result<bool, GraphError> {
+        self.add_rights(src, dst, rights, false)
+    }
+
+    /// Adds `rights` to the implicit label of `(src, dst)`. Returns
+    /// whether the label changed.
+    pub fn add_implicit_edge(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        rights: Rights,
+    ) -> Result<bool, GraphError> {
+        self.add_rights(src, dst, rights, true)
+    }
+
+    fn add_rights(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        rights: Rights,
+        implicit: bool,
+    ) -> Result<bool, GraphError> {
+        self.check_pair(src, dst)?;
+        if rights.is_empty() {
+            return Err(GraphError::EmptyRights);
+        }
+        let cell = self.out[src.index()].entry(dst.index() as u32).or_default();
+        let before = *cell;
+        if implicit {
+            cell.implicit |= rights;
+        } else {
+            cell.explicit |= rights;
+        }
+        let changed = *cell != before;
+        if before.is_empty() {
+            self.inc[dst.index()].insert(src.index() as u32);
+        }
+        Ok(changed)
+    }
+
+    /// Removes `rights` from the explicit label of `(src, dst)`.
+    pub fn remove_explicit_rights(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        rights: Rights,
+    ) -> Result<Rights, GraphError> {
+        self.check_pair(src, dst)?;
+        let Some(cell) = self.out[src.index()].get_mut(&(dst.index() as u32)) else {
+            return Ok(Rights::EMPTY);
+        };
+        let removed = cell.explicit & rights;
+        cell.explicit = cell.explicit - rights;
+        if cell.is_empty() {
+            self.out[src.index()].remove(&(dst.index() as u32));
+            self.inc[dst.index()].remove(&(src.index() as u32));
+        }
+        Ok(removed)
+    }
+
+    /// Removes `rights` from the implicit label of `(src, dst)`.
+    pub fn remove_implicit_rights(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        rights: Rights,
+    ) -> Result<Rights, GraphError> {
+        self.check_pair(src, dst)?;
+        let Some(cell) = self.out[src.index()].get_mut(&(dst.index() as u32)) else {
+            return Ok(Rights::EMPTY);
+        };
+        let removed = cell.implicit & rights;
+        cell.implicit = cell.implicit - rights;
+        if cell.is_empty() {
+            self.out[src.index()].remove(&(dst.index() as u32));
+            self.inc[dst.index()].remove(&(src.index() as u32));
+        }
+        Ok(removed)
+    }
+
+    /// Retracts the most recently added vertex with every incident edge.
+    pub fn pop_vertex(&mut self, id: VertexId) -> Result<(), GraphError> {
+        self.check(id)?;
+        if id.index() + 1 != self.vertices.len() {
+            return Err(GraphError::NotLastVertex(id));
+        }
+        let idx = id.index();
+        for src in std::mem::take(&mut self.inc[idx]) {
+            self.out[src as usize].remove(&(idx as u32));
+        }
+        for &dst in self.out[idx].keys() {
+            self.inc[dst as usize].remove(&(idx as u32));
+        }
+        self.out.pop();
+        self.inc.pop();
+        self.vertices.pop();
+        Ok(())
+    }
+
+    /// Deletes every implicit right in the graph.
+    pub fn clear_implicit(&mut self) {
+        let inc = &mut self.inc;
+        for (v, map) in self.out.iter_mut().enumerate() {
+            map.retain(|dst, cell| {
+                cell.implicit = Rights::EMPTY;
+                let keep = !cell.explicit.is_empty();
+                if !keep {
+                    inc[*dst as usize].remove(&(v as u32));
+                }
+                keep
+            });
+        }
+    }
+
+    /// Iterates over every edge record in `(src, dst)` order.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRecord> + '_ {
+        self.out.iter().enumerate().flat_map(|(src, map)| {
+            map.iter().map(move |(dst, rights)| EdgeRecord {
+                src: VertexId::from_index(src),
+                dst: VertexId::from_index(*dst as usize),
+                rights: *rights,
+            })
+        })
+    }
+
+    /// Iterates over the out-edges of `v` as `(successor, labels)` pairs.
+    pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeRights)> + '_ {
+        self.out[v.index()]
+            .iter()
+            .map(|(dst, rights)| (VertexId::from_index(*dst as usize), *rights))
+    }
+
+    /// Iterates over the in-edges of `v` as `(predecessor, labels)` pairs.
+    pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeRights)> + '_ {
+        self.inc[v.index()].iter().map(move |src| {
+            let rights = self.out[*src as usize]
+                .get(&(v.index() as u32))
+                .copied()
+                .unwrap_or_default();
+            (VertexId::from_index(*src as usize), rights)
+        })
+    }
+
+    /// Rebuilds a [`ProtectionGraph`] with this graph's exact logical
+    /// content, packed fresh (empty overlay). The differential suites
+    /// compare an overlay-laden CSR graph against this clean rebuild, so
+    /// divergence pins the bug to the overlay/merge machinery.
+    pub fn to_graph(&self) -> ProtectionGraph {
+        let mut g = ProtectionGraph::with_capacity(self.vertices.len());
+        for v in &self.vertices {
+            g.add_vertex(v.kind, v.name.clone());
+        }
+        for e in self.edges() {
+            if !e.rights.explicit.is_empty() {
+                g.add_edge(e.src, e.dst, e.rights.explicit)
+                    .expect("legacy edge replays");
+            }
+            if !e.rights.implicit.is_empty() {
+                g.add_implicit_edge(e.src, e.dst, e.rights.implicit)
+                    .expect("legacy edge replays");
+            }
+        }
+        g.pack();
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_graph_round_trips_content() {
+        let mut legacy = LegacyGraph::new();
+        let a = legacy.add_subject("a");
+        let b = legacy.add_subject("b");
+        let o = legacy.add_object("o");
+        legacy.add_edge(a, b, Rights::TG).unwrap();
+        legacy.add_edge(b, o, Rights::RW).unwrap();
+        legacy.add_implicit_edge(a, o, Rights::R).unwrap();
+        legacy.remove_explicit_rights(b, o, Rights::W).unwrap();
+        let g = legacy.to_graph();
+        assert_eq!(g.vertex_count(), legacy.vertex_count());
+        assert_eq!(g.edge_count(), legacy.edge_count());
+        let got: Vec<EdgeRecord> = g.edges().collect();
+        let want: Vec<EdgeRecord> = legacy.edges().collect();
+        assert_eq!(got, want);
+    }
+}

@@ -33,10 +33,12 @@
 
 pub mod algo;
 mod build;
+mod csr;
 pub mod diag;
 mod dot;
 mod error;
 mod graph;
+pub mod legacy;
 mod rights;
 mod span;
 pub mod stats;
@@ -47,6 +49,7 @@ pub use diag::{Diagnostic, Fix, FixIt, LabeledSpan, Severity};
 pub use dot::DotOptions;
 pub use error::GraphError;
 pub use graph::{EdgeRecord, EdgeRights, ProtectionGraph};
+pub use legacy::LegacyGraph;
 pub use rights::{Right, Rights, RightsIter};
 pub use span::{EdgeSite, SourceMap, Span};
 pub use text::{parse_graph, parse_graph_with_spans, render_graph, ParseError};

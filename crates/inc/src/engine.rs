@@ -15,7 +15,7 @@
 //! [`Monitor::attach_observer`]: tg_hierarchy::Monitor::attach_observer
 //! [`Monitor`]: tg_hierarchy::Monitor
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
 
 use tg_graph::{GraphError, ProtectionGraph, Right, Rights, VertexId};
 use tg_hierarchy::{LevelAssignment, LevelError, MonitorObserver, Restriction, Violation};
@@ -23,6 +23,7 @@ use tg_rules::Effect;
 
 use crate::index::{IncIndex, IncStats};
 use crate::log::{Change, ChangeLog};
+use crate::memo::{QueryKey, QueryMemo};
 
 /// An incrementally indexed protection system.
 ///
@@ -391,11 +392,46 @@ impl IncEngine {
     }
 }
 
-/// An [`IncIndex`] behind a shared handle (`Arc<Mutex<_>>`), so the same
-/// index can serve as the monitor's observer *and* answer queries from the
-/// outside — including from other threads: clones of a `SharedIndex` are
-/// `Send`, and every method takes the internal lock for the duration of
-/// one index operation.
+/// Number of memo shards. Queries are routed by island root, so two
+/// queries contend only when their endpoints' islands collide modulo
+/// this (Cor 5.6 makes per-island work independent). A small power of
+/// two: the shard structs are tiny and the modulo is a mask.
+const MEMO_SHARDS: usize = 16;
+
+/// One memo shard: the memoized answers for every island whose root
+/// hashes here, plus this shard's hit/miss tallies (the core's own
+/// counters need `&mut`, which readers don't hold).
+#[derive(Default)]
+struct MemoShard {
+    memo: QueryMemo,
+    hits: usize,
+    misses: usize,
+}
+
+/// The shared state behind a [`SharedIndex`]: the maintained index under
+/// a read–write lock, and the query memo split into island-keyed shards
+/// so concurrent readers never serialize on one table.
+struct Shared {
+    core: RwLock<IncIndex>,
+    memos: Vec<Mutex<MemoShard>>,
+}
+
+/// An [`IncIndex`] behind a shared handle, so the same index can serve as
+/// the monitor's observer *and* answer queries from the outside —
+/// including from other threads: clones of a `SharedIndex` are `Send`.
+///
+/// # Locking
+///
+/// The maintained core (islands, regions, violations) sits under an
+/// `RwLock`: mutation notifications take the write lock; queries take the
+/// read lock and can proceed concurrently (the epoch union-find reads
+/// without path compression, so `find` is `&self`). The
+/// `can_share`/`can_know` memo is *sharded* by island root into
+/// `MEMO_SHARDS` (16) mutexes — islands are the unit of parallelism
+/// (Corollary 5.6 makes per-edge checks independent across them), so
+/// queries against different islands hit different locks. Every
+/// acquisition that finds its lock held bumps the `par.lock_wait`
+/// counter, making contention observable in `tgq bench --stats`.
 ///
 /// # Examples
 ///
@@ -419,7 +455,7 @@ impl IncEngine {
 /// ```
 #[derive(Clone)]
 pub struct SharedIndex {
-    inner: Arc<Mutex<IncIndex>>,
+    inner: Arc<Shared>,
 }
 
 impl SharedIndex {
@@ -432,7 +468,10 @@ impl SharedIndex {
         restriction: &dyn Restriction,
     ) -> SharedIndex {
         SharedIndex {
-            inner: Arc::new(Mutex::new(IncIndex::build(graph, levels, restriction))),
+            inner: Arc::new(Shared {
+                core: RwLock::new(IncIndex::build(graph, levels, restriction)),
+                memos: (0..MEMO_SHARDS).map(|_| Mutex::default()).collect(),
+            }),
         }
     }
 
@@ -444,20 +483,89 @@ impl SharedIndex {
         })
     }
 
+    /// Read-locks the core, recording contention.
+    fn read_core(&self) -> RwLockReadGuard<'_, IncIndex> {
+        match self.inner.core.try_read() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                tg_obs::add(tg_obs::Counter::ParLockWait, 1);
+                self.inner.core.read().expect("index lock poisoned")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("index lock poisoned"),
+        }
+    }
+
+    /// Write-locks the core (mutation notifications), recording
+    /// contention.
+    fn write_core(&self) -> RwLockWriteGuard<'_, IncIndex> {
+        match self.inner.core.try_write() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                tg_obs::add(tg_obs::Counter::ParLockWait, 1);
+                self.inner.core.write().expect("index lock poisoned")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("index lock poisoned"),
+        }
+    }
+
+    /// Locks the memo shard owning island root `root`, recording
+    /// contention.
+    fn lock_shard(&self, root: usize) -> MutexGuard<'_, MemoShard> {
+        let shard = &self.inner.memos[root % MEMO_SHARDS];
+        match shard.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                tg_obs::add(tg_obs::Counter::ParLockWait, 1);
+                shard.lock().expect("memo shard poisoned")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("memo shard poisoned"),
+        }
+    }
+
+    /// One sharded memoized query: stamp under the core read lock, check
+    /// the island's shard, decide fresh on a miss. The read guard is held
+    /// across the decision so the recorded stamps cannot go stale
+    /// mid-computation (mutations need the write lock).
+    fn query(&self, key: QueryKey, decide: impl FnOnce() -> bool) -> bool {
+        let core = self.read_core();
+        let (x, y) = match key {
+            QueryKey::Share(_, x, y) | QueryKey::Know(x, y) => (x, y),
+        };
+        let (sx, sy) = (core.query_stamp(x), core.query_stamp(y));
+        let root = core.island_root(x);
+        {
+            let mut shard = self.lock_shard(root);
+            if let Some(hit) = shard.memo.get(key, sx, sy) {
+                shard.hits += 1;
+                tg_obs::add(tg_obs::Counter::IncMemoHits, 1);
+                return hit;
+            }
+        }
+        // Decide without holding the shard lock: other islands mapping to
+        // the same shard stay queryable while this one computes. The core
+        // read guard stays held, so the stamps recorded below cannot go
+        // stale mid-computation.
+        let value = decide();
+        let mut shard = self.lock_shard(root);
+        shard.misses += 1;
+        tg_obs::add(tg_obs::Counter::IncMemoMisses, 1);
+        shard.memo.insert(key, value, sx, sy);
+        value
+    }
+
     /// Whether the maintained audit verdict is clean.
     pub fn audit_clean(&self) -> bool {
-        self.inner
-            .lock()
-            .expect("index lock poisoned")
-            .audit_clean()
+        self.read_core().audit_clean()
     }
 
     /// The maintained violation set.
     pub fn violations(&self) -> Vec<Violation> {
-        self.inner.lock().expect("index lock poisoned").violations()
+        self.read_core().violations()
     }
 
-    /// Memoized `can_share` against the monitor's live graph.
+    /// Memoized `can_share` against the monitor's live graph. Safe to
+    /// call concurrently from many threads; queries serialize only when
+    /// their islands share a memo shard.
     pub fn can_share(
         &self,
         graph: &ProtectionGraph,
@@ -465,39 +573,46 @@ impl SharedIndex {
         x: VertexId,
         y: VertexId,
     ) -> bool {
-        self.inner
-            .lock()
-            .expect("index lock poisoned")
-            .can_share(graph, right, x, y)
+        self.query(QueryKey::Share(right, x, y), || {
+            tg_analysis::can_share(graph, right, x, y)
+        })
     }
 
-    /// Memoized `can_know` against the monitor's live graph.
+    /// Memoized `can_know` against the monitor's live graph. Same
+    /// concurrency contract as [`SharedIndex::can_share`].
     pub fn can_know(&self, graph: &ProtectionGraph, x: VertexId, y: VertexId) -> bool {
-        self.inner
-            .lock()
-            .expect("index lock poisoned")
-            .can_know(graph, x, y)
+        self.query(QueryKey::Know(x, y), || tg_analysis::can_know(graph, x, y))
     }
 
     /// Whether `a` and `b` share an island.
     pub fn same_island(&self, graph: &ProtectionGraph, a: VertexId, b: VertexId) -> bool {
-        self.inner
-            .lock()
-            .expect("index lock poisoned")
-            .same_island(graph, a, b)
+        self.read_core().same_island(graph, a, b)
     }
 
     /// The island partition, canonical form.
     pub fn islands_canonical(&self, graph: &ProtectionGraph) -> Vec<Vec<VertexId>> {
-        self.inner
-            .lock()
-            .expect("index lock poisoned")
-            .islands_canonical(graph)
+        self.read_core().islands_canonical(graph)
     }
 
-    /// The index's work counters.
+    /// The index's work counters, with the sharded memo's hit/miss
+    /// tallies folded in.
     pub fn stats(&self) -> IncStats {
-        self.inner.lock().expect("index lock poisoned").stats()
+        let mut stats = self.read_core().stats();
+        for shard in &self.inner.memos {
+            let shard = shard.lock().expect("memo shard poisoned");
+            stats.memo_hits += shard.hits;
+            stats.memo_misses += shard.misses;
+        }
+        stats
+    }
+
+    /// Total entries across all memo shards.
+    pub fn memo_len(&self) -> usize {
+        self.inner
+            .memos
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").memo.len())
+            .sum()
     }
 }
 
@@ -515,17 +630,12 @@ impl MonitorObserver for SharedIndex {
         restriction: &dyn Restriction,
         effect: &Effect,
     ) {
-        self.inner
-            .lock()
-            .expect("index lock poisoned")
+        self.write_core()
             .effect_applied(graph, levels, restriction, effect);
     }
 
     fn batch_begin(&mut self) {
-        self.inner
-            .lock()
-            .expect("index lock poisoned")
-            .begin_batch();
+        self.write_core().begin_batch();
     }
 
     fn batch_abort(
@@ -534,17 +644,11 @@ impl MonitorObserver for SharedIndex {
         levels: &LevelAssignment,
         restriction: &dyn Restriction,
     ) {
-        self.inner
-            .lock()
-            .expect("index lock poisoned")
-            .abort_batch(graph, levels, restriction);
+        self.write_core().abort_batch(graph, levels, restriction);
     }
 
     fn batch_commit(&mut self) {
-        self.inner
-            .lock()
-            .expect("index lock poisoned")
-            .commit_batch();
+        self.write_core().commit_batch();
     }
 
     fn repaired(
@@ -555,16 +659,11 @@ impl MonitorObserver for SharedIndex {
         src: VertexId,
         dst: VertexId,
     ) {
-        self.inner.lock().expect("index lock poisoned").repaired(
-            graph,
-            levels,
-            restriction,
-            src,
-            dst,
-        );
+        self.write_core()
+            .repaired(graph, levels, restriction, src, dst);
     }
 
     fn audit_cached(&self) -> Option<Vec<Violation>> {
-        Some(self.inner.lock().expect("index lock poisoned").violations())
+        Some(self.read_core().violations())
     }
 }

@@ -24,9 +24,9 @@
 //! [`IncStats::island_rebuilds`]); removals never split regions, leaving
 //! a conservative superset that only ever over-invalidates the memo.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
-use tg_graph::algo::{Epoch, EpochUnionFind};
+use tg_graph::algo::{BitSet, Epoch, EpochUnionFind};
 use tg_graph::{ProtectionGraph, Right, Rights, VertexId};
 use tg_hierarchy::{LevelAssignment, Restriction, Violation};
 use tg_rules::Effect;
@@ -93,8 +93,9 @@ pub struct IncIndex {
     /// [`tg_hierarchy::audit_graph`] would report, keyed and ordered the
     /// same way.
     violations: BTreeMap<(VertexId, VertexId), Rights>,
-    /// Per-level vertex sets (the per-level adjacency index).
-    by_level: Vec<BTreeSet<VertexId>>,
+    /// Per-level membership bitsets (the per-level adjacency index): one
+    /// bit per vertex per populated level, iterated in id order.
+    by_level: Vec<BitSet>,
     /// Mirror of the assignment, so a reassignment knows the old level.
     level_of: Vec<Option<usize>>,
     memo: QueryMemo,
@@ -189,7 +190,7 @@ impl IncIndex {
         }
         for (vertex, level) in levels.assignments() {
             index.level_of[vertex.index()] = Some(level);
-            index.level_set(level).insert(vertex);
+            index.level_set(level).insert(vertex.index());
         }
         tg_obs::add(
             tg_obs::Counter::IncEdgeChecks,
@@ -198,9 +199,9 @@ impl IncIndex {
         index
     }
 
-    fn level_set(&mut self, level: usize) -> &mut BTreeSet<VertexId> {
+    fn level_set(&mut self, level: usize) -> &mut BitSet {
         if self.by_level.len() <= level {
-            self.by_level.resize_with(level + 1, BTreeSet::new);
+            self.by_level.resize_with(level + 1, BitSet::new);
         }
         &mut self.by_level[level]
     }
@@ -396,7 +397,7 @@ impl IncIndex {
     ) {
         assert!(self.batch.is_none(), "batched pops roll back via epochs");
         if let Some(level) = self.level_of[id.index()] {
-            self.by_level[level].remove(&id);
+            self.by_level[level].remove(id.index());
         }
         *self = IncIndex::build(graph, levels, restriction);
     }
@@ -420,10 +421,10 @@ impl IncIndex {
                 batch.levels_undo.push((v, old));
             }
             if let Some(l) = old {
-                self.by_level[l].remove(&v);
+                self.by_level[l].remove(v.index());
             }
             if let Some(l) = new {
-                self.level_set(l).insert(v);
+                self.level_set(l).insert(v.index());
             }
             self.level_of[v.index()] = new;
         }
@@ -535,10 +536,10 @@ impl IncIndex {
         }
         for (v, previous) in batch.levels_undo.into_iter().rev() {
             if let Some(l) = self.level_of[v.index()] {
-                self.by_level[l].remove(&v);
+                self.by_level[l].remove(v.index());
             }
             if let Some(l) = previous {
-                self.level_set(l).insert(v);
+                self.level_set(l).insert(v.index());
             }
             self.level_of[v.index()] = previous;
         }
@@ -613,7 +614,7 @@ impl IncIndex {
         self.by_level
             .get(level)
             .into_iter()
-            .flat_map(|set| set.iter().copied())
+            .flat_map(|set| set.iter().map(VertexId::from_index))
     }
 
     /// Number of distinct levels with at least one assigned vertex.
@@ -624,6 +625,25 @@ impl IncIndex {
     fn stamp(&self, v: VertexId) -> Stamp {
         let root = self.regions.find(v.index());
         (root, self.region_gen[root])
+    }
+
+    /// The region fingerprint of `v` right now — what a memo entry must
+    /// match to be served. `&self` (the epoch union-find reads without
+    /// path compression), so concurrent readers can stamp under a shared
+    /// lock.
+    pub(crate) fn query_stamp(&self, v: VertexId) -> Stamp {
+        self.stamp(v)
+    }
+
+    /// The island root of `v` — the sharding key for per-island memo
+    /// locks. Out-of-range ids (vertices added after the forest was
+    /// built) map to their own index.
+    pub(crate) fn island_root(&self, v: VertexId) -> usize {
+        if v.index() < self.islands.len() {
+            self.islands.find(v.index())
+        } else {
+            v.index()
+        }
     }
 
     /// Memoized `can_share` (Theorem 2.3). A hit costs two union-find

@@ -1,0 +1,265 @@
+//! Mutation-under-overlay edge cases for the CSR graph core, pinned
+//! against both oracles:
+//!
+//! * the **legacy layout** ([`tg_graph::LegacyGraph`], the pre-CSR
+//!   `BTreeMap` adjacency) for byte-level read equivalence, and
+//! * the **incremental engine** ([`IncEngine`]) for the maintained
+//!   verdict, islands, and transactional rollback.
+//!
+//! The cases the overlay/re-pack machinery can get wrong in ways an
+//! end-state diff would miss:
+//!
+//! 1. *remove-then-re-add* — the overlay entry must collapse back to the
+//!    packed state, not accumulate a tombstone plus a shadow;
+//! 2. *island rebuild mid-overlay* — cutting a tg-bridge while edits are
+//!    still unpacked forces the union-find rebuild to read through the
+//!    merged view, not the stale CSR rows;
+//! 3. *rollback across a re-pack boundary* — `abort_batch` inverts the
+//!    change log on a graph whose representation re-packed mid-batch,
+//!    so the inverse edits land on different physical storage than the
+//!    forward edits did. The one-edge-recheck contract (`tg_inc`) must
+//!    survive that.
+
+use proptest::prelude::*;
+use tg_analysis::Islands;
+use tg_graph::legacy::LegacyGraph;
+use tg_graph::{EdgeRecord, ProtectionGraph, Rights, VertexId};
+use tg_hierarchy::{audit_graph, CombinedRestriction, LevelAssignment};
+use tg_inc::IncEngine;
+
+fn edges_of(graph: &ProtectionGraph) -> Vec<EdgeRecord> {
+    graph.edges().collect()
+}
+
+/// A two-island fixture: `a –tg– b` bridged to `c –tg– d`, everything on
+/// one level, mirrored into the legacy layout. Returns the engine, the
+/// mirror, and the four vertex ids.
+fn bridged_fixture(pack_threshold: usize) -> (IncEngine, LegacyGraph, [VertexId; 4]) {
+    let mut graph = ProtectionGraph::new();
+    graph.set_pack_threshold(pack_threshold);
+    let mut legacy = LegacyGraph::new();
+    let a = graph.add_subject("a");
+    let b = graph.add_subject("b");
+    let c = graph.add_subject("c");
+    let d = graph.add_subject("d");
+    for name in ["a", "b", "c", "d"] {
+        legacy.add_subject(name);
+    }
+    for (src, dst) in [(a, b), (c, d), (b, c)] {
+        graph.add_edge(src, dst, Rights::TG).unwrap();
+        legacy.add_edge(src, dst, Rights::TG).unwrap();
+    }
+    let mut levels = LevelAssignment::linear(&["only"]);
+    for v in [a, b, c, d] {
+        levels.assign(v, 0).unwrap();
+    }
+    let engine = IncEngine::new(graph, levels, Box::new(CombinedRestriction));
+    (engine, legacy, [a, b, c, d])
+}
+
+/// Case 1: removing an edge and re-adding the identical label must leave
+/// no observable trace — not in the edge stream, not in the maintained
+/// verdict, not in the island partition — whether or not a re-pack fired
+/// in between.
+#[test]
+fn remove_then_readd_is_invisible() {
+    for pack_threshold in [1, 1_000_000] {
+        let (mut engine, legacy, [a, b, _, _]) = bridged_fixture(pack_threshold);
+        let before = edges_of(engine.graph());
+        let packs_before = engine.graph().pack_count();
+
+        let removed = engine.remove_edge(a, b, Rights::TG).unwrap();
+        assert_eq!(removed, Rights::TG);
+        let readded = engine.add_edge(a, b, Rights::TG).unwrap();
+        assert_eq!(readded, Rights::TG);
+
+        assert_eq!(
+            edges_of(engine.graph()),
+            before,
+            "thr={pack_threshold}: edge stream must round-trip"
+        );
+        assert_eq!(edges_of(engine.graph()), legacy.edges().collect::<Vec<_>>());
+        if pack_threshold == 1 {
+            assert!(
+                engine.graph().pack_count() > packs_before,
+                "threshold 1 must force a re-pack inside the cycle"
+            );
+        }
+        assert_eq!(
+            engine.violations(),
+            audit_graph(engine.graph(), engine.levels(), &CombinedRestriction),
+            "thr={pack_threshold}: maintained verdict"
+        );
+        assert_eq!(
+            Islands::compute(engine.graph()).canonical(),
+            Islands::compute(&legacy.to_graph()).canonical(),
+            "thr={pack_threshold}: island partition"
+        );
+    }
+}
+
+/// Case 2: cutting the tg-bridge while the overlay is populated splits
+/// one island into two. The index's union-find rebuild walks adjacency
+/// at rebuild time — it must see the merged (overlay-shadowed) rows, and
+/// the maintained partition must match a from-scratch `Islands` both
+/// before packing and after an explicit `pack()`-equivalent rebuild via
+/// the legacy mirror.
+#[test]
+fn island_rebuild_reads_through_the_overlay() {
+    // Threshold high enough that nothing packs: the bridge removal and
+    // the churn below all live in the overlay when the rebuild runs.
+    let (mut engine, mut legacy, [a, b, c, d]) = bridged_fixture(1_000_000);
+
+    // Populate the overlay with unrelated churn first.
+    engine.add_edge(a, d, Rights::R).unwrap();
+    legacy.add_edge(a, d, Rights::R).unwrap();
+    engine.remove_edge(a, d, Rights::R).unwrap();
+    legacy.remove_explicit_rights(a, d, Rights::R).unwrap();
+    assert!(
+        engine.graph().overlay_len() > 0,
+        "churn must leave the overlay populated"
+    );
+
+    let rebuilds_before = engine.stats().island_rebuilds;
+    engine.remove_edge(b, c, Rights::TG).unwrap();
+    legacy.remove_explicit_rights(b, c, Rights::TG).unwrap();
+    assert!(
+        engine.stats().island_rebuilds > rebuilds_before,
+        "cutting a tg-bridge must trigger an island rebuild"
+    );
+
+    // The partition split {a,b,c,d} → {a,b} | {c,d}; the overlay-laden
+    // graph and the packed-fresh legacy rebuild agree on it.
+    let oracle = Islands::compute(&legacy.to_graph());
+    let live = Islands::compute(engine.graph());
+    assert_eq!(live.canonical(), oracle.canonical());
+    assert!(live.same_island(a, b));
+    assert!(live.same_island(c, d));
+    assert!(!live.same_island(b, c));
+    assert_eq!(edges_of(engine.graph()), legacy.edges().collect::<Vec<_>>());
+    assert_eq!(
+        engine.violations(),
+        audit_graph(engine.graph(), engine.levels(), &CombinedRestriction)
+    );
+}
+
+/// Case 3: a batch aborted after the representation re-packed mid-batch
+/// must restore the exact pre-batch edge stream. The forward edits were
+/// absorbed into the CSR core by the re-pack; the inverse edits from the
+/// change log therefore create *new* overlay entries — and the merged
+/// view must still cancel out exactly.
+#[test]
+fn rollback_across_a_repack_boundary() {
+    let (mut engine, legacy, [a, b, c, d]) = bridged_fixture(1);
+    let before = edges_of(engine.graph());
+    let packs_before = engine.graph().pack_count();
+
+    engine.begin_batch();
+    engine.add_edge(a, c, Rights::RW).unwrap();
+    engine.add_edge(d, a, Rights::R).unwrap();
+    engine
+        .remove_edge(a, b, Rights::singleton(tg_graph::Right::Take))
+        .unwrap();
+    let e = engine.add_subject("ephemeral");
+    engine.add_edge(e, a, Rights::G).unwrap();
+    engine.add_implicit(c, d, Rights::R).unwrap();
+    assert!(
+        engine.graph().pack_count() > packs_before,
+        "threshold 1 must re-pack inside the batch"
+    );
+    engine.abort_batch();
+
+    assert_eq!(
+        edges_of(engine.graph()),
+        before,
+        "abort across a re-pack must restore the pre-batch stream"
+    );
+    assert_eq!(edges_of(engine.graph()), legacy.edges().collect::<Vec<_>>());
+    assert_eq!(
+        engine.graph().vertex_count(),
+        4,
+        "popped vertex leaves no trace"
+    );
+    assert_eq!(
+        engine.violations(),
+        audit_graph(engine.graph(), engine.levels(), &CombinedRestriction)
+    );
+    assert_eq!(
+        Islands::compute(engine.graph()).canonical(),
+        Islands::compute(&legacy.to_graph()).canonical()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Overlay/commit-cycle round trip: random mutation scripts run
+    /// inside an aborted batch leave the engine byte-identical to its
+    /// pre-batch state (== the legacy mirror of the base graph) at any
+    /// pack cadence, and the maintained verdict stays pinned to the
+    /// Corollary 5.6 rescan. Scripts run inside a *committed* batch
+    /// agree with a legacy mirror that replayed the same accepted ops.
+    #[test]
+    fn batched_scripts_round_trip_at_any_pack_cadence(
+        ops in prop::collection::vec((0u8..4, 0usize..6, 0usize..6, 1u16..32), 1..40),
+        pack_threshold in 1usize..8,
+        commit in proptest::bool::ANY,
+    ) {
+        let (mut engine, mut legacy, _) = bridged_fixture(pack_threshold);
+        let before = edges_of(engine.graph());
+
+        engine.begin_batch();
+        for &(op, x, y, bits) in &ops {
+            let n = engine.graph().vertex_count();
+            let (src, dst) = (VertexId::from_index(x % n), VertexId::from_index(y % n));
+            let rights = Rights::from_bits(bits);
+            let accepted = match op {
+                0 => engine.add_edge(src, dst, rights).ok(),
+                1 => engine.remove_edge(src, dst, rights).ok(),
+                2 => engine.add_implicit(src, dst, rights).ok(),
+                _ => engine.remove_implicit(src, dst, rights).ok(),
+            };
+            if commit {
+                // Mirror the accepted delta so the legacy oracle tracks
+                // the committed timeline.
+                if let Some(delta) = accepted {
+                    if !delta.is_empty() {
+                        match op {
+                            0 => { legacy.add_edge(src, dst, delta).unwrap(); }
+                            1 => { legacy.remove_explicit_rights(src, dst, delta).unwrap(); }
+                            2 => { legacy.add_implicit_edge(src, dst, delta).unwrap(); }
+                            _ => { legacy.remove_implicit_rights(src, dst, delta).unwrap(); }
+                        }
+                    }
+                }
+            }
+        }
+        if commit {
+            engine.commit_batch();
+        } else {
+            engine.abort_batch();
+            prop_assert_eq!(
+                edges_of(engine.graph()),
+                before,
+                "abort restores the pre-batch stream (thr={})",
+                pack_threshold
+            );
+        }
+
+        prop_assert_eq!(
+            edges_of(engine.graph()),
+            legacy.edges().collect::<Vec<_>>(),
+            "legacy mirror (thr={}, commit={})",
+            pack_threshold,
+            commit
+        );
+        prop_assert_eq!(
+            engine.violations(),
+            audit_graph(engine.graph(), engine.levels(), &CombinedRestriction)
+        );
+        prop_assert_eq!(
+            Islands::compute(engine.graph()).canonical(),
+            Islands::compute(&legacy.to_graph()).canonical()
+        );
+    }
+}

@@ -307,11 +307,15 @@ pub enum Counter {
     ServeBatches = 27,
     /// Mutations the gateway's monitor refused.
     ServeRefusals = 28,
+    /// Shard-lock acquisitions that found the lock held (the contention
+    /// gauge of the island-sharded index: Cor 5.6 predicts near-zero
+    /// when work stays island-local).
+    ParLockWait = 29,
 }
 
 impl Counter {
     /// Number of counters (ids are `0..COUNT`).
-    pub const COUNT: usize = 29;
+    pub const COUNT: usize = 30;
 
     /// Every counter, in id order.
     pub const ALL: &'static [Counter] = &[
@@ -344,6 +348,7 @@ impl Counter {
         Counter::ServeFrames,
         Counter::ServeBatches,
         Counter::ServeRefusals,
+        Counter::ParLockWait,
     ];
 
     /// The stable id (the `repr` discriminant).
@@ -383,6 +388,7 @@ impl Counter {
             Counter::ServeFrames => "serve.frames",
             Counter::ServeBatches => "serve.batches",
             Counter::ServeRefusals => "serve.refusals",
+            Counter::ParLockWait => "par.lock_wait",
         }
     }
 
@@ -425,6 +431,7 @@ impl Counter {
             Counter::ServeFrames => "wire frames read and routed",
             Counter::ServeBatches => "admission batches flushed",
             Counter::ServeRefusals => "daemon mutations refused by the monitor",
+            Counter::ParLockWait => "shard-lock acquisitions that had to wait (contention)",
         }
     }
 

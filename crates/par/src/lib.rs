@@ -18,6 +18,10 @@
 //! * [`par_queries`] — batched `can_share` / `can_know` / `can_steal`
 //!   with work-stealing over contiguous request chunks, answers in
 //!   request order.
+//! * [`par_queries_indexed`] — the same batch evaluation through a
+//!   [`tg_inc::SharedIndex`], whose island-sharded memo locks let
+//!   workers hit and fill the query cache concurrently instead of
+//!   serializing on one index mutex.
 //! * [`par_closure`] — the whole-graph flow closure (`tg_flow`) with
 //!   its only island-dependent phase, the per-island take-reach BFS,
 //!   sharded one island per work item.
@@ -75,4 +79,4 @@ mod queries;
 pub use audit::{par_audit, par_audit_diagnostics, shard_edges};
 pub use closure::par_closure;
 pub use pool::{chunk_ranges, Pool};
-pub use queries::{par_queries, seq_queries, Query};
+pub use queries::{par_queries, par_queries_indexed, seq_queries, Query};

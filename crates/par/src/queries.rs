@@ -9,6 +9,7 @@
 //! query `i`'s answer by construction, at any job count.
 
 use tg_graph::{ProtectionGraph, Right, VertexId};
+use tg_inc::SharedIndex;
 
 use crate::pool::Pool;
 
@@ -60,6 +61,44 @@ pub fn par_queries(graph: &ProtectionGraph, queries: &[Query], pool: &Pool) -> V
     per_chunk.into_iter().flatten().collect()
 }
 
+/// Evaluates `queries` across `pool` *through the sharded incremental
+/// index*: `can_share`/`can_know` answers are memoized per island shard
+/// (see [`SharedIndex`]), so repeated queries cost two union-find finds
+/// and a shard-local lock instead of a fresh Theorem 2.3/3.2 decision.
+/// `can_steal` has no memo and is decided directly.
+///
+/// Workers hold the index's core *read* lock only while stamping and the
+/// island's memo shard only while probing — queries against different
+/// islands proceed without contending (Corollary 5.6 makes per-island
+/// work independent), which is what makes this path scale where a single
+/// index mutex would serialize it. Contention that does occur shows up
+/// in the `par.lock_wait` counter.
+///
+/// Answers come back in request order, identical to [`seq_queries`] at
+/// any job count.
+pub fn par_queries_indexed(
+    graph: &ProtectionGraph,
+    index: &SharedIndex,
+    queries: &[Query],
+    pool: &Pool,
+) -> Vec<bool> {
+    let _span = tg_obs::span(tg_obs::SpanKind::ParQueries);
+    let chunks = (pool.jobs() * 4).min(queries.len().max(1));
+    tg_obs::add(tg_obs::Counter::ParShards, chunks as u64);
+    let (per_chunk, steals) = pool.run_chunked(queries.len(), chunks, |range| {
+        queries[range]
+            .iter()
+            .map(|q| match *q {
+                Query::CanShare(right, x, y) => index.can_share(graph, right, x, y),
+                Query::CanKnow(x, y) => index.can_know(graph, x, y),
+                Query::CanSteal(right, x, y) => tg_analysis::can_steal(graph, right, x, y),
+            })
+            .collect::<Vec<bool>>()
+    });
+    tg_obs::add(tg_obs::Counter::ParSteals, steals);
+    per_chunk.into_iter().flatten().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +137,76 @@ mod tests {
     fn empty_batch() {
         let g = ProtectionGraph::new();
         assert!(par_queries(&g, &[], &Pool::new(4)).is_empty());
+    }
+
+    #[test]
+    fn indexed_answers_match_sequential_and_memoize() {
+        use tg_hierarchy::{CombinedRestriction, LevelAssignment};
+
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let q = g.add_subject("q");
+        let o = g.add_object("o");
+        g.add_edge(s, q, Rights::TG).unwrap();
+        g.add_edge(q, o, Rights::RW).unwrap();
+        let mut levels = LevelAssignment::linear(&["only"]);
+        for v in [s, q, o] {
+            levels.assign(v, 0).unwrap();
+        }
+        let queries: Vec<Query> = (0..8)
+            .flat_map(|_| {
+                [
+                    Query::CanShare(Right::Read, s, o),
+                    Query::CanKnow(s, o),
+                    Query::CanSteal(Right::Read, s, o),
+                    Query::CanShare(Right::Write, o, s),
+                ]
+            })
+            .collect();
+        let seq = seq_queries(&g, &queries);
+        for jobs in [1, 2, 4, 8] {
+            let index = SharedIndex::new(&g, &levels, &CombinedRestriction);
+            assert_eq!(
+                par_queries_indexed(&g, &index, &queries, &Pool::new(jobs)),
+                seq,
+                "jobs={jobs}"
+            );
+            let stats = index.stats();
+            // 3 distinct memoizable queries, each asked 8 times: at most
+            // one miss per distinct query, the rest served from shards.
+            assert!(stats.memo_misses <= 3 * jobs, "jobs={jobs}: {stats:?}");
+            assert!(stats.memo_hits > 0, "jobs={jobs}: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn indexed_queries_respect_the_jobs_env() {
+        use tg_hierarchy::{CombinedRestriction, LevelAssignment};
+
+        // The CI matrix runs the suite at TGQ_JOBS ∈ {1, 4}; routing the
+        // sharded index through the env-resolved pool makes both widths
+        // exercise the shard locking, not just the explicit-width tests.
+        let mut g = ProtectionGraph::new();
+        let s = g.add_subject("s");
+        let q = g.add_subject("q");
+        let o = g.add_object("o");
+        g.add_edge(s, q, Rights::TG).unwrap();
+        g.add_edge(q, o, Rights::RW).unwrap();
+        let mut levels = LevelAssignment::linear(&["only"]);
+        for v in [s, q, o] {
+            levels.assign(v, 0).unwrap();
+        }
+        let queries: Vec<Query> = (0..6)
+            .flat_map(|_| [Query::CanShare(Right::Read, s, o), Query::CanKnow(o, s)])
+            .collect();
+        let index = SharedIndex::new(&g, &levels, &CombinedRestriction);
+        let pool = Pool::from_env_or_available();
+        assert_eq!(
+            par_queries_indexed(&g, &index, &queries, &pool),
+            seq_queries(&g, &queries),
+            "jobs={} (env-resolved)",
+            pool.jobs()
+        );
+        assert!(index.stats().memo_hits > 0);
     }
 }
